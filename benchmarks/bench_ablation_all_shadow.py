@@ -1,0 +1,18 @@
+"""A6 — all-shadow mode (Section 4).
+
+On machines whose whole physical address space is populated, every user
+mapping must be named by shadow addresses, putting all traffic through
+the MTLB.  The bench shows the resulting overhead with the default MTLB
+geometry and how enlarging the MTLB (as Section 4 suggests) recovers it.
+"""
+
+from repro.bench import run_all_shadow_ablation
+
+
+def test_all_shadow_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_all_shadow_ablation(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,18 @@
+"""A2 — bucket vs buddy shadow-region allocation.
+
+The paper's static Figure 2 buckets can run dry for a popular size; the
+buddy system it suggests as future work splits larger regions to keep
+serving the same stream.
+"""
+
+from repro.bench import run_allocator_ablation
+
+
+def test_allocator_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_allocator_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)
+    assert result.buddy_failures <= result.bucket_failures

@@ -1,0 +1,17 @@
+"""A9 — the MTLB's referenced/dirty-bit write-back cost.
+
+The paper's simulated MTLB did not write updated accounting bits back to
+its in-DRAM table and predicted a negligible performance effect
+(Section 3.4).  This bench charges the write-backs and checks the claim.
+"""
+
+from repro.bench import run_bit_writeback_ablation
+
+
+def test_bit_writeback_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_bit_writeback_ablation(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,18 @@
+"""A3 — cost of the paper's conservative 1-MMC-cycle shadow check.
+
+The paper charges one 120 MHz MMC cycle on every memory operation for
+the real/shadow classification and calls the assumption "likely overly
+conservative".  This bench quantifies the assumption by re-running with
+a free check.
+"""
+
+from repro.bench import run_check_penalty_ablation
+
+
+def test_check_penalty_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_check_penalty_ablation(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

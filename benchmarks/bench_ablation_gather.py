@@ -1,0 +1,17 @@
+"""A10 — page-granularity gather (the Impulse programme).
+
+256 hot pages scattered over 64 MB: base pages thrash a 96-entry TLB;
+gathering them into one 1 MB superpage alias (no copy) makes the hot set
+one TLB entry.
+"""
+
+from repro.bench import run_gather_ablation
+
+
+def test_gather_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_gather_ablation, rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,18 @@
+"""A8 — superpages under multiprogramming.
+
+An untagged CPU TLB is flushed on every context switch; re-faulting the
+working set costs hundreds of base-page refills per quantum on a
+conventional system versus a handful of superpage refills with the MTLB,
+whose physically addressed state also survives the switch.
+"""
+
+from repro.bench import run_multiprog_ablation
+
+
+def test_multiprog_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_multiprog_ablation(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,21 @@
+"""A4 — online superpage promotion vs static remap hints.
+
+Section 5 of the paper argues a Romer-style online promotion policy
+would port naturally to shadow superpages (remapping is a flush, not a
+copy).  The bench compares: no superpages, the paper's static hints, and
+miss-driven online promotion at several thresholds.
+"""
+
+from repro.bench import run_promotion_ablation
+
+
+def test_promotion_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_promotion_ablation(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    for workload, fraction in result.captured.items():
+        print(f"  {workload}: online policy captured "
+              f"{100 * fraction:.0f}% of the static benefit")
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,16 @@
+"""A5 — MMC stream buffers (Section 6 future work).
+
+A small sequential-stream prefetcher behind the MTLB's retranslation
+hides DRAM latency for radix's streaming phases.
+"""
+
+from repro.bench import run_stream_buffer_ablation
+
+
+def test_stream_buffer_ablation(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_stream_buffer_ablation(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,14 @@
+"""E1 — Figure 2: the 512 MB shadow-space bucket partition.
+
+Reconstructs the paper's table from the live bucket allocator and checks
+every row plus the 512 MB total.
+"""
+
+from repro.bench import run_fig2
+
+
+def test_fig2_partition(benchmark):
+    report, errors = benchmark.pedantic(run_fig2, rounds=3, iterations=1)
+    print()
+    print(report)
+    assert errors == [], "\n".join(errors)

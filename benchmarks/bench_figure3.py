@@ -1,0 +1,28 @@
+"""E2 — Figure 3: the paper's main result matrix.
+
+Five programs x CPU TLB {64, 96, 128} x {no MTLB, 128-entry 2-way MTLB},
+normalised to the 96-entry/no-MTLB base.  Prints the two Figure 3 tables
+(normalised runtime, TLB-miss-time fraction) and asserts the paper's
+qualitative claims hold.
+"""
+
+from repro.bench import improvement_summary, run_figure3
+from repro.workloads import PAPER_SUITE
+
+
+def test_figure3(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_figure3(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    gains = improvement_summary(result.matrix, PAPER_SUITE)
+    print("\nMTLB improvement at the 96-entry base "
+          "(paper: 5-20% for TLB-bound programs):")
+    for w, gain in gains.items():
+        print(f"  {w:12s} {gain:+.1f}%")
+    assert result.shape_errors == [], "\n".join(result.shape_errors)
+    # The headline: TLB-constrained programs gain noticeably; nothing
+    # regresses materially at the base TLB size.
+    assert max(gains.values()) >= 5.0
+    assert min(gains.values()) >= -2.0

@@ -1,0 +1,18 @@
+"""E3 — Figure 4(A): em3d runtime vs MTLB size and associativity.
+
+128-entry CPU TLB throughout.  Checks the paper's findings: the default
+128-entry 2-way MTLB runs within a couple of percent of (slightly behind)
+the no-MTLB system, growing or widening the MTLB closes the gap, and
+returns diminish quickly.
+"""
+
+from conftest import figure4_result
+
+
+def test_figure4a(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: figure4_result(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report_a)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,18 @@
+"""E4 — Figure 4(B): average time per cache fill across the MTLB sweep.
+
+The no-MTLB baseline sets the floor; the MTLB adds a per-fill overhead
+that shrinks from several cycles (default geometry) towards the
+1-MMC-cycle shadow-check floor as the MTLB grows, because the residual
+cost is the DRAM access of each MTLB fill.
+"""
+
+from conftest import figure4_result
+
+
+def test_figure4b(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: figure4_result(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report_b)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

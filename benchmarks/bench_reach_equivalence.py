@@ -1,0 +1,17 @@
+"""E6 — the headline reach-equivalence result.
+
+A 64-entry CPU TLB plus a modest MTLB performs like a 128-entry TLB on a
+conventional MMC, and the resident TLB entries map far more than double
+the memory — the "more than double the effective reach" claim.
+"""
+
+from repro.bench import run_reach_equivalence
+
+
+def test_reach_equivalence(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_reach_equivalence(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

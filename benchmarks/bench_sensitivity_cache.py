@@ -1,0 +1,17 @@
+"""S1 — cache associativity sensitivity on em3d (MTLB machine).
+
+Context for Figure 4's absolute numbers: how much of em3d's memory time
+is direct-mapped conflict misses.  Also exercises the generic
+set-associative cache model in a measured configuration.
+"""
+
+from repro.bench import run_cache_sensitivity
+
+
+def test_cache_sensitivity(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_cache_sensitivity(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

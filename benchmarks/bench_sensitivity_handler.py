@@ -1,0 +1,18 @@
+"""S2 — MTLB gain as a function of TLB-miss handling cost.
+
+The paper's premise (after Chen et al.) is that TLB *reach* is the
+bottleneck; still, what a miss costs scales the MTLB's payoff.  This
+bench sweeps a hardware-walker-like cost, the paper's software trap, and
+a heavyweight-OS trap.
+"""
+
+from repro.bench import run_handler_sensitivity
+
+
+def test_handler_sensitivity(benchmark, ctx):
+    result = benchmark.pedantic(
+        lambda: run_handler_sensitivity(ctx), rounds=1, iterations=1
+    )
+    print()
+    print(result.report)
+    assert result.shape_errors == [], "\n".join(result.shape_errors)

@@ -1,0 +1,29 @@
+"""Shared fixtures for the benchmark harness.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Set ``REPRO_BENCH_QUICK=1`` for CI-sized inputs (minutes become seconds;
+the shape checks still hold).  EXPERIMENTS.md records the scales behind
+the reported numbers.
+"""
+
+import pytest
+
+from repro.bench import BenchContext, run_figure4
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    """One BenchContext (and trace cache) for the whole session."""
+    return BenchContext()
+
+
+def figure4_result(ctx):
+    """Memoised Figure 4 sweep (shared by the 4(A) and 4(B) benches)."""
+    cached = getattr(ctx, "_figure4_result", None)
+    if cached is None:
+        cached = run_figure4(ctx)
+        ctx._figure4_result = cached
+    return cached

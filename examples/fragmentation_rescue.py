@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Why superpages need shadow memory on a real (fragmented) machine.
+
+Conventional superpages need physically contiguous frame runs aligned to
+the superpage size.  On a machine that has been up for a while, the free
+list is scattered and such runs do not exist — the allocation simply
+fails.  Shadow-backed superpages build the same TLB reach out of
+whatever frames are free.
+
+Run:  python examples/fragmentation_rescue.py
+"""
+
+import dataclasses
+
+from repro.os_model.frames import OutOfMemory
+from repro.sim.config import paper_mtlb, paper_no_mtlb
+from repro.sim.system import System
+
+REGION = 0x0200_0000
+SIZE = 4 << 20  # the app wants a 4 MB superpage-backed buffer
+
+
+def attempt(label, config, conventional):
+    system = System(config)
+    process = system.kernel.create_process("app")
+    frames = system.kernel.frames
+    print(f"{label}")
+    print(f"  free frames: {frames.free_frames:,}; longest contiguous "
+          f"run: {frames.largest_free_run():,} frames "
+          f"(need {SIZE >> 12:,} aligned)")
+    try:
+        if conventional:
+            system.kernel.vm.map_region_conventional_superpages(
+                process, REGION, SIZE
+            )
+        else:
+            system.kernel.sys_map(process, REGION, SIZE)
+            system.kernel.sys_remap(process, REGION, SIZE)
+    except OutOfMemory as exc:
+        print(f"  FAILED: {exc}\n")
+        return
+    supers = process.page_table.superpages()
+    reach = sum(m.size for m in supers)
+    print(f"  ok: {len(supers)} superpage(s) covering {reach >> 20} MB, "
+          f"one TLB entry each\n")
+
+
+def main():
+    fresh = dataclasses.replace(paper_no_mtlb(96), fragmentation="none")
+    aged = dataclasses.replace(paper_no_mtlb(96), fragmentation="aged")
+    aged_mtlb = dataclasses.replace(paper_mtlb(96), fragmentation="aged")
+
+    attempt("conventional superpages, freshly booted machine",
+            fresh, conventional=True)
+    attempt("conventional superpages, aged machine",
+            aged, conventional=True)
+    attempt("shadow-backed superpages (MTLB), same aged machine",
+            aged_mtlb, conventional=False)
+
+
+if __name__ == "__main__":
+    main()

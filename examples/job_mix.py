@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Superpages under multiprogramming.
+
+Two compress95 instances time-slice one machine.  Every context switch
+flushes the (untagged) CPU TLB, so each quantum starts by re-faulting the
+working set: hundreds of base-page refills on the conventional system,
+a handful of superpage refills on the MTLB system — whose MTLB state,
+being physically addressed, survives the switch entirely.
+
+Run:  python examples/job_mix.py
+"""
+
+from repro.sim.config import paper_mtlb, paper_no_mtlb
+from repro.sim.multiprog import run_job_mix
+from repro.workloads import build_workload
+
+
+def main():
+    print("generating two compress95 instances...")
+    trace_a = build_workload("compress95", scale=0.08, seed=1)
+    trace_b = build_workload("compress95", scale=0.08, seed=2)
+    trace_b.name = "compress95-b"
+
+    header = (
+        f"{'quantum':>9} | {'config':>16} | {'switches':>8} | "
+        f"{'TLB miss cycles':>15} | {'total cycles':>13}"
+    )
+    print(header)
+    print("-" * len(header))
+    for quantum in (200_000, 50_000, 12_500):
+        for config in (paper_no_mtlb(96), paper_mtlb(96)):
+            mix = run_job_mix(
+                config, [trace_a, trace_b], quantum_refs=quantum
+            )
+            stats = mix.result.stats
+            print(
+                f"{quantum:>9,} | {config.label:>16} | "
+                f"{mix.context_switches:>8} | "
+                f"{stats.tlb_miss_cycles:>15,} | "
+                f"{mix.total_cycles:>13,}"
+            )
+    print(
+        "\nshrinking the quantum multiplies the conventional system's "
+        "TLB refill work;\nthe superpage system's stays near zero "
+        "(one TLB entry re-faults per region)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Shim so ``pip install -e . --no-use-pep517`` works offline.
+
+The sandboxed environment has no ``wheel`` package, which the PEP 517
+editable-install path requires; the legacy ``setup.py develop`` path does
+not.  All real metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,78 @@
+"""repro — Superpages backed by shadow memory (ISCA 1998), reproduced.
+
+A library-quality reproduction of Swanson, Stoller & Carter, *Increasing
+TLB Reach Using Superpages Backed by Shadow Memory*: a memory-controller
+TLB (MTLB) that remaps shadow physical addresses onto discontiguous real
+page frames, letting an unmodified CPU TLB map large superpages — plus the
+full simulation substrate the paper evaluated it on (CPU TLB, VIPT cache,
+Runway-style bus, MMC, a small OS, and models of the five benchmark
+programs).
+
+Quickstart::
+
+    from repro import paper_base, paper_mtlb, simulate
+    from repro.workloads import build_workload
+
+    trace = build_workload("em3d", scale=0.25)
+    base = simulate(trace, paper_base())
+    fast = simulate(trace, paper_mtlb(tlb_entries=96))
+    print(fast.total_cycles / base.total_cycles)
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-versus-measured record.
+"""
+
+from .core import (
+    BASE_PAGE_SIZE,
+    SUPERPAGE_SIZES,
+    BucketShadowAllocator,
+    BuddyShadowAllocator,
+    Mtlb,
+    MtlbFault,
+    PhysicalMemoryMap,
+    ShadowPageTable,
+    ShadowRegion,
+    ShadowSpaceExhausted,
+    plan_superpages,
+)
+from .sim import (
+    RunResult,
+    RunStats,
+    System,
+    SystemConfig,
+    figure3_configs,
+    figure4_configs,
+    paper_base,
+    paper_mtlb,
+    paper_no_mtlb,
+    simulate,
+)
+from .trace import Trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BASE_PAGE_SIZE",
+    "SUPERPAGE_SIZES",
+    "BucketShadowAllocator",
+    "BuddyShadowAllocator",
+    "Mtlb",
+    "MtlbFault",
+    "PhysicalMemoryMap",
+    "ShadowPageTable",
+    "ShadowRegion",
+    "ShadowSpaceExhausted",
+    "plan_superpages",
+    "RunResult",
+    "RunStats",
+    "System",
+    "SystemConfig",
+    "figure3_configs",
+    "figure4_configs",
+    "paper_base",
+    "paper_mtlb",
+    "paper_no_mtlb",
+    "simulate",
+    "Trace",
+    "__version__",
+]

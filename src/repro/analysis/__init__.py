@@ -1,0 +1,25 @@
+"""Trace analysis: working sets, reuse distances, and the superpage
+advisor (tools for the paper's "which regions are economical" problem).
+"""
+
+from .advisor import AdvisorCosts, RegionAdvice, advise, trace_regions
+from .reuse import ReuseProfile, page_reuse_profile
+from .working_set import (
+    WorkingSetPoint,
+    footprint_growth,
+    region_touch_density,
+    working_set_series,
+)
+
+__all__ = [
+    "AdvisorCosts",
+    "RegionAdvice",
+    "advise",
+    "trace_regions",
+    "ReuseProfile",
+    "page_reuse_profile",
+    "WorkingSetPoint",
+    "footprint_growth",
+    "region_touch_density",
+    "working_set_series",
+]

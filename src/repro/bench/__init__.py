@@ -1,0 +1,64 @@
+"""Benchmark harness: one module per reproduced table/figure + ablations.
+
+See DESIGN.md's per-experiment index.  The pytest-benchmark entry points
+under ``benchmarks/`` call into this package; everything here is also
+usable directly (e.g. from the ``repro-bench`` CLI).
+"""
+
+from .ablations import (
+    run_allocator_ablation,
+    run_bit_writeback_ablation,
+    run_check_penalty_ablation,
+    run_fragmentation_ablation,
+)
+from .extensions_bench import (
+    run_all_shadow_ablation,
+    run_stream_buffer_ablation,
+)
+from .fig2_partition import run_fig2
+from .gather_bench import run_gather_ablation
+from .figure3 import improvement_summary, run_figure3
+from .figure4 import run_figure4
+from .init_costs import (
+    measure_copy_per_page,
+    measure_em3d_remap,
+    measure_flush_per_page,
+)
+from .multiprog_bench import run_multiprog_ablation
+from .promotion_bench import run_promotion_ablation
+from .reach import run_reach_equivalence
+from .sensitivity import run_cache_sensitivity, run_handler_sensitivity
+from .recoloring_bench import run_recoloring_ablation
+from .runner import (
+    PAPER_SCALES,
+    QUICK_SCALES,
+    BenchContext,
+    quick_mode_requested,
+)
+
+__all__ = [
+    "run_allocator_ablation",
+    "run_bit_writeback_ablation",
+    "run_check_penalty_ablation",
+    "run_fragmentation_ablation",
+    "run_all_shadow_ablation",
+    "run_stream_buffer_ablation",
+    "run_promotion_ablation",
+    "run_recoloring_ablation",
+    "run_multiprog_ablation",
+    "run_cache_sensitivity",
+    "run_gather_ablation",
+    "run_handler_sensitivity",
+    "run_fig2",
+    "improvement_summary",
+    "run_figure3",
+    "run_figure4",
+    "measure_copy_per_page",
+    "measure_em3d_remap",
+    "measure_flush_per_page",
+    "run_reach_equivalence",
+    "PAPER_SCALES",
+    "QUICK_SCALES",
+    "BenchContext",
+    "quick_mode_requested",
+]

@@ -1,0 +1,293 @@
+"""Ablation benches A1-A3 (our additions; see DESIGN.md Section 4).
+
+* **A1 — fragmentation**: conventional superpages need contiguous,
+  aligned frame runs and fail on a fragmented machine; shadow-backed
+  superpages are immune.  On an unfragmented machine the two perform
+  comparably (conventional slightly ahead: no MTLB in the fill path).
+* **A2 — shadow allocators**: the paper's static bucket scheme versus
+  the buddy system it suggests as future work, under a mixed
+  allocate/free stream.
+* **A3 — shadow-check penalty**: the paper charges one MMC cycle on
+  every operation for the real/shadow address check, calling this
+  "likely overly conservative"; this bench quantifies what the
+  assumption costs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.addrspace import PhysicalMemoryMap
+from ..core.shadow_space import (
+    BucketShadowAllocator,
+    BuddyShadowAllocator,
+    ShadowSpaceExhausted,
+)
+from ..os_model.frames import OutOfMemory
+from ..sim.config import paper_mtlb, paper_no_mtlb, with_check_penalty
+from ..sim.results import render_table
+from ..sim.system import System
+from ..trace import synth
+from ..trace.events import MapConventional, MapRegion, Remap
+from ..trace.trace import Trace, make_segment
+from .runner import BenchContext
+
+# ---------------------------------------------------------------------- #
+# A1 — fragmentation vs conventional superpages
+# ---------------------------------------------------------------------- #
+
+REGION_BYTES = 8 << 20
+REGION_BASE = 0x1000_0000
+
+
+def _scatter_trace(mode: str, refs: int = 400_000) -> Trace:
+    """A radix-like scattered reference stream over an 8 MB region.
+
+    *mode* selects the mapping style: "base", "conventional" or "shadow".
+    """
+    trace = Trace(f"scatter-{mode}")
+    if mode == "conventional":
+        trace.add(MapConventional(REGION_BASE, REGION_BYTES))
+    else:
+        trace.add(MapRegion(REGION_BASE, REGION_BYTES))
+        if mode == "shadow":
+            trace.add(Remap(REGION_BASE, REGION_BYTES))
+    rng = np.random.default_rng(7)
+    vaddrs = synth.uniform_random(rng, REGION_BASE, REGION_BYTES, refs)
+    trace.add(
+        make_segment(
+            "scatter", vaddrs, write_mask=(vaddrs % 32 == 0), gap=3
+        )
+    )
+    return trace
+
+
+@dataclass
+class FragmentationResult:
+    """Outcome of A1: per (mapping mode, fragmentation) cell."""
+
+    cells: Dict[Tuple[str, str], str]
+    report: str
+    shape_errors: List[str]
+
+
+def run_fragmentation_ablation() -> FragmentationResult:
+    """Run the A1 matrix."""
+    cells: Dict[Tuple[str, str], str] = {}
+    cycles: Dict[Tuple[str, str], int] = {}
+    matrix = [
+        ("base", "shuffled", paper_no_mtlb(96)),
+        ("conventional", "none", paper_no_mtlb(96)),
+        ("conventional", "aged", paper_no_mtlb(96)),
+        ("conventional", "checkerboard", paper_no_mtlb(96)),
+        ("shadow", "aged", paper_mtlb(96)),
+        ("shadow", "checkerboard", paper_mtlb(96)),
+    ]
+    for mode, frag, config in matrix:
+        config = replace(config, fragmentation=frag)
+        trace = _scatter_trace(mode)
+        try:
+            result = System(config).run(trace)
+        except OutOfMemory:
+            cells[(mode, frag)] = "FAILS (no contiguous frames)"
+            continue
+        cells[(mode, frag)] = f"{result.total_cycles:,} cycles"
+        cycles[(mode, frag)] = result.total_cycles
+    rows = [
+        [mode, frag, outcome] for (mode, frag), outcome in cells.items()
+    ]
+    report = render_table(
+        ["mapping", "fragmentation", "outcome"],
+        rows,
+        title="A1: conventional vs shadow superpages under fragmentation",
+    )
+    errors: List[str] = []
+    for frag in ("aged", "checkerboard"):
+        if "FAILS" not in cells[("conventional", frag)]:
+            errors.append(
+                f"conventional superpages survived {frag} fragmentation"
+            )
+        if "FAILS" in cells[("shadow", frag)]:
+            errors.append(f"shadow superpages failed under {frag}")
+    if ("conventional", "none") in cycles:
+        conv = cycles[("conventional", "none")]
+        shad = cycles[("shadow", "aged")]
+        base = cycles[("base", "shuffled")]
+        if not conv <= shad <= base:
+            errors.append(
+                "expected conventional <= shadow <= base-pages runtime "
+                f"(got {conv:,} / {shad:,} / {base:,})"
+            )
+    return FragmentationResult(cells=cells, report=report,
+                               shape_errors=errors)
+
+
+# ---------------------------------------------------------------------- #
+# A2 — bucket vs buddy shadow allocation
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class AllocatorResult:
+    """Outcome of A2."""
+
+    bucket_failures: int
+    buddy_failures: int
+    report: str
+    shape_errors: List[str]
+
+
+def run_allocator_ablation(requests: int = 3000) -> AllocatorResult:
+    """Drive both allocators with an identical skewed request stream.
+
+    The stream over-asks for one popular size (as a real system, where
+    most regions are data segments of similar sizes, would); the static
+    bucket scheme runs that bucket dry while the buddy allocator splits
+    larger regions to keep serving.
+    """
+    memory_map = PhysicalMemoryMap()
+    rng = np.random.default_rng(3)
+    sizes = np.array([16 << 10, 64 << 10, 256 << 10, 1 << 20], dtype=np.int64)
+    weights = np.array([0.1, 0.7, 0.1, 0.1])
+    stream = rng.choice(len(sizes), size=requests, p=weights)
+    #: Regions stay live long enough that the popular size's demand
+    #: exceeds its static bucket (256 x 64 KB in Figure 2).
+    release_after = 1200
+
+    failures = {"bucket": 0, "buddy": 0}
+    for name, allocator in (
+        ("bucket", BucketShadowAllocator(memory_map)),
+        ("buddy", BuddyShadowAllocator(memory_map)),
+    ):
+        live = []
+        for i, size_idx in enumerate(stream):
+            size = int(sizes[size_idx])
+            try:
+                live.append(allocator.allocate(size))
+            except ShadowSpaceExhausted:
+                failures[name] += 1
+            if len(live) > release_after:
+                allocator.free(live.pop(0))
+    rows = [
+        ["bucket (paper Figure 2)", failures["bucket"]],
+        ["buddy (paper future work)", failures["buddy"]],
+    ]
+    report = render_table(
+        ["allocator", f"failed allocations out of {requests}"],
+        rows,
+        title="A2: shadow-region allocation under a skewed request mix",
+    )
+    errors: List[str] = []
+    if failures["buddy"] > failures["bucket"]:
+        errors.append("buddy allocator failed more often than buckets")
+    return AllocatorResult(
+        bucket_failures=failures["bucket"],
+        buddy_failures=failures["buddy"],
+        report=report,
+        shape_errors=errors,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# A3 — the conservative shadow-check penalty
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class CheckPenaltyResult:
+    """Outcome of A3."""
+
+    deltas: Dict[str, float]
+    report: str
+    shape_errors: List[str]
+
+
+@dataclass
+class BitWritebackResult:
+    """Outcome of A9."""
+
+    deltas: Dict[str, float]
+    report: str
+    shape_errors: List[str]
+
+
+def run_bit_writeback_ablation(
+    context: Optional[BenchContext] = None,
+    workloads: Tuple[str, ...] = ("em3d", "radix"),
+) -> BitWritebackResult:
+    """A9 — charge the MTLB's referenced/dirty-bit table write-backs.
+
+    The paper's simulated MTLB did not write updated accounting bits
+    back to its mapping table and predicted that "adding this
+    functionality should have a negligible effect on performance"
+    (Section 3.4).  This bench adds the functionality — one DRAM write
+    the first time a cached translation's bit is set — and checks the
+    prediction.
+    """
+    context = context or BenchContext()
+    deltas: Dict[str, float] = {}
+    rows = []
+    for w in workloads:
+        plain = context.run(w, paper_mtlb(96)).total_cycles
+        charged_config = dataclasses_replace_mmc(paper_mtlb(96))
+        charged = System(charged_config).run(context.trace(w)).total_cycles
+        delta = charged / plain - 1.0
+        deltas[w] = delta
+        rows.append(
+            [w, f"{plain:,}", f"{charged:,}", f"{100 * delta:+.3f}%"]
+        )
+    report = render_table(
+        ["workload", "no bit write-back", "with write-back", "delta"],
+        rows,
+        title="A9: MTLB referenced/dirty-bit write-back cost",
+    )
+    errors: List[str] = []
+    for w, delta in deltas.items():
+        if abs(delta) > 0.02:
+            errors.append(
+                f"{w}: bit write-back changed runtime by "
+                f"{100 * delta:.2f}% — the paper predicted negligible"
+            )
+    return BitWritebackResult(deltas=deltas, report=report,
+                              shape_errors=errors)
+
+
+def dataclasses_replace_mmc(config):
+    """Return *config* with accounting-bit write-backs enabled."""
+    return replace(config, mmc=replace(config.mmc, bit_writeback=True))
+
+
+def run_check_penalty_ablation(
+    context: Optional[BenchContext] = None,
+    workloads: Tuple[str, ...] = ("em3d", "compress95"),
+) -> CheckPenaltyResult:
+    """Compare the 1-MMC-cycle check against the free-check design."""
+    context = context or BenchContext()
+    deltas: Dict[str, float] = {}
+    rows = []
+    for w in workloads:
+        charged = context.run(w, paper_mtlb(96)).total_cycles
+        free = System(
+            with_check_penalty(paper_mtlb(96), 0)
+        ).run(context.trace(w)).total_cycles
+        delta = charged / free - 1.0
+        deltas[w] = delta
+        rows.append([w, f"{charged:,}", f"{free:,}", f"{100 * delta:.2f}%"])
+    report = render_table(
+        ["workload", "1-cycle check", "free check", "overhead"],
+        rows,
+        title="A3: cost of the paper's conservative shadow-check cycle",
+    )
+    errors: List[str] = []
+    for w, delta in deltas.items():
+        if delta < -0.002:
+            errors.append(f"{w}: removing the check made things slower?")
+        if delta > 0.10:
+            errors.append(
+                f"{w}: check penalty {100 * delta:.1f}% is implausibly large"
+            )
+    return CheckPenaltyResult(deltas=deltas, report=report,
+                              shape_errors=errors)

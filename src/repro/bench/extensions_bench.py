@@ -1,0 +1,161 @@
+"""Ablations A5/A6 — the paper's Section 4/6 extensions, quantified.
+
+* **A5 — MMC stream buffers** (Section 6 future work): sequential-miss
+  prefetching behind the MTLB.  Measured on radix, whose histogram and
+  source-read phases are long sequential streams.
+* **A6 — all-shadow mode** (Section 4): when every user mapping is named
+  by shadow addresses, the MTLB carries *all* traffic; the paper
+  predicts the default geometry may need to grow.  Measured on radix
+  (scattered fills, the MTLB's worst case) against the normal no-MTLB
+  system and against enlarged MTLBs.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..mem.stream_buffers import StreamBufferConfig
+from ..sim.config import paper_mtlb, paper_no_mtlb
+from ..sim.results import render_table
+from ..sim.system import System
+from .runner import BenchContext
+
+# ---------------------------------------------------------------------- #
+# A5 — stream buffers
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class StreamBufferResult:
+    """A5 outcome."""
+
+    cycles: Dict[str, int]
+    hit_rate: float
+    report: str
+    shape_errors: List[str]
+
+
+def run_stream_buffer_ablation(
+    context: Optional[BenchContext] = None,
+    workload: str = "radix",
+) -> StreamBufferResult:
+    """MTLB system with and without MMC stream buffers."""
+    context = context or BenchContext()
+    trace = context.trace(workload)
+    cycles: Dict[str, int] = {}
+    rows = []
+    hit_rate = 0.0
+    for label, sb_config in (
+        ("MTLB", StreamBufferConfig()),
+        ("MTLB + stream buffers", StreamBufferConfig(enabled=True)),
+        (
+            "MTLB + deep stream buffers",
+            StreamBufferConfig(enabled=True, buffers=8, depth=8),
+        ),
+    ):
+        config = dataclasses.replace(
+            paper_mtlb(96), stream_buffers=sb_config
+        )
+        system = System(config)
+        result = system.run(trace)
+        cycles[label] = result.total_cycles
+        unit = system.stream_buffers
+        sb_hit = unit.stats.hit_rate if unit is not None else 0.0
+        if label == "MTLB + stream buffers":
+            hit_rate = sb_hit
+        rows.append(
+            [
+                label,
+                f"{result.total_cycles:,}",
+                f"{result.stats.avg_fill_cycles:.2f}",
+                f"{100 * sb_hit:.1f}%",
+            ]
+        )
+    report = render_table(
+        ["config", "cycles", "avg fill (CPU cyc)", "buffer hit rate"],
+        rows,
+        title=f"A5: MMC stream buffers ({workload})",
+    )
+    errors: List[str] = []
+    if cycles["MTLB + stream buffers"] > cycles["MTLB"]:
+        errors.append("stream buffers made the streaming workload slower")
+    if hit_rate < 0.2:
+        errors.append(
+            f"buffer hit rate {100 * hit_rate:.1f}% — detector not firing"
+        )
+    return StreamBufferResult(
+        cycles=cycles, hit_rate=hit_rate, report=report,
+        shape_errors=errors,
+    )
+
+
+# ---------------------------------------------------------------------- #
+# A6 — all-shadow mode
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class AllShadowResult:
+    """A6 outcome."""
+
+    cycles: Dict[str, int]
+    report: str
+    shape_errors: List[str]
+
+
+def run_all_shadow_ablation(
+    context: Optional[BenchContext] = None,
+    workload: str = "radix",
+) -> AllShadowResult:
+    """Normal system vs all-shadow with growing MTLB geometries."""
+    context = context or BenchContext()
+    trace = context.trace(workload)
+    configs = {
+        "normal (no MTLB)": paper_no_mtlb(96),
+        "all-shadow, 128e 2w MTLB": dataclasses.replace(
+            paper_mtlb(96, 128, 2), use_superpages=False, all_shadow=True
+        ),
+        "all-shadow, 512e 4w MTLB": dataclasses.replace(
+            paper_mtlb(96, 512, 4), use_superpages=False, all_shadow=True
+        ),
+        "all-shadow, 2048e 4w MTLB": dataclasses.replace(
+            paper_mtlb(96, 2048, 4), use_superpages=False, all_shadow=True
+        ),
+    }
+    cycles: Dict[str, int] = {}
+    rows = []
+    for label, config in configs.items():
+        system = System(config)
+        result = system.run(trace)
+        cycles[label] = result.total_cycles
+        rows.append(
+            [
+                label,
+                f"{result.total_cycles:,}",
+                f"{100 * result.stats.mtlb_hit_rate:.1f}%",
+            ]
+        )
+    report = render_table(
+        ["config", "cycles", "MTLB hit rate"],
+        rows,
+        title=f"A6: all-shadow mode (Section 4) on {workload}",
+    )
+    base = cycles["normal (no MTLB)"]
+    default = cycles["all-shadow, 128e 2w MTLB"]
+    big = cycles["all-shadow, 2048e 4w MTLB"]
+    errors: List[str] = []
+    if default < base:
+        errors.append(
+            "all-shadow with the default MTLB shows no overhead — "
+            "the Section 4 concern should be visible"
+        )
+    if big > default:
+        errors.append("growing the MTLB did not recover all-shadow cost")
+    if big > base * 1.25:
+        errors.append(
+            f"even a 2048-entry MTLB leaves {big / base:.2f}x overhead"
+        )
+    return AllShadowResult(cycles=cycles, report=report,
+                           shape_errors=errors)

@@ -1,0 +1,75 @@
+"""Experiment E1 — Figure 2: the shadow-space bucket partition.
+
+Figure 2 of the paper tabulates one static partitioning of a 512 MB
+pseudo-physical (shadow) address space into superpage buckets.  This
+bench reconstructs the table from the live allocator and checks its
+arithmetic: the counts and extents match the paper row for row and sum
+to exactly 512 MB.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from ..core.addrspace import PhysicalMemoryMap
+from ..core.shadow_space import (
+    FIGURE2_PARTITION,
+    BucketShadowAllocator,
+    partition_extent,
+)
+from ..sim.results import render_table
+
+#: The rows exactly as printed in the paper's Figure 2.
+PAPER_ROWS: Tuple[Tuple[str, int, str], ...] = (
+    ("16KB", 1024, "16MB"),
+    ("64KB", 256, "16MB"),
+    ("256KB", 128, "32MB"),
+    ("1024KB", 64, "64MB"),
+    ("4096KB", 32, "128MB"),
+    ("16384KB", 16, "256MB"),
+)
+
+
+def run_fig2() -> Tuple[str, List[str]]:
+    """Build the allocator, render the Figure 2 table, verify it."""
+    allocator = BucketShadowAllocator(PhysicalMemoryMap())
+    rows = []
+    for size, count, extent in allocator.describe():
+        rows.append([f"{size >> 10}KB", count, f"{extent >> 20}MB"])
+    report = render_table(
+        ["superpage size", "count", "address space extent"],
+        rows,
+        title="Figure 2: partitioning of a 512 MB shadow address space",
+    )
+    errors = check_fig2(allocator)
+    return report, errors
+
+
+def check_fig2(allocator: BucketShadowAllocator) -> List[str]:
+    """Check the table against the paper's numbers."""
+    errors: List[str] = []
+    for (size, count, extent), (psize, pcount, pextent) in zip(
+        allocator.describe(), PAPER_ROWS
+    ):
+        if f"{size >> 10}KB" != psize or count != pcount:
+            errors.append(
+                f"row mismatch: {size >> 10}KB x{count} vs paper "
+                f"{psize} x{pcount}"
+            )
+        if f"{extent >> 20}MB" != pextent:
+            errors.append(
+                f"extent mismatch for {psize}: {extent >> 20}MB vs "
+                f"{pextent}"
+            )
+    total = partition_extent(FIGURE2_PARTITION)
+    if total != 512 << 20:
+        errors.append(f"partition extent {total:#x} is not 512 MB")
+    # Every region must be allocatable: drain and refill one bucket.
+    regions = [allocator.allocate(16 << 10) for _ in range(1024)]
+    if allocator.available(16 << 10) != 0:
+        errors.append("16KB bucket did not drain at its stated count")
+    for region in regions:
+        allocator.free(region)
+    if allocator.available(16 << 10) != 1024:
+        errors.append("16KB bucket did not refill")
+    return errors

@@ -1,0 +1,178 @@
+"""Experiment E5 — Section 3.3 initialisation costs.
+
+The paper reports (all at 240 MHz CPU cycles):
+
+* cache-flushing a remapped 4 KB page costs ~**1400 cycles**;
+* copying a 4 KB page whose source is warm in the cache costs
+  ~**11,400 cycles** — the cost conventional superpage creation would
+  pay, and shadow remapping avoids;
+* em3d's explicit remap of 1120 pages costs **1,659,154 cycles** total:
+  **1,497,067** of cache flushing and **162,087** of everything else.
+
+This bench measures all three on the simulated machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from ..core.addrspace import BASE_PAGE_SIZE, CACHE_LINE_SIZE
+from ..sim.config import paper_mtlb
+from ..sim.results import render_table
+from ..sim.system import System
+from ..trace.events import MapRegion
+from ..trace.trace import Trace, make_segment
+from .runner import BenchContext
+
+#: Paper reference numbers.
+PAPER_FLUSH_PER_PAGE = 1400
+PAPER_COPY_PER_PAGE = 11400
+PAPER_EM3D_REMAP_TOTAL = 1_659_154
+PAPER_EM3D_REMAP_FLUSH = 1_497_067
+PAPER_EM3D_REMAP_OTHER = 162_087
+PAPER_EM3D_REMAP_PAGES = 1120
+
+
+@dataclass
+class InitCostResult:
+    """Measured initialisation costs."""
+
+    flush_per_page: float
+    copy_per_page: float
+    em3d_remap_total: int
+    em3d_remap_flush: int
+    em3d_remap_other: int
+    em3d_remap_pages: int
+    report: str
+    shape_errors: List[str]
+
+
+def measure_flush_per_page(pages: int = 64, dirty_fraction: float = 0.5) -> float:
+    """Average cycles to flush one warm 4 KB page from the cache.
+
+    Warms *pages* pages (a mix of clean and dirty lines, as a remapped
+    data region typically is), then uses the machine's costed flush
+    primitive — the same code path ``remap()`` runs.
+    """
+    system = System(paper_mtlb(96))
+    process = system.kernel.create_process("flushbench")
+    base = 0x0200_0000
+    system.kernel.sys_map(process, base, pages * BASE_PAGE_SIZE)
+    lines_per_page = BASE_PAGE_SIZE // CACHE_LINE_SIZE
+    dirty_every = max(1, int(round(1.0 / dirty_fraction)))
+    for p in range(pages):
+        for li in range(lines_per_page):
+            vaddr = base + p * BASE_PAGE_SIZE + li * CACHE_LINE_SIZE
+            paddr = process.page_table.translate(vaddr)
+            system.cache.access(vaddr, paddr, li % dirty_every == 0)
+    cycles, _dirty = system.flush_virtual_range(
+        process, base, pages * BASE_PAGE_SIZE
+    )
+    return cycles / pages
+
+
+def measure_copy_per_page(pages: int = 32) -> float:
+    """Average cycles to copy one 4 KB page with a warm source.
+
+    Runs an actual word-by-word copy loop through the simulator: load
+    each source word (cache-warm), store it to the destination (cold),
+    with a few address-arithmetic instructions per word.
+    """
+    trace = Trace("copybench")
+    src = 0x0200_0000
+    # Offset the destination by half the cache so source and destination
+    # lines do not alias to the same direct-mapped sets (a kernel page
+    # copier would pick its bounce buffers the same way).
+    dst = 0x0304_0000
+    nbytes = pages * BASE_PAGE_SIZE
+    trace.add(MapRegion(src, nbytes))
+    trace.add(MapRegion(dst, nbytes))
+    words = nbytes // 8
+    offsets = np.arange(words, dtype=np.int64) * 8
+    # Warm the source.
+    trace.add(make_segment("warm", src + offsets, gap=0))
+    # The copy loop: load src word, store dst word.
+    vaddrs = np.empty(2 * words, dtype=np.int64)
+    vaddrs[0::2] = src + offsets
+    vaddrs[1::2] = dst + offsets
+    writes = np.zeros(2 * words, dtype=bool)
+    writes[1::2] = True
+    trace.add(make_segment("copy", vaddrs, write_mask=writes, gap=3))
+    system = System(paper_mtlb(96))
+    system.run(trace)
+    copy_cycles = dict(system.segment_cycles)["copy"]
+    return copy_cycles / pages
+
+
+def measure_em3d_remap(
+    context: Optional[BenchContext] = None,
+) -> InitCostResult:
+    """Run em3d and break down its remap() cost as the paper does."""
+    context = context or BenchContext()
+    result = context.run("em3d", paper_mtlb(96))
+    stats = result.stats
+    flush_pp = measure_flush_per_page()
+    copy_pp = measure_copy_per_page()
+    total = stats.remap_cycles
+    flush = stats.remap_flush_cycles
+    other = total - flush
+    pages = stats.remap_pages
+    rows = [
+        ["flush one warm 4KB page", f"{flush_pp:.0f}",
+         f"{PAPER_FLUSH_PER_PAGE}"],
+        ["copy one warm 4KB page", f"{copy_pp:.0f}",
+         f"{PAPER_COPY_PER_PAGE}"],
+        ["em3d remap: pages", f"{pages}", f"{PAPER_EM3D_REMAP_PAGES}"],
+        ["em3d remap: total cycles", f"{total}",
+         f"{PAPER_EM3D_REMAP_TOTAL}"],
+        ["em3d remap: flush cycles", f"{flush}",
+         f"{PAPER_EM3D_REMAP_FLUSH}"],
+        ["em3d remap: other cycles", f"{other}",
+         f"{PAPER_EM3D_REMAP_OTHER}"],
+    ]
+    report = render_table(
+        ["quantity", "measured", "paper"],
+        rows,
+        title="Section 3.3 initialisation costs",
+    )
+    errors = _check(flush_pp, copy_pp, total, flush, other, pages)
+    return InitCostResult(
+        flush_per_page=flush_pp,
+        copy_per_page=copy_pp,
+        em3d_remap_total=total,
+        em3d_remap_flush=flush,
+        em3d_remap_other=other,
+        em3d_remap_pages=pages,
+        report=report,
+        shape_errors=errors,
+    )
+
+
+def _check(
+    flush_pp: float,
+    copy_pp: float,
+    total: int,
+    flush: int,
+    other: int,
+    pages: int,
+) -> List[str]:
+    errors: List[str] = []
+    if not 0.6 * PAPER_FLUSH_PER_PAGE <= flush_pp <= 1.4 * PAPER_FLUSH_PER_PAGE:
+        errors.append(f"flush/page {flush_pp:.0f} far from paper 1400")
+    if not 0.5 * PAPER_COPY_PER_PAGE <= copy_pp <= 1.6 * PAPER_COPY_PER_PAGE:
+        errors.append(f"copy/page {copy_pp:.0f} far from paper 11400")
+    if copy_pp < 4 * flush_pp:
+        errors.append(
+            "copying is not clearly more expensive than flushing "
+            "(the paper's central avoided cost)"
+        )
+    if pages != PAPER_EM3D_REMAP_PAGES:
+        errors.append(f"em3d remapped {pages} pages, paper says 1120")
+    if total and not 0.75 <= flush / total <= 0.97:
+        errors.append(
+            f"flush share of remap is {flush / total:.2f}; paper's is 0.90"
+        )
+    return errors

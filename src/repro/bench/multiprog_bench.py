@@ -1,0 +1,116 @@
+"""Ablation A8 — superpages under multiprogramming.
+
+The paper's kernel schedules processes but its measurements are
+single-program.  Under time-slicing with an untagged CPU TLB, every
+context switch flushes the TLB, and each quantum re-faults the working
+set back in: hundreds of base-page refills on a conventional system,
+versus a handful of superpage refills on the MTLB system (whose MTLB
+state, being physically addressed, additionally survives the switch).
+
+This bench runs a two-process compress95 mix at a long and a short
+quantum and measures the **per-switch TLB refill cost** — the slope of
+TLB-miss cycles against context-switch count — for both systems.  Cache
+pollution between processes affects both systems alike and is reported
+but not asserted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.config import paper_mtlb, paper_no_mtlb
+from ..sim.multiprog import run_job_mix
+from ..sim.results import render_table
+from ..workloads import build_workload
+from .runner import BenchContext
+
+QUANTA = (200_000, 25_000)
+
+
+@dataclass
+class MultiprogResult:
+    """A8 outcome."""
+
+    tlb_slope: Dict[str, float]
+    totals: Dict[Tuple[str, int], int]
+    report: str
+    shape_errors: List[str]
+
+
+def run_multiprog_ablation(
+    context: Optional[BenchContext] = None,
+) -> MultiprogResult:
+    """Two compress95 instances time-slicing one machine."""
+    context = context or BenchContext()
+    scale = context.scale_of("compress95") / 2
+    trace_a = build_workload("compress95", scale=scale, seed=context.seed)
+    trace_b = build_workload(
+        "compress95", scale=scale, seed=context.seed + 1
+    )
+    trace_b.name = "compress95-b"
+
+    configs = {
+        "tlb96": paper_no_mtlb(96),
+        "tlb96+mtlb1282w": paper_mtlb(96),
+    }
+    tlb_cycles: Dict[Tuple[str, int], int] = {}
+    switches: Dict[Tuple[str, int], int] = {}
+    totals: Dict[Tuple[str, int], int] = {}
+    rows = []
+    for label, config in configs.items():
+        for quantum in QUANTA:
+            run = run_job_mix(
+                config, [trace_a, trace_b], quantum_refs=quantum
+            )
+            key = (label, quantum)
+            tlb_cycles[key] = run.result.stats.tlb_miss_cycles
+            switches[key] = run.context_switches
+            totals[key] = run.total_cycles
+            rows.append(
+                [
+                    label,
+                    quantum,
+                    run.context_switches,
+                    f"{run.total_cycles:,}",
+                    f"{run.result.stats.tlb_miss_cycles:,}",
+                ]
+            )
+
+    tlb_slope: Dict[str, float] = {}
+    for label in configs:
+        long_q, short_q = QUANTA
+        extra_switches = (
+            switches[(label, short_q)] - switches[(label, long_q)]
+        )
+        extra_tlb = (
+            tlb_cycles[(label, short_q)] - tlb_cycles[(label, long_q)]
+        )
+        tlb_slope[label] = (
+            extra_tlb / extra_switches if extra_switches > 0 else 0.0
+        )
+        rows.append(
+            [label, "per-switch", "-", "-",
+             f"{tlb_slope[label]:,.0f} TLB cycles/switch"]
+        )
+
+    report = render_table(
+        ["config", "quantum (refs)", "switches", "total cycles",
+         "TLB miss cycles"],
+        rows,
+        title="A8: two-process compress95 mix under time-slicing",
+    )
+    errors: List[str] = []
+    base_slope = tlb_slope["tlb96"]
+    mtlb_slope = tlb_slope["tlb96+mtlb1282w"]
+    if base_slope <= 0:
+        errors.append("baseline shows no per-switch TLB refill cost")
+    if mtlb_slope > base_slope / 2:
+        errors.append(
+            f"superpages do not cut the per-switch refill cost "
+            f"({mtlb_slope:.0f} vs {base_slope:.0f} cycles/switch)"
+        )
+    return MultiprogResult(
+        tlb_slope=tlb_slope, totals=totals, report=report,
+        shape_errors=errors,
+    )

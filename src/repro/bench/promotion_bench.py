@@ -1,0 +1,133 @@
+"""Ablation A4 — online superpage promotion vs static remap hints.
+
+The paper creates superpages statically (explicit ``remap()`` calls or
+the modified ``sbrk``).  Section 5 argues a Romer-style online promotion
+policy would port naturally, with thresholds retuned for remapping's low
+cost (a cache flush, not a copy).  This bench runs the same traces three
+ways — no superpages, static hints, online promotion at several
+thresholds — and reports how much of the static benefit the online
+policy captures with no application hints at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.config import paper_mtlb, paper_no_mtlb, paper_promotion
+from ..sim.results import render_table
+from ..sim.system import System
+from .runner import BenchContext
+
+THRESHOLDS = (1.0, 3.0, 10.0)
+
+
+@dataclass
+class PromotionResult:
+    """Per-workload runtimes for each policy."""
+
+    cycles: Dict[Tuple[str, str], int]
+    captured: Dict[str, float]
+    report: str
+    shape_errors: List[str]
+
+
+def run_promotion_ablation(
+    context: Optional[BenchContext] = None,
+    workloads: Sequence[str] = ("radix", "compress95"),
+    progress: bool = False,
+) -> PromotionResult:
+    """Compare none / static / online-promotion policies."""
+    context = context or BenchContext()
+    cycles: Dict[Tuple[str, str], int] = {}
+    promo_counts: Dict[Tuple[str, str], int] = {}
+    policies: Dict[str, object] = {"none": paper_no_mtlb(96),
+                                   "static": paper_mtlb(96)}
+    for threshold in THRESHOLDS:
+        policies[f"promote@{threshold:g}"] = paper_promotion(96, threshold)
+
+    for workload in workloads:
+        trace = context.trace(workload)
+        for policy, config in policies.items():
+            if progress:
+                print(f"  running {workload} under {policy}...", flush=True)
+            system = System(config)
+            result = system.run(trace)
+            cycles[(workload, policy)] = result.total_cycles
+            promo_counts[(workload, policy)] = (
+                system.kernel.promotion.stats.promotions
+            )
+
+    captured: Dict[str, float] = {}
+    rows = []
+    for workload in workloads:
+        none = cycles[(workload, "none")]
+        static = cycles[(workload, "static")]
+        best_online = min(
+            cycles[(workload, f"promote@{t:g}")] for t in THRESHOLDS
+        )
+        saving_static = none - static
+        saving_online = none - best_online
+        captured[workload] = (
+            saving_online / saving_static if saving_static > 0 else 1.0
+        )
+        for policy in policies:
+            rows.append(
+                [
+                    workload,
+                    policy,
+                    f"{cycles[(workload, policy)] / none:.3f}",
+                    promo_counts[(workload, policy)],
+                ]
+            )
+    report = render_table(
+        ["workload", "policy", "runtime vs no-superpages", "promotions"],
+        rows,
+        title="A4: online promotion vs static remap hints",
+    )
+    errors = _check(captured, cycles, workloads)
+    return PromotionResult(
+        cycles=cycles, captured=captured, report=report,
+        shape_errors=errors,
+    )
+
+
+def _check(
+    captured: Dict[str, float],
+    cycles: Dict[Tuple[str, str], int],
+    workloads: Sequence[str],
+) -> List[str]:
+    errors: List[str] = []
+    for workload in workloads:
+        none = cycles[(workload, "none")]
+        static = cycles[(workload, "static")]
+        if static < none * 0.99:
+            # Superpages actually pay on this input: the online policy
+            # must capture most of that benefit...
+            if captured[workload] < 0.5:
+                errors.append(
+                    f"{workload}: online promotion captured only "
+                    f"{100 * captured[workload]:.0f}% of the static "
+                    "benefit"
+                )
+            # ...and the best threshold must not lose outright.
+            best = min(
+                cycles[(workload, f"promote@{t:g}")] for t in THRESHOLDS
+            )
+            if best > none * 1.02:
+                errors.append(
+                    f"{workload}: every promotion threshold lost to "
+                    "running without superpages"
+                )
+        else:
+            # Superpages don't pay at this input scale (tiny working
+            # sets fit the CPU TLB); promotion must at worst be a small
+            # overhead, never a blow-up.
+            for threshold in THRESHOLDS:
+                online = cycles[(workload, f"promote@{threshold:g}")]
+                if online > none * 1.10:
+                    errors.append(
+                        f"{workload}: promote@{threshold:g} cost "
+                        f"{online / none:.2f}x on a TLB-friendly input"
+                    )
+    return errors

@@ -1,0 +1,101 @@
+"""Experiment E6 — the reach-equivalence headline.
+
+The paper's introduction: "a system with a 64-entry TLB combined with an
+MMC that supported shadow superpages achieved the same performance as a
+system with a 128-entry TLB and a conventional MMC" — i.e. the MTLB more
+than doubles the *effective* reach of the processor TLB with no MMU
+changes.
+
+This bench runs every workload on exactly those two systems and reports
+the ratio, plus each configuration's realised TLB reach (bytes mapped by
+resident entries at end of run) as a direct mechanical check: with
+superpages a 64-entry TLB's resident entries map vastly more memory.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.config import paper_mtlb, paper_no_mtlb
+from ..sim.results import render_table
+from ..sim.system import System
+from ..workloads import PAPER_SUITE
+from .runner import BenchContext
+
+
+@dataclass
+class ReachResult:
+    """Per-workload equivalence ratios and reach numbers."""
+
+    ratios: Dict[str, float]
+    reach: Dict[str, Tuple[int, int]]
+    report: str
+    shape_errors: List[str]
+
+
+def run_reach_equivalence(
+    context: Optional[BenchContext] = None,
+    workloads: Sequence[str] = PAPER_SUITE,
+    progress: bool = False,
+) -> ReachResult:
+    """Compare 64-entry TLB + MTLB against 128-entry TLB, no MTLB."""
+    context = context or BenchContext()
+    ratios: Dict[str, float] = {}
+    reach: Dict[str, Tuple[int, int]] = {}
+    for w in workloads:
+        if progress:
+            print(f"  running {w}...", flush=True)
+        trace = context.trace(w)
+        big_conventional = System(paper_no_mtlb(128))
+        conv = big_conventional.run(trace)
+        small_mtlb = System(paper_mtlb(64))
+        shad = small_mtlb.run(trace)
+        ratios[w] = shad.total_cycles / conv.total_cycles
+        reach[w] = (
+            big_conventional.tlb.reach,
+            small_mtlb.tlb.reach,
+        )
+    rows = [
+        [
+            w,
+            f"{ratios[w]:.3f}",
+            f"{reach[w][0] >> 10}KB",
+            f"{reach[w][1] >> 10}KB",
+        ]
+        for w in workloads
+    ]
+    report = render_table(
+        [
+            "workload",
+            "64TLB+MTLB / 128TLB runtime",
+            "128-entry TLB reach",
+            "64-entry+superpage reach",
+        ],
+        rows,
+        title="Reach equivalence: small TLB + MTLB vs doubled TLB",
+    )
+    errors = check_reach(ratios, reach)
+    return ReachResult(
+        ratios=ratios, reach=reach, report=report, shape_errors=errors
+    )
+
+
+def check_reach(
+    ratios: Dict[str, float], reach: Dict[str, Tuple[int, int]]
+) -> List[str]:
+    """Verify the headline: parity or better, and far larger reach."""
+    errors: List[str] = []
+    for w, ratio in ratios.items():
+        if ratio > 1.05:
+            errors.append(
+                f"{w}: 64-entry+MTLB is {ratio:.3f}x the 128-entry "
+                "conventional system (expected parity or better)"
+            )
+    for w, (conv_reach, shadow_reach) in reach.items():
+        if shadow_reach <= 2 * conv_reach:
+            errors.append(
+                f"{w}: superpage reach {shadow_reach} is not more than "
+                f"double the conventional reach {conv_reach}"
+            )
+    return errors

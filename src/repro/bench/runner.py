@@ -1,0 +1,135 @@
+"""Benchmark-harness plumbing: scales, trace caching, matrix runs.
+
+The harness reruns identical traces across many machine configurations
+and many pytest sessions.  :class:`BenchContext` pins the per-workload
+input scales (documented in EXPERIMENTS.md), caches generated traces on
+disk, and runs workload x configuration matrices into a
+:class:`~repro.sim.results.ResultMatrix`.
+
+Environment knobs:
+
+* ``REPRO_BENCH_QUICK=1`` — use the quick (CI) scales everywhere;
+* ``REPRO_TRACE_CACHE=<dir>`` — trace cache directory (default
+  ``.trace_cache/`` under the repository root / current directory).
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..sim.config import SystemConfig
+from ..sim.results import ResultMatrix, RunResult
+from ..sim.system import System
+from ..trace.io import load_trace, save_trace
+from ..trace.trace import Trace
+from ..workloads import build_workload
+
+#: Input scales used for reported (non-quick) benchmark numbers.  Chosen
+#: so each run finishes in seconds while keeping every workload's paper
+#: *footprint* characteristics (see EXPERIMENTS.md for the rationale).
+PAPER_SCALES: Dict[str, float] = {
+    "compress95": 0.25,
+    "vortex": 0.5,
+    "radix": 0.3,
+    "em3d": 0.3,
+    "gcc": 1.0,
+}
+
+#: Much smaller inputs for CI / the test suite.
+QUICK_SCALES: Dict[str, float] = {
+    "compress95": 0.04,
+    "vortex": 0.06,
+    "radix": 0.05,
+    "em3d": 0.08,
+    "gcc": 0.12,
+}
+
+DEFAULT_SEED = 1998
+
+
+def quick_mode_requested() -> bool:
+    """True when the environment asks for quick (CI) scales."""
+    return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+class BenchContext:
+    """Shared state for one benchmark session."""
+
+    def __init__(
+        self,
+        quick: Optional[bool] = None,
+        scales: Optional[Mapping[str, float]] = None,
+        cache_dir: Optional[Path] = None,
+        seed: int = DEFAULT_SEED,
+    ) -> None:
+        if quick is None:
+            quick = quick_mode_requested()
+        self.quick = quick
+        base = QUICK_SCALES if quick else PAPER_SCALES
+        self.scales: Dict[str, float] = dict(base)
+        if scales:
+            self.scales.update(scales)
+        if cache_dir is None:
+            env = os.environ.get("REPRO_TRACE_CACHE")
+            cache_dir = Path(env) if env else Path(".trace_cache")
+        self.cache_dir = Path(cache_dir)
+        self.seed = seed
+        self._traces: Dict[str, Trace] = {}
+
+    # ------------------------------------------------------------------ #
+    # Traces
+    # ------------------------------------------------------------------ #
+
+    def scale_of(self, workload: str) -> float:
+        """The input scale this context uses for *workload*."""
+        return self.scales.get(workload, 1.0)
+
+    def trace(self, workload: str) -> Trace:
+        """Return the workload's trace, via memory and disk caches."""
+        cached = self._traces.get(workload)
+        if cached is not None:
+            return cached
+        scale = self.scale_of(workload)
+        path = self.cache_dir / (
+            f"{workload}_s{scale:g}_seed{self.seed}.npz"
+        )
+        trace: Optional[Trace] = None
+        if path.exists():
+            try:
+                trace = load_trace(path)
+            except (ValueError, KeyError, OSError):
+                trace = None  # stale format: regenerate below
+        if trace is None:
+            trace = build_workload(workload, scale=scale, seed=self.seed)
+            try:
+                save_trace(trace, path)
+            except OSError:
+                pass  # read-only filesystem: run uncached
+        self._traces[workload] = trace
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Running
+    # ------------------------------------------------------------------ #
+
+    def run(self, workload: str, config: SystemConfig) -> RunResult:
+        """Simulate one workload on one configuration."""
+        return System(config).run(self.trace(workload))
+
+    def run_matrix(
+        self,
+        workloads: Sequence[str],
+        configs: Mapping[str, SystemConfig],
+        base_label: str,
+        progress: bool = False,
+    ) -> ResultMatrix:
+        """Run every workload on every configuration."""
+        matrix = ResultMatrix(base_label)
+        for workload in workloads:
+            for label, config in configs.items():
+                if progress:
+                    print(f"  running {workload} on {label}...", flush=True)
+                matrix.add(self.run(workload, config))
+        return matrix

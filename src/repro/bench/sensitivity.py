@@ -1,0 +1,146 @@
+"""S1/S2 — machine-organisation sensitivities (ours).
+
+* **S1** sweeps cache associativity on the MTLB machine: how much of
+  em3d's memory time is direct-mapped conflict misses (context for
+  Figure 4's absolute numbers).
+* **S2** sweeps the TLB-miss handling cost: the paper's premise (after
+  Chen et al.) is that miss *reach*, not handler speed, is the problem —
+  but the MTLB's payoff obviously scales with what a miss costs.  S2
+  quantifies that across a hardware-walker-like cost, the paper's
+  software trap, and a heavyweight-OS trap.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..cpu.miss_handler import MissHandlerCosts
+from ..sim.config import CacheConfig, paper_mtlb, paper_no_mtlb
+from ..sim.results import render_table
+from ..sim.system import System
+from .runner import BenchContext
+
+ASSOCIATIVITIES = (1, 2, 4)
+
+#: (label, fixed-cost model) for the S2 handler sweep.
+HANDLER_MODELS: Tuple[Tuple[str, MissHandlerCosts], ...] = (
+    (
+        "hw-walker-like",
+        MissHandlerCosts(trap_overhead=4, hash_compute=2,
+                         probe_compare=1, tlb_insert=1),
+    ),
+    ("paper sw trap", MissHandlerCosts()),
+    (
+        "heavyweight OS",
+        MissHandlerCosts(trap_overhead=120, hash_compute=16,
+                         probe_compare=10, tlb_insert=24),
+    ),
+)
+
+
+@dataclass
+class CacheSensitivityResult:
+    """S1 outcome."""
+
+    cycles: Dict[int, int]
+    hit_rates: Dict[int, float]
+    report: str
+    shape_errors: List[str]
+
+
+def run_cache_sensitivity(
+    context: Optional[BenchContext] = None,
+    workload: str = "em3d",
+) -> CacheSensitivityResult:
+    """em3d on the MTLB machine, cache associativity swept."""
+    context = context or BenchContext()
+    trace = context.trace(workload)
+    cycles: Dict[int, int] = {}
+    hit_rates: Dict[int, float] = {}
+    rows = []
+    for assoc in ASSOCIATIVITIES:
+        config = dataclasses.replace(
+            paper_mtlb(96),
+            cache=CacheConfig(size_bytes=512 << 10, associativity=assoc),
+        )
+        result = System(config).run(trace)
+        cycles[assoc] = result.total_cycles
+        hit_rates[assoc] = result.stats.cache_hit_rate
+        rows.append(
+            [
+                f"{assoc}-way" if assoc > 1 else "direct-mapped",
+                f"{result.total_cycles:,}",
+                f"{100 * result.stats.cache_hit_rate:.1f}%",
+                f"{result.stats.avg_fill_cycles:.1f}",
+            ]
+        )
+    report = render_table(
+        ["cache", "cycles", "hit rate", "avg fill (CPU cyc)"],
+        rows,
+        title=f"S1: cache associativity sensitivity ({workload}, MTLB on)",
+    )
+    errors: List[str] = []
+    if hit_rates[2] < hit_rates[1] - 0.001:
+        errors.append("2-way cache hit rate below direct-mapped")
+    if cycles[4] > cycles[1] * 1.01:
+        errors.append("4-way cache slower than direct-mapped")
+    return CacheSensitivityResult(
+        cycles=cycles, hit_rates=hit_rates, report=report,
+        shape_errors=errors,
+    )
+
+
+@dataclass
+class HandlerSensitivityResult:
+    """S2 outcome: MTLB gain per handler cost model."""
+
+    gains: Dict[str, float]
+    report: str
+    shape_errors: List[str]
+
+
+def run_handler_sensitivity(
+    context: Optional[BenchContext] = None,
+    workload: str = "compress95",
+) -> HandlerSensitivityResult:
+    """MTLB benefit as a function of TLB-miss handling cost."""
+    context = context or BenchContext()
+    trace = context.trace(workload)
+    gains: Dict[str, float] = {}
+    rows = []
+    for label, costs in HANDLER_MODELS:
+        base_config = dataclasses.replace(
+            paper_no_mtlb(96), handler=costs
+        )
+        fast_config = dataclasses.replace(paper_mtlb(96), handler=costs)
+        base = System(base_config).run(trace)
+        fast = System(fast_config).run(trace)
+        gain = 1.0 - fast.total_cycles / base.total_cycles
+        gains[label] = gain
+        rows.append(
+            [
+                label,
+                f"{100 * base.stats.tlb_time_fraction:.1f}%",
+                f"{base.total_cycles:,}",
+                f"{fast.total_cycles:,}",
+                f"{100 * gain:+.1f}%",
+            ]
+        )
+    report = render_table(
+        ["handler model", "base TLB time", "base cycles",
+         "MTLB cycles", "MTLB gain"],
+        rows,
+        title=f"S2: MTLB gain vs TLB-miss handling cost ({workload})",
+    )
+    errors: List[str] = []
+    ordered = [gains[label] for label, _ in HANDLER_MODELS]
+    if not ordered[0] <= ordered[1] <= ordered[2]:
+        errors.append(
+            "MTLB gain does not grow with handler cost "
+            f"({['%.3f' % g for g in ordered]})"
+        )
+    return HandlerSensitivityResult(
+        gains=gains, report=report, shape_errors=errors
+    )

@@ -1,0 +1,175 @@
+"""repro-bench: run the paper's experiments from the command line.
+
+Usage::
+
+    repro-bench list                 # what can be run
+    repro-bench fig2                 # Figure 2 partition table
+    repro-bench fig3 [--quick]       # the main result matrix
+    repro-bench fig4 [--quick]       # em3d MTLB sensitivity (4A + 4B)
+    repro-bench init-costs [--quick] # Section 3.3 cost table
+    repro-bench reach [--quick]      # 64+MTLB vs 128 equivalence
+    repro-bench ablations [--quick]  # A1-A10
+    repro-bench sensitivity [--quick]# S1/S2
+    repro-bench all [--quick]        # everything, in order
+
+``--quick`` uses CI-sized inputs; without it the EXPERIMENTS.md scales
+are used (several minutes for fig3).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List
+
+from .bench import (
+    BenchContext,
+    improvement_summary,
+    measure_em3d_remap,
+    run_all_shadow_ablation,
+    run_allocator_ablation,
+    run_bit_writeback_ablation,
+    run_cache_sensitivity,
+    run_check_penalty_ablation,
+    run_fig2,
+    run_figure3,
+    run_figure4,
+    run_fragmentation_ablation,
+    run_gather_ablation,
+    run_handler_sensitivity,
+    run_multiprog_ablation,
+    run_promotion_ablation,
+    run_reach_equivalence,
+    run_recoloring_ablation,
+    run_stream_buffer_ablation,
+)
+from .workloads import PAPER_SUITE
+
+EXPERIMENTS = (
+    "fig2", "fig3", "fig4", "init-costs", "reach", "ablations",
+    "sensitivity",
+)
+
+
+def _report(title: str, report: str, errors: List[str]) -> int:
+    print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
+    print(report)
+    if errors:
+        print("\nSHAPE CHECK FAILURES:")
+        for error in errors:
+            print(f"  - {error}")
+        return 1
+    print("\nshape checks: all passed")
+    return 0
+
+
+def _run(name: str, context: BenchContext) -> int:
+    if name == "fig2":
+        report, errors = run_fig2()
+        return _report("E1 / Figure 2", report, errors)
+    if name == "fig3":
+        result = run_figure3(context, progress=True)
+        status = _report("E2 / Figure 3", result.report,
+                         result.shape_errors)
+        print("\nMTLB improvement at the 96-entry base:")
+        for w, gain in improvement_summary(
+            result.matrix, PAPER_SUITE
+        ).items():
+            print(f"  {w:12s} {gain:+.1f}%")
+        return status
+    if name == "fig4":
+        result = run_figure4(context, progress=True)
+        return _report(
+            "E3+E4 / Figure 4",
+            result.report_a + "\n\n" + result.report_b,
+            result.shape_errors,
+        )
+    if name == "init-costs":
+        result = measure_em3d_remap(context)
+        return _report("E5 / Section 3.3", result.report,
+                       result.shape_errors)
+    if name == "reach":
+        result = run_reach_equivalence(context, progress=True)
+        return _report("E6 / reach equivalence", result.report,
+                       result.shape_errors)
+    if name == "ablations":
+        status = 0
+        frag = run_fragmentation_ablation()
+        status |= _report("A1 / fragmentation", frag.report,
+                          frag.shape_errors)
+        alloc = run_allocator_ablation()
+        status |= _report("A2 / shadow allocators", alloc.report,
+                          alloc.shape_errors)
+        check = run_check_penalty_ablation(context)
+        status |= _report("A3 / shadow-check penalty", check.report,
+                          check.shape_errors)
+        promo = run_promotion_ablation(context)
+        status |= _report("A4 / online promotion", promo.report,
+                          promo.shape_errors)
+        stream = run_stream_buffer_ablation(context)
+        status |= _report("A5 / MMC stream buffers", stream.report,
+                          stream.shape_errors)
+        allshadow = run_all_shadow_ablation(context)
+        status |= _report("A6 / all-shadow mode", allshadow.report,
+                          allshadow.shape_errors)
+        recolor = run_recoloring_ablation()
+        status |= _report("A7 / page recoloring", recolor.report,
+                          recolor.shape_errors)
+        multi = run_multiprog_ablation(context)
+        status |= _report("A8 / multiprogramming", multi.report,
+                          multi.shape_errors)
+        bits = run_bit_writeback_ablation(context)
+        status |= _report("A9 / accounting-bit write-back", bits.report,
+                          bits.shape_errors)
+        gathered = run_gather_ablation()
+        status |= _report("A10 / page gather", gathered.report,
+                          gathered.shape_errors)
+        return status
+    if name == "sensitivity":
+        status = 0
+        cache = run_cache_sensitivity(context)
+        status |= _report("S1 / cache associativity", cache.report,
+                          cache.shape_errors)
+        handler = run_handler_sensitivity(context)
+        status |= _report("S2 / miss-handler cost", handler.report,
+                          handler.shape_errors)
+        return status
+    raise ValueError(f"unknown experiment {name!r}")
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns a process exit status."""
+    parser = argparse.ArgumentParser(
+        prog="repro-bench",
+        description=__doc__,
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+    )
+    parser.add_argument(
+        "experiment",
+        choices=EXPERIMENTS + ("all", "list"),
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized inputs (fast, same shape checks)",
+    )
+    parser.add_argument(
+        "--seed", type=int, default=1998, help="workload RNG seed"
+    )
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name in EXPERIMENTS:
+            print(name)
+        return 0
+
+    context = BenchContext(quick=args.quick, seed=args.seed)
+    todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    status = 0
+    for name in todo:
+        status |= _run(name, context)
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,59 @@
+"""Core mechanism of the paper: shadow memory and the memory-controller TLB.
+
+This subpackage is the paper's primary contribution in library form:
+
+* :mod:`repro.core.addrspace` — page/superpage geometry and the physical
+  memory map (DRAM, shadow window, I/O hole);
+* :mod:`repro.core.shadow_space` — allocation of shadow address ranges
+  (the Figure 2 bucket allocator, plus a buddy-system alternative);
+* :mod:`repro.core.shadow_table` — the flat in-DRAM shadow-to-physical
+  mapping table with per-base-page valid/fault/referenced/dirty bits;
+* :mod:`repro.core.mtlb` — the set-associative, NRU memory-controller TLB
+  with hardware fills and precise-fault signalling;
+* :mod:`repro.core.remap` — maximal-superpage tiling of virtual regions.
+"""
+
+from .addrspace import (
+    BASE_PAGE_SHIFT,
+    BASE_PAGE_SIZE,
+    CACHE_LINE_SHIFT,
+    CACHE_LINE_SIZE,
+    DEFAULT_MEMORY_MAP,
+    PAGE_SIZES,
+    SUPERPAGE_SIZES,
+    PhysicalMemoryMap,
+)
+from .mtlb import Mtlb, MtlbFault, MtlbStats
+from .remap import SuperpagePlan, plan_superpages, uncovered_ranges
+from .shadow_space import (
+    FIGURE2_PARTITION,
+    BucketShadowAllocator,
+    BuddyShadowAllocator,
+    ShadowRegion,
+    ShadowSpaceExhausted,
+)
+from .shadow_table import ShadowEntry, ShadowPageTable
+
+__all__ = [
+    "BASE_PAGE_SHIFT",
+    "BASE_PAGE_SIZE",
+    "CACHE_LINE_SHIFT",
+    "CACHE_LINE_SIZE",
+    "DEFAULT_MEMORY_MAP",
+    "PAGE_SIZES",
+    "SUPERPAGE_SIZES",
+    "PhysicalMemoryMap",
+    "Mtlb",
+    "MtlbFault",
+    "MtlbStats",
+    "SuperpagePlan",
+    "plan_superpages",
+    "uncovered_ranges",
+    "FIGURE2_PARTITION",
+    "BucketShadowAllocator",
+    "BuddyShadowAllocator",
+    "ShadowRegion",
+    "ShadowSpaceExhausted",
+    "ShadowEntry",
+    "ShadowPageTable",
+]

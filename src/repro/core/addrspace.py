@@ -1,0 +1,198 @@
+"""Address-space constants and bit manipulation helpers.
+
+The simulated machine follows the paper's running example (Section 2):
+
+* the processor exports **32 bits of physical address**;
+* the **base page size is 4 KB**;
+* **superpages** are powers of four times the base page, from 16 KB up to
+  16 MB, and must be virtually aligned to their own size;
+* a contiguous **shadow window** sits above installed DRAM.  "Physical"
+  addresses inside the window are not backed by DRAM; the memory controller
+  retranslates them, per 4 KB base page, onto real page frames.
+
+Everything else in the package builds on the helpers defined here, so this
+module is deliberately dependency-free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: log2 of the base page size (4 KB).
+BASE_PAGE_SHIFT = 12
+#: The base (small) page size in bytes.
+BASE_PAGE_SIZE = 1 << BASE_PAGE_SHIFT
+#: Mask selecting the offset within a base page.
+BASE_PAGE_MASK = BASE_PAGE_SIZE - 1
+
+#: Number of physical address bits exported by the processor.
+PHYS_ADDR_BITS = 32
+#: One past the largest representable physical address.
+PHYS_ADDR_LIMIT = 1 << PHYS_ADDR_BITS
+
+#: Legal superpage sizes in bytes, smallest first.  Powers of four times the
+#: base page, 16 KB .. 16 MB, matching the SGI R10000 / PA-RISC 2.0 encoding
+#: the paper targets.  The base page itself is *not* a superpage.
+SUPERPAGE_SIZES = tuple((1 << BASE_PAGE_SHIFT) << (2 * k) for k in range(1, 7))
+
+#: All legal mapping sizes (base page plus superpages), smallest first.
+PAGE_SIZES = (BASE_PAGE_SIZE,) + SUPERPAGE_SIZES
+
+#: Cache-line size used throughout the memory system (HP PA8000-like).
+CACHE_LINE_SIZE = 32
+CACHE_LINE_SHIFT = 5
+
+
+def is_power_of_two(value: int) -> bool:
+    """Return True if *value* is a positive power of two."""
+    return value > 0 and (value & (value - 1)) == 0
+
+
+def page_number(addr: int, page_size: int = BASE_PAGE_SIZE) -> int:
+    """Return the page number of *addr* for the given page size."""
+    return addr // page_size
+
+
+def page_offset(addr: int, page_size: int = BASE_PAGE_SIZE) -> int:
+    """Return the offset of *addr* within its page."""
+    return addr & (page_size - 1)
+
+
+def page_base(addr: int, page_size: int = BASE_PAGE_SIZE) -> int:
+    """Return the address of the start of the page containing *addr*."""
+    return addr & ~(page_size - 1)
+
+
+def align_up(addr: int, alignment: int) -> int:
+    """Round *addr* up to the next multiple of *alignment* (a power of 2)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (addr + alignment - 1) & ~(alignment - 1)
+
+
+def align_down(addr: int, alignment: int) -> int:
+    """Round *addr* down to a multiple of *alignment* (a power of 2)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return addr & ~(alignment - 1)
+
+
+def is_aligned(addr: int, alignment: int) -> bool:
+    """Return True if *addr* is a multiple of *alignment* (a power of 2)."""
+    if not is_power_of_two(alignment):
+        raise ValueError(f"alignment must be a power of two, got {alignment}")
+    return (addr & (alignment - 1)) == 0
+
+
+def is_superpage_size(size: int) -> bool:
+    """Return True if *size* is one of the legal superpage sizes."""
+    return size in SUPERPAGE_SIZES
+
+
+def is_mapping_size(size: int) -> bool:
+    """Return True if *size* is a legal TLB mapping size (base or super)."""
+    return size in PAGE_SIZES
+
+
+def largest_superpage_not_exceeding(size: int) -> int:
+    """Return the largest legal superpage size that is <= *size*.
+
+    Raises ValueError if *size* is smaller than the smallest superpage.
+    """
+    best = 0
+    for candidate in SUPERPAGE_SIZES:
+        if candidate <= size:
+            best = candidate
+    if best == 0:
+        raise ValueError(
+            f"no legal superpage fits in {size} bytes "
+            f"(minimum is {SUPERPAGE_SIZES[0]})"
+        )
+    return best
+
+
+def base_pages_in(size: int) -> int:
+    """Return how many base pages a region of *size* bytes spans (exact)."""
+    if size % BASE_PAGE_SIZE:
+        raise ValueError(f"size {size:#x} is not base-page aligned")
+    return size // BASE_PAGE_SIZE
+
+
+@dataclass(frozen=True)
+class PhysicalMemoryMap:
+    """Layout of the simulated 32-bit physical address space.
+
+    The map mirrors the paper's running example: installed DRAM starts at
+    address zero; a shadow window of ``shadow_size`` bytes sits at
+    ``shadow_base`` (512 MB at 0x8000_0000 by default); memory-mapped I/O
+    occupies a high hole that must never be treated as shadow memory.
+    """
+
+    dram_size: int = 256 << 20
+    shadow_base: int = 0x8000_0000
+    shadow_size: int = 512 << 20
+    io_base: int = 0xF000_0000
+    io_size: int = 0x1000_0000
+
+    def __post_init__(self) -> None:
+        if self.dram_size % BASE_PAGE_SIZE:
+            raise ValueError("dram_size must be base-page aligned")
+        if not is_aligned(self.shadow_base, SUPERPAGE_SIZES[-1]):
+            raise ValueError(
+                "shadow_base must be aligned to the largest superpage"
+            )
+        if self.shadow_size % BASE_PAGE_SIZE:
+            raise ValueError("shadow_size must be base-page aligned")
+        if self.shadow_base < self.dram_size:
+            raise ValueError("shadow window overlaps installed DRAM")
+        if self.shadow_end > self.io_base:
+            raise ValueError("shadow window overlaps the I/O hole")
+        if self.io_base + self.io_size > PHYS_ADDR_LIMIT:
+            raise ValueError("I/O hole exceeds the physical address space")
+
+    @property
+    def shadow_end(self) -> int:
+        """One past the last shadow address."""
+        return self.shadow_base + self.shadow_size
+
+    @property
+    def dram_frames(self) -> int:
+        """Number of installed 4 KB DRAM page frames."""
+        return self.dram_size // BASE_PAGE_SIZE
+
+    @property
+    def shadow_pages(self) -> int:
+        """Number of 4 KB shadow pages in the window."""
+        return self.shadow_size // BASE_PAGE_SIZE
+
+    def is_dram(self, paddr: int) -> bool:
+        """Return True if *paddr* falls inside installed DRAM."""
+        return 0 <= paddr < self.dram_size
+
+    def is_shadow(self, paddr: int) -> bool:
+        """Return True if *paddr* falls inside the shadow window.
+
+        This is the classification the MMC performs on every cache-fill
+        request (Section 2.2); the simulator charges one MMC cycle for it.
+        """
+        return self.shadow_base <= paddr < self.shadow_end
+
+    def is_io(self, paddr: int) -> bool:
+        """Return True if *paddr* falls inside the memory-mapped I/O hole."""
+        return self.io_base <= paddr < self.io_base + self.io_size
+
+    def shadow_page_index(self, paddr: int) -> int:
+        """Return the base-page index of *paddr* within the shadow window."""
+        if not self.is_shadow(paddr):
+            raise ValueError(f"{paddr:#010x} is not a shadow address")
+        return (paddr - self.shadow_base) >> BASE_PAGE_SHIFT
+
+    def shadow_addr_of_index(self, index: int) -> int:
+        """Return the shadow address of shadow base page *index*."""
+        if not 0 <= index < self.shadow_pages:
+            raise ValueError(f"shadow page index {index} out of range")
+        return self.shadow_base + (index << BASE_PAGE_SHIFT)
+
+
+#: Default memory map used by the paper-preset configurations.
+DEFAULT_MEMORY_MAP = PhysicalMemoryMap()

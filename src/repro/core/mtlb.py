@@ -1,0 +1,229 @@
+"""The Memory-Controller TLB (paper Section 2.2).
+
+The MTLB caches shadow-page -> real-frame translations inside the main
+memory controller.  Compared to a CPU TLB it can afford to be big and
+simple: it supports a single base page size, needs only one port, and uses
+a modest set-associative structure (default 128 entries, 2-way) with
+not-recently-used replacement.  Misses are filled by hardware with a single
+DRAM load from the flat :class:`~repro.core.shadow_table.ShadowPageTable`.
+
+The MTLB also maintains the per-base-page *referenced*/*dirty* bits that
+make shadow-backed superpages pageable at base-page granularity
+(Section 2.5): a shared cache fill marks the base page referenced, an
+exclusive fill marks it dirty.  An access to an entry whose valid bit is
+clear raises :class:`MtlbFault`, modelling the precise-exception signalling
+discussed in Section 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .addrspace import is_power_of_two
+from .shadow_table import PFN_MASK, VALID_BIT, ShadowPageTable
+
+
+class MtlbFault(Exception):
+    """An access touched a shadow base page whose mapping is not valid.
+
+    The MMC turns this into a (simulated) precise exception — the paper's
+    bad-parity trick — and the OS services it as a page fault.
+    """
+
+    def __init__(self, shadow_index: int, is_write: bool) -> None:
+        super().__init__(
+            f"MTLB fault on shadow page {shadow_index:#x} "
+            f"({'write' if is_write else 'read'})"
+        )
+        self.shadow_index = shadow_index
+        self.is_write = is_write
+
+
+@dataclass
+class MtlbStats:
+    """Event counters for one MTLB instance."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    fills: int = 0
+    faults: int = 0
+    purges: int = 0
+    evictions: int = 0
+    #: First-time referenced/dirty bit updates that would be written
+    #: back to the in-DRAM table (Section 3.4 notes the simulated MTLB
+    #: skipped this; ablation A9 charges it and checks "negligible").
+    bit_writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups that hit (0.0 if there were none)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Way:
+    """One MTLB entry: a cached copy of a shadow-table entry."""
+
+    shadow_index: int
+    pfn: int
+    valid: bool
+    nru_referenced: bool = True
+    #: Accounting bits already propagated to the in-DRAM table by this
+    #: cached copy (further accesses need no table update).
+    ref_written: bool = False
+    dirty_written: bool = False
+
+
+class Mtlb:
+    """Set-associative, NRU-replacement memory-controller TLB.
+
+    ``associativity=0`` selects full associativity (one set of
+    ``entries`` ways), matching the "full" configurations of Figure 4.
+    """
+
+    def __init__(
+        self,
+        table: ShadowPageTable,
+        entries: int = 128,
+        associativity: int = 2,
+    ) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        if associativity == 0:
+            associativity = entries
+        if associativity < 0 or entries % associativity:
+            raise ValueError(
+                f"{entries} entries cannot be divided into "
+                f"{associativity}-way sets"
+            )
+        num_sets = entries // associativity
+        if not is_power_of_two(num_sets):
+            raise ValueError(f"number of sets ({num_sets}) must be a power of 2")
+        self.table = table
+        self.entries = entries
+        self.associativity = associativity
+        self.num_sets = num_sets
+        self._set_mask = num_sets - 1
+        self._sets: List[Dict[int, _Way]] = [dict() for _ in range(num_sets)]
+        self.stats = MtlbStats()
+        #: Set by :meth:`access` when the access updated an accounting
+        #: bit for the first time on this cached way; the MMC consumes
+        #: it to charge the (optional) table write-back.
+        self.pending_bit_write = False
+
+    # ------------------------------------------------------------------ #
+    # Lookup / fill
+    # ------------------------------------------------------------------ #
+
+    def probe(self, shadow_index: int) -> Optional[_Way]:
+        """Return the cached way for *shadow_index* without counting stats."""
+        return self._sets[shadow_index & self._set_mask].get(shadow_index)
+
+    def access(self, shadow_index: int, is_write: bool) -> Tuple[int, bool]:
+        """Translate shadow base page *shadow_index* to a real PFN.
+
+        Returns ``(pfn, filled)`` where *filled* is True if the access
+        missed in the MTLB and required a hardware fill (one DRAM access,
+        which the caller charges for).  Updates the per-base-page
+        referenced/dirty bits in the shadow page table.  Raises
+        :class:`MtlbFault` if the mapping is not valid.
+        """
+        self.stats.lookups += 1
+        way_set = self._sets[shadow_index & self._set_mask]
+        way = way_set.get(shadow_index)
+        filled = False
+        if way is not None:
+            self.stats.hits += 1
+            way.nru_referenced = True
+        else:
+            self.stats.misses += 1
+            way = self._fill(shadow_index, way_set)
+            filled = True
+        if not way.valid:
+            self.stats.faults += 1
+            self.table.set_fault(shadow_index)
+            raise MtlbFault(shadow_index, is_write)
+        self.pending_bit_write = False
+        if is_write:
+            self.table.set_dirty(shadow_index)
+            if not way.dirty_written:
+                way.dirty_written = True
+                way.ref_written = True
+                self.pending_bit_write = True
+                self.stats.bit_writebacks += 1
+        else:
+            self.table.set_referenced(shadow_index)
+            if not way.ref_written:
+                way.ref_written = True
+                self.pending_bit_write = True
+                self.stats.bit_writebacks += 1
+        return way.pfn, filled
+
+    def _fill(self, shadow_index: int, way_set: Dict[int, _Way]) -> _Way:
+        """Hardware fill: load the packed entry from the in-DRAM table."""
+        self.stats.fills += 1
+        raw = self.table.read_raw(shadow_index)
+        way = _Way(
+            shadow_index=shadow_index,
+            pfn=raw & PFN_MASK,
+            valid=bool(raw & VALID_BIT),
+        )
+        if len(way_set) >= self.associativity:
+            self._evict(way_set)
+        way_set[shadow_index] = way
+        return way
+
+    def _evict(self, way_set: Dict[int, _Way]) -> None:
+        """NRU eviction: prefer a way whose referenced bit is clear."""
+        victim_key = None
+        for key, way in way_set.items():
+            if not way.nru_referenced:
+                victim_key = key
+                break
+        if victim_key is None:
+            # All ways recently used: clear every referenced bit, then
+            # evict the first way (standard NRU epoch reset).
+            for way in way_set.values():
+                way.nru_referenced = False
+            victim_key = next(iter(way_set))
+        del way_set[victim_key]
+        self.stats.evictions += 1
+
+    # ------------------------------------------------------------------ #
+    # OS control-register operations (uncached writes in the paper)
+    # ------------------------------------------------------------------ #
+
+    def purge(self, shadow_index: int) -> None:
+        """Invalidate any cached copy of one shadow page's mapping."""
+        way_set = self._sets[shadow_index & self._set_mask]
+        if way_set.pop(shadow_index, None) is not None:
+            self.stats.purges += 1
+
+    def purge_range(self, first_index: int, count: int) -> None:
+        """Invalidate cached mappings for a run of shadow base pages."""
+        for idx in range(first_index, first_index + count):
+            self.purge(idx)
+
+    def purge_all(self) -> None:
+        """Invalidate the whole MTLB."""
+        for way_set in self._sets:
+            self.stats.purges += len(way_set)
+            way_set.clear()
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def occupancy(self) -> int:
+        """Number of currently cached translations."""
+        return sum(len(s) for s in self._sets)
+
+    def cached_indices(self) -> List[int]:
+        """Return the shadow page indices currently cached (for tests)."""
+        out: List[int] = []
+        for way_set in self._sets:
+            out.extend(way_set.keys())
+        return sorted(out)

@@ -1,0 +1,96 @@
+"""Superpage tiling for virtual regions (paper Section 2.4).
+
+Given a virtual address range, the mapping algorithm rounds the start up to
+the smallest superpage boundary (any sub-16 KB head stays on base pages),
+then walks the region creating *maximally sized* superpages: at each point
+it picks the largest legal superpage size to which the cursor is virtually
+aligned and that still fits in the remaining region.  Any sub-16 KB tail
+also stays on base pages.
+
+Only virtual alignment matters — the whole point of shadow memory is that
+the backing physical pages need not be contiguous or aligned at all.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .addrspace import (
+    BASE_PAGE_SIZE,
+    SUPERPAGE_SIZES,
+    align_up,
+    is_aligned,
+)
+
+_MIN_SUPERPAGE = SUPERPAGE_SIZES[0]
+_SIZES_DESCENDING = tuple(sorted(SUPERPAGE_SIZES, reverse=True))
+
+
+@dataclass(frozen=True)
+class SuperpagePlan:
+    """One planned superpage: a virtual base and a legal superpage size."""
+
+    vaddr: int
+    size: int
+
+    @property
+    def end(self) -> int:
+        """One past the last virtual address covered."""
+        return self.vaddr + self.size
+
+
+def plan_superpages(start: int, length: int) -> List[SuperpagePlan]:
+    """Tile ``[start, start+length)`` with maximal superpages.
+
+    Returns the list of planned superpages in ascending address order.
+    Regions (or head/tail fragments) smaller than the minimum superpage are
+    simply not covered; the caller leaves them on base pages.
+    """
+    if start < 0 or length < 0:
+        raise ValueError("start and length must be non-negative")
+    if start % BASE_PAGE_SIZE or length % BASE_PAGE_SIZE:
+        raise ValueError("region must be base-page aligned")
+    end = start + length
+    cursor = align_up(start, _MIN_SUPERPAGE)
+    plans: List[SuperpagePlan] = []
+    while cursor + _MIN_SUPERPAGE <= end:
+        size = _best_size(cursor, end)
+        plans.append(SuperpagePlan(cursor, size))
+        cursor += size
+    return plans
+
+
+def _best_size(cursor: int, end: int) -> int:
+    """Largest legal superpage aligned at *cursor* that fits before *end*."""
+    remaining = end - cursor
+    for size in _SIZES_DESCENDING:
+        if size <= remaining and is_aligned(cursor, size):
+            return size
+    raise AssertionError(
+        "unreachable: cursor is 16KB-aligned with >=16KB remaining"
+    )
+
+
+def uncovered_ranges(
+    start: int, length: int, plans: List[SuperpagePlan]
+) -> List[Tuple[int, int]]:
+    """Return the (start, length) fragments of the region not in *plans*.
+
+    These are the head/tail pieces that remain mapped with base pages.
+    """
+    out: List[Tuple[int, int]] = []
+    cursor = start
+    for plan in plans:
+        if plan.vaddr > cursor:
+            out.append((cursor, plan.vaddr - cursor))
+        cursor = plan.end
+    end = start + length
+    if cursor < end:
+        out.append((cursor, end - cursor))
+    return out
+
+
+def covered_bytes(plans: List[SuperpagePlan]) -> int:
+    """Total bytes covered by the planned superpages."""
+    return sum(plan.size for plan in plans)

@@ -1,0 +1,280 @@
+"""Allocation of shadow physical address ranges (paper Section 2.4).
+
+The shadow window is large relative to the superpages the OS creates, so the
+paper uses a deliberately simple scheme: the window is statically carved into
+*buckets* of each legal superpage size (Figure 2), and superpage creation
+takes any free region from the right bucket.  The paper also suggests that a
+buddy-system allocator that splits and recombines regions "should also be
+used" if regions become sparse; we implement that as an alternative
+allocator so the two can be compared (ablation A2 in DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from .addrspace import (
+    PhysicalMemoryMap,
+    SUPERPAGE_SIZES,
+    is_aligned,
+    is_superpage_size,
+)
+
+
+class ShadowSpaceExhausted(Exception):
+    """Raised when no shadow region of the requested size is available."""
+
+
+@dataclass(frozen=True)
+class ShadowRegion:
+    """A contiguous, size-aligned region of shadow physical addresses."""
+
+    base: int
+    size: int
+
+    def __post_init__(self) -> None:
+        if not is_superpage_size(self.size):
+            raise ValueError(f"{self.size:#x} is not a legal superpage size")
+        if not is_aligned(self.base, self.size):
+            raise ValueError(
+                f"shadow region base {self.base:#010x} is not aligned "
+                f"to its size {self.size:#x}"
+            )
+
+    @property
+    def end(self) -> int:
+        """One past the last address of the region."""
+        return self.base + self.size
+
+    def overlaps(self, other: "ShadowRegion") -> bool:
+        """Return True if this region shares any address with *other*."""
+        return self.base < other.end and other.base < self.end
+
+
+#: The static partition of a 512 MB shadow window used in the paper's
+#: Figure 2: (superpage size, count) pairs, smallest first.
+FIGURE2_PARTITION: Tuple[Tuple[int, int], ...] = (
+    (16 << 10, 1024),
+    (64 << 10, 256),
+    (256 << 10, 128),
+    (1024 << 10, 64),
+    (4096 << 10, 32),
+    (16384 << 10, 16),
+)
+
+
+def partition_extent(partition: Iterable[Tuple[int, int]]) -> int:
+    """Return the total address-space extent of a (size, count) partition."""
+    return sum(size * count for size, count in partition)
+
+
+class BucketShadowAllocator:
+    """The paper's bucket allocator for shadow superpage regions.
+
+    The shadow window is pre-partitioned into fixed pools of each legal
+    superpage size.  ``allocate`` pops any free region from the requested
+    size's pool; ``free`` returns it.  Running a pool dry raises
+    :class:`ShadowSpaceExhausted` — exactly the limitation Section 2.4
+    acknowledges ("it is possible to run out of a particular sized region").
+    """
+
+    def __init__(
+        self,
+        memory_map: PhysicalMemoryMap,
+        partition: Iterable[Tuple[int, int]] = FIGURE2_PARTITION,
+    ) -> None:
+        self.memory_map = memory_map
+        self.partition: Tuple[Tuple[int, int], ...] = tuple(partition)
+        extent = partition_extent(self.partition)
+        if extent > memory_map.shadow_size:
+            raise ValueError(
+                f"partition extent {extent:#x} exceeds shadow window "
+                f"size {memory_map.shadow_size:#x}"
+            )
+        self._free: Dict[int, List[int]] = {}
+        self._allocated: Dict[int, int] = {}
+        self._carve()
+
+    def _carve(self) -> None:
+        """Carve the shadow window into the configured buckets.
+
+        Regions are laid out largest-size-first so that every region is
+        naturally aligned to its own size without padding (the window base
+        is aligned to the largest superpage).
+        """
+        cursor = self.memory_map.shadow_base
+        for size, count in sorted(self.partition, reverse=True):
+            pool = self._free.setdefault(size, [])
+            for _ in range(count):
+                pool.append(cursor)
+                cursor += size
+        self._carve_end = cursor
+
+    def available(self, size: int) -> int:
+        """Return how many free regions of *size* remain."""
+        return len(self._free.get(size, ()))
+
+    def capacity(self, size: int) -> int:
+        """Return how many regions of *size* the partition holds in total."""
+        for psize, count in self.partition:
+            if psize == size:
+                return count
+        return 0
+
+    def allocate(self, size: int) -> ShadowRegion:
+        """Allocate a free shadow region of exactly *size* bytes.
+
+        Raises :class:`ShadowSpaceExhausted` if the pool for *size* is
+        empty (there is no splitting or coalescing in the bucket scheme).
+        """
+        if not is_superpage_size(size):
+            raise ValueError(f"{size:#x} is not a legal superpage size")
+        pool = self._free.get(size)
+        if not pool:
+            raise ShadowSpaceExhausted(
+                f"no free shadow regions of size {size:#x}"
+            )
+        base = pool.pop()
+        self._allocated[base] = size
+        return ShadowRegion(base, size)
+
+    def allocate_colored(
+        self, size: int, color: int, colors: int
+    ) -> Tuple[ShadowRegion, int]:
+        """Allocate a region containing a base page of cache *color*.
+
+        Returns ``(region, page_index)`` where ``page_index`` is the
+        base page within the region whose physical cache color is
+        *color*.  Used by the no-copy page-recoloring extension: the OS
+        picks the shadow name of a page to choose its cache placement.
+        """
+        if not is_superpage_size(size):
+            raise ValueError(f"{size:#x} is not a legal superpage size")
+        if not 0 <= color < colors:
+            raise ValueError(f"color {color} out of range 0..{colors - 1}")
+        pool = self._free.get(size, [])
+        pages = size >> 12
+        for i, base in enumerate(pool):
+            base_color = (base >> 12) % colors
+            for k in range(pages):
+                if (base_color + k) % colors == color:
+                    pool.pop(i)
+                    self._allocated[base] = size
+                    return ShadowRegion(base, size), k
+        raise ShadowSpaceExhausted(
+            f"no free shadow region of size {size:#x} covers color {color}"
+        )
+
+    def free(self, region: ShadowRegion) -> None:
+        """Return *region* to its pool."""
+        size = self._allocated.pop(region.base, None)
+        if size is None:
+            raise ValueError(
+                f"shadow region {region.base:#010x} is not allocated"
+            )
+        if size != region.size:
+            raise ValueError(
+                f"shadow region {region.base:#010x} was allocated with "
+                f"size {size:#x}, freed with {region.size:#x}"
+            )
+        self._free[size].append(region.base)
+
+    @property
+    def allocated_regions(self) -> int:
+        """Number of currently allocated regions."""
+        return len(self._allocated)
+
+    def describe(self) -> List[Tuple[int, int, int]]:
+        """Return (size, count, extent) rows reproducing Figure 2."""
+        return [
+            (size, count, size * count) for size, count in self.partition
+        ]
+
+
+class BuddyShadowAllocator:
+    """Buddy-system allocator over the shadow window (paper future work).
+
+    Splits and recombines power-of-four regions.  Because legal superpage
+    sizes step by a factor of four, splitting one region yields four
+    buddies of the next size down.  A 16 KB region never splits further
+    (16 KB is the smallest superpage).
+    """
+
+    _SIZES = tuple(sorted(SUPERPAGE_SIZES, reverse=True))
+
+    def __init__(self, memory_map: PhysicalMemoryMap) -> None:
+        self.memory_map = memory_map
+        self._free: Dict[int, set] = {size: set() for size in SUPERPAGE_SIZES}
+        self._allocated: Dict[int, int] = {}
+        largest = self._SIZES[0]
+        cursor = memory_map.shadow_base
+        end = memory_map.shadow_base + memory_map.shadow_size
+        while cursor + largest <= end:
+            self._free[largest].add(cursor)
+            cursor += largest
+
+    def available(self, size: int) -> int:
+        """Return how many free regions of exactly *size* exist right now."""
+        return len(self._free.get(size, ()))
+
+    def allocate(self, size: int) -> ShadowRegion:
+        """Allocate a region of *size*, splitting larger regions as needed."""
+        if not is_superpage_size(size):
+            raise ValueError(f"{size:#x} is not a legal superpage size")
+        base = self._take(size)
+        if base is None:
+            raise ShadowSpaceExhausted(
+                f"no free shadow regions of size {size:#x} and none to split"
+            )
+        self._allocated[base] = size
+        return ShadowRegion(base, size)
+
+    def _take(self, size: int) -> Optional[int]:
+        pool = self._free[size]
+        if pool:
+            return pool.pop()
+        # Split the next size up (factor of four).
+        bigger = size * 4
+        if bigger not in self._free:
+            return None
+        parent = self._take(bigger)
+        if parent is None:
+            return None
+        # Keep the first quarter; free the other three buddies.
+        for k in range(1, 4):
+            self._free[size].add(parent + k * size)
+        return parent
+
+    def free(self, region: ShadowRegion) -> None:
+        """Free *region*, recombining complete buddy quads upward."""
+        size = self._allocated.pop(region.base, None)
+        if size is None:
+            raise ValueError(
+                f"shadow region {region.base:#010x} is not allocated"
+            )
+        if size != region.size:
+            raise ValueError(
+                f"shadow region {region.base:#010x} was allocated with "
+                f"size {size:#x}, freed with {region.size:#x}"
+            )
+        self._release(region.base, size)
+
+    def _release(self, base: int, size: int) -> None:
+        bigger = size * 4
+        if bigger in self._free:
+            quad_base = base - (base - self.memory_map.shadow_base) % bigger
+            buddies = [quad_base + k * size for k in range(4)]
+            pool = self._free[size]
+            others = [b for b in buddies if b != base]
+            if all(b in pool for b in others):
+                for b in others:
+                    pool.remove(b)
+                self._release(quad_base, bigger)
+                return
+        self._free[size].add(base)
+
+    @property
+    def allocated_regions(self) -> int:
+        """Number of currently allocated regions."""
+        return len(self._allocated)

@@ -1,0 +1,203 @@
+"""The MMC's flat shadow-to-physical mapping table (paper Section 2.2).
+
+The table is a dense array with one 4-byte entry per base page of the shadow
+window, indexed directly by shadow page offset — no tree walk, which is what
+makes a hardware MTLB fill trivial: shift the shadow page index left by two
+and add the table's physical base address.
+
+Each entry packs a 24-bit real page frame number (enough to map 64 GB of
+real memory) plus *valid*, *fault*, *referenced* and *modified* (dirty)
+bits, with room left over, exactly as the paper describes.  The table lives
+at a physical base address inside simulated DRAM, so every MTLB fill costs
+the simulator a DRAM access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+from .addrspace import PhysicalMemoryMap
+
+#: Entry field layout (bit positions within the 32-bit entry).
+PFN_BITS = 24
+PFN_MASK = (1 << PFN_BITS) - 1
+VALID_BIT = 1 << 24
+FAULT_BIT = 1 << 25
+REF_BIT = 1 << 26
+DIRTY_BIT = 1 << 27
+
+#: Size of one table entry in bytes (drives MTLB fill address arithmetic).
+ENTRY_BYTES = 4
+
+
+@dataclass(frozen=True)
+class ShadowEntry:
+    """Decoded view of one shadow-table entry."""
+
+    pfn: int
+    valid: bool
+    fault: bool
+    referenced: bool
+    dirty: bool
+
+    @classmethod
+    def decode(cls, raw: int) -> "ShadowEntry":
+        """Decode a packed 32-bit entry."""
+        return cls(
+            pfn=raw & PFN_MASK,
+            valid=bool(raw & VALID_BIT),
+            fault=bool(raw & FAULT_BIT),
+            referenced=bool(raw & REF_BIT),
+            dirty=bool(raw & DIRTY_BIT),
+        )
+
+    def encode(self) -> int:
+        """Pack the entry back into its 32-bit form."""
+        raw = self.pfn & PFN_MASK
+        if self.valid:
+            raw |= VALID_BIT
+        if self.fault:
+            raw |= FAULT_BIT
+        if self.referenced:
+            raw |= REF_BIT
+        if self.dirty:
+            raw |= DIRTY_BIT
+        return raw
+
+
+class ShadowPageTable:
+    """Dense shadow-page-index -> packed-entry array, plus its DRAM address.
+
+    The OS writes mappings through :meth:`set_mapping` (modelling the
+    uncached control-register writes of Section 2.4); the MTLB fill engine
+    reads packed entries with :meth:`read_raw` and computes the DRAM
+    address it would fetch with :meth:`entry_paddr`.
+    """
+
+    def __init__(
+        self, memory_map: PhysicalMemoryMap, table_base: int = 0
+    ) -> None:
+        if not memory_map.is_dram(table_base):
+            raise ValueError(
+                f"table base {table_base:#010x} must lie in installed DRAM"
+            )
+        table_bytes = memory_map.shadow_pages * ENTRY_BYTES
+        if not memory_map.is_dram(table_base + table_bytes - 1):
+            raise ValueError("shadow page table does not fit in DRAM")
+        self.memory_map = memory_map
+        self.table_base = table_base
+        self._entries = np.zeros(memory_map.shadow_pages, dtype=np.uint32)
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def size_bytes(self) -> int:
+        """Total size of the table in bytes (0.1% overhead in the paper)."""
+        return int(self._entries.size) * ENTRY_BYTES
+
+    def entry_paddr(self, shadow_index: int) -> int:
+        """Physical DRAM address of the entry for shadow page *shadow_index*.
+
+        This is the address the MTLB fill hardware loads: the shadow page
+        index left-shifted by two (4-byte entries) plus the table base.
+        """
+        return self.table_base + (shadow_index << 2)
+
+    def index_for_paddr(self, shadow_paddr: int) -> int:
+        """Return the table index for a shadow physical address."""
+        return self.memory_map.shadow_page_index(shadow_paddr)
+
+    # ------------------------------------------------------------------ #
+    # OS-side mapping management
+    # ------------------------------------------------------------------ #
+
+    def set_mapping(
+        self, shadow_index: int, pfn: int, valid: bool = True
+    ) -> None:
+        """Install (or replace) the mapping for one shadow base page."""
+        if not 0 <= pfn <= PFN_MASK:
+            raise ValueError(f"pfn {pfn:#x} does not fit in {PFN_BITS} bits")
+        raw = pfn
+        if valid:
+            raw |= VALID_BIT
+        self._entries[shadow_index] = raw
+
+    def clear_mapping(self, shadow_index: int) -> None:
+        """Remove the mapping for one shadow base page entirely."""
+        self._entries[shadow_index] = 0
+
+    def invalidate(self, shadow_index: int, fault: bool = False) -> None:
+        """Mark a mapping not-present (e.g. its base page was paged out).
+
+        The PFN and accounting bits are retained; the *fault* bit can be set
+        when the MTLB signals an access to the invalid page (Section 4's
+        imprecise-exception workaround).
+        """
+        raw = int(self._entries[shadow_index])
+        raw &= ~VALID_BIT & 0xFFFFFFFF
+        if fault:
+            raw |= FAULT_BIT
+        self._entries[shadow_index] = raw
+
+    def revalidate(self, shadow_index: int, pfn: Optional[int] = None) -> None:
+        """Mark a mapping present again after a page-in.
+
+        The fault bit is cleared; if *pfn* is given the page may have been
+        brought back into a different frame.
+        """
+        raw = int(self._entries[shadow_index])
+        if pfn is not None:
+            if not 0 <= pfn <= PFN_MASK:
+                raise ValueError(f"pfn {pfn:#x} out of range")
+            raw = (raw & ~PFN_MASK) | pfn
+        raw |= VALID_BIT
+        raw &= ~FAULT_BIT & 0xFFFFFFFF
+        self._entries[shadow_index] = raw
+
+    # ------------------------------------------------------------------ #
+    # MTLB-side access
+    # ------------------------------------------------------------------ #
+
+    def read_raw(self, shadow_index: int) -> int:
+        """Return the packed entry (what the fill hardware loads)."""
+        return int(self._entries[shadow_index])
+
+    def entry(self, shadow_index: int) -> ShadowEntry:
+        """Return the decoded entry for *shadow_index*."""
+        return ShadowEntry.decode(int(self._entries[shadow_index]))
+
+    def set_referenced(self, shadow_index: int) -> None:
+        """Set the per-base-page referenced bit (on an MMC read fill)."""
+        self._entries[shadow_index] |= np.uint32(REF_BIT)
+
+    def set_dirty(self, shadow_index: int) -> None:
+        """Set the per-base-page dirty bit (on an exclusive fill)."""
+        self._entries[shadow_index] |= np.uint32(DIRTY_BIT | REF_BIT)
+
+    def set_fault(self, shadow_index: int) -> None:
+        """Record that an access to an invalid entry generated a fault."""
+        self._entries[shadow_index] |= np.uint32(FAULT_BIT)
+
+    def clear_referenced(self, shadow_index: int) -> None:
+        """Clear the referenced bit (CLOCK hand sweep)."""
+        self._entries[shadow_index] &= np.uint32(~REF_BIT & 0xFFFFFFFF)
+
+    def clear_dirty(self, shadow_index: int) -> None:
+        """Clear the dirty bit (after the OS cleans the base page)."""
+        self._entries[shadow_index] &= np.uint32(~DIRTY_BIT & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------ #
+    # Iteration helpers used by the pager
+    # ------------------------------------------------------------------ #
+
+    def entries_in_range(
+        self, first_index: int, count: int
+    ) -> Iterator[Tuple[int, ShadowEntry]]:
+        """Yield (index, decoded entry) for a run of shadow base pages."""
+        for idx in range(first_index, first_index + count):
+            yield idx, ShadowEntry.decode(int(self._entries[idx]))

@@ -1,0 +1,34 @@
+"""Processor-side MMU models: TLBs and the software miss handler.
+
+* :mod:`repro.cpu.tlb` — the unified, fully associative, variable-page-size
+  CPU TLB with NRU replacement;
+* :mod:`repro.cpu.micro_itlb` — the single-entry instruction micro-TLB;
+* :mod:`repro.cpu.block_tlb` — the pinned kernel block mapping;
+* :mod:`repro.cpu.miss_handler` — the trap-based software refill path that
+  probes the hashed page table through the data cache.
+"""
+
+from .block_tlb import BlockTlb
+from .micro_itlb import MicroItlb, MicroItlbStats
+from .miss_handler import (
+    MissHandlerCosts,
+    MissHandlerStats,
+    PageFault,
+    RefillResult,
+    SoftwareMissHandler,
+)
+from .tlb import Tlb, TlbEntry, TlbStats
+
+__all__ = [
+    "BlockTlb",
+    "MicroItlb",
+    "MicroItlbStats",
+    "MissHandlerCosts",
+    "MissHandlerStats",
+    "PageFault",
+    "RefillResult",
+    "SoftwareMissHandler",
+    "Tlb",
+    "TlbEntry",
+    "TlbStats",
+]

@@ -1,0 +1,44 @@
+"""The pinned kernel block-TLB entry.
+
+The paper maps kernel code and data with a single block TLB entry that is
+not subject to replacement, so kernel accesses (including the software TLB
+miss handler's hashed-page-table probes) never recurse into TLB misses.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..core.addrspace import BASE_PAGE_SIZE
+from .tlb import TlbEntry
+
+
+class BlockTlb:
+    """A single unevictable translation covering the kernel's range."""
+
+    def __init__(self, vbase: int, pbase: int, size: int) -> None:
+        if size <= 0 or size % BASE_PAGE_SIZE:
+            raise ValueError("block entry size must be page aligned, positive")
+        if vbase % BASE_PAGE_SIZE or pbase % BASE_PAGE_SIZE:
+            raise ValueError("block entry bases must be page aligned")
+        self.entry = TlbEntry(
+            vbase=vbase, pbase=pbase, size=size, supervisor=True
+        )
+        self.hits = 0
+
+    def lookup(self, vaddr: int) -> Optional[TlbEntry]:
+        """Return the block entry if it covers *vaddr*, else None."""
+        entry = self.entry
+        if entry.vbase <= vaddr < entry.vbase + entry.size:
+            self.hits += 1
+            return entry
+        return None
+
+    def translate(self, vaddr: int) -> int:
+        """Translate a kernel virtual address (must be covered)."""
+        entry = self.lookup(vaddr)
+        if entry is None:
+            raise ValueError(
+                f"{vaddr:#010x} is outside the kernel block mapping"
+            )
+        return entry.translate(vaddr)

@@ -1,0 +1,50 @@
+"""Single-entry micro-ITLB for instruction translations.
+
+The paper's simulator models a one-entry micro-ITLB holding the most recent
+instruction translation in front of the main unified TLB.  Because the
+instruction cache is assumed perfect, the only instruction-side events that
+cost anything are micro-ITLB misses that fall through to the main TLB (and,
+rarely, to the software miss handler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from .tlb import TlbEntry
+
+
+@dataclass
+class MicroItlbStats:
+    """Event counters for the micro-ITLB."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+
+
+class MicroItlb:
+    """Holds the single most recent instruction-page translation."""
+
+    def __init__(self) -> None:
+        self._entry: Optional[TlbEntry] = None
+        self.stats = MicroItlbStats()
+
+    def lookup(self, vaddr: int) -> Optional[TlbEntry]:
+        """Return the cached entry if it covers *vaddr*, else None."""
+        self.stats.lookups += 1
+        entry = self._entry
+        if entry is not None and entry.vbase <= vaddr < entry.vend:
+            self.stats.hits += 1
+            return entry
+        self.stats.misses += 1
+        return None
+
+    def refill(self, entry: TlbEntry) -> None:
+        """Replace the cached translation (after a main-TLB lookup)."""
+        self._entry = entry
+
+    def invalidate(self) -> None:
+        """Drop the cached translation (on shootdowns)."""
+        self._entry = None

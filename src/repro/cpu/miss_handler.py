@@ -1,0 +1,127 @@
+"""Software TLB miss handling (trap-based refill).
+
+The paper's CPU TLB misses trap to a software routine that probes a 16 K
+entry hashed page table (HPT) with 16-byte entries — the hashed translation
+table model used by HP PA-RISC.  The handler's cost is therefore partly
+fixed (trap entry/exit, hashing, TLB insert) and partly *memory-system
+dependent*: each HPT probe is a kernel load that goes through the data
+cache and may itself miss, which is exactly why CPU TLB thrashing is so
+expensive and why page tables "compete with program data for cache space"
+(Section 3.5).
+
+This module models the handler.  It is wired at system-build time with the
+kernel's HPT and a ``kernel_access`` callback that performs a timed load
+through the simulated memory hierarchy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Optional
+
+from .tlb import TlbEntry
+
+
+class PageFault(Exception):
+    """The faulting virtual address has no mapping at all."""
+
+    def __init__(self, vaddr: int) -> None:
+        super().__init__(f"page fault at {vaddr:#010x}")
+        self.vaddr = vaddr
+
+
+@dataclass(frozen=True)
+class MissHandlerCosts:
+    """Fixed instruction costs of the software refill path (CPU cycles).
+
+    The memory-access portion of each probe is *not* included here; it is
+    charged by the memory hierarchy as the probes execute.
+    """
+
+    trap_overhead: int = 24
+    hash_compute: int = 8
+    probe_compare: int = 6
+    tlb_insert: int = 8
+    segment_walk: int = 180
+
+
+@dataclass
+class MissHandlerStats:
+    """Event counters for the software refill path."""
+
+    refills: int = 0
+    probes: int = 0
+    segment_walks: int = 0
+    total_cycles: int = 0
+
+
+@dataclass
+class RefillResult:
+    """Outcome of one software refill."""
+
+    entry: TlbEntry
+    cycles: int
+
+
+class SoftwareMissHandler:
+    """Trap-based TLB refill through the hashed page table.
+
+    ``hpt`` must provide ``probe(vpn) -> (mapping_or_None, probe_paddrs)``
+    and ``install(vpn) -> (mapping, probe_paddrs)`` (the slow segment-table
+    walk that repopulates the HPT); both come from
+    :class:`repro.os_model.hpt.HashedPageTable`.
+    """
+
+    def __init__(
+        self,
+        hpt,
+        costs: Optional[MissHandlerCosts] = None,
+    ) -> None:
+        self.hpt = hpt
+        self.costs = costs or MissHandlerCosts()
+        self.stats = MissHandlerStats()
+
+    def handle(
+        self,
+        vaddr: int,
+        kernel_access: Callable[[int, bool], int],
+    ) -> RefillResult:
+        """Service a TLB miss for *vaddr*.
+
+        *kernel_access(paddr, is_write)* performs one timed kernel memory
+        access through the cache hierarchy and returns its cycle cost.
+        Raises :class:`PageFault` if no mapping exists.
+        """
+        costs = self.costs
+        cycles = costs.trap_overhead + costs.hash_compute
+        vpn = vaddr >> 12
+
+        mapping, probe_paddrs = self.hpt.probe(vpn)
+        for paddr in probe_paddrs:
+            cycles += costs.probe_compare
+            cycles += kernel_access(paddr, False)
+        self.stats.probes += len(probe_paddrs)
+
+        if mapping is None:
+            # HPT miss: the handler falls back to the OS segment tables,
+            # then installs a fresh HPT entry for this base page.
+            self.stats.segment_walks += 1
+            cycles += costs.segment_walk
+            mapping, install_paddrs = self.hpt.install(vpn)
+            for paddr in install_paddrs:
+                cycles += kernel_access(paddr, True)
+            if mapping is None:
+                self.stats.refills += 1
+                self.stats.total_cycles += cycles
+                raise PageFault(vaddr)
+
+        cycles += costs.tlb_insert
+        entry = TlbEntry(
+            vbase=mapping.vbase,
+            pbase=mapping.pbase,
+            size=mapping.size,
+            writable=mapping.writable,
+        )
+        self.stats.refills += 1
+        self.stats.total_cycles += cycles
+        return RefillResult(entry=entry, cycles=cycles)

@@ -1,0 +1,231 @@
+"""The processor-resident TLB model.
+
+The paper's simulated CPU TLBs are unified instruction/data, single-cycle,
+fully associative, support variable page sizes (base pages plus the
+power-of-four superpages), and use a not-recently-used replacement policy.
+Shadow superpages need *no change* to this TLB — a superpage entry simply
+translates to a shadow physical base instead of a real one.
+
+The lookup fast path matters for simulator throughput: entries are kept in
+per-page-size dictionaries keyed by the virtual base of the mapping, so a
+lookup does one masked dictionary probe per *distinct page size currently
+resident* (almost always one or two) instead of scanning every entry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..core.addrspace import BASE_PAGE_SIZE, is_mapping_size
+
+
+@dataclass
+class TlbEntry:
+    """One TLB entry mapping a virtual range to a physical (or shadow) base."""
+
+    vbase: int
+    pbase: int
+    size: int
+    writable: bool = True
+    supervisor: bool = False
+    nru_referenced: bool = True
+
+    def translate(self, vaddr: int) -> int:
+        """Translate *vaddr* (must lie inside this entry's range)."""
+        return self.pbase + (vaddr - self.vbase)
+
+    @property
+    def vend(self) -> int:
+        """One past the last virtual address mapped by this entry."""
+        return self.vbase + self.size
+
+
+@dataclass
+class TlbStats:
+    """Event counters for one TLB instance."""
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    inserts: int = 0
+    evictions: int = 0
+    shootdowns: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Fraction of lookups that missed (0.0 if there were none)."""
+        return self.misses / self.lookups if self.lookups else 0.0
+
+
+class Tlb:
+    """Fully associative, variable-page-size TLB with NRU replacement."""
+
+    def __init__(self, entries: int = 96) -> None:
+        if entries <= 0:
+            raise ValueError("entries must be positive")
+        self.capacity = entries
+        self._by_size: Dict[int, Dict[int, TlbEntry]] = {}
+        self._count = 0
+        self.stats = TlbStats()
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, vaddr: int) -> Optional[TlbEntry]:
+        """Return the entry mapping *vaddr*, or None on a TLB miss.
+
+        A hit marks the entry recently-used for NRU.
+        """
+        self.stats.lookups += 1
+        for size, table in self._by_size.items():
+            entry = table.get(vaddr & ~(size - 1))
+            if entry is not None:
+                self.stats.hits += 1
+                entry.nru_referenced = True
+                return entry
+        self.stats.misses += 1
+        return None
+
+    def probe(self, vaddr: int) -> Optional[TlbEntry]:
+        """Like :meth:`lookup` but with no side effects (for tests/tools)."""
+        for size, table in self._by_size.items():
+            entry = table.get(vaddr & ~(size - 1))
+            if entry is not None:
+                return entry
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Insert / replace
+    # ------------------------------------------------------------------ #
+
+    def insert(self, entry: TlbEntry) -> Optional[TlbEntry]:
+        """Insert *entry*, evicting an NRU victim if the TLB is full.
+
+        Any pre-existing mapping for the same virtual base and size is
+        replaced in place (as the paper notes some TLBs do automatically).
+        Returns the evicted entry, if any.
+        """
+        if not is_mapping_size(entry.size):
+            raise ValueError(f"{entry.size:#x} is not a legal mapping size")
+        if entry.vbase & (entry.size - 1):
+            raise ValueError(
+                f"vbase {entry.vbase:#010x} not aligned to size {entry.size:#x}"
+            )
+        table = self._by_size.get(entry.size)
+        if table is not None and entry.vbase in table:
+            table[entry.vbase] = entry
+            self.stats.inserts += 1
+            return None
+        victim = None
+        if self._count >= self.capacity:
+            # Eviction may remove this size's (possibly just-created)
+            # table from _by_size entirely, so re-fetch it afterwards.
+            victim = self._evict_nru()
+        table = self._by_size.setdefault(entry.size, {})
+        table[entry.vbase] = entry
+        self._count += 1
+        self.stats.inserts += 1
+        return victim
+
+    def _evict_nru(self) -> TlbEntry:
+        """Evict a not-recently-used entry (epoch reset if all are used)."""
+        victim = self._find_unreferenced()
+        if victim is None:
+            for table in self._by_size.values():
+                for entry in table.values():
+                    entry.nru_referenced = False
+            victim = self._find_unreferenced()
+        assert victim is not None
+        self._remove(victim)
+        self.stats.evictions += 1
+        return victim
+
+    def _find_unreferenced(self) -> Optional[TlbEntry]:
+        for table in self._by_size.values():
+            for entry in table.values():
+                if not entry.nru_referenced:
+                    return entry
+        return None
+
+    def _remove(self, entry: TlbEntry) -> None:
+        table = self._by_size[entry.size]
+        del table[entry.vbase]
+        if not table:
+            del self._by_size[entry.size]
+        self._count -= 1
+
+    # ------------------------------------------------------------------ #
+    # Shootdown
+    # ------------------------------------------------------------------ #
+
+    def shootdown(self, vaddr: int) -> bool:
+        """Remove the entry (if any) covering *vaddr*.  True if one was."""
+        for size, table in list(self._by_size.items()):
+            entry = table.get(vaddr & ~(size - 1))
+            if entry is not None:
+                self._remove(entry)
+                self.stats.shootdowns += 1
+                return True
+        return False
+
+    def shootdown_range(self, start: int, length: int) -> int:
+        """Remove every entry overlapping ``[start, start+length)``.
+
+        Returns the number of entries removed.  Used when the OS remaps a
+        region from base pages to a shadow superpage (or back).
+        """
+        end = start + length
+        removed = 0
+        for size, table in list(self._by_size.items()):
+            doomed = [
+                vbase
+                for vbase in table
+                if vbase < end and vbase + size > start
+            ]
+            for vbase in doomed:
+                self._remove(table[vbase])
+                self.stats.shootdowns += 1
+                removed += 1
+        return removed
+
+    def flush_all(self) -> int:
+        """Remove every entry (context switch / full purge)."""
+        removed = self._count
+        self._by_size.clear()
+        self._count = 0
+        self.stats.shootdowns += removed
+        return removed
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    @property
+    def occupancy(self) -> int:
+        """Number of resident entries."""
+        return self._count
+
+    @property
+    def reach(self) -> int:
+        """Total bytes mapped by the resident entries."""
+        return sum(
+            size * len(table) for size, table in self._by_size.items()
+        )
+
+    @property
+    def max_reach_base_pages(self) -> int:
+        """Reach in bytes if every entry mapped one base page."""
+        return self.capacity * BASE_PAGE_SIZE
+
+    def entries(self) -> List[TlbEntry]:
+        """Return all resident entries (unspecified order)."""
+        out: List[TlbEntry] = []
+        for table in self._by_size.values():
+            out.extend(table.values())
+        return out
+
+    def resident_sizes(self) -> Tuple[int, ...]:
+        """Page sizes currently resident (drives fast-path probe count)."""
+        return tuple(self._by_size.keys())

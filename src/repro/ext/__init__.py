@@ -1,0 +1,20 @@
+"""Extensions the paper sketches as future work (Section 6).
+
+* :mod:`repro.ext.recoloring` — no-copy page recoloring via shadow
+  memory;
+* :mod:`repro.ext.gather` — page-granularity gathering of scattered hot
+  pages into one dense superpage alias (the Impulse programme);
+* (the stream-buffer extension lives in
+  :mod:`repro.mem.stream_buffers`, inside the memory controller).
+"""
+
+from .gather import GatherMapper, GatherRegion
+from .recoloring import RECOLOR_OVERHEAD_CYCLES, Recolorer, RecolorStats
+
+__all__ = [
+    "GatherMapper",
+    "GatherRegion",
+    "RECOLOR_OVERHEAD_CYCLES",
+    "Recolorer",
+    "RecolorStats",
+]

@@ -1,0 +1,139 @@
+"""Page-granularity gather: alias scattered pages into one superpage.
+
+The paper closes by situating this work in the Impulse project, whose
+programme was exactly this: use the memory controller's extra translation
+level to make sparse data *look* dense.  This module implements the
+page-granularity version: given a set of hot base pages scattered across
+a large structure (an index's upper levels, a hash directory, a working
+subset of a huge table), the OS builds a **dense shadow superpage whose
+base pages alias the originals** — no copy, one CPU-TLB entry for the
+whole hot set, and the original mappings stay valid.
+
+Aliasing two virtual names to one frame is only coherent when the cache
+is physically indexed (physically tagged it already is); with the
+paper's virtually indexed cache the same frame could live in two sets at
+once, so :class:`GatherMapper` refuses that configuration, exactly like
+the recoloring extension.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.addrspace import BASE_PAGE_SHIFT, BASE_PAGE_SIZE
+from ..core.remap import plan_superpages
+from ..os_model.page_table import MappingError
+from ..os_model.process import Process
+
+#: Fixed bookkeeping cost per gathered page (CPU cycles).
+GATHER_PAGE_OVERHEAD = 60
+#: Fixed setup cost per gather call.
+GATHER_CALL_OVERHEAD = 500
+
+
+@dataclass
+class GatherRegion:
+    """One live gather: the alias range and its source pages."""
+
+    process: Process
+    alias_vbase: int
+    source_vaddrs: List[int]
+
+    @property
+    def bytes(self) -> int:
+        return len(self.source_vaddrs) * BASE_PAGE_SIZE
+
+
+class GatherMapper:
+    """Builds gather superpages on one simulated machine."""
+
+    def __init__(self, system) -> None:
+        if system.mtlb is None:
+            raise ValueError("gathering needs an MTLB-equipped machine")
+        if not getattr(system.cache, "physically_indexed", False):
+            raise ValueError(
+                "gathering creates physical aliases, which are only "
+                "coherent in a physically indexed cache "
+                "(CacheConfig(physically_indexed=True))"
+            )
+        self.system = system
+        self.regions: List[GatherRegion] = []
+
+    def gather(
+        self,
+        process: Process,
+        alias_vbase: int,
+        source_vaddrs: Sequence[int],
+    ) -> int:
+        """Alias *source_vaddrs* (page-aligned) densely at *alias_vbase*.
+
+        The alias range must tile exactly into superpages (its length is
+        ``len(source_vaddrs)`` base pages), so the page count must be a
+        multiple of 4 and the base 16 KB-aligned at minimum.  Each source
+        page must currently be base-mapped to a real frame.  Returns the
+        simulated cycle cost.  The source mappings remain usable.
+        """
+        if not source_vaddrs:
+            raise ValueError("nothing to gather")
+        length = len(source_vaddrs) * BASE_PAGE_SIZE
+        plans = plan_superpages(alias_vbase, length)
+        covered = sum(plan.size for plan in plans)
+        if covered != length:
+            raise ValueError(
+                f"alias range {alias_vbase:#010x}+{length:#x} does not "
+                "tile exactly into superpages"
+            )
+
+        table = process.page_table
+        pfns: List[int] = []
+        for vaddr in source_vaddrs:
+            if vaddr % BASE_PAGE_SIZE:
+                raise ValueError(f"{vaddr:#010x} is not page aligned")
+            mapping = table.lookup(vaddr)
+            if mapping is None or mapping.is_superpage:
+                raise MappingError(
+                    f"source {vaddr:#010x} is not a base-page mapping"
+                )
+            if self.system.config.memory_map.is_shadow(mapping.pbase):
+                raise MappingError(
+                    f"source {vaddr:#010x} is already shadow-named"
+                )
+            pfns.append(mapping.pbase >> BASE_PAGE_SHIFT)
+
+        system = self.system
+        kernel = system.kernel
+        cycles = GATHER_CALL_OVERHEAD
+        page_cursor = 0
+        for plan in plans:
+            region = kernel.shadow_allocator.allocate(plan.size)
+            first_index = system.config.memory_map.shadow_page_index(
+                region.base
+            )
+            pages = plan.size >> BASE_PAGE_SHIFT
+            for k in range(pages):
+                system.mmc.write_mapping(
+                    first_index + k, pfns[page_cursor], valid=True
+                )
+                cycles += system.uncached_mmc_write()
+                cycles += GATHER_PAGE_OVERHEAD
+                page_cursor += 1
+            table.map_superpage(plan.vaddr, region.base, plan.size)
+            # First miss on the alias installs the HPT entry lazily via
+            # the segment walk; preload to spare the first trap.
+            mapping = table.lookup(plan.vaddr)
+            kernel.hpt.preload(
+                plan.vaddr >> BASE_PAGE_SHIFT, mapping, space=process.pid
+            )
+        self.regions.append(
+            GatherRegion(
+                process=process,
+                alias_vbase=alias_vbase,
+                source_vaddrs=list(source_vaddrs),
+            )
+        )
+        return cycles
+
+    def alias_of(self, region: GatherRegion, source_index: int) -> int:
+        """The alias virtual address of the region's n-th source page."""
+        return region.alias_vbase + source_index * BASE_PAGE_SIZE

@@ -1,0 +1,178 @@
+"""No-copy page recoloring via shadow memory (paper Section 6).
+
+The paper's closing section lists "no-copy page recoloring" (after
+Bershad et al.) as a planned use of shadow memory: in a *physically
+indexed* cache, pages whose frames share low physical-address bits — the
+same cache *color* — conflict for the same sets.  The classical fix
+copies one page into a frame of a different color; with shadow memory
+the OS simply renames the page: it maps the virtual page to a shadow
+address whose color bits differ and lets the MTLB point that shadow page
+at the original frame.  No data moves.
+
+This extension needs ``CacheConfig(physically_indexed=True)``; with the
+paper's default virtually indexed cache, colors are a property of the
+virtual layout and renaming physical pages cannot help (the module
+refuses to run in that configuration rather than silently doing
+nothing).
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.addrspace import BASE_PAGE_SHIFT, BASE_PAGE_SIZE, SUPERPAGE_SIZES
+from ..os_model.page_table import MappingError
+from ..os_model.process import Process
+
+#: Fixed per-recolor bookkeeping cost (CPU cycles): allocation search,
+#: PTE rewrite, TLB/HPT shootdown instructions.
+RECOLOR_OVERHEAD_CYCLES = 400
+
+
+@dataclass
+class RecolorStats:
+    """Activity counters."""
+
+    recolors: int = 0
+    cycles: int = 0
+    conflicts_found: int = 0
+
+
+class Recolorer:
+    """Shadow-memory page recoloring against one simulated machine."""
+
+    def __init__(self, system) -> None:
+        if system.mtlb is None:
+            raise ValueError("recoloring needs an MTLB-equipped machine")
+        if not getattr(system.cache, "physically_indexed", False):
+            raise ValueError(
+                "recoloring needs a physically indexed cache "
+                "(CacheConfig(physically_indexed=True)); in a virtually "
+                "indexed cache, renaming physical pages cannot change "
+                "placement"
+            )
+        self.system = system
+        cache = system.cache
+        self.colors = cache.size_bytes // (
+            cache.associativity * BASE_PAGE_SIZE
+        )
+        self.stats = RecolorStats()
+
+    # ------------------------------------------------------------------ #
+    # Analysis
+    # ------------------------------------------------------------------ #
+
+    def color_of_paddr(self, paddr: int) -> int:
+        """The cache color of a physical (or shadow) page address."""
+        return (paddr >> BASE_PAGE_SHIFT) % self.colors
+
+    def color_of_page(self, process: Process, vaddr: int) -> int:
+        """The *effective* color of a virtual page: the color of the
+        address the cache indexes with (the shadow name, if any)."""
+        mapping = process.page_table.lookup(vaddr)
+        if mapping is None:
+            raise MappingError(f"{vaddr:#010x} is not mapped")
+        return self.color_of_paddr(mapping.translate(vaddr))
+
+    def conflict_histogram(
+        self, process: Process, page_vaddrs: List[int]
+    ) -> Counter:
+        """Count hot pages per color; >1 in a direct-mapped cache means
+        the pages evict each other."""
+        histogram = Counter(
+            self.color_of_page(process, vaddr) for vaddr in page_vaddrs
+        )
+        self.stats.conflicts_found += sum(
+            count - 1 for count in histogram.values() if count > 1
+        )
+        return histogram
+
+    # ------------------------------------------------------------------ #
+    # The mechanism
+    # ------------------------------------------------------------------ #
+
+    def recolor_page(
+        self, process: Process, vaddr: int, target_color: int
+    ) -> int:
+        """Give one base page a new cache color without copying it.
+
+        Flushes the page (by its old name), renames it to a shadow page
+        of *target_color*, and points the MTLB at the original frame.
+        Returns the simulated cycle cost.
+        """
+        system = self.system
+        table = process.page_table
+        mapping = table.lookup(vaddr)
+        if mapping is None or mapping.is_superpage:
+            raise MappingError(
+                f"{vaddr:#010x} is not a base-page mapping"
+            )
+        if system.config.memory_map.is_shadow(mapping.pbase):
+            raise MappingError(
+                f"{vaddr:#010x} is already shadow-named; re-recoloring "
+                "is not supported"
+            )
+        pfn = mapping.pbase >> BASE_PAGE_SHIFT
+        page_vaddr = mapping.vbase
+
+        cycles = RECOLOR_OVERHEAD_CYCLES
+        flush_cycles, _dirty = system.flush_virtual_range(
+            process, page_vaddr, BASE_PAGE_SIZE
+        )
+        cycles += flush_cycles
+        system.shootdown_range(page_vaddr, BASE_PAGE_SIZE)
+        system.kernel.hpt.purge_range(
+            page_vaddr, BASE_PAGE_SIZE, space=process.pid
+        )
+
+        allocator = system.kernel.shadow_allocator
+        region, page_index = allocator.allocate_colored(
+            SUPERPAGE_SIZES[0], target_color, self.colors
+        )
+        first_index = system.config.memory_map.shadow_page_index(
+            region.base
+        )
+        system.mmc.write_mapping(first_index + page_index, pfn, valid=True)
+        cycles += system.uncached_mmc_write()
+
+        table.unmap_range(page_vaddr, BASE_PAGE_SIZE)
+        shadow_pfn = (region.base >> BASE_PAGE_SHIFT) + page_index
+        new_mapping = table.map_base_page(page_vaddr, shadow_pfn)
+        system.kernel.hpt.preload(
+            page_vaddr >> BASE_PAGE_SHIFT, new_mapping, space=process.pid
+        )
+        self.stats.recolors += 1
+        self.stats.cycles += cycles
+        return cycles
+
+    def auto_recolor(
+        self, process: Process, page_vaddrs: List[int]
+    ) -> Tuple[int, int]:
+        """Spread a hot page set over distinct colors.
+
+        Greedy: walk the pages; whenever one lands on a color already
+        taken by an earlier hot page, rename it to the nearest free
+        color.  Returns ``(pages_recolored, cycles)``.
+        """
+        taken: Dict[int, int] = {}
+        moved = 0
+        cycles = 0
+        free_colors = [
+            c for c in range(self.colors)
+        ]
+        for vaddr in page_vaddrs:
+            color = self.color_of_page(process, vaddr)
+            if color not in taken:
+                taken[color] = vaddr
+                if color in free_colors:
+                    free_colors.remove(color)
+                continue
+            if not free_colors:
+                break
+            target = free_colors.pop(0)
+            cycles += self.recolor_page(process, vaddr, target)
+            taken[target] = vaddr
+            moved += 1
+        return moved, cycles

@@ -1,0 +1,46 @@
+"""Memory-system substrate: cache, bus, DRAM and the memory controller.
+
+* :mod:`repro.mem.cache` — 512 KB direct-mapped (or N-way) VIPT writeback
+  data cache with 32-byte lines and explicit flush support;
+* :mod:`repro.mem.bus` — Runway-style split-transaction bus at a 2:1
+  CPU:bus clock ratio;
+* :mod:`repro.mem.dram` — open-row DRAM timing;
+* :mod:`repro.mem.mmc` — the main memory controller, which hosts the MTLB
+  and classifies/retranslates shadow addresses.
+"""
+
+from .bus import Bus, BusStats, BusTiming
+from .cache import (
+    AccessResult,
+    CacheStats,
+    DirectMappedCache,
+    SetAssociativeCache,
+    build_cache,
+)
+from .dram import Dram, DramStats, DramTiming
+from .mmc import (
+    BadPhysicalAddress,
+    FillResult,
+    MemoryController,
+    MmcStats,
+    MmcTiming,
+)
+
+__all__ = [
+    "Bus",
+    "BusStats",
+    "BusTiming",
+    "AccessResult",
+    "CacheStats",
+    "DirectMappedCache",
+    "SetAssociativeCache",
+    "build_cache",
+    "Dram",
+    "DramStats",
+    "DramTiming",
+    "BadPhysicalAddress",
+    "FillResult",
+    "MemoryController",
+    "MmcStats",
+    "MmcTiming",
+]

@@ -1,0 +1,106 @@
+"""Runway-style system bus model.
+
+The paper models HP's Runway bus: a split-transaction, 64-bit multiplexed
+address/data bus clocked at 120 MHz against a 240 MHz CPU, i.e. a 2:1 CPU
+to bus clock ratio.  With a single simulated CPU there is no arbitration
+contention, so the model charges a fixed request latency and a per-beat
+data-return latency, and tracks occupancy for utilisation statistics.
+
+All returned latencies are in CPU cycles.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.addrspace import CACHE_LINE_SIZE
+
+#: Bus data-path width in bytes (Runway is 64-bit).
+BUS_WIDTH_BYTES = 8
+
+
+@dataclass(frozen=True)
+class BusTiming:
+    """Bus timing parameters, in *bus* cycles unless noted."""
+
+    #: CPU cycles per bus cycle (240 MHz CPU / 120 MHz bus).
+    cpu_cycles_per_bus_cycle: int = 2
+    #: Arbitration + address phase, in bus cycles.
+    request_cycles: int = 2
+    #: Cycles per data beat (8 bytes), in bus cycles.
+    beat_cycles: int = 1
+
+    @property
+    def line_beats(self) -> int:
+        """Data beats needed to move one cache line."""
+        return CACHE_LINE_SIZE // BUS_WIDTH_BYTES
+
+
+@dataclass
+class BusStats:
+    """Occupancy counters (in CPU cycles) for utilisation reporting."""
+
+    transactions: int = 0
+    fill_transactions: int = 0
+    writeback_transactions: int = 0
+    busy_cpu_cycles: int = 0
+
+
+class Bus:
+    """Fixed-latency split-transaction bus."""
+
+    def __init__(self, timing: BusTiming = BusTiming()) -> None:
+        self.timing = timing
+        self.stats = BusStats()
+
+    def fill_request_cycles(self) -> int:
+        """CPU cycles to issue a cache-fill request to the MMC."""
+        timing = self.timing
+        cycles = timing.request_cycles * timing.cpu_cycles_per_bus_cycle
+        self.stats.transactions += 1
+        self.stats.fill_transactions += 1
+        self.stats.busy_cpu_cycles += cycles
+        return cycles
+
+    def fill_return_cycles(self) -> int:
+        """CPU cycles to return one cache line of data to the CPU."""
+        timing = self.timing
+        cycles = (
+            timing.line_beats
+            * timing.beat_cycles
+            * timing.cpu_cycles_per_bus_cycle
+        )
+        self.stats.busy_cpu_cycles += cycles
+        return cycles
+
+    def writeback_cycles(self) -> int:
+        """CPU cycles of bus occupancy for one writeback (request + data).
+
+        Writebacks are buffered: they occupy the bus but do not stall the
+        processor, so callers add this to occupancy statistics rather than
+        to the stall time.
+        """
+        timing = self.timing
+        cycles = (
+            timing.request_cycles + timing.line_beats * timing.beat_cycles
+        ) * timing.cpu_cycles_per_bus_cycle
+        self.stats.transactions += 1
+        self.stats.writeback_transactions += 1
+        self.stats.busy_cpu_cycles += cycles
+        return cycles
+
+    def uncached_write_cycles(self) -> int:
+        """CPU cycles for one uncached control-register write to the MMC."""
+        timing = self.timing
+        cycles = (
+            timing.request_cycles + timing.beat_cycles
+        ) * timing.cpu_cycles_per_bus_cycle
+        self.stats.transactions += 1
+        self.stats.busy_cpu_cycles += cycles
+        return cycles
+
+    def utilisation(self, total_cpu_cycles: int) -> float:
+        """Fraction of *total_cpu_cycles* the bus was busy."""
+        if total_cpu_cycles <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_cpu_cycles / total_cpu_cycles)

@@ -1,0 +1,291 @@
+"""Data cache model (HP PA8000-like).
+
+The paper's simulated data cache is a single-level, direct-mapped, 512 KB,
+virtually indexed / physically tagged (VIPT), writeback cache with 32-byte
+lines and single-cycle hits.  Being virtually indexed, the set index comes
+from the virtual address while the tag is the full physical line address —
+which is what allows cache lines to be tagged with *shadow* physical
+addresses without the cache noticing anything unusual, and what lets the OS
+flush a remapped region by walking its virtual addresses.
+
+Two implementations share one interface: a fast direct-mapped cache (the
+paper's configuration, and the simulator hot path) and a generic
+set-associative LRU cache used for sensitivity studies and tests.
+
+The cache is purely *functional* here (hit/miss/writeback decisions); all
+timing is charged by :class:`repro.sim.system.System` and
+:class:`repro.mem.mmc.MemoryController`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.addrspace import CACHE_LINE_SHIFT, CACHE_LINE_SIZE, is_power_of_two
+
+#: Sentinel tag meaning "line invalid".
+_INVALID = -1
+
+
+@dataclass
+class CacheStats:
+    """Event counters for one cache instance."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+    flush_lines_checked: int = 0
+    flush_lines_present: int = 0
+    flush_writebacks: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of accesses that hit (0.0 if there were none)."""
+        return self.hits / self.accesses if self.accesses else 0.0
+
+
+@dataclass(frozen=True)
+class AccessResult:
+    """Outcome of one cache access."""
+
+    hit: bool
+    #: Physical line address (paddr of line start) written back, if any.
+    writeback_paddr: Optional[int] = None
+
+
+class DirectMappedCache:
+    """Direct-mapped writeback cache — the simulator fast path.
+
+    Virtually indexed (the paper's PA8000-like configuration) by
+    default; ``physically_indexed=True`` selects physical indexing,
+    which the no-copy page-recoloring extension requires (recoloring
+    changes a page's *physical* name to move it between cache colors).
+    """
+
+    associativity = 1
+
+    def __init__(
+        self,
+        size_bytes: int = 512 << 10,
+        physically_indexed: bool = False,
+    ) -> None:
+        if size_bytes % CACHE_LINE_SIZE:
+            raise ValueError("cache size must be a multiple of the line size")
+        num_sets = size_bytes // CACHE_LINE_SIZE
+        if not is_power_of_two(num_sets):
+            raise ValueError("number of cache sets must be a power of two")
+        self.size_bytes = size_bytes
+        self.num_sets = num_sets
+        self.physically_indexed = physically_indexed
+        self._index_mask = num_sets - 1
+        self._tags: List[int] = [_INVALID] * num_sets
+        self._dirty = bytearray(num_sets)
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------ #
+    # Access path
+    # ------------------------------------------------------------------ #
+
+    def access(self, vaddr: int, paddr: int, is_write: bool) -> AccessResult:
+        """Look up (and on a miss, fill) the line for *vaddr*/*paddr*.
+
+        Returns whether the access hit, and the physical address of any
+        dirty victim line that must be written back.
+        """
+        idx_addr = paddr if self.physically_indexed else vaddr
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        tag = paddr >> CACHE_LINE_SHIFT
+        stats = self.stats
+        stats.accesses += 1
+        if self._tags[idx] == tag:
+            stats.hits += 1
+            if is_write:
+                self._dirty[idx] = 1
+            return AccessResult(hit=True)
+        stats.misses += 1
+        writeback = None
+        if self._tags[idx] != _INVALID and self._dirty[idx]:
+            writeback = self._tags[idx] << CACHE_LINE_SHIFT
+            stats.writebacks += 1
+        self._tags[idx] = tag
+        self._dirty[idx] = 1 if is_write else 0
+        return AccessResult(hit=False, writeback_paddr=writeback)
+
+    def probe(self, vaddr: int, paddr: int) -> bool:
+        """Return True if the line is present, with no side effects."""
+        idx_addr = paddr if self.physically_indexed else vaddr
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        return self._tags[idx] == (paddr >> CACHE_LINE_SHIFT)
+
+    # ------------------------------------------------------------------ #
+    # Flush path (remap consistency, page cleaning)
+    # ------------------------------------------------------------------ #
+
+    def flush_line(self, vaddr: int, paddr: int) -> Tuple[bool, bool]:
+        """Flush one line by virtual address.
+
+        Returns ``(was_present, was_dirty)``.  A dirty line must be written
+        back by the caller before its mapping changes.
+        """
+        idx_addr = paddr if self.physically_indexed else vaddr
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        tag = paddr >> CACHE_LINE_SHIFT
+        self.stats.flush_lines_checked += 1
+        if self._tags[idx] != tag:
+            return False, False
+        self.stats.flush_lines_present += 1
+        dirty = bool(self._dirty[idx])
+        if dirty:
+            self.stats.flush_writebacks += 1
+        self._tags[idx] = _INVALID
+        self._dirty[idx] = 0
+        return True, dirty
+
+    def flush_range(
+        self,
+        vstart: int,
+        length: int,
+        translate: Callable[[int], int],
+    ) -> Tuple[int, List[int]]:
+        """Flush every line of ``[vstart, vstart+length)``.
+
+        *translate* maps a virtual line address to its current physical
+        line address.  Returns ``(lines_checked, dirty_paddrs)``.
+        """
+        if vstart % CACHE_LINE_SIZE or length % CACHE_LINE_SIZE:
+            raise ValueError("flush range must be line aligned")
+        dirty_paddrs: List[int] = []
+        checked = 0
+        for vaddr in range(vstart, vstart + length, CACHE_LINE_SIZE):
+            paddr = translate(vaddr)
+            checked += 1
+            present, dirty = self.flush_line(vaddr, paddr)
+            if present and dirty:
+                dirty_paddrs.append(paddr)
+        return checked, dirty_paddrs
+
+    def invalidate_all(self) -> None:
+        """Drop every line without writing anything back (tests only)."""
+        self._tags = [_INVALID] * self.num_sets
+        self._dirty = bytearray(self.num_sets)
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(1 for t in self._tags if t != _INVALID)
+
+
+class SetAssociativeCache:
+    """Generic N-way set-associative VIPT writeback cache with LRU.
+
+    Used for sensitivity studies; shares the :class:`DirectMappedCache`
+    interface.  Each set is a dict ordered by recency (oldest first).
+    """
+
+    def __init__(
+        self,
+        size_bytes: int = 512 << 10,
+        associativity: int = 2,
+        physically_indexed: bool = False,
+    ) -> None:
+        if associativity < 1:
+            raise ValueError("associativity must be >= 1")
+        if size_bytes % (CACHE_LINE_SIZE * associativity):
+            raise ValueError("cache size not divisible into sets")
+        num_sets = size_bytes // (CACHE_LINE_SIZE * associativity)
+        if not is_power_of_two(num_sets):
+            raise ValueError("number of cache sets must be a power of two")
+        self.size_bytes = size_bytes
+        self.associativity = associativity
+        self.num_sets = num_sets
+        self.physically_indexed = physically_indexed
+        self._index_mask = num_sets - 1
+        # Each set maps physical line tag -> dirty flag; dict order is LRU
+        # (first key is least recently used).
+        self._sets: List[Dict[int, bool]] = [dict() for _ in range(num_sets)]
+        self.stats = CacheStats()
+
+    def access(self, vaddr: int, paddr: int, is_write: bool) -> AccessResult:
+        """Look up (and on a miss, fill) the line for *vaddr*/*paddr*."""
+        idx_addr = paddr if self.physically_indexed else vaddr
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        tag = paddr >> CACHE_LINE_SHIFT
+        line_set = self._sets[idx]
+        stats = self.stats
+        stats.accesses += 1
+        if tag in line_set:
+            stats.hits += 1
+            dirty = line_set.pop(tag) or is_write
+            line_set[tag] = dirty
+            return AccessResult(hit=True)
+        stats.misses += 1
+        writeback = None
+        if len(line_set) >= self.associativity:
+            victim_tag = next(iter(line_set))
+            victim_dirty = line_set.pop(victim_tag)
+            if victim_dirty:
+                writeback = victim_tag << CACHE_LINE_SHIFT
+                stats.writebacks += 1
+        line_set[tag] = is_write
+        return AccessResult(hit=False, writeback_paddr=writeback)
+
+    def probe(self, vaddr: int, paddr: int) -> bool:
+        """Return True if the line is present, with no side effects."""
+        idx_addr = paddr if self.physically_indexed else vaddr
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        return (paddr >> CACHE_LINE_SHIFT) in self._sets[idx]
+
+    def flush_line(self, vaddr: int, paddr: int) -> Tuple[bool, bool]:
+        """Flush one line by virtual address; see DirectMappedCache."""
+        idx_addr = paddr if self.physically_indexed else vaddr
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        tag = paddr >> CACHE_LINE_SHIFT
+        self.stats.flush_lines_checked += 1
+        line_set = self._sets[idx]
+        if tag not in line_set:
+            return False, False
+        self.stats.flush_lines_present += 1
+        dirty = line_set.pop(tag)
+        if dirty:
+            self.stats.flush_writebacks += 1
+        return True, dirty
+
+    def flush_range(
+        self,
+        vstart: int,
+        length: int,
+        translate: Callable[[int], int],
+    ) -> Tuple[int, List[int]]:
+        """Flush every line of a virtual range; see DirectMappedCache."""
+        if vstart % CACHE_LINE_SIZE or length % CACHE_LINE_SIZE:
+            raise ValueError("flush range must be line aligned")
+        dirty_paddrs: List[int] = []
+        checked = 0
+        for vaddr in range(vstart, vstart + length, CACHE_LINE_SIZE):
+            paddr = translate(vaddr)
+            checked += 1
+            present, dirty = self.flush_line(vaddr, paddr)
+            if present and dirty:
+                dirty_paddrs.append(paddr)
+        return checked, dirty_paddrs
+
+    def invalidate_all(self) -> None:
+        """Drop every line without writing anything back (tests only)."""
+        self._sets = [dict() for _ in range(self.num_sets)]
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid lines."""
+        return sum(len(s) for s in self._sets)
+
+
+def build_cache(
+    size_bytes: int, associativity: int, physically_indexed: bool = False
+):
+    """Construct the right cache implementation for the configuration."""
+    if associativity == 1:
+        return DirectMappedCache(size_bytes, physically_indexed)
+    return SetAssociativeCache(size_bytes, associativity,
+                               physically_indexed)

@@ -1,0 +1,278 @@
+"""Main memory controller (MMC) with an optional memory-controller TLB.
+
+The MMC receives cache-fill requests and writebacks from the bus.  When an
+MTLB is configured, the MMC classifies *every* address as real, shadow, or
+I/O — the paper conservatively charges one 120 MHz MMC cycle for this check
+on every operation — and retranslates shadow addresses through the MTLB
+before accessing DRAM.  An MTLB miss costs one extra DRAM access to load
+the 4-byte entry from the flat shadow page table (which itself lives in
+DRAM).
+
+The OS programs shadow mappings and purges MTLB entries through uncached
+writes to MMC control registers; those arrive via :meth:`write_mapping`,
+:meth:`invalidate_mapping` and :meth:`purge_mtlb_range`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from ..core.addrspace import BASE_PAGE_MASK, BASE_PAGE_SHIFT, PhysicalMemoryMap
+from ..core.mtlb import Mtlb, MtlbFault
+from ..core.shadow_table import ShadowPageTable
+from .dram import Dram
+from .stream_buffers import StreamBufferUnit
+
+
+class BadPhysicalAddress(Exception):
+    """An access fell outside DRAM, shadow window and I/O hole."""
+
+    def __init__(self, paddr: int) -> None:
+        super().__init__(f"access to unbacked physical address {paddr:#010x}")
+        self.paddr = paddr
+
+
+@dataclass(frozen=True)
+class MmcTiming:
+    """MMC timing parameters, in MMC (120 MHz) cycles."""
+
+    #: Fixed controller occupancy per operation (queueing, scheduling).
+    base_occupancy: int = 2
+    #: Added to every operation when an MTLB is present (the paper's
+    #: conservative shadow-check assumption; set to 0 for ablation A3).
+    shadow_check: int = 1
+    #: CPU cycles per MMC cycle (240 MHz CPU / 120 MHz MMC).
+    cpu_cycles_per_mmc_cycle: int = 2
+    #: Charge a DRAM write when the MTLB first sets a referenced/dirty
+    #: bit on a cached translation (the functionality the paper's
+    #: simulated MTLB omitted, predicting "a negligible effect";
+    #: ablation A9 checks that prediction).
+    bit_writeback: bool = False
+
+
+@dataclass
+class MmcStats:
+    """Event counters for the memory controller."""
+
+    fills: int = 0
+    shadow_fills: int = 0
+    writebacks: int = 0
+    shadow_writebacks: int = 0
+    control_writes: int = 0
+    #: Total MMC-side latency of all fills, in CPU cycles (Figure 4(B)).
+    fill_cpu_cycles: int = 0
+
+    @property
+    def avg_fill_cpu_cycles(self) -> float:
+        """Average MMC-side latency per cache fill, in CPU cycles."""
+        return self.fill_cpu_cycles / self.fills if self.fills else 0.0
+
+
+@dataclass(frozen=True)
+class FillResult:
+    """Outcome of one cache-fill request at the MMC."""
+
+    #: The real physical address the data came from.
+    real_paddr: int
+    #: MMC-side latency in CPU cycles (bus time not included).
+    cpu_cycles: int
+    #: True if the request needed an MTLB hardware fill.
+    mtlb_filled: bool
+
+
+class MemoryController:
+    """The MMC: address classification, MTLB retranslation, DRAM access."""
+
+    def __init__(
+        self,
+        memory_map: PhysicalMemoryMap,
+        dram: Dram,
+        timing: MmcTiming = MmcTiming(),
+        shadow_table: Optional[ShadowPageTable] = None,
+        mtlb: Optional[Mtlb] = None,
+        stream_buffers: Optional[StreamBufferUnit] = None,
+    ) -> None:
+        if (mtlb is None) != (shadow_table is None):
+            raise ValueError(
+                "shadow_table and mtlb must be configured together"
+            )
+        self.memory_map = memory_map
+        self.dram = dram
+        self.timing = timing
+        self.shadow_table = shadow_table
+        self.mtlb = mtlb
+        #: Optional Section 6 extension: prefetches sequential miss
+        #: streams past the (retranslated) real addresses.  Timing only;
+        #: functional data never lives in the buffers.
+        self.stream_buffers = stream_buffers
+        self.stats = MmcStats()
+
+    @property
+    def has_mtlb(self) -> bool:
+        """True if this controller retranslates shadow addresses."""
+        return self.mtlb is not None
+
+    # ------------------------------------------------------------------ #
+    # Bus-visible operations
+    # ------------------------------------------------------------------ #
+
+    def cache_fill(self, paddr: int, exclusive: bool) -> FillResult:
+        """Service one cache-fill request.
+
+        *exclusive* requests (write misses) mark the base page dirty in the
+        shadow table; shared requests mark it referenced (Section 2.5).
+        Raises :class:`~repro.core.mtlb.MtlbFault` if the request touches a
+        shadow page whose mapping is invalid, and
+        :class:`BadPhysicalAddress` for addresses nothing backs.
+        """
+        timing = self.timing
+        mmc_cycles = timing.base_occupancy
+        if self.mtlb is not None:
+            mmc_cycles += timing.shadow_check
+        mtlb_filled = False
+        real_paddr = paddr
+        is_shadow = self.memory_map.is_shadow(paddr)
+        if is_shadow:
+            if self.mtlb is None:
+                raise BadPhysicalAddress(paddr)
+            shadow_index = (
+                paddr - self.memory_map.shadow_base
+            ) >> BASE_PAGE_SHIFT
+            pfn, mtlb_filled = self.mtlb.access(shadow_index, exclusive)
+            if mtlb_filled:
+                # Hardware fill: one DRAM access to the flat table entry.
+                entry_paddr = self.shadow_table.entry_paddr(shadow_index)
+                mmc_cycles += self.dram.access_cycles(entry_paddr)
+            if timing.bit_writeback and self.mtlb.pending_bit_write:
+                mmc_cycles += self.dram.access_cycles(
+                    self.shadow_table.entry_paddr(shadow_index)
+                )
+            real_paddr = (pfn << BASE_PAGE_SHIFT) | (paddr & BASE_PAGE_MASK)
+            self.stats.shadow_fills += 1
+        elif not self.memory_map.is_dram(paddr):
+            raise BadPhysicalAddress(paddr)
+        buffered = (
+            self.stream_buffers.lookup(real_paddr)
+            if self.stream_buffers is not None
+            else None
+        )
+        if buffered is not None:
+            mmc_cycles += buffered
+        else:
+            mmc_cycles += self.dram.access_cycles(real_paddr)
+        cpu_cycles = mmc_cycles * timing.cpu_cycles_per_mmc_cycle
+        self.stats.fills += 1
+        self.stats.fill_cpu_cycles += cpu_cycles
+        return FillResult(
+            real_paddr=real_paddr,
+            cpu_cycles=cpu_cycles,
+            mtlb_filled=mtlb_filled,
+        )
+
+    def writeback(self, paddr: int) -> int:
+        """Service one writeback; returns MMC occupancy in CPU cycles.
+
+        Writebacks to shadow addresses are retranslated exactly like fills
+        (the MTLB examines every writeback), but a writeback can never
+        fault: the OS flushes dirty data *before* invalidating a mapping
+        (Section 4), so the translation is always valid.
+        """
+        timing = self.timing
+        mmc_cycles = timing.base_occupancy
+        if self.mtlb is not None:
+            mmc_cycles += timing.shadow_check
+        real_paddr = paddr
+        if self.memory_map.is_shadow(paddr):
+            if self.mtlb is None:
+                raise BadPhysicalAddress(paddr)
+            shadow_index = (
+                paddr - self.memory_map.shadow_base
+            ) >> BASE_PAGE_SHIFT
+            try:
+                pfn, filled = self.mtlb.access(shadow_index, True)
+            except MtlbFault as exc:
+                raise AssertionError(
+                    "writeback faulted: the OS must flush dirty data before "
+                    "invalidating a shadow mapping"
+                ) from exc
+            if filled:
+                entry_paddr = self.shadow_table.entry_paddr(shadow_index)
+                mmc_cycles += self.dram.access_cycles(entry_paddr)
+            real_paddr = (pfn << BASE_PAGE_SHIFT) | (paddr & BASE_PAGE_MASK)
+            self.stats.shadow_writebacks += 1
+        elif not self.memory_map.is_dram(paddr):
+            raise BadPhysicalAddress(paddr)
+        mmc_cycles += self.dram.access_cycles(real_paddr)
+        self.stats.writebacks += 1
+        return mmc_cycles * timing.cpu_cycles_per_mmc_cycle
+
+    # ------------------------------------------------------------------ #
+    # Control-register interface (uncached writes from the kernel)
+    # ------------------------------------------------------------------ #
+
+    def write_mapping(
+        self, shadow_index: int, pfn: int, valid: bool = True
+    ) -> None:
+        """Install one shadow-to-physical base-page mapping.
+
+        Purges any stale MTLB copy so the new mapping takes effect
+        immediately (the paper's uncached control-register write).
+        """
+        self._require_mtlb()
+        self.shadow_table.set_mapping(shadow_index, pfn, valid)
+        self.mtlb.purge(shadow_index)
+        self.stats.control_writes += 1
+
+    def invalidate_mapping(self, shadow_index: int) -> None:
+        """Mark one shadow mapping not-present (page-out path)."""
+        self._require_mtlb()
+        self.shadow_table.invalidate(shadow_index)
+        self.mtlb.purge(shadow_index)
+        self.stats.control_writes += 1
+
+    def revalidate_mapping(
+        self, shadow_index: int, pfn: Optional[int] = None
+    ) -> None:
+        """Mark one shadow mapping present again (page-in path)."""
+        self._require_mtlb()
+        self.shadow_table.revalidate(shadow_index, pfn)
+        self.mtlb.purge(shadow_index)
+        self.stats.control_writes += 1
+
+    def clear_mapping(self, shadow_index: int) -> None:
+        """Remove one shadow mapping entirely (region freed)."""
+        self._require_mtlb()
+        self.shadow_table.clear_mapping(shadow_index)
+        self.mtlb.purge(shadow_index)
+        self.stats.control_writes += 1
+
+    def purge_mtlb_range(self, first_index: int, count: int) -> None:
+        """Purge cached MTLB translations for a run of shadow pages."""
+        self._require_mtlb()
+        self.mtlb.purge_range(first_index, count)
+        self.stats.control_writes += 1
+
+    def _require_mtlb(self) -> None:
+        if self.mtlb is None:
+            raise RuntimeError("this MMC has no MTLB configured")
+
+    # ------------------------------------------------------------------ #
+    # Helpers
+    # ------------------------------------------------------------------ #
+
+    def resolve(self, paddr: int) -> int:
+        """Functionally translate *paddr* to its real physical address.
+
+        No timing, no stats, no referenced/dirty updates — used by the
+        functional-check mode and by the OS when it needs to know where a
+        shadow page's data actually lives.
+        """
+        if not self.memory_map.is_shadow(paddr):
+            return paddr
+        self._require_mtlb()
+        shadow_index = (paddr - self.memory_map.shadow_base) >> BASE_PAGE_SHIFT
+        entry = self.shadow_table.entry(shadow_index)
+        if not entry.valid:
+            raise MtlbFault(shadow_index, is_write=False)
+        return (entry.pfn << BASE_PAGE_SHIFT) | (paddr & BASE_PAGE_MASK)

@@ -1,0 +1,150 @@
+"""MMC-provided stream buffers (paper Section 6, future work).
+
+The paper's closing section lists "MMC-provided stream buffers" (after
+Jouppi, and McKee & Wulf) among the Impulse follow-ons: since the memory
+controller already intercepts every fill, it can detect sequential miss
+streams and prefetch ahead into small line buffers, hiding DRAM latency
+for streaming access patterns — exactly the patterns (radix's sequential
+key reads, compress's buffers) that remain after the MTLB removes the
+TLB bottleneck.
+
+The unit sits in the MMC *after* shadow retranslation, so it sees real
+addresses and works for shadow and non-shadow traffic alike.
+
+Model: ``buffers`` independent streams, each holding up to ``depth``
+prefetched line addresses.  A fill that hits a buffered line is served
+at buffer latency (no DRAM access on the critical path) and triggers a
+background prefetch of the next line (DRAM occupancy is tracked but not
+charged to the fill).  A fill that misses trains a two-miss stride-1
+detector; on confirmation the LRU buffer is reallocated to the new
+stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.addrspace import CACHE_LINE_SHIFT
+from .dram import Dram
+
+
+@dataclass(frozen=True)
+class StreamBufferConfig:
+    """Stream-buffer geometry and timing."""
+
+    enabled: bool = False
+    #: Number of independent stream buffers.
+    buffers: int = 4
+    #: Prefetched lines held per buffer.
+    depth: int = 4
+    #: MMC cycles to deliver a line from a buffer (SRAM read).
+    hit_cycles: int = 1
+
+
+@dataclass
+class StreamBufferStats:
+    """Event counters for the stream-buffer unit."""
+
+    lookups: int = 0
+    hits: int = 0
+    allocations: int = 0
+    prefetches: int = 0
+    #: MMC cycles of DRAM occupancy spent on prefetches (off the
+    #: critical path, reported for bus/DRAM utilisation accounting).
+    prefetch_mmc_cycles: int = 0
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of fills served from a buffer."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class _Stream:
+    """One buffer: the lines it currently holds, oldest first."""
+
+    lines: List[int] = field(default_factory=list)
+    next_line: int = 0
+    lru: int = 0
+
+
+class StreamBufferUnit:
+    """Sequential-stream prefetcher in front of DRAM."""
+
+    def __init__(self, config: StreamBufferConfig, dram: Dram) -> None:
+        if config.buffers < 1 or config.depth < 1:
+            raise ValueError("buffers and depth must be positive")
+        self.config = config
+        self.dram = dram
+        self.stats = StreamBufferStats()
+        self._streams: List[_Stream] = [
+            _Stream() for _ in range(config.buffers)
+        ]
+        #: line -> the line that missed just before it (stride detector).
+        self._last_misses: Dict[int, bool] = {}
+        self._clock = 0
+
+    # ------------------------------------------------------------------ #
+    # The MMC-facing operation
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, real_paddr: int) -> Optional[int]:
+        """Try to serve a fill for *real_paddr* from a buffer.
+
+        Returns the MMC-cycle cost if it hits (and prefetches the next
+        line in the background), or None on a miss (after training the
+        detector, which may allocate a stream).
+        """
+        self._clock += 1
+        self.stats.lookups += 1
+        line = real_paddr >> CACHE_LINE_SHIFT
+        for stream in self._streams:
+            if line in stream.lines:
+                self.stats.hits += 1
+                stream.lines.remove(line)
+                stream.lru = self._clock
+                self._prefetch(stream)
+                return self.config.hit_cycles
+        self._train(line)
+        return None
+
+    def _train(self, line: int) -> None:
+        """Two-miss stride-1 detection: miss at L after a miss at L-1
+        allocates a stream prefetching from L+1."""
+        if self._last_misses.pop(line - 1, None) is not None:
+            self._allocate(line + 1)
+        self._last_misses[line] = True
+        if len(self._last_misses) > 64:
+            # Bounded detector table: drop the oldest half arbitrarily.
+            for stale in list(self._last_misses)[:32]:
+                del self._last_misses[stale]
+
+    def _allocate(self, first_line: int) -> None:
+        victim = min(self._streams, key=lambda s: s.lru)
+        victim.lines = []
+        victim.next_line = first_line
+        victim.lru = self._clock
+        self.stats.allocations += 1
+        for _ in range(self.config.depth):
+            self._prefetch(victim)
+
+    def _prefetch(self, stream: _Stream) -> None:
+        """Fetch the stream's next line into the buffer (background)."""
+        if len(stream.lines) >= self.config.depth:
+            return
+        line = stream.next_line
+        stream.next_line += 1
+        stream.lines.append(line)
+        self.stats.prefetches += 1
+        self.stats.prefetch_mmc_cycles += self.dram.access_cycles(
+            line << CACHE_LINE_SHIFT
+        )
+
+    # ------------------------------------------------------------------ #
+    # Introspection
+    # ------------------------------------------------------------------ #
+
+    def buffered_lines(self) -> int:
+        """Total lines currently held across all buffers."""
+        return sum(len(s.lines) for s in self._streams)

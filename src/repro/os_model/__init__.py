@@ -1,0 +1,61 @@
+"""The simulated operating system (MiniKernel) and its VM subsystem.
+
+* :mod:`repro.os_model.frames` — physical frame allocation with
+  fragmentation injection;
+* :mod:`repro.os_model.page_table` — per-process OS page tables with
+  mixed base-page / superpage mappings;
+* :mod:`repro.os_model.hpt` — the hashed page table probed by the
+  software TLB miss handler;
+* :mod:`repro.os_model.vm` — region mapping and the shadow-superpage
+  remap choreography (flush, shootdown, MMC programming);
+* :mod:`repro.os_model.syscalls` — ``remap()`` and the modified
+  ``sbrk()``;
+* :mod:`repro.os_model.paging` — per-base-page CLOCK paging of shadow
+  superpages;
+* :mod:`repro.os_model.kernel` — the MiniKernel facade.
+
+(The package is named ``os_model`` rather than ``os`` to avoid shadowing
+the standard library.)
+"""
+
+from .frames import FrameAllocator, FrameStats, OutOfMemory, frames_for_bytes
+from .hpt import HashedPageTable, HptStats
+from .kernel import KernelCosts, KernelLayout, KernelStats, MiniKernel
+from .page_table import Mapping, MappingError, PageTable
+from .paging import BackingStore, Pager, PagingCosts, PagingStats
+from .process import Process, Segment
+from .syscalls import SbrkAllocator, SbrkStats
+from .vm import (
+    RemapReport,
+    ShadowSuperpage,
+    VmCosts,
+    VmSubsystem,
+)
+
+__all__ = [
+    "FrameAllocator",
+    "FrameStats",
+    "OutOfMemory",
+    "frames_for_bytes",
+    "HashedPageTable",
+    "HptStats",
+    "KernelCosts",
+    "KernelLayout",
+    "KernelStats",
+    "MiniKernel",
+    "Mapping",
+    "MappingError",
+    "PageTable",
+    "BackingStore",
+    "Pager",
+    "PagingCosts",
+    "PagingStats",
+    "Process",
+    "Segment",
+    "SbrkAllocator",
+    "SbrkStats",
+    "RemapReport",
+    "ShadowSuperpage",
+    "VmCosts",
+    "VmSubsystem",
+]

@@ -1,0 +1,287 @@
+"""PA-RISC-style hashed page table (HPT).
+
+The software TLB miss handler probes a hashed translation table of 16 K
+16-byte entries (paper Section 3.2).  Collisions chain into an overflow
+area.  Probes and installs report the *physical addresses* they touch so
+the simulator can run those kernel accesses through the data cache —
+making the handler's cost depend on cache behaviour, exactly as in the
+paper.
+
+Entries are keyed by (space, virtual page number) — *space* is the
+PA-RISC-style address-space identifier (we use the owning process's pid)
+so multiprogrammed workloads with overlapping virtual layouts share one
+global table, as on real PA-RISC.
+
+Superpage mappings are stored **once**, keyed by the VPN of the
+superpage's base, and the miss handler *re-hashes by page size*: when the
+exact-VPN probe misses, it retries with the VPN rounded down to each
+legal superpage size before falling back to the slow segment-table walk.
+This is the variable-page-size hashed-table discipline of large-address-
+space architectures; it keeps the table small and makes re-faulting a
+flushed superpage translation (e.g. after a context switch) a few probes
+instead of a segment walk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..core.addrspace import SUPERPAGE_SIZES
+from .page_table import Mapping
+
+#: Size of one HPT entry in bytes (paper: 16-byte entries).
+HPT_ENTRY_BYTES = 16
+
+#: (size, VPN alignment mask) for the size re-hash, smallest first.
+_SIZE_VPN_MASKS = tuple(
+    (size, ~((size >> 12) - 1)) for size in SUPERPAGE_SIZES
+)
+
+
+@dataclass
+class HptStats:
+    """Event counters for the hashed page table."""
+
+    probes: int = 0
+    probe_entries_walked: int = 0
+    installs: int = 0
+    purged_entries: int = 0
+
+    @property
+    def avg_chain_walk(self) -> float:
+        """Average entries touched per probe."""
+        return (
+            self.probe_entries_walked / self.probes if self.probes else 0.0
+        )
+
+
+class HashedPageTable:
+    """16 K-bucket hashed translation table with chained overflow.
+
+    *resolver* maps a VPN to the authoritative :class:`Mapping` (or None)
+    — in practice the current process's page table, installed by the
+    kernel at process switch.
+    """
+
+    def __init__(
+        self,
+        base_paddr: int,
+        buckets: int = 16 * 1024,
+        overflow_entries: int = 16 * 1024,
+        resolver: Optional[Callable[[int], Optional[Mapping]]] = None,
+    ) -> None:
+        if buckets <= 0 or buckets & (buckets - 1):
+            raise ValueError("bucket count must be a power of two")
+        self.base_paddr = base_paddr
+        self.buckets = buckets
+        self.overflow_entries = overflow_entries
+        self.resolver = resolver
+        #: The current address-space id (the running process); probes
+        #: and installs are performed against this space.
+        self.current_space = 0
+        self._mask = buckets - 1
+        # bucket index -> list of (space, vpn, mapping, entry_paddr)
+        self._chains: Dict[int, List[Tuple[int, int, Mapping, int]]] = {}
+        self._where: Dict[Tuple[int, int], int] = {}
+        #: resident entry count per mapping size; the handler re-hashes
+        #: only sizes that actually have entries (the hardware keeps an
+        #: equivalent page-size mask register).
+        self._size_counts: Dict[int, int] = {}
+        self._overflow_next = 0
+        self.stats = HptStats()
+
+    # ------------------------------------------------------------------ #
+    # Geometry
+    # ------------------------------------------------------------------ #
+
+    @property
+    def table_bytes(self) -> int:
+        """Size of the primary table (16 K x 16 B = 256 KB by default)."""
+        return self.buckets * HPT_ENTRY_BYTES
+
+    @property
+    def total_bytes(self) -> int:
+        """Primary table plus overflow area."""
+        return (self.buckets + self.overflow_entries) * HPT_ENTRY_BYTES
+
+    def _hash(self, vpn: int, space: int = 0) -> int:
+        """XOR-folded hash of space id and VPN (PA-RISC style)."""
+        return (vpn ^ (vpn >> 14) ^ (space * 0x9E37)) & self._mask
+
+    def _bucket_head_paddr(self, bucket: int) -> int:
+        return self.base_paddr + bucket * HPT_ENTRY_BYTES
+
+    def _alloc_overflow_paddr(self) -> int:
+        paddr = (
+            self.base_paddr
+            + self.table_bytes
+            + (self._overflow_next % self.overflow_entries) * HPT_ENTRY_BYTES
+        )
+        self._overflow_next += 1
+        return paddr
+
+    # ------------------------------------------------------------------ #
+    # Handler-facing operations
+    # ------------------------------------------------------------------ #
+
+    def probe(self, vpn: int) -> Tuple[Optional[Mapping], List[int]]:
+        """Find the translation for *vpn*, re-hashing by page size.
+
+        First walks the exact-VPN chain; on a miss, retries with the VPN
+        aligned down to each legal superpage size (entries for
+        superpages are keyed by their base VPN).  Returns
+        ``(mapping_or_None, paddrs_touched)`` — every chain entry loaded
+        along the way is in *touched*, so the handler's memory cost
+        scales with the real walk length.
+        """
+        self.stats.probes += 1
+        space = self.current_space
+        touched: List[int] = []
+        mapping = self._walk(vpn, space, touched)
+        if mapping is not None:
+            return mapping, touched
+        seen = {vpn}
+        for size, mask in _SIZE_VPN_MASKS:
+            if not self._size_counts.get(size):
+                continue
+            candidate = vpn & mask
+            if candidate in seen:
+                continue
+            seen.add(candidate)
+            mapping = self._walk(candidate, space, touched)
+            if mapping is not None and mapping.vbase <= (vpn << 12) < (
+                mapping.vend
+            ):
+                return mapping, touched
+        return None, touched
+
+    def _walk(
+        self, vpn: int, space: int, touched: List[int]
+    ) -> Optional[Mapping]:
+        """Walk one chain; appends loaded entry addresses to *touched*."""
+        bucket = self._hash(vpn, space)
+        chain = self._chains.get(bucket)
+        if not chain:
+            touched.append(self._bucket_head_paddr(bucket))
+            self.stats.probe_entries_walked += 1
+            return None
+        for entry_space, entry_vpn, mapping, entry_paddr in chain:
+            touched.append(entry_paddr)
+            self.stats.probe_entries_walked += 1
+            if entry_vpn == vpn and entry_space == space:
+                return mapping
+        return None
+
+    def install(self, vpn: int) -> Tuple[Optional[Mapping], List[int]]:
+        """Repopulate the HPT entry for *vpn* from the OS page tables.
+
+        Returns ``(mapping_or_None, paddrs_written)``.  Returns None when
+        the address is genuinely unmapped (a real page fault).
+        """
+        if self.resolver is None:
+            raise RuntimeError("HPT has no resolver installed")
+        mapping = self.resolver(vpn)
+        if mapping is None:
+            return None, []
+        paddr = self._insert(vpn, mapping, self.current_space)
+        self.stats.installs += 1
+        return mapping, [paddr]
+
+    @staticmethod
+    def _key_vpn(vpn: int, mapping: Mapping) -> int:
+        """Superpage entries are keyed by their base VPN."""
+        if mapping.is_superpage:
+            return mapping.vbase >> 12
+        return vpn
+
+    def _insert(self, vpn: int, mapping: Mapping, space: int) -> int:
+        vpn = self._key_vpn(vpn, mapping)
+        bucket = self._hash(vpn, space)
+        chain = self._chains.setdefault(bucket, [])
+        for i, (entry_space, entry_vpn, old, entry_paddr) in enumerate(
+            chain
+        ):
+            if entry_vpn == vpn and entry_space == space:
+                self._count_size(old.size, -1)
+                self._count_size(mapping.size, +1)
+                chain[i] = (space, vpn, mapping, entry_paddr)
+                return entry_paddr
+        if not chain:
+            paddr = self._bucket_head_paddr(bucket)
+        else:
+            paddr = self._alloc_overflow_paddr()
+        chain.append((space, vpn, mapping, paddr))
+        self._where[(space, vpn)] = bucket
+        self._count_size(mapping.size, +1)
+        return paddr
+
+    def _count_size(self, size: int, delta: int) -> None:
+        self._size_counts[size] = self._size_counts.get(size, 0) + delta
+
+    # ------------------------------------------------------------------ #
+    # OS-facing maintenance
+    # ------------------------------------------------------------------ #
+
+    def preload(
+        self, vpn: int, mapping: Mapping, space: Optional[int] = None
+    ) -> int:
+        """Eagerly install an entry (used when the OS maps a region).
+
+        Returns the entry's physical address.
+        """
+        if space is None:
+            space = self.current_space
+        return self._insert(vpn, mapping, space)
+
+    def purge_vpn(self, vpn: int, space: Optional[int] = None) -> bool:
+        """Drop the entry for *vpn* in *space*, if present."""
+        if space is None:
+            space = self.current_space
+        bucket = self._where.pop((space, vpn), None)
+        if bucket is None:
+            return False
+        chain = self._chains.get(bucket, [])
+        for i, (entry_space, entry_vpn, mapping, _p) in enumerate(chain):
+            if entry_vpn == vpn and entry_space == space:
+                chain.pop(i)
+                self._count_size(mapping.size, -1)
+                self.stats.purged_entries += 1
+                return True
+        return False
+
+    def purge_range(
+        self, vstart: int, length: int, space: Optional[int] = None
+    ) -> int:
+        """Drop every entry in *space* whose mapping overlaps the range.
+
+        Returns the number of entries removed.  Called on remap/unmap so
+        stale translations can never be refetched by the handler.
+        """
+        if space is None:
+            space = self.current_space
+        end = vstart + length
+        doomed = [
+            vpn
+            for (entry_space, vpn), bucket in self._where.items()
+            if entry_space == space
+            and self._entry_overlaps(vpn, space, bucket, vstart, end)
+        ]
+        for vpn in doomed:
+            self.purge_vpn(vpn, space)
+        return len(doomed)
+
+    def _entry_overlaps(
+        self, vpn: int, space: int, bucket: int, vstart: int, end: int
+    ) -> bool:
+        for entry_space, entry_vpn, mapping, _paddr in self._chains.get(
+            bucket, []
+        ):
+            if entry_vpn == vpn and entry_space == space:
+                return mapping.vbase < end and mapping.vend > vstart
+        return False
+
+    @property
+    def resident_entries(self) -> int:
+        """Number of installed entries."""
+        return len(self._where)

@@ -1,0 +1,180 @@
+"""Per-process OS page tables.
+
+The authoritative virtual-to-physical mapping store.  Base pages and
+superpages coexist: a base-page mapping points at one real frame; a
+superpage mapping points at a (shadow) physical base covering many base
+pages.  The software TLB miss handler consults these tables (through the
+hashed page table) and the VM subsystem rewrites them on remap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional
+
+from ..core.addrspace import (
+    BASE_PAGE_SHIFT,
+    BASE_PAGE_SIZE,
+    is_mapping_size,
+)
+
+
+class MappingError(Exception):
+    """An invalid mapping operation (overlap, misalignment, absent)."""
+
+
+@dataclass(frozen=True)
+class Mapping:
+    """One virtual mapping: [vbase, vbase+size) -> [pbase, pbase+size)."""
+
+    vbase: int
+    pbase: int
+    size: int
+    writable: bool = True
+
+    def __post_init__(self) -> None:
+        if not is_mapping_size(self.size):
+            raise MappingError(f"{self.size:#x} is not a legal mapping size")
+        if self.vbase % self.size:
+            raise MappingError(
+                f"vbase {self.vbase:#010x} not aligned to {self.size:#x}"
+            )
+
+    @property
+    def vend(self) -> int:
+        """One past the last mapped virtual address."""
+        return self.vbase + self.size
+
+    @property
+    def is_superpage(self) -> bool:
+        """True if this mapping covers more than one base page."""
+        return self.size > BASE_PAGE_SIZE
+
+    def translate(self, vaddr: int) -> int:
+        """Translate *vaddr* (must lie inside this mapping)."""
+        return self.pbase + (vaddr - self.vbase)
+
+
+class PageTable:
+    """Mappings for one process's address space.
+
+    Base-page mappings live in a dict keyed by virtual page number; each
+    superpage mapping is entered under *every* constituent base VPN so a
+    single dict probe resolves any address (this is an OS data structure,
+    not hardware — the dense representation just keeps lookups O(1); the
+    entry count is bounded by the process footprint).
+    """
+
+    def __init__(self) -> None:
+        self._by_vpn: Dict[int, Mapping] = {}
+        self._superpages: Dict[int, Mapping] = {}
+
+    # ------------------------------------------------------------------ #
+    # Installation / removal
+    # ------------------------------------------------------------------ #
+
+    def map_base_page(
+        self, vaddr: int, pfn: int, writable: bool = True
+    ) -> Mapping:
+        """Map one base page at *vaddr* to frame *pfn*."""
+        if vaddr % BASE_PAGE_SIZE:
+            raise MappingError(f"{vaddr:#010x} is not page aligned")
+        vpn = vaddr >> BASE_PAGE_SHIFT
+        if vpn in self._by_vpn:
+            raise MappingError(f"{vaddr:#010x} is already mapped")
+        mapping = Mapping(
+            vbase=vaddr,
+            pbase=pfn << BASE_PAGE_SHIFT,
+            size=BASE_PAGE_SIZE,
+            writable=writable,
+        )
+        self._by_vpn[vpn] = mapping
+        return mapping
+
+    def map_superpage(
+        self, vbase: int, pbase: int, size: int, writable: bool = True
+    ) -> Mapping:
+        """Map a superpage; every covered base page must be unmapped."""
+        mapping = Mapping(vbase=vbase, pbase=pbase, size=size,
+                          writable=writable)
+        if not mapping.is_superpage:
+            raise MappingError("use map_base_page for base-page mappings")
+        first_vpn = vbase >> BASE_PAGE_SHIFT
+        count = size >> BASE_PAGE_SHIFT
+        for vpn in range(first_vpn, first_vpn + count):
+            if vpn in self._by_vpn:
+                raise MappingError(
+                    f"superpage overlaps existing mapping at vpn {vpn:#x}"
+                )
+        for vpn in range(first_vpn, first_vpn + count):
+            self._by_vpn[vpn] = mapping
+        self._superpages[vbase] = mapping
+        return mapping
+
+    def unmap_range(self, vstart: int, length: int) -> List[Mapping]:
+        """Remove every mapping wholly inside ``[vstart, vstart+length)``.
+
+        Returns the distinct mappings removed.  A superpage straddling the
+        range boundary is an error — the OS never partially unmaps one.
+        """
+        if vstart % BASE_PAGE_SIZE or length % BASE_PAGE_SIZE:
+            raise MappingError("unmap range must be page aligned")
+        end = vstart + length
+        removed: List[Mapping] = []
+        seen = set()
+        first_vpn = vstart >> BASE_PAGE_SHIFT
+        last_vpn = (end - 1) >> BASE_PAGE_SHIFT
+        for vpn in range(first_vpn, last_vpn + 1):
+            mapping = self._by_vpn.get(vpn)
+            if mapping is None or mapping.vbase in seen:
+                continue
+            if mapping.vbase < vstart or mapping.vend > end:
+                raise MappingError(
+                    f"mapping {mapping.vbase:#010x}+{mapping.size:#x} "
+                    "straddles the unmap range"
+                )
+            seen.add(mapping.vbase)
+            removed.append(mapping)
+            self._drop(mapping)
+        return removed
+
+    def _drop(self, mapping: Mapping) -> None:
+        first_vpn = mapping.vbase >> BASE_PAGE_SHIFT
+        count = mapping.size >> BASE_PAGE_SHIFT
+        for vpn in range(first_vpn, first_vpn + count):
+            del self._by_vpn[vpn]
+        if mapping.is_superpage:
+            del self._superpages[mapping.vbase]
+
+    # ------------------------------------------------------------------ #
+    # Lookup
+    # ------------------------------------------------------------------ #
+
+    def lookup(self, vaddr: int) -> Optional[Mapping]:
+        """Return the mapping covering *vaddr*, or None."""
+        return self._by_vpn.get(vaddr >> BASE_PAGE_SHIFT)
+
+    def translate(self, vaddr: int) -> int:
+        """Translate *vaddr*; raises :class:`MappingError` if unmapped."""
+        mapping = self._by_vpn.get(vaddr >> BASE_PAGE_SHIFT)
+        if mapping is None:
+            raise MappingError(f"{vaddr:#010x} is not mapped")
+        return mapping.translate(vaddr)
+
+    def mappings(self) -> Iterator[Mapping]:
+        """Yield each distinct mapping once, in ascending vbase order."""
+        seen = set()
+        for vpn in sorted(self._by_vpn):
+            mapping = self._by_vpn[vpn]
+            if mapping.vbase not in seen:
+                seen.add(mapping.vbase)
+                yield mapping
+
+    def superpages(self) -> List[Mapping]:
+        """Return the resident superpage mappings."""
+        return [self._superpages[k] for k in sorted(self._superpages)]
+
+    @property
+    def mapped_bytes(self) -> int:
+        """Total bytes of mapped virtual address space."""
+        return len(self._by_vpn) * BASE_PAGE_SIZE

@@ -1,0 +1,220 @@
+"""Paging of shadow-backed superpages, one base page at a time.
+
+Conventional superpages force the OS to swap the whole superpage.  Because
+the MTLB keeps *per-base-page* referenced and dirty bits in the shadow
+page table (Section 2.5), the OS can instead:
+
+* run a CLOCK hand over the base pages of live shadow superpages, using
+  the MMC-maintained referenced bits;
+* evict a single cold base page: flush (only) its lines, write it to the
+  backing store only if its dirty bit is set, invalidate its shadow
+  mapping, and free its frame — the CPU TLB superpage entry stays put;
+* on a later access, the MTLB raises a precise fault (Section 4's
+  bad-parity signalling) and the page-in path brings just that base page
+  back, possibly into a different frame.
+
+Disk timings are simulated constants; the interesting measurements are the
+*counts* (pages and bytes moved), which is where per-base-page paging beats
+whole-superpage swapping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.addrspace import BASE_PAGE_SHIFT, BASE_PAGE_SIZE
+from .vm import ShadowSuperpage, VmSubsystem
+
+
+@dataclass(frozen=True)
+class PagingCosts:
+    """Simulated costs of paging operations, in CPU cycles."""
+
+    #: Transfer one 4 KB page to/from the backing store (a fast disk of
+    #: the era; the absolute value only scales the demo numbers).
+    disk_transfer: int = 250_000
+    #: Fault handling overhead (trap decode, table lookups).
+    fault_overhead: int = 2_000
+    #: Per-page CLOCK sweep bookkeeping.
+    sweep_page: int = 40
+
+
+@dataclass
+class PagingStats:
+    """Event counters for the pager."""
+
+    pages_out: int = 0
+    pages_in: int = 0
+    dirty_writebacks: int = 0
+    clean_drops: int = 0
+    faults: int = 0
+    sweeps: int = 0
+
+
+class BackingStore:
+    """Swap space keyed by shadow page index."""
+
+    def __init__(self) -> None:
+        self._slots: Dict[int, bool] = {}
+
+    def put(self, shadow_index: int) -> None:
+        """Record that a base page's contents now live on disk."""
+        self._slots[shadow_index] = True
+
+    def take(self, shadow_index: int) -> None:
+        """Consume the slot on page-in."""
+        if shadow_index not in self._slots:
+            raise KeyError(
+                f"shadow page {shadow_index:#x} is not in the backing store"
+            )
+        del self._slots[shadow_index]
+
+    def holds(self, shadow_index: int) -> bool:
+        """True if the base page is currently swapped out."""
+        return shadow_index in self._slots
+
+    @property
+    def occupancy(self) -> int:
+        """Number of swapped-out base pages."""
+        return len(self._slots)
+
+
+class Pager:
+    """CLOCK replacement over shadow-backed base pages."""
+
+    def __init__(
+        self,
+        vm: VmSubsystem,
+        costs: PagingCosts = PagingCosts(),
+    ) -> None:
+        self.vm = vm
+        self.costs = costs
+        self.store = BackingStore()
+        self.stats = PagingStats()
+        self._clock_hand = 0
+
+    # ------------------------------------------------------------------ #
+    # CLOCK sweep
+    # ------------------------------------------------------------------ #
+
+    def _resident_pages(self) -> List[Tuple[ShadowSuperpage, int]]:
+        """All resident (record, page_index_within_superpage) pairs."""
+        out: List[Tuple[ShadowSuperpage, int]] = []
+        for base in sorted(self.vm.shadow_superpages):
+            record = self.vm.shadow_superpages[base]
+            for i, pfn in enumerate(record.pfns):
+                if pfn is not None:
+                    out.append((record, i))
+        return out
+
+    def clock_select(self, count: int) -> Tuple[List[Tuple[ShadowSuperpage, int]], int]:
+        """Select *count* eviction victims with the CLOCK algorithm.
+
+        Sweeps the resident shadow base pages from the saved hand
+        position: a page whose referenced bit is set gets the bit cleared
+        and is passed over; a page with the bit clear is selected.
+        Returns ``(victims, cycles)``.
+        """
+        machine = self.vm._require_machine()
+        table = machine.mmc.shadow_table
+        resident = self._resident_pages()
+        victims: List[Tuple[ShadowSuperpage, int]] = []
+        cycles = 0
+        if not resident:
+            return victims, cycles
+        self.stats.sweeps += 1
+        scanned = 0
+        max_scan = 2 * len(resident)
+        while len(victims) < count and scanned < max_scan:
+            record, page_i = resident[self._clock_hand % len(resident)]
+            self._clock_hand = (self._clock_hand + 1) % len(resident)
+            scanned += 1
+            cycles += self.costs.sweep_page
+            shadow_index = record.first_shadow_index + page_i
+            entry = table.entry(shadow_index)
+            if entry.referenced:
+                table.clear_referenced(shadow_index)
+                # The MTLB may hold a cached copy with the stale bit; purge
+                # so future fills re-report references.
+                machine.mmc.mtlb.purge(shadow_index)
+            elif (record, page_i) not in victims:
+                victims.append((record, page_i))
+        return victims, cycles
+
+    # ------------------------------------------------------------------ #
+    # Page-out
+    # ------------------------------------------------------------------ #
+
+    def page_out(self, record: ShadowSuperpage, page_i: int) -> int:
+        """Evict one base page of a shadow superpage.
+
+        Only the lines of that base page are flushed; the page is written
+        to disk only if its MTLB-maintained dirty bit is set.  Returns the
+        simulated cycle cost.
+        """
+        machine = self.vm._require_machine()
+        pfn = record.pfns[page_i]
+        if pfn is None:
+            raise ValueError("base page is already swapped out")
+        shadow_index = record.first_shadow_index + page_i
+        table = machine.mmc.shadow_table
+        entry = table.entry(shadow_index)
+        vaddr = record.vbase + (page_i << BASE_PAGE_SHIFT)
+
+        # Flush this base page's lines from the cache; dirty lines reach
+        # DRAM before the mapping is invalidated.
+        cycles, _dirty_lines = machine.flush_virtual_range(
+            record.process, vaddr, BASE_PAGE_SIZE
+        )
+
+        if entry.dirty:
+            cycles += self.costs.disk_transfer
+            self.stats.dirty_writebacks += 1
+        else:
+            self.stats.clean_drops += 1
+        self.store.put(shadow_index)
+        if hasattr(machine, "page_data_out"):
+            machine.page_data_out(pfn, shadow_index)
+
+        machine.mmc.invalidate_mapping(shadow_index)
+        table.clear_dirty(shadow_index)
+        table.clear_referenced(shadow_index)
+        self.vm.frames.free(pfn)
+        record.pfns[page_i] = None
+        self.stats.pages_out += 1
+        return cycles
+
+    # ------------------------------------------------------------------ #
+    # Page-in (MTLB precise fault service)
+    # ------------------------------------------------------------------ #
+
+    def page_in(self, shadow_index: int) -> int:
+        """Service an MTLB fault: bring one base page back from disk.
+
+        The page may land in a different frame; only the MMC's mapping
+        entry changes — the CPU TLB superpage entry is untouched, which is
+        the whole point.  Returns the simulated cycle cost.
+        """
+        machine = self.vm._require_machine()
+        record = self.vm.record_for_shadow_index(shadow_index)
+        if record is None:
+            raise KeyError(
+                f"shadow page {shadow_index:#x} belongs to no superpage"
+            )
+        page_i = shadow_index - record.first_shadow_index
+        if record.pfns[page_i] is not None:
+            raise ValueError("base page is already resident")
+        self.store.take(shadow_index)
+        pfn = self.vm.frames.allocate()
+        record.pfns[page_i] = pfn
+        if hasattr(machine, "page_data_in"):
+            machine.page_data_in(pfn, shadow_index)
+        machine.mmc.revalidate_mapping(shadow_index, pfn)
+        self.stats.faults += 1
+        self.stats.pages_in += 1
+        return self.costs.fault_overhead + self.costs.disk_transfer
+
+    def resident_count(self, record: ShadowSuperpage) -> int:
+        """Number of resident base pages in one superpage."""
+        return sum(1 for pfn in record.pfns if pfn is not None)

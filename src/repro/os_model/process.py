@@ -1,0 +1,78 @@
+"""Simulated user processes.
+
+A process is an address space: a page table, named segments (text, data,
+buffers...), and a heap grown by ``sbrk``.  Workload models allocate their
+data structures through these, so the addresses in a trace correspond to
+real mappings the miss handler can find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+from ..core.addrspace import BASE_PAGE_SIZE, align_up
+from .page_table import PageTable
+
+
+@dataclass(frozen=True)
+class Segment:
+    """A named, contiguous region of the process's virtual space."""
+
+    name: str
+    vbase: int
+    length: int
+
+    @property
+    def vend(self) -> int:
+        """One past the last byte of the segment."""
+        return self.vbase + self.length
+
+
+@dataclass
+class Process:
+    """One simulated process."""
+
+    pid: int
+    name: str
+    page_table: PageTable = field(default_factory=PageTable)
+    segments: Dict[str, Segment] = field(default_factory=dict)
+    #: Base of the heap region (grows upward from here).
+    heap_base: int = 0x1000_0000
+    #: Current program break (first unmapped heap address).
+    brk: int = 0x1000_0000
+
+    def add_segment(self, name: str, vbase: int, length: int) -> Segment:
+        """Register a named segment (page-aligned)."""
+        if vbase % BASE_PAGE_SIZE:
+            raise ValueError(f"segment base {vbase:#010x} not page aligned")
+        length = align_up(length, BASE_PAGE_SIZE)
+        for seg in self.segments.values():
+            if vbase < seg.vend and vbase + length > seg.vbase:
+                raise ValueError(
+                    f"segment {name!r} overlaps segment {seg.name!r}"
+                )
+        segment = Segment(name=name, vbase=vbase, length=length)
+        self.segments[name] = segment
+        return segment
+
+    def segment(self, name: str) -> Segment:
+        """Return the named segment; raises KeyError if absent."""
+        return self.segments[name]
+
+    def grow_brk(self, new_brk: int) -> int:
+        """Advance the program break; returns the old break."""
+        if new_brk < self.brk:
+            raise ValueError("shrinking the heap is not supported")
+        old = self.brk
+        self.brk = new_brk
+        return old
+
+    @property
+    def heap_bytes(self) -> int:
+        """Current heap extent in bytes."""
+        return self.brk - self.heap_base
+
+    def resolve_vpn(self, vpn: int):
+        """Resolver hook for the hashed page table."""
+        return self.page_table.lookup(vpn << 12)

@@ -1,0 +1,127 @@
+"""User-visible allocation interfaces: ``remap()`` and the modified ``sbrk()``.
+
+Section 2.3 of the paper: applications opt into superpages either with an
+explicit ``remap()`` system call over a region they already mapped, or
+transparently through a modified ``sbrk()`` that pre-allocates a large
+heap region, remaps it onto shadow superpages once, and then satisfies
+small allocations from the pool.  Vortex and gcc create all their
+superpages this way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..core.addrspace import BASE_PAGE_SIZE, align_up
+from .process import Process
+from .vm import RemapReport, VmSubsystem
+
+
+@dataclass
+class SbrkStats:
+    """Counters for the modified sbrk allocator."""
+
+    calls: int = 0
+    pool_hits: int = 0
+    growths: int = 0
+    bytes_allocated: int = 0
+    bytes_mapped: int = 0
+    grow_cycles: int = 0
+
+
+@dataclass
+class _Pool:
+    """The current pre-allocated region small requests are served from."""
+
+    base: int
+    limit: int
+    cursor: int
+
+
+class SbrkAllocator:
+    """The paper's modified ``sbrk()``.
+
+    *initial_prealloc* is the size of the first pre-allocated region
+    (vortex uses 8 MB so its basic datasets land in one mapping group);
+    *increment* is the growth size afterwards (vortex drops to 2 MB).
+    With ``use_superpages=False`` this degrades to a plain page-at-a-time
+    sbrk — the baseline configuration.
+    """
+
+    def __init__(
+        self,
+        vm: VmSubsystem,
+        process: Process,
+        initial_prealloc: int = 8 << 20,
+        increment: int = 2 << 20,
+        use_superpages: bool = True,
+    ) -> None:
+        if initial_prealloc <= 0 or increment <= 0:
+            raise ValueError("prealloc sizes must be positive")
+        self.vm = vm
+        self.process = process
+        self.initial_prealloc = align_up(initial_prealloc, BASE_PAGE_SIZE)
+        self.increment = align_up(increment, BASE_PAGE_SIZE)
+        self.use_superpages = use_superpages
+        self._pool: Optional[_Pool] = None
+        self._first_growth_done = False
+        self.stats = SbrkStats()
+        self.remap_reports: List[RemapReport] = []
+
+    def set_increment(self, increment: int) -> None:
+        """Change the growth size for subsequent pool refills."""
+        if increment <= 0:
+            raise ValueError("increment must be positive")
+        self.increment = align_up(increment, BASE_PAGE_SIZE)
+
+    def sbrk(self, nbytes: int) -> int:
+        """Allocate *nbytes*; returns the virtual address.
+
+        Small requests are bump-pointer allocations from the pool; when
+        the pool runs dry a new region is mapped (and, in superpage mode,
+        remapped onto shadow superpages immediately).
+        """
+        if nbytes <= 0:
+            raise ValueError("allocation size must be positive")
+        self.stats.calls += 1
+        nbytes = (nbytes + 7) & ~7  # 8-byte alignment, like malloc
+        pool = self._pool
+        if pool is not None and pool.cursor + nbytes <= pool.limit:
+            addr = pool.cursor
+            pool.cursor += nbytes
+            self.stats.pool_hits += 1
+            self.stats.bytes_allocated += nbytes
+            return addr
+        self._grow(nbytes)
+        return self.sbrk(nbytes)
+
+    def _grow(self, nbytes: int) -> None:
+        """Map (and remap) a new pool region at the top of the heap."""
+        base_size = (
+            self.initial_prealloc
+            if not self._first_growth_done
+            else self.increment
+        )
+        region_size = max(base_size, align_up(nbytes, BASE_PAGE_SIZE))
+        vbase = align_up(self.process.brk, BASE_PAGE_SIZE)
+        cycles = self.vm.map_region(self.process, vbase, region_size)
+        if self.use_superpages:
+            report = self.vm.remap_to_shadow(self.process, vbase, region_size)
+            self.remap_reports.append(report)
+            cycles += report.total_cycles
+        self.process.grow_brk(vbase + region_size)
+        self._pool = _Pool(
+            base=vbase, limit=vbase + region_size, cursor=vbase
+        )
+        self._first_growth_done = True
+        self.stats.growths += 1
+        self.stats.bytes_mapped += region_size
+        self.stats.grow_cycles += cycles
+
+    @property
+    def pool_remaining(self) -> int:
+        """Bytes left in the current pool."""
+        if self._pool is None:
+            return 0
+        return self._pool.limit - self._pool.cursor

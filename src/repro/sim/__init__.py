@@ -1,0 +1,47 @@
+"""Simulator driver: configuration, the machine, statistics, results."""
+
+from .config import (
+    CPU_HZ,
+    CacheConfig,
+    MtlbConfig,
+    SystemConfig,
+    TlbConfig,
+    figure3_configs,
+    figure4_configs,
+    paper_base,
+    paper_mtlb,
+    paper_no_mtlb,
+    with_check_penalty,
+)
+from .multiprog import MultiProgram, MultiRunResult, run_job_mix
+from .report import compare_runs, describe_run
+from .results import ResultMatrix, RunResult, render_series, render_table
+from .stats import RunStats
+from .system import SimulationError, System, simulate
+
+__all__ = [
+    "CPU_HZ",
+    "CacheConfig",
+    "MtlbConfig",
+    "SystemConfig",
+    "TlbConfig",
+    "figure3_configs",
+    "figure4_configs",
+    "paper_base",
+    "paper_mtlb",
+    "paper_no_mtlb",
+    "with_check_penalty",
+    "MultiProgram",
+    "MultiRunResult",
+    "run_job_mix",
+    "compare_runs",
+    "describe_run",
+    "ResultMatrix",
+    "RunResult",
+    "render_series",
+    "render_table",
+    "RunStats",
+    "SimulationError",
+    "System",
+    "simulate",
+]

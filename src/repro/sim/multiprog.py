@@ -1,0 +1,216 @@
+"""Multiprogrammed simulation: several processes time-slicing one machine.
+
+The paper's kernel supports process control and scheduling; its
+measurements are single-program, but the mechanism's behaviour under
+time-slicing is where superpages shine twice over:
+
+* the (untagged) CPU TLB is flushed on every context switch, so each
+  quantum starts by re-faulting the working set in — hundreds of
+  base-page refills, or a handful of superpage refills;
+* the MTLB and the cache are physically indexed state that *survives*
+  switches, so the shadow path's warm state persists across quanta.
+
+This driver runs N workload traces round-robin on one
+:class:`~repro.sim.system.System`, splitting trace segments into
+quantum-sized slices and charging a context-switch cost (kernel state
+save/restore plus the TLB flush) at every rotation.  The hashed page
+table is shared across processes via PA-RISC-style space identifiers, so
+overlapping virtual layouts coexist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.addrspace import BASE_PAGE_SHIFT
+from ..trace.trace import Segment, Trace
+from .config import SystemConfig
+from .results import RunResult
+from .system import System
+
+#: Fixed kernel cost of one context switch (state save/restore,
+#: scheduler), excluding the TLB refill costs it induces.
+DEFAULT_SWITCH_COST = 3_000
+#: References per scheduling quantum (~a few hundred thousand cycles,
+#: i.e. of the order of a short 1990s timeslice).
+DEFAULT_QUANTUM_REFS = 100_000
+
+
+def split_segment(segment: Segment, quantum_refs: int) -> List[Segment]:
+    """Split one segment into quantum-sized slices (views, not copies)."""
+    if quantum_refs <= 0:
+        raise ValueError("quantum_refs must be positive")
+    if segment.refs <= quantum_refs:
+        return [segment]
+    slices = []
+    for start in range(0, segment.refs, quantum_refs):
+        end = min(start + quantum_refs, segment.refs)
+        slices.append(
+            Segment(
+                f"{segment.label}[{start}:{end}]",
+                segment.ops[start:end],
+                segment.vaddrs[start:end],
+                segment.gaps[start:end],
+                text_pages=segment.text_pages,
+            )
+        )
+    return slices
+
+
+@dataclass
+class MultiRunResult:
+    """Outcome of one multiprogrammed run."""
+
+    result: RunResult
+    context_switches: int
+    per_process_cycles: Dict[str, int]
+
+    @property
+    def total_cycles(self) -> int:
+        """Total machine cycles across all processes."""
+        return self.result.total_cycles
+
+
+class MultiProgram:
+    """Round-robin execution of several traces on one machine."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        traces: List[Trace],
+        quantum_refs: int = DEFAULT_QUANTUM_REFS,
+        switch_cost: int = DEFAULT_SWITCH_COST,
+    ) -> None:
+        if not traces:
+            raise ValueError("need at least one trace")
+        names = [t.name for t in traces]
+        if len(set(names)) != len(names):
+            raise ValueError("trace names must be unique per run")
+        self.config = config
+        self.traces = traces
+        self.quantum_refs = quantum_refs
+        self.switch_cost = switch_cost
+
+    def run(self) -> MultiRunResult:
+        """Simulate the job mix from boot through the last exit."""
+        system = System(self.config)
+        if system._ran:  # pragma: no cover - defensive
+            raise RuntimeError("stale System")
+        system._ran = True  # this driver owns the machine
+        stats = system.stats
+        kernel = system.kernel
+
+        stats.kernel_cycles += kernel.costs.boot
+
+        # Create every process, map its text, queue its (sliced) items.
+        queues: List[List] = []
+        processes = []
+        for trace in self.traces:
+            stats.kernel_cycles += kernel.costs.fork_exec
+            process = kernel.create_process(trace.name)
+            stats.kernel_cycles += kernel.sys_map(
+                process, trace.text_base, trace.text_size
+            )
+            items: List = []
+            for item in trace.items:
+                if isinstance(item, Segment):
+                    items.extend(split_segment(item, self.quantum_refs))
+                else:
+                    items.append(item)
+            queues.append(items)
+            processes.append(process)
+
+        per_process_cycles: Dict[str, int] = {
+            t.name: 0 for t in self.traces
+        }
+        switches = 0
+        current = -1
+        cursors = [0] * len(queues)
+        live = set(range(len(queues)))
+
+        while live:
+            progressed = False
+            for i in sorted(live):
+                if cursors[i] >= len(queues[i]):
+                    stats.kernel_cycles += kernel.costs.exit
+                    live.discard(i)
+                    continue
+                if current != i:
+                    self._switch(system, processes[i], current >= 0)
+                    if current >= 0:
+                        switches += 1
+                        stats.kernel_cycles += self.switch_cost
+                    current = i
+                # Run kernel events until (and including) one segment.
+                seg_before = len(system.segment_cycles)
+                cycles_before = self._machine_cycles(stats)
+                while cursors[i] < len(queues[i]):
+                    item = queues[i][cursors[i]]
+                    cursors[i] += 1
+                    if isinstance(item, Segment):
+                        system._run_segment(item, processes[i])
+                        break
+                    system._exec_event(item, processes[i])
+                per_process_cycles[self.traces[i].name] += (
+                    self._machine_cycles(stats) - cycles_before
+                )
+                progressed = True
+            if not progressed:
+                break
+
+        subtotal = self._machine_cycles(stats)
+        stats.kernel_cycles += kernel.timer_cycles(subtotal)
+        stats.total_cycles = self._machine_cycles(stats)
+        system._harvest_component_stats()
+        stats.check_consistency()
+        label = f"{self.config.label}@q{self.quantum_refs}"
+        result = RunResult(
+            workload="+".join(t.name for t in self.traces),
+            config_label=label,
+            stats=stats,
+        )
+        return MultiRunResult(
+            result=result,
+            context_switches=switches,
+            per_process_cycles=per_process_cycles,
+        )
+
+    def _switch(self, system: System, process, flush: bool) -> None:
+        """Context switch: rebind the kernel, flush the untagged TLB."""
+        system.kernel.switch_to(process)
+        if flush:
+            system.tlb.flush_all()
+            system.micro_itlb.invalidate()
+        # Instruction-side state follows the process.
+        system._text_base = next(
+            t.text_base for t in self.traces if t.name == process.name
+        )
+        system._text_page_count = max(
+            1,
+            next(
+                t.text_size for t in self.traces if t.name == process.name
+            )
+            >> BASE_PAGE_SHIFT,
+        )
+
+    @staticmethod
+    def _machine_cycles(stats) -> int:
+        return (
+            stats.instruction_cycles
+            + stats.memory_stall_cycles
+            + stats.tlb_miss_cycles
+            + stats.kernel_cycles
+        )
+
+
+def run_job_mix(
+    config: SystemConfig,
+    traces: List[Trace],
+    quantum_refs: int = DEFAULT_QUANTUM_REFS,
+    switch_cost: int = DEFAULT_SWITCH_COST,
+) -> MultiRunResult:
+    """Convenience wrapper: build and run one multiprogrammed mix."""
+    return MultiProgram(
+        config, traces, quantum_refs=quantum_refs, switch_cost=switch_cost
+    ).run()

@@ -1,0 +1,95 @@
+"""Human-readable run reports: the full cycle and event breakdown.
+
+``describe_run`` turns one :class:`~repro.sim.results.RunResult` into the
+kind of breakdown the paper's figures are built from — where the cycles
+went (instructions / memory stalls / TLB misses / kernel), the TLB and
+MTLB behaviour, and the cache-fill picture — as plain text.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .config import CPU_HZ
+from .results import RunResult
+
+
+def _pct(part: int, whole: int) -> str:
+    return f"{100 * part / whole:5.1f}%" if whole else "  n/a"
+
+
+def describe_run(result: RunResult, title: Optional[str] = None) -> str:
+    """Render one run's statistics as an indented text block."""
+    stats = result.stats
+    total = stats.total_cycles
+    lines: List[str] = []
+    lines.append(title or f"{result.workload} on {result.config_label}")
+    lines.append(
+        f"  runtime        {total:>14,} cycles"
+        f"  ({total / CPU_HZ * 1e3:.2f} ms at 240 MHz)"
+    )
+    lines.append(
+        f"  instructions   {stats.instructions:>14,}"
+        f"  (CPI {stats.cpi:.2f})"
+    )
+    lines.append("  where the cycles went:")
+    lines.append(
+        f"    instruction issue   {stats.instruction_cycles:>14,}"
+        f"  {_pct(stats.instruction_cycles, total)}"
+    )
+    lines.append(
+        f"    memory stalls       {stats.memory_stall_cycles:>14,}"
+        f"  {_pct(stats.memory_stall_cycles, total)}"
+    )
+    lines.append(
+        f"    TLB miss handling   {stats.tlb_miss_cycles:>14,}"
+        f"  {_pct(stats.tlb_miss_cycles, total)}"
+    )
+    lines.append(
+        f"    kernel              {stats.kernel_cycles:>14,}"
+        f"  {_pct(stats.kernel_cycles, total)}"
+    )
+    lines.append(
+        f"  CPU TLB: {stats.tlb_lookups:,} lookups, "
+        f"{stats.tlb_misses:,} misses "
+        f"({100 * stats.tlb_miss_rate:.3f}%)"
+    )
+    lines.append(
+        f"  cache: {stats.cache_accesses:,} accesses, "
+        f"{100 * stats.cache_hit_rate:.1f}% hits, "
+        f"{stats.cache_writebacks:,} writebacks"
+    )
+    lines.append(
+        f"  fills: {stats.fills:,} at {stats.avg_fill_cycles:.1f} "
+        f"CPU cycles average"
+    )
+    if stats.mtlb_lookups:
+        lines.append(
+            f"  MTLB: {stats.mtlb_lookups:,} lookups, "
+            f"{100 * stats.mtlb_hit_rate:.1f}% hits, "
+            f"{stats.mtlb_faults:,} faults"
+        )
+    if stats.remap_pages:
+        lines.append(
+            f"  remap: {stats.remap_pages:,} pages in "
+            f"{stats.remap_cycles:,} cycles "
+            f"({stats.remap_flush_cycles:,} flushing)"
+        )
+    return "\n".join(lines)
+
+
+def compare_runs(base: RunResult, other: RunResult) -> str:
+    """Render two runs side by side with the headline ratio."""
+    ratio = other.total_cycles / base.total_cycles
+    parts = [
+        describe_run(base),
+        "",
+        describe_run(other),
+        "",
+        (
+            f"{other.config_label} runs at {ratio:.3f}x of "
+            f"{base.config_label} "
+            f"({100 * (1 - ratio):+.1f}% runtime)"
+        ),
+    ]
+    return "\n".join(parts)

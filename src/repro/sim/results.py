@@ -1,0 +1,118 @@
+"""Run-result records, normalisation, and ASCII rendering helpers.
+
+The paper reports runtimes *normalised to a base system* (96-entry CPU
+TLB, no MTLB) and breaks out the fraction of runtime spent in TLB miss
+handling.  This module holds the small amount of shared machinery the
+benchmark harness uses to produce those rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence
+
+from .stats import RunStats
+
+
+@dataclass
+class RunResult:
+    """Outcome of simulating one workload on one configuration."""
+
+    workload: str
+    config_label: str
+    stats: RunStats
+
+    @property
+    def total_cycles(self) -> int:
+        """Total simulated runtime in CPU cycles."""
+        return self.stats.total_cycles
+
+    @property
+    def tlb_time_fraction(self) -> float:
+        """Fraction of runtime spent in TLB miss handling."""
+        return self.stats.tlb_time_fraction
+
+    def normalised_to(self, base: "RunResult") -> float:
+        """Runtime relative to *base* (1.0 = identical)."""
+        if base.total_cycles == 0:
+            raise ValueError("base run has zero cycles")
+        return self.total_cycles / base.total_cycles
+
+
+class ResultMatrix:
+    """Results indexed by (workload, config label), with a base config."""
+
+    def __init__(self, base_label: str) -> None:
+        self.base_label = base_label
+        self._results: Dict[str, Dict[str, RunResult]] = {}
+
+    def add(self, result: RunResult) -> None:
+        """Record one run."""
+        self._results.setdefault(result.workload, {})[
+            result.config_label
+        ] = result
+
+    def get(self, workload: str, config_label: str) -> RunResult:
+        """Fetch one run; raises KeyError if absent."""
+        return self._results[workload][config_label]
+
+    def workloads(self) -> List[str]:
+        """Workload names in insertion order."""
+        return list(self._results)
+
+    def normalised(self, workload: str, config_label: str) -> float:
+        """Runtime normalised to the workload's base-config run."""
+        base = self.get(workload, self.base_label)
+        return self.get(workload, config_label).normalised_to(base)
+
+    def row(
+        self, workload: str, config_labels: Sequence[str]
+    ) -> List[float]:
+        """Normalised runtimes for one workload across configurations."""
+        return [self.normalised(workload, c) for c in config_labels]
+
+
+# ---------------------------------------------------------------------- #
+# ASCII rendering
+# ---------------------------------------------------------------------- #
+
+
+def render_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: Optional[str] = None,
+) -> str:
+    """Render a plain monospace table (the harness's printed artifacts)."""
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in str_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    sep = "-+-".join("-" * w for w in widths)
+    lines.append(" | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(
+            " | ".join(cell.rjust(w) for cell, w in zip(row, widths))
+        )
+    return "\n".join(lines)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.3f}"
+    return str(cell)
+
+
+def render_series(
+    name: str, points: Mapping[str, float], unit: str = ""
+) -> str:
+    """Render one named series as ``label: value`` lines (figure data)."""
+    lines = [f"{name}:"]
+    for label, value in points.items():
+        suffix = f" {unit}" if unit else ""
+        lines.append(f"  {label:>24s} = {value:.4f}{suffix}")
+    return "\n".join(lines)

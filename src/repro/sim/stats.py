@@ -1,0 +1,120 @@
+"""Run statistics: raw counters and the derived metrics the paper reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+
+@dataclass
+class RunStats:
+    """Cycle and event totals for one simulated run.
+
+    Cycle categories are disjoint and sum to ``total_cycles``:
+
+    * ``instruction_cycles`` — instruction issue (including single-cycle
+      cache hits);
+    * ``memory_stall_cycles`` — processor stalls on cache fills for
+      ordinary program references;
+    * ``tlb_miss_cycles`` — the software TLB miss handler, *including*
+      the memory-system time of its hashed-page-table probes (this is the
+      "TLB miss time" fraction of Figure 3);
+    * ``kernel_cycles`` — boot/exec/exit, syscalls (remap, sbrk growth,
+      cache flushing), timer ticks, and MTLB fault service.
+    """
+
+    total_cycles: int = 0
+    instruction_cycles: int = 0
+    memory_stall_cycles: int = 0
+    tlb_miss_cycles: int = 0
+    kernel_cycles: int = 0
+
+    instructions: int = 0
+    references: int = 0
+
+    tlb_lookups: int = 0
+    tlb_misses: int = 0
+    itlb_transitions: int = 0
+    itlb_main_misses: int = 0
+
+    cache_accesses: int = 0
+    cache_misses: int = 0
+    cache_writebacks: int = 0
+
+    fills: int = 0
+    fill_stall_cycles: int = 0
+
+    mtlb_lookups: int = 0
+    mtlb_misses: int = 0
+    mtlb_faults: int = 0
+
+    remap_pages: int = 0
+    remap_cycles: int = 0
+    remap_flush_cycles: int = 0
+
+    extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Derived metrics
+    # ------------------------------------------------------------------ #
+
+    @property
+    def tlb_miss_rate(self) -> float:
+        """CPU TLB misses per lookup."""
+        return self.tlb_misses / self.tlb_lookups if self.tlb_lookups else 0.0
+
+    @property
+    def tlb_time_fraction(self) -> float:
+        """Fraction of total runtime spent handling CPU TLB misses."""
+        return (
+            self.tlb_miss_cycles / self.total_cycles
+            if self.total_cycles
+            else 0.0
+        )
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Data cache hit rate."""
+        return (
+            1.0 - self.cache_misses / self.cache_accesses
+            if self.cache_accesses
+            else 0.0
+        )
+
+    @property
+    def mtlb_hit_rate(self) -> float:
+        """MTLB hit rate (0.0 when no MTLB or no shadow traffic)."""
+        return (
+            1.0 - self.mtlb_misses / self.mtlb_lookups
+            if self.mtlb_lookups
+            else 0.0
+        )
+
+    @property
+    def avg_fill_cycles(self) -> float:
+        """Average processor-visible latency per cache fill, CPU cycles.
+
+        The Figure 4(B) metric: bus + MMC (+ MTLB) time per fill.
+        """
+        return self.fill_stall_cycles / self.fills if self.fills else 0.0
+
+    @property
+    def cpi(self) -> float:
+        """Effective cycles per instruction."""
+        return (
+            self.total_cycles / self.instructions if self.instructions else 0.0
+        )
+
+    def check_consistency(self) -> None:
+        """Raise AssertionError if the cycle categories do not add up."""
+        parts = (
+            self.instruction_cycles
+            + self.memory_stall_cycles
+            + self.tlb_miss_cycles
+            + self.kernel_cycles
+        )
+        if parts != self.total_cycles:
+            raise AssertionError(
+                f"cycle categories sum to {parts}, total is "
+                f"{self.total_cycles}"
+            )

@@ -1,0 +1,559 @@
+"""The simulated machine: wiring, the trace-execution hot loop, timing.
+
+One :class:`System` is one machine for one run: CPU TLB + micro-ITLB +
+block TLB, data cache, bus, MMC (with optional MTLB), DRAM, and the
+MiniKernel.  ``run(trace)`` executes a workload trace from simulated boot
+through process exit and returns a :class:`~repro.sim.results.RunResult`.
+
+Performance note: the reference loop in :meth:`_run_segment` deliberately
+inlines the TLB and direct-mapped cache *hit* paths against the component
+internals (``Tlb._by_size``, ``DirectMappedCache._tags``), accumulating
+statistics locally and folding them back into the component counters at
+segment end.  Misses and every kernel operation go through the ordinary
+component APIs.  This keeps the simulator around a microsecond per
+reference in CPython, which is what makes paper-scale traces feasible.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from ..core.addrspace import BASE_PAGE_SHIFT, BASE_PAGE_SIZE, CACHE_LINE_SIZE
+from ..core.mtlb import Mtlb, MtlbFault
+from ..core.shadow_space import BucketShadowAllocator
+from ..core.shadow_table import ShadowPageTable
+from ..cpu.block_tlb import BlockTlb
+from ..cpu.micro_itlb import MicroItlb
+from ..cpu.miss_handler import PageFault, SoftwareMissHandler
+from ..cpu.tlb import Tlb
+from ..mem.bus import Bus
+from ..mem.cache import DirectMappedCache, build_cache
+from ..mem.dram import Dram
+from ..mem.mmc import MemoryController
+from ..mem.stream_buffers import StreamBufferUnit
+from ..os_model.kernel import MiniKernel
+from ..os_model.process import Process
+from ..trace.events import (
+    HeapGrow,
+    MapConventional,
+    MapRegion,
+    Phase,
+    Remap,
+)
+from ..trace.trace import Segment, Trace
+from .config import SystemConfig
+from .results import RunResult
+from .stats import RunStats
+
+
+class SimulationError(Exception):
+    """An inconsistency the simulated OS/hardware should never produce."""
+
+
+class System:
+    """One simulated machine.  Build a fresh instance per run."""
+
+    def __init__(self, config: SystemConfig) -> None:
+        self.config = config
+        mm = config.memory_map
+        self.dram = Dram(config.dram)
+        self.bus = Bus(config.bus)
+
+        self.shadow_table: Optional[ShadowPageTable] = None
+        self.mtlb: Optional[Mtlb] = None
+        shadow_allocator: Optional[BucketShadowAllocator] = None
+        if config.mtlb.enabled:
+            self.shadow_table = ShadowPageTable(mm, table_base=0)
+            self.mtlb = Mtlb(
+                self.shadow_table,
+                entries=config.mtlb.entries,
+                associativity=config.mtlb.associativity,
+            )
+            shadow_allocator = BucketShadowAllocator(mm)
+
+        stream_unit = None
+        if config.stream_buffers.enabled:
+            stream_unit = StreamBufferUnit(config.stream_buffers, self.dram)
+        self.stream_buffers = stream_unit
+        self.mmc = MemoryController(
+            memory_map=mm,
+            dram=self.dram,
+            timing=config.mmc,
+            shadow_table=self.shadow_table,
+            mtlb=self.mtlb,
+            stream_buffers=stream_unit,
+        )
+        self.cache = build_cache(
+            config.cache.size_bytes,
+            config.cache.associativity,
+            config.cache.physically_indexed,
+        )
+        self.tlb = Tlb(config.tlb.entries)
+        self.micro_itlb = MicroItlb()
+
+        self.kernel = MiniKernel(
+            memory_map=mm,
+            shadow_allocator=shadow_allocator,
+            vm_costs=config.vm_costs,
+            paging_costs=config.paging_costs,
+            costs=config.kernel_costs,
+            fragmentation=config.fragmentation,
+            seed=config.seed,
+            promotion_config=config.promotion,
+            all_shadow=config.all_shadow,
+        )
+        self.kernel.vm.attach_machine(self)
+        self.block_tlb = BlockTlb(
+            vbase=0, pbase=0, size=self.kernel.layout.reserved_bytes
+        )
+        self.miss_handler = SoftwareMissHandler(
+            self.kernel.hpt, config.handler
+        )
+
+        self.stats = RunStats()
+        #: (segment label, cycles attributed to it) in execution order;
+        #: used by the init-cost and phase-analysis benches.
+        self.segment_cycles: List[Tuple[str, int]] = []
+        self._ran = False
+        self._ifetch_counter = 0
+        self._ifetch_instr_accum = 0
+        # Functional data store: real physical word address -> value, plus
+        # swapped-out page contents keyed by shadow page index.
+        self._word_store: Dict[int, int] = {}
+        self._swap_data: Dict[int, Dict[int, int]] = {}
+
+    # ================================================================== #
+    # Machine port used by the OS (costed primitives)
+    # ================================================================== #
+
+    def flush_virtual_range(
+        self, process: Process, vstart: int, length: int
+    ) -> Tuple[int, int]:
+        """Flush a virtual range from the cache, writing dirty lines back.
+
+        Translation uses the process's *current* page tables (callers flush
+        before changing mappings).  Returns ``(cycles, dirty_lines)``.
+        """
+        cfg = self.config.cache
+        cache = self.cache
+        table = process.page_table
+        cycles = 0
+        dirty_lines = 0
+        line = CACHE_LINE_SIZE
+        for page_vaddr in range(vstart, vstart + length, BASE_PAGE_SIZE):
+            mapping = table.lookup(page_vaddr)
+            if mapping is None:
+                raise SimulationError(
+                    f"flush of unmapped page {page_vaddr:#010x}"
+                )
+            delta = mapping.pbase - mapping.vbase
+            for line_vaddr in range(
+                page_vaddr, page_vaddr + BASE_PAGE_SIZE, line
+            ):
+                cycles += cfg.flush_line_cycles
+                present, dirty = cache.flush_line(
+                    line_vaddr, line_vaddr + delta
+                )
+                if present and dirty:
+                    cycles += cfg.flush_dirty_cycles
+                    self.bus.writeback_cycles()
+                    self.mmc.writeback(line_vaddr + delta)
+                    dirty_lines += 1
+        return cycles, dirty_lines
+
+    def shootdown_range(self, vstart: int, length: int) -> int:
+        """Purge CPU TLB entries for a virtual range (and the micro-ITLB)."""
+        removed = self.tlb.shootdown_range(vstart, length)
+        self.micro_itlb.invalidate()
+        return removed
+
+    def uncached_mmc_write(self) -> int:
+        """Cycle cost of one uncached control-register write to the MMC."""
+        return (
+            self.bus.uncached_write_cycles()
+            + self.config.mmc.base_occupancy
+            * self.config.mmc.cpu_cycles_per_mmc_cycle
+        )
+
+    # -- functional data movement used by the pager ---------------------- #
+
+    def page_data_out(self, pfn: int, shadow_index: int) -> None:
+        """Move a frame's functional data to the swap slot (page-out)."""
+        base = pfn << BASE_PAGE_SHIFT
+        slot: Dict[int, int] = {}
+        for offset in range(0, BASE_PAGE_SIZE, 8):
+            value = self._word_store.pop(base + offset, None)
+            if value is not None:
+                slot[offset] = value
+        self._swap_data[shadow_index] = slot
+
+    def page_data_in(self, pfn: int, shadow_index: int) -> None:
+        """Move swapped functional data into a (possibly new) frame."""
+        slot = self._swap_data.pop(shadow_index, {})
+        base = pfn << BASE_PAGE_SHIFT
+        for offset, value in slot.items():
+            self._word_store[base + offset] = value
+
+    # ================================================================== #
+    # Kernel memory accesses (block-TLB mapped, through the data cache)
+    # ================================================================== #
+
+    def _kernel_access(self, paddr: int, is_write: bool) -> int:
+        """One timed kernel access (e.g. an HPT probe).  Returns cycles."""
+        result = self.cache.access(paddr, paddr, is_write)
+        if result.hit:
+            return 1
+        cycles = 1
+        if result.writeback_paddr is not None:
+            self.bus.writeback_cycles()
+            self.mmc.writeback(result.writeback_paddr)
+        fill = self.mmc.cache_fill(paddr, is_write)
+        stall = (
+            self.bus.fill_request_cycles()
+            + fill.cpu_cycles
+            + self.bus.fill_return_cycles()
+        )
+        self.stats.fills += 1
+        self.stats.fill_stall_cycles += stall
+        return cycles + stall
+
+    # ================================================================== #
+    # Run orchestration
+    # ================================================================== #
+
+    def run(self, trace: Trace) -> RunResult:
+        """Simulate *trace* from boot through exit; returns the result."""
+        if self._ran:
+            raise RuntimeError("a System instance simulates exactly one run")
+        self._ran = True
+        stats = self.stats
+        kernel = self.kernel
+
+        stats.kernel_cycles += kernel.costs.boot + kernel.costs.fork_exec
+        process = kernel.create_process(trace.name)
+        stats.kernel_cycles += kernel.sys_map(
+            process, trace.text_base, trace.text_size
+        )
+        self._text_page_count = max(1, trace.text_size >> BASE_PAGE_SHIFT)
+        self._text_base = trace.text_base
+
+        for item in trace.items:
+            if isinstance(item, Segment):
+                self._run_segment(item, process)
+            else:
+                self._exec_event(item, process)
+
+        stats.kernel_cycles += kernel.costs.exit
+        subtotal = (
+            stats.instruction_cycles
+            + stats.memory_stall_cycles
+            + stats.tlb_miss_cycles
+            + stats.kernel_cycles
+        )
+        stats.kernel_cycles += kernel.timer_cycles(subtotal)
+        stats.total_cycles = (
+            stats.instruction_cycles
+            + stats.memory_stall_cycles
+            + stats.tlb_miss_cycles
+            + stats.kernel_cycles
+        )
+
+        self._harvest_component_stats()
+        stats.check_consistency()
+        return RunResult(
+            workload=trace.name,
+            config_label=self.config.label,
+            stats=stats,
+        )
+
+    def _harvest_component_stats(self) -> None:
+        stats = self.stats
+        stats.tlb_lookups = self.tlb.stats.lookups
+        stats.tlb_misses = self.tlb.stats.misses
+        stats.cache_accesses = self.cache.stats.accesses
+        stats.cache_misses = self.cache.stats.misses
+        stats.cache_writebacks = (
+            self.cache.stats.writebacks + self.cache.stats.flush_writebacks
+        )
+        if self.mtlb is not None:
+            stats.mtlb_lookups = self.mtlb.stats.lookups
+            stats.mtlb_misses = self.mtlb.stats.misses
+            stats.mtlb_faults = self.mtlb.stats.faults
+
+    # ================================================================== #
+    # Kernel events
+    # ================================================================== #
+
+    def _exec_event(self, event, process: Process) -> None:
+        stats = self.stats
+        kernel = self.kernel
+        if isinstance(event, MapRegion):
+            stats.kernel_cycles += kernel.sys_map(
+                process, event.vaddr, event.length
+            )
+        elif isinstance(event, MapConventional):
+            stats.kernel_cycles += (
+                kernel.vm.map_region_conventional_superpages(
+                    process, event.vaddr, event.length
+                )
+            )
+        elif isinstance(event, Remap):
+            if self.config.use_superpages:
+                report = kernel.sys_remap(process, event.vaddr, event.length)
+                stats.kernel_cycles += report.total_cycles
+                stats.remap_pages += report.pages_remapped
+                stats.remap_cycles += report.total_cycles
+                stats.remap_flush_cycles += report.flush_cycles
+        elif isinstance(event, HeapGrow):
+            stats.kernel_cycles += kernel.sys_map(
+                process, event.vaddr, event.length
+            )
+            if event.remap and self.config.use_superpages:
+                report = kernel.sys_remap(process, event.vaddr, event.length)
+                stats.kernel_cycles += report.total_cycles
+                stats.remap_pages += report.pages_remapped
+                stats.remap_cycles += report.total_cycles
+                stats.remap_flush_cycles += report.flush_cycles
+        elif isinstance(event, Phase):
+            pass
+        else:
+            raise SimulationError(f"unknown trace event {event!r}")
+
+    # ================================================================== #
+    # The hot loop
+    # ================================================================== #
+
+    def _run_segment(self, seg: Segment, process: Process) -> None:
+        ops = seg.ops.tolist()
+        vaddrs = seg.vaddrs.tolist()
+        gaps = seg.gaps.tolist()
+        n = len(vaddrs)
+
+        tlb = self.tlb
+        by_size = tlb._by_size
+        cache = self.cache
+        inline_cache = isinstance(cache, DirectMappedCache)
+        if inline_cache:
+            tags = cache._tags
+            cdirty = cache._dirty
+            imask = cache._index_mask
+            phys_indexed = cache.physically_indexed
+
+        inst_cycles = 0
+        tlb_miss_cycles = 0
+        mem_stall = 0
+        tlb_misses = 0
+        cache_misses = 0
+
+        refill = self._refill_tlb
+        miss_path = self._fill_stall
+
+        for i in range(n):
+            vaddr = vaddrs[i]
+            op = ops[i]
+            inst_cycles += gaps[i] + 1
+
+            entry = None
+            for size, table in by_size.items():
+                entry = table.get(vaddr & ~(size - 1))
+                if entry is not None:
+                    break
+            if entry is None:
+                tlb_misses += 1
+                entry, cost = refill(vaddr)
+                tlb_miss_cycles += cost
+            else:
+                entry.nru_referenced = True
+            paddr = entry.pbase + vaddr - entry.vbase
+
+            if inline_cache:
+                idx = ((paddr if phys_indexed else vaddr) >> 5) & imask
+                tag = paddr >> 5
+                if tags[idx] == tag:
+                    if op:
+                        cdirty[idx] = 1
+                else:
+                    cache_misses += 1
+                    old = tags[idx]
+                    if old != -1 and cdirty[idx]:
+                        cache.stats.writebacks += 1
+                        self.bus.writeback_cycles()
+                        self.mmc.writeback(old << 5)
+                    tags[idx] = tag
+                    cdirty[idx] = 1 if op else 0
+                    mem_stall += miss_path(paddr, op)
+            else:
+                result = cache.access(vaddr, paddr, op == 1)
+                if not result.hit:
+                    cache_misses += 1
+                    if result.writeback_paddr is not None:
+                        self.bus.writeback_cycles()
+                        self.mmc.writeback(result.writeback_paddr)
+                    mem_stall += miss_path(paddr, op)
+
+        # Fold the locally accumulated statistics back in.
+        tlb.stats.lookups += n
+        tlb.stats.misses += tlb_misses
+        tlb.stats.hits += n - tlb_misses
+        if inline_cache:
+            cache.stats.accesses += n
+            cache.stats.misses += cache_misses
+            cache.stats.hits += n - cache_misses
+
+        stats = self.stats
+        stats.references += n
+        stats.instructions += seg.instructions
+        stats.instruction_cycles += inst_cycles
+        stats.tlb_miss_cycles += tlb_miss_cycles
+        stats.memory_stall_cycles += mem_stall
+        self.segment_cycles.append(
+            (seg.label, inst_cycles + tlb_miss_cycles + mem_stall)
+        )
+
+        self._model_ifetch(seg)
+
+    def _refill_tlb(self, vaddr: int):
+        """Software TLB refill; returns (entry, handler cycles).
+
+        With online promotion enabled, a miss on a base-page mapping may
+        trigger the kernel to remap the whole region onto a shadow
+        superpage inside the trap; the refill is then retried against
+        the new mapping (both passes are charged).
+        """
+        try:
+            result = self.miss_handler.handle(vaddr, self._kernel_access)
+        except PageFault as exc:
+            raise SimulationError(
+                f"unexpected page fault at {exc.vaddr:#010x}: workload "
+                "traces must map every region they touch"
+            ) from exc
+        cycles = result.cycles
+        if (
+            self.config.promotion.enabled
+            and result.entry.size == BASE_PAGE_SIZE
+        ):
+            promoted = self.kernel.promotion.note_miss(vaddr)
+            if promoted:
+                self.stats.kernel_cycles += promoted
+                result = self.miss_handler.handle(
+                    vaddr, self._kernel_access
+                )
+                cycles += result.cycles
+        self.tlb.insert(result.entry)
+        return result.entry, cycles
+
+    def _fill_stall(self, paddr: int, op: int) -> int:
+        """Cache-fill stall for one miss; services MTLB faults inline."""
+        try:
+            fill = self.mmc.cache_fill(paddr, op == 1)
+        except MtlbFault as fault:
+            service = self.kernel.handle_mtlb_fault(fault.shadow_index)
+            self.stats.kernel_cycles += service
+            fill = self.mmc.cache_fill(paddr, op == 1)
+        stall = (
+            self.bus.fill_request_cycles()
+            + fill.cpu_cycles
+            + self.bus.fill_return_cycles()
+        )
+        self.stats.fills += 1
+        self.stats.fill_stall_cycles += stall
+        return stall
+
+    # ================================================================== #
+    # Instruction-side translation model
+    # ================================================================== #
+
+    def _model_ifetch(self, seg: Segment) -> None:
+        """Charge instruction-page transitions through the TLB hierarchy.
+
+        The instruction cache is perfect (paper Section 3.2) and a
+        one-entry micro-ITLB front-ends the main TLB, so only transitions
+        between instruction pages cost anything: each does a main-TLB
+        lookup, occasionally a software refill.  Transitions rotate over
+        the pages of the segment's code footprint.
+        """
+        interval = self.config.ifetch_page_instructions
+        self._ifetch_instr_accum += seg.instructions
+        transitions = self._ifetch_instr_accum // interval
+        self._ifetch_instr_accum %= interval
+        if transitions <= 0:
+            return
+        pages = min(seg.text_pages, self._text_page_count)
+        stats = self.stats
+        stats.itlb_transitions += transitions
+        tlb = self.tlb
+        extra_inst = 0
+        miss_cycles = 0
+        for _ in range(transitions):
+            vaddr = (
+                self._text_base
+                + (self._ifetch_counter % pages) * BASE_PAGE_SIZE
+            )
+            self._ifetch_counter += 1
+            self.micro_itlb.stats.lookups += 1
+            self.micro_itlb.stats.misses += 1
+            extra_inst += 1
+            entry = tlb.lookup(vaddr)
+            if entry is None:
+                stats.itlb_main_misses += 1
+                entry, cost = self._refill_tlb(vaddr)
+                miss_cycles += cost
+            self.micro_itlb.refill(entry)
+        stats.instruction_cycles += extra_inst
+        stats.tlb_miss_cycles += miss_cycles
+
+    def touch(self, process: Process, vaddr: int, is_write: bool = False) -> int:
+        """Run one memory reference through the full timed path.
+
+        Exactly what one trace reference does — CPU TLB (with software
+        refill on a miss), cache, and on a cache miss the bus + MMC (+
+        MTLB) — outside of a trace run.  Returns the cycle cost.  Used
+        by examples, microbenchmarks and directed tests.
+        """
+        cycles = 1
+        entry = self.tlb.lookup(vaddr)
+        if entry is None:
+            entry, cost = self._refill_tlb(vaddr)
+            cycles += cost
+        paddr = entry.translate(vaddr)
+        result = self.cache.access(vaddr, paddr, is_write)
+        if not result.hit:
+            if result.writeback_paddr is not None:
+                self.bus.writeback_cycles()
+                self.mmc.writeback(result.writeback_paddr)
+            cycles += self._fill_stall(paddr, 1 if is_write else 0)
+        return cycles
+
+    # ================================================================== #
+    # Functional word access (integration-test surface)
+    # ================================================================== #
+
+    def store_word(self, process: Process, vaddr: int, value: int) -> None:
+        """Functionally store a value through the full translation path."""
+        real = self._functional_translate(process, vaddr, is_write=True)
+        self._word_store[real] = value
+
+    def load_word(self, process: Process, vaddr: int) -> Optional[int]:
+        """Functionally load a value through the full translation path."""
+        real = self._functional_translate(process, vaddr, is_write=False)
+        return self._word_store.get(real)
+
+    def _functional_translate(
+        self, process: Process, vaddr: int, is_write: bool
+    ) -> int:
+        if vaddr % 8:
+            raise ValueError("functional accesses must be 8-byte aligned")
+        entry = self.tlb.lookup(vaddr)
+        if entry is None:
+            entry, _cost = self._refill_tlb(vaddr)
+        paddr = entry.translate(vaddr)
+        try:
+            return self.mmc.resolve(paddr)
+        except MtlbFault as fault:
+            self.kernel.handle_mtlb_fault(fault.shadow_index)
+            return self.mmc.resolve(paddr)
+
+
+def simulate(trace: Trace, config: SystemConfig) -> RunResult:
+    """Build a fresh machine for *config* and run *trace* on it."""
+    return System(config).run(trace)

@@ -1,0 +1,28 @@
+"""Trace containers, kernel events and synthetic reference generators."""
+
+from .events import (
+    HeapGrow,
+    KernelEvent,
+    MapConventional,
+    MapRegion,
+    Phase,
+    Remap,
+)
+from .trace import OP_LOAD, OP_STORE, Segment, Trace, make_segment
+from .validate import ValidationReport, validate_trace
+
+__all__ = [
+    "HeapGrow",
+    "KernelEvent",
+    "MapConventional",
+    "MapRegion",
+    "Phase",
+    "Remap",
+    "OP_LOAD",
+    "OP_STORE",
+    "Segment",
+    "Trace",
+    "make_segment",
+    "ValidationReport",
+    "validate_trace",
+]

@@ -1,0 +1,74 @@
+"""Kernel events embedded in traces.
+
+Workload models interleave these with reference segments; the simulator
+executes them through the MiniKernel at the point they appear.  A
+:class:`Remap` is executed only on systems configured to use shadow
+superpages — on the conventional baseline the same trace runs with the
+region left on base pages, so both systems see an identical reference
+stream (the paper's instrumented-binary methodology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class KernelEvent:
+    """Base class for all trace-embedded kernel operations."""
+
+
+@dataclass(frozen=True)
+class MapRegion(KernelEvent):
+    """Map ``[vaddr, vaddr+length)`` with base pages."""
+
+    vaddr: int
+    length: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Remap(KernelEvent):
+    """remap(): move a mapped region onto shadow-backed superpages.
+
+    Ignored (a no-op, costing nothing) on systems without superpage
+    support, mirroring the paper's unmodified baseline runs.
+    """
+
+    vaddr: int
+    length: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class HeapGrow(KernelEvent):
+    """The modified sbrk() ran out of pool: map a new heap region.
+
+    ``remap`` records whether the modified sbrk would promote the new
+    region to superpages (True in the paper's instrumented runs).
+    """
+
+    vaddr: int
+    length: int
+    remap: bool = True
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class MapConventional(KernelEvent):
+    """Map a region with *conventional* superpages (ablation A1).
+
+    Requires physically contiguous, size-aligned frame runs; raises the
+    allocator's OutOfMemory when fragmentation defeats it — the failure
+    mode shadow-backed superpages exist to remove.
+    """
+
+    vaddr: int
+    length: int
+    label: str = ""
+
+
+@dataclass(frozen=True)
+class Phase(KernelEvent):
+    """A named phase marker, for reporting only (no cost, no effect)."""
+
+    name: str

@@ -1,0 +1,105 @@
+"""Trace serialisation: cache generated traces on disk as ``.npz`` files.
+
+Workload generation is cheap next to simulation, but the benchmark
+harness reruns the same trace across many configurations and pytest
+sessions; caching keeps those reruns honest (bit-identical streams) and
+fast.  A trace file holds a JSON item list (events inline, segments by
+index) plus the segments' numpy arrays.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from .events import HeapGrow, MapConventional, MapRegion, Phase, Remap
+from .trace import Segment, Trace
+
+#: Bump when the on-disk layout changes; stale caches are regenerated.
+FORMAT_VERSION = 2
+
+_EVENT_TYPES = {
+    "MapRegion": MapRegion,
+    "MapConventional": MapConventional,
+    "Remap": Remap,
+    "HeapGrow": HeapGrow,
+    "Phase": Phase,
+}
+
+
+def save_trace(trace: Trace, path: Union[str, Path]) -> None:
+    """Write *trace* to *path* (an ``.npz`` file)."""
+    path = Path(path)
+    items = []
+    arrays = {}
+    seg_index = 0
+    for item in trace.items:
+        if isinstance(item, Segment):
+            items.append(
+                {
+                    "kind": "segment",
+                    "index": seg_index,
+                    "label": item.label,
+                    "text_pages": item.text_pages,
+                }
+            )
+            arrays[f"seg{seg_index}_ops"] = item.ops
+            arrays[f"seg{seg_index}_vaddrs"] = item.vaddrs
+            arrays[f"seg{seg_index}_gaps"] = item.gaps
+            seg_index += 1
+        else:
+            record = {"kind": type(item).__name__}
+            record.update(vars(item))
+            items.append(record)
+    meta = {
+        "version": FORMAT_VERSION,
+        "name": trace.name,
+        "text_base": trace.text_base,
+        "text_size": trace.text_size,
+        "items": items,
+    }
+    arrays["meta"] = np.frombuffer(
+        json.dumps(meta).encode("utf-8"), dtype=np.uint8
+    )
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "wb") as fh:
+        np.savez_compressed(fh, **arrays)
+
+
+def load_trace(path: Union[str, Path]) -> Trace:
+    """Read a trace previously written by :func:`save_trace`.
+
+    Raises ValueError on a format-version mismatch (callers should
+    regenerate rather than guess).
+    """
+    with np.load(Path(path)) as data:
+        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+        if meta.get("version") != FORMAT_VERSION:
+            raise ValueError(
+                f"trace file {path} has format version "
+                f"{meta.get('version')}, expected {FORMAT_VERSION}"
+            )
+        trace = Trace(
+            meta["name"],
+            text_base=meta["text_base"],
+            text_size=meta["text_size"],
+        )
+        for record in meta["items"]:
+            kind = record.pop("kind")
+            if kind == "segment":
+                i = record["index"]
+                trace.add(
+                    Segment(
+                        record["label"],
+                        data[f"seg{i}_ops"],
+                        data[f"seg{i}_vaddrs"],
+                        data[f"seg{i}_gaps"],
+                        text_pages=record["text_pages"],
+                    )
+                )
+            else:
+                trace.add(_EVENT_TYPES[kind](**record))
+    return trace

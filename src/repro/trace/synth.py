@@ -1,0 +1,148 @@
+"""Synthetic reference-stream generators.
+
+Vectorised building blocks for workload models, sensitivity studies and
+tests: sequential/strided streams, uniform and Zipf-distributed random
+access, and pointer-chase permutations.  All take an explicit
+``numpy.random.Generator`` so every trace is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+def sequential(
+    base: int, length: int, stride: int = 8, count: Optional[int] = None
+) -> np.ndarray:
+    """Addresses walking ``[base, base+length)`` with *stride* spacing.
+
+    If *count* exceeds one pass, the walk wraps around (streaming reuse).
+    """
+    if stride <= 0:
+        raise ValueError("stride must be positive")
+    per_pass = max(1, length // stride)
+    if count is None:
+        count = per_pass
+    idx = np.arange(count, dtype=np.int64) % per_pass
+    return base + idx * stride
+
+
+def strided(
+    base: int, count: int, stride: int
+) -> np.ndarray:
+    """*count* addresses at fixed *stride* from *base* (no wrap)."""
+    return base + np.arange(count, dtype=np.int64) * stride
+
+
+def uniform_random(
+    rng: np.random.Generator,
+    base: int,
+    length: int,
+    count: int,
+    align: int = 8,
+) -> np.ndarray:
+    """*count* uniformly random addresses within ``[base, base+length)``."""
+    if length < align:
+        raise ValueError("region smaller than alignment")
+    slots = length // align
+    idx = rng.integers(0, slots, size=count, dtype=np.int64)
+    return base + idx * align
+
+
+def zipf_random(
+    rng: np.random.Generator,
+    base: int,
+    length: int,
+    count: int,
+    s: float = 1.2,
+    align: int = 8,
+) -> np.ndarray:
+    """Zipf-skewed random addresses (hot head, long tail).
+
+    Slot *k* is drawn with probability proportional to ``1/(k+1)**s``,
+    then slots are scattered over the region with a fixed pseudo-random
+    permutation so the hot set is not physically contiguous.
+    """
+    slots = length // align
+    if slots <= 0:
+        raise ValueError("region smaller than alignment")
+    ranks = rng.zipf(s, size=count).astype(np.int64) - 1
+    ranks %= slots
+    # Scatter ranks across the region deterministically.
+    scatter = (ranks * 2654435761) % slots
+    return base + scatter * align
+
+
+def hot_cold(
+    rng: np.random.Generator,
+    base: int,
+    length: int,
+    count: int,
+    hot_pages: int,
+    hot_fraction: float,
+    align: int = 8,
+    hot_seed: int = 0,
+) -> np.ndarray:
+    """Random addresses with an explicit page-level hot set.
+
+    A fraction *hot_fraction* of accesses land (uniformly) on *hot_pages*
+    base pages scattered across the region; the rest are uniform over the
+    whole region.  This gives workload models direct control over their
+    instantaneous TLB working set — the quantity the paper's results
+    hinge on — while keeping the hot pages physically dispersed.
+    """
+    pages = length >> 12
+    if pages <= 0:
+        raise ValueError("region smaller than a base page")
+    hot_pages = max(1, min(hot_pages, pages))
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise ValueError("hot_fraction must be in [0, 1]")
+    hot_set = np.random.default_rng(hot_seed ^ 0x5DEECE66D).permutation(
+        pages
+    )[:hot_pages].astype(np.int64)
+    is_hot = rng.random(count) < hot_fraction
+    cold_idx = rng.integers(0, pages, size=count, dtype=np.int64)
+    hot_idx = hot_set[rng.integers(0, hot_pages, size=count)]
+    page_idx = np.where(is_hot, hot_idx, cold_idx)
+    slots = 4096 // align
+    offsets = rng.integers(0, slots, size=count, dtype=np.int64) * align
+    return base + (page_idx << 12) + offsets
+
+
+def pointer_chase_order(
+    rng: np.random.Generator, base: int, nodes: int, node_bytes: int
+) -> np.ndarray:
+    """Addresses of *nodes* records visited in one random traversal order.
+
+    Models a linked structure whose nodes were allocated (and later
+    visited) in an order with no spatial locality.
+    """
+    order = rng.permutation(nodes).astype(np.int64)
+    return base + order * node_bytes
+
+def interleave(*streams: np.ndarray) -> np.ndarray:
+    """Round-robin interleave equal-length address streams."""
+    if not streams:
+        raise ValueError("need at least one stream")
+    n = min(len(s) for s in streams)
+    out = np.empty(n * len(streams), dtype=np.int64)
+    for i, stream in enumerate(streams):
+        out[i :: len(streams)] = stream[:n]
+    return out
+
+
+def expand_records(
+    starts: np.ndarray, fields: int, field_stride: int = 8
+) -> np.ndarray:
+    """Expand record base addresses into per-field accesses.
+
+    For each start address, emits *fields* consecutive addresses spaced
+    *field_stride* apart — the access pattern of touching a structure's
+    members after following a pointer to it.
+    """
+    if fields <= 0:
+        raise ValueError("fields must be positive")
+    offsets = np.arange(fields, dtype=np.int64) * field_stride
+    return (starts[:, None] + offsets[None, :]).reshape(-1)

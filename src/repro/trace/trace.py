@@ -1,0 +1,158 @@
+"""Trace containers: the reference streams workload models produce.
+
+A :class:`Trace` is an ordered list of items, each either a kernel
+:class:`~repro.trace.events.KernelEvent` (map this region, remap that one)
+or a :class:`Segment` of memory references.  Segments are numpy-backed for
+compact storage and fast vectorised generation; the simulator converts
+them to plain lists right before its hot loop.
+
+Reference encoding per element:
+
+* ``ops``   — uint8, 0 = load, 1 = store;
+* ``vaddrs`` — int64 virtual addresses;
+* ``gaps``  — int32 count of non-memory instructions *preceding* the
+  reference (the reference instruction itself is charged separately).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, List, Sequence, Union
+
+import numpy as np
+
+from .events import KernelEvent
+
+OP_LOAD = 0
+OP_STORE = 1
+
+
+class Segment:
+    """One contiguous run of memory references."""
+
+    __slots__ = ("label", "ops", "vaddrs", "gaps", "text_pages")
+
+    def __init__(
+        self,
+        label: str,
+        ops: np.ndarray,
+        vaddrs: np.ndarray,
+        gaps: np.ndarray,
+        text_pages: int = 1,
+    ) -> None:
+        ops = np.ascontiguousarray(ops, dtype=np.uint8)
+        vaddrs = np.ascontiguousarray(vaddrs, dtype=np.int64)
+        gaps = np.ascontiguousarray(gaps, dtype=np.int32)
+        if not (len(ops) == len(vaddrs) == len(gaps)):
+            raise ValueError("ops, vaddrs and gaps must have equal length")
+        if len(vaddrs) and int(vaddrs.min()) < 0:
+            raise ValueError("negative virtual address in segment")
+        if len(gaps) and int(gaps.min()) < 0:
+            raise ValueError("negative instruction gap in segment")
+        self.label = label
+        self.ops = ops
+        self.vaddrs = vaddrs
+        self.gaps = gaps
+        #: Distinct instruction pages the segment's code spans (drives the
+        #: micro-ITLB / instruction-translation model).
+        self.text_pages = max(1, text_pages)
+
+    @property
+    def refs(self) -> int:
+        """Number of memory references."""
+        return len(self.vaddrs)
+
+    @property
+    def instructions(self) -> int:
+        """Total instructions (references + the gaps between them)."""
+        return self.refs + int(self.gaps.sum())
+
+    @property
+    def stores(self) -> int:
+        """Number of store references."""
+        return int(self.ops.sum())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Segment({self.label!r}, refs={self.refs}, "
+            f"instructions={self.instructions})"
+        )
+
+
+TraceItem = Union[KernelEvent, Segment]
+
+
+@dataclass
+class Trace:
+    """A complete program trace: interleaved kernel events and segments."""
+
+    name: str
+    items: List[TraceItem] = field(default_factory=list)
+    #: Virtual base of the program's text segment (instruction fetches).
+    text_base: int = 0x0100_0000
+    #: Size of the text segment in bytes.
+    text_size: int = 64 << 10
+
+    def add(self, item: TraceItem) -> None:
+        """Append an event or segment."""
+        self.items.append(item)
+
+    def segments(self) -> Iterator[Segment]:
+        """Yield the reference segments in order."""
+        for item in self.items:
+            if isinstance(item, Segment):
+                yield item
+
+    def events(self) -> Iterator[KernelEvent]:
+        """Yield the kernel events in order."""
+        for item in self.items:
+            if not isinstance(item, Segment):
+                yield item
+
+    @property
+    def total_refs(self) -> int:
+        """Total memory references across all segments."""
+        return sum(seg.refs for seg in self.segments())
+
+    @property
+    def total_instructions(self) -> int:
+        """Total instructions across all segments."""
+        return sum(seg.instructions for seg in self.segments())
+
+    def footprint_bytes(self) -> int:
+        """Bytes of address space touched (distinct base pages x 4 KB)."""
+        pages = set()
+        for seg in self.segments():
+            pages.update(np.unique(seg.vaddrs >> 12).tolist())
+        return len(pages) << 12
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Trace({self.name!r}, items={len(self.items)}, "
+            f"refs={self.total_refs})"
+        )
+
+
+def make_segment(
+    label: str,
+    vaddrs: Sequence[int],
+    write_mask: Union[Sequence[bool], np.ndarray, None] = None,
+    gap: Union[int, np.ndarray] = 2,
+    text_pages: int = 1,
+) -> Segment:
+    """Convenience constructor used by workload models and tests.
+
+    *gap* may be a scalar (constant instruction spacing) or an array.
+    *write_mask* marks stores; None means all loads.
+    """
+    vaddrs = np.asarray(vaddrs, dtype=np.int64)
+    n = len(vaddrs)
+    if write_mask is None:
+        ops = np.zeros(n, dtype=np.uint8)
+    else:
+        ops = np.asarray(write_mask, dtype=bool).astype(np.uint8)
+    if np.isscalar(gap):
+        gaps = np.full(n, int(gap), dtype=np.int32)
+    else:
+        gaps = np.asarray(gap, dtype=np.int32)
+    return Segment(label, ops, vaddrs, gaps, text_pages=text_pages)

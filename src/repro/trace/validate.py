@@ -1,0 +1,122 @@
+"""Trace validation: catch malformed workloads before simulation.
+
+The simulator raises :class:`~repro.sim.system.SimulationError` on the
+first reference to an unmapped page; this validator finds *all* problems
+up front and reports them together — useful when authoring a new
+workload model.  Checks:
+
+* every referenced page is covered by an earlier MapRegion/HeapGrow;
+* mapped regions never overlap;
+* every Remap targets an already-mapped range (and none of it twice);
+* events are page-aligned with positive lengths;
+* user regions stay above the kernel-reserved virtual range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+import numpy as np
+
+from ..core.addrspace import BASE_PAGE_SHIFT, BASE_PAGE_SIZE
+from .events import HeapGrow, MapConventional, MapRegion, Phase, Remap
+from .trace import Segment, Trace
+
+#: Must match MiniKernel.USER_VBASE_MIN (kept literal to avoid an
+#: os_model import from the trace layer).
+USER_VBASE_MIN = 0x0100_0000
+
+_MAPPING_EVENTS = (MapRegion, MapConventional, HeapGrow)
+
+
+@dataclass
+class ValidationReport:
+    """All problems found in one trace."""
+
+    errors: List[str] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        """True when the trace is simulatable."""
+        return not self.errors
+
+    def raise_if_invalid(self) -> None:
+        """Raise ValueError listing every problem, if any."""
+        if self.errors:
+            raise ValueError(
+                "invalid trace:\n  " + "\n  ".join(self.errors)
+            )
+
+
+def validate_trace(trace: Trace) -> ValidationReport:
+    """Validate *trace*; returns the full problem list."""
+    report = ValidationReport()
+    mapped: List[Tuple[int, int]] = []  # (first_page, end_page)
+    remapped: List[Tuple[int, int]] = []
+
+    def covered(lo: int, hi: int) -> bool:
+        return any(mlo <= lo and hi <= mhi for mlo, mhi in mapped)
+
+    def page_covered(page: int) -> bool:
+        return any(mlo <= page < mhi for mlo, mhi in mapped)
+
+    for position, item in enumerate(trace.items):
+        where = f"item {position}"
+        if isinstance(item, Segment):
+            if item.refs == 0:
+                report.errors.append(f"{where}: empty segment")
+                continue
+            pages = np.unique(item.vaddrs >> BASE_PAGE_SHIFT)
+            for page in pages.tolist():
+                if not page_covered(page):
+                    report.errors.append(
+                        f"{where} ({item.label!r}): page "
+                        f"{page << BASE_PAGE_SHIFT:#010x} referenced "
+                        "before mapping"
+                    )
+        elif isinstance(item, Phase):
+            continue
+        elif isinstance(item, _MAPPING_EVENTS + (Remap,)):
+            if item.vaddr % BASE_PAGE_SIZE or item.length % BASE_PAGE_SIZE:
+                report.errors.append(
+                    f"{where}: {type(item).__name__} at "
+                    f"{item.vaddr:#010x}+{item.length:#x} not page aligned"
+                )
+                continue
+            if item.length <= 0:
+                report.errors.append(
+                    f"{where}: {type(item).__name__} with non-positive "
+                    "length"
+                )
+                continue
+            lo = item.vaddr >> BASE_PAGE_SHIFT
+            hi = (item.vaddr + item.length) >> BASE_PAGE_SHIFT
+            if isinstance(item, Remap):
+                if not covered(lo, hi):
+                    report.errors.append(
+                        f"{where}: remap of unmapped range "
+                        f"{item.vaddr:#010x}+{item.length:#x}"
+                    )
+                if any(rlo < hi and lo < rhi for rlo, rhi in remapped):
+                    report.errors.append(
+                        f"{where}: range {item.vaddr:#010x} remapped twice"
+                    )
+                remapped.append((lo, hi))
+            else:
+                if item.vaddr < USER_VBASE_MIN:
+                    report.errors.append(
+                        f"{where}: mapping at {item.vaddr:#010x} below "
+                        "the user virtual range"
+                    )
+                if any(mlo < hi and lo < mhi for mlo, mhi in mapped):
+                    report.errors.append(
+                        f"{where}: mapping {item.vaddr:#010x}+"
+                        f"{item.length:#x} overlaps an earlier mapping"
+                    )
+                mapped.append((lo, hi))
+        else:
+            report.errors.append(
+                f"{where}: unknown trace item {type(item).__name__}"
+            )
+    return report

@@ -1,0 +1,45 @@
+"""Models of the paper's five benchmark programs.
+
+Each module implements one program's address-space layout, kernel events
+(remap / modified-sbrk growth) and data reference stream:
+
+* :mod:`repro.workloads.compress95` — LZW compress/decompress;
+* :mod:`repro.workloads.vortex` — OO in-core database build + transactions;
+* :mod:`repro.workloads.radix` — SPLASH-2 radix sort (executed for real);
+* :mod:`repro.workloads.em3d` — bipartite-graph EM relaxation;
+* :mod:`repro.workloads.gcc` — the cc1 compiler pass.
+
+Use :func:`build_workload` to construct a trace by name.
+"""
+
+from .base import HeapBuilder, Workload, build_workload, register, workload_names
+from .compress95 import Compress95
+from .em3d import Em3d
+from .gcc import Gcc
+from .radix import Radix
+from .synthetic import Scatter, Stream, Zipf
+from .vortex import Vortex
+
+#: The paper's benchmark suite, in the order Figure 3 plots them.
+PAPER_SUITE = ("compress95", "vortex", "radix", "em3d", "gcc")
+
+#: Synthetic sensitivity workloads (not part of the paper's suite).
+SYNTHETIC_SUITE = ("scatter", "stream", "zipf")
+
+__all__ = [
+    "HeapBuilder",
+    "Workload",
+    "build_workload",
+    "register",
+    "workload_names",
+    "Compress95",
+    "Em3d",
+    "Gcc",
+    "Radix",
+    "Scatter",
+    "Stream",
+    "Zipf",
+    "Vortex",
+    "PAPER_SUITE",
+    "SYNTHETIC_SUITE",
+]

@@ -1,0 +1,158 @@
+"""Workload model infrastructure.
+
+A workload model is the executable stand-in for one of the paper's
+benchmark programs: it lays out the program's address space (segments and
+heap), runs (a model of) the program's algorithm to produce the data
+reference stream, and interleaves the kernel events — ``MapRegion``,
+``Remap``, heap growth — at the points the instrumented binary would
+perform them.
+
+``scale`` shrinks the *input*, not the mechanism: a scale-0.25 radix sorts
+a quarter of the keys, with proportionally smaller arrays.  Scale 1.0 is
+the paper's input size.
+
+The heap path reuses the real :class:`~repro.os_model.syscalls.SbrkAllocator`
+logic against a recording VM, so the addresses a workload computes at
+generation time are exactly the addresses the kernel produces at
+simulation time (a property the test suite checks).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Type
+
+import numpy as np
+
+from ..core.addrspace import BASE_PAGE_SIZE, align_up
+from ..os_model.process import Process
+from ..os_model.syscalls import SbrkAllocator
+from ..os_model.vm import RemapReport
+from ..trace.events import MapRegion, Remap
+from ..trace.trace import Trace
+
+
+class _RecordingVm:
+    """A VM stand-in that records map/remap calls as trace events."""
+
+    def __init__(self, trace: Trace) -> None:
+        self.trace = trace
+
+    def map_region(
+        self, process: Process, vstart: int, length: int, writable: bool = True
+    ) -> int:
+        self.trace.add(MapRegion(vstart, length))
+        return 0
+
+    def remap_to_shadow(
+        self, process: Process, vstart: int, length: int
+    ) -> RemapReport:
+        self.trace.add(Remap(vstart, length))
+        return RemapReport()
+
+
+class HeapBuilder:
+    """Generation-time heap that emits the same events the kernel replays.
+
+    Wraps the real modified-sbrk allocator around a recording VM: calls to
+    :meth:`alloc` return the exact virtual addresses the simulated kernel
+    will hand out, and pool growth appends ``MapRegion`` (+ ``Remap``)
+    events to the trace at the right position in the reference stream.
+    """
+
+    def __init__(
+        self,
+        trace: Trace,
+        heap_base: int = 0x1000_0000,
+        initial_prealloc: int = 8 << 20,
+        increment: int = 2 << 20,
+        use_superpages: bool = True,
+    ) -> None:
+        self.process = Process(pid=0, name=trace.name, heap_base=heap_base,
+                               brk=heap_base)
+        self._sbrk = SbrkAllocator(
+            vm=_RecordingVm(trace),
+            process=self.process,
+            initial_prealloc=initial_prealloc,
+            increment=increment,
+            use_superpages=use_superpages,
+        )
+
+    def alloc(self, nbytes: int) -> int:
+        """Allocate *nbytes* from the heap; returns the virtual address."""
+        return self._sbrk.sbrk(nbytes)
+
+    def alloc_array(self, count: int, item_bytes: int) -> int:
+        """Allocate an array; returns its base address."""
+        return self.alloc(count * item_bytes)
+
+    def set_increment(self, increment: int) -> None:
+        """Change the pool growth size (vortex drops 8 MB -> 2 MB)."""
+        self._sbrk.set_increment(increment)
+
+    @property
+    def brk(self) -> int:
+        """Current program break."""
+        return self.process.brk
+
+    @property
+    def growths(self) -> int:
+        """Number of pool growth events emitted so far."""
+        return self._sbrk.stats.growths
+
+
+class Workload(abc.ABC):
+    """Base class for the five benchmark-program models."""
+
+    #: Registry key ("compress95", "vortex", "radix", "em3d", "gcc").
+    name: str = ""
+    #: One-line description for reports.
+    description: str = ""
+
+    @abc.abstractmethod
+    def build(self, scale: float = 1.0, seed: int = 1998) -> Trace:
+        """Generate the trace for one run at the given input scale."""
+
+    @staticmethod
+    def _scaled(value: int, scale: float, minimum: int = 1) -> int:
+        """Scale an input-size parameter, keeping it sane."""
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return max(minimum, int(round(value * scale)))
+
+    @staticmethod
+    def _page_round(nbytes: int) -> int:
+        return align_up(nbytes, BASE_PAGE_SIZE)
+
+    @staticmethod
+    def _rng(seed: int) -> np.random.Generator:
+        return np.random.default_rng(seed)
+
+
+_REGISTRY: Dict[str, Type[Workload]] = {}
+
+
+def register(cls: Type[Workload]) -> Type[Workload]:
+    """Class decorator adding a workload to the registry."""
+    if not cls.name:
+        raise ValueError("workload class must define a name")
+    if cls.name in _REGISTRY:
+        raise ValueError(f"duplicate workload name {cls.name!r}")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def workload_names() -> List[str]:
+    """All registered workload names, in registration order."""
+    return list(_REGISTRY)
+
+
+def build_workload(name: str, scale: float = 1.0, seed: int = 1998) -> Trace:
+    """Build the named workload's trace at the given scale."""
+    try:
+        cls = _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown workload {name!r}; available: {', '.join(_REGISTRY)}"
+        ) from None
+    return cls().build(scale=scale, seed=seed)

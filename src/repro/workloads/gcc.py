@@ -1,0 +1,169 @@
+"""gcc workload model: the cc1 pass of gcc 2.5.3 compiling insn-recog.c.
+
+cc1 is pass-structured: per function it lexes/parses the source into an
+AST, probes symbol/identifier hash tables, generates RTL by walking the
+AST, runs optimisation passes that re-walk the RTL lists, and allocates
+registers.  insn-recog.c is machine-generated — thousands of small,
+similar functions — so the heap (all via the modified ``sbrk()``, which
+performs *all* superpage creation for gcc in the paper) grows steadily as
+ASTs and RTL accumulate, reaching roughly 10 MB.
+
+Model, per compiled function:
+
+* **parse** — sequential reads of the source buffer interleaved with
+  bump-allocated AST node writes and random probes of the ~768 KB symbol
+  table region;
+* **rtl** — a walk of the function's AST in allocation order with
+  scattered operand reads across the recently allocated heap, writing
+  RTL nodes at the allocation frontier;
+* **optimize** — two re-walks of the function's RTL with scattered
+  use-def reads over the whole accumulated heap (where the large
+  footprint bites).
+
+``scale`` multiplies the number of functions compiled (the heap footprint
+grows with it, as it does through a real cc1 run).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace import synth
+from ..trace.events import MapRegion, Phase
+from ..trace.trace import Trace, make_segment
+from .base import HeapBuilder, Workload, register
+
+#: Number of functions in the (machine-generated) translation unit.
+FUNCTIONS = 360
+#: AST/RTL nodes per function and node size (~35 KB of heap per function,
+#: so a full run accumulates ~12 MB).
+AST_NODES = 260
+RTL_NODES = 300
+NODE_BYTES = 64
+
+#: Static regions.
+SOURCE_BASE = 0x0200_0000
+SOURCE_BYTES = 1 << 20  # insn-recog.c is ~1 MB of C
+SYMTAB_BASE = 0x0300_0000
+SYMTAB_BYTES = 512 << 10
+
+#: Heap policy: gcc's modified sbrk with a large initial pool.
+HEAP_BASE = 0x1000_0000
+INITIAL_PREALLOC = 4 << 20
+INCREMENT = 2 << 20
+
+GAP = 3
+#: cc1's text is large; its instruction pages matter (Section 3.2's
+#: micro-ITLB model).
+TEXT_BYTES = 1536 << 10
+
+
+@register
+class Gcc(Workload):
+    """The cc1 model; see the module docstring."""
+
+    name = "gcc"
+    description = (
+        "cc1 compiling insn-recog.c: per-function parse/RTL/optimise "
+        "passes, ~10MB heap grown through the modified sbrk"
+    )
+
+    def build(self, scale: float = 1.0, seed: int = 1998) -> Trace:
+        rng = self._rng(seed)
+        functions = self._scaled(FUNCTIONS, scale, minimum=8)
+        trace = Trace(self.name, text_size=TEXT_BYTES)
+        trace.add(MapRegion(SOURCE_BASE, SOURCE_BYTES))
+        trace.add(MapRegion(SYMTAB_BASE, SYMTAB_BYTES))
+        heap = HeapBuilder(
+            trace,
+            heap_base=HEAP_BASE,
+            initial_prealloc=INITIAL_PREALLOC,
+            increment=INCREMENT,
+        )
+
+        src_cursor = 0
+        for f in range(functions):
+            if f % 60 == 0:
+                trace.add(Phase(f"function-{f}"))
+            src_cursor = self._compile_function(
+                trace, heap, rng, f, src_cursor
+            )
+        return trace
+
+    def _compile_function(
+        self,
+        trace: Trace,
+        heap: HeapBuilder,
+        rng: np.random.Generator,
+        f: int,
+        src_cursor: int,
+    ) -> int:
+        ast_base = heap.alloc(AST_NODES * NODE_BYTES)
+        rtl_base = heap.alloc(RTL_NODES * NODE_BYTES)
+
+        # --- parse: source reads + AST writes + symbol probes ---------- #
+        n = AST_NODES
+        src = SOURCE_BASE + (
+            (src_cursor + np.arange(n, dtype=np.int64) * 24) % SOURCE_BYTES
+        )
+        ast_writes = ast_base + np.arange(n, dtype=np.int64) * NODE_BYTES
+        # Identifier lookups hit a hot core of the symbol table (common
+        # identifiers) with a uniform tail.
+        sym = synth.hot_cold(
+            rng, SYMTAB_BASE, SYMTAB_BYTES, n,
+            hot_pages=56, hot_fraction=0.8, hot_seed=31,
+        )
+        parse = synth.interleave(src, ast_writes, sym)
+        pw = np.zeros(len(parse), dtype=bool)
+        pw[1::3] = True  # AST node writes
+        trace.add(
+            make_segment(f"parse-{f}", parse, write_mask=pw, gap=GAP,
+                         text_pages=120)
+        )
+
+        # --- rtl generation: AST walk + scattered operand reads -------- #
+        m = RTL_NODES
+        ast_walk = ast_base + (
+            np.arange(m, dtype=np.int64) % AST_NODES
+        ) * NODE_BYTES
+        recent_span = max(heap.brk - HEAP_BASE, 1 << 16)
+        window = min(recent_span, 512 << 10)
+        operands = synth.uniform_random(
+            rng, heap.brk - window, window, m, align=8
+        )
+        rtl_writes = rtl_base + np.arange(m, dtype=np.int64) * NODE_BYTES
+        rtl = synth.interleave(ast_walk, operands, rtl_writes)
+        rw = np.zeros(len(rtl), dtype=bool)
+        rw[2::3] = True
+        trace.add(
+            make_segment(f"rtl-{f}", rtl, write_mask=rw, gap=GAP,
+                         text_pages=180)
+        )
+
+        # --- optimisation: RTL re-walks with whole-heap use-def reads -- #
+        heap_span = max(heap.brk - HEAP_BASE, 1 << 16)
+        window = min(heap_span, 640 << 10)
+        for opt_pass in range(2):
+            walk = rtl_base + (
+                np.arange(m, dtype=np.int64) % RTL_NODES
+            ) * NODE_BYTES
+            # Use-def chains point mostly at recently created RTL, with a
+            # uniform tail over everything accumulated so far.
+            near = synth.uniform_random(
+                rng, heap.brk - window, window, m, align=8
+            )
+            far = synth.uniform_random(
+                rng, HEAP_BASE, heap_span, m, align=8
+            )
+            take_far = rng.random(m) < 0.25
+            usedef = np.where(take_far, far, near)
+            opt = synth.interleave(walk, usedef)
+            ow = np.zeros(len(opt), dtype=bool)
+            ow[0::8] = True  # occasional in-place RTL rewrites
+            trace.add(
+                make_segment(
+                    f"opt{opt_pass}-{f}", opt, write_mask=ow, gap=GAP,
+                    text_pages=200,
+                )
+            )
+        return src_cursor + AST_NODES * 24

@@ -1,0 +1,93 @@
+"""Synthetic workload family: parameterised TLB-pressure generators.
+
+Beyond the five paper programs, the registry offers three synthetic
+workloads for sensitivity studies and for users exploring their own
+parameter spaces:
+
+* ``scatter`` — uniform random accesses over an 8 MB region (worst-case
+  TLB and MTLB locality; the A1 ablation's pattern);
+* ``stream``  — sequential sweeps over a 16 MB region (best-case
+  locality: one TLB miss per page, prefetcher-friendly);
+* ``zipf``    — skewed random access over 8 MB (realistic hot/cold mix).
+
+Each maps and remaps its region up front, so the same trace runs on
+conventional and MTLB machines like the paper workloads do.  ``scale``
+multiplies the reference count; footprints are fixed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..trace import synth
+from ..trace.events import MapRegion, Remap
+from ..trace.trace import Trace, make_segment
+from .base import Workload, register
+
+REGION_BASE = 0x2000_0000
+GAP = 3
+REFS = 2_000_000
+
+
+class _SyntheticBase(Workload):
+    """Shared scaffolding for the synthetic family."""
+
+    region_bytes = 8 << 20
+
+    def build(self, scale: float = 1.0, seed: int = 1998) -> Trace:
+        rng = self._rng(seed)
+        refs = self._scaled(REFS, scale, minimum=1024)
+        trace = Trace(self.name, text_size=32 << 10)
+        trace.add(MapRegion(REGION_BASE, self.region_bytes))
+        trace.add(Remap(REGION_BASE, self.region_bytes))
+        vaddrs = self._addresses(rng, refs)
+        writes = rng.random(refs) < 0.25
+        trace.add(
+            make_segment(
+                "body", vaddrs, write_mask=writes, gap=GAP, text_pages=2
+            )
+        )
+        return trace
+
+    def _addresses(self, rng, refs: int) -> np.ndarray:
+        raise NotImplementedError
+
+
+@register
+class Scatter(_SyntheticBase):
+    """Uniform random over 8 MB: the TLB's worst case."""
+
+    name = "scatter"
+    description = "uniform random accesses over an 8MB region"
+
+    def _addresses(self, rng, refs: int) -> np.ndarray:
+        return synth.uniform_random(
+            rng, REGION_BASE, self.region_bytes, refs
+        )
+
+
+@register
+class Stream(_SyntheticBase):
+    """Sequential sweeps over 16 MB: one miss per page, then none."""
+
+    name = "stream"
+    description = "sequential sweeps over a 16MB region"
+    region_bytes = 16 << 20
+
+    def _addresses(self, rng, refs: int) -> np.ndarray:
+        return synth.sequential(
+            REGION_BASE, self.region_bytes, stride=8, count=refs
+        )
+
+
+@register
+class Zipf(_SyntheticBase):
+    """Zipf-skewed random over 8 MB: hot head, long cold tail."""
+
+    name = "zipf"
+    description = "zipf-skewed random accesses over an 8MB region"
+
+    def _addresses(self, rng, refs: int) -> np.ndarray:
+        return synth.zipf_random(
+            rng, REGION_BASE, self.region_bytes, refs, s=1.2
+        )

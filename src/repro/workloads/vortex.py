@@ -1,0 +1,191 @@
+"""vortex (SPECint95) workload model: an object-oriented in-core database.
+
+Vortex builds several in-memory databases, then runs transactions against
+them.  Everything is heap-allocated, so in the paper *all* superpage
+creation happens through the modified ``sbrk()``: an initial 8 MB
+pre-allocation captures the basic datasets (~9 MB mapped in one group),
+after which the increment drops to 2 MB; another ~10 MB arrives in five
+separate mappings during transaction processing.  The paper's measured
+run is a reduced SPEC training run (~18 MB allocated in total).
+
+Model:
+
+* **build phase** — object records are bump-allocated and written field by
+  field; every object also updates a growing index with two random probes
+  over the occupied heap prefix;
+* **transaction phase** — each transaction performs random index lookups
+  over the whole built database, reads the fields of the objects it
+  finds (one random jump, then sequential field reads), and allocates a
+  couple of fresh result objects, writing them out.
+
+``scale`` multiplies the transaction count (and the ~10 MB of transaction
+allocations with it); the built database is the fixed ~9 MB.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..trace import synth
+from ..trace.events import Phase
+from ..trace.trace import Trace, make_segment
+from .base import HeapBuilder, Workload, register
+
+#: Built-database objects (~9 MB at 128 bytes each).
+BUILD_OBJECTS = 70_000
+OBJECT_BYTES = 128
+#: Transaction-phase result objects (two per transaction, 256 bytes).
+RESULT_BYTES = 128
+TRANSACTIONS = 120_000
+
+#: sbrk pool policy from the paper.
+INITIAL_PREALLOC = 8 << 20
+INCREMENT = 2 << 20
+HEAP_BASE = 0x1000_0000
+
+GAP = 2
+#: Transaction locality: most reads hit a hot subset of the database (the
+#: currently popular objects and index upper levels), which rotates
+#: slowly over the run; the rest range over the whole database.
+HOT_PAGES = 104
+HOT_FRACTION = 0.85
+#: Object reads per transaction.
+READS_PER_TX = 8
+#: Fields touched per object read.
+FIELDS_PER_READ = 8
+#: Build-phase segment chunk (keeps event interleaving fine-grained).
+BUILD_CHUNK = 10_000
+TX_CHUNK = 2_500
+
+
+@register
+class Vortex(Workload):
+    """The vortex model; see the module docstring."""
+
+    name = "vortex"
+    description = (
+        "OO database: build ~9MB of objects via modified sbrk (8MB "
+        "prealloc), then transactions allocating ~10MB more in 2MB "
+        "increments"
+    )
+
+    def build(self, scale: float = 1.0, seed: int = 1998) -> Trace:
+        rng = self._rng(seed)
+        transactions = self._scaled(TRANSACTIONS, scale, minimum=100)
+        trace = Trace(self.name, text_size=512 << 10)
+        heap = HeapBuilder(
+            trace,
+            heap_base=HEAP_BASE,
+            initial_prealloc=INITIAL_PREALLOC,
+            increment=INCREMENT,
+        )
+
+        trace.add(Phase("build"))
+        self._build_phase(trace, heap, rng)
+        db_top = heap.brk
+        heap.set_increment(INCREMENT)
+
+        trace.add(Phase("transactions"))
+        self._transaction_phase(trace, heap, rng, transactions, db_top)
+        return trace
+
+    # ------------------------------------------------------------------ #
+    # Build phase
+    # ------------------------------------------------------------------ #
+
+    def _build_phase(
+        self, trace: Trace, heap: HeapBuilder, rng: np.random.Generator
+    ) -> None:
+        built = 0
+        while built < BUILD_OBJECTS:
+            chunk = min(BUILD_CHUNK, BUILD_OBJECTS - built)
+            # Allocate the chunk's objects; pool growth events (map +
+            # remap) land in the trace here, before the chunk's writes.
+            bases = np.array(
+                [heap.alloc(OBJECT_BYTES) for _ in range(chunk)],
+                dtype=np.int64,
+            )
+            writes_stream = synth.expand_records(
+                bases, fields=OBJECT_BYTES // 8
+            )
+            # Two index probes per object: mostly the index's hot upper
+            # levels, sometimes anywhere in the occupied heap prefix.
+            prefix = max(heap.brk - HEAP_BASE, 1 << 16)
+            probes = synth.hot_cold(
+                rng, HEAP_BASE, prefix & ~0xFFF, 2 * chunk,
+                hot_pages=HOT_PAGES, hot_fraction=HOT_FRACTION,
+                hot_seed=29,
+            )
+            vaddrs = np.column_stack(
+                [
+                    writes_stream.reshape(chunk, -1),
+                    probes.reshape(chunk, 2),
+                ]
+            ).reshape(-1)
+            per_obj = OBJECT_BYTES // 8 + 2
+            writes = np.zeros(len(vaddrs), dtype=bool)
+            mask = np.zeros(per_obj, dtype=bool)
+            mask[: OBJECT_BYTES // 8] = True
+            mask[-1] = True  # second index probe inserts
+            writes[:] = np.tile(mask, chunk)
+            trace.add(
+                make_segment(
+                    f"build-{built}", vaddrs, write_mask=writes, gap=GAP,
+                    text_pages=40,
+                )
+            )
+            built += chunk
+
+    # ------------------------------------------------------------------ #
+    # Transaction phase
+    # ------------------------------------------------------------------ #
+
+    def _transaction_phase(
+        self,
+        trace: Trace,
+        heap: HeapBuilder,
+        rng: np.random.Generator,
+        transactions: int,
+        db_top: int,
+    ) -> None:
+        done = 0
+        while done < transactions:
+            chunk = min(TX_CHUNK, transactions - done)
+            result_bases = np.array(
+                [heap.alloc(RESULT_BYTES) for _ in range(chunk)],
+                dtype=np.int64,
+            )
+            vaddr_parts: List[np.ndarray] = []
+            write_parts: List[np.ndarray] = []
+            # Keep whole records inside the mapped database region.
+            db_span = db_top - HEAP_BASE - FIELDS_PER_READ * 8
+            hot_seed = 29 + done // TX_CHUNK  # hot set drifts over time
+            for t in range(chunk):
+                # Index lookups + object field reads: hot objects plus a
+                # uniform tail over the whole database.
+                jumps = synth.hot_cold(
+                    rng, HEAP_BASE, db_span & ~0xFFF, READS_PER_TX,
+                    hot_pages=HOT_PAGES, hot_fraction=HOT_FRACTION,
+                    hot_seed=hot_seed,
+                )
+                reads = synth.expand_records(jumps, fields=FIELDS_PER_READ)
+                vaddr_parts.append(reads)
+                write_parts.append(np.zeros(len(reads), dtype=bool))
+                # Write out the transaction's result object.
+                res = synth.expand_records(
+                    result_bases[t : t + 1],
+                    fields=RESULT_BYTES // 8,
+                )
+                vaddr_parts.append(res)
+                write_parts.append(np.ones(len(res), dtype=bool))
+            vaddrs = np.concatenate(vaddr_parts)
+            writes = np.concatenate(write_parts)
+            trace.add(
+                make_segment(
+                    f"tx-{done}", vaddrs, write_mask=writes, gap=GAP,
+                    text_pages=60,
+                )
+            )
+            done += chunk

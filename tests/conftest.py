@@ -1,0 +1,32 @@
+"""Shared fixtures for the test suite."""
+
+import pytest
+
+from repro.core.addrspace import PhysicalMemoryMap
+from repro.core.shadow_table import ShadowPageTable
+from repro.sim.config import paper_base, paper_mtlb
+from repro.sim.system import System
+
+
+@pytest.fixture
+def memory_map():
+    """The default 256 MB DRAM / 512 MB shadow window machine."""
+    return PhysicalMemoryMap()
+
+
+@pytest.fixture
+def shadow_table(memory_map):
+    """A shadow page table at physical address 0."""
+    return ShadowPageTable(memory_map, table_base=0)
+
+
+@pytest.fixture
+def base_system():
+    """A conventional machine (96-entry TLB, no MTLB)."""
+    return System(paper_base())
+
+
+@pytest.fixture
+def mtlb_system():
+    """An MTLB machine (96-entry TLB, 128-entry 2-way MTLB)."""
+    return System(paper_mtlb(96))

@@ -1,0 +1,63 @@
+"""Smoke tests for the benchmark harness (tiny inputs).
+
+The full harness runs under ``pytest benchmarks/ --benchmark-only``;
+these tests only check that its plumbing — scales, trace caching, matrix
+running, report rendering — works.
+"""
+
+import pytest
+
+from repro.bench import BenchContext, run_fig2, run_allocator_ablation
+from repro.bench.figure3 import render_report
+from repro.sim.config import paper_mtlb, paper_no_mtlb
+from repro.sim.results import ResultMatrix
+
+
+@pytest.fixture
+def tiny_ctx(tmp_path):
+    return BenchContext(
+        quick=True,
+        scales={name: 0.02 for name in
+                ("compress95", "vortex", "radix", "em3d", "gcc")},
+        cache_dir=tmp_path,
+    )
+
+
+class TestBenchContext:
+    def test_trace_caching_on_disk(self, tiny_ctx, tmp_path):
+        first = tiny_ctx.trace("em3d")
+        assert list(tmp_path.glob("em3d_*.npz"))
+        # A fresh context reads the cached file and gets the same stream.
+        again = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        ).trace("em3d")
+        assert first.total_refs == again.total_refs
+
+    def test_run_matrix(self, tiny_ctx):
+        configs = {
+            "tlb96": paper_no_mtlb(96),
+            "tlb96+mtlb1282w": paper_mtlb(96),
+        }
+        matrix = tiny_ctx.run_matrix(["em3d"], configs, "tlb96")
+        assert isinstance(matrix, ResultMatrix)
+        assert matrix.normalised("em3d", "tlb96") == 1.0
+        report = render_report(matrix, ["em3d"], configs.keys())
+        assert "em3d" in report
+
+    def test_quick_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        from repro.bench import quick_mode_requested
+        assert quick_mode_requested()
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "0")
+        assert not quick_mode_requested()
+
+
+class TestStaticBenches:
+    def test_fig2(self):
+        report, errors = run_fig2()
+        assert errors == []
+        assert "16384KB" in report
+
+    def test_allocator_ablation(self):
+        result = run_allocator_ablation(requests=800)
+        assert result.shape_errors == []

@@ -1,0 +1,155 @@
+"""End-to-end simulation tests over the real workload models (tiny
+inputs): accounting invariants, MTLB effects, determinism, caching."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import paper_mtlb, paper_no_mtlb
+from repro.sim.system import SimulationError, System
+from repro.trace.events import MapRegion
+from repro.trace.io import load_trace, save_trace
+from repro.trace.trace import Trace, make_segment
+from repro.workloads import PAPER_SUITE, build_workload
+
+QUICK = 0.03
+
+
+@pytest.fixture(scope="module")
+def quick_traces():
+    return {
+        name: build_workload(name, scale=QUICK) for name in PAPER_SUITE
+    }
+
+
+class TestAccountingInvariants:
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_cycle_categories_sum(self, quick_traces, name):
+        result = System(paper_mtlb(96)).run(quick_traces[name])
+        result.stats.check_consistency()  # raises on mismatch
+        assert result.stats.total_cycles > 0
+        assert result.stats.references == quick_traces[name].total_refs
+
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_reference_counts_identical_across_configs(
+        self, quick_traces, name
+    ):
+        base = System(paper_no_mtlb(96)).run(quick_traces[name])
+        fast = System(paper_mtlb(96)).run(quick_traces[name])
+        assert base.stats.references == fast.stats.references
+        assert base.stats.instructions == fast.stats.instructions
+
+    def test_deterministic_simulation(self, quick_traces):
+        trace = quick_traces["em3d"]
+        a = System(paper_mtlb(96)).run(trace)
+        b = System(paper_mtlb(96)).run(trace)
+        assert a.total_cycles == b.total_cycles
+        assert a.stats.tlb_misses == b.stats.tlb_misses
+
+
+class TestMtlbEffects:
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_mtlb_slashes_tlb_miss_time(self, quick_traces, name):
+        base = System(paper_no_mtlb(96)).run(quick_traces[name])
+        fast = System(paper_mtlb(96)).run(quick_traces[name])
+        if base.stats.tlb_miss_cycles > 100_000:
+            assert (
+                fast.stats.tlb_miss_cycles
+                < base.stats.tlb_miss_cycles / 2
+            )
+        else:
+            # Tiny inputs fit the CPU TLB; the MTLB must not hurt.
+            assert (
+                fast.stats.tlb_miss_cycles
+                <= base.stats.tlb_miss_cycles * 1.1
+            )
+
+    def test_shadow_traffic_only_with_mtlb(self, quick_traces):
+        base = System(paper_no_mtlb(96)).run(quick_traces["em3d"])
+        fast = System(paper_mtlb(96)).run(quick_traces["em3d"])
+        assert base.stats.mtlb_lookups == 0
+        assert fast.stats.mtlb_lookups > 0
+
+    def test_superpages_resident_after_run(self, quick_traces):
+        from repro.core.remap import plan_superpages
+        from repro.trace.events import MapRegion
+        trace = quick_traces["radix"]
+        system = System(paper_mtlb(96))
+        system.run(trace)
+        process = system.kernel.current
+        supers = process.page_table.superpages()
+        # Exactly what the planner promises for this trace's region (14
+        # at paper scale; fewer on the shrunken test input).
+        region = next(
+            e for e in trace.events() if isinstance(e, MapRegion)
+        )
+        expected = plan_superpages(region.vaddr, region.length)
+        assert len(supers) == len(expected)
+        assert all(
+            system.config.memory_map.is_shadow(m.pbase) for m in supers
+        )
+
+    def test_baseline_ignores_remap_events(self, quick_traces):
+        system = System(paper_no_mtlb(96))
+        system.run(quick_traces["radix"])
+        assert system.kernel.current.page_table.superpages() == []
+        assert system.kernel.stats.remap_calls == 0
+
+
+class TestRunSemantics:
+    def test_system_is_single_use(self, quick_traces):
+        system = System(paper_mtlb(96))
+        system.run(quick_traces["em3d"])
+        with pytest.raises(RuntimeError):
+            system.run(quick_traces["em3d"])
+
+    def test_unmapped_reference_is_a_simulation_error(self):
+        trace = Trace("broken")
+        trace.add(make_segment("oops", [0x0900_0000]))
+        with pytest.raises(SimulationError):
+            System(paper_mtlb(96)).run(trace)
+
+    def test_segment_cycles_recorded(self, quick_traces):
+        system = System(paper_mtlb(96))
+        system.run(quick_traces["compress95"])
+        labels = [label for label, _ in system.segment_cycles]
+        assert any(label.startswith("compress") for label in labels)
+        assert all(cycles > 0 for _, cycles in system.segment_cycles)
+
+
+class TestTraceCacheFidelity:
+    def test_cached_trace_simulates_identically(self, tmp_path, quick_traces):
+        trace = quick_traces["vortex"]
+        path = tmp_path / "vortex.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        a = System(paper_mtlb(96)).run(trace)
+        b = System(paper_mtlb(96)).run(loaded)
+        assert a.total_cycles == b.total_cycles
+
+
+class TestIfetchModel:
+    def test_gcc_sees_instruction_translations(self, quick_traces):
+        result = System(paper_no_mtlb(96)).run(quick_traces["gcc"])
+        assert result.stats.itlb_transitions > 0
+
+    def test_large_text_costs_more(self):
+        """Two identical data streams; the one with a large code
+        footprint pays more for instruction translations."""
+        def trace_with_text(text_pages):
+            trace = Trace("t", text_size=max(text_pages, 1) << 12)
+            trace.add(MapRegion(0x0200_0000, 1 << 20))
+            rng = np.random.default_rng(1)
+            vaddrs = 0x0200_0000 + (
+                rng.integers(0, (1 << 20) // 8, 200_000) * 8
+            )
+            trace.add(
+                make_segment("s", vaddrs, gap=2, text_pages=text_pages)
+            )
+            return trace
+
+        small = System(paper_no_mtlb(96)).run(trace_with_text(2))
+        large = System(paper_no_mtlb(96)).run(trace_with_text(300))
+        assert (
+            large.stats.itlb_main_misses > small.stats.itlb_main_misses
+        )
+        assert large.total_cycles > small.total_cycles

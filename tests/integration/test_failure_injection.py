@@ -1,0 +1,128 @@
+"""Failure-injection tests: the system degrades loudly, not silently.
+
+Exhausted shadow pools, exhausted DRAM, accesses to unbacked physical
+addresses, and OS-protocol violations (writing back through an
+invalidated shadow mapping) must all surface as the specific exceptions
+the layers define — never as wrong translations.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE, PhysicalMemoryMap
+from repro.core.mtlb import MtlbFault
+from repro.core.shadow_space import (
+    BucketShadowAllocator,
+    ShadowSpaceExhausted,
+)
+from repro.mem.mmc import BadPhysicalAddress
+from repro.os_model.frames import OutOfMemory
+from repro.sim.config import paper_mtlb, paper_promotion
+from repro.sim.system import System
+
+REGION = 0x0200_0000
+
+
+class TestShadowExhaustion:
+    def test_remap_raises_when_pool_dry(self, mtlb_system):
+        system = mtlb_system
+        process = system.kernel.create_process("dry")
+        allocator = system.kernel.shadow_allocator
+        # Drain the 64KB bucket.
+        hoard = [
+            allocator.allocate(64 << 10)
+            for _ in range(allocator.available(64 << 10))
+        ]
+        system.kernel.sys_map(process, REGION, 64 << 10)
+        with pytest.raises(ShadowSpaceExhausted):
+            system.kernel.sys_remap(process, REGION, 64 << 10)
+        for region in hoard:
+            allocator.free(region)
+
+    def test_promotion_survives_exhaustion(self):
+        system = System(paper_promotion(96, misses_per_page=0.1))
+        process = system.kernel.create_process("dry")
+        allocator = system.kernel.shadow_allocator
+        hoard = [
+            allocator.allocate(64 << 10)
+            for _ in range(allocator.available(64 << 10))
+        ]
+        system.kernel.sys_map(process, REGION, 64 << 10)
+        promo = system.kernel.promotion
+        # Hammer misses; promotion fires, fails gracefully, and never
+        # retries the dead candidate.
+        for i in range(64):
+            promo.note_miss(REGION + (i % 16) * BASE_PAGE_SIZE)
+        assert promo.stats.exhaustion_failures == 1
+        assert promo.stats.promotions == 0
+        assert not process.page_table.lookup(REGION).is_superpage
+        for region in hoard:
+            allocator.free(region)
+
+
+class TestDramExhaustion:
+    def test_map_raises_out_of_memory(self):
+        config = dataclasses.replace(
+            paper_mtlb(96),
+            memory_map=PhysicalMemoryMap(dram_size=64 << 20),
+        )
+        system = System(config)
+        process = system.kernel.create_process("hog")
+        with pytest.raises(OutOfMemory):
+            # 64 MB DRAM minus kernel reservation cannot back 256 MB.
+            system.kernel.sys_map(process, REGION, 256 << 20)
+
+
+class TestUnbackedAddresses:
+    def test_fill_outside_dram_and_shadow(self, mtlb_system):
+        with pytest.raises(BadPhysicalAddress):
+            mtlb_system.mmc.cache_fill(0xA000_0000, exclusive=False)
+
+    def test_io_hole_never_treated_as_shadow(self, mtlb_system):
+        with pytest.raises(BadPhysicalAddress):
+            mtlb_system.mmc.cache_fill(0xF800_0000, exclusive=False)
+
+
+class TestProtocolViolations:
+    def test_writeback_through_invalid_mapping_asserts(self, mtlb_system):
+        """Section 4: writebacks can never fault because the OS flushes
+        before invalidating.  If a (buggy) OS violates that, the model
+        fails fast instead of writing to the wrong frame."""
+        system = mtlb_system
+        table = system.shadow_table
+        table.set_mapping(5, pfn=0x123, valid=False)
+        shadow_paddr = system.config.memory_map.shadow_base + (5 << 12)
+        with pytest.raises(AssertionError):
+            system.mmc.writeback(shadow_paddr)
+
+    def test_fill_through_invalid_mapping_faults_precisely(
+        self, mtlb_system
+    ):
+        system = mtlb_system
+        table = system.shadow_table
+        table.set_mapping(7, pfn=0x321, valid=False)
+        shadow_paddr = system.config.memory_map.shadow_base + (7 << 12)
+        with pytest.raises(MtlbFault) as exc:
+            system.mmc.cache_fill(shadow_paddr, exclusive=True)
+        assert exc.value.shadow_index == 7
+        assert table.entry(7).fault  # recorded for the OS
+
+    def test_unknown_shadow_page_faults(self, mtlb_system):
+        """A shadow page the OS never mapped: valid bit clear in the
+        zero-initialised table, so the access faults rather than
+        reaching frame 0."""
+        shadow_paddr = (
+            mtlb_system.config.memory_map.shadow_base + (999 << 12)
+        )
+        with pytest.raises(MtlbFault):
+            mtlb_system.mmc.cache_fill(shadow_paddr, exclusive=False)
+
+
+class TestAllocatorMisuse:
+    def test_colored_allocation_validates(self, memory_map):
+        allocator = BucketShadowAllocator(memory_map)
+        with pytest.raises(ValueError):
+            allocator.allocate_colored(64 << 10, color=200, colors=128)
+        with pytest.raises(ValueError):
+            allocator.allocate_colored(8 << 10, color=0, colors=128)

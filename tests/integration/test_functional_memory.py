@@ -1,0 +1,116 @@
+"""Functional data-integrity tests through the full translation path.
+
+Values stored through CPU TLB -> (shadow) physical -> MTLB -> real frame
+must read back identically before a remap, after a remap to shadow
+superpages, and after remapping back — the translation mechanics must
+never change *where data lives*, only how it is named.
+"""
+
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+
+REGION = 0x0200_0000
+SIZE = 64 << 10
+
+
+@pytest.fixture
+def machine(mtlb_system):
+    process = mtlb_system.kernel.create_process("functest")
+    mtlb_system.kernel.vm.map_region(process, REGION, SIZE)
+    return mtlb_system, process
+
+
+def _pattern(offset):
+    return 0xABCD_0000 + offset
+
+
+def _write_pattern(system, process):
+    for offset in range(0, SIZE, 1024):
+        system.store_word(process, REGION + offset, _pattern(offset))
+
+
+def _check_pattern(system, process):
+    for offset in range(0, SIZE, 1024):
+        assert system.load_word(process, REGION + offset) == _pattern(offset)
+
+
+class TestFunctionalIntegrity:
+    def test_base_page_store_load(self, machine):
+        system, process = machine
+        _write_pattern(system, process)
+        _check_pattern(system, process)
+
+    def test_data_survives_remap(self, machine):
+        system, process = machine
+        _write_pattern(system, process)
+        system.kernel.vm.remap_to_shadow(process, REGION, SIZE)
+        assert process.page_table.lookup(REGION).is_superpage
+        _check_pattern(system, process)
+
+    def test_data_survives_remap_back(self, machine):
+        system, process = machine
+        _write_pattern(system, process)
+        system.kernel.vm.remap_to_shadow(process, REGION, SIZE)
+        # Mutate through the shadow path, then tear back down.
+        system.store_word(process, REGION + 2048, 0x5EED)
+        system.kernel.vm.remap_back(process, REGION)
+        assert not process.page_table.lookup(REGION).is_superpage
+        assert system.load_word(process, REGION + 2048) == 0x5EED
+        assert system.load_word(process, REGION) == _pattern(0)
+
+    def test_unwritten_reads_are_empty(self, machine):
+        system, process = machine
+        assert system.load_word(process, REGION + 8) is None
+
+    def test_two_regions_do_not_alias(self, machine):
+        system, process = machine
+        other = 0x0300_0000
+        system.kernel.vm.map_region(process, other, SIZE)
+        system.kernel.vm.remap_to_shadow(process, REGION, SIZE)
+        system.kernel.vm.remap_to_shadow(process, other, SIZE)
+        system.store_word(process, REGION, 1)
+        system.store_word(process, other, 2)
+        assert system.load_word(process, REGION) == 1
+        assert system.load_word(process, other) == 2
+
+    def test_misaligned_functional_access_rejected(self, machine):
+        system, process = machine
+        with pytest.raises(ValueError):
+            system.store_word(process, REGION + 3, 1)
+
+
+class TestPagingRoundtrip:
+    def test_values_survive_page_out_and_in(self, machine):
+        system, process = machine
+        system.kernel.vm.remap_to_shadow(process, REGION, SIZE)
+        _write_pattern(system, process)
+        mapping = process.page_table.lookup(REGION)
+        record = system.kernel.vm.superpage_record(mapping.pbase)
+
+        victim_page = 3
+        old_pfn = record.pfns[victim_page]
+        system.kernel.pager.page_out(record, victim_page)
+        # Occupy the old frame so page-in must relocate the data.
+        stolen = []
+        while True:
+            pfn = system.kernel.frames.allocate()
+            stolen.append(pfn)
+            if pfn == old_pfn:
+                break
+        system.kernel.pager.page_in(record.first_shadow_index + victim_page)
+        assert record.pfns[victim_page] != old_pfn
+        _check_pattern(system, process)
+
+    def test_faulting_access_pages_in_transparently(self, machine):
+        system, process = machine
+        system.kernel.vm.remap_to_shadow(process, REGION, SIZE)
+        offset = 5 * BASE_PAGE_SIZE + 64
+        system.store_word(process, REGION + offset, 0x1234)
+        mapping = process.page_table.lookup(REGION)
+        record = system.kernel.vm.superpage_record(mapping.pbase)
+        system.kernel.pager.page_out(record, 5)
+        # A functional load hits the invalid mapping, faults, and the
+        # kernel pages the single base page back in.
+        assert system.load_word(process, REGION + offset) == 0x1234
+        assert system.kernel.pager.stats.pages_in == 1

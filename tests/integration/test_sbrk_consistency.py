@@ -1,0 +1,67 @@
+"""The HeapBuilder (trace generation) and the kernel's SbrkAllocator
+(simulation) must agree byte-for-byte on every address they hand out —
+otherwise traces would reference memory the simulated kernel never
+mapped.  This pins the two implementations together.
+"""
+
+import pytest
+
+from repro.trace.events import HeapGrow, MapRegion, Remap
+from repro.trace.trace import Trace
+from repro.workloads.base import HeapBuilder
+
+ALLOC_SIZES = [64, 128, 24, 4096, 100_000, 8, 8, 3_000_000, 64, 512]
+
+
+@pytest.fixture
+def kernel_process(mtlb_system):
+    process = mtlb_system.kernel.create_process("sbrk")
+    return mtlb_system, process
+
+
+def test_addresses_match_kernel_allocator(kernel_process):
+    system, process = kernel_process
+    trace = Trace("heap")
+    builder = HeapBuilder(
+        trace, heap_base=process.heap_base,
+        initial_prealloc=1 << 20, increment=512 << 10,
+    )
+    builder_addrs = [builder.alloc(n) for n in ALLOC_SIZES]
+
+    allocator = system.kernel.sbrk_allocator(
+        process, initial_prealloc=1 << 20, increment=512 << 10
+    )
+    kernel_addrs = [allocator.sbrk(n) for n in ALLOC_SIZES]
+    assert builder_addrs == kernel_addrs
+    assert builder.brk == process.brk
+
+
+def test_builder_events_cover_allocations(kernel_process):
+    _system, _process = kernel_process
+    trace = Trace("heap")
+    builder = HeapBuilder(
+        trace, heap_base=0x1000_0000,
+        initial_prealloc=256 << 10, increment=128 << 10,
+    )
+    addrs = [builder.alloc(n) for n in ALLOC_SIZES]
+    mapped = []
+    for event in trace.events():
+        if isinstance(event, (MapRegion, HeapGrow)):
+            mapped.append((event.vaddr, event.vaddr + event.length))
+    for addr in addrs:
+        assert any(lo <= addr < hi for lo, hi in mapped)
+
+
+def test_builder_emits_remap_per_growth(kernel_process):
+    trace = Trace("heap")
+    builder = HeapBuilder(
+        trace, heap_base=0x1000_0000,
+        initial_prealloc=64 << 10, increment=64 << 10,
+    )
+    builder.alloc(60 << 10)
+    builder.alloc(60 << 10)
+    maps = [e for e in trace.events() if isinstance(e, MapRegion)]
+    remaps = [e for e in trace.events() if isinstance(e, Remap)]
+    assert len(maps) == len(remaps) == builder.growths == 2
+    for m, r in zip(maps, remaps):
+        assert (m.vaddr, m.length) == (r.vaddr, r.length)

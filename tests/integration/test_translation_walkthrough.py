@@ -1,0 +1,103 @@
+"""E7 — the paper's Figure 1 worked example, end to end.
+
+The OS maps a contiguous 16 KB virtual range at 0x00004000 onto the
+shadow superpage at "physical" page frame 0x80240.  An access to virtual
+0x00004080 is translated by the CPU TLB to shadow physical 0x80240080,
+which the MTLB retranslates to real physical 0x40138080.  The paper's
+Section 2.2 fill example also appears: shadow page index 0x0240's table
+entry lives at (0x0240 << 2) + table base, and maps to frame 0x04012.
+"""
+
+import pytest
+
+from repro.core.addrspace import PhysicalMemoryMap
+from repro.core.mtlb import Mtlb
+from repro.core.shadow_table import ShadowPageTable
+from repro.cpu.tlb import Tlb, TlbEntry
+
+
+@pytest.fixture
+def figure1():
+    """A machine big enough for the paper's example frame numbers:
+    32-bit physical space, >1 GB of DRAM below the 0x8000_0000 shadow
+    window."""
+    memory_map = PhysicalMemoryMap(dram_size=0x4800_0000)
+    table = ShadowPageTable(memory_map, table_base=0)
+    mtlb = Mtlb(table, entries=128, associativity=2)
+    tlb = Tlb(entries=96)
+    return memory_map, table, mtlb, tlb
+
+
+class TestFigure1:
+    def test_virtual_to_shadow_to_real(self, figure1):
+        memory_map, table, mtlb, tlb = figure1
+        # OS: one CPU-TLB superpage entry 0x00004000 -> shadow 0x80240000.
+        tlb.insert(
+            TlbEntry(vbase=0x0000_4000, pbase=0x8024_0000, size=16 << 10)
+        )
+        # OS: shadow-to-real mappings for the 4 base pages (frames chosen
+        # to include the figure's 0x40138).
+        first = memory_map.shadow_page_index(0x8024_0000)
+        frames = [0x40138, 0x04012, 0x2AAAA, 0x11111]
+        for i, pfn in enumerate(frames):
+            table.set_mapping(first + i, pfn)
+
+        # CPU side: virtual 0x00004080 hits the superpage entry.
+        entry = tlb.lookup(0x0000_4080)
+        assert entry is not None
+        shadow = entry.translate(0x0000_4080)
+        assert shadow == 0x8024_0080
+
+        # MMC side: the MTLB retranslates to the real address.
+        assert memory_map.is_shadow(shadow)
+        index = memory_map.shadow_page_index(shadow)
+        pfn, filled = mtlb.access(index, is_write=False)
+        real = (pfn << 12) | (shadow & 0xFFF)
+        assert real == 0x4013_8080
+        assert filled  # first touch required a hardware fill
+
+    def test_second_page_of_superpage(self, figure1):
+        memory_map, table, mtlb, tlb = figure1
+        tlb.insert(
+            TlbEntry(vbase=0x0000_4000, pbase=0x8024_0000, size=16 << 10)
+        )
+        first = memory_map.shadow_page_index(0x8024_0000)
+        table.set_mapping(first + 1, 0x04012)
+        # Virtual 0x00005040 -> shadow 0x80241040 -> real 0x04012040
+        # (the Section 2.2 fill walkthrough).
+        entry = tlb.lookup(0x0000_5040)
+        shadow = entry.translate(0x0000_5040)
+        assert shadow == 0x8024_1040
+        index = memory_map.shadow_page_index(shadow)
+        pfn, _ = mtlb.access(index, is_write=False)
+        assert ((pfn << 12) | (shadow & 0xFFF)) == 0x0401_2040
+
+    def test_fill_address_arithmetic(self, figure1):
+        """Section 2.2: the fill engine loads (index << 2) + table base —
+        for shadow page 0x0240 with a zero table base, address 0x900."""
+        memory_map, table, _mtlb, _tlb = figure1
+        index = memory_map.shadow_page_index(0x8024_0000)
+        assert index == 0x0240  # page 0x80240 minus the window base
+        assert table.entry_paddr(0x0240) == 0x0240 << 2
+
+    def test_discontiguous_backing(self, figure1):
+        """The four base pages of the superpage live in scattered,
+        unordered frames — the property conventional superpages forbid."""
+        memory_map, table, mtlb, tlb = figure1
+        tlb.insert(
+            TlbEntry(vbase=0x0000_4000, pbase=0x8024_0000, size=16 << 10)
+        )
+        first = memory_map.shadow_page_index(0x8024_0000)
+        frames = [0x40138, 0x04012, 0x2AAAA, 0x11111]
+        for i, pfn in enumerate(frames):
+            table.set_mapping(first + i, pfn)
+        reals = []
+        for page in range(4):
+            vaddr = 0x0000_4000 + page * 4096
+            shadow = tlb.lookup(vaddr).translate(vaddr)
+            pfn, _ = mtlb.access(
+                memory_map.shadow_page_index(shadow), False
+            )
+            reals.append(pfn)
+        assert reals == frames
+        assert reals != sorted(reals)

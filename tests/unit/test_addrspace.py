@@ -1,0 +1,114 @@
+"""Unit tests for address-space constants and bit math."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core import addrspace as a
+
+
+class TestConstants:
+    def test_base_page_is_4k(self):
+        assert a.BASE_PAGE_SIZE == 4096
+        assert 1 << a.BASE_PAGE_SHIFT == a.BASE_PAGE_SIZE
+
+    def test_superpage_sizes_are_powers_of_four_times_base(self):
+        expected = [16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20]
+        assert list(a.SUPERPAGE_SIZES) == expected
+
+    def test_page_sizes_include_base_page(self):
+        assert a.PAGE_SIZES[0] == a.BASE_PAGE_SIZE
+        assert a.PAGE_SIZES[1:] == a.SUPERPAGE_SIZES
+
+    def test_cache_line_constants(self):
+        assert 1 << a.CACHE_LINE_SHIFT == a.CACHE_LINE_SIZE == 32
+
+
+class TestBitMath:
+    def test_page_number_and_offset(self):
+        assert a.page_number(0x12345) == 0x12
+        assert a.page_offset(0x12345) == 0x345
+        assert a.page_base(0x12345) == 0x12000
+
+    def test_align_up_down(self):
+        assert a.align_up(0x1001, 0x1000) == 0x2000
+        assert a.align_up(0x1000, 0x1000) == 0x1000
+        assert a.align_down(0x1FFF, 0x1000) == 0x1000
+
+    def test_align_rejects_non_power_of_two(self):
+        with pytest.raises(ValueError):
+            a.align_up(0, 3)
+        with pytest.raises(ValueError):
+            a.is_aligned(0, 0)
+
+    def test_largest_superpage_not_exceeding(self):
+        assert a.largest_superpage_not_exceeding(16 << 10) == 16 << 10
+        assert a.largest_superpage_not_exceeding((64 << 10) - 1) == 16 << 10
+        assert a.largest_superpage_not_exceeding(100 << 20) == 16 << 20
+
+    def test_largest_superpage_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            a.largest_superpage_not_exceeding(8 << 10)
+
+    def test_base_pages_in(self):
+        assert a.base_pages_in(16 << 10) == 4
+        with pytest.raises(ValueError):
+            a.base_pages_in(100)
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1),
+           st.sampled_from([1 << k for k in range(1, 25)]))
+    def test_align_up_properties(self, addr, alignment):
+        up = a.align_up(addr, alignment)
+        assert up >= addr
+        assert up % alignment == 0
+        assert up - addr < alignment
+
+    @given(st.integers(min_value=0, max_value=2**32 - 1))
+    def test_page_decomposition_roundtrip(self, addr):
+        assert (
+            a.page_base(addr) + a.page_offset(addr) == addr
+        )
+
+
+class TestPhysicalMemoryMap:
+    def test_default_layout(self, memory_map):
+        assert memory_map.dram_size == 256 << 20
+        assert memory_map.shadow_base == 0x8000_0000
+        assert memory_map.shadow_size == 512 << 20
+        assert memory_map.shadow_end == 0xA000_0000
+
+    def test_classification(self, memory_map):
+        assert memory_map.is_dram(0)
+        assert memory_map.is_dram(memory_map.dram_size - 1)
+        assert not memory_map.is_dram(memory_map.dram_size)
+        assert memory_map.is_shadow(0x8000_0000)
+        assert memory_map.is_shadow(0x9FFF_FFFF)
+        assert not memory_map.is_shadow(0xA000_0000)
+        assert memory_map.is_io(0xF000_0000)
+        assert not memory_map.is_io(0x8000_0000)
+
+    def test_shadow_page_index_roundtrip(self, memory_map):
+        paddr = memory_map.shadow_base + 5 * 4096 + 123
+        idx = memory_map.shadow_page_index(paddr)
+        assert idx == 5
+        assert memory_map.shadow_addr_of_index(5) == paddr - 123
+
+    def test_shadow_page_index_rejects_non_shadow(self, memory_map):
+        with pytest.raises(ValueError):
+            memory_map.shadow_page_index(0x1000)
+
+    def test_counts(self, memory_map):
+        assert memory_map.dram_frames == (256 << 20) // 4096
+        assert memory_map.shadow_pages == (512 << 20) // 4096
+
+    def test_overlap_validation(self):
+        from repro.core.addrspace import PhysicalMemoryMap
+        with pytest.raises(ValueError):
+            PhysicalMemoryMap(dram_size=0x9000_0000)  # overlaps shadow
+        with pytest.raises(ValueError):
+            PhysicalMemoryMap(shadow_base=0x8000_0000 + 4096)  # misaligned
+
+    def test_shadow_cannot_reach_io(self):
+        from repro.core.addrspace import PhysicalMemoryMap
+        with pytest.raises(ValueError):
+            PhysicalMemoryMap(shadow_size=(0xF000_0000 - 0x8000_0000) + 4096)

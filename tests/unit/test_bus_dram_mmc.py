@@ -1,0 +1,161 @@
+"""Unit tests for the bus, DRAM and memory-controller models."""
+
+import pytest
+
+from repro.core.mtlb import Mtlb, MtlbFault
+from repro.core.shadow_table import ShadowPageTable
+from repro.mem.bus import Bus, BusTiming
+from repro.mem.dram import Dram, DramTiming
+from repro.mem.mmc import (
+    BadPhysicalAddress,
+    MemoryController,
+    MmcTiming,
+)
+
+
+class TestBus:
+    def test_fill_latency(self):
+        bus = Bus()
+        # Request: 2 bus cycles at 2:1 = 4 CPU; return: 4 beats = 8 CPU.
+        assert bus.fill_request_cycles() == 4
+        assert bus.fill_return_cycles() == 8
+
+    def test_writeback_occupies_but_is_counted(self):
+        bus = Bus()
+        cycles = bus.writeback_cycles()
+        assert cycles == (2 + 4) * 2
+        assert bus.stats.writeback_transactions == 1
+
+    def test_utilisation(self):
+        bus = Bus()
+        bus.fill_request_cycles()
+        bus.fill_return_cycles()
+        assert 0.0 < bus.utilisation(1000) < 0.02
+        assert bus.utilisation(0) == 0.0
+
+    def test_custom_ratio(self):
+        bus = Bus(BusTiming(cpu_cycles_per_bus_cycle=3))
+        assert bus.fill_request_cycles() == 6
+
+
+class TestDram:
+    def test_row_hit_faster(self):
+        dram = Dram()
+        first = dram.access_cycles(0x1000)
+        second = dram.access_cycles(0x1008)
+        assert first == DramTiming().row_miss_cycles
+        assert second == DramTiming().row_hit_cycles
+
+    def test_bank_conflict_reopens_row(self):
+        timing = DramTiming(banks=2)
+        dram = Dram(timing)
+        dram.access_cycles(0x0000)  # row 0, bank 0
+        dram.access_cycles(0x2000 * 2)  # row 4 -> bank 0, different row
+        assert dram.access_cycles(0x0000) == timing.row_miss_cycles
+
+    def test_stats(self):
+        dram = Dram()
+        dram.access_cycles(0)
+        dram.access_cycles(8)
+        assert dram.stats.accesses == 2
+        assert dram.stats.row_hit_rate == 0.5
+
+
+@pytest.fixture
+def mmc_pair(memory_map):
+    table = ShadowPageTable(memory_map, table_base=0)
+    mtlb = Mtlb(table, entries=128, associativity=2)
+    mmc = MemoryController(
+        memory_map, Dram(), MmcTiming(), shadow_table=table, mtlb=mtlb
+    )
+    return mmc, table
+
+
+class TestMmc:
+    def test_dram_fill_plain(self, memory_map):
+        mmc = MemoryController(memory_map, Dram())
+        result = mmc.cache_fill(0x1000, exclusive=False)
+        assert result.real_paddr == 0x1000
+        assert not result.mtlb_filled
+        # No MTLB: no shadow-check cycle. base(2) + row-miss(8) = 10 MMC
+        # cycles = 20 CPU cycles.
+        assert result.cpu_cycles == 20
+
+    def test_shadow_fill_translates(self, mmc_pair, memory_map):
+        mmc, table = mmc_pair
+        table.set_mapping(0x240, pfn=0x4012)
+        paddr = memory_map.shadow_base + (0x240 << 12) + 0x80
+        result = mmc.cache_fill(paddr, exclusive=False)
+        assert result.real_paddr == (0x4012 << 12) | 0x80
+        assert result.mtlb_filled  # first touch fills the MTLB
+
+    def test_shadow_fill_hit_is_cheaper(self, mmc_pair, memory_map):
+        mmc, table = mmc_pair
+        table.set_mapping(3, pfn=0x99)
+        paddr = memory_map.shadow_base + (3 << 12)
+        first = mmc.cache_fill(paddr, exclusive=False)
+        second = mmc.cache_fill(paddr + 32, exclusive=False)
+        assert not second.mtlb_filled
+        assert second.cpu_cycles < first.cpu_cycles
+
+    def test_exclusive_fill_sets_dirty(self, mmc_pair, memory_map):
+        mmc, table = mmc_pair
+        table.set_mapping(5, pfn=0x42)
+        mmc.cache_fill(memory_map.shadow_base + (5 << 12), exclusive=True)
+        assert table.entry(5).dirty
+
+    def test_fault_propagates(self, mmc_pair, memory_map):
+        mmc, table = mmc_pair
+        table.set_mapping(7, pfn=0x11, valid=False)
+        with pytest.raises(MtlbFault):
+            mmc.cache_fill(memory_map.shadow_base + (7 << 12), False)
+
+    def test_unbacked_address_rejected(self, mmc_pair, memory_map):
+        mmc, _ = mmc_pair
+        with pytest.raises(BadPhysicalAddress):
+            mmc.cache_fill(memory_map.dram_size + 4096, False)
+        with pytest.raises(BadPhysicalAddress):
+            mmc.cache_fill(0xF000_0000, False)
+
+    def test_shadow_without_mtlb_rejected(self, memory_map):
+        mmc = MemoryController(memory_map, Dram())
+        with pytest.raises(BadPhysicalAddress):
+            mmc.cache_fill(memory_map.shadow_base, False)
+
+    def test_writeback_translates_shadow(self, mmc_pair, memory_map):
+        mmc, table = mmc_pair
+        table.set_mapping(9, pfn=0x55)
+        cycles = mmc.writeback(memory_map.shadow_base + (9 << 12) + 64)
+        assert cycles > 0
+        assert table.entry(9).dirty  # a writeback is an exclusive access
+
+    def test_control_writes_purge_mtlb(self, mmc_pair, memory_map):
+        mmc, table = mmc_pair
+        table.set_mapping(4, pfn=0x10)
+        paddr = memory_map.shadow_base + (4 << 12)
+        mmc.cache_fill(paddr, False)  # cached in MTLB
+        mmc.write_mapping(4, pfn=0x20)
+        result = mmc.cache_fill(paddr, False)
+        assert result.real_paddr == 0x20 << 12  # new frame visible
+
+    def test_resolve_is_pure(self, mmc_pair, memory_map):
+        mmc, table = mmc_pair
+        table.set_mapping(2, pfn=0x77)
+        paddr = memory_map.shadow_base + (2 << 12) + 8
+        assert mmc.resolve(paddr) == (0x77 << 12) + 8
+        assert not table.entry(2).referenced  # no accounting side effect
+        assert mmc.resolve(0x1234) == 0x1234
+
+    def test_mtlb_requires_table(self, memory_map):
+        table = ShadowPageTable(memory_map, table_base=0)
+        mtlb = Mtlb(table)
+        with pytest.raises(ValueError):
+            MemoryController(memory_map, Dram(), mtlb=mtlb)
+        with pytest.raises(ValueError):
+            MemoryController(memory_map, Dram(), shadow_table=table)
+
+    def test_avg_fill_stat(self, mmc_pair):
+        mmc, _ = mmc_pair
+        mmc.cache_fill(0x1000, False)
+        mmc.cache_fill(0x2000, False)
+        assert mmc.stats.avg_fill_cpu_cycles > 0

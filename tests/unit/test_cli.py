@@ -1,0 +1,25 @@
+"""Unit tests for the repro-bench CLI (fast commands only)."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out.split()
+        assert set(EXPERIMENTS) <= set(out)
+
+    def test_fig2_runs_and_passes(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "shape checks: all passed" in out
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["not-an-experiment"])
+
+    def test_quick_flag_accepted(self, capsys):
+        assert main(["fig2", "--quick"]) == 0

@@ -1,0 +1,123 @@
+"""Unit tests for configuration presets, stats and result rendering."""
+
+import pytest
+
+from repro.sim.config import (
+    SystemConfig,
+    figure3_configs,
+    figure4_configs,
+    paper_base,
+    paper_mtlb,
+    paper_no_mtlb,
+    with_check_penalty,
+)
+from repro.sim.results import (
+    ResultMatrix,
+    RunResult,
+    render_series,
+    render_table,
+)
+from repro.sim.stats import RunStats
+
+
+class TestConfig:
+    def test_paper_base(self):
+        config = paper_base()
+        assert config.tlb.entries == 96
+        assert not config.mtlb.enabled
+        assert config.label == "tlb96"
+
+    def test_paper_mtlb_label(self):
+        assert paper_mtlb(64).label == "tlb64+mtlb1282w"
+        assert paper_mtlb(128, 256, 0).label == "tlb128+mtlb256full"
+
+    def test_superpages_require_mtlb(self):
+        with pytest.raises(ValueError):
+            SystemConfig(use_superpages=True)
+
+    def test_figure3_matrix(self):
+        configs = figure3_configs()
+        assert len(configs) == 6
+        assert "tlb96" in configs and "tlb96+mtlb1282w" in configs
+
+    def test_figure4_matrix(self):
+        configs = figure4_configs()
+        assert len(configs) == 10  # baseline + 3 sizes x 3 assocs
+        assert "tlb128" in configs
+        assert all(
+            c.tlb.entries == 128 for c in configs.values()
+        )
+
+    def test_with_check_penalty(self):
+        config = with_check_penalty(paper_mtlb(96), 0)
+        assert config.mmc.shadow_check == 0
+        assert paper_mtlb(96).mmc.shadow_check == 1  # original untouched
+
+    def test_paper_defaults_match_section_3_2(self):
+        config = paper_no_mtlb(96)
+        assert config.cache.size_bytes == 512 << 10
+        assert config.cache.associativity == 1
+        assert config.bus.cpu_cycles_per_bus_cycle == 2
+        assert config.mtlb.entries == 128
+        assert config.mtlb.associativity == 2
+
+
+def _stats(total=100, inst=50, mem=20, tlb=20, kernel=10):
+    stats = RunStats(
+        total_cycles=total,
+        instruction_cycles=inst,
+        memory_stall_cycles=mem,
+        tlb_miss_cycles=tlb,
+        kernel_cycles=kernel,
+    )
+    return stats
+
+
+class TestStats:
+    def test_consistency_check(self):
+        _stats().check_consistency()
+        with pytest.raises(AssertionError):
+            _stats(total=99).check_consistency()
+
+    def test_fractions(self):
+        stats = _stats()
+        assert stats.tlb_time_fraction == 0.2
+        stats.tlb_lookups = 10
+        stats.tlb_misses = 1
+        assert stats.tlb_miss_rate == 0.1
+
+    def test_zero_safe(self):
+        stats = RunStats()
+        assert stats.tlb_time_fraction == 0.0
+        assert stats.cache_hit_rate == 0.0
+        assert stats.mtlb_hit_rate == 0.0
+        assert stats.avg_fill_cycles == 0.0
+        assert stats.cpi == 0.0
+
+
+class TestResults:
+    def test_normalisation(self):
+        matrix = ResultMatrix("base")
+        matrix.add(RunResult("w", "base", _stats(total=200)))
+        matrix.add(RunResult("w", "fast", _stats(total=100)))
+        assert matrix.normalised("w", "fast") == 0.5
+        assert matrix.row("w", ["base", "fast"]) == [1.0, 0.5]
+
+    def test_zero_base_rejected(self):
+        base = RunResult("w", "b", RunStats())
+        other = RunResult("w", "o", _stats())
+        with pytest.raises(ValueError):
+            other.normalised_to(base)
+
+    def test_render_table(self):
+        out = render_table(
+            ["a", "bee"], [[1, 2.5], ["x", "yy"]], title="T"
+        )
+        lines = out.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bee" in lines[1]
+        assert "2.500" in out
+
+    def test_render_series(self):
+        out = render_series("s", {"one": 1.0}, unit="cyc")
+        assert "one" in out and "1.0000 cyc" in out

@@ -1,0 +1,127 @@
+"""Unit tests for the micro-ITLB, block TLB and software miss handler."""
+
+import pytest
+
+from repro.cpu.block_tlb import BlockTlb
+from repro.cpu.micro_itlb import MicroItlb
+from repro.cpu.miss_handler import (
+    MissHandlerCosts,
+    PageFault,
+    SoftwareMissHandler,
+)
+from repro.cpu.tlb import TlbEntry
+from repro.os_model.hpt import HashedPageTable
+from repro.os_model.page_table import PageTable
+
+
+class TestMicroItlb:
+    def test_empty_misses(self):
+        itlb = MicroItlb()
+        assert itlb.lookup(0x1000) is None
+        assert itlb.stats.misses == 1
+
+    def test_refill_then_hit(self):
+        itlb = MicroItlb()
+        entry = TlbEntry(vbase=0x1000, pbase=0x9000, size=4096)
+        itlb.refill(entry)
+        assert itlb.lookup(0x1FFF) is entry
+        assert itlb.lookup(0x2000) is None
+
+    def test_invalidate(self):
+        itlb = MicroItlb()
+        itlb.refill(TlbEntry(vbase=0x1000, pbase=0x9000, size=4096))
+        itlb.invalidate()
+        assert itlb.lookup(0x1000) is None
+
+
+class TestBlockTlb:
+    def test_covers_kernel_range(self):
+        block = BlockTlb(vbase=0, pbase=0, size=4 << 20)
+        assert block.lookup(0) is not None
+        assert block.lookup((4 << 20) - 1) is not None
+        assert block.lookup(4 << 20) is None
+
+    def test_translate(self):
+        block = BlockTlb(vbase=0x1000, pbase=0x8_0000, size=8192)
+        assert block.translate(0x1234) == 0x8_0234
+        with pytest.raises(ValueError):
+            block.translate(0x4000)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            BlockTlb(vbase=1, pbase=0, size=4096)
+        with pytest.raises(ValueError):
+            BlockTlb(vbase=0, pbase=0, size=100)
+
+
+class _AccessRecorder:
+    """Records kernel accesses and charges a fixed latency."""
+
+    def __init__(self, latency=10):
+        self.latency = latency
+        self.accesses = []
+
+    def __call__(self, paddr, is_write):
+        self.accesses.append((paddr, is_write))
+        return self.latency
+
+
+@pytest.fixture
+def handler_setup():
+    page_table = PageTable()
+    mapping = page_table.map_base_page(0x0200_0000, pfn=0x123)
+    hpt = HashedPageTable(
+        base_paddr=0x10_0000,
+        resolver=lambda vpn: page_table.lookup(vpn << 12),
+    )
+    hpt.preload(0x0200_0000 >> 12, mapping)
+    return page_table, hpt
+
+
+class TestSoftwareMissHandler:
+    def test_refill_from_hpt(self, handler_setup):
+        _pt, hpt = handler_setup
+        handler = SoftwareMissHandler(hpt)
+        access = _AccessRecorder()
+        result = handler.handle(0x0200_0123, access)
+        assert result.entry.vbase == 0x0200_0000
+        assert result.entry.pbase == 0x123 << 12
+        # One probe load of the HPT entry, at its physical address.
+        assert len(access.accesses) == 1
+        assert access.accesses[0][0] >= 0x10_0000
+
+    def test_cycle_accounting(self, handler_setup):
+        _pt, hpt = handler_setup
+        costs = MissHandlerCosts(
+            trap_overhead=20, hash_compute=5, probe_compare=4, tlb_insert=6
+        )
+        handler = SoftwareMissHandler(hpt, costs)
+        result = handler.handle(0x0200_0000, _AccessRecorder(latency=7))
+        assert result.cycles == 20 + 5 + (4 + 7) + 6
+
+    def test_hpt_miss_walks_segments(self, handler_setup):
+        page_table, hpt = handler_setup
+        page_table.map_base_page(0x0300_0000, pfn=0x77)  # not preloaded
+        handler = SoftwareMissHandler(hpt)
+        access = _AccessRecorder()
+        result = handler.handle(0x0300_0008, access)
+        assert result.entry.pbase == 0x77 << 12
+        assert handler.stats.segment_walks == 1
+        assert result.cycles > handler.costs.segment_walk
+
+    def test_page_fault_when_unmapped(self, handler_setup):
+        _pt, hpt = handler_setup
+        handler = SoftwareMissHandler(hpt)
+        with pytest.raises(PageFault):
+            handler.handle(0x0900_0000, _AccessRecorder())
+
+    def test_superpage_refill(self, handler_setup):
+        page_table, hpt = handler_setup
+        mapping = page_table.map_superpage(
+            0x0400_0000, 0x8000_0000, 64 << 10
+        )
+        hpt.preload(0x0400_2000 >> 12, mapping)
+        handler = SoftwareMissHandler(hpt)
+        result = handler.handle(0x0400_2468, _AccessRecorder())
+        assert result.entry.size == 64 << 10
+        assert result.entry.pbase == 0x8000_0000

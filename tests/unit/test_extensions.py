@@ -1,0 +1,159 @@
+"""Unit tests for all-shadow mode and no-copy page recoloring."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+from repro.ext.recoloring import Recolorer
+from repro.os_model.page_table import MappingError
+from repro.sim.config import CacheConfig, paper_mtlb, paper_no_mtlb
+from repro.sim.system import System
+
+REGION = 0x0200_0000
+
+
+@pytest.fixture
+def all_shadow_system():
+    config = dataclasses.replace(
+        paper_mtlb(96), use_superpages=False, all_shadow=True
+    )
+    system = System(config)
+    process = system.kernel.create_process("allshadow")
+    return system, process
+
+
+class TestAllShadow:
+    def test_ptes_are_shadow_named(self, all_shadow_system):
+        system, process = all_shadow_system
+        system.kernel.sys_map(process, REGION, 32 << 10)
+        for offset in range(0, 32 << 10, BASE_PAGE_SIZE):
+            mapping = process.page_table.lookup(REGION + offset)
+            assert system.config.memory_map.is_shadow(mapping.pbase)
+
+    def test_translation_reaches_real_frames(self, all_shadow_system):
+        system, process = all_shadow_system
+        system.kernel.sys_map(process, REGION, 16 << 10)
+        shadow_paddr = process.page_table.translate(REGION + 8)
+        real = system.mmc.resolve(shadow_paddr)
+        assert system.config.memory_map.is_dram(real)
+
+    def test_functional_data_intact(self, all_shadow_system):
+        system, process = all_shadow_system
+        system.kernel.sys_map(process, REGION, 16 << 10)
+        system.store_word(process, REGION + 512, 0xFEED)
+        assert system.load_word(process, REGION + 512) == 0xFEED
+
+    def test_all_traffic_goes_through_mtlb(self, all_shadow_system):
+        system, process = all_shadow_system
+        system.kernel.sys_map(process, REGION, 16 << 10)
+        before = system.mtlb.stats.lookups
+        for offset in range(0, 16 << 10, 32):
+            system.touch(process, REGION + offset)
+        assert system.mtlb.stats.lookups > before
+
+    def test_remap_in_place_rejected(self, all_shadow_system):
+        system, process = all_shadow_system
+        system.kernel.sys_map(process, REGION, 16 << 10)
+        with pytest.raises(MappingError):
+            system.kernel.vm.remap_to_shadow(process, REGION, 16 << 10)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(paper_no_mtlb(96), all_shadow=True)
+        with pytest.raises(ValueError):
+            dataclasses.replace(paper_mtlb(96), all_shadow=True)
+
+
+@pytest.fixture
+def recolor_machine():
+    config = dataclasses.replace(
+        paper_mtlb(96),
+        cache=CacheConfig(physically_indexed=True),
+        fragmentation="none",
+    )
+    system = System(config)
+    process = system.kernel.create_process("recolor")
+    return system, process
+
+
+class TestRecoloring:
+    def test_requires_physical_indexing(self, mtlb_system):
+        with pytest.raises(ValueError):
+            Recolorer(mtlb_system)
+
+    def test_requires_mtlb(self):
+        system = System(
+            dataclasses.replace(
+                paper_no_mtlb(96),
+                cache=CacheConfig(physically_indexed=True),
+            )
+        )
+        with pytest.raises(ValueError):
+            Recolorer(system)
+
+    def test_color_count(self, recolor_machine):
+        system, _process = recolor_machine
+        recolorer = Recolorer(system)
+        assert recolorer.colors == (512 << 10) // BASE_PAGE_SIZE  # 128
+
+    def test_recolor_changes_effective_color(self, recolor_machine):
+        system, process = recolor_machine
+        system.kernel.sys_map(process, REGION, BASE_PAGE_SIZE)
+        recolorer = Recolorer(system)
+        old = recolorer.color_of_page(process, REGION)
+        target = (old + 7) % recolorer.colors
+        cycles = recolorer.recolor_page(process, REGION, target)
+        assert cycles > 0
+        assert recolorer.color_of_page(process, REGION) == target
+
+    def test_recolor_preserves_data(self, recolor_machine):
+        system, process = recolor_machine
+        system.kernel.sys_map(process, REGION, BASE_PAGE_SIZE)
+        system.store_word(process, REGION + 64, 0xC0DE)
+        recolorer = Recolorer(system)
+        recolorer.recolor_page(process, REGION, 5)
+        assert system.load_word(process, REGION + 64) == 0xC0DE
+
+    def test_double_recolor_rejected(self, recolor_machine):
+        system, process = recolor_machine
+        system.kernel.sys_map(process, REGION, BASE_PAGE_SIZE)
+        recolorer = Recolorer(system)
+        recolorer.recolor_page(process, REGION, 5)
+        with pytest.raises(MappingError):
+            recolorer.recolor_page(process, REGION, 6)
+
+    def test_conflict_histogram(self, recolor_machine):
+        system, process = recolor_machine
+        recolorer = Recolorer(system)
+        # Sequential frames: 130 pages wrap the 128 colors, so two
+        # colors carry two hot pages each.
+        system.kernel.sys_map(process, REGION, 130 * BASE_PAGE_SIZE)
+        pages = [
+            REGION + i * BASE_PAGE_SIZE for i in range(130)
+        ]
+        histogram = recolorer.conflict_histogram(process, pages)
+        assert sum(histogram.values()) == 130
+        assert max(histogram.values()) == 2
+
+    def test_auto_recolor_spreads_colors(self, recolor_machine):
+        system, process = recolor_machine
+        recolorer = Recolorer(system)
+        colors = recolorer.colors
+        # Map three pages that all share one color.
+        bases = [0x0200_0000, 0x0300_0000, 0x0400_0000]
+        system.kernel.sys_map(process, bases[0], BASE_PAGE_SIZE)
+        for b in bases[1:]:
+            system.kernel.sys_map(
+                process, b - (colors - 1) * BASE_PAGE_SIZE,
+                (colors - 1) * BASE_PAGE_SIZE,
+            )
+            system.kernel.sys_map(process, b, BASE_PAGE_SIZE)
+        page_colors = {
+            recolorer.color_of_page(process, b) for b in bases
+        }
+        assert len(page_colors) == 1  # all conflicting
+        moved, cycles = recolorer.auto_recolor(process, bases)
+        assert moved == 2 and cycles > 0
+        final = {recolorer.color_of_page(process, b) for b in bases}
+        assert len(final) == 3

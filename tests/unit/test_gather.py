@@ -1,0 +1,140 @@
+"""Unit tests for the page-gather extension."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+from repro.ext.gather import GatherMapper
+from repro.os_model.page_table import MappingError
+from repro.sim.config import CacheConfig, paper_mtlb, paper_no_mtlb
+from repro.sim.system import System
+
+TABLE = 0x1000_0000
+ALIAS = 0x7000_0000
+
+
+@pytest.fixture
+def machine():
+    config = dataclasses.replace(
+        paper_mtlb(96), cache=CacheConfig(physically_indexed=True)
+    )
+    system = System(config)
+    process = system.kernel.create_process("gather")
+    system.kernel.sys_map(process, TABLE, 4 << 20)
+    return system, process
+
+
+def scattered_sources(count=4, stride_pages=37):
+    return [TABLE + i * stride_pages * BASE_PAGE_SIZE for i in range(count)]
+
+
+class TestGatherSetup:
+    def test_requires_physical_indexing(self, mtlb_system):
+        with pytest.raises(ValueError):
+            GatherMapper(mtlb_system)
+
+    def test_requires_mtlb(self):
+        system = System(
+            dataclasses.replace(
+                paper_no_mtlb(96),
+                cache=CacheConfig(physically_indexed=True),
+            )
+        )
+        with pytest.raises(ValueError):
+            GatherMapper(system)
+
+    def test_alias_superpage_created(self, machine):
+        system, process = machine
+        mapper = GatherMapper(system)
+        cycles = mapper.gather(process, ALIAS, scattered_sources())
+        assert cycles > 0
+        mapping = process.page_table.lookup(ALIAS)
+        assert mapping.is_superpage and mapping.size == 16 << 10
+        assert system.config.memory_map.is_shadow(mapping.pbase)
+
+    def test_sources_stay_mapped(self, machine):
+        system, process = machine
+        GatherMapper(system).gather(process, ALIAS, scattered_sources())
+        for vaddr in scattered_sources():
+            assert process.page_table.lookup(vaddr) is not None
+
+    def test_non_tiling_count_rejected(self, machine):
+        system, process = machine
+        with pytest.raises(ValueError):
+            GatherMapper(system).gather(
+                process, ALIAS, scattered_sources(count=3)
+            )
+
+    def test_unmapped_source_rejected(self, machine):
+        system, process = machine
+        with pytest.raises(MappingError):
+            GatherMapper(system).gather(
+                process, ALIAS, [0x6000_0000] * 4
+            )
+
+    def test_misaligned_source_rejected(self, machine):
+        system, process = machine
+        with pytest.raises(ValueError):
+            GatherMapper(system).gather(
+                process, ALIAS, [TABLE + 8, TABLE, TABLE, TABLE]
+            )
+
+
+class TestAliasCoherence:
+    def test_alias_and_source_reach_same_frame(self, machine):
+        system, process = machine
+        sources = scattered_sources()
+        GatherMapper(system).gather(process, ALIAS, sources)
+        for i, source in enumerate(sources):
+            alias = ALIAS + i * BASE_PAGE_SIZE
+            source_real = system.mmc.resolve(
+                process.page_table.translate(source)
+            )
+            alias_real = system.mmc.resolve(
+                process.page_table.translate(alias)
+            )
+            assert source_real == alias_real
+
+    def test_data_visible_through_both_names(self, machine):
+        system, process = machine
+        sources = scattered_sources()
+        GatherMapper(system).gather(process, ALIAS, sources)
+        system.store_word(process, sources[2] + 64, 0xFACE)
+        assert (
+            system.load_word(process, ALIAS + 2 * BASE_PAGE_SIZE + 64)
+            == 0xFACE
+        )
+        system.store_word(process, ALIAS + 128, 0xBEEF)
+        assert system.load_word(process, sources[0] + 128) == 0xBEEF
+
+    def test_cache_coherent_across_names(self, machine):
+        """Physically indexed + tagged: one frame, one cache line, no
+        matter which virtual name warmed it."""
+        system, process = machine
+        sources = scattered_sources()
+        GatherMapper(system).gather(process, ALIAS, sources)
+        system.touch(process, sources[1] + 32)
+        alias_line = ALIAS + BASE_PAGE_SIZE + 32
+        paddr = system.mmc.resolve(
+            process.page_table.translate(alias_line)
+        )
+        assert system.cache.probe(alias_line, paddr)
+
+    def test_one_tlb_entry_covers_hot_set(self, machine):
+        system, process = machine
+        big_table = 0x3000_0000
+        system.kernel.sys_map(process, big_table, 16 << 20)
+        sources = [
+            big_table + i * 13 * BASE_PAGE_SIZE for i in range(256)
+        ]
+        GatherMapper(system).gather(process, ALIAS, sources)
+        rng = np.random.default_rng(4)
+        system.tlb.flush_all()
+        before = system.tlb.stats.misses
+        for _ in range(2000):
+            page = int(rng.integers(0, 256))
+            system.touch(process, ALIAS + page * BASE_PAGE_SIZE)
+        misses = system.tlb.stats.misses - before
+        assert misses <= 2  # the single superpage entry (+ epsilon)

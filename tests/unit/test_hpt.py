@@ -1,0 +1,119 @@
+"""Unit tests for the hashed page table."""
+
+import pytest
+
+from repro.os_model.hpt import HPT_ENTRY_BYTES, HashedPageTable
+from repro.os_model.page_table import PageTable
+
+
+@pytest.fixture
+def setup():
+    page_table = PageTable()
+    hpt = HashedPageTable(
+        base_paddr=0x8_0000,
+        buckets=1024,
+        overflow_entries=256,
+        resolver=lambda vpn: page_table.lookup(vpn << 12),
+    )
+    return page_table, hpt
+
+
+class TestGeometry:
+    def test_paper_size(self):
+        hpt = HashedPageTable(base_paddr=0)
+        # 16K entries x 16 bytes, as in Section 3.2.
+        assert hpt.table_bytes == 16 * 1024 * 16
+
+    def test_bucket_count_power_of_two(self):
+        with pytest.raises(ValueError):
+            HashedPageTable(base_paddr=0, buckets=1000)
+
+
+class TestProbeInstall:
+    def test_empty_probe_touches_head(self, setup):
+        _pt, hpt = setup
+        mapping, touched = hpt.probe(5)
+        assert mapping is None
+        assert len(touched) == 1
+        assert touched[0] >= 0x8_0000
+
+    def test_preload_then_probe(self, setup):
+        page_table, hpt = setup
+        mapping = page_table.map_base_page(5 << 12, pfn=77)
+        hpt.preload(5, mapping)
+        found, touched = hpt.probe(5)
+        assert found is mapping
+        assert len(touched) == 1
+
+    def test_install_consults_resolver(self, setup):
+        page_table, hpt = setup
+        page_table.map_base_page(9 << 12, pfn=3)
+        mapping, written = hpt.install(9)
+        assert mapping is not None and mapping.pbase == 3 << 12
+        assert len(written) == 1
+        # Subsequent probes find it.
+        found, _ = hpt.probe(9)
+        assert found is mapping
+
+    def test_install_unmapped_returns_none(self, setup):
+        _pt, hpt = setup
+        mapping, written = hpt.install(1234)
+        assert mapping is None and written == []
+
+    def test_collision_chain_walk(self, setup):
+        page_table, hpt = setup
+        # Two VPNs hashing to the same bucket (1024 buckets).
+        vpn_a, vpn_b = 7, 7 + 1024
+        assert hpt._hash(vpn_a) == hpt._hash(vpn_b)
+        ma = page_table.map_base_page(vpn_a << 12, pfn=1)
+        mb = page_table.map_base_page(vpn_b << 12, pfn=2)
+        hpt.preload(vpn_a, ma)
+        hpt.preload(vpn_b, mb)
+        found, touched = hpt.probe(vpn_b)
+        assert found is mb
+        assert len(touched) == 2  # walked the chain
+        # Overflow entries live past the primary table.
+        assert touched[1] >= 0x8_0000 + hpt.table_bytes
+
+    def test_reinstall_updates_in_place(self, setup):
+        page_table, hpt = setup
+        m1 = page_table.map_base_page(3 << 12, pfn=1)
+        hpt.preload(3, m1)
+        page_table.unmap_range(3 << 12, 4096)
+        m2 = page_table.map_base_page(3 << 12, pfn=9)
+        hpt.preload(3, m2)
+        found, touched = hpt.probe(3)
+        assert found is m2
+        assert len(touched) == 1
+        assert hpt.resident_entries == 1
+
+
+class TestPurge:
+    def test_purge_vpn(self, setup):
+        page_table, hpt = setup
+        m = page_table.map_base_page(4 << 12, pfn=1)
+        hpt.preload(4, m)
+        assert hpt.purge_vpn(4)
+        found, _ = hpt.probe(4)
+        assert found is None
+        assert not hpt.purge_vpn(4)
+
+    def test_purge_range_by_mapping_overlap(self, setup):
+        page_table, hpt = setup
+        sp = page_table.map_superpage(0x40_0000, 0x8000_0000, 16 << 10)
+        hpt.preload(0x40_0000 >> 12, sp)
+        other = page_table.map_base_page(0x90_0000, pfn=7)
+        hpt.preload(0x90_0000 >> 12, other)
+        removed = hpt.purge_range(0x40_0000, 16 << 10)
+        assert removed == 1
+        assert hpt.probe(0x40_0000 >> 12)[0] is None
+        assert hpt.probe(0x90_0000 >> 12)[0] is other
+
+    def test_stats(self, setup):
+        page_table, hpt = setup
+        m = page_table.map_base_page(2 << 12, pfn=1)
+        hpt.preload(2, m)
+        hpt.probe(2)
+        hpt.probe(3)
+        assert hpt.stats.probes == 2
+        assert hpt.stats.avg_chain_walk >= 1.0

@@ -1,0 +1,132 @@
+"""Unit tests for the memory-controller TLB."""
+
+import pytest
+
+from repro.core.mtlb import Mtlb, MtlbFault
+
+
+@pytest.fixture
+def table(shadow_table):
+    for i in range(0, 2048):
+        shadow_table.set_mapping(i, pfn=0x1000 + i)
+    return shadow_table
+
+
+@pytest.fixture
+def mtlb(table):
+    return Mtlb(table, entries=128, associativity=2)
+
+
+class TestGeometry:
+    def test_sets(self, mtlb):
+        assert mtlb.num_sets == 64
+        assert mtlb.associativity == 2
+
+    def test_full_associativity(self, table):
+        full = Mtlb(table, entries=128, associativity=0)
+        assert full.num_sets == 1
+        assert full.associativity == 128
+
+    def test_bad_geometry_rejected(self, table):
+        with pytest.raises(ValueError):
+            Mtlb(table, entries=100, associativity=3)
+        with pytest.raises(ValueError):
+            Mtlb(table, entries=0)
+        with pytest.raises(ValueError):
+            Mtlb(table, entries=96, associativity=2)  # 48 sets: not 2^k
+
+
+class TestAccess:
+    def test_miss_then_hit(self, mtlb):
+        pfn, filled = mtlb.access(5, is_write=False)
+        assert pfn == 0x1005 and filled
+        pfn, filled = mtlb.access(5, is_write=False)
+        assert pfn == 0x1005 and not filled
+        assert mtlb.stats.hits == 1 and mtlb.stats.misses == 1
+
+    def test_fill_reads_table(self, mtlb, table):
+        table.set_mapping(7, pfn=0xBEEF)
+        pfn, _filled = mtlb.access(7, is_write=False)
+        assert pfn == 0xBEEF
+
+    def test_cached_copy_survives_table_change(self, mtlb, table):
+        mtlb.access(7, is_write=False)
+        table.set_mapping(7, pfn=0xAAAA)
+        pfn, filled = mtlb.access(7, is_write=False)
+        assert pfn == 0x1007 and not filled  # stale until purged
+        mtlb.purge(7)
+        pfn, filled = mtlb.access(7, is_write=False)
+        assert pfn == 0xAAAA and filled
+
+    def test_read_sets_referenced_only(self, mtlb, table):
+        mtlb.access(9, is_write=False)
+        entry = table.entry(9)
+        assert entry.referenced and not entry.dirty
+
+    def test_write_sets_dirty(self, mtlb, table):
+        mtlb.access(9, is_write=True)
+        entry = table.entry(9)
+        assert entry.dirty and entry.referenced
+
+    def test_fault_on_invalid(self, mtlb, table):
+        table.invalidate(9)
+        with pytest.raises(MtlbFault) as exc:
+            mtlb.access(9, is_write=True)
+        assert exc.value.shadow_index == 9 and exc.value.is_write
+        # The fault bit is recorded for the OS to find (Section 4).
+        assert table.entry(9).fault
+        assert mtlb.stats.faults == 1
+
+
+class TestReplacement:
+    def test_capacity_bounded(self, mtlb):
+        # 200 distinct pages through a 128-entry MTLB.
+        for i in range(200):
+            mtlb.access(i, is_write=False)
+        assert mtlb.occupancy <= 128
+
+    def test_nru_prefers_unreferenced(self, table):
+        mtlb = Mtlb(table, entries=4, associativity=0)
+        for i in range(4):
+            mtlb.access(i, is_write=False)
+        # First eviction resets the NRU epoch (all ways were referenced)
+        # and evicts one way; the survivors' bits are now clear.
+        mtlb.access(4, is_write=False)
+        survivors = set(mtlb.cached_indices()) - {4}
+        # Re-reference all survivors but one; that one must be the next
+        # victim.
+        cold = min(survivors)
+        for idx in survivors - {cold}:
+            mtlb.access(idx, is_write=False)
+        mtlb.access(5, is_write=False)
+        cached = set(mtlb.cached_indices())
+        assert cold not in cached
+        assert (survivors - {cold}) <= cached
+
+    def test_set_isolation(self, table):
+        mtlb = Mtlb(table, entries=8, associativity=2)  # 4 sets
+        # Indices 0, 4, 8, ... all map to set 0; others untouched.
+        for i in range(0, 40, 4):
+            mtlb.access(i, is_write=False)
+        assert mtlb.occupancy <= 2
+
+
+class TestPurge:
+    def test_purge_range(self, mtlb):
+        for i in range(10):
+            mtlb.access(i, is_write=False)
+        mtlb.purge_range(2, 5)
+        cached = set(mtlb.cached_indices())
+        assert cached.isdisjoint(range(2, 7))
+        assert {0, 1, 7, 8, 9} <= cached
+
+    def test_purge_all(self, mtlb):
+        for i in range(10):
+            mtlb.access(i, is_write=False)
+        mtlb.purge_all()
+        assert mtlb.occupancy == 0
+
+    def test_stats_hit_rate(self, mtlb):
+        for _ in range(3):
+            mtlb.access(1, is_write=False)
+        assert mtlb.stats.hit_rate == pytest.approx(2 / 3)

@@ -1,0 +1,108 @@
+"""Unit tests for the per-process OS page tables."""
+
+import pytest
+
+from repro.os_model.page_table import Mapping, MappingError, PageTable
+
+
+@pytest.fixture
+def table():
+    return PageTable()
+
+
+class TestMappingRecord:
+    def test_translate(self):
+        mapping = Mapping(vbase=0x4000, pbase=0x8024_0000, size=16 << 10)
+        assert mapping.translate(0x4080) == 0x8024_0080
+        assert mapping.vend == 0x8000
+        assert mapping.is_superpage
+
+    def test_alignment_enforced(self):
+        with pytest.raises(MappingError):
+            Mapping(vbase=0x1000, pbase=0, size=16 << 10)
+
+    def test_size_must_be_legal(self):
+        with pytest.raises(MappingError):
+            Mapping(vbase=0, pbase=0, size=8192)
+
+
+class TestBasePages:
+    def test_map_translate(self, table):
+        table.map_base_page(0x5000, pfn=9)
+        assert table.translate(0x5123) == 9 * 4096 + 0x123
+
+    def test_double_map_rejected(self, table):
+        table.map_base_page(0x5000, pfn=9)
+        with pytest.raises(MappingError):
+            table.map_base_page(0x5000, pfn=10)
+
+    def test_unmapped_translate_raises(self, table):
+        with pytest.raises(MappingError):
+            table.translate(0x5000)
+        assert table.lookup(0x5000) is None
+
+    def test_misaligned_rejected(self, table):
+        with pytest.raises(MappingError):
+            table.map_base_page(0x5001, pfn=1)
+
+
+class TestSuperpages:
+    def test_map_covers_all_base_vpns(self, table):
+        table.map_superpage(0x10_0000, 0x8000_0000, 64 << 10)
+        for offset in range(0, 64 << 10, 4096):
+            assert table.translate(0x10_0000 + offset) == 0x8000_0000 + offset
+
+    def test_overlap_with_base_page_rejected(self, table):
+        table.map_base_page(0x10_2000, pfn=1)
+        with pytest.raises(MappingError):
+            table.map_superpage(0x10_0000, 0x8000_0000, 64 << 10)
+        # And the failed attempt left nothing behind.
+        assert table.lookup(0x10_0000) is None
+
+    def test_base_page_api_rejected_for_superpage(self, table):
+        with pytest.raises(MappingError):
+            table.map_superpage(0x10_0000, 0x8000_0000, 4096)
+
+    def test_superpages_listing(self, table):
+        table.map_superpage(0x10_0000, 0x8000_0000, 16 << 10)
+        table.map_base_page(0x5000, pfn=2)
+        supers = table.superpages()
+        assert len(supers) == 1 and supers[0].vbase == 0x10_0000
+
+
+class TestUnmap:
+    def test_unmap_base_range(self, table):
+        for i in range(4):
+            table.map_base_page(0x5000 + i * 4096, pfn=i)
+        removed = table.unmap_range(0x5000, 2 * 4096)
+        assert len(removed) == 2
+        assert table.lookup(0x5000) is None
+        assert table.lookup(0x7000) is not None
+
+    def test_unmap_whole_superpage(self, table):
+        table.map_superpage(0x10_0000, 0x8000_0000, 16 << 10)
+        removed = table.unmap_range(0x10_0000, 16 << 10)
+        assert len(removed) == 1
+        assert table.lookup(0x10_0000) is None
+
+    def test_straddling_superpage_rejected(self, table):
+        table.map_superpage(0x10_0000, 0x8000_0000, 16 << 10)
+        with pytest.raises(MappingError):
+            table.unmap_range(0x10_0000, 8 << 10)
+
+    def test_unmap_alignment_checked(self, table):
+        with pytest.raises(MappingError):
+            table.unmap_range(0x5001, 4096)
+
+
+class TestIteration:
+    def test_mappings_distinct_and_sorted(self, table):
+        table.map_superpage(0x20_0000, 0x8000_0000, 16 << 10)
+        table.map_base_page(0x5000, pfn=1)
+        mappings = list(table.mappings())
+        assert [m.vbase for m in mappings] == [0x5000, 0x20_0000]
+
+    def test_mapped_bytes(self, table):
+        table.map_base_page(0x5000, pfn=1)
+        table.map_superpage(0x20_0000, 0x8000_0000, 16 << 10)
+        assert table.mapped_bytes == 4096 + (16 << 10)

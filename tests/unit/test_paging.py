@@ -1,0 +1,150 @@
+"""Unit tests for per-base-page paging of shadow superpages."""
+
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+from repro.core.mtlb import MtlbFault
+
+REGION = 0x0200_0000
+SIZE = 64 << 10  # 16 base pages
+
+
+@pytest.fixture
+def paged(mtlb_system):
+    """A process with one 64 KB shadow superpage."""
+    system = mtlb_system
+    process = system.kernel.create_process("pager")
+    system.kernel.vm.map_region(process, REGION, SIZE)
+    system.kernel.vm.remap_to_shadow(process, REGION, SIZE)
+    mapping = process.page_table.lookup(REGION)
+    record = system.kernel.vm.superpage_record(mapping.pbase)
+    return system, process, record
+
+
+class TestPageOut:
+    def test_clean_page_drops_without_disk_write(self, paged):
+        system, _process, record = paged
+        pager = system.kernel.pager
+        cost = pager.page_out(record, 3)
+        assert pager.stats.clean_drops == 1
+        assert pager.stats.dirty_writebacks == 0
+        assert cost < system.kernel.pager.costs.disk_transfer
+        assert record.pfns[3] is None
+
+    def test_dirty_page_pays_disk_transfer(self, paged):
+        system, _process, record = paged
+        table = system.shadow_table
+        idx = record.first_shadow_index + 3
+        table.set_dirty(idx)
+        cost = system.kernel.pager.page_out(record, 3)
+        assert system.kernel.pager.stats.dirty_writebacks == 1
+        assert cost >= system.kernel.pager.costs.disk_transfer
+
+    def test_frame_freed_and_mapping_invalid(self, paged):
+        system, _process, record = paged
+        free_before = system.kernel.frames.free_frames
+        system.kernel.pager.page_out(record, 0)
+        assert system.kernel.frames.free_frames == free_before + 1
+        entry = system.shadow_table.entry(record.first_shadow_index)
+        assert not entry.valid
+
+    def test_double_page_out_rejected(self, paged):
+        system, _process, record = paged
+        system.kernel.pager.page_out(record, 0)
+        with pytest.raises(ValueError):
+            system.kernel.pager.page_out(record, 0)
+
+    def test_cpu_tlb_superpage_entry_survives(self, paged):
+        """The whole point: evicting one base page leaves the CPU TLB's
+        superpage mapping untouched."""
+        system, process, record = paged
+        entry, _ = system._refill_tlb(REGION + 5 * BASE_PAGE_SIZE)
+        assert entry.size == SIZE
+        system.kernel.pager.page_out(record, 3)
+        assert system.tlb.probe(REGION) is not None
+
+
+class TestPageIn:
+    def test_fault_then_page_in(self, paged):
+        system, _process, record = paged
+        idx = record.first_shadow_index + 2
+        system.kernel.pager.page_out(record, 2)
+        with pytest.raises(MtlbFault):
+            system.mtlb.access(idx, is_write=False)
+        cost = system.kernel.pager.page_in(idx)
+        assert cost >= system.kernel.pager.costs.disk_transfer
+        pfn, _ = system.mtlb.access(idx, is_write=False)
+        assert pfn == record.pfns[2]
+
+    def test_page_in_may_use_new_frame(self, paged):
+        system, _process, record = paged
+        old_pfn = record.pfns[2]
+        system.kernel.pager.page_out(record, 2)
+        # Steal the freed frame so page-in must pick another.
+        stolen = []
+        while True:
+            pfn = system.kernel.frames.allocate()
+            stolen.append(pfn)
+            if pfn == old_pfn:
+                break
+        system.kernel.pager.page_in(record.first_shadow_index + 2)
+        assert record.pfns[2] != old_pfn
+
+    def test_page_in_resident_rejected(self, paged):
+        system, _process, record = paged
+        with pytest.raises(ValueError):
+            system.kernel.pager.page_in(record.first_shadow_index)
+
+    def test_kernel_fault_handler_routes_to_pager(self, paged):
+        system, _process, record = paged
+        idx = record.first_shadow_index + 4
+        system.kernel.pager.page_out(record, 4)
+        system.kernel.handle_mtlb_fault(idx)
+        assert record.pfns[4] is not None
+        assert system.kernel.stats.mtlb_faults_serviced == 1
+
+
+class TestClock:
+    def test_referenced_pages_survive_first_sweep(self, paged):
+        system, _process, record = paged
+        table = system.shadow_table
+        # Touch pages 0..3 (sets referenced); leave the rest cold.
+        for i in range(4):
+            system.mtlb.access(record.first_shadow_index + i, False)
+        victims, cycles = system.kernel.pager.clock_select(2)
+        assert cycles > 0
+        chosen = {page_i for _rec, page_i in victims}
+        assert chosen.isdisjoint(range(4))
+
+    def test_sweep_clears_referenced_bits(self, paged):
+        system, _process, record = paged
+        table = system.shadow_table
+        for i in range(record.base_pages):
+            system.mtlb.access(record.first_shadow_index + i, False)
+        system.kernel.pager.clock_select(1)
+        cleared = sum(
+            1
+            for i in range(record.base_pages)
+            if not table.entry(record.first_shadow_index + i).referenced
+        )
+        assert cleared > 0
+
+    def test_eventually_selects_when_all_referenced(self, paged):
+        system, _process, record = paged
+        for i in range(record.base_pages):
+            system.mtlb.access(record.first_shadow_index + i, False)
+        victims, _ = system.kernel.pager.clock_select(record.base_pages)
+        assert victims  # second lap finds cleared pages
+
+
+class TestBackingStore:
+    def test_holds_and_take(self, paged):
+        system, _process, record = paged
+        idx = record.first_shadow_index
+        store = system.kernel.pager.store
+        system.kernel.pager.page_out(record, 0)
+        assert store.holds(idx)
+        system.kernel.pager.page_in(idx)
+        assert not store.holds(idx)
+        with pytest.raises(KeyError):
+            store.take(idx)

@@ -1,0 +1,103 @@
+"""Unit tests for the online superpage promotion engine."""
+
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+from repro.os_model.promotion import PromotionConfig, PromotionEngine
+from repro.sim.config import paper_promotion
+from repro.sim.system import System
+
+REGION = 0x0200_0000
+SIZE = 64 << 10  # 16 pages
+
+
+@pytest.fixture
+def machine():
+    system = System(paper_promotion(96, misses_per_page=1.0))
+    process = system.kernel.create_process("promo")
+    return system, process
+
+
+class TestRegistration:
+    def test_regions_registered_at_map(self, machine):
+        system, process = machine
+        system.kernel.sys_map(process, REGION, SIZE)
+        assert system.kernel.promotion.stats.candidates >= 1
+
+    def test_small_regions_ignored(self, machine):
+        system, process = machine
+        before = system.kernel.promotion.stats.candidates
+        system.kernel.sys_map(process, 0x0900_0000, BASE_PAGE_SIZE)
+        assert system.kernel.promotion.stats.candidates == before
+
+    def test_disabled_engine_registers_nothing(self, mtlb_system):
+        process = mtlb_system.kernel.create_process("off")
+        mtlb_system.kernel.sys_map(process, REGION, SIZE)
+        assert mtlb_system.kernel.promotion.stats.candidates == 0
+
+    def test_manual_remap_forgets_candidate(self, machine):
+        system, process = machine
+        system.kernel.sys_map(process, REGION, SIZE)
+        system.kernel.sys_remap(process, REGION, SIZE)
+        # Misses on the (now superpage) region never promote again.
+        promo = system.kernel.promotion
+        assert promo.note_miss(REGION) == 0
+
+
+class TestThreshold:
+    def test_promotes_after_threshold(self, machine):
+        system, process = machine
+        system.kernel.sys_map(process, REGION, SIZE)
+        promo = system.kernel.promotion
+        threshold = int(1.0 * (SIZE >> 12))
+        cycles = 0
+        for i in range(threshold):
+            cycles = promo.note_miss(REGION + (i % 16) * 4096)
+        assert cycles > 0
+        assert promo.stats.promotions == 1
+        assert process.page_table.lookup(REGION).is_superpage
+
+    def test_below_threshold_no_promotion(self, machine):
+        system, process = machine
+        system.kernel.sys_map(process, REGION, SIZE)
+        promo = system.kernel.promotion
+        for _ in range(int(1.0 * (SIZE >> 12)) - 1):
+            assert promo.note_miss(REGION) == 0
+        assert promo.stats.promotions == 0
+
+    def test_threshold_scales_with_region_size(self):
+        system = System(paper_promotion(96, misses_per_page=2.0))
+        process = system.kernel.create_process("p")
+        system.kernel.sys_map(process, REGION, 16 << 10)  # 4 pages
+        promo = system.kernel.promotion
+        for _ in range(7):
+            promo.note_miss(REGION)
+        assert promo.stats.promotions == 0
+        promo.note_miss(REGION)
+        assert promo.stats.promotions == 1
+
+    def test_misses_outside_candidates_ignored(self, machine):
+        system, process = machine
+        assert system.kernel.promotion.note_miss(0x0F00_0000) == 0
+
+
+class TestEndToEnd:
+    def test_promotion_approaches_static_runtime(self):
+        from repro.workloads import build_workload
+        from repro.sim.config import paper_mtlb, paper_no_mtlb
+        trace = build_workload("compress95", scale=0.05)
+        none = System(paper_no_mtlb(96)).run(trace).total_cycles
+        static = System(paper_mtlb(96)).run(trace).total_cycles
+        system = System(paper_promotion(96, misses_per_page=1.0))
+        online = system.run(trace).total_cycles
+        assert system.kernel.promotion.stats.promotions >= 1
+        # Online promotion lands between (or beats) the two extremes.
+        assert online <= max(none, static) * 1.02
+
+    def test_promotion_cycles_accounted(self):
+        from repro.workloads import build_workload
+        trace = build_workload("compress95", scale=0.05)
+        system = System(paper_promotion(96, misses_per_page=1.0))
+        result = system.run(trace)
+        assert system.kernel.promotion.stats.promotion_cycles > 0
+        result.stats.check_consistency()

@@ -1,0 +1,110 @@
+"""Unit and property tests for the maximal-superpage tiling planner."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addrspace import BASE_PAGE_SIZE, SUPERPAGE_SIZES, is_aligned
+from repro.core.remap import (
+    covered_bytes,
+    plan_superpages,
+    uncovered_ranges,
+)
+
+MIN_SUPER = SUPERPAGE_SIZES[0]
+
+
+class TestPlanner:
+    def test_aligned_exact_region(self):
+        plans = plan_superpages(0x1000_0000, 16 << 20)
+        assert len(plans) == 1
+        assert plans[0].size == 16 << 20
+
+    def test_sub_minimum_region_left_alone(self):
+        assert plan_superpages(0x1000_0000, 8 << 10) == []
+
+    def test_misaligned_head_skipped(self):
+        # Start 4 KB past a 16 KB boundary: the head stays on base pages.
+        plans = plan_superpages(0x1000_1000, 32 << 10)
+        assert plans[0].vaddr == 0x1000_4000
+
+    def test_paper_example_16kb_mapping(self):
+        # Figure 1's 16 KB superpage at virtual 0x00004000.
+        plans = plan_superpages(0x4000, 16 << 10)
+        assert len(plans) == 1
+        assert plans[0].vaddr == 0x4000 and plans[0].size == 16 << 10
+
+    def test_maximality_greedy(self):
+        # 64 KB-aligned start, 80 KB long: one 64 KB + one 16 KB.
+        plans = plan_superpages(0x1001_0000, 80 << 10)
+        assert [p.size for p in plans] == [64 << 10, 16 << 10]
+
+    def test_compress_tables_tiling(self):
+        # The paper's compress95 tables region: 557,056 bytes starting
+        # 16 KB past a 256 KB boundary -> 10 superpages.
+        plans = plan_superpages(0x0200_4000, 557_056)
+        assert len(plans) == 10
+
+    def test_rejects_unaligned_region(self):
+        with pytest.raises(ValueError):
+            plan_superpages(0x123, 16 << 10)
+        with pytest.raises(ValueError):
+            plan_superpages(0x1000, 100)
+
+    def test_uncovered_ranges(self):
+        start, length = 0x1000_1000, 40 << 10
+        plans = plan_superpages(start, length)
+        holes = uncovered_ranges(start, length, plans)
+        total = covered_bytes(plans) + sum(h[1] for h in holes)
+        assert total == length
+
+
+page_aligned = st.integers(min_value=0, max_value=(1 << 20)).map(
+    lambda n: n * BASE_PAGE_SIZE
+)
+page_lengths = st.integers(min_value=0, max_value=20 << 20 >> 12).map(
+    lambda n: n * BASE_PAGE_SIZE
+)
+
+
+class TestPlannerProperties:
+    @settings(max_examples=200, deadline=None)
+    @given(page_aligned, page_lengths)
+    def test_tiling_invariants(self, start, length):
+        plans = plan_superpages(start, length)
+        end = start + length
+        cursor = None
+        for plan in plans:
+            # Legal size, self-aligned, inside the region.
+            assert plan.size in SUPERPAGE_SIZES
+            assert is_aligned(plan.vaddr, plan.size)
+            assert start <= plan.vaddr and plan.end <= end
+            # Ascending, non-overlapping.
+            if cursor is not None:
+                assert plan.vaddr >= cursor
+            cursor = plan.end
+        # No hole could hold an aligned minimum-size superpage (holes
+        # may reach 16 KB+ in length only when misaligned).
+        holes = uncovered_ranges(start, length, plans)
+        for hstart, hlength in holes:
+            first_aligned = (hstart + MIN_SUPER - 1) & ~(MIN_SUPER - 1)
+            assert first_aligned + MIN_SUPER > hstart + hlength
+        # Exact cover.
+        assert covered_bytes(plans) + sum(h[1] for h in holes) == length
+
+    @settings(max_examples=200, deadline=None)
+    @given(page_aligned, page_lengths)
+    def test_maximality(self, start, length):
+        """No two adjacent plans could merge into a bigger legal plan,
+        and no plan could be grown in place."""
+        plans = plan_superpages(start, length)
+        end = start + length
+        for plan in plans:
+            bigger = plan.size * 4
+            if bigger in SUPERPAGE_SIZES:
+                # Growing this plan in place must be illegal: either
+                # misaligned or overrunning the region.
+                assert (
+                    not is_aligned(plan.vaddr, bigger)
+                    or plan.vaddr + bigger > end
+                )

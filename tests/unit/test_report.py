@@ -1,0 +1,61 @@
+"""Unit tests for the run-report renderer."""
+
+import numpy as np
+
+from repro.sim.config import paper_mtlb, paper_no_mtlb
+from repro.sim.report import compare_runs, describe_run
+from repro.sim.system import System
+from repro.trace import synth
+from repro.trace.events import MapRegion, Remap
+from repro.trace.trace import Trace, make_segment
+
+
+def _run(config):
+    trace = Trace("report")
+    trace.add(MapRegion(0x0200_0000, 1 << 20))
+    trace.add(Remap(0x0200_0000, 1 << 20))
+    rng = np.random.default_rng(3)
+    vaddrs = synth.uniform_random(rng, 0x0200_0000, 1 << 20, 30_000)
+    trace.add(make_segment("s", vaddrs, write_mask=(vaddrs % 64 == 0)))
+    return System(config).run(trace)
+
+
+class TestDescribeRun:
+    def test_contains_breakdown(self):
+        text = describe_run(_run(paper_no_mtlb(96)))
+        for needle in (
+            "runtime", "instruction issue", "memory stalls",
+            "TLB miss handling", "kernel", "cache:", "fills:",
+        ):
+            assert needle in text
+        assert "MTLB" not in text  # no MTLB on this machine
+
+    def test_mtlb_and_remap_sections(self):
+        text = describe_run(_run(paper_mtlb(96)))
+        assert "MTLB:" in text
+        assert "remap:" in text
+
+    def test_custom_title(self):
+        text = describe_run(_run(paper_no_mtlb(96)), title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_percentages_sum_close_to_100(self):
+        text = describe_run(_run(paper_no_mtlb(96)))
+        percentages = [
+            float(line.split()[-1].rstrip("%"))
+            for line in text.splitlines()
+            if line.strip().endswith("%") and "issue" in line
+            or line.strip().endswith("%") and "stalls" in line
+            or line.strip().endswith("%") and "handling" in line
+            or line.strip().endswith("%") and "kernel" in line
+        ]
+        assert abs(sum(percentages) - 100.0) < 0.5
+
+
+class TestCompareRuns:
+    def test_headline_ratio(self):
+        base = _run(paper_no_mtlb(96))
+        fast = _run(paper_mtlb(96))
+        text = compare_runs(base, fast)
+        assert "runs at" in text
+        assert base.config_label in text and fast.config_label in text

@@ -1,0 +1,185 @@
+"""Unit and property tests for the shadow-region allocators."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addrspace import SUPERPAGE_SIZES, PhysicalMemoryMap
+from repro.core.shadow_space import (
+    FIGURE2_PARTITION,
+    BucketShadowAllocator,
+    BuddyShadowAllocator,
+    ShadowRegion,
+    ShadowSpaceExhausted,
+    partition_extent,
+)
+
+
+@pytest.fixture
+def bucket(memory_map):
+    return BucketShadowAllocator(memory_map)
+
+
+@pytest.fixture
+def buddy(memory_map):
+    return BuddyShadowAllocator(memory_map)
+
+
+class TestShadowRegion:
+    def test_alignment_enforced(self):
+        with pytest.raises(ValueError):
+            ShadowRegion(base=0x8000_4000, size=64 << 10)
+
+    def test_size_must_be_legal(self):
+        with pytest.raises(ValueError):
+            ShadowRegion(base=0x8000_0000, size=32 << 10)
+
+    def test_overlap(self):
+        a = ShadowRegion(0x8000_0000, 64 << 10)
+        b = ShadowRegion(0x8001_0000, 64 << 10)
+        c = ShadowRegion(0x8000_0000, 16 << 10)
+        assert not a.overlaps(b)
+        assert a.overlaps(c)
+
+
+class TestFigure2Partition:
+    def test_extent_is_512mb(self):
+        assert partition_extent(FIGURE2_PARTITION) == 512 << 20
+
+    def test_counts_match_paper(self, bucket):
+        for size, count in FIGURE2_PARTITION:
+            assert bucket.capacity(size) == count
+            assert bucket.available(size) == count
+
+
+class TestBucketAllocator:
+    def test_allocate_free_roundtrip(self, bucket):
+        region = bucket.allocate(64 << 10)
+        assert region.size == 64 << 10
+        assert bucket.available(64 << 10) == 255
+        bucket.free(region)
+        assert bucket.available(64 << 10) == 256
+
+    def test_regions_inside_shadow_window(self, bucket, memory_map):
+        for size, _count in FIGURE2_PARTITION:
+            region = bucket.allocate(size)
+            assert memory_map.is_shadow(region.base)
+            assert memory_map.is_shadow(region.end - 1)
+
+    def test_exhaustion(self, bucket):
+        for _ in range(16):
+            bucket.allocate(16 << 20)
+        with pytest.raises(ShadowSpaceExhausted):
+            bucket.allocate(16 << 20)
+
+    def test_double_free_rejected(self, bucket):
+        region = bucket.allocate(16 << 10)
+        bucket.free(region)
+        with pytest.raises(ValueError):
+            bucket.free(region)
+
+    def test_wrong_size_free_rejected(self, bucket):
+        region = bucket.allocate(16 << 10)
+        with pytest.raises(ValueError):
+            bucket.free(ShadowRegion(region.base, 64 << 10))
+
+    def test_illegal_size_rejected(self, bucket):
+        with pytest.raises(ValueError):
+            bucket.allocate(8 << 10)
+
+    def test_describe_matches_partition(self, bucket):
+        rows = bucket.describe()
+        assert [(s, c) for s, c, _ in rows] == list(FIGURE2_PARTITION)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(
+            st.sampled_from(SUPERPAGE_SIZES[:4]),
+            min_size=1,
+            max_size=60,
+        )
+    )
+    def test_no_live_regions_overlap(self, sizes):
+        allocator = BucketShadowAllocator(PhysicalMemoryMap())
+        live = []
+        for size in sizes:
+            try:
+                live.append(allocator.allocate(size))
+            except ShadowSpaceExhausted:
+                pass
+        for i, r1 in enumerate(live):
+            for r2 in live[i + 1:]:
+                assert not r1.overlaps(r2)
+        for region in live:
+            assert region.base % region.size == 0
+
+
+class TestBuddyAllocator:
+    def test_split_serves_small_sizes(self, buddy):
+        region = buddy.allocate(16 << 10)
+        assert region.size == 16 << 10
+        # One 16MB region split all the way down leaves 3 buddies at
+        # each level.
+        for size in SUPERPAGE_SIZES[:-1]:
+            assert buddy.available(size) == 3
+
+    def test_recombination(self, buddy):
+        initial_large = buddy.available(16 << 20)
+        regions = [buddy.allocate(16 << 10) for _ in range(8)]
+        for region in regions:
+            buddy.free(region)
+        assert buddy.available(16 << 20) == initial_large
+        for size in SUPERPAGE_SIZES[:-1]:
+            assert buddy.available(size) == 0
+
+    def test_serves_more_of_one_size_than_buckets(self, memory_map):
+        buddy = BuddyShadowAllocator(memory_map)
+        # Figure 2 provides 256 x 64KB; buddy can do far more.
+        regions = [buddy.allocate(64 << 10) for _ in range(1000)]
+        assert len(regions) == 1000
+
+    def test_exhaustion(self, memory_map):
+        buddy = BuddyShadowAllocator(memory_map)
+        count = (512 << 20) // (16 << 20)
+        for _ in range(count):
+            buddy.allocate(16 << 20)
+        with pytest.raises(ShadowSpaceExhausted):
+            buddy.allocate(16 << 20)
+
+    def test_double_free_rejected(self, buddy):
+        region = buddy.allocate(256 << 10)
+        buddy.free(region)
+        with pytest.raises(ValueError):
+            buddy.free(region)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        st.lists(
+            st.tuples(
+                st.sampled_from(SUPERPAGE_SIZES),
+                st.booleans(),
+            ),
+            min_size=1,
+            max_size=80,
+        )
+    )
+    def test_conservation_and_no_overlap(self, ops):
+        """Allocate/free stream: live regions never overlap and freeing
+        everything restores full capacity."""
+        allocator = BuddyShadowAllocator(PhysicalMemoryMap())
+        live = []
+        for size, do_free in ops:
+            if do_free and live:
+                allocator.free(live.pop())
+            else:
+                try:
+                    live.append(allocator.allocate(size))
+                except ShadowSpaceExhausted:
+                    pass
+        for i, r1 in enumerate(live):
+            for r2 in live[i + 1:]:
+                assert not r1.overlaps(r2)
+        for region in live:
+            allocator.free(region)
+        assert allocator.available(16 << 20) == 32
+        assert allocator.allocated_regions == 0

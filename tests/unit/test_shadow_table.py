@@ -1,0 +1,107 @@
+"""Unit tests for the flat shadow-to-physical mapping table."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.shadow_table import (
+    ENTRY_BYTES,
+    PFN_MASK,
+    ShadowEntry,
+    ShadowPageTable,
+)
+
+
+class TestEntryEncoding:
+    @given(
+        st.integers(min_value=0, max_value=PFN_MASK),
+        st.booleans(), st.booleans(), st.booleans(), st.booleans(),
+    )
+    def test_roundtrip(self, pfn, valid, fault, ref, dirty):
+        entry = ShadowEntry(
+            pfn=pfn, valid=valid, fault=fault, referenced=ref, dirty=dirty
+        )
+        assert ShadowEntry.decode(entry.encode()) == entry
+
+    def test_encoding_fits_32_bits(self):
+        entry = ShadowEntry(
+            pfn=PFN_MASK, valid=True, fault=True, referenced=True, dirty=True
+        )
+        assert entry.encode() < 1 << 32
+
+
+class TestShadowPageTable:
+    def test_size_matches_paper(self, shadow_table, memory_map):
+        # 512 MB shadow window at 4 KB pages -> 128K 4-byte entries ->
+        # 512 KB of memory (0.1% overhead), per Section 2.2.
+        assert shadow_table.size_bytes == 512 << 10
+        assert shadow_table.size_bytes == memory_map.shadow_pages * ENTRY_BYTES
+
+    def test_entry_paddr_is_shifted_index(self, shadow_table):
+        # The paper's fill example: index 0x0240 << 2 + base.
+        assert shadow_table.entry_paddr(0x0240) == 0x0240 << 2
+
+    def test_set_and_read_mapping(self, shadow_table):
+        shadow_table.set_mapping(7, pfn=0x04012)
+        entry = shadow_table.entry(7)
+        assert entry.valid and entry.pfn == 0x04012
+        assert not entry.referenced and not entry.dirty
+
+    def test_pfn_range_checked(self, shadow_table):
+        with pytest.raises(ValueError):
+            shadow_table.set_mapping(0, pfn=1 << 24)
+
+    def test_invalidate_keeps_pfn(self, shadow_table):
+        shadow_table.set_mapping(3, pfn=42)
+        shadow_table.invalidate(3)
+        entry = shadow_table.entry(3)
+        assert not entry.valid and entry.pfn == 42
+
+    def test_revalidate_with_new_frame(self, shadow_table):
+        shadow_table.set_mapping(3, pfn=42)
+        shadow_table.invalidate(3, fault=True)
+        shadow_table.revalidate(3, pfn=99)
+        entry = shadow_table.entry(3)
+        assert entry.valid and entry.pfn == 99 and not entry.fault
+
+    def test_accounting_bits(self, shadow_table):
+        shadow_table.set_mapping(1, pfn=5)
+        shadow_table.set_referenced(1)
+        assert shadow_table.entry(1).referenced
+        shadow_table.set_dirty(1)
+        entry = shadow_table.entry(1)
+        assert entry.dirty and entry.referenced
+        shadow_table.clear_referenced(1)
+        assert not shadow_table.entry(1).referenced
+        assert shadow_table.entry(1).dirty  # dirty survives ref clear
+        shadow_table.clear_dirty(1)
+        assert not shadow_table.entry(1).dirty
+
+    def test_dirty_implies_referenced(self, shadow_table):
+        shadow_table.set_mapping(2, pfn=5)
+        shadow_table.set_dirty(2)
+        assert shadow_table.entry(2).referenced
+
+    def test_clear_mapping(self, shadow_table):
+        shadow_table.set_mapping(9, pfn=123)
+        shadow_table.clear_mapping(9)
+        entry = shadow_table.entry(9)
+        assert not entry.valid and entry.pfn == 0
+
+    def test_entries_in_range(self, shadow_table):
+        for i in range(4, 8):
+            shadow_table.set_mapping(i, pfn=i * 10)
+        got = dict(shadow_table.entries_in_range(4, 4))
+        assert sorted(got) == [4, 5, 6, 7]
+        assert got[6].pfn == 60
+
+    def test_table_must_fit_in_dram(self, memory_map):
+        with pytest.raises(ValueError):
+            ShadowPageTable(memory_map, table_base=memory_map.dram_size - 4096)
+        with pytest.raises(ValueError):
+            ShadowPageTable(memory_map, table_base=0x8000_0000)
+
+    def test_read_raw_matches_decoded(self, shadow_table):
+        shadow_table.set_mapping(11, pfn=0x1234)
+        raw = shadow_table.read_raw(11)
+        assert ShadowEntry.decode(raw) == shadow_table.entry(11)

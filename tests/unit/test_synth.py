@@ -1,0 +1,117 @@
+"""Unit and property tests for the synthetic reference generators."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.trace import synth
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestSequential:
+    def test_basic(self):
+        out = synth.sequential(100, 64, stride=8)
+        assert list(out) == [100 + 8 * i for i in range(8)]
+
+    def test_wraps(self):
+        out = synth.sequential(0, 16, stride=8, count=5)
+        assert list(out) == [0, 8, 0, 8, 0]
+
+    def test_strided(self):
+        assert list(synth.strided(10, 3, 100)) == [10, 110, 210]
+
+    def test_bad_stride(self):
+        with pytest.raises(ValueError):
+            synth.sequential(0, 16, stride=0)
+
+
+class TestRandom:
+    def test_uniform_in_bounds(self, rng):
+        out = synth.uniform_random(rng, 0x1000, 0x800, 1000)
+        assert out.min() >= 0x1000
+        assert out.max() < 0x1800
+        assert (out % 8 == 0).all()
+
+    def test_zipf_skewed(self, rng):
+        out = synth.zipf_random(rng, 0, 1 << 20, 20_000, s=1.5)
+        _vals, counts = np.unique(out, return_counts=True)
+        # A genuinely skewed distribution: the busiest address gets far
+        # more than the mean.
+        assert counts.max() > 20 * counts.mean()
+
+    def test_hot_cold_page_concentration(self, rng):
+        out = synth.hot_cold(
+            rng, 0, 256 << 12, 50_000, hot_pages=16, hot_fraction=0.9
+        )
+        pages, counts = np.unique(out >> 12, return_counts=True)
+        top16 = np.sort(counts)[-16:].sum()
+        assert top16 / counts.sum() > 0.85
+        assert len(pages) > 16  # the cold tail exists
+
+    def test_hot_cold_all_cold(self, rng):
+        out = synth.hot_cold(
+            rng, 0, 64 << 12, 10_000, hot_pages=4, hot_fraction=0.0
+        )
+        pages = np.unique(out >> 12)
+        assert len(pages) > 32
+
+    def test_hot_cold_validation(self, rng):
+        with pytest.raises(ValueError):
+            synth.hot_cold(rng, 0, 100, 10, hot_pages=1, hot_fraction=0.5)
+        with pytest.raises(ValueError):
+            synth.hot_cold(rng, 0, 1 << 20, 10, hot_pages=1, hot_fraction=1.5)
+
+
+class TestStructured:
+    def test_pointer_chase_visits_each_once(self, rng):
+        out = synth.pointer_chase_order(rng, 0x1000, 64, 32)
+        assert len(out) == 64
+        assert len(np.unique(out)) == 64
+        assert out.min() >= 0x1000 and out.max() < 0x1000 + 64 * 32
+
+    def test_interleave(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([2, 4, 6], dtype=np.int64)
+        assert list(synth.interleave(a, b)) == [1, 2, 3, 4, 5, 6]
+
+    def test_interleave_truncates_to_shortest(self):
+        a = np.array([1, 3, 5], dtype=np.int64)
+        b = np.array([2, 4], dtype=np.int64)
+        assert list(synth.interleave(a, b)) == [1, 2, 3, 4]
+
+    def test_interleave_empty_rejected(self):
+        with pytest.raises(ValueError):
+            synth.interleave()
+
+    def test_expand_records(self):
+        starts = np.array([100, 200], dtype=np.int64)
+        out = synth.expand_records(starts, fields=3, field_stride=8)
+        assert list(out) == [100, 108, 116, 200, 208, 216]
+
+    def test_expand_records_validation(self):
+        with pytest.raises(ValueError):
+            synth.expand_records(np.array([1]), fields=0)
+
+
+@settings(max_examples=50, deadline=None)
+@given(
+    st.integers(min_value=1, max_value=1000),
+    st.integers(min_value=1, max_value=64),
+    st.floats(min_value=0.0, max_value=1.0),
+)
+def test_hot_cold_stays_in_region(count, hot_pages, hot_fraction):
+    rng = np.random.default_rng(0)
+    length = 128 << 12
+    out = synth.hot_cold(
+        rng, 0x40_0000, length, count, hot_pages=hot_pages,
+        hot_fraction=hot_fraction,
+    )
+    assert len(out) == count
+    assert out.min() >= 0x40_0000
+    assert out.max() < 0x40_0000 + length
+    assert (out % 8 == 0).all()

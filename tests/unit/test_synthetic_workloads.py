@@ -1,0 +1,68 @@
+"""Unit tests for the synthetic workload family."""
+
+import numpy as np
+import pytest
+
+from repro.sim.config import paper_mtlb, paper_no_mtlb
+from repro.sim.system import System
+from repro.trace.events import MapRegion, Remap
+from repro.workloads import SYNTHETIC_SUITE, build_workload, workload_names
+
+
+class TestRegistryAndShape:
+    def test_registered(self):
+        assert set(SYNTHETIC_SUITE) <= set(workload_names())
+
+    @pytest.mark.parametrize("name", SYNTHETIC_SUITE)
+    def test_maps_then_remaps(self, name):
+        trace = build_workload(name, scale=0.01)
+        events = list(trace.events())
+        assert isinstance(events[0], MapRegion)
+        assert isinstance(events[1], Remap)
+        assert events[0].vaddr == events[1].vaddr
+
+    @pytest.mark.parametrize("name", SYNTHETIC_SUITE)
+    def test_references_inside_region(self, name):
+        trace = build_workload(name, scale=0.01)
+        region = next(iter(trace.events()))
+        for segment in trace.segments():
+            assert segment.vaddrs.min() >= region.vaddr
+            assert segment.vaddrs.max() < region.vaddr + region.length
+
+    @pytest.mark.parametrize("name", SYNTHETIC_SUITE)
+    def test_deterministic(self, name):
+        a = build_workload(name, scale=0.01, seed=5)
+        b = build_workload(name, scale=0.01, seed=5)
+        va = np.concatenate([s.vaddrs for s in a.segments()])
+        vb = np.concatenate([s.vaddrs for s in b.segments()])
+        assert np.array_equal(va, vb)
+
+
+class TestBehaviouralContrast:
+    def test_scatter_thrashes_stream_does_not(self):
+        scatter = build_workload("scatter", scale=0.05)
+        stream = build_workload("stream", scale=0.05)
+        config = paper_no_mtlb(96)
+        scatter_run = System(config).run(scatter)
+        stream_run = System(config).run(stream)
+        assert (
+            scatter_run.stats.tlb_miss_rate
+            > 5 * stream_run.stats.tlb_miss_rate
+        )
+
+    def test_mtlb_rescues_scatter(self):
+        scatter = build_workload("scatter", scale=0.05)
+        base = System(paper_no_mtlb(96)).run(scatter)
+        fast = System(paper_mtlb(96)).run(scatter)
+        assert fast.total_cycles < base.total_cycles
+        assert fast.stats.tlb_time_fraction < 0.01
+
+    def test_zipf_sits_between(self):
+        config = paper_no_mtlb(96)
+        rates = {
+            name: System(config)
+            .run(build_workload(name, scale=0.05))
+            .stats.tlb_miss_rate
+            for name in ("stream", "zipf", "scatter")
+        }
+        assert rates["stream"] < rates["zipf"] < rates["scatter"]

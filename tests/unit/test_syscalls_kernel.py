@@ -1,0 +1,151 @@
+"""Unit tests for the modified sbrk, the MiniKernel facade and processes."""
+
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+from repro.os_model.process import Process
+from repro.os_model.syscalls import SbrkAllocator
+
+
+@pytest.fixture
+def machine(mtlb_system):
+    process = mtlb_system.kernel.create_process("sbrktest")
+    return mtlb_system, process
+
+
+class TestSbrk:
+    def test_pool_preallocation(self, machine):
+        system, process = machine
+        alloc = SbrkAllocator(
+            system.kernel.vm, process,
+            initial_prealloc=1 << 20, increment=256 << 10,
+        )
+        first = alloc.sbrk(64)
+        assert first == process.heap_base
+        assert alloc.stats.growths == 1
+        # Small allocations come from the pool without kernel work (the
+        # first call is also served from the pool after its growth).
+        for _ in range(100):
+            alloc.sbrk(64)
+        assert alloc.stats.growths == 1
+        assert alloc.stats.pool_hits == 101
+
+    def test_growth_uses_increment(self, machine):
+        system, process = machine
+        alloc = SbrkAllocator(
+            system.kernel.vm, process,
+            initial_prealloc=64 << 10, increment=32 << 10,
+        )
+        alloc.sbrk(64 << 10)  # consumes the initial pool exactly
+        alloc.sbrk(8)  # forces a growth of `increment`
+        assert alloc.stats.growths == 2
+        assert process.heap_bytes == (64 << 10) + (32 << 10)
+
+    def test_large_request_grows_at_least_that_much(self, machine):
+        system, process = machine
+        alloc = SbrkAllocator(
+            system.kernel.vm, process,
+            initial_prealloc=16 << 10, increment=16 << 10,
+        )
+        addr = alloc.sbrk(200 << 10)
+        assert addr == process.heap_base
+        assert process.heap_bytes >= 200 << 10
+
+    def test_superpage_mode_creates_superpages(self, machine):
+        system, process = machine
+        alloc = SbrkAllocator(
+            system.kernel.vm, process,
+            initial_prealloc=64 << 10, increment=64 << 10,
+            use_superpages=True,
+        )
+        alloc.sbrk(64)
+        mapping = process.page_table.lookup(process.heap_base)
+        assert mapping.is_superpage
+        assert len(alloc.remap_reports) == 1
+
+    def test_plain_mode_stays_on_base_pages(self, machine):
+        system, process = machine
+        alloc = SbrkAllocator(
+            system.kernel.vm, process,
+            initial_prealloc=64 << 10, increment=64 << 10,
+            use_superpages=False,
+        )
+        alloc.sbrk(64)
+        assert not process.page_table.lookup(process.heap_base).is_superpage
+
+    def test_set_increment(self, machine):
+        system, process = machine
+        alloc = SbrkAllocator(
+            system.kernel.vm, process,
+            initial_prealloc=16 << 10, increment=16 << 10,
+        )
+        alloc.sbrk(16 << 10)
+        alloc.set_increment(48 << 10)
+        alloc.sbrk(8)
+        assert process.heap_bytes == (16 << 10) + (48 << 10)
+
+    def test_rejects_bad_sizes(self, machine):
+        system, process = machine
+        alloc = SbrkAllocator(system.kernel.vm, process)
+        with pytest.raises(ValueError):
+            alloc.sbrk(0)
+        with pytest.raises(ValueError):
+            alloc.set_increment(-1)
+
+
+class TestProcess:
+    def test_segments_reject_overlap(self):
+        process = Process(pid=1, name="p")
+        process.add_segment("text", 0x0100_0000, 64 << 10)
+        with pytest.raises(ValueError):
+            process.add_segment("data", 0x0100_8000, 64 << 10)
+
+    def test_segment_rounding(self):
+        process = Process(pid=1, name="p")
+        seg = process.add_segment("data", 0x0200_0000, 100)
+        assert seg.length == BASE_PAGE_SIZE
+
+    def test_brk_monotonic(self):
+        process = Process(pid=1, name="p")
+        old = process.grow_brk(process.heap_base + 4096)
+        assert old == process.heap_base
+        with pytest.raises(ValueError):
+            process.grow_brk(process.heap_base)
+
+
+class TestMiniKernel:
+    def test_layout_reserves_tables(self, mtlb_system):
+        layout = mtlb_system.kernel.layout
+        assert layout.shadow_table_base == 0
+        assert layout.hpt_base >= 512 << 10  # past the shadow table
+        assert layout.reserved_bytes % (4 << 20) == 0
+        assert layout.first_user_frame == layout.reserved_bytes >> 12
+
+    def test_user_mappings_below_kernel_rejected(self, mtlb_system):
+        process = mtlb_system.kernel.create_process("k")
+        with pytest.raises(ValueError):
+            mtlb_system.kernel.sys_map(process, 0x1000, 4096)
+
+    def test_process_switch_rebinds_hpt(self, mtlb_system):
+        kernel = mtlb_system.kernel
+        p1 = kernel.create_process("one")
+        kernel.sys_map(p1, 0x0200_0000, 4096)
+        p2 = kernel.create_process("two")
+        assert kernel.current is p2
+        kernel.switch_to(p1)
+        assert kernel.hpt.resolver(0x0200_0000 >> 12) is not None
+
+    def test_sys_remap_counts(self, mtlb_system):
+        kernel = mtlb_system.kernel
+        process = kernel.create_process("r")
+        kernel.sys_map(process, 0x0200_0000, 64 << 10)
+        report = kernel.sys_remap(process, 0x0200_0000, 64 << 10)
+        assert report.superpages_created == 1
+        assert kernel.stats.remap_calls == 1
+        assert kernel.stats.remapped_pages == 16
+
+    def test_timer_cycles(self, mtlb_system):
+        costs = mtlb_system.kernel.costs
+        assert mtlb_system.kernel.timer_cycles(0) == 0
+        cycles = mtlb_system.kernel.timer_cycles(10 * costs.timer_interval)
+        assert cycles == 10 * costs.timer_tick

@@ -1,0 +1,164 @@
+"""Unit and property tests for the CPU TLB."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+from repro.cpu.tlb import Tlb, TlbEntry
+
+
+def base_entry(vpn: int, pfn: int = None) -> TlbEntry:
+    pfn = vpn if pfn is None else pfn
+    return TlbEntry(
+        vbase=vpn * BASE_PAGE_SIZE,
+        pbase=pfn * BASE_PAGE_SIZE,
+        size=BASE_PAGE_SIZE,
+    )
+
+
+class TestLookup:
+    def test_hit_translates(self):
+        tlb = Tlb(4)
+        tlb.insert(base_entry(5, 9))
+        entry = tlb.lookup(5 * 4096 + 0x123)
+        assert entry is not None
+        assert entry.translate(5 * 4096 + 0x123) == 9 * 4096 + 0x123
+
+    def test_miss_returns_none(self):
+        tlb = Tlb(4)
+        assert tlb.lookup(0x1234) is None
+        assert tlb.stats.misses == 1
+
+    def test_superpage_hit_any_offset(self):
+        tlb = Tlb(4)
+        tlb.insert(
+            TlbEntry(vbase=0x100_0000, pbase=0x8000_0000, size=1 << 20)
+        )
+        for offset in (0, 4096, (1 << 20) - 8):
+            entry = tlb.lookup(0x100_0000 + offset)
+            assert entry is not None
+            assert entry.translate(0x100_0000 + offset) == 0x8000_0000 + offset
+        assert tlb.lookup(0x100_0000 + (1 << 20)) is None
+
+    def test_mixed_sizes_coexist(self):
+        tlb = Tlb(4)
+        tlb.insert(base_entry(1))
+        tlb.insert(TlbEntry(vbase=1 << 24, pbase=0, size=16 << 10))
+        assert tlb.lookup(1 * 4096) is not None
+        assert tlb.lookup((1 << 24) + 8192) is not None
+        assert set(tlb.resident_sizes()) == {4096, 16 << 10}
+
+    def test_probe_has_no_side_effects(self):
+        tlb = Tlb(4)
+        tlb.insert(base_entry(1))
+        before = tlb.stats.lookups
+        assert tlb.probe(1 * 4096) is not None
+        assert tlb.stats.lookups == before
+
+
+class TestInsertAndReplace:
+    def test_capacity_enforced(self):
+        tlb = Tlb(4)
+        for vpn in range(10):
+            tlb.insert(base_entry(vpn))
+        assert tlb.occupancy == 4
+
+    def test_insert_validates_alignment(self):
+        tlb = Tlb(4)
+        with pytest.raises(ValueError):
+            tlb.insert(TlbEntry(vbase=4096, pbase=0, size=16 << 10))
+        with pytest.raises(ValueError):
+            tlb.insert(TlbEntry(vbase=0, pbase=0, size=8192))
+
+    def test_same_vbase_replaced_in_place(self):
+        tlb = Tlb(4)
+        tlb.insert(base_entry(1, 10))
+        tlb.insert(base_entry(1, 20))
+        assert tlb.occupancy == 1
+        assert tlb.lookup(4096).pbase == 20 * 4096
+
+    def test_nru_eviction_prefers_cold(self):
+        tlb = Tlb(3)
+        for vpn in range(3):
+            tlb.insert(base_entry(vpn))
+        tlb.insert(base_entry(3))  # epoch reset + evict one
+        survivors = {e.vbase // 4096 for e in tlb.entries()} - {3}
+        cold = min(survivors)
+        for vpn in survivors - {cold}:
+            tlb.lookup(vpn * 4096)
+        tlb.insert(base_entry(4))
+        resident = {e.vbase // 4096 for e in tlb.entries()}
+        assert cold not in resident
+
+    def test_eviction_returns_victim(self):
+        tlb = Tlb(1)
+        tlb.insert(base_entry(1))
+        victim = tlb.insert(base_entry(2))
+        assert victim is not None and victim.vbase == 4096
+
+
+class TestShootdown:
+    def test_single_page(self):
+        tlb = Tlb(4)
+        tlb.insert(base_entry(1))
+        assert tlb.shootdown(4096 + 4)
+        assert tlb.lookup(4096) is None
+        assert not tlb.shootdown(4096)
+
+    def test_range_removes_overlapping_superpage(self):
+        tlb = Tlb(4)
+        tlb.insert(TlbEntry(vbase=0x100_0000, pbase=0, size=64 << 10))
+        # Range overlaps the middle of the superpage.
+        removed = tlb.shootdown_range(0x100_8000, 4096)
+        assert removed == 1
+        assert tlb.occupancy == 0
+
+    def test_range_spares_outside(self):
+        tlb = Tlb(4)
+        tlb.insert(base_entry(1))
+        tlb.insert(base_entry(100))
+        removed = tlb.shootdown_range(0, 10 * 4096)
+        assert removed == 1
+        assert tlb.lookup(100 * 4096) is not None
+
+    def test_flush_all(self):
+        tlb = Tlb(4)
+        for vpn in range(4):
+            tlb.insert(base_entry(vpn))
+        assert tlb.flush_all() == 4
+        assert tlb.occupancy == 0
+
+
+class TestReach:
+    def test_reach_counts_superpages(self):
+        tlb = Tlb(4)
+        tlb.insert(base_entry(1))
+        tlb.insert(TlbEntry(vbase=0, pbase=0, size=16 << 20))
+        assert tlb.reach == 4096 + (16 << 20)
+        assert tlb.max_reach_base_pages == 4 * 4096
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    st.lists(st.integers(min_value=0, max_value=300), min_size=1, max_size=400),
+    st.integers(min_value=1, max_value=64),
+)
+def test_tlb_model_equivalence(vpns, capacity):
+    """The TLB agrees with a trivial reference model on hit/miss content:
+    after any access sequence, every resident entry was inserted and
+    occupancy never exceeds capacity."""
+    tlb = Tlb(capacity)
+    inserted = set()
+    for vpn in vpns:
+        if tlb.lookup(vpn * BASE_PAGE_SIZE) is None:
+            tlb.insert(base_entry(vpn))
+            inserted.add(vpn)
+    assert tlb.occupancy <= capacity
+    resident = {e.vbase // BASE_PAGE_SIZE for e in tlb.entries()}
+    assert resident <= inserted
+    # Everything resident must still translate correctly.
+    for vpn in resident:
+        assert tlb.probe(vpn * BASE_PAGE_SIZE).translate(
+            vpn * BASE_PAGE_SIZE
+        ) == vpn * BASE_PAGE_SIZE

@@ -1,0 +1,104 @@
+"""Unit tests for trace containers, events, and serialisation."""
+
+import numpy as np
+import pytest
+
+from repro.trace.events import HeapGrow, MapRegion, Phase, Remap
+from repro.trace.io import load_trace, save_trace
+from repro.trace.trace import Segment, Trace, make_segment
+
+
+class TestSegment:
+    def test_make_segment_defaults(self):
+        seg = make_segment("s", [0x1000, 0x2000], gap=3)
+        assert seg.refs == 2
+        assert seg.instructions == 2 + 6
+        assert seg.stores == 0
+
+    def test_write_mask(self):
+        seg = make_segment("s", [0, 8, 16], write_mask=[True, False, True])
+        assert seg.stores == 2
+        assert list(seg.ops) == [1, 0, 1]
+
+    def test_array_gap(self):
+        seg = make_segment("s", [0, 8], gap=np.array([1, 5]))
+        assert seg.instructions == 2 + 6
+
+    def test_length_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            Segment(
+                "s",
+                np.zeros(2, dtype=np.uint8),
+                np.zeros(3, dtype=np.int64),
+                np.zeros(2, dtype=np.int32),
+            )
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            make_segment("s", [-8])
+        with pytest.raises(ValueError):
+            make_segment("s", [8], gap=np.array([-1]))
+
+
+class TestTrace:
+    def test_totals(self):
+        trace = Trace("t")
+        trace.add(MapRegion(0x1000, 4096))
+        trace.add(make_segment("a", [0x1000] * 10, gap=2))
+        trace.add(Phase("p"))
+        trace.add(make_segment("b", [0x2000] * 5, gap=2))
+        assert trace.total_refs == 15
+        assert len(list(trace.segments())) == 2
+        assert len(list(trace.events())) == 2
+
+    def test_footprint(self):
+        trace = Trace("t")
+        trace.add(make_segment("a", [0x1000, 0x1008, 0x5000]))
+        assert trace.footprint_bytes() == 2 * 4096
+
+
+class TestTraceIo:
+    def test_roundtrip(self, tmp_path):
+        trace = Trace("roundtrip", text_base=0x111000, text_size=8192)
+        trace.add(MapRegion(0x1000, 8192, label="m"))
+        trace.add(Remap(0x1000, 8192))
+        trace.add(HeapGrow(0x2000, 4096, remap=False))
+        trace.add(Phase("go"))
+        trace.add(
+            make_segment(
+                "seg", [0x1000, 0x1008], write_mask=[True, False], gap=7,
+                text_pages=3,
+            )
+        )
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        loaded = load_trace(path)
+        assert loaded.name == "roundtrip"
+        assert loaded.text_base == 0x111000 and loaded.text_size == 8192
+        events = list(loaded.events())
+        assert events[0] == MapRegion(0x1000, 8192, label="m")
+        assert events[1] == Remap(0x1000, 8192)
+        assert events[2] == HeapGrow(0x2000, 4096, remap=False)
+        assert events[3] == Phase("go")
+        seg = next(loaded.segments())
+        assert seg.label == "seg" and seg.text_pages == 3
+        assert list(seg.vaddrs) == [0x1000, 0x1008]
+        assert list(seg.ops) == [1, 0]
+        assert list(seg.gaps) == [7, 7]
+
+    def test_version_check(self, tmp_path):
+        import json
+        trace = Trace("v")
+        trace.add(make_segment("s", [0]))
+        path = tmp_path / "t.npz"
+        save_trace(trace, path)
+        # Corrupt the version.
+        data = dict(np.load(path))
+        meta = json.loads(bytes(data["meta"].tobytes()))
+        meta["version"] = 999
+        data["meta"] = np.frombuffer(
+            json.dumps(meta).encode(), dtype=np.uint8
+        )
+        np.savez(path, **data)
+        with pytest.raises(ValueError):
+            load_trace(path)

@@ -1,0 +1,107 @@
+"""Unit tests for the trace validator."""
+
+import pytest
+
+from repro.trace.events import MapRegion, Phase, Remap
+from repro.trace.trace import Trace, make_segment
+from repro.trace.validate import validate_trace
+from repro.workloads import (
+    PAPER_SUITE,
+    SYNTHETIC_SUITE,
+    build_workload,
+)
+
+BASE = 0x0200_0000
+
+
+def valid_trace():
+    trace = Trace("ok")
+    trace.add(MapRegion(BASE, 64 << 10))
+    trace.add(Remap(BASE, 64 << 10))
+    trace.add(Phase("go"))
+    trace.add(make_segment("s", [BASE, BASE + 4096]))
+    return trace
+
+
+class TestValidator:
+    def test_valid_trace_passes(self):
+        report = validate_trace(valid_trace())
+        assert report.ok
+        report.raise_if_invalid()  # no-op
+
+    def test_unmapped_reference_flagged(self):
+        trace = Trace("bad")
+        trace.add(make_segment("s", [BASE]))
+        report = validate_trace(trace)
+        assert not report.ok
+        assert "referenced before mapping" in report.errors[0]
+        with pytest.raises(ValueError):
+            report.raise_if_invalid()
+
+    def test_reference_before_its_mapping_flagged(self):
+        trace = Trace("bad")
+        trace.add(make_segment("s", [BASE]))
+        trace.add(MapRegion(BASE, 4096))
+        assert not validate_trace(trace).ok
+
+    def test_overlapping_mappings_flagged(self):
+        trace = Trace("bad")
+        trace.add(MapRegion(BASE, 64 << 10))
+        trace.add(MapRegion(BASE + (32 << 10), 64 << 10))
+        report = validate_trace(trace)
+        assert any("overlaps" in e for e in report.errors)
+
+    def test_remap_of_unmapped_flagged(self):
+        trace = Trace("bad")
+        trace.add(Remap(BASE, 64 << 10))
+        report = validate_trace(trace)
+        assert any("remap of unmapped" in e for e in report.errors)
+
+    def test_double_remap_flagged(self):
+        trace = Trace("bad")
+        trace.add(MapRegion(BASE, 64 << 10))
+        trace.add(Remap(BASE, 64 << 10))
+        trace.add(Remap(BASE, 16 << 10))
+        report = validate_trace(trace)
+        assert any("remapped twice" in e for e in report.errors)
+
+    def test_misaligned_event_flagged(self):
+        trace = Trace("bad")
+        trace.add(MapRegion(BASE + 1, 4096))
+        report = validate_trace(trace)
+        assert any("not page aligned" in e for e in report.errors)
+
+    def test_kernel_range_mapping_flagged(self):
+        trace = Trace("bad")
+        trace.add(MapRegion(0x0000_4000, 4096))
+        report = validate_trace(trace)
+        assert any("below the user virtual range" in e
+                   for e in report.errors)
+
+    def test_empty_segment_flagged(self):
+        import numpy as np
+        from repro.trace.trace import Segment
+        trace = Trace("bad")
+        trace.add(
+            Segment(
+                "empty",
+                np.zeros(0, dtype="uint8"),
+                np.zeros(0, dtype="int64"),
+                np.zeros(0, dtype="int32"),
+            )
+        )
+        assert not validate_trace(trace).ok
+
+    def test_multiple_errors_all_reported(self):
+        trace = Trace("bad")
+        trace.add(Remap(BASE, 4096))
+        trace.add(make_segment("s", [0x0900_0000]))
+        report = validate_trace(trace)
+        assert len(report.errors) == 2
+
+
+class TestAllWorkloadsValidate:
+    @pytest.mark.parametrize("name", PAPER_SUITE + SYNTHETIC_SUITE)
+    def test_workload_traces_are_valid(self, name):
+        report = validate_trace(build_workload(name, scale=0.02))
+        assert report.ok, "\n".join(report.errors)

@@ -1,0 +1,180 @@
+"""Unit tests for the VM subsystem (map / remap choreography)."""
+
+import pytest
+
+from repro.core.addrspace import BASE_PAGE_SIZE
+from repro.os_model.frames import OutOfMemory
+from repro.os_model.page_table import MappingError
+
+REGION = 0x0200_0000
+
+
+@pytest.fixture
+def machine(mtlb_system):
+    process = mtlb_system.kernel.create_process("vmtest")
+    return mtlb_system, process
+
+
+class TestMapRegion:
+    def test_base_pages_installed(self, machine):
+        system, process = machine
+        cycles = system.kernel.vm.map_region(process, REGION, 64 << 10)
+        assert cycles > 0
+        for offset in range(0, 64 << 10, BASE_PAGE_SIZE):
+            mapping = process.page_table.lookup(REGION + offset)
+            assert mapping is not None and not mapping.is_superpage
+
+    def test_frames_are_discontiguous_when_shuffled(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 64 << 10)
+        pfns = [
+            process.page_table.lookup(REGION + off).pbase >> 12
+            for off in range(0, 64 << 10, BASE_PAGE_SIZE)
+        ]
+        assert pfns != sorted(pfns)
+
+    def test_hpt_preloaded(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 16 << 10)
+        found, _ = system.kernel.hpt.probe(REGION >> 12)
+        assert found is not None
+
+    def test_unmap_returns_frames(self, machine):
+        system, process = machine
+        free_before = system.kernel.frames.free_frames
+        system.kernel.vm.map_region(process, REGION, 16 << 10)
+        system.kernel.vm.unmap_region(process, REGION, 16 << 10)
+        assert system.kernel.frames.free_frames == free_before
+        assert process.page_table.lookup(REGION) is None
+
+
+class TestRemapToShadow:
+    def test_superpage_replaces_base_pages(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 64 << 10)
+        report = system.kernel.vm.remap_to_shadow(process, REGION, 64 << 10)
+        assert report.superpages_created == 1
+        assert report.pages_remapped == 16
+        mapping = process.page_table.lookup(REGION)
+        assert mapping.is_superpage and mapping.size == 64 << 10
+        assert system.config.memory_map.is_shadow(mapping.pbase)
+
+    def test_mmc_mappings_point_at_original_frames(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 64 << 10)
+        pfns_before = [
+            process.page_table.lookup(REGION + off).pbase >> 12
+            for off in range(0, 64 << 10, BASE_PAGE_SIZE)
+        ]
+        system.kernel.vm.remap_to_shadow(process, REGION, 64 << 10)
+        mapping = process.page_table.lookup(REGION)
+        first = system.config.memory_map.shadow_page_index(mapping.pbase)
+        table = system.shadow_table
+        pfns_after = [
+            table.entry(first + i).pfn for i in range(16)
+        ]
+        assert pfns_after == pfns_before
+
+    def test_remap_costs_are_flush_dominated(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 256 << 10)
+        # Warm the cache over the region so the flush has work to do.
+        for off in range(0, 256 << 10, 32):
+            paddr = process.page_table.translate(REGION + off)
+            system.cache.access(REGION + off, paddr, off % 64 == 0)
+        report = system.kernel.vm.remap_to_shadow(process, REGION, 256 << 10)
+        assert report.flush_cycles > report.other_cycles
+        assert report.dirty_lines_written > 0
+
+    def test_remap_unmapped_region_rejected(self, machine):
+        system, process = machine
+        with pytest.raises(MappingError):
+            system.kernel.vm.remap_to_shadow(process, REGION, 64 << 10)
+
+    def test_sub_minimum_fragments_stay_base_mapped(self, machine):
+        system, process = machine
+        # One base page of head misalignment: a 12 KB head and a 4 KB
+        # tail bracket a single aligned 16 KB superpage.
+        start = REGION + BASE_PAGE_SIZE
+        system.kernel.vm.map_region(process, start, 32 << 10)
+        report = system.kernel.vm.remap_to_shadow(process, start, 32 << 10)
+        assert report.superpages_created == 1
+        head = process.page_table.lookup(start)
+        assert head is not None and not head.is_superpage
+
+    def test_tlb_shootdown_happens(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 16 << 10)
+        # Fault a translation into the CPU TLB.
+        entry, _ = system._refill_tlb(REGION)
+        assert system.tlb.probe(REGION) is not None
+        system.kernel.vm.remap_to_shadow(process, REGION, 16 << 10)
+        assert system.tlb.probe(REGION) is None
+
+
+class TestRemapBack:
+    def test_roundtrip_restores_base_pages(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 64 << 10)
+        pfns_before = [
+            process.page_table.lookup(REGION + off).pbase >> 12
+            for off in range(0, 64 << 10, BASE_PAGE_SIZE)
+        ]
+        system.kernel.vm.remap_to_shadow(process, REGION, 64 << 10)
+        system.kernel.vm.remap_back(process, REGION)
+        pfns_after = [
+            process.page_table.lookup(REGION + off).pbase >> 12
+            for off in range(0, 64 << 10, BASE_PAGE_SIZE)
+        ]
+        assert pfns_before == pfns_after
+        assert not process.page_table.lookup(REGION).is_superpage
+
+    def test_shadow_region_returned_to_pool(self, machine):
+        system, process = machine
+        allocator = system.kernel.shadow_allocator
+        avail = allocator.available(64 << 10)
+        system.kernel.vm.map_region(process, REGION, 64 << 10)
+        system.kernel.vm.remap_to_shadow(process, REGION, 64 << 10)
+        assert allocator.available(64 << 10) == avail - 1
+        system.kernel.vm.remap_back(process, REGION)
+        assert allocator.available(64 << 10) == avail
+
+    def test_remap_back_non_superpage_rejected(self, machine):
+        system, process = machine
+        system.kernel.vm.map_region(process, REGION, 4096)
+        with pytest.raises(MappingError):
+            system.kernel.vm.remap_back(process, REGION)
+
+
+class TestConventionalSuperpages:
+    def test_success_on_unfragmented_machine(self, mtlb_system):
+        from repro.sim.config import paper_no_mtlb
+        from repro.sim.system import System
+        import dataclasses
+        config = dataclasses.replace(
+            paper_no_mtlb(96), fragmentation="none"
+        )
+        system = System(config)
+        process = system.kernel.create_process("conv")
+        system.kernel.vm.map_region_conventional_superpages(
+            process, REGION, 64 << 10
+        )
+        mapping = process.page_table.lookup(REGION)
+        assert mapping.is_superpage
+        # The physical base is real memory, aligned to the size.
+        assert system.config.memory_map.is_dram(mapping.pbase)
+        assert mapping.pbase % mapping.size == 0
+
+    def test_fails_under_fragmentation(self):
+        from repro.sim.config import paper_no_mtlb
+        from repro.sim.system import System
+        import dataclasses
+        config = dataclasses.replace(
+            paper_no_mtlb(96), fragmentation="checkerboard"
+        )
+        system = System(config)
+        process = system.kernel.create_process("conv")
+        with pytest.raises(OutOfMemory):
+            system.kernel.vm.map_region_conventional_superpages(
+                process, REGION, 64 << 10
+            )

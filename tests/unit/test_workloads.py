@@ -1,0 +1,159 @@
+"""Unit tests for the workload models: paper layouts and generation
+invariants."""
+
+import numpy as np
+import pytest
+
+from repro.core.remap import plan_superpages
+from repro.trace.events import MapRegion, Remap
+from repro.trace.trace import Segment
+from repro.workloads import PAPER_SUITE, build_workload, workload_names
+from repro.workloads import compress95, em3d, radix
+
+
+QUICK = 0.03
+
+
+class TestRegistry:
+    def test_paper_suite_registered(self):
+        assert set(PAPER_SUITE) <= set(workload_names())
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(KeyError):
+            build_workload("nope")
+
+    def test_bad_scale_rejected(self):
+        with pytest.raises(ValueError):
+            build_workload("em3d", scale=0)
+
+
+class TestPaperLayouts:
+    """The paper's exact superpage counts (Section 3.1)."""
+
+    def test_compress_region_tilings(self):
+        cases = [
+            (compress95.TABLES_BASE, compress95.TABLES_BYTES, 10),
+            (compress95.ORIG_BASE, compress95.BUFFER_BYTES, 13),
+            (compress95.COMP_BASE, compress95.BUFFER_BYTES, 7),
+            (compress95.UNCOMP_BASE, compress95.BUFFER_BYTES, 13),
+        ]
+        for base, length, expected in cases:
+            assert len(plan_superpages(base, length)) == expected
+
+    def test_compress_region_sizes_match_paper(self):
+        assert compress95.TABLES_BYTES == 557_056
+        assert compress95.BUFFER_BYTES == 999_424
+
+    def test_radix_region_tiling(self):
+        # 8,437,760 bytes in 14 superpages at the paper's key count.
+        assert len(
+            plan_superpages(radix.HEAP_BASE, radix.PAPER_REGION_BYTES)
+        ) == 14
+
+    def test_radix_full_scale_region_bytes(self):
+        trace = build_workload("radix", scale=1.0)
+        maps = [e for e in trace.events() if isinstance(e, MapRegion)]
+        assert maps[0].length == radix.PAPER_REGION_BYTES
+
+    def test_em3d_region_tiling(self):
+        # 1120 pages in 16 superpages.
+        assert em3d.REGION_BYTES == 1120 * 4096
+        assert len(
+            plan_superpages(em3d.HEAP_BASE, em3d.REGION_BYTES)
+        ) == 16
+
+    def test_em3d_remaps_after_init(self):
+        trace = build_workload("em3d", scale=QUICK)
+        kinds = [
+            type(item).__name__
+            for item in trace.items
+            if not isinstance(item, Segment)
+        ]
+        # Map first, remap only after the init segment ran.
+        assert kinds.index("MapRegion") < kinds.index("Remap")
+        items = trace.items
+        remap_pos = next(
+            i for i, it in enumerate(items) if isinstance(it, Remap)
+        )
+        seg_pos = next(
+            i for i, it in enumerate(items) if isinstance(it, Segment)
+        )
+        assert seg_pos < remap_pos
+
+
+class TestGenerationInvariants:
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_deterministic(self, name):
+        a = build_workload(name, scale=QUICK, seed=7)
+        b = build_workload(name, scale=QUICK, seed=7)
+        segs_a = list(a.segments())
+        segs_b = list(b.segments())
+        assert len(segs_a) == len(segs_b)
+        for sa, sb in zip(segs_a, segs_b):
+            assert np.array_equal(sa.vaddrs, sb.vaddrs)
+            assert np.array_equal(sa.ops, sb.ops)
+
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_seed_changes_stream(self, name):
+        a = build_workload(name, scale=QUICK, seed=7)
+        b = build_workload(name, scale=QUICK, seed=8)
+        va = np.concatenate([s.vaddrs for s in a.segments()])
+        vb = np.concatenate([s.vaddrs for s in b.segments()])
+        assert not np.array_equal(va, vb)
+
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_every_reference_is_premapped(self, name):
+        """No reference may precede the MapRegion/HeapGrow covering it —
+        the invariant the simulator enforces with SimulationError."""
+        trace = build_workload(name, scale=QUICK)
+        mapped = []
+
+        def covered(page):
+            return any(lo <= page < hi for lo, hi in mapped)
+
+        for item in trace.items:
+            if isinstance(item, Segment):
+                pages = np.unique(item.vaddrs >> 12)
+                for page in pages.tolist():
+                    assert covered(page), (
+                        f"{name}: page {page:#x} referenced before mapping"
+                    )
+            elif hasattr(item, "length") and not isinstance(item, Remap):
+                lo = item.vaddr >> 12
+                mapped.append((lo, lo + (item.length >> 12)))
+
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_remaps_target_mapped_regions(self, name):
+        trace = build_workload(name, scale=QUICK)
+        mapped = []
+        for item in trace.items:
+            if isinstance(item, Remap):
+                lo, hi = item.vaddr >> 12, (item.vaddr + item.length) >> 12
+                assert any(
+                    mlo <= lo and hi <= mhi for mlo, mhi in mapped
+                ), f"{name}: remap of unmapped range"
+            elif hasattr(item, "length"):
+                lo = item.vaddr >> 12
+                mapped.append((lo, lo + (item.length >> 12)))
+
+    @pytest.mark.parametrize("name", PAPER_SUITE)
+    def test_scale_scales_work(self, name):
+        small = build_workload(name, scale=QUICK)
+        large = build_workload(name, scale=0.5)
+        assert large.total_refs > small.total_refs
+
+    def test_vortex_heap_growth_pattern(self):
+        """Vortex grows 8 MB first, then 2 MB increments (Section 3.1)."""
+        trace = build_workload("vortex", scale=0.2)
+        grows = [
+            e.length
+            for e in trace.events()
+            if isinstance(e, MapRegion) and e.vaddr >= 0x1000_0000
+        ]
+        assert grows[0] == 8 << 20
+        assert all(g == 2 << 20 for g in grows[1:])
+        assert len(grows) >= 3
+
+    def test_compress_stores_exist(self):
+        trace = build_workload("compress95", scale=QUICK)
+        assert any(seg.stores for seg in trace.segments())
