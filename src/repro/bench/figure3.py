@@ -46,7 +46,8 @@ def run_figure3(
     context = context or BenchContext()
     configs = figure3_configs()
     matrix = context.run_matrix(
-        workloads, configs, BASE_LABEL, progress=progress
+        workloads, configs, BASE_LABEL, progress=progress,
+        checkpoint="fig3",
     )
     report = render_report(matrix, workloads, configs.keys())
     errors = check_figure3_shape(matrix, workloads)

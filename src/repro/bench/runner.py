@@ -6,6 +6,17 @@ input scales (documented in EXPERIMENTS.md), caches generated traces on
 disk, and runs workload x configuration matrices into a
 :class:`~repro.sim.results.ResultMatrix`.
 
+Robustness features (this file is the harness's crash-safety layer):
+
+* corrupt/truncated trace-cache files are detected by checksum
+  (:class:`~repro.errors.TraceCacheCorrupt`), warned about, deleted,
+  and regenerated;
+* matrix runs can *checkpoint* each completed (workload, config) cell
+  to disk and resume after a crash or kill, re-running only the
+  missing cells (``run_matrix(..., checkpoint="fig3")``);
+* a per-run reference budget (``max_references``) bounds any single
+  pathological cell instead of hanging the whole matrix.
+
 Environment knobs:
 
 * ``REPRO_BENCH_QUICK=1`` — use the quick (CI) scales everywhere;
@@ -15,12 +26,17 @@ Environment knobs:
 
 from __future__ import annotations
 
+import dataclasses
+import json
 import os
+import warnings
 from pathlib import Path
 from typing import Dict, Mapping, Optional, Sequence
 
+from ..errors import TraceCacheCorrupt
 from ..sim.config import SystemConfig
 from ..sim.results import ResultMatrix, RunResult
+from ..sim.stats import RunStats
 from ..sim.system import System
 from ..trace.io import load_trace, save_trace
 from ..trace.trace import Trace
@@ -63,6 +79,7 @@ class BenchContext:
         scales: Optional[Mapping[str, float]] = None,
         cache_dir: Optional[Path] = None,
         seed: int = DEFAULT_SEED,
+        max_references: Optional[int] = None,
     ) -> None:
         if quick is None:
             quick = quick_mode_requested()
@@ -76,6 +93,10 @@ class BenchContext:
             cache_dir = Path(env) if env else Path(".trace_cache")
         self.cache_dir = Path(cache_dir)
         self.seed = seed
+        #: Per-run reference budget; a run that would exceed it raises
+        #: :class:`~repro.errors.ReferenceBudgetExceeded` instead of
+        #: running unbounded.  None = no limit.
+        self.max_references = max_references
         self._traces: Dict[str, Trace] = {}
 
     # ------------------------------------------------------------------ #
@@ -99,6 +120,16 @@ class BenchContext:
         if path.exists():
             try:
                 trace = load_trace(path)
+            except TraceCacheCorrupt as exc:
+                # Corrupt cache: warn, delete, regenerate (never
+                # simulate a silently wrong reference stream).
+                warnings.warn(
+                    f"{exc}; deleting and regenerating", RuntimeWarning
+                )
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
             except (ValueError, KeyError, OSError):
                 trace = None  # stale format: regenerate below
         if trace is None:
@@ -116,7 +147,9 @@ class BenchContext:
 
     def run(self, workload: str, config: SystemConfig) -> RunResult:
         """Simulate one workload on one configuration."""
-        return System(config).run(self.trace(workload))
+        system = System(config)
+        system.reference_budget = self.max_references
+        return system.run(self.trace(workload))
 
     def run_matrix(
         self,
@@ -124,12 +157,118 @@ class BenchContext:
         configs: Mapping[str, SystemConfig],
         base_label: str,
         progress: bool = False,
+        checkpoint: Optional[str] = None,
     ) -> ResultMatrix:
-        """Run every workload on every configuration."""
+        """Run every workload on every configuration.
+
+        With *checkpoint* set, every completed (workload, config) cell
+        is persisted to ``<cache_dir>/checkpoint_<name>.json`` with an
+        atomic write, and a later invocation of the same matrix resumes
+        from it, re-running only the missing cells.  The checkpoint is
+        deleted once the whole matrix completes.
+        """
         matrix = ResultMatrix(base_label)
+        path = self._checkpoint_path(checkpoint) if checkpoint else None
+        cells: Dict[str, dict] = (
+            self._load_checkpoint(path, base_label) if path else {}
+        )
         for workload in workloads:
             for label, config in configs.items():
+                key = f"{workload}|{label}"
+                saved = cells.get(key)
+                if saved is not None:
+                    if progress:
+                        print(
+                            f"  resuming {workload} on {label} "
+                            "(checkpointed)",
+                            flush=True,
+                        )
+                    matrix.add(
+                        RunResult(
+                            workload=workload,
+                            config_label=label,
+                            stats=RunStats(**saved),
+                        )
+                    )
+                    continue
                 if progress:
                     print(f"  running {workload} on {label}...", flush=True)
-                matrix.add(self.run(workload, config))
+                result = self.run(workload, config)
+                matrix.add(result)
+                if path is not None:
+                    cells[key] = dataclasses.asdict(result.stats)
+                    self._save_checkpoint(path, base_label, cells)
+        if path is not None:
+            try:
+                path.unlink()
+            except OSError:
+                pass
         return matrix
+
+    # ------------------------------------------------------------------ #
+    # Checkpointing
+    # ------------------------------------------------------------------ #
+
+    def _checkpoint_path(self, name: str) -> Path:
+        return self.cache_dir / f"checkpoint_{name}.json"
+
+    def _checkpoint_meta(self, base_label: str) -> dict:
+        """Context fingerprint: a checkpoint from different scales,
+        seed, or quickness must not be resumed from."""
+        return {
+            "version": 1,
+            "quick": self.quick,
+            "seed": self.seed,
+            "scales": self.scales,
+            "base_label": base_label,
+            "max_references": self.max_references,
+        }
+
+    def _load_checkpoint(
+        self, path: Path, base_label: str
+    ) -> Dict[str, dict]:
+        if not path.exists():
+            return {}
+        try:
+            payload = json.loads(path.read_text())
+        except (OSError, ValueError):
+            warnings.warn(
+                f"checkpoint {path} is unreadable; starting over",
+                RuntimeWarning,
+            )
+            return {}
+        if payload.get("meta") != self._checkpoint_meta(base_label):
+            warnings.warn(
+                f"checkpoint {path} was written under a different "
+                "bench context; ignoring it",
+                RuntimeWarning,
+            )
+            return {}
+        cells = payload.get("cells", {})
+        known = set(RunStats.__dataclass_fields__)
+        for key, fields in cells.items():
+            if not isinstance(fields, dict) or set(fields) - known:
+                warnings.warn(
+                    f"checkpoint {path} cell {key!r} has unknown "
+                    "fields; starting over",
+                    RuntimeWarning,
+                )
+                return {}
+        return dict(cells)
+
+    def _save_checkpoint(
+        self, path: Path, base_label: str, cells: Dict[str, dict]
+    ) -> None:
+        """Atomically persist the completed cells (tmp + rename), so a
+        kill mid-write leaves the previous checkpoint intact."""
+        payload = {
+            "meta": self._checkpoint_meta(base_label),
+            "cells": cells,
+        }
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = path.with_name(path.name + ".tmp")
+            tmp.write_text(json.dumps(payload))
+            os.replace(tmp, path)
+        except OSError:
+            pass  # read-only filesystem: run without checkpoints

@@ -156,6 +156,20 @@ def main(argv=None) -> int:
     parser.add_argument(
         "--seed", type=int, default=1998, help="workload RNG seed"
     )
+    parser.add_argument(
+        "--keep-going", action="store_true",
+        help=(
+            "continue past a failing experiment instead of aborting; "
+            "the exit status is still non-zero if anything failed"
+        ),
+    )
+    parser.add_argument(
+        "--max-refs", type=int, default=None, metavar="N",
+        help=(
+            "per-run reference budget: abort any single (workload, "
+            "config) run that would simulate more than N references"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -163,11 +177,27 @@ def main(argv=None) -> int:
             print(name)
         return 0
 
-    context = BenchContext(quick=args.quick, seed=args.seed)
+    # --quick forces quick scales; otherwise defer to REPRO_BENCH_QUICK.
+    context = BenchContext(
+        quick=True if args.quick else None,
+        seed=args.seed,
+        max_references=args.max_refs,
+    )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     status = 0
     for name in todo:
-        status |= _run(name, context)
+        if args.keep_going:
+            try:
+                status |= _run(name, context)
+            except Exception as exc:  # noqa: BLE001 - harness boundary
+                print(
+                    f"\nEXPERIMENT FAILED: {name}: "
+                    f"{type(exc).__name__}: {exc}",
+                    file=sys.stderr,
+                )
+                status |= 1
+        else:
+            status |= _run(name, context)
     return status
 
 

@@ -20,6 +20,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from ..errors import MtlbParityFault
+from ..faults import DIRTY_DROP, MTLB_PARITY, SHADOW_BITFLIP, FaultPlan
 from .addrspace import is_power_of_two
 from .shadow_table import PFN_MASK, VALID_BIT, ShadowPageTable
 
@@ -51,6 +53,8 @@ class MtlbStats:
     faults: int = 0
     purges: int = 0
     evictions: int = 0
+    #: Parity faults detected (injected corruption caught by hardware).
+    parity_faults: int = 0
     #: First-time referenced/dirty bit updates that would be written
     #: back to the in-DRAM table (Section 3.4 notes the simulated MTLB
     #: skipped this; ablation A9 charges it and checks "negligible").
@@ -74,6 +78,9 @@ class _Way:
     #: cached copy (further accesses need no table update).
     ref_written: bool = False
     dirty_written: bool = False
+    #: A first-time accounting-bit write-back was dropped (injected
+    #: fault); the next qualifying access retries it.
+    dropped_bit_write: bool = False
 
 
 class Mtlb:
@@ -88,6 +95,7 @@ class Mtlb:
         table: ShadowPageTable,
         entries: int = 128,
         associativity: int = 2,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if entries <= 0:
             raise ValueError("entries must be positive")
@@ -107,6 +115,9 @@ class Mtlb:
         self.num_sets = num_sets
         self._set_mask = num_sets - 1
         self._sets: List[Dict[int, _Way]] = [dict() for _ in range(num_sets)]
+        #: Fault-injection schedule; None disables every injection site
+        #: (and every PRNG draw), keeping the fault layer a strict no-op.
+        self.fault_plan = fault_plan
         self.stats = MtlbStats()
         #: Set by :meth:`access` when the access updated an accounting
         #: bit for the first time on this cached way; the MMC consumes
@@ -121,25 +132,42 @@ class Mtlb:
         """Return the cached way for *shadow_index* without counting stats."""
         return self._sets[shadow_index & self._set_mask].get(shadow_index)
 
-    def access(self, shadow_index: int, is_write: bool) -> Tuple[int, bool]:
+    def access(
+        self, shadow_index: int, is_write: bool, inject: bool = True
+    ) -> Tuple[int, bool]:
         """Translate shadow base page *shadow_index* to a real PFN.
 
         Returns ``(pfn, filled)`` where *filled* is True if the access
         missed in the MTLB and required a hardware fill (one DRAM access,
         which the caller charges for).  Updates the per-base-page
         referenced/dirty bits in the shadow page table.  Raises
-        :class:`MtlbFault` if the mapping is not valid.
+        :class:`MtlbFault` if the mapping is not valid and
+        :class:`~repro.errors.MtlbParityFault` if (injected) corruption
+        trips the parity check on a cached way or a fill read.
+
+        *inject* gates the fault-injection sites: the writeback path
+        passes False, because parity recovery needs kernel service that
+        the (buffered, non-faulting) writeback path cannot deliver —
+        faults are modelled on the fill/translation path only.
         """
         self.stats.lookups += 1
+        plan = self.fault_plan if inject else None
         way_set = self._sets[shadow_index & self._set_mask]
         way = way_set.get(shadow_index)
         filled = False
         if way is not None:
             self.stats.hits += 1
+            if plan is not None and plan.fires(MTLB_PARITY):
+                # The cached way's parity check trips: hardware drops
+                # the way and signals a precise parity fault for the
+                # kernel to flush-and-refill.
+                del way_set[shadow_index]
+                self.stats.parity_faults += 1
+                raise MtlbParityFault(shadow_index, origin="mtlb")
             way.nru_referenced = True
         else:
             self.stats.misses += 1
-            way = self._fill(shadow_index, way_set)
+            way = self._fill(shadow_index, way_set, plan)
             filled = True
         if not way.valid:
             self.stats.faults += 1
@@ -147,23 +175,55 @@ class Mtlb:
             raise MtlbFault(shadow_index, is_write)
         self.pending_bit_write = False
         if is_write:
-            self.table.set_dirty(shadow_index)
-            if not way.dirty_written:
-                way.dirty_written = True
-                way.ref_written = True
-                self.pending_bit_write = True
-                self.stats.bit_writebacks += 1
+            first = not way.dirty_written
+            if first and plan is not None and plan.fires(DIRTY_DROP):
+                way.dropped_bit_write = True
+            else:
+                self.table.set_dirty(shadow_index)
+                if first:
+                    way.dirty_written = True
+                    way.ref_written = True
+                    self._complete_bit_write(way)
         else:
-            self.table.set_referenced(shadow_index)
-            if not way.ref_written:
-                way.ref_written = True
-                self.pending_bit_write = True
-                self.stats.bit_writebacks += 1
+            first = not way.ref_written
+            if first and plan is not None and plan.fires(DIRTY_DROP):
+                way.dropped_bit_write = True
+            else:
+                self.table.set_referenced(shadow_index)
+                if first:
+                    way.ref_written = True
+                    self._complete_bit_write(way)
         return way.pfn, filled
 
-    def _fill(self, shadow_index: int, way_set: Dict[int, _Way]) -> _Way:
+    def _complete_bit_write(self, way: _Way) -> None:
+        """A first-time accounting-bit write-back reached the table."""
+        if way.dropped_bit_write:
+            # This write-back retries one that an injected fault
+            # dropped earlier: the retry *is* the recovery.
+            way.dropped_bit_write = False
+            if self.fault_plan is not None:
+                self.fault_plan.record_recovery(DIRTY_DROP)
+        self.pending_bit_write = True
+        self.stats.bit_writebacks += 1
+
+    def _fill(
+        self,
+        shadow_index: int,
+        way_set: Dict[int, _Way],
+        plan: Optional[FaultPlan] = None,
+    ) -> _Way:
         """Hardware fill: load the packed entry from the in-DRAM table."""
         self.stats.fills += 1
+        if plan is not None and plan.fires(SHADOW_BITFLIP):
+            # A bit of the in-DRAM entry flips just as the fill engine
+            # reads it; the corruption persists in the table until the
+            # kernel scrubs and rewrites the entry.
+            self.table.corrupt(
+                shadow_index, plan.choose_bit(SHADOW_BITFLIP)
+            )
+        if not self.table.parity_ok(shadow_index):
+            self.stats.parity_faults += 1
+            raise MtlbParityFault(shadow_index, origin="table")
         raw = self.table.read_raw(shadow_index)
         way = _Way(
             shadow_index=shadow_index,

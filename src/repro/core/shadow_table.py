@@ -15,7 +15,7 @@ the simulator a DRAM access.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional, Tuple
+from typing import Iterator, List, Optional, Tuple
 
 import numpy as np
 
@@ -90,6 +90,10 @@ class ShadowPageTable:
         self.memory_map = memory_map
         self.table_base = table_base
         self._entries = np.zeros(memory_map.shadow_pages, dtype=np.uint32)
+        #: Indices whose stored entry has bad parity (fault injection
+        #: corrupted it in "DRAM").  Hardware reads check this; any OS
+        #: write to an entry rewrites it wholesale and restores parity.
+        self._bad_parity: set = set()
 
     # ------------------------------------------------------------------ #
     # Geometry
@@ -126,10 +130,12 @@ class ShadowPageTable:
         if valid:
             raw |= VALID_BIT
         self._entries[shadow_index] = raw
+        self._bad_parity.discard(shadow_index)
 
     def clear_mapping(self, shadow_index: int) -> None:
         """Remove the mapping for one shadow base page entirely."""
         self._entries[shadow_index] = 0
+        self._bad_parity.discard(shadow_index)
 
     def invalidate(self, shadow_index: int, fault: bool = False) -> None:
         """Mark a mapping not-present (e.g. its base page was paged out).
@@ -158,6 +164,7 @@ class ShadowPageTable:
         raw |= VALID_BIT
         raw &= ~FAULT_BIT & 0xFFFFFFFF
         self._entries[shadow_index] = raw
+        self._bad_parity.discard(shadow_index)
 
     # ------------------------------------------------------------------ #
     # MTLB-side access
@@ -190,6 +197,46 @@ class ShadowPageTable:
     def clear_dirty(self, shadow_index: int) -> None:
         """Clear the dirty bit (after the OS cleans the base page)."""
         self._entries[shadow_index] &= np.uint32(~DIRTY_BIT & 0xFFFFFFFF)
+
+    # ------------------------------------------------------------------ #
+    # Fault injection / parity (DESIGN.md "Fault model and recovery")
+    # ------------------------------------------------------------------ #
+
+    def corrupt(self, shadow_index: int, bit: int) -> None:
+        """Flip one bit of the stored entry and mark its parity bad.
+
+        Models an in-DRAM bit flip.  Hardware that reads the entry
+        (:meth:`parity_ok`) detects the damage; the kernel repairs it by
+        rewriting the entry from its own records (:meth:`set_mapping`
+        and friends restore parity as a side effect of the full write).
+        """
+        if not 0 <= bit < 32:
+            raise ValueError(f"bit {bit} out of range 0..31")
+        self._entries[shadow_index] ^= np.uint32(1 << bit)
+        self._bad_parity.add(shadow_index)
+
+    def parity_ok(self, shadow_index: int) -> bool:
+        """True if the stored entry's parity is intact."""
+        return shadow_index not in self._bad_parity
+
+    def scrub(self, first_index: int, count: int) -> List[int]:
+        """Scan a run of entries; return the indices with bad parity.
+
+        This is the detection half of the kernel's scrub pass after a
+        parity fault.  The damaged entries' *content* is not trusted —
+        the caller must rewrite each returned index from authoritative
+        records (which restores parity via the full-entry write).
+        """
+        return [
+            idx
+            for idx in range(first_index, first_index + count)
+            if idx in self._bad_parity
+        ]
+
+    @property
+    def corrupt_entries(self) -> int:
+        """Number of entries currently carrying bad parity."""
+        return len(self._bad_parity)
 
     # ------------------------------------------------------------------ #
     # Iteration helpers used by the pager

@@ -1,0 +1,142 @@
+"""One exception hierarchy for the whole reproduction.
+
+Every failure the simulator can signal derives from :class:`ReproError`,
+so callers (the benchmark harness, the CLI's ``--keep-going`` mode, and
+tests) can distinguish *modelled* failures from genuine Python bugs with
+a single ``except`` clause.  The hierarchy splits into:
+
+* **protocol/consistency errors** — the simulated OS or hardware did
+  something the paper's design forbids (:class:`SimulationError` and its
+  subclasses).  These indicate a bug in the model and should never be
+  swallowed;
+* **fault-model errors** — injected hardware faults surfacing through
+  their architected detection paths (:class:`MtlbParityFault`,
+  :class:`UnrecoverableMemoryError`).  The kernel's recovery protocols
+  handle the recoverable ones;
+* **harness errors** — resource/robustness limits of the benchmark
+  harness itself (:class:`TraceCacheCorrupt`,
+  :class:`ReferenceBudgetExceeded`).
+
+A few classes double-inherit from the builtin exception they historically
+were (``AssertionError``, ``RuntimeError``) so existing callers keep
+working while new code can catch the typed form.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for every error the reproduction raises deliberately."""
+
+
+# ---------------------------------------------------------------------- #
+# Protocol / consistency errors (model bugs; never expected in a run)
+# ---------------------------------------------------------------------- #
+
+
+class SimulationError(ReproError):
+    """An inconsistency the simulated OS/hardware should never produce."""
+
+
+class StaleSystemError(SimulationError, RuntimeError):
+    """A :class:`~repro.sim.system.System` was asked to run twice.
+
+    One System instance is one machine for one run; reusing it would mix
+    warmed-up hardware state into a "fresh boot" measurement.
+    """
+
+
+class StatsConsistencyError(SimulationError, AssertionError):
+    """The disjoint cycle categories of a run do not sum to its total."""
+
+
+class SilentCorruption(SimulationError):
+    """The oracle checker caught a translation no recovery path fixed.
+
+    Raised by the opt-in differential checker
+    (``SystemConfig.check_translations``) when the MMC's answer for a
+    shadow address disagrees with the shadow page table or the kernel's
+    own superpage records — i.e. an injected fault escaped every
+    detection/recovery mechanism and would have produced wrong numbers.
+    """
+
+    def __init__(
+        self, shadow_index: int, hardware_pfn: int, expected_pfn: int
+    ) -> None:
+        super().__init__(
+            f"silent corruption on shadow page {shadow_index:#x}: "
+            f"hardware translated to pfn {hardware_pfn:#x}, "
+            f"oracle expected {expected_pfn:#x}"
+        )
+        self.shadow_index = shadow_index
+        self.hardware_pfn = hardware_pfn
+        self.expected_pfn = expected_pfn
+
+
+# ---------------------------------------------------------------------- #
+# Fault-model errors (architected detection of injected hardware faults)
+# ---------------------------------------------------------------------- #
+
+
+class MtlbParityFault(ReproError):
+    """The MTLB detected bad parity on a cached or in-DRAM entry.
+
+    The paper's Section 4 signalling in reverse: instead of the OS using
+    deliberate bad parity to fault accesses, here real (injected)
+    corruption trips the parity check.  ``origin`` says which copy was
+    bad: ``"mtlb"`` (a cached way) or ``"table"`` (the in-DRAM shadow
+    page table entry read by the fill engine).  The kernel recovers with
+    a flush-and-refill plus a shadow-table scrub.
+    """
+
+    def __init__(self, shadow_index: int, origin: str) -> None:
+        super().__init__(
+            f"MTLB parity fault on shadow page {shadow_index:#x} "
+            f"({origin} copy)"
+        )
+        self.shadow_index = shadow_index
+        self.origin = origin
+
+
+class UnrecoverableMemoryError(ReproError):
+    """A transient bus/DRAM error persisted past the MMC's retry bound."""
+
+    def __init__(self, paddr: int, attempts: int) -> None:
+        super().__init__(
+            f"memory access at {paddr:#010x} still failing after "
+            f"{attempts} retries"
+        )
+        self.paddr = paddr
+        self.attempts = attempts
+
+
+# ---------------------------------------------------------------------- #
+# Harness errors (benchmark-runner robustness limits)
+# ---------------------------------------------------------------------- #
+
+
+class TraceCacheCorrupt(ReproError):
+    """A cached trace file failed its checksum or is truncated.
+
+    The harness treats this as a cache miss: warn, delete, regenerate.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"trace cache file {path} is corrupt: {reason}")
+        self.path = path
+        self.reason = reason
+
+
+class ReferenceBudgetExceeded(ReproError):
+    """A run would exceed the harness's per-run reference budget.
+
+    Guards ``repro-bench all`` against one pathological (workload,
+    config) cell running unbounded.
+    """
+
+    def __init__(self, references: int, budget: int) -> None:
+        super().__init__(
+            f"run needs {references} references, budget is {budget}"
+        )
+        self.references = references
+        self.budget = budget

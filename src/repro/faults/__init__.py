@@ -1,0 +1,27 @@
+"""Deterministic fault injection and recovery accounting.
+
+See :mod:`repro.faults.plan` for the model and DESIGN.md's "Fault model
+and recovery" section for the injection sites and recovery protocols.
+"""
+
+from .plan import (
+    DIRTY_DROP,
+    DRAM_TRANSIENT,
+    FAULT_SITES,
+    MTLB_PARITY,
+    SHADOW_BITFLIP,
+    FaultConfig,
+    FaultPlan,
+    FaultStats,
+)
+
+__all__ = [
+    "DIRTY_DROP",
+    "DRAM_TRANSIENT",
+    "FAULT_SITES",
+    "MTLB_PARITY",
+    "SHADOW_BITFLIP",
+    "FaultConfig",
+    "FaultPlan",
+    "FaultStats",
+]

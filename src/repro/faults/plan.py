@@ -1,0 +1,176 @@
+"""Deterministic fault injection: configuration, schedule, accounting.
+
+The paper argues MMC-level translation is safe to put on the critical
+path because the OS can always *detect and repair* inconsistencies
+(parity on MTLB entries, flush-on-remap, per-base-page dirty bits).  To
+test those recovery paths the simulator can inject faults at four named
+sites:
+
+* ``mtlb_parity`` — a cached MTLB way is corrupted; the parity check
+  trips on the next access and the kernel flush-and-refills;
+* ``shadow_bitflip`` — a bit flips in the in-DRAM shadow-table entry the
+  fill engine is reading; detected by parity at fill time and repaired
+  by the kernel's scrub from its own superpage records;
+* ``dirty_drop`` — the MTLB's write-back of a first-time
+  referenced/dirty bit to the in-DRAM table is dropped; the cached way
+  forgets it wrote the bit, so the next access retries (the recovery is
+  the retry);
+* ``dram_transient`` — a transient bus/DRAM error on a memory access;
+  the MMC retries with bounded exponential backoff.
+
+Injection is **deterministic**: each site owns a private PRNG seeded
+from ``(config.seed, site)`` and a monotonically increasing reference
+counter, so the same :class:`FaultConfig` produces the same fault
+schedule regardless of how sites interleave.  A fault fires either
+probabilistically (``rate``) or exactly at the site's N-th consultation
+(``triggers``), which is what directed tests use.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+#: The named injection sites, in documentation order.
+MTLB_PARITY = "mtlb_parity"
+SHADOW_BITFLIP = "shadow_bitflip"
+DIRTY_DROP = "dirty_drop"
+DRAM_TRANSIENT = "dram_transient"
+
+FAULT_SITES: Tuple[str, ...] = (
+    MTLB_PARITY,
+    SHADOW_BITFLIP,
+    DIRTY_DROP,
+    DRAM_TRANSIENT,
+)
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault-injection knobs; the all-zero default is a strict no-op.
+
+    ``triggers`` pins faults to exact consultation counts — a pair
+    ``(site, n)`` fires the site's fault on its *n*-th consultation
+    (1-based), independent of the probabilistic rates.  Rates are
+    per-consultation probabilities in ``[0, 1]``.
+    """
+
+    seed: int = 1998
+    mtlb_parity_rate: float = 0.0
+    shadow_bitflip_rate: float = 0.0
+    dirty_drop_rate: float = 0.0
+    dram_transient_rate: float = 0.0
+    #: Exact-fire points: ((site, consultation_number), ...), 1-based.
+    triggers: Tuple[Tuple[str, int], ...] = ()
+    #: MMC retry bound for transient memory errors; past this the access
+    #: raises :class:`~repro.errors.UnrecoverableMemoryError`.
+    max_retries: int = 4
+    #: First-retry backoff in MMC cycles; doubles per further retry.
+    retry_backoff_cycles: int = 4
+
+    def __post_init__(self) -> None:
+        for site in FAULT_SITES:
+            rate = getattr(self, f"{site}_rate")
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(
+                    f"{site}_rate must be in [0, 1], got {rate}"
+                )
+        for site, count in self.triggers:
+            if site not in FAULT_SITES:
+                raise ValueError(f"unknown fault site {site!r}")
+            if count < 1:
+                raise ValueError(
+                    f"trigger counts are 1-based, got {count} for {site}"
+                )
+        if self.max_retries < 1:
+            raise ValueError("max_retries must be at least 1")
+        if self.retry_backoff_cycles < 0:
+            raise ValueError("retry_backoff_cycles must be non-negative")
+
+    def rate_of(self, site: str) -> float:
+        """Return the probabilistic rate configured for *site*."""
+        return getattr(self, f"{site}_rate")
+
+    @property
+    def enabled(self) -> bool:
+        """True if any fault can ever fire (rates or triggers set)."""
+        return bool(self.triggers) or any(
+            self.rate_of(site) > 0.0 for site in FAULT_SITES
+        )
+
+
+@dataclass
+class FaultStats:
+    """Injection/recovery accounting, per site and in total."""
+
+    injected: Dict[str, int] = field(
+        default_factory=lambda: {site: 0 for site in FAULT_SITES}
+    )
+    recovered: Dict[str, int] = field(
+        default_factory=lambda: {site: 0 for site in FAULT_SITES}
+    )
+
+    @property
+    def total_injected(self) -> int:
+        """Total faults injected across all sites."""
+        return sum(self.injected.values())
+
+    @property
+    def total_recovered(self) -> int:
+        """Total faults the system recovered from, across all sites."""
+        return sum(self.recovered.values())
+
+
+class FaultPlan:
+    """The seeded, per-site fault schedule for one simulated run.
+
+    Hardware components consult :meth:`fires` at their injection sites;
+    recovery code reports success through :meth:`record_recovery`.  The
+    fired-fault schedule (``(site, consultation_number)`` pairs) is kept
+    so tests can assert determinism: same config ⇒ same schedule.
+    """
+
+    def __init__(self, config: FaultConfig) -> None:
+        self.config = config
+        self._rngs: Dict[str, random.Random] = {
+            site: random.Random(f"{config.seed}:{site}")
+            for site in FAULT_SITES
+        }
+        self._counts: Dict[str, int] = {site: 0 for site in FAULT_SITES}
+        self._triggers: Dict[str, set] = {site: set() for site in FAULT_SITES}
+        for site, count in config.triggers:
+            self._triggers[site].add(count)
+        self.stats = FaultStats()
+        #: Every fired fault as (site, consultation_number), in order.
+        self.schedule: List[Tuple[str, int]] = []
+
+    def fires(self, site: str) -> bool:
+        """Consult the plan at *site*; True means inject a fault now.
+
+        Every consultation advances the site's counter and (when the
+        site has a nonzero rate) its PRNG, so the decision sequence is a
+        pure function of the config — independent of the other sites.
+        """
+        count = self._counts[site] + 1
+        self._counts[site] = count
+        fired = count in self._triggers[site]
+        rate = self.config.rate_of(site)
+        if rate > 0.0 and self._rngs[site].random() < rate:
+            fired = True
+        if fired:
+            self.stats.injected[site] += 1
+            self.schedule.append((site, count))
+        return fired
+
+    def choose_bit(self, site: str, width: int = 28) -> int:
+        """Pick which bit a fired corruption flips (deterministic)."""
+        return self._rngs[site].randrange(width)
+
+    def record_recovery(self, site: str) -> None:
+        """Count one successful recovery at *site*."""
+        self.stats.recovered[site] += 1
+
+    def consultations(self, site: str) -> int:
+        """How many times *site* has been consulted so far."""
+        return self._counts[site]

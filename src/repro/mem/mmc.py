@@ -21,6 +21,8 @@ from typing import Optional
 from ..core.addrspace import BASE_PAGE_MASK, BASE_PAGE_SHIFT, PhysicalMemoryMap
 from ..core.mtlb import Mtlb, MtlbFault
 from ..core.shadow_table import ShadowPageTable
+from ..errors import UnrecoverableMemoryError
+from ..faults import DRAM_TRANSIENT, FaultPlan
 from .dram import Dram
 from .stream_buffers import StreamBufferUnit
 
@@ -62,6 +64,8 @@ class MmcStats:
     control_writes: int = 0
     #: Total MMC-side latency of all fills, in CPU cycles (Figure 4(B)).
     fill_cpu_cycles: int = 0
+    #: Injected transient bus/DRAM errors retried successfully.
+    transient_retries: int = 0
 
     @property
     def avg_fill_cpu_cycles(self) -> float:
@@ -92,6 +96,7 @@ class MemoryController:
         shadow_table: Optional[ShadowPageTable] = None,
         mtlb: Optional[Mtlb] = None,
         stream_buffers: Optional[StreamBufferUnit] = None,
+        fault_plan: Optional[FaultPlan] = None,
     ) -> None:
         if (mtlb is None) != (shadow_table is None):
             raise ValueError(
@@ -106,12 +111,40 @@ class MemoryController:
         #: streams past the (retranslated) real addresses.  Timing only;
         #: functional data never lives in the buffers.
         self.stream_buffers = stream_buffers
+        #: Fault-injection schedule; None makes every access go straight
+        #: to DRAM with no retry logic (and no PRNG draws).
+        self.fault_plan = fault_plan
         self.stats = MmcStats()
 
     @property
     def has_mtlb(self) -> bool:
         """True if this controller retranslates shadow addresses."""
         return self.mtlb is not None
+
+    def _dram_access(self, paddr: int) -> int:
+        """One DRAM access, retrying injected transient errors.
+
+        Returns MMC cycles.  When the fault plan injects a transient
+        bus/DRAM error, the MMC retries with exponential backoff
+        (``retry_backoff_cycles`` doubling per attempt) up to
+        ``max_retries`` times; an error that persists past the bound
+        raises :class:`~repro.errors.UnrecoverableMemoryError`.
+        """
+        cycles = self.dram.access_cycles(paddr)
+        plan = self.fault_plan
+        if plan is None:
+            return cycles
+        attempts = 0
+        while plan.fires(DRAM_TRANSIENT):
+            attempts += 1
+            if attempts > plan.config.max_retries:
+                raise UnrecoverableMemoryError(paddr, attempts)
+            cycles += plan.config.retry_backoff_cycles << (attempts - 1)
+            cycles += self.dram.access_cycles(paddr)
+        if attempts:
+            self.stats.transient_retries += attempts
+            plan.record_recovery(DRAM_TRANSIENT)
+        return cycles
 
     # ------------------------------------------------------------------ #
     # Bus-visible operations
@@ -143,9 +176,9 @@ class MemoryController:
             if mtlb_filled:
                 # Hardware fill: one DRAM access to the flat table entry.
                 entry_paddr = self.shadow_table.entry_paddr(shadow_index)
-                mmc_cycles += self.dram.access_cycles(entry_paddr)
+                mmc_cycles += self._dram_access(entry_paddr)
             if timing.bit_writeback and self.mtlb.pending_bit_write:
-                mmc_cycles += self.dram.access_cycles(
+                mmc_cycles += self._dram_access(
                     self.shadow_table.entry_paddr(shadow_index)
                 )
             real_paddr = (pfn << BASE_PAGE_SHIFT) | (paddr & BASE_PAGE_MASK)
@@ -160,7 +193,7 @@ class MemoryController:
         if buffered is not None:
             mmc_cycles += buffered
         else:
-            mmc_cycles += self.dram.access_cycles(real_paddr)
+            mmc_cycles += self._dram_access(real_paddr)
         cpu_cycles = mmc_cycles * timing.cpu_cycles_per_mmc_cycle
         self.stats.fills += 1
         self.stats.fill_cpu_cycles += cpu_cycles
@@ -190,7 +223,12 @@ class MemoryController:
                 paddr - self.memory_map.shadow_base
             ) >> BASE_PAGE_SHIFT
             try:
-                pfn, filled = self.mtlb.access(shadow_index, True)
+                # inject=False: writebacks are buffered and cannot take
+                # a kernel-serviced parity fault; injection happens on
+                # the fill/translation path only.
+                pfn, filled = self.mtlb.access(
+                    shadow_index, True, inject=False
+                )
             except MtlbFault as exc:
                 raise AssertionError(
                     "writeback faulted: the OS must flush dirty data before "
@@ -198,12 +236,12 @@ class MemoryController:
                 ) from exc
             if filled:
                 entry_paddr = self.shadow_table.entry_paddr(shadow_index)
-                mmc_cycles += self.dram.access_cycles(entry_paddr)
+                mmc_cycles += self._dram_access(entry_paddr)
             real_paddr = (pfn << BASE_PAGE_SHIFT) | (paddr & BASE_PAGE_MASK)
             self.stats.shadow_writebacks += 1
         elif not self.memory_map.is_dram(paddr):
             raise BadPhysicalAddress(paddr)
-        mmc_cycles += self.dram.access_cycles(real_paddr)
+        mmc_cycles += self._dram_access(real_paddr)
         self.stats.writebacks += 1
         return mmc_cycles * timing.cpu_cycles_per_mmc_cycle
 

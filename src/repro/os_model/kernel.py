@@ -21,6 +21,7 @@ from ..core.addrspace import (
 )
 from ..core.shadow_space import BucketShadowAllocator
 from ..core.shadow_table import ENTRY_BYTES
+from ..errors import SimulationError
 from .frames import FrameAllocator
 from .hpt import HashedPageTable
 from .paging import Pager, PagingCosts
@@ -45,6 +46,11 @@ class KernelCosts:
     exit: int = 150_000
     timer_tick: int = 400
     timer_interval: int = 2_400_000  # 10 ms at 240 MHz
+    #: Trap entry/decode for an MTLB parity fault (flush-and-refill path).
+    parity_fault_overhead: int = 3_000
+    #: Per-entry cost of the shadow-table scrub pass after a parity
+    #: fault (read + parity verify of one 4-byte entry).
+    scrub_entry: int = 25
 
 
 @dataclass
@@ -70,6 +76,10 @@ class KernelStats:
     remapped_pages: int = 0
     remapped_superpages: int = 0
     mtlb_faults_serviced: int = 0
+    #: MTLB parity faults recovered by flush-and-refill + scrub.
+    parity_faults_serviced: int = 0
+    #: Shadow-table entries rewritten from kernel records during scrubs.
+    scrub_rewrites: int = 0
 
 
 class MiniKernel:
@@ -91,6 +101,7 @@ class MiniKernel:
         seed: int = 1998,
         promotion_config: PromotionConfig = PromotionConfig(),
         all_shadow: bool = False,
+        degradation_policy: str = "demote",
     ) -> None:
         self.memory_map = memory_map
         self.costs = costs
@@ -109,6 +120,7 @@ class MiniKernel:
             shadow_allocator=shadow_allocator,
             hpt=self.hpt,
             costs=vm_costs,
+            degradation=degradation_policy,
         )
         self.pager = Pager(self.vm, paging_costs)
         self.promotion = PromotionEngine(self, promotion_config)
@@ -222,6 +234,56 @@ class MiniKernel:
         """Service an MTLB precise fault: page the base page back in."""
         self.stats.mtlb_faults_serviced += 1
         return self.pager.page_in(shadow_index)
+
+    def handle_parity_fault(self, shadow_index: int) -> int:
+        """Recover from an MTLB parity fault; returns the cycle cost.
+
+        Recovery is the paper's flush-and-refill: cached MTLB state is
+        disposable (the shadow table is authoritative), so the kernel
+        purges the whole MTLB, then scrubs the shadow-table entries of
+        the superpage containing *shadow_index* and rewrites any entry
+        whose parity is bad from its own :class:`ShadowSuperpage`
+        records.  Raises :class:`~repro.errors.SimulationError` if a
+        damaged entry has no owning record to rebuild from.
+        """
+        machine = self.vm._require_machine()
+        mmc = machine.mmc
+        self.stats.parity_faults_serviced += 1
+        cycles = self.costs.parity_fault_overhead
+
+        # Flush-and-refill: drop every cached translation (one uncached
+        # control-register write covers the purge command).
+        mmc.mtlb.purge_all()
+        cycles += machine.uncached_mmc_write()
+
+        # Scrub the containing superpage's table entries; a fault with
+        # no owning record (e.g. a corrupted all-shadow base page) scrubs
+        # just the faulting entry.
+        record = self.vm.record_for_shadow_index(shadow_index)
+        if record is not None:
+            first = record.first_shadow_index
+            count = record.base_pages
+        else:
+            first, count = shadow_index, 1
+        damaged = mmc.shadow_table.scrub(first, count)
+        cycles += count * self.costs.scrub_entry
+
+        for idx in damaged:
+            if record is None:
+                raise SimulationError(
+                    f"parity-damaged shadow entry {idx:#x} has no owning "
+                    "superpage record to rebuild from"
+                )
+            pfn = record.pfns[idx - first]
+            if pfn is None:
+                # Base page is swapped out: rewrite as not-present; the
+                # pager restores the PFN on page-in.
+                mmc.write_mapping(idx, 0, valid=False)
+            else:
+                mmc.write_mapping(idx, pfn, valid=True)
+            cycles += machine.uncached_mmc_write()
+            self.stats.scrub_rewrites += 1
+        return cycles
 
     # ------------------------------------------------------------------ #
     # Accounting helpers

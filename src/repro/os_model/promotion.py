@@ -150,8 +150,14 @@ class PromotionEngine:
                 candidate.process, candidate.vaddr, candidate.length
             )
         except ShadowSpaceExhausted:
+            # degradation_policy="abort": the remap refuses outright.
             self.stats.exhaustion_failures += 1
             return 0
+        if report.superpages_created == 0:
+            # degradation_policy="demote": graceful degradation left the
+            # whole region on base pages — promotion achieved nothing.
+            self.stats.exhaustion_failures += 1
+            return report.total_cycles
         self.stats.promotions += 1
         self.stats.promoted_pages += report.pages_remapped
         self.stats.promotion_cycles += report.total_cycles

@@ -26,11 +26,12 @@ from typing import Dict, List, Optional
 from ..core.addrspace import (
     BASE_PAGE_SHIFT,
     BASE_PAGE_SIZE,
+    SUPERPAGE_SIZES,
     PhysicalMemoryMap,
     align_up,
 )
 from ..core.remap import SuperpagePlan, plan_superpages
-from ..core.shadow_space import ShadowRegion
+from ..core.shadow_space import ShadowRegion, ShadowSpaceExhausted
 from .frames import FrameAllocator, frames_for_bytes
 from .hpt import HashedPageTable
 from .page_table import MappingError
@@ -94,6 +95,12 @@ class RemapReport:
     flush_cycles: int = 0
     other_cycles: int = 0
     dirty_lines_written: int = 0
+    #: Planned superpages that could not get shadow space and were
+    #: demoted to smaller shadow superpages or left on base pages.
+    degraded_superpages: int = 0
+    #: Base pages left on conventional mappings because even the
+    #: smallest shadow superpage could not be allocated.
+    fallback_pages: int = 0
 
     @property
     def total_cycles(self) -> int:
@@ -119,17 +126,30 @@ class VmSubsystem:
         shadow_allocator,
         hpt: HashedPageTable,
         costs: VmCosts = VmCosts(),
+        degradation: str = "demote",
     ) -> None:
+        if degradation not in ("demote", "abort"):
+            raise ValueError(
+                f"degradation must be 'demote' or 'abort', got {degradation!r}"
+            )
         self.memory_map = memory_map
         self.frames = frames
         self.shadow_allocator = shadow_allocator
         self.hpt = hpt
         self.costs = costs
+        #: Shadow-space exhaustion policy: "demote" retries each failed
+        #: superpage as four quarter-size shadow superpages (falling back
+        #: to the existing base-page mapping below 16 KB); "abort"
+        #: propagates :class:`~repro.core.shadow_space.ShadowSpaceExhausted`.
+        self.degradation = degradation
         self.machine = None
         #: shadow region base -> live superpage record.
         self.shadow_superpages: Dict[int, ShadowSuperpage] = {}
         #: regions consumed by all-shadow base-page mappings (Section 4).
         self._all_shadow_regions: List[ShadowRegion] = []
+        #: Cumulative count of degraded (demoted or base-fallback)
+        #: superpage plans across all remaps; harvested into RunStats.
+        self.degraded_remap_events = 0
 
     def attach_machine(self, machine) -> None:
         """Install the machine port (called by the System at build time)."""
@@ -254,6 +274,7 @@ class VmSubsystem:
         plans = plan_superpages(vstart, length)
         for plan in plans:
             self._remap_one(process, plan, report, machine)
+        self.degraded_remap_events += report.degraded_superpages
         return report
 
     def _remap_one(
@@ -284,7 +305,28 @@ class VmSubsystem:
                 )
             pfns.append(mapping.pbase >> BASE_PAGE_SHIFT)
 
-        region = self.shadow_allocator.allocate(plan.size)
+        try:
+            region = self.shadow_allocator.allocate(plan.size)
+        except ShadowSpaceExhausted:
+            if self.degradation != "demote":
+                raise
+            # Graceful degradation: no shadow space at this size.  Demote
+            # to four quarter-size shadow superpages (which the buddy or
+            # bucket allocator may still satisfy); below the minimum
+            # superpage size, leave the region on its existing base-page
+            # mappings.  Nothing has been mutated yet, so backing out is
+            # free.
+            report.degraded_superpages += 1
+            if plan.size > SUPERPAGE_SIZES[0]:
+                quarter = plan.size // 4
+                for k in range(4):
+                    sub = SuperpagePlan(
+                        vaddr=plan.vaddr + k * quarter, size=quarter
+                    )
+                    self._remap_one(process, sub, report, machine)
+            else:
+                report.fallback_pages += pages
+            return
         report.other_cycles += self.costs.remap_superpage
 
         # Flush the region from the cache *before* the mapping changes,

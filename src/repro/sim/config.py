@@ -22,6 +22,7 @@ from typing import Dict
 
 from ..core.addrspace import PhysicalMemoryMap
 from ..cpu.miss_handler import MissHandlerCosts
+from ..faults import FaultConfig
 from ..mem.bus import BusTiming
 from ..mem.dram import DramTiming
 from ..mem.mmc import MmcTiming
@@ -111,6 +112,21 @@ class SystemConfig:
     #: micro-ITLB model (one 4 KB page of PA-RISC-ish code is ~1024
     #: instructions; loops re-execute pages, so transitions are rarer).
     ifetch_page_instructions: int = 4096
+    #: Deterministic fault injection (DESIGN.md "Fault model and
+    #: recovery").  The all-zero default is a strict no-op: no
+    #: FaultPlan is built and no PRNG is ever consulted, so results are
+    #: bit-identical to a build without the fault layer.
+    faults: FaultConfig = FaultConfig()
+    #: Oracle translation checker: cross-validate every Nth shadow
+    #: translation against the shadow page table and the kernel's
+    #: superpage records, raising
+    #: :class:`~repro.errors.SilentCorruption` on any escape.  0 (the
+    #: default) disables the checker entirely.
+    check_translations: int = 0
+    #: Shadow-space exhaustion policy: demote failed superpage plans to
+    #: smaller shadow superpages / base pages ("demote"), or propagate
+    #: ShadowSpaceExhausted ("abort").
+    degradation_policy: str = "demote"
 
     def __post_init__(self) -> None:
         if self.use_superpages and not self.mtlb.enabled:
@@ -127,6 +143,13 @@ class SystemConfig:
             raise ValueError(
                 "all-shadow base mappings cannot be promoted in place; "
                 "run all-shadow with use_superpages=False"
+            )
+        if self.check_translations < 0:
+            raise ValueError("check_translations must be >= 0")
+        if self.degradation_policy not in ("demote", "abort"):
+            raise ValueError(
+                "degradation_policy must be 'demote' or 'abort', "
+                f"got {self.degradation_policy!r}"
             )
 
     @property

@@ -24,6 +24,7 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..core.addrspace import BASE_PAGE_SHIFT
+from ..errors import StaleSystemError
 from ..trace.trace import Segment, Trace
 from .config import SystemConfig
 from .results import RunResult
@@ -96,7 +97,7 @@ class MultiProgram:
         """Simulate the job mix from boot through the last exit."""
         system = System(self.config)
         if system._ran:  # pragma: no cover - defensive
-            raise RuntimeError("stale System")
+            raise StaleSystemError("stale System")
         system._ran = True  # this driver owns the machine
         stats = system.stats
         kernel = system.kernel

@@ -5,6 +5,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict
 
+from ..errors import StatsConsistencyError
+
 
 @dataclass
 class RunStats:
@@ -51,6 +53,15 @@ class RunStats:
     remap_pages: int = 0
     remap_cycles: int = 0
     remap_flush_cycles: int = 0
+
+    #: Fault injection / recovery (zero unless a FaultConfig is set).
+    faults_injected: int = 0
+    faults_recovered: int = 0
+    #: Superpage plans demoted or left on base pages because shadow
+    #: space was exhausted (graceful-degradation path).
+    degraded_remaps: int = 0
+    #: Oracle translation cross-checks performed (check_translations=N).
+    oracle_checks: int = 0
 
     extra: Dict[str, float] = field(default_factory=dict)
 
@@ -106,7 +117,8 @@ class RunStats:
         )
 
     def check_consistency(self) -> None:
-        """Raise AssertionError if the cycle categories do not add up."""
+        """Raise :class:`~repro.errors.StatsConsistencyError` if the
+        cycle categories do not add up to the reported total."""
         parts = (
             self.instruction_cycles
             + self.memory_stall_cycles
@@ -114,7 +126,7 @@ class RunStats:
             + self.kernel_cycles
         )
         if parts != self.total_cycles:
-            raise AssertionError(
+            raise StatsConsistencyError(
                 f"cycle categories sum to {parts}, total is "
                 f"{self.total_cycles}"
             )

@@ -26,6 +26,14 @@ from ..cpu.block_tlb import BlockTlb
 from ..cpu.micro_itlb import MicroItlb
 from ..cpu.miss_handler import PageFault, SoftwareMissHandler
 from ..cpu.tlb import Tlb
+from ..errors import (
+    MtlbParityFault,
+    ReferenceBudgetExceeded,
+    SilentCorruption,
+    SimulationError,
+    StaleSystemError,
+)
+from ..faults import MTLB_PARITY, SHADOW_BITFLIP, FAULT_SITES, FaultPlan
 from ..mem.bus import Bus
 from ..mem.cache import DirectMappedCache, build_cache
 from ..mem.dram import Dram
@@ -46,8 +54,7 @@ from .results import RunResult
 from .stats import RunStats
 
 
-class SimulationError(Exception):
-    """An inconsistency the simulated OS/hardware should never produce."""
+__all__ = ["SimulationError", "System", "simulate"]
 
 
 class System:
@@ -59,6 +66,13 @@ class System:
         self.dram = Dram(config.dram)
         self.bus = Bus(config.bus)
 
+        #: Built only when fault injection is configured: the disabled
+        #: path must be a strict no-op (no plan object, no PRNG draws,
+        #: bit-identical results).
+        self.fault_plan: Optional[FaultPlan] = (
+            FaultPlan(config.faults) if config.faults.enabled else None
+        )
+
         self.shadow_table: Optional[ShadowPageTable] = None
         self.mtlb: Optional[Mtlb] = None
         shadow_allocator: Optional[BucketShadowAllocator] = None
@@ -68,6 +82,7 @@ class System:
                 self.shadow_table,
                 entries=config.mtlb.entries,
                 associativity=config.mtlb.associativity,
+                fault_plan=self.fault_plan,
             )
             shadow_allocator = BucketShadowAllocator(mm)
 
@@ -82,6 +97,7 @@ class System:
             shadow_table=self.shadow_table,
             mtlb=self.mtlb,
             stream_buffers=stream_unit,
+            fault_plan=self.fault_plan,
         )
         self.cache = build_cache(
             config.cache.size_bytes,
@@ -101,6 +117,7 @@ class System:
             seed=config.seed,
             promotion_config=config.promotion,
             all_shadow=config.all_shadow,
+            degradation_policy=config.degradation_policy,
         )
         self.kernel.vm.attach_machine(self)
         self.block_tlb = BlockTlb(
@@ -115,6 +132,15 @@ class System:
         #: used by the init-cost and phase-analysis benches.
         self.segment_cycles: List[Tuple[str, int]] = []
         self._ran = False
+        #: Optional hard cap on references simulated (set by the bench
+        #: runner); exceeding it raises ReferenceBudgetExceeded.  Kept
+        #: off the config so budgeted and unbudgeted runs stay
+        #: config-identical.
+        self.reference_budget: Optional[int] = None
+        #: Oracle translation checker (config.check_translations = N):
+        #: every Nth shadow fill is cross-validated.
+        self._oracle_every = config.check_translations
+        self._oracle_count = 0
         self._ifetch_counter = 0
         self._ifetch_instr_accum = 0
         # Functional data store: real physical word address -> value, plus
@@ -224,7 +250,9 @@ class System:
     def run(self, trace: Trace) -> RunResult:
         """Simulate *trace* from boot through exit; returns the result."""
         if self._ran:
-            raise RuntimeError("a System instance simulates exactly one run")
+            raise StaleSystemError(
+                "a System instance simulates exactly one run"
+            )
         self._ran = True
         stats = self.stats
         kernel = self.kernel
@@ -279,6 +307,19 @@ class System:
             stats.mtlb_lookups = self.mtlb.stats.lookups
             stats.mtlb_misses = self.mtlb.stats.misses
             stats.mtlb_faults = self.mtlb.stats.faults
+        stats.degraded_remaps = self.kernel.vm.degraded_remap_events
+        plan = self.fault_plan
+        if plan is not None:
+            stats.faults_injected = plan.stats.total_injected
+            stats.faults_recovered = plan.stats.total_recovered
+            for site in FAULT_SITES:
+                if plan.stats.injected[site] or plan.stats.recovered[site]:
+                    stats.extra[f"faults_injected_{site}"] = (
+                        plan.stats.injected[site]
+                    )
+                    stats.extra[f"faults_recovered_{site}"] = (
+                        plan.stats.recovered[site]
+                    )
 
     # ================================================================== #
     # Kernel events
@@ -328,6 +369,12 @@ class System:
         vaddrs = seg.vaddrs.tolist()
         gaps = seg.gaps.tolist()
         n = len(vaddrs)
+
+        if self.reference_budget is not None:
+            if self.stats.references + n > self.reference_budget:
+                raise ReferenceBudgetExceeded(
+                    self.stats.references + n, self.reference_budget
+                )
 
         tlb = self.tlb
         by_size = tlb._by_size
@@ -442,14 +489,41 @@ class System:
         self.tlb.insert(result.entry)
         return result.entry, cycles
 
+    #: Bound on consecutive parity-fault recoveries for one fill; a
+    #: correctly scrubbing kernel converges in one pass, so hitting the
+    #: bound means recovery itself is broken (or injection rates are so
+    #: high every retry re-faults) and the fault should propagate.
+    _MAX_PARITY_RECOVERIES = 8
+
     def _fill_stall(self, paddr: int, op: int) -> int:
-        """Cache-fill stall for one miss; services MTLB faults inline."""
-        try:
-            fill = self.mmc.cache_fill(paddr, op == 1)
-        except MtlbFault as fault:
-            service = self.kernel.handle_mtlb_fault(fault.shadow_index)
-            self.stats.kernel_cycles += service
-            fill = self.mmc.cache_fill(paddr, op == 1)
+        """Cache-fill stall for one miss; services MTLB/parity faults
+        inline (page-in for precise MTLB faults, flush-and-refill plus a
+        shadow-table scrub for parity faults)."""
+        paged_in = False
+        parity_recoveries = 0
+        while True:
+            try:
+                fill = self.mmc.cache_fill(paddr, op == 1)
+                break
+            except MtlbParityFault as fault:
+                parity_recoveries += 1
+                if parity_recoveries > self._MAX_PARITY_RECOVERIES:
+                    raise
+                service = self.kernel.handle_parity_fault(fault.shadow_index)
+                self.stats.kernel_cycles += service
+                if self.fault_plan is not None:
+                    site = (
+                        MTLB_PARITY
+                        if fault.origin == "mtlb"
+                        else SHADOW_BITFLIP
+                    )
+                    self.fault_plan.record_recovery(site)
+            except MtlbFault as fault:
+                if paged_in:
+                    raise
+                paged_in = True
+                service = self.kernel.handle_mtlb_fault(fault.shadow_index)
+                self.stats.kernel_cycles += service
         stall = (
             self.bus.fill_request_cycles()
             + fill.cpu_cycles
@@ -457,7 +531,29 @@ class System:
         )
         self.stats.fills += 1
         self.stats.fill_stall_cycles += stall
+        if self._oracle_every and self.mmc.memory_map.is_shadow(paddr):
+            self._oracle_count += 1
+            if self._oracle_count % self._oracle_every == 0:
+                self._oracle_check(paddr, fill.real_paddr)
         return stall
+
+    def _oracle_check(self, paddr: int, real_paddr: int) -> None:
+        """Cross-validate one shadow translation against the shadow page
+        table and the kernel's superpage records (opt-in differential
+        checker; any mismatch is a translation the hardware produced
+        that nothing authoritative agrees with)."""
+        self.stats.oracle_checks += 1
+        mm = self.mmc.memory_map
+        shadow_index = (paddr - mm.shadow_base) >> BASE_PAGE_SHIFT
+        hw_pfn = real_paddr >> BASE_PAGE_SHIFT
+        entry = self.shadow_table.entry(shadow_index)
+        if not entry.valid or entry.pfn != hw_pfn:
+            raise SilentCorruption(shadow_index, hw_pfn, entry.pfn)
+        record = self.kernel.vm.record_for_shadow_index(shadow_index)
+        if record is not None:
+            expected = record.pfns[shadow_index - record.first_shadow_index]
+            if expected is not None and expected != hw_pfn:
+                raise SilentCorruption(shadow_index, hw_pfn, expected)
 
     # ================================================================== #
     # Instruction-side translation model

@@ -5,21 +5,32 @@ harness reruns the same trace across many configurations and pytest
 sessions; caching keeps those reruns honest (bit-identical streams) and
 fast.  A trace file holds a JSON item list (events inline, segments by
 index) plus the segments' numpy arrays.
+
+Every file carries a CRC32 *content checksum* over the metadata and all
+segment arrays.  A mismatch (bit rot, a partial write from a killed
+process, a concurrent writer) raises
+:class:`~repro.errors.TraceCacheCorrupt`; the harness treats that as a
+cache miss — warn, delete, regenerate — rather than simulating a
+silently wrong reference stream.
 """
 
 from __future__ import annotations
 
 import json
+import zipfile
+import zlib
 from pathlib import Path
-from typing import Union
+from typing import Dict, Union
 
 import numpy as np
 
+from ..errors import TraceCacheCorrupt
 from .events import HeapGrow, MapConventional, MapRegion, Phase, Remap
 from .trace import Segment, Trace
 
 #: Bump when the on-disk layout changes; stale caches are regenerated.
-FORMAT_VERSION = 2
+#: Version 3 added the content checksum.
+FORMAT_VERSION = 3
 
 _EVENT_TYPES = {
     "MapRegion": MapRegion,
@@ -30,11 +41,24 @@ _EVENT_TYPES = {
 }
 
 
+def _content_checksum(meta: dict, arrays: Dict[str, np.ndarray]) -> int:
+    """CRC32 over the canonical JSON metadata and every array's bytes.
+
+    *meta* must not include the checksum itself; array keys participate
+    so renamed/reordered arrays do not collide.
+    """
+    crc = zlib.crc32(json.dumps(meta, sort_keys=True).encode("utf-8"))
+    for key in sorted(arrays):
+        crc = zlib.crc32(key.encode("utf-8"), crc)
+        crc = zlib.crc32(np.ascontiguousarray(arrays[key]).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     """Write *trace* to *path* (an ``.npz`` file)."""
     path = Path(path)
     items = []
-    arrays = {}
+    arrays: Dict[str, np.ndarray] = {}
     seg_index = 0
     for item in trace.items:
         if isinstance(item, Segment):
@@ -61,6 +85,7 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
         "text_size": trace.text_size,
         "items": items,
     }
+    meta["checksum"] = _content_checksum(meta, arrays)
     arrays["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
@@ -73,33 +98,62 @@ def load_trace(path: Union[str, Path]) -> Trace:
     """Read a trace previously written by :func:`save_trace`.
 
     Raises ValueError on a format-version mismatch (callers should
-    regenerate rather than guess).
+    regenerate rather than guess) and
+    :class:`~repro.errors.TraceCacheCorrupt` when the file is
+    unreadable, truncated, or fails its content checksum (callers
+    should warn, delete, and regenerate).
     """
-    with np.load(Path(path)) as data:
-        meta = json.loads(bytes(data["meta"].tobytes()).decode("utf-8"))
+    path = Path(path)
+    try:
+        data = np.load(path)
+    except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+        raise TraceCacheCorrupt(path, f"unreadable npz ({exc})") from exc
+    try:
+        try:
+            raw = bytes(data["meta"].tobytes()).decode("utf-8")
+            meta = json.loads(raw)
+        except (KeyError, ValueError, UnicodeDecodeError) as exc:
+            raise TraceCacheCorrupt(
+                path, f"bad metadata ({exc})"
+            ) from exc
         if meta.get("version") != FORMAT_VERSION:
             raise ValueError(
                 f"trace file {path} has format version "
                 f"{meta.get('version')}, expected {FORMAT_VERSION}"
             )
-        trace = Trace(
-            meta["name"],
-            text_base=meta["text_base"],
-            text_size=meta["text_size"],
-        )
-        for record in meta["items"]:
-            kind = record.pop("kind")
-            if kind == "segment":
-                i = record["index"]
-                trace.add(
-                    Segment(
-                        record["label"],
-                        data[f"seg{i}_ops"],
-                        data[f"seg{i}_vaddrs"],
-                        data[f"seg{i}_gaps"],
-                        text_pages=record["text_pages"],
-                    )
+        stored_checksum = meta.pop("checksum", None)
+        arrays: Dict[str, np.ndarray] = {}
+        try:
+            for key in data.files:
+                if key != "meta":
+                    arrays[key] = data[key]
+        except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
+            raise TraceCacheCorrupt(
+                path, f"truncated array data ({exc})"
+            ) from exc
+        if stored_checksum != _content_checksum(meta, arrays):
+            raise TraceCacheCorrupt(path, "content checksum mismatch")
+    finally:
+        data.close()
+
+    trace = Trace(
+        meta["name"],
+        text_base=meta["text_base"],
+        text_size=meta["text_size"],
+    )
+    for record in meta["items"]:
+        kind = record.pop("kind")
+        if kind == "segment":
+            i = record["index"]
+            trace.add(
+                Segment(
+                    record["label"],
+                    arrays[f"seg{i}_ops"],
+                    arrays[f"seg{i}_vaddrs"],
+                    arrays[f"seg{i}_gaps"],
+                    text_pages=record["text_pages"],
                 )
-            else:
-                trace.add(_EVENT_TYPES[kind](**record))
+            )
+        else:
+            trace.add(_EVENT_TYPES[kind](**record))
     return trace

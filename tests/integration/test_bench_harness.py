@@ -1,16 +1,21 @@
 """Smoke tests for the benchmark harness (tiny inputs).
 
 The full harness runs under ``pytest benchmarks/ --benchmark-only``;
-these tests only check that its plumbing — scales, trace caching, matrix
-running, report rendering — works.
+these tests only check that its plumbing — scales, trace caching (with
+corruption detection), checkpoint/resume, matrix running, report
+rendering — works.
 """
+
+import json
 
 import pytest
 
 from repro.bench import BenchContext, run_fig2, run_allocator_ablation
 from repro.bench.figure3 import render_report
+from repro.errors import ReferenceBudgetExceeded, TraceCacheCorrupt
 from repro.sim.config import paper_mtlb, paper_no_mtlb
 from repro.sim.results import ResultMatrix
+from repro.trace.io import load_trace
 
 
 @pytest.fixture
@@ -50,6 +55,139 @@ class TestBenchContext:
         assert quick_mode_requested()
         monkeypatch.setenv("REPRO_BENCH_QUICK", "0")
         assert not quick_mode_requested()
+
+
+class TestTraceCacheIntegrity:
+    def test_corrupt_cache_detected_and_regenerated(
+        self, tiny_ctx, tmp_path
+    ):
+        reference = tiny_ctx.trace("em3d")
+        (path,) = tmp_path.glob("em3d_*.npz")
+        path.write_bytes(b"this is not an npz file at all")
+        with pytest.raises(TraceCacheCorrupt):
+            load_trace(path)
+        # The harness treats it as a miss: warn, delete, regenerate.
+        fresh_ctx = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        )
+        with pytest.warns(RuntimeWarning, match="corrupt"):
+            again = fresh_ctx.trace("em3d")
+        assert again.total_refs == reference.total_refs
+        # The regenerated file is valid once more.
+        (path,) = tmp_path.glob("em3d_*.npz")
+        assert load_trace(path).total_refs == reference.total_refs
+
+    def test_truncated_cache_detected(self, tiny_ctx, tmp_path):
+        tiny_ctx.trace("em3d")
+        (path,) = tmp_path.glob("em3d_*.npz")
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceCacheCorrupt):
+            load_trace(path)
+
+
+class TestCheckpointResume:
+    CONFIGS = staticmethod(
+        lambda: {
+            "tlb96": paper_no_mtlb(96),
+            "tlb96+mtlb1282w": paper_mtlb(96),
+        }
+    )
+
+    def test_checkpoint_deleted_after_full_run(self, tiny_ctx, tmp_path):
+        tiny_ctx.run_matrix(
+            ["em3d"], self.CONFIGS(), "tlb96", checkpoint="t1"
+        )
+        assert not (tmp_path / "checkpoint_t1.json").exists()
+
+    def test_resume_skips_completed_cells(self, tiny_ctx, tmp_path):
+        configs = self.CONFIGS()
+        full = tiny_ctx.run_matrix(["em3d"], configs, "tlb96")
+
+        # Simulate a crash: kill the matrix after its first cell.
+        class Boom(Exception):
+            pass
+
+        interrupted = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        )
+        real_run = interrupted.run
+        calls = []
+
+        def tracked(workload, config):
+            calls.append(config.label)
+            if len(calls) > 1:
+                raise Boom
+            return real_run(workload, config)
+
+        interrupted.run = tracked
+        with pytest.raises(Boom):
+            interrupted.run_matrix(
+                ["em3d"], configs, "tlb96", checkpoint="t2"
+            )
+        ckpt = tmp_path / "checkpoint_t2.json"
+        assert ckpt.exists()
+        assert list(json.loads(ckpt.read_text())["cells"]) == [
+            "em3d|tlb96"
+        ]
+
+        # Resume: only the missing cell is re-run.
+        resumed_ctx = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        )
+        resumed_calls = []
+        real_resumed_run = resumed_ctx.run
+
+        def tracked_resume(workload, config):
+            resumed_calls.append(config.label)
+            return real_resumed_run(workload, config)
+
+        resumed_ctx.run = tracked_resume
+        matrix = resumed_ctx.run_matrix(
+            ["em3d"], configs, "tlb96", checkpoint="t2"
+        )
+        assert resumed_calls == ["tlb96+mtlb1282w"]
+        assert not ckpt.exists()
+        # The resumed matrix matches an uninterrupted run exactly.
+        for label in configs:
+            assert (
+                matrix.get("em3d", label).total_cycles
+                == full.get("em3d", label).total_cycles
+            )
+
+    def test_mismatched_context_discards_checkpoint(
+        self, tiny_ctx, tmp_path
+    ):
+        ckpt = tmp_path / "checkpoint_t3.json"
+        ckpt.write_text(
+            json.dumps(
+                {
+                    "meta": {"version": 1, "quick": False, "seed": 7},
+                    "cells": {"em3d|tlb96": {"total_cycles": 1}},
+                }
+            )
+        )
+        with pytest.warns(RuntimeWarning, match="different"):
+            matrix = tiny_ctx.run_matrix(
+                ["em3d"], {"tlb96": paper_no_mtlb(96)}, "tlb96",
+                checkpoint="t3",
+            )
+        # The bogus cell was ignored and the run recomputed honestly.
+        assert matrix.get("em3d", "tlb96").total_cycles > 1
+
+
+class TestReferenceBudget:
+    def test_budget_exceeded_raises(self, tmp_path):
+        ctx = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            max_references=10,
+        )
+        with pytest.raises(ReferenceBudgetExceeded):
+            ctx.run("em3d", paper_no_mtlb(96))
+
+    def test_no_budget_by_default(self, tiny_ctx):
+        result = tiny_ctx.run("em3d", paper_no_mtlb(96))
+        assert result.stats.references > 10
 
 
 class TestStaticBenches:

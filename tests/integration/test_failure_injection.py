@@ -3,7 +3,12 @@
 Exhausted shadow pools, exhausted DRAM, accesses to unbacked physical
 addresses, and OS-protocol violations (writing back through an
 invalidated shadow mapping) must all surface as the specific exceptions
-the layers define — never as wrong translations.
+the layers define — never as wrong translations.  The ``faults``-marked
+classes exercise the deterministic fault-injection layer end to end:
+every injected hardware fault must be *recovered* through its
+architected path (DESIGN.md "Fault model and recovery"), with the
+functional memory contents and final translations identical to a
+fault-free reference run.
 """
 
 import dataclasses
@@ -16,6 +21,14 @@ from repro.core.shadow_space import (
     BucketShadowAllocator,
     ShadowSpaceExhausted,
 )
+from repro.errors import UnrecoverableMemoryError
+from repro.faults import (
+    DIRTY_DROP,
+    DRAM_TRANSIENT,
+    MTLB_PARITY,
+    SHADOW_BITFLIP,
+    FaultConfig,
+)
 from repro.mem.mmc import BadPhysicalAddress
 from repro.os_model.frames import OutOfMemory
 from repro.sim.config import paper_mtlb, paper_promotion
@@ -24,16 +37,64 @@ from repro.sim.system import System
 REGION = 0x0200_0000
 
 
+def _drain(allocator, *sizes):
+    """Hoard every free region of the given bucket sizes."""
+    hoard = []
+    for size in sizes:
+        hoard.extend(
+            allocator.allocate(size)
+            for _ in range(allocator.available(size))
+        )
+    return hoard
+
+
 class TestShadowExhaustion:
-    def test_remap_raises_when_pool_dry(self, mtlb_system):
+    def test_remap_demotes_when_pool_dry(self, mtlb_system):
+        """Default policy: a dry 64 KB bucket demotes the plan to four
+        16 KB shadow superpages instead of failing the remap."""
         system = mtlb_system
         process = system.kernel.create_process("dry")
         allocator = system.kernel.shadow_allocator
-        # Drain the 64KB bucket.
-        hoard = [
-            allocator.allocate(64 << 10)
-            for _ in range(allocator.available(64 << 10))
-        ]
+        hoard = _drain(allocator, 64 << 10)
+        system.kernel.sys_map(process, REGION, 64 << 10)
+        report = system.kernel.sys_remap(process, REGION, 64 << 10)
+        assert report.degraded_superpages == 1
+        assert report.superpages_created == 4
+        assert report.pages_remapped == 16
+        assert report.fallback_pages == 0
+        mapping = process.page_table.lookup(REGION)
+        assert mapping.is_superpage and mapping.size == 16 << 10
+        assert system.kernel.vm.degraded_remap_events == 1
+        for region in hoard:
+            allocator.free(region)
+
+    def test_remap_falls_back_to_base_pages_when_all_dry(self, mtlb_system):
+        """With 64 KB *and* 16 KB buckets dry, the remap leaves the
+        region on its existing base pages (graceful degradation's
+        floor) instead of raising."""
+        system = mtlb_system
+        process = system.kernel.create_process("dry")
+        allocator = system.kernel.shadow_allocator
+        hoard = _drain(allocator, 64 << 10, 16 << 10)
+        system.kernel.sys_map(process, REGION, 64 << 10)
+        report = system.kernel.sys_remap(process, REGION, 64 << 10)
+        # One degradation for the 64 KB plan + one per 16 KB sub-plan.
+        assert report.degraded_superpages == 5
+        assert report.superpages_created == 0
+        assert report.fallback_pages == 16
+        assert not process.page_table.lookup(REGION).is_superpage
+        for region in hoard:
+            allocator.free(region)
+
+    def test_remap_raises_with_abort_policy(self):
+        """degradation_policy="abort" restores the fail-fast behaviour."""
+        config = dataclasses.replace(
+            paper_mtlb(96), degradation_policy="abort"
+        )
+        system = System(config)
+        process = system.kernel.create_process("dry")
+        allocator = system.kernel.shadow_allocator
+        hoard = _drain(allocator, 64 << 10)
         system.kernel.sys_map(process, REGION, 64 << 10)
         with pytest.raises(ShadowSpaceExhausted):
             system.kernel.sys_remap(process, REGION, 64 << 10)
@@ -44,10 +105,9 @@ class TestShadowExhaustion:
         system = System(paper_promotion(96, misses_per_page=0.1))
         process = system.kernel.create_process("dry")
         allocator = system.kernel.shadow_allocator
-        hoard = [
-            allocator.allocate(64 << 10)
-            for _ in range(allocator.available(64 << 10))
-        ]
+        # Drain every size the 64 KB region could demote to, so the
+        # promotion's remap degrades all the way to base pages.
+        hoard = _drain(allocator, 64 << 10, 16 << 10)
         system.kernel.sys_map(process, REGION, 64 << 10)
         promo = system.kernel.promotion
         # Hammer misses; promotion fires, fails gracefully, and never
@@ -126,3 +186,172 @@ class TestAllocatorMisuse:
             allocator.allocate_colored(64 << 10, color=200, colors=128)
         with pytest.raises(ValueError):
             allocator.allocate_colored(8 << 10, color=0, colors=128)
+
+
+# ---------------------------------------------------------------------- #
+# Injected-fault recovery paths (the tentpole of the fault model)
+# ---------------------------------------------------------------------- #
+
+
+def _faulty_system(fault_config, check_every=1):
+    """An MTLB machine with fault injection and the oracle checker on."""
+    config = dataclasses.replace(
+        paper_mtlb(96),
+        faults=fault_config,
+        check_translations=check_every,
+    )
+    return System(config)
+
+
+def _shadowed_region(system, pages=16):
+    """Map + remap a region onto a shadow superpage; store known words."""
+    process = system.kernel.create_process("faulty")
+    system.kernel.sys_map(process, REGION, pages * BASE_PAGE_SIZE)
+    system.kernel.sys_remap(process, REGION, pages * BASE_PAGE_SIZE)
+    for i in range(pages):
+        system.store_word(process, REGION + i * BASE_PAGE_SIZE, 0xC0DE + i)
+    return process
+
+
+def _touch_all(system, process, pages=16, lines=2, is_write=False):
+    """Timed accesses over *lines* cache lines of each page."""
+    for line in range(lines):
+        for i in range(pages):
+            system.touch(
+                process,
+                REGION + i * BASE_PAGE_SIZE + line * 32,
+                is_write=is_write,
+            )
+
+
+def _assert_recovered_and_intact(system, process, pages=16):
+    """Every injection recovered, no corruption left, data intact."""
+    plan = system.fault_plan
+    assert plan.stats.total_injected >= 1
+    assert plan.stats.total_injected == plan.stats.total_recovered
+    assert system.shadow_table.corrupt_entries == 0
+    for i in range(pages):
+        value = system.load_word(process, REGION + i * BASE_PAGE_SIZE)
+        assert value == 0xC0DE + i
+
+
+@pytest.mark.faults
+class TestParityRecovery:
+    def test_mtlb_parity_flush_and_refill_converges(self):
+        """A corrupted cached way trips parity; the kernel's
+        flush-and-refill + scrub recovers and the run converges."""
+        system = _faulty_system(
+            FaultConfig(triggers=((MTLB_PARITY, 3), (MTLB_PARITY, 7)))
+        )
+        process = _shadowed_region(system)
+        _touch_all(system, process, lines=3)
+        assert system.mtlb.stats.parity_faults == 2
+        assert system.kernel.stats.parity_faults_serviced == 2
+        _assert_recovered_and_intact(system, process)
+
+    def test_shadow_bitflip_scrub_repairs_from_records(self):
+        """An in-DRAM entry bitflip is caught at fill time and rewritten
+        from the kernel's superpage records during the scrub."""
+        system = _faulty_system(
+            FaultConfig(triggers=((SHADOW_BITFLIP, 5),))
+        )
+        process = _shadowed_region(system)
+        _touch_all(system, process)
+        assert system.mtlb.stats.parity_faults == 1
+        assert system.kernel.stats.parity_faults_serviced == 1
+        assert system.kernel.stats.scrub_rewrites == 1
+        _assert_recovered_and_intact(system, process)
+
+    def test_parity_recovery_counts_reach_run_stats(self):
+        """Injected/recovered totals surface in the harvested RunStats."""
+        system = _faulty_system(
+            FaultConfig(triggers=((SHADOW_BITFLIP, 5),))
+        )
+        process = _shadowed_region(system)
+        _touch_all(system, process)
+        system._harvest_component_stats()
+        assert system.stats.faults_injected == 1
+        assert system.stats.faults_recovered == 1
+        assert system.stats.extra["faults_injected_shadow_bitflip"] == 1
+        assert system.stats.oracle_checks >= 1
+
+
+@pytest.mark.faults
+class TestDirtyDropRecovery:
+    def test_dropped_bit_writeback_retries_on_next_access(self):
+        system = _faulty_system(FaultConfig(triggers=((DIRTY_DROP, 1),)))
+        process = _shadowed_region(system)
+        # Two write rounds over each page: the dropped first-time dirty
+        # write-back is retried (and recovered) by the second round.
+        _touch_all(system, process, lines=2, is_write=True)
+        plan = system.fault_plan
+        assert plan.stats.injected[DIRTY_DROP] == 1
+        assert plan.stats.recovered[DIRTY_DROP] == 1
+        record = system.kernel.vm.record_for_shadow_index(
+            system.config.memory_map.shadow_page_index(
+                next(iter(system.kernel.vm.shadow_superpages))
+            )
+        )
+        first = record.first_shadow_index
+        # Every touched page ended up dirty despite the drop.
+        for i in range(16):
+            assert system.shadow_table.entry(first + i).dirty
+        _assert_recovered_and_intact(system, process)
+
+
+@pytest.mark.faults
+class TestTransientDramRecovery:
+    def test_transient_error_retried_with_backoff(self):
+        system = _faulty_system(
+            FaultConfig(triggers=((DRAM_TRANSIENT, 4), (DRAM_TRANSIENT, 9)))
+        )
+        process = _shadowed_region(system)
+        _touch_all(system, process)
+        plan = system.fault_plan
+        assert plan.stats.injected[DRAM_TRANSIENT] == 2
+        assert plan.stats.recovered[DRAM_TRANSIENT] == 2
+        assert system.mmc.stats.transient_retries == 2
+        _assert_recovered_and_intact(system, process)
+
+    def test_persistent_error_raises_after_retry_bound(self):
+        """A stuck-at error (rate 1.0) exhausts the bounded retries."""
+        system = _faulty_system(
+            FaultConfig(dram_transient_rate=1.0, max_retries=3)
+        )
+        process = system.kernel.create_process("stuck")
+        system.kernel.sys_map(process, REGION, BASE_PAGE_SIZE)
+        with pytest.raises(UnrecoverableMemoryError) as exc:
+            system.touch(process, REGION)
+        assert exc.value.attempts == 4
+
+
+@pytest.mark.faults
+class TestFaultFreeEquivalence:
+    def test_recovered_run_matches_fault_free_reference(self):
+        """Same workload, with and without injected faults: the functional
+        outcome (loaded values and final translations) is identical."""
+        faulty = _faulty_system(
+            FaultConfig(
+                triggers=(
+                    (MTLB_PARITY, 2),
+                    (SHADOW_BITFLIP, 7),
+                    (DIRTY_DROP, 1),
+                    (DRAM_TRANSIENT, 11),
+                )
+            )
+        )
+        clean = System(paper_mtlb(96))
+        results = []
+        for system in (faulty, clean):
+            process = _shadowed_region(system)
+            _touch_all(system, process, lines=2, is_write=True)
+            results.append(
+                [
+                    system.load_word(
+                        process, REGION + i * BASE_PAGE_SIZE
+                    )
+                    for i in range(16)
+                ]
+            )
+        assert results[0] == results[1]
+        assert faulty.fault_plan.stats.total_injected >= 4

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.cli import EXPERIMENTS, main
+from repro.errors import ReferenceBudgetExceeded
 
 
 class TestCli:
@@ -23,3 +24,45 @@ class TestCli:
 
     def test_quick_flag_accepted(self, capsys):
         assert main(["fig2", "--quick"]) == 0
+
+
+class TestRobustnessFlags:
+    def test_budget_violation_aborts_without_keep_going(
+        self, monkeypatch, tmp_path
+    ):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        with pytest.raises(ReferenceBudgetExceeded):
+            main(["fig3", "--quick", "--max-refs", "10"])
+
+    def test_keep_going_reports_failure_and_continues(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        status = main(
+            ["fig3", "--quick", "--keep-going", "--max-refs", "10"]
+        )
+        assert status != 0
+        err = capsys.readouterr().err
+        assert "EXPERIMENT FAILED: fig3" in err
+        assert "ReferenceBudgetExceeded" in err
+
+
+@pytest.mark.faults
+class TestQuickSmoke:
+    def test_fig3_quick_keep_going_smoke(
+        self, monkeypatch, tmp_path, capsys
+    ):
+        """The documented smoke invocation:
+        ``REPRO_BENCH_QUICK=1 repro-bench fig3 --keep-going``."""
+        monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
+        monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        status = main(["fig3", "--keep-going"])
+        out = capsys.readouterr().out
+        # Quick scales are too small for every paper shape check, so a
+        # non-zero status is acceptable — the point is that the whole
+        # matrix completes and renders rather than crashing.
+        assert status in (0, 1)
+        assert "Figure 3" in out
+        assert "MTLB improvement at the 96-entry base:" in out
+        # The matrix finished, so its checkpoint was cleaned up.
+        assert not (tmp_path / "checkpoint_fig3.json").exists()
