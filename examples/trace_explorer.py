@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Explore one observed run: slowest remaps and the Figure-3 timeline.
+
+Runs em3d on the paper's MTLB machine with the observability subsystem
+enabled (DESIGN.md §9), then prints:
+
+* the top-5 remap events by latency (when the remaps happened, how many
+  pages each moved, and what the flush-dominated cost was);
+* the phase-resolved Figure-3 cycle breakdown — how the split between
+  instruction / memory-stall / TLB-miss / kernel cycles evolves over
+  simulated time (remap storms show up as kernel-heavy slices).
+
+It also writes ``em3d_trace.json``: load it at https://ui.perfetto.dev
+to scrub through the same run interactively.
+
+Run:  python examples/trace_explorer.py
+"""
+
+import dataclasses
+
+from repro.obs import CATEGORIES, ObsConfig
+from repro.sim.config import CPU_HZ, paper_mtlb
+from repro.sim.system import System
+from repro.workloads import build_workload
+
+SCALE = 0.08
+BAR_WIDTH = 44
+GLYPHS = dict(zip(CATEGORIES, "im.K"))
+
+
+def main() -> None:
+    config = dataclasses.replace(
+        paper_mtlb(96),
+        # A 1M-event ring retains every event of a run this size, so
+        # rare events (remaps) survive the cache-miss firehose.
+        obs=ObsConfig(enabled=True, ring_capacity=1 << 20,
+                      attribution_buckets=24),
+    )
+    print("simulating em3d on", config.label, "with tracing on...")
+    result = System(config).run(build_workload("em3d", scale=SCALE))
+    obs = result.obs
+
+    tracer = obs.tracer
+    print(
+        f"\ncaptured {tracer.total:,} events "
+        f"({tracer.dropped:,} dropped); by site: "
+        + ", ".join(
+            f"{site}={count:,}"
+            for site, count in sorted(tracer.site_counts().items())
+        )
+    )
+
+    print("\ntop remap events by latency:")
+    remaps = obs.top_events("remap", count=5)
+    if not remaps:
+        print("  (none — this run never called remap)")
+    for event in remaps:
+        ms = 1e3 * event.cycle / CPU_HZ
+        print(
+            f"  t={event.cycle:>11,} cycles ({ms:7.2f} ms)  "
+            f"{event.a:>5,} pages  {event.b:>9,} cycles"
+        )
+
+    print(
+        "\nphase-resolved Figure-3 breakdown "
+        "(i=instruction m=memory-stall .=tlb-miss K=kernel):"
+    )
+    for bucket in obs.buckets():
+        bar = ""
+        for category in CATEGORIES:
+            bar += GLYPHS[category] * round(
+                BAR_WIDTH * bucket.fraction(category)
+            )
+        tlb_pct = 100 * bucket.fraction("tlb_miss")
+        print(
+            f"  [{bucket.start_cycle:>11,}] |{bar:<{BAR_WIDTH + 4}s}| "
+            f"tlb={tlb_pct:4.1f}%"
+        )
+
+    path = obs.write_chrome_trace("em3d_trace.json", label="em3d")
+    print(f"\nwrote {path} — open it at https://ui.perfetto.dev")
+
+
+if __name__ == "__main__":
+    main()

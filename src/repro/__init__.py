@@ -35,6 +35,17 @@ from .core import (
     ShadowSpaceExhausted,
     plan_superpages,
 )
+from .obs import (
+    EventTracer,
+    MetricsRegistry,
+    ObsCollector,
+    ObsConfig,
+    diff_snapshots,
+    load_snapshot,
+    matrix_snapshot,
+    run_snapshot,
+    write_snapshot,
+)
 from .sim import (
     RunResult,
     RunStats,
@@ -63,6 +74,15 @@ __all__ = [
     "ShadowRegion",
     "ShadowSpaceExhausted",
     "plan_superpages",
+    "EventTracer",
+    "MetricsRegistry",
+    "ObsCollector",
+    "ObsConfig",
+    "diff_snapshots",
+    "load_snapshot",
+    "matrix_snapshot",
+    "run_snapshot",
+    "write_snapshot",
     "RunResult",
     "RunStats",
     "System",

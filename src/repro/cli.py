@@ -14,14 +14,23 @@ Usage::
 
 ``--quick`` uses CI-sized inputs; without it the EXPERIMENTS.md scales
 are used (several minutes for fig3).
+
+Every invocation opens with a banner echoing the active seed, fault
+plan, and obs state.  ``fig3`` and ``fig4`` additionally write
+standardized ``BENCH_<name>.json`` metrics snapshots into the current
+directory — compare two of them with ``repro metrics diff`` (the
+``repro`` command also does single-run dumps; DESIGN.md §9).
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
+from pathlib import Path
 from typing import List
 
+from . import __version__
 from .bench import (
     BenchContext,
     improvement_summary,
@@ -43,12 +52,71 @@ from .bench import (
     run_recoloring_ablation,
     run_stream_buffer_ablation,
 )
+from .faults import FAULT_SITES, FaultConfig
+from .obs import (
+    ObsConfig,
+    diff_snapshots,
+    load_snapshot,
+    matrix_snapshot,
+    parse_threshold,
+    results_snapshot,
+    run_snapshot,
+    write_snapshot,
+)
+from .sim.config import (
+    SystemConfig,
+    paper_base,
+    paper_mtlb,
+    paper_no_mtlb,
+    paper_promotion,
+)
 from .workloads import PAPER_SUITE
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig4", "init-costs", "reach", "ablations",
     "sensitivity",
 )
+
+
+def describe_faults(faults: FaultConfig) -> str:
+    """One-line FaultConfig summary for run banners."""
+    if not faults.enabled:
+        return "disabled"
+    parts = [f"seed={faults.seed}"]
+    for site in FAULT_SITES:
+        rate = faults.rate_of(site)
+        if rate > 0.0:
+            parts.append(f"{site}={rate:g}")
+    if faults.triggers:
+        parts.append(f"triggers={len(faults.triggers)}")
+    return " ".join(parts)
+
+
+def print_banner(
+    prog: str, seed: int, config: SystemConfig, quick: bool
+) -> None:
+    """Echo the active seed, fault plan, and obs state before a run."""
+    obs_state = "enabled" if config.obs.enabled else "disabled"
+    print(
+        f"{prog} {__version__} | seed={seed} quick={quick} | "
+        f"faults: {describe_faults(config.faults)} | obs: {obs_state}"
+    )
+
+
+def _write_bench_snapshot(name: str, snapshot: dict) -> None:
+    """Persist one standardized BENCH_<name>.json baseline in the
+    repository root (= the invocation directory)."""
+    path = write_snapshot(snapshot, Path(f"BENCH_{name}.json"))
+    print(f"\nwrote {path} ({len(snapshot['runs'])} runs)")
+
+
+def _context_meta(context: BenchContext) -> dict:
+    return {
+        "seed": context.seed,
+        "quick": context.quick,
+        "scales": dict(context.scales),
+        "version": __version__,
+    }
 
 
 def _report(title: str, report: str, errors: List[str]) -> int:
@@ -76,14 +144,28 @@ def _run(name: str, context: BenchContext) -> int:
             result.matrix, PAPER_SUITE
         ).items():
             print(f"  {w:12s} {gain:+.1f}%")
+        _write_bench_snapshot(
+            "figure3",
+            matrix_snapshot(
+                result.matrix, "figure3", meta=_context_meta(context)
+            ),
+        )
         return status
     if name == "fig4":
         result = run_figure4(context, progress=True)
-        return _report(
+        status = _report(
             "E3+E4 / Figure 4",
             result.report_a + "\n\n" + result.report_b,
             result.shape_errors,
         )
+        _write_bench_snapshot(
+            "figure4",
+            results_snapshot(
+                result.runs.values(), "figure4",
+                meta=_context_meta(context),
+            ),
+        )
+        return status
     if name == "init-costs":
         result = measure_em3d_remap(context)
         return _report("E5 / Section 3.3", result.report,
@@ -145,6 +227,10 @@ def main(argv=None) -> int:
         formatter_class=argparse.RawDescriptionHelpFormatter,
     )
     parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    parser.add_argument(
         "experiment",
         choices=EXPERIMENTS + ("all", "list"),
         help="which experiment to run",
@@ -183,6 +269,9 @@ def main(argv=None) -> int:
         seed=args.seed,
         max_references=args.max_refs,
     )
+    # The benches run the presets unchanged, so the default SystemConfig
+    # states the active fault plan and obs mode for this invocation.
+    print_banner("repro-bench", context.seed, paper_base(), context.quick)
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     status = 0
     for name in todo:
@@ -199,6 +288,144 @@ def main(argv=None) -> int:
         else:
             status |= _run(name, context)
     return status
+
+
+# ====================================================================== #
+# The `repro` CLI: metrics dump / diff (DESIGN.md §9)
+# ====================================================================== #
+
+#: Config presets `repro metrics dump` can simulate.
+DUMP_CONFIGS = {
+    "base": lambda tlb: paper_base() if tlb == 96 else paper_no_mtlb(tlb),
+    "no-mtlb": paper_no_mtlb,
+    "mtlb": paper_mtlb,
+    "promotion": paper_promotion,
+}
+
+
+def _metrics_dump(args) -> int:
+    config = DUMP_CONFIGS[args.config](args.tlb)
+    if args.obs or args.trace_out:
+        config = dataclasses.replace(
+            config, obs=ObsConfig(enabled=True, ring_capacity=1 << 20)
+        )
+    print_banner("repro", args.seed, config, args.quick)
+    context = BenchContext(
+        quick=True if args.quick else None, seed=args.seed
+    )
+    result = context.run(args.workload, config)
+    snapshot = run_snapshot(
+        result,
+        label=f"{args.workload}|{config.label}",
+        meta={
+            "seed": args.seed,
+            "quick": context.quick,
+            "scale": context.scale_of(args.workload),
+            "version": __version__,
+        },
+    )
+    if args.output:
+        path = write_snapshot(snapshot, args.output)
+        print(f"wrote {path}")
+    else:
+        import json as _json
+
+        print(_json.dumps(snapshot, indent=1, sort_keys=True))
+    if args.trace_out:
+        path = result.obs.write_chrome_trace(
+            args.trace_out, label=f"{args.workload}|{config.label}"
+        )
+        print(f"wrote {path} (load it at https://ui.perfetto.dev)")
+    return 0
+
+
+def _metrics_diff(args) -> int:
+    try:
+        threshold = parse_threshold(args.threshold)
+    except ValueError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    try:
+        baseline = load_snapshot(args.baseline)
+        candidate = load_snapshot(args.candidate)
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    report = diff_snapshots(baseline, candidate, threshold=threshold)
+    print(report.render(show_unchanged=args.verbose))
+    return 1 if report.regressions else 0
+
+
+def repro_main(argv=None) -> int:
+    """Entry point for the `repro` command."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Observability front door: dump standardized metrics "
+            "snapshots and diff them for regressions (DESIGN.md §9)."
+        ),
+    )
+    parser.add_argument(
+        "--version", action="version",
+        version=f"%(prog)s {__version__}",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    metrics = sub.add_parser(
+        "metrics", help="metrics snapshots and regression diffs"
+    )
+    msub = metrics.add_subparsers(dest="metrics_command", required=True)
+
+    dump = msub.add_parser(
+        "dump",
+        help="simulate one run and emit its metrics snapshot JSON",
+    )
+    dump.add_argument(
+        "--workload", default="em3d", choices=sorted(PAPER_SUITE)
+    )
+    dump.add_argument(
+        "--config", default="mtlb", choices=sorted(DUMP_CONFIGS)
+    )
+    dump.add_argument("--tlb", type=int, default=96, metavar="ENTRIES")
+    dump.add_argument("--seed", type=int, default=1998)
+    dump.add_argument(
+        "--quick", action="store_true", help="CI-sized input scale"
+    )
+    dump.add_argument(
+        "--obs", action="store_true",
+        help="enable event tracing + phase attribution for this run",
+    )
+    dump.add_argument(
+        "-o", "--output", metavar="FILE",
+        help="write the snapshot here instead of stdout",
+    )
+    dump.add_argument(
+        "--trace-out", metavar="FILE",
+        help="also write a Perfetto-loadable Chrome trace (implies --obs)",
+    )
+    dump.set_defaults(func=_metrics_dump)
+
+    diff = msub.add_parser(
+        "diff",
+        help=(
+            "compare two snapshots; exits non-zero when any metric "
+            "regresses past the threshold"
+        ),
+    )
+    diff.add_argument("baseline", help="baseline snapshot JSON")
+    diff.add_argument("candidate", help="candidate snapshot JSON")
+    diff.add_argument(
+        "--threshold", default="2%",
+        help="relative regression threshold (e.g. 2%% or 0.02)",
+    )
+    diff.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list unchanged metrics",
+    )
+    diff.set_defaults(func=_metrics_diff)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
 
 
 if __name__ == "__main__":

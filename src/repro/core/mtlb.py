@@ -21,9 +21,13 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..errors import MtlbParityFault
-from ..faults import DIRTY_DROP, MTLB_PARITY, SHADOW_BITFLIP, FaultPlan
+from ..faults import DIRTY_DROP, FAULT_SITES, MTLB_PARITY, SHADOW_BITFLIP, FaultPlan
+from ..obs.tracer import FAULT_INJECTED, MTLB_FAULT, MTLB_FILL
 from .addrspace import is_power_of_two
 from .shadow_table import PFN_MASK, VALID_BIT, ShadowPageTable
+
+#: Fault-site ordinals carried in ``fault_injected`` event payloads.
+_SITE_ORDINAL = {site: i for i, site in enumerate(FAULT_SITES)}
 
 
 class MtlbFault(Exception):
@@ -64,6 +68,20 @@ class MtlbStats:
     def hit_rate(self) -> float:
         """Fraction of lookups that hit (0.0 if there were none)."""
         return self.hits / self.lookups if self.lookups else 0.0
+
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Flat counter mapping for the machine's metrics registry."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "fills": self.fills,
+            "faults": self.faults,
+            "purges": self.purges,
+            "evictions": self.evictions,
+            "parity_faults": self.parity_faults,
+            "bit_writebacks": self.bit_writebacks,
+        }
 
 
 @dataclass
@@ -119,6 +137,10 @@ class Mtlb:
         #: (and every PRNG draw), keeping the fault layer a strict no-op.
         self.fault_plan = fault_plan
         self.stats = MtlbStats()
+        #: Observability event sink (None = null sink): ``mtlb_fill``
+        #: per hardware fill, ``mtlb_fault`` per invalid-mapping fault,
+        #: ``fault_injected`` when the fault plan fires here.
+        self.tracer = None
         #: Set by :meth:`access` when the access updated an accounting
         #: bit for the first time on this cached way; the MMC consumes
         #: it to charge the (optional) table write-back.
@@ -163,21 +185,35 @@ class Mtlb:
                 # kernel to flush-and-refill.
                 del way_set[shadow_index]
                 self.stats.parity_faults += 1
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        FAULT_INJECTED, _SITE_ORDINAL[MTLB_PARITY]
+                    )
                 raise MtlbParityFault(shadow_index, origin="mtlb")
             way.nru_referenced = True
         else:
             self.stats.misses += 1
             way = self._fill(shadow_index, way_set, plan)
             filled = True
+            if self.tracer is not None:
+                self.tracer.emit(MTLB_FILL, shadow_index, way.pfn)
         if not way.valid:
             self.stats.faults += 1
             self.table.set_fault(shadow_index)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    MTLB_FAULT, shadow_index, 1 if is_write else 0
+                )
             raise MtlbFault(shadow_index, is_write)
         self.pending_bit_write = False
         if is_write:
             first = not way.dirty_written
             if first and plan is not None and plan.fires(DIRTY_DROP):
                 way.dropped_bit_write = True
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        FAULT_INJECTED, _SITE_ORDINAL[DIRTY_DROP]
+                    )
             else:
                 self.table.set_dirty(shadow_index)
                 if first:
@@ -188,6 +224,10 @@ class Mtlb:
             first = not way.ref_written
             if first and plan is not None and plan.fires(DIRTY_DROP):
                 way.dropped_bit_write = True
+                if self.tracer is not None:
+                    self.tracer.emit(
+                        FAULT_INJECTED, _SITE_ORDINAL[DIRTY_DROP]
+                    )
             else:
                 self.table.set_referenced(shadow_index)
                 if first:
@@ -221,6 +261,10 @@ class Mtlb:
             self.table.corrupt(
                 shadow_index, plan.choose_bit(SHADOW_BITFLIP)
             )
+            if self.tracer is not None:
+                self.tracer.emit(
+                    FAULT_INJECTED, _SITE_ORDINAL[SHADOW_BITFLIP]
+                )
         if not self.table.parity_ok(shadow_index):
             self.stats.parity_faults += 1
             raise MtlbParityFault(shadow_index, origin="table")
@@ -280,6 +324,10 @@ class Mtlb:
     def occupancy(self) -> int:
         """Number of currently cached translations."""
         return sum(len(s) for s in self._sets)
+
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Counters this MTLB registers into the metrics registry."""
+        return self.stats.metrics_snapshot()
 
     def cached_indices(self) -> List[int]:
         """Return the shadow page indices currently cached (for tests)."""

@@ -57,6 +57,17 @@ class TlbStats:
         """Fraction of lookups that missed (0.0 if there were none)."""
         return self.misses / self.lookups if self.lookups else 0.0
 
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Flat counter mapping for the machine's metrics registry."""
+        return {
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "inserts": self.inserts,
+            "evictions": self.evictions,
+            "shootdowns": self.shootdowns,
+        }
+
 
 class Tlb:
     """Fully associative, variable-page-size TLB with NRU replacement."""
@@ -68,6 +79,14 @@ class Tlb:
         self._by_size: Dict[int, Dict[int, TlbEntry]] = {}
         self._count = 0
         self.stats = TlbStats()
+        #: Observability event sink (None = null sink; the simulator
+        #: emits ``tlb_miss`` events on the refill path, where the
+        #: handler cost is known).
+        self.tracer = None
+
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Counters this TLB registers into the metrics registry."""
+        return self.stats.metrics_snapshot()
 
     # ------------------------------------------------------------------ #
     # Lookup

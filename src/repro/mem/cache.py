@@ -45,6 +45,24 @@ class CacheStats:
         """Fraction of accesses that hit (0.0 if there were none)."""
         return self.hits / self.accesses if self.accesses else 0.0
 
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Flat counter mapping for the machine's metrics registry.
+
+        ``writebacks`` is the combined eviction + flush total (the
+        number ``RunStats.cache_writebacks`` has always reported); the
+        raw parts are exposed alongside it.
+        """
+        return {
+            "accesses": self.accesses,
+            "hits": self.hits,
+            "misses": self.misses,
+            "writebacks": self.writebacks + self.flush_writebacks,
+            "evict_writebacks": self.writebacks,
+            "flush_writebacks": self.flush_writebacks,
+            "flush_lines_checked": self.flush_lines_checked,
+            "flush_lines_present": self.flush_lines_present,
+        }
+
 
 @dataclass(frozen=True)
 class AccessResult:
@@ -83,6 +101,10 @@ class DirectMappedCache:
         self._tags: List[int] = [_INVALID] * num_sets
         self._dirty = bytearray(num_sets)
         self.stats = CacheStats()
+
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Counters this cache registers into the metrics registry."""
+        return self.stats.metrics_snapshot()
 
     # ------------------------------------------------------------------ #
     # Access path
@@ -206,6 +228,10 @@ class SetAssociativeCache:
         # (first key is least recently used).
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(num_sets)]
         self.stats = CacheStats()
+
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Counters this cache registers into the metrics registry."""
+        return self.stats.metrics_snapshot()
 
     def access(self, vaddr: int, paddr: int, is_write: bool) -> AccessResult:
         """Look up (and on a miss, fill) the line for *vaddr*/*paddr*."""

@@ -16,15 +16,19 @@ writes to MMC control registers; those arrive via :meth:`write_mapping`,
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional
+from typing import Dict, Optional
 
 from ..core.addrspace import BASE_PAGE_MASK, BASE_PAGE_SHIFT, PhysicalMemoryMap
 from ..core.mtlb import Mtlb, MtlbFault
 from ..core.shadow_table import ShadowPageTable
 from ..errors import UnrecoverableMemoryError
-from ..faults import DRAM_TRANSIENT, FaultPlan
+from ..faults import DRAM_TRANSIENT, FAULT_SITES, FaultPlan
+from ..obs.tracer import CACHE_MISS, FAULT_INJECTED
 from .dram import Dram
 from .stream_buffers import StreamBufferUnit
+
+#: Fault-site ordinals carried in ``fault_injected`` event payloads.
+_SITE_ORDINAL = {site: i for i, site in enumerate(FAULT_SITES)}
 
 
 class BadPhysicalAddress(Exception):
@@ -72,6 +76,18 @@ class MmcStats:
         """Average MMC-side latency per cache fill, in CPU cycles."""
         return self.fill_cpu_cycles / self.fills if self.fills else 0.0
 
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Flat counter mapping for the machine's metrics registry."""
+        return {
+            "fills": self.fills,
+            "shadow_fills": self.shadow_fills,
+            "writebacks": self.writebacks,
+            "shadow_writebacks": self.shadow_writebacks,
+            "control_writes": self.control_writes,
+            "fill_cpu_cycles": self.fill_cpu_cycles,
+            "transient_retries": self.transient_retries,
+        }
+
 
 @dataclass(frozen=True)
 class FillResult:
@@ -115,6 +131,14 @@ class MemoryController:
         #: to DRAM with no retry logic (and no PRNG draws).
         self.fault_plan = fault_plan
         self.stats = MmcStats()
+        #: Observability event sink (None = null sink): one
+        #: ``cache_miss`` event per serviced fill, ``fault_injected``
+        #: when a transient DRAM error is injected and retried.
+        self.tracer = None
+
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Counters this MMC registers into the metrics registry."""
+        return self.stats.metrics_snapshot()
 
     @property
     def has_mtlb(self) -> bool:
@@ -144,6 +168,10 @@ class MemoryController:
         if attempts:
             self.stats.transient_retries += attempts
             plan.record_recovery(DRAM_TRANSIENT)
+            if self.tracer is not None:
+                self.tracer.emit(
+                    FAULT_INJECTED, _SITE_ORDINAL[DRAM_TRANSIENT]
+                )
         return cycles
 
     # ------------------------------------------------------------------ #
@@ -197,6 +225,8 @@ class MemoryController:
         cpu_cycles = mmc_cycles * timing.cpu_cycles_per_mmc_cycle
         self.stats.fills += 1
         self.stats.fill_cpu_cycles += cpu_cycles
+        if self.tracer is not None:
+            self.tracer.emit(CACHE_MISS, paddr, cpu_cycles)
         return FillResult(
             real_paddr=real_paddr,
             cpu_cycles=cpu_cycles,

@@ -1,0 +1,84 @@
+"""repro.obs — the observability subsystem (DESIGN.md §9).
+
+Four pieces, composable but independent:
+
+* :mod:`~repro.obs.tracer` — ring-buffered, numpy-backed structured
+  event log with named sites and a null-sink fast path;
+* :mod:`~repro.obs.registry` — counters / gauges / histograms that
+  components register into (``RunStats`` is rebuilt as a view over it);
+* :mod:`~repro.obs.attribution` — phase-resolved Figure-3 cycle
+  breakdown over simulated time, exported as Chrome-trace JSON
+  (Perfetto-loadable) and CSV;
+* :mod:`~repro.obs.snapshot` / :mod:`~repro.obs.diff` — the
+  standardized metrics-snapshot format and the run-to-run regression
+  diff behind ``repro metrics dump`` / ``repro metrics diff``.
+"""
+
+from .attribution import (
+    CATEGORIES,
+    PhaseAttributor,
+    PhaseBucket,
+    PhaseSample,
+    attribution_csv,
+)
+from .chrome_trace import build_chrome_trace, write_chrome_trace
+from .collector import ObsCollector, ObsConfig
+from .diff import (
+    DiffReport,
+    MetricDelta,
+    diff_snapshots,
+    metric_regressed,
+    parse_threshold,
+)
+from .registry import Counter, Gauge, Histogram, MetricsRegistry
+from .snapshot import (
+    SCHEMA,
+    load_snapshot,
+    matrix_snapshot,
+    results_snapshot,
+    run_snapshot,
+    stats_metrics,
+    write_snapshot,
+)
+from .tracer import (
+    NULL_TRACER,
+    SITES,
+    SITE_IDS,
+    EventTracer,
+    NullTracer,
+    TraceEvent,
+)
+
+__all__ = [
+    "CATEGORIES",
+    "Counter",
+    "DiffReport",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "MetricDelta",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "ObsCollector",
+    "ObsConfig",
+    "PhaseAttributor",
+    "PhaseBucket",
+    "PhaseSample",
+    "SCHEMA",
+    "SITES",
+    "SITE_IDS",
+    "TraceEvent",
+    "attribution_csv",
+    "build_chrome_trace",
+    "diff_snapshots",
+    "load_snapshot",
+    "matrix_snapshot",
+    "metric_regressed",
+    "parse_threshold",
+    "results_snapshot",
+    "run_snapshot",
+    "stats_metrics",
+    "write_chrome_trace",
+    "write_snapshot",
+]

@@ -1,0 +1,174 @@
+"""Phase-resolved cycle attribution (Figure 3 over simulated time).
+
+``RunStats`` can only say where a whole run's cycles went; this module
+records *when*.  The simulator feeds the attributor a monotone stream of
+cumulative cycle-category totals — one sample at every segment boundary
+and after every kernel event — and the attributor resamples that stream
+into fixed-width buckets of simulated time, each holding the four
+Figure-3 category deltas (instruction / memory stall / TLB miss /
+kernel).  Buckets are what the Chrome-trace and CSV exporters consume.
+
+Sampling at control-flow boundaries rather than on a cycle timer keeps
+the cost proportional to the number of segments and kernel events (a few
+thousand per run), not to references.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: The four Figure-3 cycle categories, in reporting order.
+CATEGORIES = ("instruction", "memory_stall", "tlb_miss", "kernel")
+
+
+@dataclass(frozen=True)
+class PhaseSample:
+    """Cumulative cycle-category totals at one sample point."""
+
+    cycle: int
+    instruction: int
+    memory_stall: int
+    tlb_miss: int
+    kernel: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.instruction + self.memory_stall
+            + self.tlb_miss + self.kernel
+        )
+
+
+@dataclass(frozen=True)
+class PhaseBucket:
+    """Category cycle deltas over one slice of simulated time."""
+
+    start_cycle: int
+    end_cycle: int
+    instruction: int
+    memory_stall: int
+    tlb_miss: int
+    kernel: int
+
+    @property
+    def total(self) -> int:
+        return (
+            self.instruction + self.memory_stall
+            + self.tlb_miss + self.kernel
+        )
+
+    def fraction(self, category: str) -> float:
+        """One category's share of this bucket (0.0 for empty buckets)."""
+        total = self.total
+        return getattr(self, category) / total if total else 0.0
+
+
+class PhaseAttributor:
+    """Collects cumulative samples; buckets them on demand."""
+
+    def __init__(self) -> None:
+        self.samples: List[PhaseSample] = []
+
+    def sample(
+        self,
+        instruction: int,
+        memory_stall: int,
+        tlb_miss: int,
+        kernel: int,
+    ) -> None:
+        """Record the current cumulative category totals."""
+        self.samples.append(
+            PhaseSample(
+                cycle=instruction + memory_stall + tlb_miss + kernel,
+                instruction=instruction,
+                memory_stall=memory_stall,
+                tlb_miss=tlb_miss,
+                kernel=kernel,
+            )
+        )
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def buckets(self, count: int = 64) -> List[PhaseBucket]:
+        """Resample into *count* equal-width buckets of simulated time.
+
+        Category totals between two samples are attributed linearly
+        across the interval they accrued over, so a long segment spreads
+        its cycles over every bucket it spans instead of spiking the
+        bucket its boundary lands in.
+        """
+        if count <= 0:
+            raise ValueError("bucket count must be positive")
+        if len(self.samples) < 2:
+            return []
+        end = self.samples[-1].cycle
+        start = self.samples[0].cycle
+        span = end - start
+        if span <= 0:
+            return []
+        width = span / count
+        # Per-bucket float accumulators, one row per category.
+        acc = [[0.0] * count for _ in CATEGORIES]
+        for prev, cur in zip(self.samples, self.samples[1:]):
+            seg_span = cur.cycle - prev.cycle
+            if seg_span <= 0:
+                continue
+            deltas = [
+                getattr(cur, cat) - getattr(prev, cat)
+                for cat in CATEGORIES
+            ]
+            # Walk the buckets this interval overlaps.
+            first = min(int((prev.cycle - start) / width), count - 1)
+            last = min(int((cur.cycle - start) / width), count - 1)
+            for b in range(first, last + 1):
+                lo = max(prev.cycle, start + b * width)
+                hi = min(cur.cycle, start + (b + 1) * width)
+                if b == count - 1:
+                    hi = min(cur.cycle, end)
+                overlap = max(0.0, hi - lo)
+                share = overlap / seg_span
+                for c in range(len(CATEGORIES)):
+                    acc[c][b] += deltas[c] * share
+        # Integerise by cumulative rounding so each category's bucket
+        # deltas telescope to exactly its end-to-end cycle total.
+        rows: List[List[int]] = []
+        for c, cat in enumerate(CATEGORIES):
+            total = getattr(self.samples[-1], cat) - getattr(
+                self.samples[0], cat
+            )
+            cum = 0.0
+            emitted = 0
+            ints: List[int] = []
+            for b in range(count):
+                cum += acc[c][b]
+                target = int(round(cum))
+                ints.append(target - emitted)
+                emitted = target
+            ints[-1] += total - emitted
+            rows.append(ints)
+        out: List[PhaseBucket] = []
+        for b in range(count):
+            out.append(
+                PhaseBucket(
+                    start_cycle=int(start + b * width),
+                    end_cycle=int(start + (b + 1) * width),
+                    instruction=rows[0][b],
+                    memory_stall=rows[1][b],
+                    tlb_miss=rows[2][b],
+                    kernel=rows[3][b],
+                )
+            )
+        return out
+
+
+def attribution_csv(buckets: List[PhaseBucket]) -> str:
+    """Render buckets as CSV (one row per bucket, header included)."""
+    lines = ["start_cycle,end_cycle," + ",".join(CATEGORIES)]
+    for b in buckets:
+        lines.append(
+            f"{b.start_cycle},{b.end_cycle},{b.instruction},"
+            f"{b.memory_stall},{b.tlb_miss},{b.kernel}"
+        )
+    return "\n".join(lines) + "\n"

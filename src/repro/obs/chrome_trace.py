@@ -1,0 +1,166 @@
+"""Chrome-trace-event export (Perfetto / chrome://tracing compatible).
+
+Produces the JSON object format — ``{"traceEvents": [...]}`` — using
+only event phases Perfetto's importer accepts:
+
+* ``M`` metadata events naming the process/threads;
+* ``C`` counter events carrying the four Figure-3 cycle categories per
+  attribution bucket (rendered as a stacked counter track);
+* ``X`` complete events for costed operations (remaps, promotions,
+  kernel services) with real durations;
+* ``i`` instant events for point occurrences (TLB misses, MTLB fills
+  and faults, injected faults).
+
+Timestamps are microseconds of *simulated* time (cycles at the
+configured CPU clock), so a Perfetto timeline reads in wall-clock units
+of the simulated machine.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .attribution import CATEGORIES, PhaseBucket
+from .tracer import EventTracer, KERNEL_OPS, TraceEvent
+
+#: Simulated CPU clock used for cycle -> microsecond conversion.
+DEFAULT_CPU_HZ = 240_000_000
+
+#: Sites rendered as ``X`` complete events: payload b is a duration.
+_DURATION_SITES = {"remap", "promotion", "kernel_entry", "tlb_miss"}
+
+#: Virtual thread ids per site family, so Perfetto gives each its own row.
+_SITE_TID = {
+    "tlb_miss": 1,
+    "cache_miss": 2,
+    "mtlb_fill": 3,
+    "mtlb_fault": 3,
+    "remap": 4,
+    "promotion": 4,
+    "kernel_entry": 5,
+    "fault_injected": 6,
+}
+
+_PID = 1
+
+
+def _us(cycles: Union[int, float], cpu_hz: int) -> float:
+    return cycles * 1_000_000.0 / cpu_hz
+
+
+def _event_args(event: TraceEvent) -> Dict[str, Union[int, str]]:
+    if event.site == "kernel_entry":
+        op = (
+            KERNEL_OPS[event.a]
+            if 0 <= event.a < len(KERNEL_OPS)
+            else str(event.a)
+        )
+        return {"op": op, "cycles": event.b}
+    if event.site == "tlb_miss":
+        return {"vaddr": f"{event.a:#x}", "handler_cycles": event.b}
+    if event.site in ("mtlb_fill", "mtlb_fault"):
+        return {"shadow_index": event.a, "detail": event.b}
+    if event.site == "cache_miss":
+        return {"paddr": f"{event.a:#x}", "stall_cycles": event.b}
+    return {"a": event.a, "b": event.b}
+
+
+def build_chrome_trace(
+    events: List[TraceEvent],
+    buckets: Optional[List[PhaseBucket]] = None,
+    label: str = "repro",
+    cpu_hz: int = DEFAULT_CPU_HZ,
+) -> Dict[str, object]:
+    """Assemble the trace-object dict ready for ``json.dump``."""
+    out: List[Dict[str, object]] = []
+    out.append(
+        {
+            "name": "process_name",
+            "ph": "M",
+            "pid": _PID,
+            "tid": 0,
+            "args": {"name": label},
+        }
+    )
+    named: Dict[int, str] = {}
+    for site, tid in _SITE_TID.items():
+        named.setdefault(tid, site.split("_")[0] + " events")
+    for tid, name in sorted(named.items()):
+        out.append(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "pid": _PID,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    for event in events:
+        tid = _SITE_TID.get(event.site, 7)
+        record: Dict[str, object] = {
+            "name": event.site,
+            "cat": "repro",
+            "pid": _PID,
+            "tid": tid,
+            "ts": _us(event.cycle, cpu_hz),
+            "args": _event_args(event),
+        }
+        if event.site in _DURATION_SITES and event.b > 0:
+            record["ph"] = "X"
+            record["dur"] = _us(event.b, cpu_hz)
+        else:
+            record["ph"] = "i"
+            record["s"] = "t"
+        out.append(record)
+
+    for bucket in buckets or []:
+        out.append(
+            {
+                "name": "figure3 cycle breakdown",
+                "cat": "repro",
+                "ph": "C",
+                "pid": _PID,
+                "tid": 0,
+                "ts": _us(bucket.start_cycle, cpu_hz),
+                "args": {
+                    cat: getattr(bucket, cat) for cat in CATEGORIES
+                },
+            }
+        )
+
+    return {
+        "traceEvents": out,
+        "displayTimeUnit": "ms",
+        "otherData": {"generator": "repro.obs", "label": label},
+    }
+
+
+def write_chrome_trace(
+    path: Union[str, Path],
+    events: List[TraceEvent],
+    buckets: Optional[List[PhaseBucket]] = None,
+    label: str = "repro",
+    cpu_hz: int = DEFAULT_CPU_HZ,
+) -> Path:
+    """Write the Chrome-trace JSON file; returns the path written."""
+    path = Path(path)
+    payload = build_chrome_trace(
+        events, buckets, label=label, cpu_hz=cpu_hz
+    )
+    path.write_text(json.dumps(payload))
+    return path
+
+
+def trace_from_tracer(
+    tracer: EventTracer,
+    buckets: Optional[List[PhaseBucket]] = None,
+    label: str = "repro",
+    cpu_hz: int = DEFAULT_CPU_HZ,
+) -> Dict[str, object]:
+    """Convenience: build the trace dict straight from a tracer."""
+    return build_chrome_trace(
+        tracer.events(), buckets, label=label, cpu_hz=cpu_hz
+    )

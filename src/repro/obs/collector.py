@@ -1,0 +1,132 @@
+"""Per-run observability bundle: tracer + phase attribution + export.
+
+One :class:`ObsCollector` is built per :class:`~repro.sim.system.System`
+when ``SystemConfig.obs.enabled`` is set.  It owns the event tracer and
+phase attributor the simulator feeds, and at end of run it *finalises*:
+derived histograms (MTLB-miss inter-arrival, remap latency, superpage
+sizes) are computed from the event log and registered into the machine's
+metrics registry, so one registry holds the whole measurement surface.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from .attribution import PhaseAttributor, PhaseBucket, attribution_csv
+from .chrome_trace import build_chrome_trace, write_chrome_trace
+from .registry import (
+    MTLB_INTERARRIVAL_EDGES,
+    MetricsRegistry,
+    REMAP_LATENCY_EDGES,
+    SUPERPAGE_SIZE_EDGES,
+)
+from .tracer import EventTracer, TraceEvent, inter_arrival
+
+
+@dataclass(frozen=True)
+class ObsConfig:
+    """Observability knobs; the default is fully disabled.
+
+    When disabled no tracer, attributor, or histogram exists and every
+    component's tracer attribute stays ``None`` — the only cost left in
+    the simulator is one predictable branch per miss-path event.
+    """
+
+    enabled: bool = False
+    #: Event ring capacity (power of two); oldest events are overwritten.
+    ring_capacity: int = 1 << 16
+    #: Bucket count for phase-resolved cycle attribution exports.
+    attribution_buckets: int = 64
+
+    def __post_init__(self) -> None:
+        cap = self.ring_capacity
+        if cap <= 0 or cap & (cap - 1):
+            raise ValueError("ring_capacity must be a positive power of two")
+        if self.attribution_buckets <= 0:
+            raise ValueError("attribution_buckets must be positive")
+
+
+class ObsCollector:
+    """Everything one observed run accumulates, plus its exporters."""
+
+    def __init__(self, config: ObsConfig) -> None:
+        self.config = config
+        self.tracer = EventTracer(capacity=config.ring_capacity)
+        self.attributor = PhaseAttributor()
+        self._finalized = False
+
+    # ------------------------------------------------------------------ #
+    # End-of-run finalisation
+    # ------------------------------------------------------------------ #
+
+    def observe_superpage_sizes(
+        self, registry: MetricsRegistry, sizes_bytes
+    ) -> None:
+        """Record the live superpage-size distribution (fed by the
+        simulator from the kernel's superpage records at harvest)."""
+        hist = registry.histogram(
+            "obs.superpage_size_bytes", SUPERPAGE_SIZE_EDGES
+        )
+        hist.observe_many(int(size) for size in sizes_bytes)
+
+    def finalize(self, registry: MetricsRegistry) -> None:
+        """Fold derived observations into the metrics registry."""
+        if self._finalized:
+            return
+        self._finalized = True
+        tracer = self.tracer
+
+        hist = registry.histogram(
+            "obs.mtlb_miss_interarrival_cycles", MTLB_INTERARRIVAL_EDGES
+        )
+        hist.observe_many(
+            int(gap) for gap in inter_arrival(tracer.cycles_of("mtlb_fill"))
+        )
+
+        remap_hist = registry.histogram(
+            "obs.remap_latency_cycles", REMAP_LATENCY_EDGES
+        )
+        _pages, latencies = tracer.payloads_of("remap")
+        remap_hist.observe_many(int(v) for v in latencies)
+
+        registry.counter("obs.events_emitted").set(tracer.total)
+        registry.counter("obs.events_dropped").set(tracer.dropped)
+        for site, count in tracer.site_counts().items():
+            registry.counter(f"obs.events.{site}").set(count)
+
+    # ------------------------------------------------------------------ #
+    # Exports
+    # ------------------------------------------------------------------ #
+
+    def buckets(self) -> List[PhaseBucket]:
+        """Phase-attribution buckets at the configured resolution."""
+        return self.attributor.buckets(self.config.attribution_buckets)
+
+    def events(self, site: Optional[str] = None) -> List[TraceEvent]:
+        return self.tracer.events(site)
+
+    def chrome_trace(self, label: str = "repro") -> Dict[str, object]:
+        """The Chrome-trace-event dict (Perfetto-loadable)."""
+        return build_chrome_trace(
+            self.tracer.events(), self.buckets(), label=label
+        )
+
+    def write_chrome_trace(
+        self, path: Union[str, Path], label: str = "repro"
+    ) -> Path:
+        return write_chrome_trace(
+            path, self.tracer.events(), self.buckets(), label=label
+        )
+
+    def attribution_csv(self) -> str:
+        """The phase-resolved Figure-3 breakdown as CSV."""
+        return attribution_csv(self.buckets())
+
+    def top_events(self, site: str, count: int = 5) -> List[TraceEvent]:
+        """The *count* largest-payload-b events at one site (e.g. the
+        slowest remaps)."""
+        return sorted(
+            self.events(site), key=lambda e: e.b, reverse=True
+        )[:count]

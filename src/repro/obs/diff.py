@@ -1,0 +1,184 @@
+"""Run-to-run regression diffing over metrics snapshots.
+
+``diff_snapshots(baseline, candidate, threshold)`` compares every run
+key the two snapshots share, metric by metric.  A metric only *regress*
+in its bad direction: for lower-is-better metrics (cycles, misses,
+stall fractions) the candidate regresses when it exceeds the baseline by
+more than the relative threshold; for higher-is-better metrics (hit
+rates) when it falls short by more.  Metrics with no known direction
+(reference counts, configuration echoes) are reported as informational
+changes but can never fail a diff — so a run on a bigger input does not
+read as a regression.
+
+Two identical snapshots always produce zero regressions, which is what
+lets the bench runner use ``repro metrics diff`` as a CI gate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+#: Metrics where *larger* is worse.
+LOWER_IS_BETTER = frozenset(
+    {
+        "total_cycles",
+        "instruction_cycles",
+        "memory_stall_cycles",
+        "tlb_miss_cycles",
+        "kernel_cycles",
+        "tlb_misses",
+        "itlb_main_misses",
+        "cache_misses",
+        "cache_writebacks",
+        "fill_stall_cycles",
+        "mtlb_misses",
+        "mtlb_faults",
+        "remap_cycles",
+        "remap_flush_cycles",
+        "degraded_remaps",
+        "tlb_miss_rate",
+        "tlb_time_fraction",
+        "avg_fill_cycles",
+        "cpi",
+    }
+)
+
+#: Metrics where *smaller* is worse.
+HIGHER_IS_BETTER = frozenset({"cache_hit_rate", "mtlb_hit_rate"})
+
+#: Absolute-change floor: direction-tracked metrics whose values differ
+#: by less than this never regress, so single-cycle jitter on near-zero
+#: counters cannot fail a diff.
+MIN_ABS_DELTA = 1e-9
+
+
+@dataclass(frozen=True)
+class MetricDelta:
+    """One metric's change between baseline and candidate."""
+
+    run: str
+    metric: str
+    baseline: float
+    candidate: float
+    regressed: bool
+
+    @property
+    def rel_change(self) -> Optional[float]:
+        """Relative change vs baseline (None when baseline is zero)."""
+        if self.baseline == 0:
+            return None
+        return (self.candidate - self.baseline) / self.baseline
+
+    def describe(self) -> str:
+        rel = self.rel_change
+        rel_text = f"{100 * rel:+.2f}%" if rel is not None else "new"
+        flag = "  REGRESSION" if self.regressed else ""
+        return (
+            f"{self.run}: {self.metric} {self.baseline:g} -> "
+            f"{self.candidate:g} ({rel_text}){flag}"
+        )
+
+
+@dataclass
+class DiffReport:
+    """Everything ``repro metrics diff`` found."""
+
+    threshold: float
+    deltas: List[MetricDelta] = field(default_factory=list)
+    #: Run keys present in only one snapshot (compared in neither).
+    only_in_baseline: List[str] = field(default_factory=list)
+    only_in_candidate: List[str] = field(default_factory=list)
+
+    @property
+    def regressions(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.regressed]
+
+    @property
+    def changed(self) -> List[MetricDelta]:
+        return [d for d in self.deltas if d.baseline != d.candidate]
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render(self, show_unchanged: bool = False) -> str:
+        lines: List[str] = []
+        shown = self.deltas if show_unchanged else self.changed
+        for delta in shown:
+            lines.append("  " + delta.describe())
+        if not shown:
+            lines.append("  (no metric changes)")
+        for key in self.only_in_baseline:
+            lines.append(f"  {key}: only in baseline (skipped)")
+        for key in self.only_in_candidate:
+            lines.append(f"  {key}: only in candidate (skipped)")
+        lines.append(
+            f"{len(self.regressions)} regression(s) at threshold "
+            f"{100 * self.threshold:g}% across "
+            f"{len(self.deltas)} compared metric(s)"
+        )
+        return "\n".join(lines)
+
+
+def metric_regressed(
+    name: str, baseline: float, candidate: float, threshold: float
+) -> bool:
+    """Does candidate regress against baseline for this metric?"""
+    if abs(candidate - baseline) < MIN_ABS_DELTA:
+        return False
+    if name in LOWER_IS_BETTER:
+        if baseline == 0:
+            return candidate > 0
+        return candidate > baseline * (1.0 + threshold)
+    if name in HIGHER_IS_BETTER:
+        if baseline == 0:
+            return False
+        return candidate < baseline * (1.0 - threshold)
+    return False
+
+
+def diff_snapshots(
+    baseline: Mapping[str, object],
+    candidate: Mapping[str, object],
+    threshold: float = 0.02,
+) -> DiffReport:
+    """Compare two loaded snapshots; see the module docstring."""
+    if threshold < 0:
+        raise ValueError("threshold must be non-negative")
+    report = DiffReport(threshold=threshold)
+    base_runs: Dict[str, dict] = dict(baseline.get("runs", {}))
+    cand_runs: Dict[str, dict] = dict(candidate.get("runs", {}))
+    report.only_in_baseline = sorted(set(base_runs) - set(cand_runs))
+    report.only_in_candidate = sorted(set(cand_runs) - set(base_runs))
+    for key in sorted(set(base_runs) & set(cand_runs)):
+        base_metrics = base_runs[key].get("metrics", {})
+        cand_metrics = cand_runs[key].get("metrics", {})
+        for name in sorted(set(base_metrics) & set(cand_metrics)):
+            old, new = base_metrics[name], cand_metrics[name]
+            if not all(
+                isinstance(v, (int, float)) and not isinstance(v, bool)
+                for v in (old, new)
+            ):
+                continue
+            report.deltas.append(
+                MetricDelta(
+                    run=key,
+                    metric=name,
+                    baseline=float(old),
+                    candidate=float(new),
+                    regressed=metric_regressed(
+                        name, float(old), float(new), threshold
+                    ),
+                )
+            )
+    return report
+
+
+def parse_threshold(text: str) -> float:
+    """Parse a CLI threshold: ``2%`` or ``0.02`` both mean 2 %."""
+    text = text.strip()
+    if text.endswith("%"):
+        return float(text[:-1]) / 100.0
+    value = float(text)
+    return value

@@ -1,0 +1,237 @@
+"""Metrics registry: counters, gauges, and histograms by name.
+
+Components stop poking ad-hoc fields into ``RunStats`` and instead
+surface their activity through one registry per simulated machine:
+
+* a **Counter** is a monotonically growing event total (TLB misses,
+  MTLB fills);
+* a **Gauge** is a point-in-time value (cycle-category totals, MTLB
+  occupancy);
+* a **Histogram** buckets observations against fixed edges (MTLB-miss
+  inter-arrival, remap latency, superpage sizes).
+
+The registry collects in two ways.  Hot components keep their existing
+cheap stats dataclasses and register a *source* — a callable returning
+``{metric_name: value}`` — which the registry drains at collect time, so
+the simulator hot path pays nothing for the registry's existence.  Cold
+paths (kernel ops, benches, tests) may update instruments directly.
+
+:meth:`MetricsRegistry.collect` runs every source and returns the full
+flat ``name -> value`` mapping; :class:`~repro.sim.stats.RunStats` is
+rebuilt from that mapping at end of run (see ``RunStats.from_registry``),
+making the legacy stats object a *view* over this registry.
+"""
+
+from __future__ import annotations
+
+import json
+from bisect import bisect_right
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
+
+Number = Union[int, float]
+
+#: A source is a callable returning a flat metric mapping.
+MetricSource = Callable[[], Dict[str, Number]]
+
+
+@dataclass
+class Counter:
+    """Monotonic event total."""
+
+    name: str
+    value: Number = 0
+
+    def inc(self, amount: Number = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+    def set(self, value: Number) -> None:
+        """Overwrite from an authoritative component total."""
+        self.value = value
+
+
+@dataclass
+class Gauge:
+    """Point-in-time value."""
+
+    name: str
+    value: Number = 0
+
+    def set(self, value: Number) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-edge histogram: ``len(edges) + 1`` buckets.
+
+    An observation ``x`` lands in bucket ``i`` where
+    ``edges[i-1] <= x < edges[i]`` (the last bucket is open-ended).
+    Tracks count/sum/min/max so summaries survive bucketing.
+    """
+
+    def __init__(self, name: str, edges: Sequence[Number]) -> None:
+        if list(edges) != sorted(edges) or len(set(edges)) != len(edges):
+            raise ValueError("histogram edges must be strictly increasing")
+        if not edges:
+            raise ValueError("histogram needs at least one bucket edge")
+        self.name = name
+        self.edges: List[Number] = list(edges)
+        self.counts: List[int] = [0] * (len(edges) + 1)
+        self.total = 0
+        self.sum: Number = 0
+        self.min: Optional[Number] = None
+        self.max: Optional[Number] = None
+
+    def observe(self, value: Number) -> None:
+        self.counts[bisect_right(self.edges, value)] += 1
+        self.total += 1
+        self.sum += value
+        self.min = value if self.min is None else min(self.min, value)
+        self.max = value if self.max is None else max(self.max, value)
+
+    def observe_many(self, values: Iterable[Number]) -> None:
+        for value in values:
+            self.observe(value)
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.total if self.total else 0.0
+
+    def bucket_labels(self) -> List[str]:
+        """Human-readable bucket bounds, aligned with :attr:`counts`."""
+        labels = [f"<{self.edges[0]}"]
+        for lo, hi in zip(self.edges, self.edges[1:]):
+            labels.append(f"[{lo},{hi})")
+        labels.append(f">={self.edges[-1]}")
+        return labels
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "edges": self.edges,
+            "counts": self.counts,
+            "total": self.total,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+        }
+
+
+class MetricsRegistry:
+    """One namespace of instruments plus deferred component sources."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._histograms: Dict[str, Histogram] = {}
+        self._sources: Dict[str, MetricSource] = {}
+
+    # ------------------------------------------------------------------ #
+    # Instrument registration
+    # ------------------------------------------------------------------ #
+
+    def counter(self, name: str) -> Counter:
+        """Get-or-create the named counter."""
+        self._reserve(name, self._counters)
+        return self._counters.setdefault(name, Counter(name))
+
+    def gauge(self, name: str) -> Gauge:
+        """Get-or-create the named gauge."""
+        self._reserve(name, self._gauges)
+        return self._gauges.setdefault(name, Gauge(name))
+
+    def histogram(
+        self, name: str, edges: Optional[Sequence[Number]] = None
+    ) -> Histogram:
+        """Get-or-create the named histogram (edges required first time)."""
+        self._reserve(name, self._histograms)
+        hist = self._histograms.get(name)
+        if hist is None:
+            if edges is None:
+                raise KeyError(
+                    f"histogram {name!r} does not exist and no edges given"
+                )
+            hist = Histogram(name, edges)
+            self._histograms[name] = hist
+        return hist
+
+    def _reserve(self, name: str, own: Dict[str, object]) -> None:
+        for family in (self._counters, self._gauges, self._histograms):
+            if family is not own and name in family:
+                raise ValueError(
+                    f"metric {name!r} already registered with a "
+                    "different instrument type"
+                )
+
+    def add_source(self, prefix: str, source: MetricSource) -> None:
+        """Register a component snapshot callable under *prefix*.
+
+        At :meth:`collect` time the source runs once and each returned
+        ``key: value`` becomes counter ``<prefix>.<key>``.  Registering
+        the same prefix again replaces the source (a rebuilt component
+        supersedes its predecessor).
+        """
+        self._sources[prefix] = source
+
+    # ------------------------------------------------------------------ #
+    # Collection / export
+    # ------------------------------------------------------------------ #
+
+    def collect(self) -> Dict[str, Number]:
+        """Drain sources into counters, then return every scalar metric."""
+        for prefix, source in self._sources.items():
+            for key, value in source().items():
+                self.counter(f"{prefix}.{key}").set(value)
+        out: Dict[str, Number] = {}
+        for counter in self._counters.values():
+            out[counter.name] = counter.value
+        for gauge in self._gauges.values():
+            out[gauge.name] = gauge.value
+        return out
+
+    def value(self, name: str) -> Number:
+        """Current value of one counter or gauge (collect() first)."""
+        if name in self._counters:
+            return self._counters[name].value
+        if name in self._gauges:
+            return self._gauges[name].value
+        raise KeyError(name)
+
+    def histograms(self) -> Dict[str, Histogram]:
+        """The registered histograms by name."""
+        return dict(self._histograms)
+
+    def as_dict(self) -> Dict[str, object]:
+        """Full registry content as plain JSON-ready data."""
+        return {
+            "metrics": self.collect(),
+            "histograms": {
+                name: hist.as_dict()
+                for name, hist in self._histograms.items()
+            },
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.as_dict(), indent=indent, sort_keys=True)
+
+
+# ---------------------------------------------------------------------- #
+# Canonical histogram edge sets (powers of two keep buckets meaningful
+# across run scales)
+# ---------------------------------------------------------------------- #
+
+#: MTLB-miss inter-arrival gaps, in CPU cycles.
+MTLB_INTERARRIVAL_EDGES = (
+    64, 256, 1_024, 4_096, 16_384, 65_536, 262_144, 1_048_576,
+)
+
+#: Remap latency per remap() call, in CPU cycles.
+REMAP_LATENCY_EDGES = (
+    1_000, 4_000, 16_000, 64_000, 256_000, 1_000_000, 4_000_000,
+)
+
+#: Superpage sizes created, in bytes (the paper's power-of-four ladder).
+SUPERPAGE_SIZE_EDGES = (
+    16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
+)

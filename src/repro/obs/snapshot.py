@@ -1,0 +1,151 @@
+"""Standardized metrics snapshots: the ``repro metrics`` file format.
+
+One *snapshot* is a JSON document holding the scalar metrics of one or
+more runs, keyed ``<workload>|<config label>``.  The same schema is used
+by ``repro metrics dump`` (one run), by the bench runner's
+``BENCH_<name>.json`` baselines (a whole figure matrix), and by
+``repro metrics diff`` — so any two of those artifacts can be compared.
+
+Schema (``repro-metrics/1``)::
+
+    {
+      "schema": "repro-metrics/1",
+      "label": "figure3",
+      "meta": {...free-form provenance: seed, quick, scales...},
+      "runs": {
+        "em3d|tlb96": {"metrics": {"total_cycles": 12753686, ...}},
+        ...
+      }
+    }
+
+Metric values are flat name -> number; derived ratios (cpi, hit rates,
+TLB time fraction) are materialised at dump time so diffs compare what
+the paper's figures actually plot.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, Dict, Mapping, Optional, Union
+
+if TYPE_CHECKING:  # imported lazily to keep repro.obs sim-independent
+    from ..sim.results import ResultMatrix, RunResult
+    from ..sim.stats import RunStats
+
+SCHEMA = "repro-metrics/1"
+
+#: Derived RunStats properties included in every snapshot.
+DERIVED_METRICS = (
+    "tlb_miss_rate",
+    "tlb_time_fraction",
+    "cache_hit_rate",
+    "mtlb_hit_rate",
+    "avg_fill_cycles",
+    "cpi",
+)
+
+
+def stats_metrics(stats: "RunStats") -> Dict[str, float]:
+    """Flatten one RunStats into the snapshot's metric mapping."""
+    out: Dict[str, float] = {}
+    for fld in dataclasses.fields(stats):
+        value = getattr(stats, fld.name)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            out[fld.name] = value
+    for name in DERIVED_METRICS:
+        out[name] = getattr(stats, name)
+    for key, value in stats.extra.items():
+        out[f"extra.{key}"] = value
+    return out
+
+
+def run_key(workload: str, config_label: str) -> str:
+    return f"{workload}|{config_label}"
+
+
+def run_snapshot(
+    result: "RunResult",
+    label: str = "run",
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Snapshot one run."""
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "meta": dict(meta or {}),
+        "runs": {
+            run_key(result.workload, result.config_label): {
+                "metrics": stats_metrics(result.stats)
+            }
+        },
+    }
+
+
+def results_snapshot(
+    results,
+    label: str,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Snapshot any iterable of :class:`RunResult` (e.g. a figure-4
+    sweep that keeps runs in a plain dict rather than a matrix)."""
+    runs: Dict[str, object] = {}
+    for result in results:
+        runs[run_key(result.workload, result.config_label)] = {
+            "metrics": stats_metrics(result.stats)
+        }
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "meta": dict(meta or {}),
+        "runs": runs,
+    }
+
+
+def matrix_snapshot(
+    matrix: "ResultMatrix",
+    label: str,
+    workloads=None,
+    config_labels=None,
+    meta: Optional[Mapping[str, object]] = None,
+) -> Dict[str, object]:
+    """Snapshot a whole (workload x config) result matrix."""
+    runs: Dict[str, object] = {}
+    for workload in workloads or matrix.workloads():
+        labels = config_labels or list(matrix._results[workload])
+        for config_label in labels:
+            result = matrix.get(workload, config_label)
+            runs[run_key(workload, config_label)] = {
+                "metrics": stats_metrics(result.stats)
+            }
+    return {
+        "schema": SCHEMA,
+        "label": label,
+        "meta": dict(meta or {}),
+        "runs": runs,
+    }
+
+
+def write_snapshot(
+    snapshot: Mapping[str, object], path: Union[str, Path]
+) -> Path:
+    """Write one snapshot as stable, diff-friendly JSON."""
+    path = Path(path)
+    path.write_text(json.dumps(snapshot, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def load_snapshot(path: Union[str, Path]) -> Dict[str, object]:
+    """Load and schema-check a snapshot file."""
+    payload = json.loads(Path(path).read_text())
+    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+        raise ValueError(
+            f"{path}: not a {SCHEMA} snapshot "
+            f"(schema={payload.get('schema')!r})"
+            if isinstance(payload, dict)
+            else f"{path}: not a metrics snapshot object"
+        )
+    if not isinstance(payload.get("runs"), dict):
+        raise ValueError(f"{path}: snapshot has no 'runs' mapping")
+    return payload

@@ -1,0 +1,239 @@
+"""Structured event tracing: a ring-buffered, numpy-backed event log.
+
+Components emit *events* at named sites (``tlb_miss``, ``mtlb_fill``,
+``remap``, ...) carrying a cycle timestamp and two integer payload words
+whose meaning is per-site (documented in :data:`SITES`).  The tracer is
+deliberately dumb and fast: four parallel numpy arrays used as a ring
+buffer, an integer write head, and no per-event allocation.  When the
+buffer wraps, the oldest events are overwritten and counted in
+``dropped`` — phase analysis prefers losing ancient history to paying
+for an unbounded log.
+
+The *null-sink fast path*: components store their tracer in an attribute
+that defaults to ``None`` and guard every emit with ``if tracer is not
+None``.  A disabled run therefore pays one predictable branch per
+*miss-path* event and nothing at all on hit paths, keeping the overhead
+of a disabled tracer under the 3 % budget (DESIGN.md §9).
+:data:`NULL_TRACER` is provided for call sites that prefer an
+unconditional ``emit`` over a guard.
+
+Timestamps come from :attr:`EventTracer.clock`, a plain integer the
+simulator advances at segment boundaries and on every miss/kernel path;
+emitting components never need their own notion of time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
+
+#: Event sites, in stable id order.  Payload word meanings:
+#:
+#: ==============  =======================  =========================
+#: site            payload a                payload b
+#: ==============  =======================  =========================
+#: tlb_miss        virtual address          handler cycles
+#: mtlb_fill       shadow page index        real PFN
+#: mtlb_fault      shadow page index        1 if write else 0
+#: remap           pages remapped           total remap cycles
+#: promotion       pages promoted           promotion cycles
+#: cache_miss      physical address         fill stall cycles
+#: fault_injected  fault-site ordinal       0
+#: kernel_entry    operation ordinal        service cycles
+#: ==============  =======================  =========================
+SITES: Tuple[str, ...] = (
+    "tlb_miss",
+    "mtlb_fill",
+    "mtlb_fault",
+    "remap",
+    "promotion",
+    "cache_miss",
+    "fault_injected",
+    "kernel_entry",
+)
+
+#: site name -> integer id stored in the ring buffer.
+SITE_IDS: Dict[str, int] = {name: i for i, name in enumerate(SITES)}
+
+# Exported integer ids, so hot emit calls don't do a dict lookup.
+TLB_MISS = SITE_IDS["tlb_miss"]
+MTLB_FILL = SITE_IDS["mtlb_fill"]
+MTLB_FAULT = SITE_IDS["mtlb_fault"]
+REMAP = SITE_IDS["remap"]
+PROMOTION = SITE_IDS["promotion"]
+CACHE_MISS = SITE_IDS["cache_miss"]
+FAULT_INJECTED = SITE_IDS["fault_injected"]
+KERNEL_ENTRY = SITE_IDS["kernel_entry"]
+
+#: ``kernel_entry`` payload-a ordinals (which kernel operation ran).
+KERNEL_OPS: Tuple[str, ...] = (
+    "sys_map",
+    "sys_remap",
+    "sys_sbrk",
+    "mtlb_fault_service",
+    "parity_fault_service",
+)
+KERNEL_OP_IDS: Dict[str, int] = {name: i for i, name in enumerate(KERNEL_OPS)}
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One decoded event from the ring buffer."""
+
+    cycle: int
+    site: str
+    a: int
+    b: int
+
+
+class EventTracer:
+    """Ring-buffered event log with fixed per-event cost.
+
+    *capacity* must be a power of two (the wrap is a mask, not a
+    modulo).  ``clock`` is the cycle timestamp stamped onto the next
+    emitted event; the simulator owns advancing it.
+    """
+
+    __slots__ = (
+        "capacity", "_mask", "_cycle", "_site", "_a", "_b",
+        "_head", "total", "clock",
+    )
+
+    def __init__(self, capacity: int = 1 << 16) -> None:
+        if capacity <= 0 or capacity & (capacity - 1):
+            raise ValueError("capacity must be a positive power of two")
+        self.capacity = capacity
+        self._mask = capacity - 1
+        self._cycle = np.zeros(capacity, dtype=np.int64)
+        self._site = np.full(capacity, -1, dtype=np.int16)
+        self._a = np.zeros(capacity, dtype=np.int64)
+        self._b = np.zeros(capacity, dtype=np.int64)
+        self._head = 0
+        #: Events ever emitted (``total - len(self)`` were overwritten).
+        self.total = 0
+        self.clock = 0
+
+    def emit(self, site_id: int, a: int = 0, b: int = 0) -> None:
+        """Record one event at the current clock (overwrites when full)."""
+        i = self._head & self._mask
+        self._cycle[i] = self.clock
+        self._site[i] = site_id
+        self._a[i] = a
+        self._b[i] = b
+        self._head += 1
+        self.total += 1
+
+    # ------------------------------------------------------------------ #
+    # Reading the log
+    # ------------------------------------------------------------------ #
+
+    def __len__(self) -> int:
+        """Number of events currently retained."""
+        return min(self.total, self.capacity)
+
+    @property
+    def dropped(self) -> int:
+        """Events overwritten by ring wraparound."""
+        return max(0, self.total - self.capacity)
+
+    def _order(self) -> np.ndarray:
+        """Retained slot indices, oldest first."""
+        n = len(self)
+        if self.total <= self.capacity:
+            return np.arange(n)
+        head = self._head & self._mask
+        return np.concatenate(
+            [np.arange(head, self.capacity), np.arange(head)]
+        )
+
+    def events(
+        self, site: Optional[str] = None
+    ) -> List[TraceEvent]:
+        """Decode retained events in chronological order.
+
+        *site* filters to one named site.  Intended for post-run
+        analysis, not the hot path.
+        """
+        order = self._order()
+        want = SITE_IDS[site] if site is not None else None
+        out: List[TraceEvent] = []
+        for i in order:
+            sid = int(self._site[i])
+            if sid < 0:
+                continue
+            if want is not None and sid != want:
+                continue
+            out.append(
+                TraceEvent(
+                    cycle=int(self._cycle[i]),
+                    site=SITES[sid],
+                    a=int(self._a[i]),
+                    b=int(self._b[i]),
+                )
+            )
+        return out
+
+    def site_counts(self) -> Dict[str, int]:
+        """Retained event counts per site (dropped events excluded)."""
+        order = self._order()
+        sites = self._site[order]
+        counts: Dict[str, int] = {}
+        for sid, n in zip(*np.unique(sites[sites >= 0], return_counts=True)):
+            counts[SITES[int(sid)]] = int(n)
+        return counts
+
+    def cycles_of(self, site: str) -> np.ndarray:
+        """Timestamps (int64 array) of retained events at one site."""
+        order = self._order()
+        mask = self._site[order] == SITE_IDS[site]
+        return self._cycle[order][mask]
+
+    def payloads_of(self, site: str) -> Tuple[np.ndarray, np.ndarray]:
+        """(a, b) payload arrays of retained events at one site."""
+        order = self._order()
+        mask = self._site[order] == SITE_IDS[site]
+        sel = order[mask]
+        return self._a[sel], self._b[sel]
+
+
+class NullTracer:
+    """A tracer that discards everything (the explicit null sink).
+
+    For call sites that want an unconditional ``emit``; the simulator
+    itself uses ``None`` + a guard, which is one comparison cheaper.
+    """
+
+    __slots__ = ("clock",)
+
+    capacity = 0
+    total = 0
+    dropped = 0
+
+    def __init__(self) -> None:
+        self.clock = 0
+
+    def emit(self, site_id: int, a: int = 0, b: int = 0) -> None:
+        pass
+
+    def __len__(self) -> int:
+        return 0
+
+    def events(self, site: Optional[str] = None) -> List[TraceEvent]:
+        return []
+
+    def site_counts(self) -> Dict[str, int]:
+        return {}
+
+
+#: Shared do-nothing tracer instance.
+NULL_TRACER = NullTracer()
+
+
+def inter_arrival(cycles: Iterable[int]) -> np.ndarray:
+    """Gaps between consecutive event timestamps (for histograms)."""
+    arr = np.asarray(list(cycles), dtype=np.int64)
+    if arr.size < 2:
+        return np.zeros(0, dtype=np.int64)
+    return np.diff(arr)

@@ -22,6 +22,7 @@ from ..core.addrspace import (
 from ..core.shadow_space import BucketShadowAllocator
 from ..core.shadow_table import ENTRY_BYTES
 from ..errors import SimulationError
+from ..obs.tracer import KERNEL_ENTRY, KERNEL_OP_IDS, REMAP
 from .frames import FrameAllocator
 from .hpt import HashedPageTable
 from .paging import Pager, PagingCosts
@@ -81,6 +82,18 @@ class KernelStats:
     #: Shadow-table entries rewritten from kernel records during scrubs.
     scrub_rewrites: int = 0
 
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Flat counter mapping for the machine's metrics registry."""
+        return {
+            "syscalls": self.syscalls,
+            "remap_calls": self.remap_calls,
+            "remapped_pages": self.remapped_pages,
+            "remapped_superpages": self.remapped_superpages,
+            "mtlb_faults_serviced": self.mtlb_faults_serviced,
+            "parity_faults_serviced": self.parity_faults_serviced,
+            "scrub_rewrites": self.scrub_rewrites,
+        }
+
 
 class MiniKernel:
     """Kernel state shared by one simulated machine."""
@@ -127,6 +140,9 @@ class MiniKernel:
         #: Section 4: route every user mapping through shadow memory.
         self.all_shadow = all_shadow
         self.stats = KernelStats()
+        #: Observability event sink (None = null sink): ``kernel_entry``
+        #: per costed kernel operation, ``remap`` with per-call latency.
+        self.tracer = None
         self._processes: Dict[int, Process] = {}
         self._next_pid = 1
         self.current: Optional[Process] = None
@@ -204,9 +220,14 @@ class MiniKernel:
                 f"user mapping at {vaddr:#010x} would shadow kernel space"
             )
         if self.all_shadow:
-            return self.vm.map_region_all_shadow(process, vaddr, length)
-        cycles = self.vm.map_region(process, vaddr, length)
-        self.promotion.register_region(process, vaddr, length)
+            cycles = self.vm.map_region_all_shadow(process, vaddr, length)
+        else:
+            cycles = self.vm.map_region(process, vaddr, length)
+            self.promotion.register_region(process, vaddr, length)
+        if self.tracer is not None:
+            self.tracer.emit(
+                KERNEL_ENTRY, KERNEL_OP_IDS["sys_map"], cycles
+            )
         return cycles
 
     def sys_remap(
@@ -219,12 +240,25 @@ class MiniKernel:
         report = self.vm.remap_to_shadow(process, vaddr, length)
         self.stats.remapped_pages += report.pages_remapped
         self.stats.remapped_superpages += report.superpages_created
+        if self.tracer is not None:
+            self.tracer.emit(
+                KERNEL_ENTRY, KERNEL_OP_IDS["sys_remap"],
+                report.total_cycles,
+            )
+            self.tracer.emit(
+                REMAP, report.pages_remapped, report.total_cycles
+            )
         return report
 
     def sys_sbrk(self, process: Process, nbytes: int) -> int:
         """Grow the heap through the (possibly modified) sbrk."""
         self.stats.syscalls += 1
-        return self.sbrk_allocator(process).sbrk(nbytes)
+        cycles = self.sbrk_allocator(process).sbrk(nbytes)
+        if self.tracer is not None:
+            self.tracer.emit(
+                KERNEL_ENTRY, KERNEL_OP_IDS["sys_sbrk"], cycles
+            )
+        return cycles
 
     # ------------------------------------------------------------------ #
     # Fault handling
@@ -233,7 +267,12 @@ class MiniKernel:
     def handle_mtlb_fault(self, shadow_index: int) -> int:
         """Service an MTLB precise fault: page the base page back in."""
         self.stats.mtlb_faults_serviced += 1
-        return self.pager.page_in(shadow_index)
+        cycles = self.pager.page_in(shadow_index)
+        if self.tracer is not None:
+            self.tracer.emit(
+                KERNEL_ENTRY, KERNEL_OP_IDS["mtlb_fault_service"], cycles
+            )
+        return cycles
 
     def handle_parity_fault(self, shadow_index: int) -> int:
         """Recover from an MTLB parity fault; returns the cycle cost.
@@ -283,6 +322,11 @@ class MiniKernel:
                 mmc.write_mapping(idx, pfn, valid=True)
             cycles += machine.uncached_mmc_write()
             self.stats.scrub_rewrites += 1
+        if self.tracer is not None:
+            self.tracer.emit(
+                KERNEL_ENTRY, KERNEL_OP_IDS["parity_fault_service"],
+                cycles,
+            )
         return cycles
 
     # ------------------------------------------------------------------ #

@@ -29,6 +29,7 @@ from typing import Dict, List, Tuple
 
 from ..core.addrspace import BASE_PAGE_SHIFT, SUPERPAGE_SIZES
 from ..core.shadow_space import ShadowSpaceExhausted
+from ..obs.tracer import PROMOTION
 from .process import Process
 
 
@@ -56,6 +57,17 @@ class PromotionStats:
     promoted_pages: int = 0
     promotion_cycles: int = 0
     exhaustion_failures: int = 0
+
+    def metrics_snapshot(self) -> Dict[str, int]:
+        """Flat counter mapping for the machine's metrics registry."""
+        return {
+            "candidates": self.candidates,
+            "misses_observed": self.misses_observed,
+            "promotions": self.promotions,
+            "promoted_pages": self.promoted_pages,
+            "promotion_cycles": self.promotion_cycles,
+            "exhaustion_failures": self.exhaustion_failures,
+        }
 
 
 @dataclass
@@ -161,6 +173,11 @@ class PromotionEngine:
         self.stats.promotions += 1
         self.stats.promoted_pages += report.pages_remapped
         self.stats.promotion_cycles += report.total_cycles
+        tracer = self.kernel.tracer
+        if tracer is not None:
+            tracer.emit(
+                PROMOTION, report.pages_remapped, report.total_cycles
+            )
         return report.total_cycles
 
     # ------------------------------------------------------------------ #

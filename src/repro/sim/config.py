@@ -27,6 +27,7 @@ from ..mem.bus import BusTiming
 from ..mem.dram import DramTiming
 from ..mem.mmc import MmcTiming
 from ..mem.stream_buffers import StreamBufferConfig
+from ..obs import ObsConfig
 from ..os_model.kernel import KernelCosts
 from ..os_model.paging import PagingCosts
 from ..os_model.promotion import PromotionConfig
@@ -127,6 +128,11 @@ class SystemConfig:
     #: smaller shadow superpages / base pages ("demote"), or propagate
     #: ShadowSpaceExhausted ("abort").
     degradation_policy: str = "demote"
+    #: Observability (DESIGN.md §9): event tracing and phase-resolved
+    #: cycle attribution.  Disabled by default; the disabled path costs
+    #: one predictable branch per miss-path event and keeps RunStats
+    #: bit-identical to a build without the obs layer.
+    obs: ObsConfig = ObsConfig()
 
     def __post_init__(self) -> None:
         if self.use_superpages and not self.mtlb.enabled:

@@ -8,7 +8,7 @@ benchmark harness uses to produce those rows.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional, Sequence
 
 from .stats import RunStats
@@ -21,6 +21,12 @@ class RunResult:
     workload: str
     config_label: str
     stats: RunStats
+    #: Full metrics-registry mapping (name -> value) collected at end of
+    #: run; None for results rebuilt from checkpoints (DESIGN.md §9).
+    metrics: Optional[Dict[str, float]] = field(default=None, repr=False)
+    #: The run's :class:`~repro.obs.ObsCollector` when observability was
+    #: enabled (event log + phase attribution + exporters); else None.
+    obs: Optional[object] = field(default=None, repr=False)
 
     @property
     def total_cycles(self) -> int:

@@ -1,11 +1,57 @@
-"""Run statistics: raw counters and the derived metrics the paper reports."""
+"""Run statistics: raw counters and the derived metrics the paper reports.
+
+Since the observability subsystem (DESIGN.md §9) landed, ``RunStats`` is
+a *view* over the machine's :class:`~repro.obs.MetricsRegistry`: at end
+of run every component's counters are collected into the registry and
+the dataclass fields are (re)assigned from registry values via
+:meth:`RunStats.apply_registry` using :data:`REGISTRY_FIELDS`.  The
+dataclass shape is kept because it is the external API — reports,
+checkpoints (``dataclasses.asdict`` round trips) and tests all consume
+it — but the registry is the authoritative metric surface, and
+``repro metrics dump`` serialises from it.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import TYPE_CHECKING, Dict
 
 from ..errors import StatsConsistencyError
+
+if TYPE_CHECKING:
+    from ..obs import MetricsRegistry
+
+#: Registry metric name -> RunStats field, the contract that makes the
+#: dataclass a registry view.  Every field here is overwritten from the
+#: registry at harvest time; anything else is derived or free-form.
+REGISTRY_FIELDS: Dict[str, str] = {
+    "cycles.total": "total_cycles",
+    "cycles.instruction": "instruction_cycles",
+    "cycles.memory_stall": "memory_stall_cycles",
+    "cycles.tlb_miss": "tlb_miss_cycles",
+    "cycles.kernel": "kernel_cycles",
+    "run.instructions": "instructions",
+    "run.references": "references",
+    "tlb.lookups": "tlb_lookups",
+    "tlb.misses": "tlb_misses",
+    "itlb.transitions": "itlb_transitions",
+    "itlb.main_misses": "itlb_main_misses",
+    "cache.accesses": "cache_accesses",
+    "cache.misses": "cache_misses",
+    "cache.writebacks": "cache_writebacks",
+    "fills.count": "fills",
+    "fills.stall_cycles": "fill_stall_cycles",
+    "mtlb.lookups": "mtlb_lookups",
+    "mtlb.misses": "mtlb_misses",
+    "mtlb.faults": "mtlb_faults",
+    "remap.pages": "remap_pages",
+    "remap.cycles": "remap_cycles",
+    "remap.flush_cycles": "remap_flush_cycles",
+    "faults.injected": "faults_injected",
+    "faults.recovered": "faults_recovered",
+    "vm.degraded_remaps": "degraded_remaps",
+    "oracle.checks": "oracle_checks",
+}
 
 
 @dataclass
@@ -64,6 +110,38 @@ class RunStats:
     oracle_checks: int = 0
 
     extra: Dict[str, float] = field(default_factory=dict)
+
+    # ------------------------------------------------------------------ #
+    # Registry view
+    # ------------------------------------------------------------------ #
+
+    def apply_registry(self, registry: "MetricsRegistry") -> "RunStats":
+        """Overwrite every mapped field from the registry's counters.
+
+        Metrics absent from the registry leave their field untouched, so
+        a partially populated registry (e.g. a machine with no MTLB)
+        keeps the field's accumulated or default value.
+        """
+        values = registry.collect()
+        for metric, fld in REGISTRY_FIELDS.items():
+            if metric in values:
+                setattr(self, fld, values[metric])
+        return self
+
+    @classmethod
+    def from_registry(cls, registry: "MetricsRegistry") -> "RunStats":
+        """Build a fresh RunStats entirely from registry contents."""
+        return cls().apply_registry(registry)
+
+    def publish_to(self, registry: "MetricsRegistry") -> None:
+        """Push every mapped field into the registry (inverse view).
+
+        Used at harvest so counters accumulated on the dataclass during
+        the run (the hot-loop side, see DESIGN.md §9) land in the same
+        registry the components collect into.
+        """
+        for metric, fld in REGISTRY_FIELDS.items():
+            registry.counter(metric).set(getattr(self, fld))
 
     # ------------------------------------------------------------------ #
     # Derived metrics

@@ -39,6 +39,8 @@ from ..mem.cache import DirectMappedCache, build_cache
 from ..mem.dram import Dram
 from ..mem.mmc import MemoryController
 from ..mem.stream_buffers import StreamBufferUnit
+from ..obs import MetricsRegistry, ObsCollector
+from ..obs.tracer import TLB_MISS
 from ..os_model.kernel import MiniKernel
 from ..os_model.process import Process
 from ..trace.events import (
@@ -128,6 +130,28 @@ class System:
         )
 
         self.stats = RunStats()
+
+        #: The machine's metric surface (DESIGN.md §9).  Components
+        #: register snapshot sources here; at harvest the registry is
+        #: collected and RunStats is rebuilt as a view over it.
+        self.metrics = MetricsRegistry()
+        self._register_metric_sources()
+
+        #: Observability bundle (event tracer + phase attribution);
+        #: None unless ``config.obs.enabled``.  The disabled path keeps
+        #: every component tracer at None — the null-sink fast path.
+        self.obs: Optional[ObsCollector] = None
+        self._tracer = None
+        if config.obs.enabled:
+            self.obs = ObsCollector(config.obs)
+            tracer = self.obs.tracer
+            self._tracer = tracer
+            self.tlb.tracer = tracer
+            self.mmc.tracer = tracer
+            self.kernel.tracer = tracer
+            if self.mtlb is not None:
+                self.mtlb.tracer = tracer
+
         #: (segment label, cycles attributed to it) in execution order;
         #: used by the init-cost and phase-analysis benches.
         self.segment_cycles: List[Tuple[str, int]] = []
@@ -257,11 +281,17 @@ class System:
         stats = self.stats
         kernel = self.kernel
 
+        if self.obs is not None:
+            self._obs_sample()
         stats.kernel_cycles += kernel.costs.boot + kernel.costs.fork_exec
         process = kernel.create_process(trace.name)
+        if self.obs is not None:
+            self._tracer.clock = stats.kernel_cycles
         stats.kernel_cycles += kernel.sys_map(
             process, trace.text_base, trace.text_size
         )
+        if self.obs is not None:
+            self._obs_sample()
         self._text_page_count = max(1, trace.text_size >> BASE_PAGE_SHIFT)
         self._text_base = trace.text_base
 
@@ -286,32 +316,73 @@ class System:
             + stats.kernel_cycles
         )
 
+        if self.obs is not None:
+            self._tracer.clock = stats.total_cycles
+            self._obs_sample()
+
         self._harvest_component_stats()
         stats.check_consistency()
         return RunResult(
             workload=trace.name,
             config_label=self.config.label,
             stats=stats,
+            metrics=self.metrics.collect(),
+            obs=self.obs,
+        )
+
+    def _register_metric_sources(self) -> None:
+        """Register every component's counter snapshot with the metrics
+        registry (DESIGN.md §9).  Sources are pulled only at collect
+        time, so registration costs the hot loop nothing."""
+        # Late-bound through ``self`` so a component swapped in after
+        # construction (tests do this to the cache) is still the one
+        # snapshotted at collect time.
+        reg = self.metrics
+        reg.add_source("tlb", lambda: self.tlb.metrics_snapshot())
+        reg.add_source("cache", lambda: self.cache.metrics_snapshot())
+        reg.add_source("mmc", lambda: self.mmc.metrics_snapshot())
+        reg.add_source(
+            "kernel", lambda: self.kernel.stats.metrics_snapshot()
+        )
+        reg.add_source(
+            "promotion",
+            lambda: self.kernel.promotion.stats.metrics_snapshot(),
+        )
+        if self.mtlb is not None:
+            reg.add_source("mtlb", lambda: self.mtlb.metrics_snapshot())
+        reg.add_source(
+            "vm",
+            lambda: {"degraded_remaps": self.kernel.vm.degraded_remap_events},
+        )
+        plan = self.fault_plan
+        if plan is not None:
+            reg.add_source(
+                "faults",
+                lambda: {
+                    "injected": plan.stats.total_injected,
+                    "recovered": plan.stats.total_recovered,
+                },
+            )
+
+    def _obs_sample(self) -> None:
+        """Record one phase-attribution sample at the current cycle."""
+        stats = self.stats
+        self.obs.attributor.sample(
+            stats.instruction_cycles,
+            stats.memory_stall_cycles,
+            stats.tlb_miss_cycles,
+            stats.kernel_cycles,
         )
 
     def _harvest_component_stats(self) -> None:
+        """Fold component counters into the registry and rebuild RunStats
+        as a view over it: the run-loop accumulators are published first,
+        then ``collect()`` overlays the authoritative component sources,
+        then the dataclass fields are re-read from the registry."""
         stats = self.stats
-        stats.tlb_lookups = self.tlb.stats.lookups
-        stats.tlb_misses = self.tlb.stats.misses
-        stats.cache_accesses = self.cache.stats.accesses
-        stats.cache_misses = self.cache.stats.misses
-        stats.cache_writebacks = (
-            self.cache.stats.writebacks + self.cache.stats.flush_writebacks
-        )
-        if self.mtlb is not None:
-            stats.mtlb_lookups = self.mtlb.stats.lookups
-            stats.mtlb_misses = self.mtlb.stats.misses
-            stats.mtlb_faults = self.mtlb.stats.faults
-        stats.degraded_remaps = self.kernel.vm.degraded_remap_events
+        reg = self.metrics
         plan = self.fault_plan
         if plan is not None:
-            stats.faults_injected = plan.stats.total_injected
-            stats.faults_recovered = plan.stats.total_recovered
             for site in FAULT_SITES:
                 if plan.stats.injected[site] or plan.stats.recovered[site]:
                     stats.extra[f"faults_injected_{site}"] = (
@@ -320,6 +391,17 @@ class System:
                     stats.extra[f"faults_recovered_{site}"] = (
                         plan.stats.recovered[site]
                     )
+        stats.publish_to(reg)
+        if self.obs is not None:
+            self.obs.observe_superpage_sizes(
+                reg,
+                (
+                    record.region.size
+                    for record in self.kernel.vm.shadow_superpages.values()
+                ),
+            )
+            self.obs.finalize(reg)
+        stats.apply_registry(reg)
 
     # ================================================================== #
     # Kernel events
@@ -328,6 +410,13 @@ class System:
     def _exec_event(self, event, process: Process) -> None:
         stats = self.stats
         kernel = self.kernel
+        if self._tracer is not None:
+            self._tracer.clock = (
+                stats.instruction_cycles
+                + stats.memory_stall_cycles
+                + stats.tlb_miss_cycles
+                + stats.kernel_cycles
+            )
         if isinstance(event, MapRegion):
             stats.kernel_cycles += kernel.sys_map(
                 process, event.vaddr, event.length
@@ -359,6 +448,8 @@ class System:
             pass
         else:
             raise SimulationError(f"unknown trace event {event!r}")
+        if self.obs is not None:
+            self._obs_sample()
 
     # ================================================================== #
     # The hot loop
@@ -395,6 +486,17 @@ class System:
         refill = self._refill_tlb
         miss_path = self._fill_stall
 
+        # Event timestamps: components stamp ``tracer.clock``, which the
+        # loop advances on the miss branches only (hit paths stay clean).
+        tracer = self._tracer
+        stats = self.stats
+        seg_base = (
+            stats.instruction_cycles
+            + stats.memory_stall_cycles
+            + stats.tlb_miss_cycles
+            + stats.kernel_cycles
+        )
+
         for i in range(n):
             vaddr = vaddrs[i]
             op = ops[i]
@@ -407,6 +509,10 @@ class System:
                     break
             if entry is None:
                 tlb_misses += 1
+                if tracer is not None:
+                    tracer.clock = (
+                        seg_base + inst_cycles + tlb_miss_cycles + mem_stall
+                    )
                 entry, cost = refill(vaddr)
                 tlb_miss_cycles += cost
             else:
@@ -428,6 +534,13 @@ class System:
                         self.mmc.writeback(old << 5)
                     tags[idx] = tag
                     cdirty[idx] = 1 if op else 0
+                    if tracer is not None:
+                        tracer.clock = (
+                            seg_base
+                            + inst_cycles
+                            + tlb_miss_cycles
+                            + mem_stall
+                        )
                     mem_stall += miss_path(paddr, op)
             else:
                 result = cache.access(vaddr, paddr, op == 1)
@@ -436,6 +549,13 @@ class System:
                     if result.writeback_paddr is not None:
                         self.bus.writeback_cycles()
                         self.mmc.writeback(result.writeback_paddr)
+                    if tracer is not None:
+                        tracer.clock = (
+                            seg_base
+                            + inst_cycles
+                            + tlb_miss_cycles
+                            + mem_stall
+                        )
                     mem_stall += miss_path(paddr, op)
 
         # Fold the locally accumulated statistics back in.
@@ -447,7 +567,6 @@ class System:
             cache.stats.misses += cache_misses
             cache.stats.hits += n - cache_misses
 
-        stats = self.stats
         stats.references += n
         stats.instructions += seg.instructions
         stats.instruction_cycles += inst_cycles
@@ -458,6 +577,8 @@ class System:
         )
 
         self._model_ifetch(seg)
+        if self.obs is not None:
+            self._obs_sample()
 
     def _refill_tlb(self, vaddr: int):
         """Software TLB refill; returns (entry, handler cycles).
@@ -487,6 +608,8 @@ class System:
                 )
                 cycles += result.cycles
         self.tlb.insert(result.entry)
+        if self._tracer is not None:
+            self._tracer.emit(TLB_MISS, vaddr, cycles)
         return result.entry, cycles
 
     #: Bound on consecutive parity-fault recoveries for one fill; a

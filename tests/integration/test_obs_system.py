@@ -1,0 +1,163 @@
+"""Integration tests: the observability subsystem wired into System.
+
+Covers the ISSUE acceptance criteria: identical RunStats with obs on and
+off, valid Perfetto-loadable Chrome-trace output, exact phase-attribution
+accounting, and the `repro metrics` dump/diff CLI round trip.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.cli import main as bench_main
+from repro.cli import repro_main
+from repro.obs import ObsConfig
+from repro.sim.config import paper_mtlb, paper_promotion
+from repro.sim.system import System
+from repro.workloads import build_workload
+
+SCALE = 0.03
+
+
+@pytest.fixture(scope="module")
+def em3d_trace():
+    return build_workload("em3d", scale=SCALE)
+
+
+def _obs_config(base, **kwargs):
+    kwargs.setdefault("enabled", True)
+    kwargs.setdefault("ring_capacity", 1 << 18)
+    return dataclasses.replace(base, obs=ObsConfig(**kwargs))
+
+
+class TestObsNeutrality:
+    def test_runstats_identical_obs_on_and_off(self, em3d_trace):
+        off = System(paper_mtlb(96)).run(em3d_trace)
+        on = System(_obs_config(paper_mtlb(96))).run(em3d_trace)
+        assert dataclasses.asdict(off.stats) == dataclasses.asdict(
+            on.stats
+        )
+
+    def test_disabled_run_has_no_collector(self, em3d_trace):
+        result = System(paper_mtlb(96)).run(em3d_trace)
+        assert result.obs is None
+        # ... but the metrics registry is always populated.
+        assert result.metrics["tlb.misses"] == result.stats.tlb_misses
+        assert result.metrics["cycles.total"] == result.stats.total_cycles
+
+    def test_metrics_registry_agrees_with_stats(self, em3d_trace):
+        result = System(paper_mtlb(96)).run(em3d_trace)
+        stats = result.stats
+        assert result.metrics["cache.misses"] == stats.cache_misses
+        assert result.metrics["cache.writebacks"] == stats.cache_writebacks
+        assert result.metrics["mtlb.lookups"] == stats.mtlb_lookups
+        assert result.metrics["fills.count"] == stats.fills
+
+
+class TestObsArtifacts:
+    def test_events_and_histograms_populated(self, em3d_trace):
+        result = System(_obs_config(paper_mtlb(96))).run(em3d_trace)
+        obs = result.obs
+        counts = obs.tracer.site_counts()
+        assert counts.get("cache_miss", 0) > 0
+        assert counts.get("mtlb_fill", 0) > 0
+        assert counts.get("remap", 0) >= 1
+        assert result.metrics["obs.events_emitted"] == obs.tracer.total
+        _pages, latencies = obs.tracer.payloads_of("remap")
+        assert all(latency > 0 for latency in latencies)
+
+    def test_promotion_events_traced(self, em3d_trace):
+        config = _obs_config(paper_promotion(96))
+        result = System(config).run(em3d_trace)
+        assert (
+            result.metrics["promotion.promotions"]
+            == len(result.obs.events("promotion"))
+        )
+
+    def test_chrome_trace_is_valid_trace_event_json(
+        self, em3d_trace, tmp_path
+    ):
+        result = System(_obs_config(paper_mtlb(96))).run(em3d_trace)
+        path = result.obs.write_chrome_trace(tmp_path / "trace.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert events, "trace must not be empty"
+        phases = {e["ph"] for e in events}
+        assert phases <= {"M", "X", "i", "C"}
+        assert "C" in phases, "figure-3 counter track missing"
+        for event in events:
+            assert isinstance(e0 := event.get("name"), str) and e0
+            assert isinstance(event.get("pid"), int)
+            if event["ph"] != "M":
+                assert event["ts"] >= 0
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_attribution_buckets_sum_to_total(self, em3d_trace):
+        result = System(_obs_config(paper_mtlb(96))).run(em3d_trace)
+        buckets = result.obs.buckets()
+        assert sum(b.total for b in buckets) == result.stats.total_cycles
+        csv = result.obs.attribution_csv()
+        assert csv.startswith("start_cycle,end_cycle,")
+        assert len(csv.strip().splitlines()) == len(buckets) + 1
+
+
+class TestMetricsCli:
+    def _dump(self, tmp_path, name, seed=1998):
+        path = tmp_path / f"{name}.json"
+        rc = repro_main(
+            [
+                "metrics", "dump", "--workload", "em3d",
+                "--config", "mtlb", "--quick", "--seed", str(seed),
+                "-o", str(path),
+            ]
+        )
+        assert rc == 0
+        return path
+
+    def test_identical_runs_diff_clean(self, tmp_path, capsys):
+        a = self._dump(tmp_path, "a")
+        b = self._dump(tmp_path, "b")
+        rc = repro_main(
+            ["metrics", "diff", str(a), str(b), "--threshold", "2%"]
+        )
+        assert rc == 0
+        assert "0 regression(s)" in capsys.readouterr().out
+
+    def test_perturbation_trips_threshold(self, tmp_path, capsys):
+        a = self._dump(tmp_path, "a")
+        payload = json.loads(a.read_text())
+        run = next(iter(payload["runs"].values()))
+        run["metrics"]["total_cycles"] = int(
+            run["metrics"]["total_cycles"] * 1.05
+        )
+        b = tmp_path / "b.json"
+        b.write_text(json.dumps(payload))
+        rc = repro_main(
+            ["metrics", "diff", str(a), str(b), "--threshold", "2%"]
+        )
+        assert rc == 1
+        assert "REGRESSION" in capsys.readouterr().out
+
+    def test_diff_rejects_non_snapshot(self, tmp_path, capsys):
+        bogus = tmp_path / "bogus.json"
+        bogus.write_text("{}")
+        rc = repro_main(["metrics", "diff", str(bogus), str(bogus)])
+        assert rc == 2
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            repro_main(["--version"])
+        assert exc.value.code == 0
+        assert "repro" in capsys.readouterr().out
+
+    def test_bench_banner_states_obs_and_faults(self, capsys):
+        rc = bench_main(["list"])
+        assert rc == 0
+        # list doesn't run a banner; fig2 does.
+        rc = bench_main(["fig2", "--quick"])
+        out = capsys.readouterr().out
+        assert "repro-bench" in out
+        assert "faults: disabled" in out
+        assert "obs: disabled" in out

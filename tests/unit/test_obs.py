@@ -1,0 +1,455 @@
+"""Unit tests for the observability subsystem (repro.obs)."""
+
+import json
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.obs.attribution import PhaseAttributor, attribution_csv
+from repro.obs.collector import ObsCollector, ObsConfig
+from repro.obs.diff import (
+    diff_snapshots,
+    metric_regressed,
+    parse_threshold,
+)
+from repro.obs.registry import Histogram, MetricsRegistry
+from repro.obs.tracer import (
+    CACHE_MISS,
+    NULL_TRACER,
+    REMAP,
+    SITES,
+    TLB_MISS,
+    EventTracer,
+    inter_arrival,
+)
+from repro.sim.stats import REGISTRY_FIELDS, RunStats
+
+
+# ====================================================================== #
+# Event tracer / ring buffer
+# ====================================================================== #
+
+
+class TestEventTracer:
+    def test_capacity_must_be_power_of_two(self):
+        with pytest.raises(ValueError):
+            EventTracer(capacity=3)
+        with pytest.raises(ValueError):
+            EventTracer(capacity=0)
+
+    def test_emit_stamps_clock_and_payloads(self):
+        tracer = EventTracer(capacity=8)
+        tracer.clock = 42
+        tracer.emit(TLB_MISS, 0x1000, 55)
+        (event,) = tracer.events()
+        assert (event.cycle, event.site, event.a, event.b) == (
+            42, "tlb_miss", 0x1000, 55,
+        )
+
+    def test_wraparound_keeps_newest_in_order(self):
+        tracer = EventTracer(capacity=4)
+        for i in range(10):
+            tracer.clock = i
+            tracer.emit(CACHE_MISS, i, 0)
+        assert len(tracer) == 4
+        assert tracer.total == 10
+        assert tracer.dropped == 6
+        assert [e.a for e in tracer.events()] == [6, 7, 8, 9]
+        assert [e.cycle for e in tracer.events()] == [6, 7, 8, 9]
+
+    def test_wraparound_exact_boundary(self):
+        tracer = EventTracer(capacity=4)
+        for i in range(4):
+            tracer.emit(CACHE_MISS, i, 0)
+        assert tracer.dropped == 0
+        assert [e.a for e in tracer.events()] == [0, 1, 2, 3]
+        tracer.emit(CACHE_MISS, 4, 0)
+        assert tracer.dropped == 1
+        assert [e.a for e in tracer.events()] == [1, 2, 3, 4]
+
+    def test_site_filter_and_counts(self):
+        tracer = EventTracer(capacity=8)
+        tracer.emit(TLB_MISS, 1, 0)
+        tracer.emit(CACHE_MISS, 2, 0)
+        tracer.emit(TLB_MISS, 3, 0)
+        assert [e.a for e in tracer.events("tlb_miss")] == [1, 3]
+        assert tracer.site_counts() == {"tlb_miss": 2, "cache_miss": 1}
+
+    def test_cycles_and_payloads_of(self):
+        tracer = EventTracer(capacity=8)
+        for cycle, pages, cost in ((10, 4, 100), (20, 8, 200)):
+            tracer.clock = cycle
+            tracer.emit(REMAP, pages, cost)
+        assert list(tracer.cycles_of("remap")) == [10, 20]
+        a, b = tracer.payloads_of("remap")
+        assert list(a) == [4, 8]
+        assert list(b) == [100, 200]
+
+    def test_null_tracer_is_inert(self):
+        NULL_TRACER.emit(TLB_MISS, 1, 2)
+        assert len(NULL_TRACER) == 0
+        assert NULL_TRACER.events() == []
+        assert NULL_TRACER.site_counts() == {}
+
+    def test_inter_arrival(self):
+        assert list(inter_arrival([10, 25, 100])) == [15, 75]
+        assert list(inter_arrival([10])) == []
+        assert list(inter_arrival([])) == []
+
+    @given(
+        capacity=st.sampled_from([2, 4, 8, 16]),
+        n=st.integers(min_value=0, max_value=64),
+    )
+    def test_ring_retains_newest_suffix(self, capacity, n):
+        tracer = EventTracer(capacity=capacity)
+        for i in range(n):
+            tracer.emit(CACHE_MISS, i, 0)
+        kept = [e.a for e in tracer.events()]
+        assert kept == list(range(max(0, n - capacity), n))
+        assert tracer.dropped == max(0, n - capacity)
+
+
+# ====================================================================== #
+# Histograms / registry
+# ====================================================================== #
+
+
+class TestHistogram:
+    def test_bucketing_edges(self):
+        hist = Histogram("h", edges=(10, 100))
+        for value in (0, 9, 10, 99, 100, 5000):
+            hist.observe(value)
+        # [<10, [10,100), >=100]
+        assert hist.counts == [2, 2, 2]
+        assert hist.total == 6
+        assert hist.min == 0 and hist.max == 5000
+        assert hist.mean == pytest.approx(5218 / 6)
+        assert hist.bucket_labels() == ["<10", "[10,100)", ">=100"]
+
+    def test_rejects_bad_edges(self):
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(10, 10))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=(100, 10))
+        with pytest.raises(ValueError):
+            Histogram("h", edges=())
+
+    @given(st.lists(st.integers(min_value=0, max_value=10_000)))
+    def test_counts_sum_to_total(self, values):
+        hist = Histogram("h", edges=(16, 256, 1024))
+        hist.observe_many(values)
+        assert sum(hist.counts) == hist.total == len(values)
+
+
+class TestMetricsRegistry:
+    def test_counter_gauge_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("a.hits").inc(3)
+        reg.gauge("a.depth").set(7)
+        assert reg.collect() == {"a.hits": 3, "a.depth": 7}
+        assert reg.value("a.hits") == 3
+
+    def test_counter_rejects_negative_inc(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("x").inc(-1)
+
+    def test_cross_type_name_collision(self):
+        reg = MetricsRegistry()
+        reg.counter("x")
+        with pytest.raises(ValueError):
+            reg.gauge("x")
+        with pytest.raises(ValueError):
+            reg.histogram("x", edges=(1,))
+
+    def test_sources_drained_at_collect(self):
+        reg = MetricsRegistry()
+        state = {"misses": 0}
+        reg.add_source("tlb", lambda: dict(state))
+        state["misses"] = 11
+        assert reg.collect()["tlb.misses"] == 11
+        state["misses"] = 12
+        assert reg.collect()["tlb.misses"] == 12
+
+    def test_source_replacement(self):
+        reg = MetricsRegistry()
+        reg.add_source("c", lambda: {"v": 1})
+        reg.add_source("c", lambda: {"v": 2})
+        assert reg.collect()["c.v"] == 2
+
+    def test_as_dict_is_json_ready(self):
+        reg = MetricsRegistry()
+        reg.counter("n").inc()
+        reg.histogram("h", edges=(10,)).observe(3)
+        payload = json.loads(reg.to_json())
+        assert payload["metrics"]["n"] == 1
+        assert payload["histograms"]["h"]["counts"] == [1, 0]
+
+
+# ====================================================================== #
+# RunStats as a registry view
+# ====================================================================== #
+
+
+class TestRunStatsRegistryView:
+    def test_publish_apply_roundtrip(self):
+        stats = RunStats()
+        stats.instruction_cycles = 100
+        stats.memory_stall_cycles = 50
+        stats.tlb_miss_cycles = 25
+        stats.kernel_cycles = 10
+        stats.total_cycles = 185
+        stats.tlb_misses = 7
+        reg = MetricsRegistry()
+        stats.publish_to(reg)
+        rebuilt = RunStats.from_registry(reg)
+        assert rebuilt == stats
+
+    def test_component_source_overrides_published_value(self):
+        stats = RunStats()
+        stats.tlb_misses = 1  # stale run-loop view
+        reg = MetricsRegistry()
+        stats.publish_to(reg)
+        reg.add_source("tlb", lambda: {"misses": 9, "lookups": 40})
+        stats.apply_registry(reg)
+        assert stats.tlb_misses == 9
+        assert stats.tlb_lookups == 40
+
+    def test_every_registry_field_exists_on_runstats(self):
+        fields = set(RunStats.__dataclass_fields__)
+        for metric, fld in REGISTRY_FIELDS.items():
+            assert fld in fields, (metric, fld)
+
+    @given(
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=0, max_value=10**12),
+        st.integers(min_value=0, max_value=10**12),
+    )
+    def test_registry_backed_categories_sum_to_total(
+        self, instruction, memory, tlb, kernel
+    ):
+        stats = RunStats()
+        stats.instruction_cycles = instruction
+        stats.memory_stall_cycles = memory
+        stats.tlb_miss_cycles = tlb
+        stats.kernel_cycles = kernel
+        stats.total_cycles = instruction + memory + tlb + kernel
+        reg = MetricsRegistry()
+        stats.publish_to(reg)
+        rebuilt = RunStats.from_registry(reg)
+        assert rebuilt.total_cycles == (
+            rebuilt.instruction_cycles
+            + rebuilt.memory_stall_cycles
+            + rebuilt.tlb_miss_cycles
+            + rebuilt.kernel_cycles
+        )
+        rebuilt.check_consistency()
+
+
+# ====================================================================== #
+# Phase attribution
+# ====================================================================== #
+
+
+class TestPhaseAttribution:
+    def test_needs_two_samples(self):
+        att = PhaseAttributor()
+        assert att.buckets(8) == []
+        att.sample(0, 0, 0, 0)
+        assert att.buckets(8) == []
+
+    def test_bucket_totals_telescope_exactly(self):
+        att = PhaseAttributor()
+        att.sample(0, 0, 0, 0)
+        att.sample(100, 0, 0, 33)
+        att.sample(170, 500, 9, 33)
+        att.sample(171, 500, 9, 1000)
+        buckets = att.buckets(7)
+        assert sum(b.instruction for b in buckets) == 171
+        assert sum(b.memory_stall for b in buckets) == 500
+        assert sum(b.tlb_miss for b in buckets) == 9
+        assert sum(b.kernel for b in buckets) == 1000
+        assert sum(b.total for b in buckets) == 1680
+
+    def test_long_interval_spreads_over_buckets(self):
+        att = PhaseAttributor()
+        att.sample(0, 0, 0, 0)
+        att.sample(1000, 0, 0, 0)  # one long all-instruction interval
+        buckets = att.buckets(4)
+        assert [b.instruction for b in buckets] == [250, 250, 250, 250]
+
+    def test_csv_shape(self):
+        att = PhaseAttributor()
+        att.sample(0, 0, 0, 0)
+        att.sample(10, 20, 30, 40)
+        csv = attribution_csv(att.buckets(2))
+        lines = csv.strip().splitlines()
+        assert lines[0] == (
+            "start_cycle,end_cycle,instruction,memory_stall,"
+            "tlb_miss,kernel"
+        )
+        assert len(lines) == 3
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=1000),
+                st.integers(min_value=0, max_value=1000),
+            ),
+            min_size=2,
+            max_size=12,
+        ),
+        st.integers(min_value=1, max_value=32),
+    )
+    def test_bucket_sums_equal_deltas(self, increments, count):
+        att = PhaseAttributor()
+        cum = [0, 0, 0, 0]
+        att.sample(*cum)
+        for inc in increments:
+            cum = [c + d for c, d in zip(cum, inc)]
+            att.sample(*cum)
+        buckets = att.buckets(count)
+        if not buckets:  # zero-span stream
+            assert sum(cum) == 0
+            return
+        assert sum(b.instruction for b in buckets) == cum[0]
+        assert sum(b.memory_stall for b in buckets) == cum[1]
+        assert sum(b.tlb_miss for b in buckets) == cum[2]
+        assert sum(b.kernel for b in buckets) == cum[3]
+
+
+# ====================================================================== #
+# ObsConfig / collector
+# ====================================================================== #
+
+
+class TestObsConfig:
+    def test_defaults_disabled(self):
+        assert ObsConfig().enabled is False
+
+    def test_ring_capacity_validated(self):
+        with pytest.raises(ValueError):
+            ObsConfig(ring_capacity=1000)
+        with pytest.raises(ValueError):
+            ObsConfig(attribution_buckets=0)
+
+    def test_finalize_builds_derived_histograms(self):
+        collector = ObsCollector(ObsConfig(enabled=True, ring_capacity=64))
+        tracer = collector.tracer
+        from repro.obs.tracer import MTLB_FILL
+
+        for cycle in (100, 228, 1000):
+            tracer.clock = cycle
+            tracer.emit(MTLB_FILL, 1, 2)
+        tracer.emit(REMAP, 16, 50_000)
+        reg = MetricsRegistry()
+        collector.finalize(reg)
+        hists = reg.histograms()
+        assert hists["obs.mtlb_miss_interarrival_cycles"].total == 2
+        assert hists["obs.remap_latency_cycles"].total == 1
+        collected = reg.collect()
+        assert collected["obs.events_emitted"] == 4
+        assert collected["obs.events.remap"] == 1
+
+
+# ====================================================================== #
+# Regression diffing
+# ====================================================================== #
+
+
+def _snapshot(metrics):
+    return {
+        "schema": "repro-metrics/1",
+        "label": "t",
+        "meta": {},
+        "runs": {"em3d|tlb96": {"metrics": dict(metrics)}},
+    }
+
+
+class TestMetricRegressed:
+    def test_lower_is_better_direction(self):
+        assert metric_regressed("total_cycles", 100, 103, 0.02)
+        assert not metric_regressed("total_cycles", 100, 102, 0.02)
+        assert not metric_regressed("total_cycles", 100, 90, 0.02)
+
+    def test_higher_is_better_direction(self):
+        assert metric_regressed("cache_hit_rate", 0.9, 0.85, 0.02)
+        assert not metric_regressed("cache_hit_rate", 0.9, 0.89, 0.02)
+        assert not metric_regressed("cache_hit_rate", 0.9, 0.95, 0.02)
+
+    def test_zero_baseline_lower_is_better(self):
+        assert metric_regressed("mtlb_faults", 0, 5, 0.02)
+        assert not metric_regressed("mtlb_faults", 0, 0, 0.02)
+
+    def test_unknown_direction_never_regresses(self):
+        assert not metric_regressed("references", 100, 1000, 0.02)
+
+    def test_min_abs_delta_floor(self):
+        assert not metric_regressed(
+            "tlb_time_fraction", 1e-15, 5e-13, 0.02
+        )
+
+
+class TestDiffSnapshots:
+    def test_identical_snapshots_zero_regressions(self):
+        snap = _snapshot({"total_cycles": 1000, "tlb_misses": 5})
+        report = diff_snapshots(snap, snap, threshold=0.02)
+        assert report.ok
+        assert report.regressions == []
+        assert report.changed == []
+
+    def test_threshold_trips(self):
+        base = _snapshot({"total_cycles": 1000})
+        worse = _snapshot({"total_cycles": 1021})
+        report = diff_snapshots(base, worse, threshold=0.02)
+        assert [d.metric for d in report.regressions] == ["total_cycles"]
+        at_threshold = _snapshot({"total_cycles": 1020})
+        assert diff_snapshots(base, at_threshold, threshold=0.02).ok
+
+    def test_improvement_never_regresses(self):
+        base = _snapshot({"total_cycles": 1000, "cache_hit_rate": 0.8})
+        better = _snapshot({"total_cycles": 500, "cache_hit_rate": 0.99})
+        assert diff_snapshots(base, better, threshold=0.02).ok
+
+    def test_disjoint_runs_are_skipped_not_compared(self):
+        base = _snapshot({"total_cycles": 1000})
+        other = {
+            "schema": "repro-metrics/1",
+            "label": "t",
+            "meta": {},
+            "runs": {"gcc|tlb96": {"metrics": {"total_cycles": 1}}},
+        }
+        report = diff_snapshots(base, other, threshold=0.02)
+        assert report.ok
+        assert report.only_in_baseline == ["em3d|tlb96"]
+        assert report.only_in_candidate == ["gcc|tlb96"]
+        assert report.deltas == []
+
+    def test_render_mentions_regression_count(self):
+        base = _snapshot({"total_cycles": 1000})
+        worse = _snapshot({"total_cycles": 2000})
+        text = diff_snapshots(base, worse, threshold=0.02).render()
+        assert "1 regression(s)" in text
+        assert "REGRESSION" in text
+
+
+class TestParseThreshold:
+    def test_percent_and_fraction(self):
+        assert parse_threshold("2%") == pytest.approx(0.02)
+        assert parse_threshold("0.02") == pytest.approx(0.02)
+        assert parse_threshold(" 10 % ".replace(" ", "")) == pytest.approx(
+            0.10
+        )
+
+    def test_garbage_raises(self):
+        with pytest.raises(ValueError):
+            parse_threshold("fast")
+
+
+def test_all_sites_have_ids():
+    assert len(SITES) == 8
+    assert len(set(SITES)) == 8
