@@ -15,7 +15,14 @@ Robustness features (this file is the harness's crash-safety layer):
   to disk and resume after a crash or kill, re-running only the
   missing cells (``run_matrix(..., checkpoint="fig3")``);
 * a per-run reference budget (``max_references``) bounds any single
-  pathological cell instead of hanging the whole matrix.
+  pathological cell instead of hanging the whole matrix;
+* matrix cells are independent, so ``run_matrix(..., jobs=N)`` fans
+  them out over a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  The checkpoint file doubles as the merge point: each finished cell
+  is persisted (atomically) as it arrives, a killed parallel run
+  resumes exactly like a serial one, and the assembled matrix is
+  always in deterministic workload x config order regardless of
+  completion order.
 
 Environment knobs:
 
@@ -70,6 +77,20 @@ def quick_mode_requested() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
+def _run_cell_task(
+    ctx_kwargs: dict, workload: str, config: SystemConfig
+) -> dict:
+    """Worker-process entry: simulate one matrix cell.
+
+    Must stay module-level (picklable) for every multiprocessing start
+    method.  The parent pre-warms the on-disk trace cache, so the
+    rebuilt context loads the trace instead of regenerating it.
+    """
+    context = BenchContext(**ctx_kwargs)
+    result = context.run(workload, config)
+    return dataclasses.asdict(result.stats)
+
+
 class BenchContext:
     """Shared state for one benchmark session."""
 
@@ -80,6 +101,8 @@ class BenchContext:
         cache_dir: Optional[Path] = None,
         seed: int = DEFAULT_SEED,
         max_references: Optional[int] = None,
+        jobs: Optional[int] = None,
+        engine: Optional[str] = None,
     ) -> None:
         if quick is None:
             quick = quick_mode_requested()
@@ -97,6 +120,14 @@ class BenchContext:
         #: :class:`~repro.errors.ReferenceBudgetExceeded` instead of
         #: running unbounded.  None = no limit.
         self.max_references = max_references
+        #: Worker-process count for :meth:`run_matrix`.  None or <= 1
+        #: runs serially in-process.
+        self.jobs = jobs
+        #: Trace-engine override applied to every config this context
+        #: runs ("auto" | "scalar" | "vector"); None respects each
+        #: config's own ``engine`` field.  Engines are bit-identical,
+        #: so results (and checkpoints) are interchangeable.
+        self.engine = engine
         self._traces: Dict[str, Trace] = {}
 
     # ------------------------------------------------------------------ #
@@ -147,6 +178,8 @@ class BenchContext:
 
     def run(self, workload: str, config: SystemConfig) -> RunResult:
         """Simulate one workload on one configuration."""
+        if self.engine is not None and config.engine != self.engine:
+            config = dataclasses.replace(config, engine=self.engine)
         system = System(config)
         system.reference_budget = self.max_references
         return system.run(self.trace(workload))
@@ -158,6 +191,7 @@ class BenchContext:
         base_label: str,
         progress: bool = False,
         checkpoint: Optional[str] = None,
+        jobs: Optional[int] = None,
     ) -> ResultMatrix:
         """Run every workload on every configuration.
 
@@ -166,44 +200,132 @@ class BenchContext:
         atomic write, and a later invocation of the same matrix resumes
         from it, re-running only the missing cells.  The checkpoint is
         deleted once the whole matrix completes.
+
+        *jobs* (default: the context's ``jobs``) > 1 runs the missing
+        cells in worker processes; each cell checkpoints as it
+        completes, so crash-resume semantics match the serial path.
         """
-        matrix = ResultMatrix(base_label)
+        if jobs is None:
+            jobs = self.jobs
         path = self._checkpoint_path(checkpoint) if checkpoint else None
         cells: Dict[str, dict] = (
             self._load_checkpoint(path, base_label) if path else {}
         )
+        if jobs is not None and jobs > 1:
+            self._run_cells_parallel(
+                workloads, configs, base_label, cells, path, jobs,
+                progress,
+            )
+        else:
+            self._run_cells_serial(
+                workloads, configs, base_label, cells, path, progress
+            )
+        matrix = ResultMatrix(base_label)
         for workload in workloads:
-            for label, config in configs.items():
-                key = f"{workload}|{label}"
-                saved = cells.get(key)
-                if saved is not None:
-                    if progress:
-                        print(
-                            f"  resuming {workload} on {label} "
-                            "(checkpointed)",
-                            flush=True,
-                        )
-                    matrix.add(
-                        RunResult(
-                            workload=workload,
-                            config_label=label,
-                            stats=RunStats(**saved),
-                        )
+            for label in configs:
+                matrix.add(
+                    RunResult(
+                        workload=workload,
+                        config_label=label,
+                        stats=RunStats(**cells[f"{workload}|{label}"]),
                     )
-                    continue
-                if progress:
-                    print(f"  running {workload} on {label}...", flush=True)
-                result = self.run(workload, config)
-                matrix.add(result)
-                if path is not None:
-                    cells[key] = dataclasses.asdict(result.stats)
-                    self._save_checkpoint(path, base_label, cells)
+                )
         if path is not None:
             try:
                 path.unlink()
             except OSError:
                 pass
         return matrix
+
+    def _run_cells_serial(
+        self,
+        workloads: Sequence[str],
+        configs: Mapping[str, SystemConfig],
+        base_label: str,
+        cells: Dict[str, dict],
+        path: Optional[Path],
+        progress: bool,
+    ) -> None:
+        """Fill the missing *cells* in-process, in matrix order."""
+        for workload in workloads:
+            for label, config in configs.items():
+                key = f"{workload}|{label}"
+                if key in cells:
+                    if progress:
+                        print(
+                            f"  resuming {workload} on {label} "
+                            "(checkpointed)",
+                            flush=True,
+                        )
+                    continue
+                if progress:
+                    print(f"  running {workload} on {label}...", flush=True)
+                result = self.run(workload, config)
+                cells[key] = dataclasses.asdict(result.stats)
+                if path is not None:
+                    self._save_checkpoint(path, base_label, cells)
+
+    def _run_cells_parallel(
+        self,
+        workloads: Sequence[str],
+        configs: Mapping[str, SystemConfig],
+        base_label: str,
+        cells: Dict[str, dict],
+        path: Optional[Path],
+        jobs: int,
+        progress: bool,
+    ) -> None:
+        """Fill the missing *cells* with a process pool.
+
+        Traces are generated (and disk-cached) in the parent first, so
+        workers only ever *load* them — N workers never race to build
+        the same trace.  Each finished cell is checkpointed as it
+        arrives; a worker failure still persists every cell that
+        completed before it, so the rerun resumes rather than restarts.
+        """
+        import concurrent.futures
+
+        pending = [
+            (workload, label, config)
+            for workload in workloads
+            for label, config in configs.items()
+            if f"{workload}|{label}" not in cells
+        ]
+        if progress and len(pending) < len(workloads) * len(configs):
+            done = len(workloads) * len(configs) - len(pending)
+            print(f"  resuming: {done} cell(s) checkpointed", flush=True)
+        if not pending:
+            return
+        for workload in {w for w, _, _ in pending}:
+            self.trace(workload)
+        ctx_kwargs = {
+            "quick": self.quick,
+            "scales": self.scales,
+            "cache_dir": self.cache_dir,
+            "seed": self.seed,
+            "max_references": self.max_references,
+            "engine": self.engine,
+        }
+        workers = min(jobs, len(pending))
+        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
+            futures = {
+                pool.submit(_run_cell_task, ctx_kwargs, workload, config):
+                    f"{workload}|{label}"
+                for workload, label, config in pending
+            }
+            if progress:
+                print(
+                    f"  running {len(pending)} cell(s) on "
+                    f"{workers} worker(s)...",
+                    flush=True,
+                )
+            for future in concurrent.futures.as_completed(futures):
+                key = futures[future]
+                cells[key] = future.result()
+                if progress:
+                    print(f"  finished {key}", flush=True)
+                if path is not None:
+                    self._save_checkpoint(path, base_label, cells)
 
     # ------------------------------------------------------------------ #
     # Checkpointing

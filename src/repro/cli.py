@@ -13,7 +13,11 @@ Usage::
     repro-bench all [--quick]        # everything, in order
 
 ``--quick`` uses CI-sized inputs; without it the EXPERIMENTS.md scales
-are used (several minutes for fig3).
+are used (several minutes for fig3).  ``--jobs N`` fans matrix cells
+out over N worker processes (default: all cores) and ``--engine
+{auto,scalar,vector}`` selects the trace-execution engine; both only
+change wall-clock time, never results.  ``fig3`` also appends its wall
+time to ``BENCH_perf.json``, the perf baseline.
 
 Every invocation opens with a banner echoing the active seed, fault
 plan, and obs state.  ``fig3`` and ``fig4`` additionally write
@@ -26,7 +30,9 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import os
 import sys
+import time
 from pathlib import Path
 from typing import List
 
@@ -54,6 +60,7 @@ from .bench import (
 )
 from .faults import FAULT_SITES, FaultConfig
 from .obs import (
+    SCHEMA,
     ObsConfig,
     diff_snapshots,
     load_snapshot,
@@ -119,6 +126,38 @@ def _context_meta(context: BenchContext) -> dict:
     }
 
 
+def _write_perf_baseline(
+    name: str, wall_seconds: float, context: BenchContext
+) -> None:
+    """Merge one wall-clock measurement into ``BENCH_perf.json``.
+
+    Runs are keyed ``<name>|engine=<engine>,jobs=<jobs>`` so scalar and
+    vector timings of the same figure coexist in one file and can be
+    compared with ``repro metrics diff`` (``wall_seconds`` is
+    lower-is-better).  Unlike the per-figure metric snapshots this file
+    is merged, not overwritten: it accumulates the perf baseline.
+    """
+    path = Path("BENCH_perf.json")
+    snapshot = None
+    if path.exists():
+        try:
+            snapshot = load_snapshot(path)
+        except (OSError, ValueError):
+            snapshot = None  # unreadable baseline: start a fresh one
+    if snapshot is None:
+        snapshot = {"schema": SCHEMA, "label": "perf", "runs": {}}
+    key = (
+        f"{name}|engine={context.engine or 'auto'},"
+        f"jobs={context.jobs or 1}"
+    )
+    snapshot["runs"][key] = {
+        "metrics": {"wall_seconds": round(wall_seconds, 3)}
+    }
+    snapshot["meta"] = _context_meta(context)
+    write_snapshot(snapshot, path)
+    print(f"wrote {path} ({key}: {wall_seconds:.2f}s wall)")
+
+
 def _report(title: str, report: str, errors: List[str]) -> int:
     print(f"\n{'=' * 72}\n{title}\n{'=' * 72}")
     print(report)
@@ -136,7 +175,9 @@ def _run(name: str, context: BenchContext) -> int:
         report, errors = run_fig2()
         return _report("E1 / Figure 2", report, errors)
     if name == "fig3":
+        t0 = time.perf_counter()
         result = run_figure3(context, progress=True)
+        wall = time.perf_counter() - t0
         status = _report("E2 / Figure 3", result.report,
                          result.shape_errors)
         print("\nMTLB improvement at the 96-entry base:")
@@ -150,6 +191,7 @@ def _run(name: str, context: BenchContext) -> int:
                 result.matrix, "figure3", meta=_context_meta(context)
             ),
         )
+        _write_perf_baseline("fig3", wall, context)
         return status
     if name == "fig4":
         result = run_figure4(context, progress=True)
@@ -256,6 +298,20 @@ def main(argv=None) -> int:
             "config) run that would simulate more than N references"
         ),
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for matrix cells (default: all cores); "
+            "1 forces the serial in-process path"
+        ),
+    )
+    parser.add_argument(
+        "--engine", choices=("auto", "scalar", "vector"), default="auto",
+        help=(
+            "trace-execution engine for every run (DESIGN.md §10); "
+            "engines are bit-identical, vector is the fast one"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -268,6 +324,8 @@ def main(argv=None) -> int:
         quick=True if args.quick else None,
         seed=args.seed,
         max_references=args.max_refs,
+        jobs=args.jobs if args.jobs is not None else os.cpu_count(),
+        engine=args.engine,
     )
     # The benches run the presets unchanged, so the default SystemConfig
     # states the active fault plan and obs mode for this invocation.
@@ -353,6 +411,14 @@ def _metrics_diff(args) -> int:
         return 2
     report = diff_snapshots(baseline, candidate, threshold=threshold)
     print(report.render(show_unchanged=args.verbose))
+    if args.require_identical:
+        if report.identical:
+            print("snapshots are identical")
+            return 0
+        print(
+            "snapshots differ (--require-identical)", file=sys.stderr
+        )
+        return 1
     return 1 if report.regressions else 0
 
 
@@ -421,6 +487,13 @@ def repro_main(argv=None) -> int:
     diff.add_argument(
         "-v", "--verbose", action="store_true",
         help="also list unchanged metrics",
+    )
+    diff.add_argument(
+        "--require-identical", action="store_true",
+        help=(
+            "exit non-zero on ANY metric delta or run-set mismatch, "
+            "not just threshold regressions (engine-equivalence gate)"
+        ),
     )
     diff.set_defaults(func=_metrics_diff)
 

@@ -9,13 +9,25 @@ translates to a shadow physical base instead of a real one.
 The lookup fast path matters for simulator throughput: entries are kept in
 per-page-size dictionaries keyed by the virtual base of the mapping, so a
 lookup does one masked dictionary probe per *distinct page size currently
-resident* (almost always one or two) instead of scanning every entry.
+resident* (almost always one or two) instead of scanning every entry.  The
+size whose entry hit last is probed first (an MRU hint), and when entries
+of several sizes cover the same address the *most specific* (smallest)
+mapping always wins, independent of probe or insertion order.
+
+For the vectorized fast-forward engine (DESIGN.md §10) the TLB also
+exposes a numpy mirror of its contents: :meth:`coverage_arrays` returns
+per-size sorted ``(vbase, pbase - vbase)`` arrays, cached against a
+``generation`` counter that every content mutation bumps, and
+:meth:`touch_pages` bulk-sets NRU referenced bits for a retired hit run.
 """
 
 from __future__ import annotations
 
+from bisect import insort
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.addrspace import BASE_PAGE_SIZE, is_mapping_size
 
@@ -77,7 +89,18 @@ class Tlb:
             raise ValueError("entries must be positive")
         self.capacity = entries
         self._by_size: Dict[int, Dict[int, TlbEntry]] = {}
+        #: Resident page sizes in ascending order; probing this way makes
+        #: the first covering entry the most specific one.
+        self._sizes: List[int] = []
+        #: Page size of the last lookup hit, probed first.
+        self._mru_size: Optional[int] = None
         self._count = 0
+        #: Bumped on every content mutation (insert/replace/remove); the
+        #: vector engine uses it to invalidate its coverage mirror.
+        self.generation = 0
+        self._coverage_cache: Optional[
+            Tuple[int, List[Tuple[int, np.ndarray, np.ndarray]]]
+        ] = None
         self.stats = TlbStats()
         #: Observability event sink (None = null sink; the simulator
         #: emits ``tlb_miss`` events on the refill path, where the
@@ -93,24 +116,47 @@ class Tlb:
     # ------------------------------------------------------------------ #
 
     def lookup(self, vaddr: int) -> Optional[TlbEntry]:
-        """Return the entry mapping *vaddr*, or None on a TLB miss.
+        """Return the most specific entry mapping *vaddr*, or None.
 
-        A hit marks the entry recently-used for NRU.
+        A hit marks the entry recently-used for NRU and makes its page
+        size the MRU probe hint.
         """
         self.stats.lookups += 1
-        for size, table in self._by_size.items():
-            entry = table.get(vaddr & ~(size - 1))
-            if entry is not None:
-                self.stats.hits += 1
-                entry.nru_referenced = True
-                return entry
+        entry = self._find(vaddr)
+        if entry is not None:
+            self.stats.hits += 1
+            entry.nru_referenced = True
+            self._mru_size = entry.size
+            return entry
         self.stats.misses += 1
         return None
 
     def probe(self, vaddr: int) -> Optional[TlbEntry]:
         """Like :meth:`lookup` but with no side effects (for tests/tools)."""
-        for size, table in self._by_size.items():
-            entry = table.get(vaddr & ~(size - 1))
+        return self._find(vaddr)
+
+    def _find(self, vaddr: int) -> Optional[TlbEntry]:
+        """Most-specific covering entry: the MRU size is probed first,
+        but a hit there still checks the smaller resident sizes so that
+        when mappings of several sizes overlap the smallest wins."""
+        by_size = self._by_size
+        hint = self._mru_size
+        if hint is not None:
+            table = by_size.get(hint)
+            if table is not None:
+                entry = table.get(vaddr & ~(hint - 1))
+                if entry is not None:
+                    for size in self._sizes:
+                        if size >= hint:
+                            break
+                        small = by_size[size].get(vaddr & ~(size - 1))
+                        if small is not None:
+                            return small
+                    return entry
+        for size in self._sizes:
+            if size == hint:
+                continue
+            entry = by_size[size].get(vaddr & ~(size - 1))
             if entry is not None:
                 return entry
         return None
@@ -132,6 +178,7 @@ class Tlb:
             raise ValueError(
                 f"vbase {entry.vbase:#010x} not aligned to size {entry.size:#x}"
             )
+        self.generation += 1
         table = self._by_size.get(entry.size)
         if table is not None and entry.vbase in table:
             table[entry.vbase] = entry
@@ -142,7 +189,10 @@ class Tlb:
             # Eviction may remove this size's (possibly just-created)
             # table from _by_size entirely, so re-fetch it afterwards.
             victim = self._evict_nru()
-        table = self._by_size.setdefault(entry.size, {})
+        table = self._by_size.get(entry.size)
+        if table is None:
+            table = self._by_size[entry.size] = {}
+            insort(self._sizes, entry.size)
         table[entry.vbase] = entry
         self._count += 1
         self.stats.inserts += 1
@@ -173,7 +223,9 @@ class Tlb:
         del table[entry.vbase]
         if not table:
             del self._by_size[entry.size]
+            self._sizes.remove(entry.size)
         self._count -= 1
+        self.generation += 1
 
     # ------------------------------------------------------------------ #
     # Shootdown
@@ -213,7 +265,9 @@ class Tlb:
         """Remove every entry (context switch / full purge)."""
         removed = self._count
         self._by_size.clear()
+        self._sizes.clear()
         self._count = 0
+        self.generation += 1
         self.stats.shootdowns += removed
         return removed
 
@@ -246,5 +300,55 @@ class Tlb:
         return out
 
     def resident_sizes(self) -> Tuple[int, ...]:
-        """Page sizes currently resident (drives fast-path probe count)."""
-        return tuple(self._by_size.keys())
+        """Page sizes currently resident, ascending (drives fast-path
+        probe count and the vector engine's coverage scan order)."""
+        return tuple(self._sizes)
+
+    # ------------------------------------------------------------------ #
+    # Vector-engine mirror (DESIGN.md §10)
+    # ------------------------------------------------------------------ #
+
+    def coverage_arrays(self) -> List[Tuple[int, np.ndarray, np.ndarray]]:
+        """Numpy mirror of the resident entries, for bulk coverage tests.
+
+        Returns ``[(size, vbases, deltas), ...]`` in ascending size
+        order, where ``vbases`` is sorted and ``deltas[i]`` is
+        ``pbase - vbase`` of the entry at ``vbases[i]`` (so
+        ``paddr = vaddr + delta``).  The mirror is rebuilt only when
+        :attr:`generation` has moved since the last call; hit runs
+        (which never mutate content) reuse it for free.
+        """
+        cached = self._coverage_cache
+        if cached is not None and cached[0] == self.generation:
+            return cached[1]
+        views: List[Tuple[int, np.ndarray, np.ndarray]] = []
+        for size in self._sizes:
+            table = self._by_size[size]
+            count = len(table)
+            vbases = np.fromiter(table.keys(), dtype=np.int64, count=count)
+            deltas = np.fromiter(
+                (e.pbase - e.vbase for e in table.values()),
+                dtype=np.int64,
+                count=count,
+            )
+            order = np.argsort(vbases)
+            views.append((size, vbases[order], deltas[order]))
+        self._coverage_cache = (self.generation, views)
+        return views
+
+    def touch_pages(self, size: int, vbases: Iterable[int]) -> None:
+        """Bulk-set NRU referenced bits for entries of one page size.
+
+        Used by the vector engine when it retires a hit run: every entry
+        the run hit is marked exactly as the scalar loop would have,
+        before the run-ending miss consults NRU state for eviction.
+        Unknown vbases are ignored (the caller works from a mirror that
+        is never stale within a run, but tests may be sloppier).
+        """
+        table = self._by_size.get(size)
+        if table is None:
+            return
+        for vbase in vbases:
+            entry = table.get(vbase)
+            if entry is not None:
+                entry.nru_referenced = True

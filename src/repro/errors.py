@@ -20,6 +20,11 @@ a single ``except`` clause.  The hierarchy splits into:
 A few classes double-inherit from the builtin exception they historically
 were (``AssertionError``, ``RuntimeError``) so existing callers keep
 working while new code can catch the typed form.
+
+Exceptions with multi-argument constructors define ``__reduce__`` so
+they survive the pickle round-trip out of ``run_matrix``'s worker
+processes with their typed attributes intact (the default reduction
+would try to rebuild them from the formatted message alone).
 """
 
 from __future__ import annotations
@@ -72,6 +77,12 @@ class SilentCorruption(SimulationError):
         self.hardware_pfn = hardware_pfn
         self.expected_pfn = expected_pfn
 
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.shadow_index, self.hardware_pfn, self.expected_pfn),
+        )
+
 
 # ---------------------------------------------------------------------- #
 # Fault-model errors (architected detection of injected hardware faults)
@@ -97,6 +108,9 @@ class MtlbParityFault(ReproError):
         self.shadow_index = shadow_index
         self.origin = origin
 
+    def __reduce__(self):
+        return (type(self), (self.shadow_index, self.origin))
+
 
 class UnrecoverableMemoryError(ReproError):
     """A transient bus/DRAM error persisted past the MMC's retry bound."""
@@ -108,6 +122,9 @@ class UnrecoverableMemoryError(ReproError):
         )
         self.paddr = paddr
         self.attempts = attempts
+
+    def __reduce__(self):
+        return (type(self), (self.paddr, self.attempts))
 
 
 # ---------------------------------------------------------------------- #
@@ -126,6 +143,9 @@ class TraceCacheCorrupt(ReproError):
         self.path = path
         self.reason = reason
 
+    def __reduce__(self):
+        return (type(self), (self.path, self.reason))
+
 
 class ReferenceBudgetExceeded(ReproError):
     """A run would exceed the harness's per-run reference budget.
@@ -140,3 +160,6 @@ class ReferenceBudgetExceeded(ReproError):
         )
         self.references = references
         self.budget = budget
+
+    def __reduce__(self):
+        return (type(self), (self.references, self.budget))

@@ -10,7 +10,10 @@ flush a remapped region by walking its virtual addresses.
 
 Two implementations share one interface: a fast direct-mapped cache (the
 paper's configuration, and the simulator hot path) and a generic
-set-associative LRU cache used for sensitivity studies and tests.
+set-associative LRU cache used for sensitivity studies and tests.  The
+direct-mapped cache keeps its tag and dirty state in numpy arrays so the
+vectorized fast-forward engine (DESIGN.md §10) can predict whole hit runs
+with one fancy-indexed comparison (:meth:`DirectMappedCache.bulk_probe`).
 
 The cache is purely *functional* here (hit/miss/writeback decisions); all
 timing is charged by :class:`repro.sim.system.System` and
@@ -21,6 +24,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
 
 from ..core.addrspace import CACHE_LINE_SHIFT, CACHE_LINE_SIZE, is_power_of_two
 
@@ -98,8 +103,17 @@ class DirectMappedCache:
         self.num_sets = num_sets
         self.physically_indexed = physically_indexed
         self._index_mask = num_sets - 1
-        self._tags: List[int] = [_INVALID] * num_sets
-        self._dirty = bytearray(num_sets)
+        # Numpy state so the vector engine can compare a whole reference
+        # window against the tag array at once; mutated in place only
+        # (the engine holds live views across miss handling).
+        self._tags = np.full(num_sets, _INVALID, dtype=np.int64)
+        self._dirty = np.zeros(num_sets, dtype=np.uint8)
+        #: Mutation stamp for every *API* path that can change line
+        #: residency (kernel HPT probes, flushes).  The vector engine
+        #: fills lines by writing the arrays directly, so a moved stamp
+        #: during miss service means some other agent polluted the cache
+        #: and in-flight window predictions must be rebuilt.
+        self.mutation_stamp = 0
         self.stats = CacheStats()
 
     def metrics_snapshot(self) -> Dict[str, int]:
@@ -127,9 +141,10 @@ class DirectMappedCache:
                 self._dirty[idx] = 1
             return AccessResult(hit=True)
         stats.misses += 1
+        self.mutation_stamp += 1
         writeback = None
         if self._tags[idx] != _INVALID and self._dirty[idx]:
-            writeback = self._tags[idx] << CACHE_LINE_SHIFT
+            writeback = int(self._tags[idx]) << CACHE_LINE_SHIFT
             stats.writebacks += 1
         self._tags[idx] = tag
         self._dirty[idx] = 1 if is_write else 0
@@ -139,7 +154,29 @@ class DirectMappedCache:
         """Return True if the line is present, with no side effects."""
         idx_addr = paddr if self.physically_indexed else vaddr
         idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
-        return self._tags[idx] == (paddr >> CACHE_LINE_SHIFT)
+        return bool(self._tags[idx] == (paddr >> CACHE_LINE_SHIFT))
+
+    def bulk_probe(self, vaddrs: np.ndarray, paddrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`probe`: hit mask for whole address arrays.
+
+        No side effects; the vector engine uses this shape of comparison
+        (against :attr:`tag_view`) to find the first reference of a
+        window that misses.
+        """
+        idx_addr = paddrs if self.physically_indexed else vaddrs
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        return self._tags[idx] == (paddrs >> CACHE_LINE_SHIFT)
+
+    @property
+    def tag_view(self) -> np.ndarray:
+        """Live view of the per-set physical line tags (int64; -1 =
+        invalid).  Mutating entries is the engine fill path's job."""
+        return self._tags
+
+    @property
+    def dirty_view(self) -> np.ndarray:
+        """Live view of the per-set dirty bits (uint8)."""
+        return self._dirty
 
     # ------------------------------------------------------------------ #
     # Flush path (remap consistency, page cleaning)
@@ -158,6 +195,7 @@ class DirectMappedCache:
         if self._tags[idx] != tag:
             return False, False
         self.stats.flush_lines_present += 1
+        self.mutation_stamp += 1
         dirty = bool(self._dirty[idx])
         if dirty:
             self.stats.flush_writebacks += 1
@@ -189,14 +227,19 @@ class DirectMappedCache:
         return checked, dirty_paddrs
 
     def invalidate_all(self) -> None:
-        """Drop every line without writing anything back (tests only)."""
-        self._tags = [_INVALID] * self.num_sets
-        self._dirty = bytearray(self.num_sets)
+        """Drop every line without writing anything back (tests only).
+
+        Fills in place: the vector engine holds live views of the
+        arrays, so they must never be reallocated.
+        """
+        self.mutation_stamp += 1
+        self._tags.fill(_INVALID)
+        self._dirty.fill(0)
 
     @property
     def occupancy(self) -> int:
         """Number of valid lines."""
-        return sum(1 for t in self._tags if t != _INVALID)
+        return int((self._tags != _INVALID).sum())
 
 
 class SetAssociativeCache:

@@ -41,6 +41,7 @@ LOWER_IS_BETTER = frozenset(
         "tlb_time_fraction",
         "avg_fill_cycles",
         "cpi",
+        "wall_seconds",
     }
 )
 
@@ -101,6 +102,19 @@ class DiffReport:
     @property
     def ok(self) -> bool:
         return not self.regressions
+
+    @property
+    def identical(self) -> bool:
+        """True when every shared metric is bit-equal *and* the two
+        snapshots cover exactly the same run keys.  This is the
+        ``--require-identical`` gate: it holds the candidate to exact
+        equality (engine-equivalence checks), not just to the
+        regression threshold."""
+        return (
+            not self.changed
+            and not self.only_in_baseline
+            and not self.only_in_candidate
+        )
 
     def render(self, show_unchanged: bool = False) -> str:
         lines: List[str] = []

@@ -133,8 +133,22 @@ class SystemConfig:
     #: one predictable branch per miss-path event and keeps RunStats
     #: bit-identical to a build without the obs layer.
     obs: ObsConfig = ObsConfig()
+    #: Trace-execution engine (DESIGN.md §10).  ``"scalar"`` is the
+    #: per-reference loop; ``"vector"`` is the fast-forward engine that
+    #: retires whole TLB-hit + cache-hit runs with numpy and is
+    #: bit-identical to scalar in every RunStats/metrics value.
+    #: ``"auto"`` (default) picks vector whenever the configuration is
+    #: batchable (direct-mapped cache, no fault injection) and falls
+    #: back to scalar otherwise; ``"vector"`` on an unbatchable
+    #: configuration raises at machine-build time.
+    engine: str = "auto"
 
     def __post_init__(self) -> None:
+        if self.engine not in ("auto", "scalar", "vector"):
+            raise ValueError(
+                "engine must be 'auto', 'scalar' or 'vector', "
+                f"got {self.engine!r}"
+            )
         if self.use_superpages and not self.mtlb.enabled:
             raise ValueError(
                 "use_superpages requires an enabled MTLB "

@@ -5,13 +5,14 @@ block TLB, data cache, bus, MMC (with optional MTLB), DRAM, and the
 MiniKernel.  ``run(trace)`` executes a workload trace from simulated boot
 through process exit and returns a :class:`~repro.sim.results.RunResult`.
 
-Performance note: the reference loop in :meth:`_run_segment` deliberately
-inlines the TLB and direct-mapped cache *hit* paths against the component
-internals (``Tlb._by_size``, ``DirectMappedCache._tags``), accumulating
-statistics locally and folding them back into the component counters at
-segment end.  Misses and every kernel operation go through the ordinary
-component APIs.  This keeps the simulator around a microsecond per
-reference in CPython, which is what makes paper-scale traces feasible.
+Performance note: trace execution is delegated to one of the two
+engines in :mod:`repro.sim.engine` (DESIGN.md §10).  The scalar engine
+is the per-reference loop, inlining the TLB and direct-mapped cache
+*hit* paths against component internals; the vector engine additionally
+fast-forwards over whole hit runs with numpy and is selected by default
+(``SystemConfig.engine = "auto"``) whenever the configuration is
+batchable.  Both are bit-identical in every statistic; misses and every
+kernel operation go through the ordinary component APIs either way.
 """
 
 from __future__ import annotations
@@ -28,14 +29,13 @@ from ..cpu.miss_handler import PageFault, SoftwareMissHandler
 from ..cpu.tlb import Tlb
 from ..errors import (
     MtlbParityFault,
-    ReferenceBudgetExceeded,
     SilentCorruption,
     SimulationError,
     StaleSystemError,
 )
 from ..faults import MTLB_PARITY, SHADOW_BITFLIP, FAULT_SITES, FaultPlan
 from ..mem.bus import Bus
-from ..mem.cache import DirectMappedCache, build_cache
+from ..mem.cache import build_cache
 from ..mem.dram import Dram
 from ..mem.mmc import MemoryController
 from ..mem.stream_buffers import StreamBufferUnit
@@ -52,6 +52,7 @@ from ..trace.events import (
 )
 from ..trace.trace import Segment, Trace
 from .config import SystemConfig
+from .engine import resolve_engine, run_segment_scalar, run_segment_vector
 from .results import RunResult
 from .stats import RunStats
 
@@ -167,10 +168,17 @@ class System:
         self._oracle_count = 0
         self._ifetch_counter = 0
         self._ifetch_instr_accum = 0
-        # Functional data store: real physical word address -> value, plus
-        # swapped-out page contents keyed by shadow page index.
-        self._word_store: Dict[int, int] = {}
+        # Functional data store, sharded per physical frame so a page-out
+        # moves a whole frame's words in O(words actually written): real
+        # pfn -> {byte offset -> value}, plus swapped-out page contents
+        # keyed by shadow page index.
+        self._word_store: Dict[int, Dict[int, int]] = {}
         self._swap_data: Dict[int, Dict[int, int]] = {}
+
+        #: Trace-execution engine for this run ("scalar" or "vector"),
+        #: resolved from ``config.engine`` against what this machine can
+        #: batch (DESIGN.md §10).
+        self.engine = resolve_engine(self)
 
     # ================================================================== #
     # Machine port used by the OS (costed primitives)
@@ -228,21 +236,26 @@ class System:
     # -- functional data movement used by the pager ---------------------- #
 
     def page_data_out(self, pfn: int, shadow_index: int) -> None:
-        """Move a frame's functional data to the swap slot (page-out)."""
-        base = pfn << BASE_PAGE_SHIFT
-        slot: Dict[int, int] = {}
-        for offset in range(0, BASE_PAGE_SIZE, 8):
-            value = self._word_store.pop(base + offset, None)
-            if value is not None:
-                slot[offset] = value
-        self._swap_data[shadow_index] = slot
+        """Move a frame's functional data to the swap slot (page-out).
+
+        The word store is sharded per frame, so this is one dict move
+        touching only the offsets that were ever written — not a sweep
+        of all 512 word slots of the page.  DRAM cycle accounting is
+        unaffected: the pager charges disk/DRAM time itself and this
+        path has always been purely functional.
+        """
+        self._swap_data[shadow_index] = self._word_store.pop(pfn, {})
 
     def page_data_in(self, pfn: int, shadow_index: int) -> None:
         """Move swapped functional data into a (possibly new) frame."""
         slot = self._swap_data.pop(shadow_index, {})
-        base = pfn << BASE_PAGE_SHIFT
-        for offset, value in slot.items():
-            self._word_store[base + offset] = value
+        if not slot:
+            return
+        existing = self._word_store.get(pfn)
+        if existing is None:
+            self._word_store[pfn] = slot
+        else:
+            existing.update(slot)
 
     # ================================================================== #
     # Kernel memory accesses (block-TLB mapped, through the data cache)
@@ -278,6 +291,10 @@ class System:
                 "a System instance simulates exactly one run"
             )
         self._ran = True
+        # Re-resolve the engine: tests and tools may have swapped in a
+        # different cache model since construction, and "auto" must
+        # follow the machine actually being run.
+        self.engine = resolve_engine(self)
         stats = self.stats
         kernel = self.kernel
 
@@ -456,129 +473,11 @@ class System:
     # ================================================================== #
 
     def _run_segment(self, seg: Segment, process: Process) -> None:
-        ops = seg.ops.tolist()
-        vaddrs = seg.vaddrs.tolist()
-        gaps = seg.gaps.tolist()
-        n = len(vaddrs)
-
-        if self.reference_budget is not None:
-            if self.stats.references + n > self.reference_budget:
-                raise ReferenceBudgetExceeded(
-                    self.stats.references + n, self.reference_budget
-                )
-
-        tlb = self.tlb
-        by_size = tlb._by_size
-        cache = self.cache
-        inline_cache = isinstance(cache, DirectMappedCache)
-        if inline_cache:
-            tags = cache._tags
-            cdirty = cache._dirty
-            imask = cache._index_mask
-            phys_indexed = cache.physically_indexed
-
-        inst_cycles = 0
-        tlb_miss_cycles = 0
-        mem_stall = 0
-        tlb_misses = 0
-        cache_misses = 0
-
-        refill = self._refill_tlb
-        miss_path = self._fill_stall
-
-        # Event timestamps: components stamp ``tracer.clock``, which the
-        # loop advances on the miss branches only (hit paths stay clean).
-        tracer = self._tracer
-        stats = self.stats
-        seg_base = (
-            stats.instruction_cycles
-            + stats.memory_stall_cycles
-            + stats.tlb_miss_cycles
-            + stats.kernel_cycles
-        )
-
-        for i in range(n):
-            vaddr = vaddrs[i]
-            op = ops[i]
-            inst_cycles += gaps[i] + 1
-
-            entry = None
-            for size, table in by_size.items():
-                entry = table.get(vaddr & ~(size - 1))
-                if entry is not None:
-                    break
-            if entry is None:
-                tlb_misses += 1
-                if tracer is not None:
-                    tracer.clock = (
-                        seg_base + inst_cycles + tlb_miss_cycles + mem_stall
-                    )
-                entry, cost = refill(vaddr)
-                tlb_miss_cycles += cost
-            else:
-                entry.nru_referenced = True
-            paddr = entry.pbase + vaddr - entry.vbase
-
-            if inline_cache:
-                idx = ((paddr if phys_indexed else vaddr) >> 5) & imask
-                tag = paddr >> 5
-                if tags[idx] == tag:
-                    if op:
-                        cdirty[idx] = 1
-                else:
-                    cache_misses += 1
-                    old = tags[idx]
-                    if old != -1 and cdirty[idx]:
-                        cache.stats.writebacks += 1
-                        self.bus.writeback_cycles()
-                        self.mmc.writeback(old << 5)
-                    tags[idx] = tag
-                    cdirty[idx] = 1 if op else 0
-                    if tracer is not None:
-                        tracer.clock = (
-                            seg_base
-                            + inst_cycles
-                            + tlb_miss_cycles
-                            + mem_stall
-                        )
-                    mem_stall += miss_path(paddr, op)
-            else:
-                result = cache.access(vaddr, paddr, op == 1)
-                if not result.hit:
-                    cache_misses += 1
-                    if result.writeback_paddr is not None:
-                        self.bus.writeback_cycles()
-                        self.mmc.writeback(result.writeback_paddr)
-                    if tracer is not None:
-                        tracer.clock = (
-                            seg_base
-                            + inst_cycles
-                            + tlb_miss_cycles
-                            + mem_stall
-                        )
-                    mem_stall += miss_path(paddr, op)
-
-        # Fold the locally accumulated statistics back in.
-        tlb.stats.lookups += n
-        tlb.stats.misses += tlb_misses
-        tlb.stats.hits += n - tlb_misses
-        if inline_cache:
-            cache.stats.accesses += n
-            cache.stats.misses += cache_misses
-            cache.stats.hits += n - cache_misses
-
-        stats.references += n
-        stats.instructions += seg.instructions
-        stats.instruction_cycles += inst_cycles
-        stats.tlb_miss_cycles += tlb_miss_cycles
-        stats.memory_stall_cycles += mem_stall
-        self.segment_cycles.append(
-            (seg.label, inst_cycles + tlb_miss_cycles + mem_stall)
-        )
-
-        self._model_ifetch(seg)
-        if self.obs is not None:
-            self._obs_sample()
+        """Execute one reference segment with the resolved engine."""
+        if self.engine == "vector":
+            run_segment_vector(self, seg, process)
+        else:
+            run_segment_scalar(self, seg, process)
 
     def _refill_tlb(self, vaddr: int):
         """Software TLB refill; returns (entry, handler cycles).
@@ -750,12 +649,16 @@ class System:
     def store_word(self, process: Process, vaddr: int, value: int) -> None:
         """Functionally store a value through the full translation path."""
         real = self._functional_translate(process, vaddr, is_write=True)
-        self._word_store[real] = value
+        frame = self._word_store.setdefault(real >> BASE_PAGE_SHIFT, {})
+        frame[real & (BASE_PAGE_SIZE - 1)] = value
 
     def load_word(self, process: Process, vaddr: int) -> Optional[int]:
         """Functionally load a value through the full translation path."""
         real = self._functional_translate(process, vaddr, is_write=False)
-        return self._word_store.get(real)
+        frame = self._word_store.get(real >> BASE_PAGE_SHIFT)
+        if frame is None:
+            return None
+        return frame.get(real & (BASE_PAGE_SIZE - 1))
 
     def _functional_translate(
         self, process: Process, vaddr: int, is_write: bool

@@ -176,6 +176,89 @@ class TestCheckpointResume:
         assert matrix.get("em3d", "tlb96").total_cycles > 1
 
 
+class TestParallelMatrix:
+    CONFIGS = staticmethod(
+        lambda: {
+            "tlb96": paper_no_mtlb(96),
+            "tlb96+mtlb1282w": paper_mtlb(96),
+        }
+    )
+
+    def test_parallel_matches_serial(self, tmp_path):
+        configs = self.CONFIGS()
+        serial = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        ).run_matrix(["em3d"], configs, "tlb96")
+        parallel = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            jobs=2,
+        ).run_matrix(["em3d"], configs, "tlb96")
+        for label in configs:
+            import dataclasses as dc
+            assert dc.asdict(parallel.get("em3d", label)) == dc.asdict(
+                serial.get("em3d", label)
+            )
+
+    def test_parallel_resumes_from_serial_checkpoint(self, tmp_path):
+        """A checkpoint written by a serial run is a valid merge point
+        for a parallel one (and vice versa): the fingerprint ignores
+        jobs and engine, which never change results."""
+        configs = self.CONFIGS()
+        ctx = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        )
+        full = ctx.run_matrix(["em3d"], configs, "tlb96")
+
+        class Boom(Exception):
+            pass
+
+        interrupted = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        )
+        real_run = interrupted.run
+        calls = []
+
+        def tracked(workload, config):
+            calls.append(config.label)
+            if len(calls) > 1:
+                raise Boom
+            return real_run(workload, config)
+
+        interrupted.run = tracked
+        with pytest.raises(Boom):
+            interrupted.run_matrix(
+                ["em3d"], configs, "tlb96", checkpoint="p1"
+            )
+        assert (tmp_path / "checkpoint_p1.json").exists()
+
+        resumed = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            jobs=2,
+        ).run_matrix(["em3d"], configs, "tlb96", checkpoint="p1")
+        assert not (tmp_path / "checkpoint_p1.json").exists()
+        for label in configs:
+            assert (
+                resumed.get("em3d", label).total_cycles
+                == full.get("em3d", label).total_cycles
+            )
+
+    def test_worker_failure_keeps_completed_cells(self, tmp_path):
+        """A cell that dies in a worker still leaves every completed
+        cell checkpointed, so the rerun resumes instead of restarting."""
+        ctx = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            jobs=2, max_references=10,
+        )
+        with pytest.raises(ReferenceBudgetExceeded):
+            ctx.run_matrix(
+                ["em3d"], self.CONFIGS(), "tlb96", checkpoint="p2"
+            )
+        # No cell can complete under a 10-reference budget, but the
+        # harness must fail with the worker's real exception (not a
+        # pickling artifact) and leave the trace cache warm.
+        assert list(tmp_path.glob("em3d_*.npz"))
+
+
 class TestReferenceBudget:
     def test_budget_exceeded_raises(self, tmp_path):
         ctx = BenchContext(

@@ -1,0 +1,157 @@
+"""Golden scalar-vs-vector engine equivalence (DESIGN.md §10).
+
+The vector fast-forward engine's contract is *bit-identity*: every
+``RunStats`` field and every derived metric must equal the scalar
+engine's on every workload and every batchable configuration — the
+engines may only differ in wall-clock time.  These tests are the
+contract's enforcement:
+
+* a golden run of all five paper workloads at the quick (CI) scales,
+  mixing no-MTLB, MTLB, and online-promotion configurations;
+* hypothesis-sampled machine geometries at tiny scales, so geometry
+  corners (tiny TLBs, fully associative MTLBs) are exercised too;
+* the policy surface: ``engine="vector"`` on an unbatchable machine
+  must refuse at build time, and ``engine="auto"`` must fall back to
+  scalar instead.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.bench import BenchContext
+from repro.errors import SimulationError
+from repro.faults import FaultConfig
+from repro.obs import stats_metrics
+from repro.sim.config import (
+    CacheConfig,
+    SystemConfig,
+    paper_mtlb,
+    paper_no_mtlb,
+    paper_promotion,
+)
+from repro.sim.engine import resolve_engine, vector_supported
+from repro.sim.system import System
+from repro.workloads import PAPER_SUITE
+
+#: One configuration per workload, covering both sides of the Figure 3
+#: matrix and all three CPU TLB sizes.
+GOLDEN_CONFIGS = {
+    "compress95": paper_no_mtlb(64),
+    "vortex": paper_mtlb(96),
+    "radix": paper_no_mtlb(128),
+    "em3d": paper_mtlb(64),
+    "gcc": paper_mtlb(128),
+}
+
+TINY_SCALES = {name: 0.02 for name in PAPER_SUITE}
+
+
+@pytest.fixture(scope="module")
+def quick_ctx(tmp_path_factory):
+    return BenchContext(
+        quick=True, cache_dir=tmp_path_factory.mktemp("traces")
+    )
+
+
+@pytest.fixture(scope="module")
+def tiny_ctx(tmp_path_factory):
+    return BenchContext(
+        quick=True,
+        scales=TINY_SCALES,
+        cache_dir=tmp_path_factory.mktemp("tiny_traces"),
+    )
+
+
+def assert_bit_identical(ctx, workload, config):
+    scalar = ctx.run(
+        workload, dataclasses.replace(config, engine="scalar")
+    )
+    vector = ctx.run(
+        workload, dataclasses.replace(config, engine="vector")
+    )
+    assert dataclasses.asdict(scalar.stats) == dataclasses.asdict(
+        vector.stats
+    )
+    assert stats_metrics(scalar.stats) == stats_metrics(vector.stats)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("workload", PAPER_SUITE)
+    def test_workload_bit_identical_at_quick_scale(
+        self, quick_ctx, workload
+    ):
+        assert_bit_identical(
+            quick_ctx, workload, GOLDEN_CONFIGS[workload]
+        )
+
+    def test_promotion_config_bit_identical(self, tiny_ctx):
+        assert_bit_identical(tiny_ctx, "em3d", paper_promotion())
+
+
+class TestSampledGeometries:
+    @settings(max_examples=10, deadline=None)
+    @given(
+        tlb_entries=st.sampled_from([16, 48, 96]),
+        mtlb_entries=st.sampled_from([32, 128]),
+        mtlb_assoc=st.sampled_from([0, 2]),
+        use_mtlb=st.booleans(),
+        workload=st.sampled_from(["em3d", "gcc"]),
+    )
+    def test_sampled_config_bit_identical(
+        self,
+        tiny_ctx,
+        tlb_entries,
+        mtlb_entries,
+        mtlb_assoc,
+        use_mtlb,
+        workload,
+    ):
+        if use_mtlb:
+            config = paper_mtlb(tlb_entries, mtlb_entries, mtlb_assoc)
+        else:
+            config = paper_no_mtlb(tlb_entries)
+        assert_bit_identical(tiny_ctx, workload, config)
+
+
+class TestEnginePolicy:
+    def test_vector_refused_on_set_associative_cache(self):
+        config = SystemConfig(
+            cache=CacheConfig(associativity=2), engine="vector"
+        )
+        ok, why = vector_supported(System(dataclasses.replace(
+            config, engine="auto"
+        )))
+        assert not ok and "direct-mapped" in why
+        with pytest.raises(SimulationError, match="direct-mapped"):
+            System(config)
+
+    def test_vector_refused_under_fault_injection(self):
+        config = SystemConfig(
+            faults=FaultConfig(mtlb_parity_rate=0.5), engine="vector"
+        )
+        with pytest.raises(SimulationError, match="fault"):
+            System(config)
+
+    def test_auto_falls_back_to_scalar(self):
+        assoc = System(SystemConfig(cache=CacheConfig(associativity=2)))
+        assert assoc.engine == "scalar"
+        plain = System(SystemConfig())
+        assert plain.engine == "vector"
+        assert resolve_engine(plain) == "vector"
+
+    def test_invalid_engine_string_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            SystemConfig(engine="turbo")
+
+    def test_context_engine_override(self, tiny_ctx):
+        override = BenchContext(
+            quick=True,
+            scales=TINY_SCALES,
+            cache_dir=tiny_ctx.cache_dir,
+            engine="scalar",
+        )
+        result = override.run("em3d", paper_no_mtlb(96))
+        assert result.stats.references > 0

@@ -157,3 +157,63 @@ def test_direct_mapped_matches_reference_model(ops):
         else:
             ref_tags[idx] = tag
             ref_dirty[idx] = is_write
+
+
+class TestVectorSurface:
+    """The numpy surface the vector engine predicts against
+    (DESIGN.md §10): bulk_probe, the live tag/dirty views, and the
+    mutation stamp that flags cache pollution during miss service."""
+
+    def test_bulk_probe_matches_scalar_probe(self, small_dm):
+        import numpy as np
+
+        for addr in (0, 32, 512, 96):
+            small_dm.access(addr, addr, False)
+        addrs = np.arange(0, 1024, 32, dtype=np.int64)
+        mask = small_dm.bulk_probe(addrs, addrs)
+        expect = [small_dm.probe(int(a), int(a)) for a in addrs]
+        assert mask.tolist() == expect
+
+    def test_bulk_probe_has_no_side_effects(self, small_dm):
+        import numpy as np
+
+        small_dm.access(0, 0, False)
+        before = (
+            small_dm.stats.accesses,
+            small_dm.mutation_stamp,
+            small_dm.tag_view.copy().tolist(),
+        )
+        small_dm.bulk_probe(
+            np.array([0, 32], dtype=np.int64),
+            np.array([0, 32], dtype=np.int64),
+        )
+        assert (
+            small_dm.stats.accesses,
+            small_dm.mutation_stamp,
+            small_dm.tag_view.tolist(),
+        ) == before
+
+    def test_views_are_live(self, small_dm):
+        tags = small_dm.tag_view
+        dirty = small_dm.dirty_view
+        small_dm.access(64, 64, True)
+        idx = (64 >> 5) & (small_dm.num_sets - 1)
+        assert tags[idx] == 64 >> 5
+        assert dirty[idx] == 1
+        # Writing the views directly (the engine's fill path) is seen
+        # by the scalar API: 576 indexes to the same set as 64.
+        tags[idx] = 576 >> 5
+        assert small_dm.probe(576, 576)
+        assert not small_dm.probe(64, 64)
+
+    def test_mutation_stamp_moves_on_residency_change_only(
+        self, small_dm
+    ):
+        stamp = small_dm.mutation_stamp
+        small_dm.access(0, 0, False)  # miss: fills a line
+        assert small_dm.mutation_stamp > stamp
+        stamp = small_dm.mutation_stamp
+        small_dm.access(0, 0, True)  # hit (even dirtying): no move
+        assert small_dm.mutation_stamp == stamp
+        small_dm.flush_line(0, 0)
+        assert small_dm.mutation_stamp > stamp

@@ -56,6 +56,9 @@ class TestQuickSmoke:
         ``REPRO_BENCH_QUICK=1 repro-bench fig3 --keep-going``."""
         monkeypatch.setenv("REPRO_BENCH_QUICK", "1")
         monkeypatch.setenv("REPRO_TRACE_CACHE", str(tmp_path))
+        # fig3 writes BENCH_figure3.json and BENCH_perf.json into the
+        # cwd; keep them out of the repo checkout.
+        monkeypatch.chdir(tmp_path)
         status = main(["fig3", "--keep-going"])
         out = capsys.readouterr().out
         # Quick scales are too small for every paper shape check, so a
@@ -66,3 +69,75 @@ class TestQuickSmoke:
         assert "MTLB improvement at the 96-entry base:" in out
         # The matrix finished, so its checkpoint was cleaned up.
         assert not (tmp_path / "checkpoint_fig3.json").exists()
+
+
+class TestRequireIdentical:
+    """`repro metrics diff --require-identical` is the engine
+    equivalence gate: ANY numeric delta (even below the regression
+    threshold) or run-set mismatch must fail."""
+
+    @staticmethod
+    def snapshot(tmp_path, name, runs):
+        from repro.obs import SCHEMA, write_snapshot
+
+        return str(
+            write_snapshot(
+                {"schema": SCHEMA, "label": name, "meta": {}, "runs": runs},
+                tmp_path / f"{name}.json",
+            )
+        )
+
+    def test_identical_snapshots_pass(self, tmp_path, capsys):
+        from repro.cli import repro_main
+
+        runs = {"em3d|tlb96": {"metrics": {"total_cycles": 1000}}}
+        a = self.snapshot(tmp_path, "a", runs)
+        b = self.snapshot(tmp_path, "b", runs)
+        assert repro_main(
+            ["metrics", "diff", a, b, "--require-identical"]
+        ) == 0
+        assert "identical" in capsys.readouterr().out
+
+    def test_sub_threshold_delta_fails_only_with_flag(
+        self, tmp_path, capsys
+    ):
+        from repro.cli import repro_main
+
+        a = self.snapshot(
+            tmp_path, "a",
+            {"em3d|tlb96": {"metrics": {"total_cycles": 100000}}},
+        )
+        b = self.snapshot(
+            tmp_path, "b",
+            {"em3d|tlb96": {"metrics": {"total_cycles": 100001}}},
+        )
+        # +0.001% is inside the 2% regression threshold...
+        assert repro_main(["metrics", "diff", a, b]) == 0
+        # ...but not bit-identical.
+        assert repro_main(
+            ["metrics", "diff", a, b, "--require-identical"]
+        ) == 1
+        assert "differ" in capsys.readouterr().err
+
+    def test_run_set_mismatch_fails(self, tmp_path):
+        from repro.cli import repro_main
+
+        runs = {"em3d|tlb96": {"metrics": {"total_cycles": 1000}}}
+        both = dict(runs)
+        both["gcc|tlb96"] = {"metrics": {"total_cycles": 2000}}
+        a = self.snapshot(tmp_path, "a", runs)
+        b = self.snapshot(tmp_path, "b", both)
+        assert repro_main(
+            ["metrics", "diff", a, b, "--require-identical"]
+        ) == 1
+
+
+class TestEngineAndJobsFlags:
+    def test_engine_flag_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            main(["fig2", "--engine", "turbo"])
+
+    def test_jobs_and_engine_accepted(self, capsys):
+        # fig2 is static (no matrix), so this just checks flag parsing
+        # and context construction.
+        assert main(["fig2", "--jobs", "2", "--engine", "vector"]) == 0

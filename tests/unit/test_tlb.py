@@ -162,3 +162,120 @@ def test_tlb_model_equivalence(vpns, capacity):
         assert tlb.probe(vpn * BASE_PAGE_SIZE).translate(
             vpn * BASE_PAGE_SIZE
         ) == vpn * BASE_PAGE_SIZE
+
+
+class TestMostSpecificLookup:
+    """When mappings of several page sizes cover one address, the
+    smallest (most specific) entry must win — independent of insertion
+    order and of the MRU probe hint."""
+
+    SUPER = 4 << 20  # 4 MB superpage overlapping base page 5
+
+    def overlapping(self, small_first: bool) -> Tlb:
+        tlb = Tlb(8)
+        small = base_entry(5, pfn=9)
+        big = TlbEntry(vbase=0, pbase=0x40000000, size=self.SUPER)
+        for entry in ([small, big] if small_first else [big, small]):
+            tlb.insert(entry)
+        return tlb
+
+    @pytest.mark.parametrize("small_first", [True, False])
+    def test_smallest_wins_both_insertion_orders(self, small_first):
+        tlb = self.overlapping(small_first)
+        hit = tlb.lookup(5 * BASE_PAGE_SIZE + 0x10)
+        assert hit.size == BASE_PAGE_SIZE
+        assert hit.translate(5 * BASE_PAGE_SIZE) == 9 * BASE_PAGE_SIZE
+
+    @pytest.mark.parametrize("small_first", [True, False])
+    def test_superpage_covers_the_rest(self, small_first):
+        tlb = self.overlapping(small_first)
+        hit = tlb.lookup(6 * BASE_PAGE_SIZE)
+        assert hit.size == self.SUPER
+        assert hit.translate(6 * BASE_PAGE_SIZE) == (
+            0x40000000 + 6 * BASE_PAGE_SIZE
+        )
+
+    def test_mru_hint_does_not_shadow_smaller_entry(self):
+        tlb = self.overlapping(small_first=True)
+        # Make the superpage the MRU size, then look up the overlap:
+        # the hint is probed first but the base page must still win.
+        assert tlb.lookup(6 * BASE_PAGE_SIZE).size == self.SUPER
+        assert tlb._mru_size == self.SUPER
+        assert tlb.lookup(5 * BASE_PAGE_SIZE).size == BASE_PAGE_SIZE
+        assert tlb._mru_size == BASE_PAGE_SIZE
+
+    def test_hint_survives_eviction_of_its_size(self):
+        tlb = Tlb(2)
+        tlb.insert(TlbEntry(vbase=0, pbase=0, size=self.SUPER))
+        assert tlb.lookup(0x100).size == self.SUPER
+        # Fill with base pages until the superpage is evicted; lookups
+        # must keep working with the stale hint pointing at a size that
+        # no longer has a table.
+        tlb.insert(base_entry(1024))
+        tlb.insert(base_entry(1025))
+        assert tlb.probe(0x100) is None or tlb.probe(0x100).size != 0
+        assert tlb.lookup(1025 * BASE_PAGE_SIZE) is not None
+
+
+class TestCoverageMirror:
+    def test_arrays_reflect_content(self):
+        tlb = Tlb(8)
+        tlb.insert(base_entry(7, pfn=3))
+        tlb.insert(base_entry(2, pfn=2))
+        tlb.insert(TlbEntry(vbase=0x400000, pbase=0x800000, size=4 << 20))
+        views = tlb.coverage_arrays()
+        assert [size for size, _, _ in views] == [
+            BASE_PAGE_SIZE, 4 << 20
+        ]
+        size, vbases, deltas = views[0]
+        assert vbases.tolist() == [2 * 4096, 7 * 4096]  # sorted
+        assert deltas.tolist() == [0, (3 - 7) * 4096]  # paddr = v + d
+        _, sv, sd = views[1]
+        assert sv.tolist() == [0x400000] and sd.tolist() == [0x400000]
+
+    def test_cache_reused_until_generation_moves(self):
+        tlb = Tlb(8)
+        tlb.insert(base_entry(1))
+        first = tlb.coverage_arrays()
+        assert tlb.coverage_arrays() is first  # no mutation: cached
+        tlb.lookup(1 * BASE_PAGE_SIZE)  # hits do not invalidate
+        assert tlb.coverage_arrays() is first
+        gen = tlb.generation
+        tlb.insert(base_entry(2))
+        assert tlb.generation > gen
+        assert tlb.coverage_arrays() is not first
+
+    def test_shootdown_and_flush_invalidate(self):
+        tlb = Tlb(8)
+        tlb.insert(base_entry(1))
+        tlb.insert(base_entry(2))
+        mirror = tlb.coverage_arrays()
+        tlb.shootdown(1 * BASE_PAGE_SIZE)
+        assert tlb.coverage_arrays() is not mirror
+        mirror = tlb.coverage_arrays()
+        tlb.flush_all()
+        assert tlb.coverage_arrays() == []
+
+
+class TestTouchPages:
+    def test_marks_referenced_like_scalar_hits(self):
+        tlb = Tlb(8)
+        for vpn in (1, 2, 3):
+            tlb.insert(base_entry(vpn))
+        for entry in tlb.entries():
+            entry.nru_referenced = False
+        tlb.touch_pages(
+            BASE_PAGE_SIZE, [1 * BASE_PAGE_SIZE, 3 * BASE_PAGE_SIZE]
+        )
+        flags = {
+            e.vbase // BASE_PAGE_SIZE: e.nru_referenced
+            for e in tlb.entries()
+        }
+        assert flags == {1: True, 2: False, 3: True}
+
+    def test_unknown_size_and_vbase_ignored(self):
+        tlb = Tlb(8)
+        tlb.insert(base_entry(1))
+        tlb.touch_pages(16 << 10, [0])  # no 16 KB table resident
+        tlb.touch_pages(BASE_PAGE_SIZE, [99 * BASE_PAGE_SIZE])
+        assert tlb.occupancy == 1
