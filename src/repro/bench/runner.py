@@ -103,6 +103,7 @@ class BenchContext:
         max_references: Optional[int] = None,
         jobs: Optional[int] = None,
         engine: Optional[str] = None,
+        sanitize: bool = False,
     ) -> None:
         if quick is None:
             quick = quick_mode_requested()
@@ -128,6 +129,10 @@ class BenchContext:
         #: config's own ``engine`` field.  Engines are bit-identical,
         #: so results (and checkpoints) are interchangeable.
         self.engine = engine
+        #: Run every config with the invariant sanitizer suite enabled
+        #: (repro.check).  Read-only checks: results and checkpoints
+        #: stay bit-identical, only wall-clock changes.
+        self.sanitize = sanitize
         self._traces: Dict[str, Trace] = {}
 
     # ------------------------------------------------------------------ #
@@ -180,6 +185,8 @@ class BenchContext:
         """Simulate one workload on one configuration."""
         if self.engine is not None and config.engine != self.engine:
             config = dataclasses.replace(config, engine=self.engine)
+        if self.sanitize and not config.sanitize:
+            config = dataclasses.replace(config, sanitize=True)
         system = System(config)
         system.reference_budget = self.max_references
         return system.run(self.trace(workload))
@@ -305,6 +312,7 @@ class BenchContext:
             "seed": self.seed,
             "max_references": self.max_references,
             "engine": self.engine,
+            "sanitize": self.sanitize,
         }
         workers = min(jobs, len(pending))
         with concurrent.futures.ProcessPoolExecutor(workers) as pool:

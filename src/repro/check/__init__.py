@@ -1,0 +1,29 @@
+"""repro.check: correctness tooling (DESIGN.md §11).
+
+Three parts, all outside the simulation's costed paths:
+
+* :mod:`~repro.check.sanitizers` — opt-in architectural invariant
+  checkers over the TLB, cache, shadow page table, MTLB, and frame
+  allocator, run at every segment boundary and kernel event
+  (``SystemConfig.sanitize`` / ``repro-bench --sanitize``);
+* :mod:`~repro.check.lockstep` — the scalar-vs-vector differential
+  harness: per-boundary state digests, first-divergence report with
+  component-level field detail (``repro check diff``);
+* :mod:`~repro.check.shrink` — bisects a failing trace to a minimal
+  window and emits a standalone repro script;
+* :mod:`~repro.check.corpus` — seeded planted-bug corpus that validates
+  all of the above end to end (``repro check corpus``).
+"""
+
+from .lockstep import DiffReport, Divergence, run_lockstep
+from .sanitizers import SanitizerSuite
+from .shrink import emit_repro, shrink_trace
+
+__all__ = [
+    "DiffReport",
+    "Divergence",
+    "SanitizerSuite",
+    "emit_repro",
+    "run_lockstep",
+    "shrink_trace",
+]

@@ -1,0 +1,355 @@
+"""Seeded planted-bug corpus: end-to-end validation of repro.check.
+
+Each :class:`PlantedBug` deterministically corrupts one component of a
+live machine at a fixed boundary of a synthetic workload (built on the
+same state-corruption surface as the PR 1 fault layer: shadow-table
+bits, cached MTLB ways, cache metadata).  The corpus is the proof the
+tooling works:
+
+* every ``kind="sanitize"`` bug must be caught by the sanitizer suite
+  as an :class:`~repro.errors.InvariantViolation` naming the planted
+  component;
+* every ``kind="diff"`` bug corrupts only the *vector* engine's run, so
+  the lockstep harness must report its first divergence at the planted
+  boundary in the planted component;
+* every bug's failure must survive :func:`~repro.check.shrink.shrink_trace`
+  down to a ≤1000-reference standalone repro.
+
+``repro check corpus`` runs :func:`validate_corpus` and fails CI if any
+bug escapes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..errors import InvariantViolation
+from ..sim.config import SystemConfig, paper_mtlb
+from ..trace.events import MapRegion, Remap
+from ..trace.trace import Trace, make_segment
+from .lockstep import run_lockstep
+
+#: Region the corpus workload maps and remaps to a shadow superpage.
+REGION_BASE = 0x0200_0000
+REGION_SIZE = 1 << 20
+
+#: Boundary index the bugs fire at: 0 = MapRegion, 1 = Remap, 2 = the
+#: first reference segment — so the machine is warm (MTLB ways cached,
+#: cache partly filled, shadow table live) when the corruption lands.
+WARM_BOUNDARY = 2
+
+
+@dataclass
+class PlantedBug:
+    """One deterministic, seeded corruption of live machine state."""
+
+    name: str
+    #: "sanitize" (caught by the invariant suite) or "diff" (caught by
+    #: the lockstep harness as a scalar/vector divergence).
+    kind: str
+    #: Component the tooling must attribute the failure to.
+    component: str
+    #: What the corruption models.
+    description: str
+    corrupt: Callable[[object], None] = field(repr=False)
+    #: Boundary index the corruption fires at.
+    boundary: int = WARM_BOUNDARY
+    #: Engine whose run is corrupted; None = every run (sanitizer bugs).
+    engine: Optional[str] = None
+
+    def applies_to(self, engine: str) -> bool:
+        """True if this bug corrupts runs of *engine*."""
+        return self.engine is None or self.engine == engine
+
+    def on_boundary(self, system, boundary: int) -> None:
+        """Fire the corruption when its boundary is reached."""
+        if boundary == self.boundary:
+            self.corrupt(system)
+
+
+# ---------------------------------------------------------------------- #
+# The corpus workload
+# ---------------------------------------------------------------------- #
+
+
+def corpus_config() -> SystemConfig:
+    """The machine the corpus runs on: the paper's 96-entry-TLB MTLB box."""
+    return paper_mtlb(96)
+
+
+def corpus_trace(seed: int = 1998) -> Trace:
+    """Synthetic workload: one remapped 1 MB region, six short segments.
+
+    Small enough that a full lockstep run takes well under a second,
+    warm enough that every component the bugs corrupt has live state by
+    :data:`WARM_BOUNDARY`.
+    """
+    rng = np.random.default_rng(seed)
+    trace = Trace(f"check-corpus-s{seed}")
+    trace.add(MapRegion(REGION_BASE, REGION_SIZE, label="corpus"))
+    trace.add(Remap(REGION_BASE, REGION_SIZE))
+    for i in range(6):
+        vaddrs = REGION_BASE + rng.integers(
+            0, REGION_SIZE, size=4000, dtype=np.int64
+        )
+        writes = rng.random(4000) < 0.3
+        trace.add(
+            make_segment(f"seg{i}", vaddrs, write_mask=writes, gap=2)
+        )
+    return trace
+
+
+# ---------------------------------------------------------------------- #
+# Corruptions
+# ---------------------------------------------------------------------- #
+
+
+def _shadow_table(system):
+    return system.mmc.shadow_table
+
+
+def _first_valid_index(table) -> int:
+    from ..core.shadow_table import VALID_BIT
+
+    valid = np.nonzero(table._entries & VALID_BIT)[0]
+    if not len(valid):
+        raise RuntimeError("corpus machine has no valid shadow entries")
+    return int(valid[0])
+
+
+def _first_invalid_index(table) -> int:
+    from ..core.shadow_table import VALID_BIT
+
+    invalid = np.nonzero((table._entries & VALID_BIT) == 0)[0]
+    return int(invalid[-1])
+
+
+def _corrupt_shadow_ref_leak(system) -> None:
+    table = _shadow_table(system)
+    table.set_referenced(_first_invalid_index(table))
+
+
+def _corrupt_shadow_pfn_dup(system) -> None:
+    from ..core.shadow_table import PFN_MASK
+
+    table = _shadow_table(system)
+    pfn = int(
+        table._entries[_first_valid_index(table)]
+    ) & PFN_MASK
+    table.set_mapping(_first_invalid_index(table), pfn, valid=True)
+
+
+def _corrupt_frame_free_leak(system) -> None:
+    from ..core.shadow_table import PFN_MASK
+
+    table = _shadow_table(system)
+    pfn = int(
+        table._entries[_first_valid_index(table)]
+    ) & PFN_MASK
+    system.kernel.vm.frames.free(pfn)
+
+
+def _corrupt_cache_dirty_desync(system) -> None:
+    cache = system.cache
+    invalid = np.nonzero(cache._tags == -1)[0]
+    cache._dirty[int(invalid[0])] = 1
+
+
+def _corrupt_cache_stamp_rewind(system) -> None:
+    system.cache.mutation_stamp = 0
+
+
+def _corrupt_tlb_alias(system) -> None:
+    tlb = system.tlb
+    entry = tlb.entries()[0]
+    # File the entry under a second, wrong key: the per-size table now
+    # disagrees with both the entry's own vbase and the entry count.
+    tlb._by_size[entry.size][entry.vbase + entry.size] = entry
+
+
+def _corrupt_mtlb_stale_way(system) -> None:
+    mtlb = system.mmc.mtlb
+    for way_set in mtlb._sets:
+        for way in way_set.values():
+            way.pfn ^= 1
+            return
+    raise RuntimeError("corpus machine has no cached MTLB ways")
+
+
+def _corrupt_vector_dirty_mark(system) -> None:
+    cache = system.cache
+    clean = np.nonzero((cache._tags != -1) & (cache._dirty == 0))[0]
+    cache._dirty[int(clean[0])] = 1
+
+
+def _corrupt_vector_stat_skew(system) -> None:
+    system.stats.memory_stall_cycles += 1
+
+
+def _corrupt_vector_tlb_nru(system) -> None:
+    entry = system.tlb.entries()[0]
+    entry.nru_referenced = not entry.nru_referenced
+
+
+CORPUS: List[PlantedBug] = [
+    PlantedBug(
+        name="shadow-ref-leak",
+        kind="sanitize",
+        component="shadow_table",
+        description="referenced bit set on an unmapped shadow entry "
+        "(lost Section 2.5 accounting discipline)",
+        corrupt=_corrupt_shadow_ref_leak,
+    ),
+    PlantedBug(
+        name="shadow-pfn-dup",
+        kind="sanitize",
+        component="shadow_table",
+        description="two valid shadow entries name the same real frame",
+        corrupt=_corrupt_shadow_pfn_dup,
+    ),
+    PlantedBug(
+        name="frame-free-leak",
+        kind="sanitize",
+        component="frames",
+        description="a frame still mapped by the shadow table is "
+        "returned to the free list",
+        corrupt=_corrupt_frame_free_leak,
+    ),
+    PlantedBug(
+        name="cache-dirty-desync",
+        kind="sanitize",
+        component="cache",
+        description="dirty bit set on an invalid line (metadata mirror "
+        "desynced from line state)",
+        corrupt=_corrupt_cache_dirty_desync,
+    ),
+    PlantedBug(
+        name="cache-stamp-rewind",
+        kind="sanitize",
+        component="cache",
+        description="mutation stamp rewound (in-flight vector window "
+        "predictions would go stale undetected)",
+        corrupt=_corrupt_cache_stamp_rewind,
+        # One boundary later than the rest: the rewind is only
+        # detectable once a previous boundary recorded a nonzero stamp.
+        boundary=WARM_BOUNDARY + 1,
+    ),
+    PlantedBug(
+        name="tlb-alias",
+        kind="sanitize",
+        component="tlb",
+        description="a TLB entry filed under a second, wrong virtual "
+        "base (aliased lookup structure)",
+        corrupt=_corrupt_tlb_alias,
+    ),
+    PlantedBug(
+        name="mtlb-stale-way",
+        kind="sanitize",
+        component="mtlb",
+        description="a cached MTLB way's pfn no longer matches the "
+        "in-DRAM table (missed purge on a control write)",
+        corrupt=_corrupt_mtlb_stale_way,
+    ),
+    PlantedBug(
+        name="vector-dirty-mark",
+        kind="diff",
+        component="cache",
+        description="vector engine spuriously dirties a clean line",
+        corrupt=_corrupt_vector_dirty_mark,
+        engine="vector",
+    ),
+    PlantedBug(
+        name="vector-stat-skew",
+        kind="diff",
+        component="stats",
+        description="vector engine over-charges one memory stall cycle",
+        corrupt=_corrupt_vector_stat_skew,
+        engine="vector",
+    ),
+    PlantedBug(
+        name="vector-tlb-nru",
+        kind="diff",
+        component="tlb",
+        description="vector engine flips one entry's NRU referenced "
+        "bit (future evictions pick different victims)",
+        corrupt=_corrupt_vector_tlb_nru,
+        engine="vector",
+    ),
+]
+
+_BY_NAME: Dict[str, PlantedBug] = {bug.name: bug for bug in CORPUS}
+
+
+def get_bug(name: str) -> PlantedBug:
+    """Look one corpus bug up by name (used by emitted repro scripts)."""
+    return _BY_NAME[name]
+
+
+# ---------------------------------------------------------------------- #
+# Validation
+# ---------------------------------------------------------------------- #
+
+
+@dataclass
+class BugOutcome:
+    """Did the tooling catch one planted bug, and how."""
+
+    bug: PlantedBug
+    caught: bool
+    detail: str
+
+
+def run_sanitized(trace: Trace, config: SystemConfig, bug: PlantedBug):
+    """One sanitized run with *bug* armed; returns the System used.
+
+    Raises :class:`~repro.errors.InvariantViolation` when (as expected)
+    the sanitizers catch the planted corruption.
+    """
+    from ..sim.system import System
+
+    system = System(dataclasses.replace(config, sanitize=True))
+    boundary = [0]
+
+    def hook(sys_, item) -> None:
+        bug.on_boundary(sys_, boundary[0])
+        boundary[0] += 1
+
+    system.check_hook = hook
+    system.run(trace)
+    return system
+
+
+def validate_bug(
+    bug: PlantedBug, trace: Trace, config: SystemConfig
+) -> BugOutcome:
+    """Check that the right tool catches *bug* on *trace*."""
+    if bug.kind == "sanitize":
+        try:
+            run_sanitized(trace, config, bug)
+        except InvariantViolation as violation:
+            caught = violation.component == bug.component
+            return BugOutcome(bug, caught, str(violation))
+        return BugOutcome(bug, False, "no invariant violation raised")
+    report = run_lockstep(trace, config, plant=bug)
+    if report.divergence is None:
+        return BugOutcome(bug, False, "engines stayed identical")
+    d = report.divergence
+    caught = bug.component in d.components
+    return BugOutcome(
+        bug,
+        caught,
+        f"diverged at boundary {d.boundary} ({d.label}) in "
+        f"{', '.join(d.components)}",
+    )
+
+
+def validate_corpus(seed: int = 1998) -> List[BugOutcome]:
+    """Validate every corpus bug against a fresh seeded workload."""
+    return [
+        validate_bug(bug, corpus_trace(seed), corpus_config())
+        for bug in CORPUS
+    ]

@@ -1,0 +1,175 @@
+"""Per-boundary state digests for the lockstep harness (DESIGN.md §11).
+
+Two tiers, both over the same component decomposition:
+
+* :func:`boundary_digest` — one CRC32 per component, cheap enough to
+  take at *every* segment boundary and kernel event of both engines.
+  Comparing two digest sequences finds the first divergent boundary and
+  which components diverged there.
+* :func:`capture_detail` / :func:`diff_detail` — a full structured
+  snapshot taken only at the already-located divergent boundary, diffed
+  field by field for the human-readable report.
+
+What is digested is the *architectural* state the two engines promise
+to keep bit-identical: every RunStats counter, TLB content
+(vbase/pbase/size/writable/NRU bits — but not the MRU probe hint or the
+generation counter, which are lookup-order artifacts), cache tags and
+dirty bits, MTLB ways, and the packed shadow page table.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import zlib
+from typing import Dict, List, Tuple
+
+import numpy as np
+
+from ..mem.cache import DirectMappedCache
+
+#: Component names, in report order.
+COMPONENTS = ("stats", "tlb", "cache", "mtlb", "shadow_table")
+
+
+def _crc(data: bytes) -> int:
+    return zlib.crc32(data) & 0xFFFFFFFF
+
+
+def _tlb_items(system) -> List[Tuple]:
+    return sorted(
+        (e.size, e.vbase, e.pbase, e.writable, e.nru_referenced)
+        for e in system.tlb.entries()
+    )
+
+
+def _cache_items(system):
+    cache = system.cache
+    if isinstance(cache, DirectMappedCache):
+        return cache._tags.tobytes() + cache._dirty.tobytes()
+    return repr(
+        [sorted(s.items()) for s in cache._sets]
+    ).encode()
+
+
+def _mtlb_items(system) -> List[Tuple]:
+    mtlb = getattr(system.mmc, "mtlb", None)
+    if mtlb is None:
+        return []
+    return sorted(
+        (w.shadow_index, w.pfn, w.valid, w.nru_referenced,
+         w.ref_written, w.dirty_written)
+        for way_set in mtlb._sets
+        for w in way_set.values()
+    )
+
+
+def _shadow_bytes(system) -> bytes:
+    table = getattr(system.mmc, "shadow_table", None)
+    if table is None:
+        return b""
+    return table._entries.tobytes()
+
+
+def boundary_digest(system) -> Dict[str, int]:
+    """One CRC32 per architectural component of *system*."""
+    return {
+        "stats": _crc(
+            repr(dataclasses.asdict(system.stats)).encode()
+        ),
+        "tlb": _crc(repr(_tlb_items(system)).encode()),
+        "cache": _crc(_cache_items(system)),
+        "mtlb": _crc(repr(_mtlb_items(system)).encode()),
+        "shadow_table": _crc(_shadow_bytes(system)),
+    }
+
+
+def capture_detail(system) -> Dict[str, object]:
+    """Full structured snapshot, for field-level diffing at one boundary."""
+    cache = system.cache
+    if isinstance(cache, DirectMappedCache):
+        cache_state = {
+            int(i): (int(cache._tags[i]), int(cache._dirty[i]))
+            for i in range(cache.num_sets)
+            if cache._tags[i] != -1
+        }
+    else:
+        cache_state = {
+            i: sorted(s.items())
+            for i, s in enumerate(cache._sets)
+            if s
+        }
+    table = getattr(system.mmc, "shadow_table", None)
+    if table is not None:
+        nz = np.nonzero(table._entries)[0]
+        shadow_state = {
+            int(i): int(table._entries[i]) for i in nz
+        }
+    else:
+        shadow_state = {}
+    return {
+        "stats": dataclasses.asdict(system.stats),
+        "tlb": {
+            (item[1], item[0]): item for item in _tlb_items(system)
+        },
+        "cache": cache_state,
+        "mtlb": {item[0]: item for item in _mtlb_items(system)},
+        "shadow_table": shadow_state,
+    }
+
+
+def _diff_maps(component: str, a: Dict, b: Dict, la: str, lb: str,
+               limit: int = 8) -> List[str]:
+    lines: List[str] = []
+    keys = sorted(set(a) | set(b), key=repr)
+    for key in keys:
+        if a.get(key) == b.get(key):
+            continue
+        if len(lines) >= limit:
+            lines.append(f"  {component}: ... (more entries differ)")
+            break
+        ka = a.get(key, "<absent>")
+        kb = b.get(key, "<absent>")
+        if component == "cache":
+            lines.append(
+                f"  cache[set {key:#x}]: (tag, dirty) = {ka} ({la}) "
+                f"vs {kb} ({lb})"
+            )
+        elif component == "shadow_table":
+            lines.append(
+                f"  shadow_table[page {key:#x}]: raw entry "
+                f"{ka if isinstance(ka, str) else hex(ka)} ({la}) vs "
+                f"{kb if isinstance(kb, str) else hex(kb)} ({lb})"
+            )
+        elif component == "mtlb":
+            lines.append(
+                f"  mtlb[page {key:#x}]: way {ka} ({la}) vs {kb} ({lb})"
+            )
+        elif component == "tlb":
+            lines.append(
+                f"  tlb[vbase {key[0]:#010x}, size {key[1]:#x}]: "
+                f"{ka} ({la}) vs {kb} ({lb})"
+            )
+        else:
+            lines.append(
+                f"  {component}.{key}: {ka} ({la}) vs {kb} ({lb})"
+            )
+    return lines
+
+
+def diff_detail(
+    detail_a: Dict[str, object],
+    detail_b: Dict[str, object],
+    label_a: str = "scalar",
+    label_b: str = "vector",
+) -> List[str]:
+    """Human-readable field-level differences between two snapshots."""
+    lines: List[str] = []
+    for component in COMPONENTS:
+        a = detail_a[component]
+        b = detail_b[component]
+        if a == b:
+            continue
+        lines.extend(
+            _diff_maps(component, a, b, label_a, label_b)
+        )
+    return lines

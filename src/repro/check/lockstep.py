@@ -1,0 +1,174 @@
+"""Scalar-vs-vector lockstep differential harness (DESIGN.md §11).
+
+DiffTest-style co-simulation: the same trace is run once under each
+engine, and at every boundary (each trace segment and each kernel event)
+a cheap per-component CRC digest of the architectural state is taken via
+the System's ``check_hook``.  Comparing the two digest sequences locates
+the *first* boundary where the engines disagree and the components that
+disagree there; both engines are then re-run to that boundary to capture
+full snapshots, which are diffed field by field for the report.
+
+The two-phase scheme keeps the common (identical) case cheap: full
+snapshots are only ever taken at the one divergent boundary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from ..sim.system import System
+from ..trace.trace import Segment, Trace
+from .digest import COMPONENTS, boundary_digest, capture_detail, diff_detail
+
+
+@dataclass
+class Divergence:
+    """Where and how the two engines first disagreed."""
+
+    #: 0-based boundary index (each segment / kernel event is one).
+    boundary: int
+    #: Label of the item the boundary follows (segment label or event
+    #: class name; ``"end-of-run"`` for final-accounting divergence).
+    label: str
+    #: Components whose digests differ at the boundary.
+    components: List[str]
+    #: Field-level difference lines from the detail snapshots.
+    details: List[str] = field(default_factory=list)
+
+
+@dataclass
+class DiffReport:
+    """Outcome of one lockstep differential run."""
+
+    workload: str
+    config_label: str
+    boundaries: int
+    divergence: Optional[Divergence]
+
+    @property
+    def identical(self) -> bool:
+        """True when the engines were bit-identical throughout."""
+        return self.divergence is None
+
+    def render(self) -> str:
+        """Human-readable report."""
+        head = (
+            f"lockstep diff: {self.workload} [{self.config_label}], "
+            f"{self.boundaries} boundaries"
+        )
+        if self.divergence is None:
+            return f"{head}\nengines identical: every digest matches"
+        d = self.divergence
+        lines = [
+            head,
+            f"FIRST DIVERGENCE at boundary {d.boundary} "
+            f"({d.label}): components {', '.join(d.components)}",
+        ]
+        lines.extend(d.details)
+        return "\n".join(lines)
+
+
+def _item_label(item) -> str:
+    if isinstance(item, Segment):
+        return f"segment {item.label!r}"
+    return f"event {type(item).__name__}"
+
+
+def _run_engine(
+    trace: Trace,
+    config,
+    engine: str,
+    plant=None,
+    capture_at: Optional[int] = None,
+) -> Tuple[List[Tuple[str, dict]], Optional[dict], object]:
+    """One engine's run: (boundary digests, optional snapshot, stats)."""
+    system = System(dataclasses.replace(config, engine=engine))
+    boundaries: List[Tuple[str, dict]] = []
+    captured: List[Optional[dict]] = [None]
+
+    def hook(sys_, item) -> None:
+        b = len(boundaries)
+        if plant is not None and plant.applies_to(engine):
+            plant.on_boundary(sys_, b)
+        boundaries.append((_item_label(item), boundary_digest(sys_)))
+        if capture_at is not None and b == capture_at:
+            captured[0] = capture_detail(sys_)
+
+    system.check_hook = hook
+    result = system.run(trace)
+    return boundaries, captured[0], result.stats
+
+
+def run_lockstep(
+    trace: Trace,
+    config,
+    plant=None,
+    workload: Optional[str] = None,
+) -> DiffReport:
+    """Run both engines over *trace* and report the first divergence.
+
+    *plant* (a :class:`~repro.check.corpus.PlantedBug` or compatible
+    object) is armed inside the check hook before each boundary's
+    digest, so a planted divergence is caught at exactly the boundary it
+    targets.  The configuration's own ``engine`` setting is ignored —
+    one run is forced scalar, the other vector (the config must be
+    vector-batchable, which every paper configuration is).
+    """
+    name = workload if workload is not None else trace.name
+    scalar_b, _, scalar_stats = _run_engine(
+        trace, config, "scalar", plant
+    )
+    vector_b, _, vector_stats = _run_engine(
+        trace, config, "vector", plant
+    )
+
+    divergence = None
+    for i, ((label, da), (_, db)) in enumerate(
+        zip(scalar_b, vector_b)
+    ):
+        if da != db:
+            components = [c for c in COMPONENTS if da[c] != db[c]]
+            divergence = Divergence(i, label, components)
+            break
+    if divergence is None and len(scalar_b) != len(vector_b):
+        # One engine executed more boundaries — diverged structurally.
+        i = min(len(scalar_b), len(vector_b))
+        divergence = Divergence(
+            i, "trace structure", ["stats"],
+            [
+                f"  scalar ran {len(scalar_b)} boundaries, "
+                f"vector ran {len(vector_b)}"
+            ],
+        )
+        return DiffReport(name, config.label, i, divergence)
+    if divergence is None:
+        # Boundaries all matched; end-of-run accounting can still skew.
+        sd = dataclasses.asdict(scalar_stats)
+        vd = dataclasses.asdict(vector_stats)
+        if sd != vd:
+            details = [
+                f"  stats.{k}: {sd[k]} (scalar) vs {vd[k]} (vector)"
+                for k in sd
+                if sd[k] != vd[k]
+            ]
+            divergence = Divergence(
+                len(scalar_b), "end-of-run", ["stats"], details
+            )
+        return DiffReport(
+            name, config.label, len(scalar_b), divergence
+        )
+
+    # Phase 2: capture full snapshots at the divergent boundary.
+    _, detail_s, _ = _run_engine(
+        trace, config, "scalar", plant, capture_at=divergence.boundary
+    )
+    _, detail_v, _ = _run_engine(
+        trace, config, "vector", plant, capture_at=divergence.boundary
+    )
+    if detail_s is not None and detail_v is not None:
+        divergence.details = diff_detail(detail_s, detail_v)
+    return DiffReport(
+        name, config.label, len(scalar_b), divergence
+    )

@@ -1,0 +1,377 @@
+"""Architectural invariant sanitizers (DESIGN.md §11).
+
+Each sanitizer audits one hardware/OS component of a live
+:class:`~repro.sim.system.System` against the invariants its design
+promises, raising :class:`~repro.errors.InvariantViolation` naming the
+component, the broken invariant, and the boundary it was caught at.
+The suite runs after every trace segment and kernel event when
+``SystemConfig.sanitize`` is set; it only *reads* state (side-effect-free
+probes, direct array reads), so enabling it never changes results.
+
+The invariants:
+
+* **tlb** — entry count bookkeeping matches the per-size tables; the
+  ascending size list matches the resident sizes; every entry is filed
+  under its own aligned vbase; the MRU probe hint names a resident size;
+  the vector engine's coverage mirror (when its generation is current)
+  agrees with the live entries; and for every resident vbase a
+  side-effect-free probe returns the *most specific* covering entry —
+  overlapping entries of different sizes must never shadow a smaller
+  one (the paper's variable-page-size lookup rule).
+* **cache** — (direct-mapped) the mutation stamp never rewinds; no line
+  is dirty-but-invalid; every valid tag names a line inside installed
+  DRAM or the shadow window.  (set-associative) no set exceeds its
+  associativity.
+* **shadow_table** — referenced/dirty bits are only ever set on valid
+  (mapped) entries (Section 2.5's per-base-page accounting depends on
+  it); no two valid entries name the same real frame; and the kernel's
+  superpage records agree with the table (resident base page ⇔ valid
+  entry with that pfn; swapped-out base page ⇔ invalid entry whose
+  contents live in the backing store).  Entries with injected bad
+  parity are skipped — their content is untrusted by design.
+* **mtlb** — no set exceeds its associativity; every way sits in the
+  set its index selects and is keyed by its own shadow index; every
+  cached way with intact table parity mirrors the in-DRAM entry's
+  (pfn, valid) exactly (all OS control writes purge, so a stale way is
+  a coherence bug).
+* **frames** — the free list and the free set agree; no frame that any
+  valid shadow-table entry maps is on the free list; no frame backing a
+  real (non-shadow) process mapping is on the free list.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..core.addrspace import BASE_PAGE_SHIFT, CACHE_LINE_SHIFT
+from ..core.shadow_table import DIRTY_BIT, PFN_MASK, REF_BIT, VALID_BIT
+from ..errors import InvariantViolation
+from ..mem.cache import DirectMappedCache, SetAssociativeCache
+
+
+class SanitizerSuite:
+    """All component sanitizers over one live System."""
+
+    def __init__(self, system) -> None:
+        self.system = system
+        # Monotonicity checks need the previous boundary's observations.
+        self._last_cache_stamp = -1
+        #: Number of times :meth:`run` has completed (for tests/tools).
+        self.boundaries_checked = 0
+
+    def run(self, where: str) -> None:
+        """Audit every component; raise on the first broken invariant."""
+        self.check_tlb(where)
+        self.check_cache(where)
+        self.check_shadow_table(where)
+        self.check_mtlb(where)
+        self.check_frames(where)
+        self.boundaries_checked += 1
+
+    # ------------------------------------------------------------------ #
+    # CPU TLB
+    # ------------------------------------------------------------------ #
+
+    def check_tlb(self, where: str) -> None:
+        tlb = self.system.tlb
+
+        def fail(detail: str) -> None:
+            raise InvariantViolation("tlb", detail, where)
+
+        total = sum(len(t) for t in tlb._by_size.values())
+        if total != tlb._count:
+            fail(f"entry count {tlb._count} but tables hold {total}")
+        if total > tlb.capacity:
+            fail(f"{total} entries exceed capacity {tlb.capacity}")
+        if tlb._sizes != sorted(tlb._by_size):
+            fail(
+                f"size list {tlb._sizes} out of sync with resident "
+                f"sizes {sorted(tlb._by_size)}"
+            )
+        if tlb._mru_size is not None and tlb._mru_size not in tlb._by_size:
+            fail(
+                f"MRU probe hint {tlb._mru_size:#x} names a size with "
+                "no resident entries"
+            )
+        for size, table in tlb._by_size.items():
+            for vbase, entry in table.items():
+                if entry.size != size or entry.vbase != vbase:
+                    fail(
+                        f"entry {entry.vbase:#010x}/{entry.size:#x} filed "
+                        f"under key {vbase:#010x} in the {size:#x} table"
+                    )
+                if vbase & (size - 1):
+                    fail(
+                        f"entry vbase {vbase:#010x} not aligned to its "
+                        f"page size {size:#x}"
+                    )
+        # The vector engine's coverage mirror, when current, must agree
+        # with the live entries (a desynced mirror silently mistranslates
+        # whole hit runs).
+        cached = tlb._coverage_cache
+        if cached is not None and cached[0] == tlb.generation:
+            mirrored = {
+                (size, int(vb), int(vb) + int(delta))
+                for size, vbases, deltas in cached[1]
+                for vb, delta in zip(vbases, deltas)
+            }
+            live = {
+                (e.size, e.vbase, e.pbase) for e in tlb.entries()
+            }
+            if mirrored != live:
+                fail(
+                    "coverage mirror is marked current but disagrees "
+                    f"with the live entries ({len(mirrored ^ live)} "
+                    "entries differ)"
+                )
+        # Most-specific-wins: probing any resident vbase must return the
+        # smallest entry covering it, regardless of the MRU hint.
+        for entry in tlb.entries():
+            expected = min(
+                (
+                    e
+                    for e in tlb.entries()
+                    if e.vbase <= entry.vbase < e.vend
+                ),
+                key=lambda e: e.size,
+            )
+            got = tlb.probe(entry.vbase)
+            if got is not expected:
+                fail(
+                    f"probe({entry.vbase:#010x}) returned the "
+                    f"{got.size:#x} entry, but a more specific "
+                    f"{expected.size:#x} entry covers it (shadowed "
+                    "overlapping entry)"
+                )
+
+    # ------------------------------------------------------------------ #
+    # Data cache
+    # ------------------------------------------------------------------ #
+
+    def check_cache(self, where: str) -> None:
+        cache = self.system.cache
+        mm = self.system.config.memory_map
+
+        def fail(detail: str) -> None:
+            raise InvariantViolation("cache", detail, where)
+
+        if isinstance(cache, DirectMappedCache):
+            if cache.mutation_stamp < self._last_cache_stamp:
+                fail(
+                    f"mutation stamp rewound from "
+                    f"{self._last_cache_stamp} to {cache.mutation_stamp}"
+                )
+            self._last_cache_stamp = cache.mutation_stamp
+            tags = cache._tags
+            dirty = cache._dirty
+            bad = (dirty != 0) & (tags == -1)
+            if bad.any():
+                idx = int(bad.argmax())
+                fail(
+                    f"set {idx:#x} is dirty but its tag is invalid "
+                    "(dirty mirror desynced from line state)"
+                )
+            valid = tags != -1
+            if valid.any():
+                paddrs = tags[valid] << CACHE_LINE_SHIFT
+                legal = [
+                    p
+                    for p in paddrs.tolist()
+                    if not (mm.is_dram(p) or mm.is_shadow(p))
+                ]
+                if legal:
+                    fail(
+                        f"valid tag names line {legal[0]:#010x}, outside "
+                        "both installed DRAM and the shadow window"
+                    )
+        elif isinstance(cache, SetAssociativeCache):
+            for idx, line_set in enumerate(cache._sets):
+                if len(line_set) > cache.associativity:
+                    fail(
+                        f"set {idx:#x} holds {len(line_set)} lines, "
+                        f"associativity is {cache.associativity}"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Shadow page table
+    # ------------------------------------------------------------------ #
+
+    def check_shadow_table(self, where: str) -> None:
+        mmc = self.system.mmc
+        table = getattr(mmc, "shadow_table", None)
+        if table is None:
+            return
+
+        def fail(detail: str) -> None:
+            raise InvariantViolation("shadow_table", detail, where)
+
+        entries = table._entries
+        trusted = np.ones(len(entries), dtype=bool)
+        for idx in table._bad_parity:
+            trusted[idx] = False
+
+        # Accounting bits only on mapped entries (Section 2.5).
+        acc = (entries & (REF_BIT | DIRTY_BIT)) != 0
+        unmapped = (entries & VALID_BIT) == 0
+        leak = acc & unmapped & trusted
+        if leak.any():
+            idx = int(leak.argmax())
+            raw = int(entries[idx])
+            bits = []
+            if raw & REF_BIT:
+                bits.append("referenced")
+            if raw & DIRTY_BIT:
+                bits.append("dirty")
+            fail(
+                f"shadow page {idx:#x} is invalid but carries "
+                f"{'/'.join(bits)} bits"
+            )
+
+        # PFN uniqueness among valid entries.
+        valid = ((entries & VALID_BIT) != 0) & trusted
+        pfns = entries[valid] & PFN_MASK
+        if len(pfns) != len(np.unique(pfns)):
+            vals, counts = np.unique(pfns, return_counts=True)
+            dup = int(vals[counts > 1][0])
+            owners = [
+                f"{i:#x}"
+                for i in np.nonzero(valid)[0].tolist()
+                if int(entries[i]) & PFN_MASK == dup
+            ]
+            fail(
+                f"pfn {dup:#x} is mapped by shadow pages "
+                f"{', '.join(owners)} (double-mapped frame)"
+            )
+
+        # Cross-check the kernel's superpage records.
+        kernel = self.system.kernel
+        pager = kernel.pager
+        for record in kernel.vm.shadow_superpages.values():
+            first = record.first_shadow_index
+            for i, pfn in enumerate(record.pfns):
+                idx = first + i
+                if not table.parity_ok(idx):
+                    continue
+                raw = int(entries[idx])
+                if pfn is not None:
+                    if not raw & VALID_BIT:
+                        fail(
+                            f"shadow page {idx:#x} is resident per the "
+                            "kernel record but invalid in the table"
+                        )
+                    if raw & PFN_MASK != pfn:
+                        fail(
+                            f"shadow page {idx:#x} maps pfn "
+                            f"{raw & PFN_MASK:#x} but the kernel record "
+                            f"says {pfn:#x}"
+                        )
+                else:
+                    if raw & VALID_BIT:
+                        fail(
+                            f"shadow page {idx:#x} is swapped out per "
+                            "the kernel record but valid in the table"
+                        )
+                    if not pager.store.holds(idx):
+                        fail(
+                            f"shadow page {idx:#x} is swapped out but "
+                            "absent from the backing store"
+                        )
+
+    # ------------------------------------------------------------------ #
+    # MTLB
+    # ------------------------------------------------------------------ #
+
+    def check_mtlb(self, where: str) -> None:
+        mmc = self.system.mmc
+        mtlb = getattr(mmc, "mtlb", None)
+        if mtlb is None:
+            return
+
+        def fail(detail: str) -> None:
+            raise InvariantViolation("mtlb", detail, where)
+
+        table = mtlb.table
+        for set_i, way_set in enumerate(mtlb._sets):
+            if len(way_set) > mtlb.associativity:
+                fail(
+                    f"set {set_i} holds {len(way_set)} ways, "
+                    f"associativity is {mtlb.associativity}"
+                )
+            for key, way in way_set.items():
+                if way.shadow_index != key:
+                    fail(
+                        f"way for shadow page {way.shadow_index:#x} is "
+                        f"keyed as {key:#x}"
+                    )
+                if (key & mtlb._set_mask) != set_i:
+                    fail(
+                        f"way for shadow page {key:#x} sits in set "
+                        f"{set_i}, should be {key & mtlb._set_mask}"
+                    )
+                if not table.parity_ok(key):
+                    continue
+                raw = table.read_raw(key)
+                if way.pfn != raw & PFN_MASK or way.valid != bool(
+                    raw & VALID_BIT
+                ):
+                    fail(
+                        f"cached way for shadow page {key:#x} holds "
+                        f"(pfn={way.pfn:#x}, valid={way.valid}) but the "
+                        f"table says (pfn={raw & PFN_MASK:#x}, "
+                        f"valid={bool(raw & VALID_BIT)}) — a control "
+                        "write did not purge"
+                    )
+
+    # ------------------------------------------------------------------ #
+    # Frame allocator
+    # ------------------------------------------------------------------ #
+
+    def check_frames(self, where: str) -> None:
+        frames = self.system.kernel.vm.frames
+        mm = self.system.config.memory_map
+
+        def fail(detail: str) -> None:
+            raise InvariantViolation("frames", detail, where)
+
+        if len(frames._free) != len(frames._free_set) or set(
+            frames._free
+        ) != frames._free_set:
+            fail(
+                f"free list ({len(frames._free)} frames) and free set "
+                f"({len(frames._free_set)}) disagree"
+            )
+        free = frames._free_set
+        # No frame a valid shadow-table entry maps may be free.
+        mmc = self.system.mmc
+        table = getattr(mmc, "shadow_table", None)
+        if table is not None:
+            entries = table._entries
+            valid = (entries & VALID_BIT) != 0
+            for idx in table._bad_parity:
+                valid[idx] = False
+            mapped = entries[valid] & PFN_MASK
+            doomed: List[int] = [
+                p for p in mapped.tolist() if p in free
+            ]
+            if doomed:
+                fail(
+                    f"frame {doomed[0]:#x} is on the free list but a "
+                    "valid shadow-table entry maps it"
+                )
+        # No frame backing a real (non-shadow) process mapping may be
+        # free either.
+        for process in self.system.kernel._processes.values():
+            for mapping in process.page_table.mappings():
+                if mm.is_shadow(mapping.pbase):
+                    continue
+                first = mapping.pbase >> BASE_PAGE_SHIFT
+                pages = mapping.size >> BASE_PAGE_SHIFT
+                for pfn in range(first, first + pages):
+                    if pfn in free:
+                        fail(
+                            f"frame {pfn:#x} backs "
+                            f"{mapping.vbase:#010x} of process "
+                            f"{process.name!r} but is on the free list"
+                        )

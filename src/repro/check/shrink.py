@@ -1,0 +1,251 @@
+"""Trace shrinker: bisect a failing reference stream to a minimal window.
+
+Given a trace and a predicate ("this trace still reproduces the
+divergence / sanitizer failure"), the shrinker produces the smallest
+trace it can that still fails, in three passes:
+
+1. **prefix bisection** — binary search for the shortest item prefix
+   that still fails (everything after the first failure is dead weight);
+2. **item drop** — greedily remove earlier whole items (segments and
+   events) that the failure does not actually depend on;
+3. **reference trim** — for each surviving segment, repeatedly cut
+   halves and quarters from both ends while the trace keeps failing,
+   until no cut of ≥1 reference survives.
+
+The result is typically a handful of references (the planted-bug corpus
+shrinks to single-digit windows); the ≤1000-reference target of
+DESIGN.md §11 is a ceiling, not a goal.
+
+:func:`emit_repro` writes the shrunken trace, its configuration, and a
+standalone runner script, so a failure can be handed around as three
+files and replayed with ``python <name>.py``.
+"""
+
+from __future__ import annotations
+
+import pickle
+from pathlib import Path
+from typing import Callable, List, Optional
+
+from ..trace.trace import Segment, Trace
+
+Predicate = Callable[[Trace], bool]
+
+
+def _guard(failing: Predicate) -> Predicate:
+    """Delta-debugging guard: a candidate that *crashes* is not a repro.
+
+    Cutting items can produce structurally invalid traces (a Remap with
+    no prior MapRegion, references into an unmapped region).  Those
+    raise arbitrary simulation errors rather than reproducing the
+    failure under investigation; per standard delta debugging they are
+    "unresolved" and treated as passing, so the shrinker keeps the item
+    the candidate removed.
+    """
+
+    def guarded(trace: Trace) -> bool:
+        try:
+            return failing(trace)
+        except Exception:
+            return False
+
+    return guarded
+
+
+def _subtrace(trace: Trace, items: List) -> Trace:
+    return Trace(
+        name=trace.name,
+        items=items,
+        text_base=trace.text_base,
+        text_size=trace.text_size,
+    )
+
+
+def _slice_segment(seg: Segment, lo: int, hi: int) -> Segment:
+    return Segment(
+        f"{seg.label}[{lo}:{hi}]",
+        seg.ops[lo:hi],
+        seg.vaddrs[lo:hi],
+        seg.gaps[lo:hi],
+        text_pages=seg.text_pages,
+    )
+
+
+def _shrink_prefix(trace: Trace, failing: Predicate) -> Trace:
+    """Binary search the shortest failing item prefix."""
+    items = trace.items
+    lo, hi = 1, len(items)  # invariant: prefix of hi fails
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if failing(_subtrace(trace, items[:mid])):
+            hi = mid
+        else:
+            lo = mid + 1
+    return _subtrace(trace, items[:hi])
+
+
+def _drop_items(trace: Trace, failing: Predicate) -> Trace:
+    """Greedily remove whole items the failure does not depend on."""
+    items = list(trace.items)
+    i = 0
+    while i < len(items):
+        candidate = items[:i] + items[i + 1 :]
+        if candidate and failing(_subtrace(trace, candidate)):
+            items = candidate
+        else:
+            i += 1
+    return _subtrace(trace, items)
+
+
+def _trim_segments(trace: Trace, failing: Predicate) -> Trace:
+    """Cut references off both ends of every segment, largest cuts first."""
+    items = list(trace.items)
+    for i, item in enumerate(items):
+        if not isinstance(item, Segment):
+            continue
+        # Work in absolute offsets into the original segment so the
+        # label stays a single [lo:hi] window.
+        base, lo, hi = item, 0, item.refs
+        changed = True
+        while changed and hi - lo > 1:
+            changed = False
+            cut = (hi - lo) // 2
+            while cut >= 1:
+                # Try dropping the tail, then the head.
+                for nlo, nhi in ((lo, hi - cut), (lo + cut, hi)):
+                    if nhi - nlo < 1:
+                        continue
+                    candidate = list(items)
+                    candidate[i] = _slice_segment(base, nlo, nhi)
+                    if failing(_subtrace(trace, candidate)):
+                        lo, hi = nlo, nhi
+                        items[i] = candidate[i]
+                        changed = True
+                        break
+                else:
+                    cut //= 2
+                    continue
+                break
+    return _subtrace(trace, items)
+
+
+def shrink_trace(
+    trace: Trace,
+    failing: Predicate,
+    target_refs: int = 1000,
+) -> Trace:
+    """Return a minimal subtrace of *trace* that still satisfies *failing*.
+
+    Raises ``ValueError`` if the input trace does not fail to begin
+    with.  *target_refs* is only a sanity check: the shrinker always
+    minimizes as far as it can, and warns in the returned trace's name
+    if it somehow could not get under the target.
+    """
+    if not failing(trace):
+        raise ValueError(
+            "shrink_trace needs a failing trace to start from"
+        )
+    guarded = _guard(failing)
+    shrunk = _shrink_prefix(trace, guarded)
+    shrunk = _drop_items(shrunk, guarded)
+    shrunk = _trim_segments(shrunk, guarded)
+    suffix = "-shrunk"
+    if shrunk.total_refs > target_refs:  # pragma: no cover - safety net
+        suffix = f"-shrunk-OVER-TARGET-{target_refs}"
+    shrunk.name = f"{trace.name}{suffix}"
+    return shrunk
+
+
+_REPRO_TEMPLATE = '''\
+#!/usr/bin/env python
+"""Standalone repro for a {mode} failure, emitted by repro.check.
+
+Shrunken from workload {workload!r}; replays {refs} references.
+Exits 1 while the failure still reproduces, 0 once it is fixed.
+"""
+
+import pickle
+import sys
+from pathlib import Path
+
+HERE = Path(__file__).parent
+
+from repro.trace.io import load_trace
+
+trace = load_trace(HERE / {trace_file!r})
+config = pickle.loads((HERE / {config_file!r}).read_bytes())
+
+plant = None
+if {plant_name!r}:
+    from repro.check.corpus import get_bug
+
+    plant = get_bug({plant_name!r})
+
+if {mode!r} == "diff":
+    from repro.check.lockstep import run_lockstep
+
+    report = run_lockstep(trace, config, plant=plant)
+    print(report.render())
+    sys.exit(0 if report.identical else 1)
+else:
+    import dataclasses
+
+    from repro.errors import InvariantViolation
+    from repro.sim.system import System
+
+    system = System(dataclasses.replace(config, sanitize=True))
+    if plant is not None:
+        counter = [0]
+
+        def hook(sys_, item):
+            plant.on_boundary(sys_, counter[0])
+            counter[0] += 1
+
+        system.check_hook = hook
+    try:
+        system.run(trace)
+    except InvariantViolation as violation:
+        print(f"still failing: {{violation}}")
+        sys.exit(1)
+    print("no invariant violation: failure no longer reproduces")
+    sys.exit(0)
+'''
+
+
+def emit_repro(
+    trace: Trace,
+    config,
+    out_dir,
+    name: str,
+    mode: str = "diff",
+    plant_name: Optional[str] = None,
+) -> Path:
+    """Write ``<name>.npz`` + ``<name>.config.pkl`` + ``<name>.py``.
+
+    *mode* is ``"diff"`` (replay through the lockstep harness) or
+    ``"sanitize"`` (replay one sanitized run); *plant_name* names a
+    corpus bug to re-arm, for failures that only exist under a planted
+    corruption.  Returns the path of the runner script.
+    """
+    if mode not in ("diff", "sanitize"):
+        raise ValueError(f"mode must be 'diff' or 'sanitize', not {mode!r}")
+    from ..trace.io import save_trace
+
+    out = Path(out_dir)
+    out.mkdir(parents=True, exist_ok=True)
+    trace_file = f"{name}.npz"
+    config_file = f"{name}.config.pkl"
+    save_trace(trace, out / trace_file)
+    (out / config_file).write_bytes(pickle.dumps(config))
+    script = out / f"{name}.py"
+    script.write_text(
+        _REPRO_TEMPLATE.format(
+            mode=mode,
+            workload=trace.name,
+            refs=trace.total_refs,
+            trace_file=trace_file,
+            config_file=config_file,
+            plant_name=plant_name or "",
+        )
+    )
+    return script

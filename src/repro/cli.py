@@ -150,6 +150,8 @@ def _write_perf_baseline(
         f"{name}|engine={context.engine or 'auto'},"
         f"jobs={context.jobs or 1}"
     )
+    if context.sanitize:
+        key += ",sanitize=1"
     snapshot["runs"][key] = {
         "metrics": {"wall_seconds": round(wall_seconds, 3)}
     }
@@ -312,6 +314,14 @@ def main(argv=None) -> int:
             "engines are bit-identical, vector is the fast one"
         ),
     )
+    parser.add_argument(
+        "--sanitize", action="store_true",
+        help=(
+            "run every cell with the architectural invariant "
+            "sanitizers enabled (DESIGN.md §11); read-only checks, "
+            "results stay bit-identical"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
@@ -326,6 +336,7 @@ def main(argv=None) -> int:
         max_references=args.max_refs,
         jobs=args.jobs if args.jobs is not None else os.cpu_count(),
         engine=args.engine,
+        sanitize=args.sanitize,
     )
     # The benches run the presets unchanged, so the default SystemConfig
     # states the active fault plan and obs mode for this invocation.
@@ -422,6 +433,62 @@ def _metrics_diff(args) -> int:
     return 1 if report.regressions else 0
 
 
+def _check_diff(args) -> int:
+    from .check.corpus import get_bug
+    from .check.lockstep import run_lockstep
+    from .check.shrink import emit_repro, shrink_trace
+
+    config = DUMP_CONFIGS[args.config](args.tlb)
+    print_banner("repro", args.seed, config, args.quick)
+    context = BenchContext(
+        quick=True if args.quick else None, seed=args.seed
+    )
+    trace = context.trace(args.workload)
+    plant = get_bug(args.plant) if args.plant else None
+    report = run_lockstep(
+        trace, config, plant=plant, workload=args.workload
+    )
+    print(report.render())
+    if report.identical:
+        return 0
+    if args.shrink:
+        print("\nshrinking to a minimal failing window...")
+
+        def failing(t):
+            return not run_lockstep(t, config, plant=plant).identical
+
+        shrunk = shrink_trace(trace, failing)
+        name = f"diff-{args.workload}" + (
+            f"-{args.plant}" if args.plant else ""
+        )
+        script = emit_repro(
+            shrunk, config, args.out, name,
+            mode="diff", plant_name=args.plant,
+        )
+        print(
+            f"shrunk to {shrunk.total_refs} reference(s); "
+            f"standalone repro: {script}"
+        )
+    return 1
+
+
+def _check_corpus(args) -> int:
+    from .check.corpus import validate_corpus
+
+    outcomes = validate_corpus(args.seed)
+    escaped = [o for o in outcomes if not o.caught]
+    width = max(len(o.bug.name) for o in outcomes)
+    for o in outcomes:
+        status = "caught" if o.caught else "ESCAPED"
+        print(f"{o.bug.name:{width}s}  [{o.bug.kind:8s}]  {status:8s}"
+              f"  {o.detail}")
+    print(
+        f"\n{len(outcomes) - len(escaped)}/{len(outcomes)} planted "
+        "bugs caught"
+    )
+    return 1 if escaped else 0
+
+
 def repro_main(argv=None) -> int:
     """Entry point for the `repro` command."""
     parser = argparse.ArgumentParser(
@@ -496,6 +563,61 @@ def repro_main(argv=None) -> int:
         ),
     )
     diff.set_defaults(func=_metrics_diff)
+
+    check = sub.add_parser(
+        "check",
+        help=(
+            "correctness tooling: engine lockstep diffs and the "
+            "planted-bug corpus (DESIGN.md §11)"
+        ),
+    )
+    csub = check.add_subparsers(dest="check_command", required=True)
+
+    cdiff = csub.add_parser(
+        "diff",
+        help=(
+            "run one workload under both engines in lockstep and "
+            "report the first state divergence"
+        ),
+    )
+    cdiff.add_argument("workload", choices=sorted(PAPER_SUITE))
+    cdiff.add_argument(
+        "--config", default="mtlb", choices=sorted(DUMP_CONFIGS)
+    )
+    cdiff.add_argument("--tlb", type=int, default=96, metavar="ENTRIES")
+    cdiff.add_argument("--seed", type=int, default=1998)
+    cdiff.add_argument(
+        "--quick", action="store_true", help="CI-sized input scale"
+    )
+    cdiff.add_argument(
+        "--plant", metavar="BUG", default=None,
+        help=(
+            "arm one named corpus bug (repro.check.corpus) to "
+            "demonstrate/debug the harness on a known divergence"
+        ),
+    )
+    cdiff.add_argument(
+        "--shrink", action="store_true",
+        help=(
+            "on divergence, bisect the trace to a minimal failing "
+            "window and emit a standalone repro script"
+        ),
+    )
+    cdiff.add_argument(
+        "--out", metavar="DIR", default="check_repros",
+        help="directory for emitted repro files (with --shrink)",
+    )
+    cdiff.set_defaults(func=_check_diff)
+
+    ccorpus = csub.add_parser(
+        "corpus",
+        help=(
+            "validate the planted-bug corpus: every bug must be "
+            "caught by the sanitizers or the lockstep harness"
+        ),
+    )
+    ccorpus.add_argument("--seed", type=int, default=1998)
+    ccorpus.set_defaults(func=_check_corpus)
 
     args = parser.parse_args(argv)
     return args.func(args)

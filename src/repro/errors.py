@@ -84,6 +84,30 @@ class SilentCorruption(SimulationError):
         )
 
 
+class InvariantViolation(SimulationError):
+    """An architectural invariant sanitizer found corrupted state.
+
+    Raised by the opt-in sanitizer suite (``SystemConfig.sanitize``,
+    ``repro.check.sanitizers``) at the first segment boundary or kernel
+    event after which a component's internal invariants no longer hold.
+    ``component`` names the checked structure (``"tlb"``, ``"cache"``,
+    ``"shadow_table"``, ``"mtlb"``, ``"frames"``), ``detail`` says which
+    invariant broke, and ``where`` is the boundary label the suite was
+    invoked at.
+    """
+
+    def __init__(self, component: str, detail: str, where: str) -> None:
+        super().__init__(
+            f"invariant violated in {component} ({where}): {detail}"
+        )
+        self.component = component
+        self.detail = detail
+        self.where = where
+
+    def __reduce__(self):
+        return (type(self), (self.component, self.detail, self.where))
+
+
 # ---------------------------------------------------------------------- #
 # Fault-model errors (architected detection of injected hardware faults)
 # ---------------------------------------------------------------------- #

@@ -20,6 +20,7 @@ whole-superpage swapping.
 
 from __future__ import annotations
 
+from bisect import bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -92,7 +93,12 @@ class Pager:
         self.costs = costs
         self.store = BackingStore()
         self.stats = PagingStats()
-        self._clock_hand = 0
+        #: Shadow index of the last page the hand examined, -1 before the
+        #: first sweep.  The hand must be anchored to a *stable* page
+        #: identity, not an index into the resident list: page-outs
+        #: between sweeps compact that list, and an integer index would
+        #: silently skip (or re-examine) pages when it shifts.
+        self._hand = -1
 
     # ------------------------------------------------------------------ #
     # CLOCK sweep
@@ -126,9 +132,16 @@ class Pager:
         self.stats.sweeps += 1
         scanned = 0
         max_scan = 2 * len(resident)
+        # Resume after the last examined page.  ``resident`` is sorted by
+        # shadow base, so the shadow indices are ascending; bisect finds
+        # the first page past the hand even if the hand's own page was
+        # evicted since the previous sweep.
+        indices = [r.first_shadow_index + i for r, i in resident]
+        pos = bisect_right(indices, self._hand) % len(resident)
         while len(victims) < count and scanned < max_scan:
-            record, page_i = resident[self._clock_hand % len(resident)]
-            self._clock_hand = (self._clock_hand + 1) % len(resident)
+            record, page_i = resident[pos]
+            self._hand = indices[pos]
+            pos = (pos + 1) % len(resident)
             scanned += 1
             cycles += self.costs.sweep_page
             shadow_index = record.first_shadow_index + page_i

@@ -142,6 +142,15 @@ class SystemConfig:
     #: back to scalar otherwise; ``"vector"`` on an unbatchable
     #: configuration raises at machine-build time.
     engine: str = "auto"
+    #: Invariant sanitizers (DESIGN.md §11).  When True, an architectural
+    #: invariant suite (``repro.check.sanitizers``) audits the TLB,
+    #: cache, shadow page table, MTLB, and frame allocator after every
+    #: trace segment and kernel event, raising
+    #: :class:`~repro.errors.InvariantViolation` on the first broken
+    #: invariant.  The sanitizers only *read* state, so results stay
+    #: bit-identical either way; the disabled path costs one attribute
+    #: test per boundary.
+    sanitize: bool = False
 
     def __post_init__(self) -> None:
         if self.engine not in ("auto", "scalar", "vector"):

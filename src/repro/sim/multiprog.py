@@ -24,7 +24,6 @@ from dataclasses import dataclass
 from typing import Dict, List
 
 from ..core.addrspace import BASE_PAGE_SHIFT
-from ..errors import StaleSystemError
 from ..trace.trace import Segment, Trace
 from .config import SystemConfig
 from .results import RunResult
@@ -61,11 +60,23 @@ def split_segment(segment: Segment, quantum_refs: int) -> List[Segment]:
 
 @dataclass
 class MultiRunResult:
-    """Outcome of one multiprogrammed run."""
+    """Outcome of one multiprogrammed run.
+
+    ``per_process_cycles`` attributes every cycle a process caused
+    (creation, its quanta, its exit); ``shared_cycles`` holds the rest —
+    boot, context-switch costs, and the end-of-run timer accounting.
+    The split is exact:
+    ``sum(per_process_cycles.values()) + shared_cycles == total_cycles``.
+    """
 
     result: RunResult
     context_switches: int
     per_process_cycles: Dict[str, int]
+    shared_cycles: int = 0
+    #: Engine the run resolved to ("scalar"/"vector"), re-resolved
+    #: through System.begin_run() so fault plans and unbatchable caches
+    #: force the scalar engine for job mixes too.
+    engine: str = ""
 
     @property
     def total_cycles(self) -> int:
@@ -96,22 +107,29 @@ class MultiProgram:
     def run(self) -> MultiRunResult:
         """Simulate the job mix from boot through the last exit."""
         system = System(self.config)
-        if system._ran:  # pragma: no cover - defensive
-            raise StaleSystemError("stale System")
-        system._ran = True  # this driver owns the machine
+        system.begin_run()  # shared entry point: re-resolves the engine
         stats = system.stats
         kernel = system.kernel
-
+        per_process_cycles: Dict[str, int] = {
+            t.name: 0 for t in self.traces
+        }
+        # Boot is nobody's fault; switch and timer costs join it below.
+        shared_cycles = kernel.costs.boot
         stats.kernel_cycles += kernel.costs.boot
 
         # Create every process, map its text, queue its (sliced) items.
+        # Creation cost (fork_exec + text map) is that process's.
         queues: List[List] = []
         processes = []
         for trace in self.traces:
+            cycles_before = self._machine_cycles(stats)
             stats.kernel_cycles += kernel.costs.fork_exec
             process = kernel.create_process(trace.name)
             stats.kernel_cycles += kernel.sys_map(
                 process, trace.text_base, trace.text_size
+            )
+            per_process_cycles[trace.name] += (
+                self._machine_cycles(stats) - cycles_before
             )
             items: List = []
             for item in trace.items:
@@ -122,9 +140,6 @@ class MultiProgram:
             queues.append(items)
             processes.append(process)
 
-        per_process_cycles: Dict[str, int] = {
-            t.name: 0 for t in self.traces
-        }
         switches = 0
         current = -1
         cursors = [0] * len(queues)
@@ -135,6 +150,9 @@ class MultiProgram:
             for i in sorted(live):
                 if cursors[i] >= len(queues[i]):
                     stats.kernel_cycles += kernel.costs.exit
+                    per_process_cycles[self.traces[i].name] += (
+                        kernel.costs.exit
+                    )
                     live.discard(i)
                     continue
                 if current != i:
@@ -142,9 +160,9 @@ class MultiProgram:
                     if current >= 0:
                         switches += 1
                         stats.kernel_cycles += self.switch_cost
+                        shared_cycles += self.switch_cost
                     current = i
                 # Run kernel events until (and including) one segment.
-                seg_before = len(system.segment_cycles)
                 cycles_before = self._machine_cycles(stats)
                 while cursors[i] < len(queues[i]):
                     item = queues[i][cursors[i]]
@@ -161,7 +179,9 @@ class MultiProgram:
                 break
 
         subtotal = self._machine_cycles(stats)
-        stats.kernel_cycles += kernel.timer_cycles(subtotal)
+        timer = kernel.timer_cycles(subtotal)
+        stats.kernel_cycles += timer
+        shared_cycles += timer
         stats.total_cycles = self._machine_cycles(stats)
         system._harvest_component_stats()
         stats.check_consistency()
@@ -175,6 +195,8 @@ class MultiProgram:
             result=result,
             context_switches=switches,
             per_process_cycles=per_process_cycles,
+            shared_cycles=shared_cycles,
+            engine=system.engine,
         )
 
     def _switch(self, system: System, process, flush: bool) -> None:

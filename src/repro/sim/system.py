@@ -153,6 +153,23 @@ class System:
             if self.mtlb is not None:
                 self.mtlb.tracer = tracer
 
+        #: Correctness tooling (repro.check, DESIGN.md §11).  Both hooks
+        #: fire at every boundary — after each trace segment and each
+        #: kernel event — and both default to None, so the disabled path
+        #: costs exactly one attribute test per boundary.
+        #: ``check_hook(system, item)`` is the tool hook the lockstep
+        #: differential harness uses to digest machine state;
+        #: ``sanitizers`` is the opt-in invariant sanitizer suite
+        #: (``config.sanitize``), which raises
+        #: :class:`~repro.errors.InvariantViolation` on the first broken
+        #: architectural invariant.
+        self.check_hook = None
+        self.sanitizers = None
+        if config.sanitize:
+            from ..check.sanitizers import SanitizerSuite
+
+            self.sanitizers = SanitizerSuite(self)
+
         #: (segment label, cycles attributed to it) in execution order;
         #: used by the init-cost and phase-analysis benches.
         self.segment_cycles: List[Tuple[str, int]] = []
@@ -284,17 +301,26 @@ class System:
     # Run orchestration
     # ================================================================== #
 
-    def run(self, trace: Trace) -> RunResult:
-        """Simulate *trace* from boot through exit; returns the result."""
+    def begin_run(self) -> None:
+        """Claim this machine for one run and re-resolve the engine.
+
+        Every run driver (:meth:`run`, ``MultiProgram.run``) must enter
+        through here rather than poking ``_ran`` directly: the engine
+        re-resolution is what protects the vector engine from fault
+        plans and swapped-in cache models ("auto" must follow the
+        machine actually being run, and "vector" must refuse one it
+        cannot batch), and it has to fire for *every* entry point.
+        """
         if self._ran:
             raise StaleSystemError(
                 "a System instance simulates exactly one run"
             )
         self._ran = True
-        # Re-resolve the engine: tests and tools may have swapped in a
-        # different cache model since construction, and "auto" must
-        # follow the machine actually being run.
         self.engine = resolve_engine(self)
+
+    def run(self, trace: Trace) -> RunResult:
+        """Simulate *trace* from boot through exit; returns the result."""
+        self.begin_run()
         stats = self.stats
         kernel = self.kernel
 
@@ -467,6 +493,10 @@ class System:
             raise SimulationError(f"unknown trace event {event!r}")
         if self.obs is not None:
             self._obs_sample()
+        if self.check_hook is not None:
+            self.check_hook(self, event)
+        if self.sanitizers is not None:
+            self.sanitizers.run(f"event {type(event).__name__}")
 
     # ================================================================== #
     # The hot loop
@@ -478,6 +508,10 @@ class System:
             run_segment_vector(self, seg, process)
         else:
             run_segment_scalar(self, seg, process)
+        if self.check_hook is not None:
+            self.check_hook(self, seg)
+        if self.sanitizers is not None:
+            self.sanitizers.run(f"segment {seg.label!r}")
 
     def _refill_tlb(self, vaddr: int):
         """Software TLB refill; returns (entry, handler cycles).

@@ -1,9 +1,12 @@
 """Integration tests for multiprogrammed simulation."""
 
+import dataclasses
+
 import numpy as np
 import pytest
 
-from repro.sim.config import paper_mtlb, paper_no_mtlb
+from repro.faults import FaultConfig
+from repro.sim.config import CacheConfig, paper_mtlb, paper_no_mtlb
 from repro.sim.multiprog import MultiProgram, run_job_mix, split_segment
 from repro.trace.events import MapRegion
 from repro.trace.trace import Trace, make_segment
@@ -93,6 +96,24 @@ class TestJobMix:
         assert fine.context_switches > coarse.context_switches
         assert fine.total_cycles > coarse.total_cycles
 
+    def test_cycle_attribution_telescopes(self):
+        """Every cycle lands in exactly one bucket: the per-process
+        attributions plus the shared (boot/switch/timer) remainder must
+        reproduce the machine total exactly."""
+        traces = [
+            small_trace("p1", 0x0200_0000, 1),
+            small_trace("p2", 0x0300_0000, 2),
+            small_trace("p3", 0x0400_0000, 3),
+        ]
+        result = run_job_mix(paper_mtlb(96), traces, quantum_refs=7_000)
+        assert result.shared_cycles > 0
+        assert all(c > 0 for c in result.per_process_cycles.values())
+        assert (
+            sum(result.per_process_cycles.values())
+            + result.shared_cycles
+            == result.total_cycles
+        )
+
     def test_mtlb_survives_switches(self):
         trace_a = build_workload("compress95", scale=0.03, seed=1)
         trace_b = build_workload("compress95", scale=0.03, seed=2)
@@ -107,3 +128,54 @@ class TestJobMix:
             fast.result.stats.tlb_miss_cycles
             < base.result.stats.tlb_miss_cycles / 4
         )
+
+
+class TestEngineResolution:
+    """Job mixes go through System.begin_run(), the same entry point as
+    single-program runs, so engine policy can never be bypassed."""
+
+    def _traces(self):
+        return [
+            small_trace("p1", 0x0200_0000, 1),
+            small_trace("p2", 0x0300_0000, 2),
+        ]
+
+    def test_plain_mix_batches_with_vector_engine(self):
+        result = run_job_mix(
+            paper_no_mtlb(96), self._traces(), quantum_refs=10_000
+        )
+        assert result.engine == "vector"
+
+    def test_fault_plan_mix_falls_back_to_scalar(self):
+        """Regression: an active fault plan must force the scalar engine
+        for job mixes too, not just for System.run()."""
+        config = dataclasses.replace(
+            paper_mtlb(96),
+            faults=FaultConfig(mtlb_parity_rate=1e-7),
+        )
+        result = run_job_mix(config, self._traces(), quantum_refs=10_000)
+        assert result.engine == "scalar"
+        result.result.stats.check_consistency()
+
+    def test_set_assoc_cache_mix_falls_back_to_scalar(self):
+        config = dataclasses.replace(
+            paper_no_mtlb(96), cache=CacheConfig(associativity=2)
+        )
+        result = run_job_mix(config, self._traces(), quantum_refs=10_000)
+        assert result.engine == "scalar"
+
+    def test_fault_plan_results_match_engine_choice(self):
+        """The fallback must yield the same numbers an explicit scalar
+        request yields (the plan itself fires no faults at this rate and
+        trace length, so the runs are deterministic)."""
+        base = dataclasses.replace(
+            paper_mtlb(96),
+            faults=FaultConfig(mtlb_parity_rate=1e-7),
+        )
+        auto = run_job_mix(base, self._traces(), quantum_refs=10_000)
+        explicit = run_job_mix(
+            dataclasses.replace(base, engine="scalar"),
+            self._traces(),
+            quantum_refs=10_000,
+        )
+        assert auto.total_cycles == explicit.total_cycles

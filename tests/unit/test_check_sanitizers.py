@@ -1,0 +1,198 @@
+"""Unit tests for the architectural invariant sanitizers (repro.check)."""
+
+import dataclasses
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.check.corpus import corpus_config, corpus_trace
+from repro.check.sanitizers import SanitizerSuite
+from repro.core.shadow_table import PFN_MASK, VALID_BIT
+from repro.errors import InvariantViolation
+from repro.sim.config import CacheConfig, paper_no_mtlb
+from repro.sim.system import System
+
+
+@pytest.fixture(scope="module")
+def trace():
+    return corpus_trace()
+
+
+def warm_system(trace, config=None, sanitize=True):
+    """Run the corpus workload so every component has live state."""
+    config = config or corpus_config()
+    system = System(dataclasses.replace(config, sanitize=sanitize))
+    system.run(trace)
+    return system
+
+
+@pytest.fixture
+def warm(trace):
+    """A warm sanitized machine and its live suite (post-run)."""
+    system = warm_system(trace)
+    return system, system.sanitizers
+
+
+class TestCleanMachine:
+    def test_sanitized_run_passes(self, warm):
+        system, suite = warm
+        # 2 events + 6 segments = 8 boundaries, each fully audited.
+        assert suite.boundaries_checked == 8
+
+    def test_post_run_audit_passes(self, warm):
+        _, suite = warm
+        suite.run("post-run")  # no violation on an untouched machine
+
+    def test_sanitize_off_installs_nothing(self, trace):
+        system = warm_system(trace, sanitize=False)
+        assert system.sanitizers is None
+
+    def test_results_bit_identical_with_sanitizers(self, trace):
+        on = warm_system(trace, sanitize=True)
+        off = warm_system(trace, sanitize=False)
+        assert dataclasses.asdict(on.stats) == dataclasses.asdict(
+            off.stats
+        )
+
+    def test_no_mtlb_machine_supported(self, trace):
+        # The MTLB/shadow checks must degrade gracefully on a
+        # conventional machine.
+        system = warm_system(trace, config=paper_no_mtlb(96))
+        assert system.sanitizers.boundaries_checked == 8
+
+    def test_set_assoc_cache_supported(self, trace):
+        config = dataclasses.replace(
+            paper_no_mtlb(96),
+            cache=CacheConfig(associativity=2),
+            engine="scalar",
+        )
+        system = warm_system(trace, config=config)
+        assert system.sanitizers.boundaries_checked == 8
+
+
+class TestTlbSanitizer:
+    def test_aliased_entry_caught(self, warm):
+        system, suite = warm
+        entry = system.tlb.entries()[0]
+        system.tlb._by_size[entry.size][entry.vbase + entry.size] = entry
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "tlb"
+
+    def test_count_desync_caught(self, warm):
+        system, suite = warm
+        system.tlb._count += 1
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "tlb"
+        assert "count" in exc.value.detail
+
+    def test_stale_mru_hint_caught(self, warm):
+        system, suite = warm
+        system.tlb._mru_size = 3  # not a page size at all
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "tlb"
+
+
+class TestCacheSanitizer:
+    def test_dirty_invalid_line_caught(self, warm):
+        system, suite = warm
+        cache = system.cache
+        invalid = np.nonzero(cache._tags == -1)[0]
+        cache._dirty[int(invalid[0])] = 1
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "cache"
+
+    def test_stamp_rewind_caught(self, warm):
+        system, suite = warm
+        # The live suite recorded the end-of-run stamp; rewinding it is
+        # only detectable against that history.
+        system.cache.mutation_stamp = 0
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "cache"
+        assert "rewound" in exc.value.detail
+
+    def test_out_of_range_tag_caught(self, warm):
+        system, suite = warm
+        valid = np.nonzero(system.cache._tags != -1)[0]
+        system.cache._tags[int(valid[0])] = 1 << 40  # beyond both windows
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "cache"
+
+
+class TestShadowTableSanitizer:
+    def test_ref_bit_on_unmapped_entry_caught(self, warm):
+        system, suite = warm
+        table = system.shadow_table
+        invalid = np.nonzero((table._entries & VALID_BIT) == 0)[0]
+        table.set_referenced(int(invalid[-1]))
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "shadow_table"
+
+    def test_duplicate_pfn_caught(self, warm):
+        system, suite = warm
+        table = system.shadow_table
+        valid = np.nonzero(table._entries & VALID_BIT)[0]
+        invalid = np.nonzero((table._entries & VALID_BIT) == 0)[0]
+        pfn = int(table._entries[int(valid[0])]) & PFN_MASK
+        table.set_mapping(int(invalid[-1]), pfn, valid=True)
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "shadow_table"
+        assert "double-mapped" in exc.value.detail
+
+
+class TestMtlbSanitizer:
+    def test_stale_way_caught(self, warm):
+        system, suite = warm
+        for way_set in system.mtlb._sets:
+            for way in way_set.values():
+                way.pfn ^= 1
+                break
+            else:
+                continue
+            break
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "mtlb"
+        assert "purge" in exc.value.detail
+
+
+class TestFrameSanitizer:
+    def test_free_structures_desync_caught(self, warm):
+        system, suite = warm
+        frames = system.kernel.vm.frames
+        frames._free.append(frames._free[-1])  # list/set now disagree
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "frames"
+
+    def test_mapped_frame_on_free_list_caught(self, warm):
+        system, suite = warm
+        table = system.shadow_table
+        frames = system.kernel.vm.frames
+        valid = np.nonzero(table._entries & VALID_BIT)[0]
+        pfn = int(table._entries[int(valid[0])]) & PFN_MASK
+        frames.free(pfn)
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "frames"
+
+
+class TestInvariantViolation:
+    def test_message_names_component_and_site(self):
+        err = InvariantViolation("tlb", "aliased entry", "segment 's0'")
+        assert "tlb" in str(err)
+        assert "segment 's0'" in str(err)
+
+    def test_pickle_round_trip(self):
+        err = InvariantViolation("cache", "stamp rewound", "event Remap")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.component == "cache"
+        assert str(clone) == str(err)

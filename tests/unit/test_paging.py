@@ -137,6 +137,137 @@ class TestClock:
         assert victims  # second lap finds cleared pages
 
 
+class TestClockHand:
+    """The hand is anchored to a stable page identity (shadow index).
+
+    Regression tests for the index-anchored hand: page-outs between
+    sweeps compact the resident list, and a positional hand would
+    silently skip (or re-examine) pages when the list shifts under it.
+    """
+
+    def test_sweep_resumes_after_evicted_hand_page(self, paged):
+        """Evicting the very page the hand rests on must not derail the
+        next sweep: it resumes at the next page in shadow-index order."""
+        system, _process, record = paged
+        pager = system.kernel.pager
+        victims, _ = pager.clock_select(1)
+        assert victims == [(record, 0)]  # all cold: first page picked
+        pager.page_out(record, 0)  # the hand's page disappears
+        victims, _ = pager.clock_select(1)
+        assert victims == [(record, 1)]
+
+    def test_interleaved_page_outs_keep_rotation_order(self, paged):
+        """Sweep / evict / sweep ... must visit pages strictly in order,
+        never skipping one because an eviction compacted the list.  (The
+        old positional hand selected 0, 2, 4, ... under this pattern.)"""
+        system, _process, record = paged
+        pager = system.kernel.pager
+        order = []
+        for _ in range(record.base_pages):
+            (victim,), _ = pager.clock_select(1)
+            order.append(victim[1])
+            pager.page_out(victim[0], victim[1])
+        assert order == list(range(record.base_pages))
+
+    def test_referenced_page_spares_only_itself_after_compaction(
+        self, paged
+    ):
+        system, _process, record = paged
+        pager = system.kernel.pager
+        table = system.shadow_table
+        pager.clock_select(1)  # hand now rests on page 0
+        pager.page_out(record, 0)
+        # Page 1 gets referenced; the next sweep must examine it (clear
+        # the bit, pass over) and select page 2 — not jump past both.
+        table.set_referenced(record.first_shadow_index + 1)
+        victims, _ = pager.clock_select(1)
+        assert victims == [(record, 2)]
+        assert not table.entry(record.first_shadow_index + 1).referenced
+
+    def test_hand_wraps_to_start(self, paged):
+        system, _process, record = paged
+        pager = system.kernel.pager
+        for _ in range(record.base_pages):
+            pager.clock_select(1)  # walk the hand to the last page
+        victims, _ = pager.clock_select(2)
+        assert victims == [(record, 0), (record, 1)]
+
+
+class TestPageRoundTrip:
+    """Full page_out → MTLB fault → page_in cycles."""
+
+    def test_clean_round_trip(self, paged):
+        system, _process, record = paged
+        pager = system.kernel.pager
+        idx = record.first_shadow_index + 6
+        system.mtlb.access(idx, is_write=False)  # warm + referenced
+        assert system.mtlb.probe(idx) is not None
+        pager.page_out(record, 6)
+        # The eviction purged the cached way: its stale referenced copy
+        # must not survive into the page's next residency.
+        assert system.mtlb.probe(idx) is None
+        assert pager.stats.clean_drops == 1
+        assert pager.stats.dirty_writebacks == 0
+        with pytest.raises(MtlbFault):
+            system.mtlb.access(idx, is_write=False)
+        cost = pager.page_in(idx)
+        assert cost >= pager.costs.disk_transfer
+        entry = system.shadow_table.entry(idx)
+        assert not entry.referenced and not entry.dirty
+        pfn, _ = system.mtlb.access(idx, is_write=False)
+        assert pfn == record.pfns[6]
+
+    def test_dirty_round_trip(self, paged):
+        system, _process, record = paged
+        pager = system.kernel.pager
+        idx = record.first_shadow_index + 7
+        system.mtlb.access(idx, is_write=True)  # sets the dirty bit
+        assert system.shadow_table.entry(idx).dirty
+        cost = pager.page_out(record, 7)
+        assert pager.stats.dirty_writebacks == 1
+        assert pager.stats.clean_drops == 0
+        assert cost >= pager.costs.disk_transfer
+        pager.page_in(idx)
+        # The page came back clean: its dirty life ended at writeback.
+        entry = system.shadow_table.entry(idx)
+        assert not entry.dirty and not entry.referenced
+        assert record.pfns[7] is not None
+
+    def test_cpu_tlb_superpage_survives_round_trip(self, paged):
+        """The paper's central claim, end to end: a base page can leave
+        and re-enter memory without touching the CPU TLB's superpage
+        entry."""
+        system, _process, record = paged
+        pager = system.kernel.pager
+        entry, _ = system._refill_tlb(REGION)
+        assert entry.size == SIZE
+        idx = record.first_shadow_index + 3
+        pager.page_out(record, 3)
+        assert system.tlb.probe(REGION) is entry
+        pager.page_in(idx)
+        assert system.tlb.probe(REGION) is entry
+
+    def test_round_trip_counts_balance(self, paged):
+        system, _process, record = paged
+        pager = system.kernel.pager
+        dirty_pages = (2, 5)
+        for i in dirty_pages:
+            system.mtlb.access(record.first_shadow_index + i, True)
+        for i in range(record.base_pages):
+            pager.page_out(record, i)
+        assert pager.stats.pages_out == record.base_pages
+        assert pager.stats.dirty_writebacks == len(dirty_pages)
+        assert (
+            pager.stats.clean_drops
+            == record.base_pages - len(dirty_pages)
+        )
+        for i in range(record.base_pages):
+            pager.page_in(record.first_shadow_index + i)
+        assert pager.stats.pages_in == record.base_pages
+        assert pager.store.occupancy == 0
+        assert all(pfn is not None for pfn in record.pfns)
+
+
 class TestBackingStore:
     def test_holds_and_take(self, paged):
         system, _process, record = paged
