@@ -8,20 +8,41 @@ full simulation substrate the paper evaluated it on (CPU TLB, VIPT cache,
 Runway-style bus, MMC, a small OS, and models of the five benchmark
 programs).
 
-Quickstart::
+Quickstart — one scenario through the typed facade::
 
-    from repro import paper_base, paper_mtlb, simulate
-    from repro.workloads import build_workload
+    from repro import ScenarioSpec, paper_base, paper_mtlb, run
 
-    trace = build_workload("em3d", scale=0.25)
-    base = simulate(trace, paper_base())
-    fast = simulate(trace, paper_mtlb(tlb_entries=96))
+    base = run(ScenarioSpec("em3d", paper_base(), scale=0.25))
+    fast = run(ScenarioSpec("em3d", paper_mtlb(96), scale=0.25))
     print(fast.total_cycles / base.total_cycles)
 
-See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-paper-versus-measured record.
+Batches go through the scenario service — deduplicated against a
+content-addressed result store, sharded over worker processes::
+
+    from repro import ScenarioSpec, SweepClient, figure3_configs
+
+    client = SweepClient(store=".result_store", jobs=4)
+    reports = client.sweep(
+        [ScenarioSpec(w, cfg) for w in ("em3d", "gcc")
+         for cfg in figure3_configs().values()]
+    )
+
+Public-vs-internal boundary: the names in ``__all__`` below are the
+stable API — scenario facade (:class:`ScenarioSpec`, :func:`run`,
+:class:`Session`, :class:`SweepClient`, :class:`ResultStore`), config
+presets, result types, and the obs snapshot/diff toolkit.  Deeper
+modules (``repro.sim.system.System``, ``repro.sim.multiprog``,
+``repro.bench.runner.BenchContext``, ``repro.core.*``) are the engine
+room: importable and documented, but their calling conventions may
+change between releases.  ``simulate()`` is kept as a deprecated shim
+for pre-facade callers.
+
+See DESIGN.md for the system inventory (§12: the scenario service) and
+EXPERIMENTS.md for the paper-versus-measured record.
 """
 
+from ._version import __version__
+from .api import RunReport, ScenarioSpec, Session, run, validate_spec
 from .core import (
     BASE_PAGE_SIZE,
     SUPERPAGE_SIZES,
@@ -46,6 +67,7 @@ from .obs import (
     run_snapshot,
     write_snapshot,
 )
+from .serve import ResultStore, SweepClient
 from .sim import (
     RunResult,
     RunStats,
@@ -60,9 +82,27 @@ from .sim import (
 )
 from .trace import Trace
 
-__version__ = "1.0.0"
-
 __all__ = [
+    # Scenario facade (the front door)
+    "RunReport",
+    "ScenarioSpec",
+    "Session",
+    "run",
+    "validate_spec",
+    # Scenario service
+    "ResultStore",
+    "SweepClient",
+    # Configuration presets
+    "SystemConfig",
+    "figure3_configs",
+    "figure4_configs",
+    "paper_base",
+    "paper_mtlb",
+    "paper_no_mtlb",
+    # Results
+    "RunResult",
+    "RunStats",
+    # Core mechanism (the paper's subject)
     "BASE_PAGE_SIZE",
     "SUPERPAGE_SIZES",
     "BucketShadowAllocator",
@@ -74,6 +114,7 @@ __all__ = [
     "ShadowRegion",
     "ShadowSpaceExhausted",
     "plan_superpages",
+    # Observability
     "EventTracer",
     "MetricsRegistry",
     "ObsCollector",
@@ -83,16 +124,9 @@ __all__ = [
     "matrix_snapshot",
     "run_snapshot",
     "write_snapshot",
-    "RunResult",
-    "RunStats",
-    "System",
-    "SystemConfig",
-    "figure3_configs",
-    "figure4_configs",
-    "paper_base",
-    "paper_mtlb",
-    "paper_no_mtlb",
-    "simulate",
+    # Traces + legacy entry point
     "Trace",
+    "System",
+    "simulate",
     "__version__",
 ]

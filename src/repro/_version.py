@@ -1,0 +1,9 @@
+"""Single source of the package version.
+
+Kept in its own leaf module so deep subsystems (``repro.obs.snapshot``
+stamps it into metrics snapshots, ``repro.serve.store`` into result-store
+payloads) can import it without touching ``repro/__init__`` — which
+imports *them* during package init.
+"""
+
+__version__ = "1.1.0"

@@ -1,0 +1,355 @@
+"""The unified front door: typed scenarios in, typed reports out.
+
+Historically the reproduction grew four divergent entry points —
+``simulate(trace, config)``, ``System.run``, ``MultiProgram.run``, and
+``BenchContext.run_matrix`` — each with its own calling convention and
+none aware of the others' caching.  This module collapses them behind
+one typed facade:
+
+* :class:`ScenarioSpec` — one *scenario*: a workload (or a
+  multiprogrammed mix of workloads), a :class:`~repro.sim.config.
+  SystemConfig`, the trace seed/scale, and optional engine/budget
+  overrides;
+* :func:`run` / :meth:`Session.run` — simulate one scenario, returning
+  a :class:`RunReport`;
+* :meth:`Session.sweep` — run a batch through the sharded async
+  scheduler (:mod:`repro.serve`), deduplicating against the session's
+  content-addressed result store so repeated sweeps are served from
+  disk instead of resimulated.
+
+``run(spec)`` is bit-identical to the legacy ``simulate(trace,
+config)`` path — it drives the same :class:`~repro.sim.system.System`
+through the same trace cache — and the equivalence is pinned by
+``tests/integration/test_serve_scheduler.py``.
+
+Public-vs-internal boundary: everything exported from ``repro``
+(``__init__.__all__``) is stable API; ``System``, ``MultiProgram``, and
+``BenchContext`` remain importable as the engine room but their calling
+conventions may change — new code should enter through this module.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .bench.runner import DEFAULT_SEED, BenchContext
+from .errors import SpecValidationError
+from .sim.config import SystemConfig, paper_base
+from .sim.engine import vector_config_supported
+from .sim.multiprog import (
+    DEFAULT_QUANTUM_REFS,
+    DEFAULT_SWITCH_COST,
+    run_job_mix,
+)
+from .sim.results import RunResult
+from .sim.stats import RunStats
+from .workloads import workload_names
+
+__all__ = [
+    "RunReport",
+    "ScenarioSpec",
+    "Session",
+    "run",
+    "validate_spec",
+]
+
+_ENGINES = (None, "auto", "scalar", "vector")
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One scenario: everything needed to name and run a simulation.
+
+    ``workload`` is a registered workload name, or a tuple of names for
+    a multiprogrammed mix (time-sliced on one machine).  ``scale``
+    defaults to the running session's per-workload scale;  ``engine``
+    overrides ``config.engine`` for this scenario only.  Engine and
+    budget overrides never change results, so they are excluded from
+    the scenario's store fingerprint.
+    """
+
+    workload: Union[str, Tuple[str, ...]]
+    config: SystemConfig = field(default_factory=paper_base)
+    seed: int = DEFAULT_SEED
+    scale: Optional[float] = None
+    engine: Optional[str] = None
+    max_references: Optional[int] = None
+    #: Mix-only scheduling shape (ignored for single-workload specs).
+    quantum_refs: int = DEFAULT_QUANTUM_REFS
+    switch_cost: int = DEFAULT_SWITCH_COST
+
+    def __post_init__(self) -> None:
+        if isinstance(self.workload, (list, tuple)):
+            object.__setattr__(self, "workload", tuple(self.workload))
+        if self.engine not in _ENGINES:
+            raise SpecValidationError(
+                f"engine must be one of {_ENGINES[1:]}, "
+                f"got {self.engine!r}"
+            )
+        if self.scale is not None and self.scale <= 0:
+            raise SpecValidationError(
+                f"scale must be positive, got {self.scale}"
+            )
+
+    @property
+    def is_mix(self) -> bool:
+        return not isinstance(self.workload, str)
+
+    @property
+    def workloads(self) -> Tuple[str, ...]:
+        """The workload names, mix or not, always as a tuple."""
+        return self.workload if self.is_mix else (self.workload,)
+
+    def resolved_config(self) -> SystemConfig:
+        """The config with this spec's engine override applied."""
+        if self.engine is None or self.engine == self.config.engine:
+            return self.config
+        return dataclasses.replace(self.config, engine=self.engine)
+
+    @property
+    def label(self) -> str:
+        """``workload|config`` key, the report/snapshot row name."""
+        name = "+".join(self.workloads)
+        return f"{name}|{self.config.label}"
+
+
+def validate_spec(spec: ScenarioSpec) -> None:
+    """Reject a spec that cannot run, *before* any worker is spawned.
+
+    This is the fail-fast layer the CLI and the scheduler share: an
+    ``engine='vector'`` request on an unbatchable configuration (an
+    active fault plan, a set-associative cache) used to die inside a
+    shard worker with a bare :class:`~repro.errors.SimulationError`;
+    now it raises :class:`~repro.errors.SpecValidationError` in the
+    submitting process with the scalar-forcing explanation.
+    """
+    known = set(workload_names())
+    for name in spec.workloads:
+        if name not in known:
+            raise SpecValidationError(
+                f"unknown workload {name!r}; registered workloads: "
+                f"{', '.join(sorted(known))}"
+            )
+    config = spec.resolved_config()
+    if config.engine == "vector":
+        ok, why = vector_config_supported(config)
+        if not ok:
+            raise SpecValidationError(
+                f"engine='vector' cannot batch this configuration: "
+                f"{why}; drop the override (engine='auto' falls back "
+                "to the scalar engine) or fix the configuration"
+            )
+    if spec.is_mix and not spec.workloads:
+        raise SpecValidationError("a mix needs at least one workload")
+    if spec.is_mix and spec.quantum_refs <= 0:
+        raise SpecValidationError("quantum_refs must be positive")
+
+
+@dataclass
+class RunReport:
+    """Outcome of one scenario, however it was served.
+
+    ``cache_hit`` says the stats came from the content-addressed store
+    rather than a fresh simulation; either way ``stats`` is the same
+    bit-identical :class:`~repro.sim.stats.RunStats`.  ``error`` is set
+    (and ``stats`` is None) when the scenario failed in a sweep run
+    with ``raise_errors=False``.
+    """
+
+    spec: ScenarioSpec
+    stats: Optional[RunStats]
+    fingerprint: Optional[str] = None
+    cache_hit: bool = False
+    metrics: Optional[Dict[str, float]] = None
+    error: Optional[BaseException] = None
+    wall_seconds: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    @property
+    def total_cycles(self) -> int:
+        if self.stats is None:
+            raise ValueError(f"scenario failed: {self.error}")
+        return self.stats.total_cycles
+
+    def to_result(self) -> RunResult:
+        """The legacy :class:`~repro.sim.results.RunResult` view."""
+        if self.stats is None:
+            raise ValueError(f"scenario failed: {self.error}")
+        return RunResult(
+            workload="+".join(self.spec.workloads),
+            config_label=self.spec.config.label,
+            stats=self.stats,
+            metrics=self.metrics,
+        )
+
+    def stats_dict(self) -> Dict[str, object]:
+        if self.stats is None:
+            raise ValueError(f"scenario failed: {self.error}")
+        return dataclasses.asdict(self.stats)
+
+
+class Session:
+    """One scenario-service session: trace cache + result store + sweeps.
+
+    A Session owns a :class:`~repro.bench.runner.BenchContext` (input
+    scales, on-disk trace cache, seed) and, optionally, a
+    :class:`~repro.serve.store.ResultStore`.  ``run`` serves one
+    scenario — from the store when possible — and ``sweep`` fans a
+    batch out through the sharded async scheduler.
+    """
+
+    def __init__(
+        self,
+        quick: Optional[bool] = None,
+        scales: Optional[Dict[str, float]] = None,
+        cache_dir: Optional[Path] = None,
+        seed: int = DEFAULT_SEED,
+        store: Union[None, str, Path, "object"] = None,
+        jobs: Optional[int] = None,
+        engine: Optional[str] = None,
+        sanitize: bool = False,
+        max_references: Optional[int] = None,
+    ) -> None:
+        from .serve.store import ResultStore  # api never cycles serve
+
+        self.context = BenchContext(
+            quick=quick,
+            scales=scales,
+            cache_dir=cache_dir,
+            seed=seed,
+            max_references=max_references,
+            jobs=jobs,
+            engine=engine,
+            sanitize=sanitize,
+        )
+        if store is None or isinstance(store, ResultStore):
+            self.store = store
+        else:
+            self.store = ResultStore(Path(store))
+        self.jobs = jobs
+
+    # -- single scenario ------------------------------------------------ #
+
+    def run(self, spec: ScenarioSpec) -> RunReport:
+        """Simulate (or serve from the store) one scenario."""
+        from .serve.scheduler import (
+            execute_spec,
+            spec_fingerprint,
+            spec_scale,
+        )
+
+        validate_spec(spec)
+        fingerprint = spec_fingerprint(spec, self.context)
+        if self.store is not None and fingerprint is not None:
+            record = self.store.get(fingerprint)
+            if record is not None:
+                return RunReport(
+                    spec=spec,
+                    stats=record.run_stats(),
+                    fingerprint=fingerprint,
+                    cache_hit=True,
+                    metrics=record.metrics,
+                )
+        start = time.perf_counter()
+        result = execute_spec(self.context, spec)
+        wall = time.perf_counter() - start
+        if self.store is not None and fingerprint is not None:
+            from .serve.fingerprint import canonical_scenario
+
+            self.store.put(
+                fingerprint,
+                workload="+".join(spec.workloads),
+                config_label=spec.config.label,
+                stats=result.stats,
+                metrics=result.metrics,
+                meta=self._store_meta(spec),
+                scenario=canonical_scenario(
+                    spec.workload,
+                    spec.config,
+                    spec_scale(spec, self.context),
+                    spec.seed,
+                    quantum_refs=(
+                        spec.quantum_refs if spec.is_mix else None
+                    ),
+                    switch_cost=(
+                        spec.switch_cost if spec.is_mix else None
+                    ),
+                ),
+            )
+        return RunReport(
+            spec=spec,
+            stats=result.stats,
+            fingerprint=fingerprint,
+            cache_hit=False,
+            metrics=result.metrics,
+            wall_seconds=wall,
+        )
+
+    # -- batches --------------------------------------------------------- #
+
+    def sweep(
+        self,
+        specs: Sequence[ScenarioSpec],
+        jobs: Optional[int] = None,
+        raise_errors: bool = True,
+        progress: bool = False,
+    ) -> List[RunReport]:
+        """Run a batch through the sharded scheduler; reports in order."""
+        scheduler = self.scheduler(jobs=jobs, progress=progress)
+        return scheduler.sweep(specs, raise_errors=raise_errors)
+
+    def scheduler(
+        self, jobs: Optional[int] = None, progress: bool = False
+    ):
+        """A :class:`~repro.serve.scheduler.SweepScheduler` over this
+        session's context and store (the async submit/gather surface)."""
+        from .serve.scheduler import SweepScheduler
+
+        return SweepScheduler(
+            context=self.context,
+            store=self.store,
+            jobs=jobs if jobs is not None else self.jobs,
+            progress_cb=print if progress else None,
+        )
+
+    # -- helpers --------------------------------------------------------- #
+
+    def scale_of(self, spec: ScenarioSpec):
+        """The input scale(s) a spec resolves to under this session:
+        one float, or one per mix member."""
+        from .serve.scheduler import spec_scale
+
+        return spec_scale(spec, self.context)
+
+    def _store_meta(self, spec: ScenarioSpec) -> Dict[str, object]:
+        from ._version import __version__
+
+        return {
+            "seed": spec.seed,
+            "quick": self.context.quick,
+            "scale": self.scale_of(spec),
+            "repro_version": __version__,
+        }
+
+    def status(self) -> Dict[str, object]:
+        """Store inventory (empty mapping when no store is attached)."""
+        return self.store.status() if self.store is not None else {}
+
+
+def run(spec: ScenarioSpec) -> RunReport:
+    """Run one scenario with session defaults (no result store).
+
+    The one-line replacement for ``simulate(build_workload(...), cfg)``::
+
+        from repro import ScenarioSpec, paper_mtlb, run
+        report = run(ScenarioSpec("em3d", paper_mtlb(96), scale=0.25))
+        print(report.stats.total_cycles)
+    """
+    return Session().run(spec)

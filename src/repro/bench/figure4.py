@@ -41,13 +41,21 @@ class Figure4Result:
 def run_figure4(
     context: Optional[BenchContext] = None, progress: bool = False
 ) -> Figure4Result:
-    """Run the Figure 4 sweep on em3d."""
+    """Run the Figure 4 sweep on em3d.
+
+    Routed through :meth:`BenchContext.run_matrix` (and so the sweep
+    scheduler): the sweep checkpoints per cell, and with a result store
+    attached to the context a rerun is served from cache.
+    """
     context = context or BenchContext()
-    runs: Dict[str, RunResult] = {}
-    for label, config in figure4_configs().items():
-        if progress:
-            print(f"  running em3d on {label}...", flush=True)
-        runs[label] = context.run(WORKLOAD, config)
+    configs = figure4_configs()
+    matrix = context.run_matrix(
+        [WORKLOAD], configs, BASELINE, progress=progress,
+        checkpoint="fig4",
+    )
+    runs: Dict[str, RunResult] = {
+        label: matrix.get(WORKLOAD, label) for label in configs
+    }
     report_a = _render_a(runs)
     report_b = _render_b(runs)
     errors = check_figure4_shape(runs)

@@ -24,6 +24,14 @@ Robustness features (this file is the harness's crash-safety layer):
   always in deterministic workload x config order regardless of
   completion order.
 
+Since the scenario-service refactor, :meth:`BenchContext.run_matrix`
+is a thin client of the sharded scheduler in
+:mod:`repro.serve.scheduler`: each missing cell becomes a
+:class:`~repro.api.ScenarioSpec`, and attaching a
+:class:`~repro.serve.store.ResultStore` (``store=``) turns
+checkpoint/resume into a content-addressed cache hit that survives
+checkpoint deletion.
+
 Environment knobs:
 
 * ``REPRO_BENCH_QUICK=1`` — use the quick (CI) scales everywhere;
@@ -77,20 +85,6 @@ def quick_mode_requested() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
-def _run_cell_task(
-    ctx_kwargs: dict, workload: str, config: SystemConfig
-) -> dict:
-    """Worker-process entry: simulate one matrix cell.
-
-    Must stay module-level (picklable) for every multiprocessing start
-    method.  The parent pre-warms the on-disk trace cache, so the
-    rebuilt context loads the trace instead of regenerating it.
-    """
-    context = BenchContext(**ctx_kwargs)
-    result = context.run(workload, config)
-    return dataclasses.asdict(result.stats)
-
-
 class BenchContext:
     """Shared state for one benchmark session."""
 
@@ -104,6 +98,7 @@ class BenchContext:
         jobs: Optional[int] = None,
         engine: Optional[str] = None,
         sanitize: bool = False,
+        store: Optional[object] = None,
     ) -> None:
         if quick is None:
             quick = quick_mode_requested()
@@ -133,6 +128,10 @@ class BenchContext:
         #: (repro.check).  Read-only checks: results and checkpoints
         #: stay bit-identical, only wall-clock changes.
         self.sanitize = sanitize
+        #: Optional :class:`~repro.serve.store.ResultStore` consulted by
+        #: :meth:`run_matrix` before simulating a cell.  Off by default:
+        #: a plain context always simulates what it is asked to.
+        self.store = store
         self._traces: Dict[str, Trace] = {}
 
     # ------------------------------------------------------------------ #
@@ -199,6 +198,7 @@ class BenchContext:
         progress: bool = False,
         checkpoint: Optional[str] = None,
         jobs: Optional[int] = None,
+        store: Optional[object] = None,
     ) -> ResultMatrix:
         """Run every workload on every configuration.
 
@@ -208,25 +208,60 @@ class BenchContext:
         from it, re-running only the missing cells.  The checkpoint is
         deleted once the whole matrix completes.
 
-        *jobs* (default: the context's ``jobs``) > 1 runs the missing
-        cells in worker processes; each cell checkpoints as it
-        completes, so crash-resume semantics match the serial path.
+        The missing cells are executed by the sharded sweep scheduler
+        (:mod:`repro.serve.scheduler`): *jobs* (default: the context's
+        ``jobs``) > 1 shards them over worker processes; each cell
+        checkpoints as it completes, so crash-resume semantics match
+        the serial path.  With *store* (default: the context's
+        ``store``) attached, cells already in the content-addressed
+        result store are served from disk instead of simulated —
+        resume-as-cache-hit, surviving checkpoint deletion.
         """
+        from ..api import ScenarioSpec
+        from ..serve.scheduler import SweepScheduler
+
         if jobs is None:
             jobs = self.jobs
+        if store is None:
+            store = self.store
         path = self._checkpoint_path(checkpoint) if checkpoint else None
         cells: Dict[str, dict] = (
             self._load_checkpoint(path, base_label) if path else {}
         )
-        if jobs is not None and jobs > 1:
-            self._run_cells_parallel(
-                workloads, configs, base_label, cells, path, jobs,
-                progress,
+        pending = [
+            (workload, label, config)
+            for workload in workloads
+            for label, config in configs.items()
+            if f"{workload}|{label}" not in cells
+        ]
+        if progress and cells and pending:
+            print(
+                f"  resuming: {len(cells)} cell(s) checkpointed",
+                flush=True,
             )
-        else:
-            self._run_cells_serial(
-                workloads, configs, base_label, cells, path, progress
+        if pending:
+            specs = [
+                ScenarioSpec(workload=workload, config=config,
+                             seed=self.seed)
+                for workload, _, config in pending
+            ]
+            keys = [f"{w}|{label}" for w, label, _ in pending]
+
+            def on_result(index: int, report) -> None:
+                cells[keys[index]] = report.stats_dict()
+                if path is not None:
+                    self._save_checkpoint(path, base_label, cells)
+
+            scheduler = SweepScheduler(
+                context=self,
+                store=store,
+                jobs=jobs if jobs is not None else 1,
+                progress_cb=(
+                    (lambda msg: print(msg, flush=True))
+                    if progress else None
+                ),
             )
+            scheduler.sweep(specs, on_result=on_result)
         matrix = ResultMatrix(base_label)
         for workload in workloads:
             for label in configs:
@@ -243,97 +278,6 @@ class BenchContext:
             except OSError:
                 pass
         return matrix
-
-    def _run_cells_serial(
-        self,
-        workloads: Sequence[str],
-        configs: Mapping[str, SystemConfig],
-        base_label: str,
-        cells: Dict[str, dict],
-        path: Optional[Path],
-        progress: bool,
-    ) -> None:
-        """Fill the missing *cells* in-process, in matrix order."""
-        for workload in workloads:
-            for label, config in configs.items():
-                key = f"{workload}|{label}"
-                if key in cells:
-                    if progress:
-                        print(
-                            f"  resuming {workload} on {label} "
-                            "(checkpointed)",
-                            flush=True,
-                        )
-                    continue
-                if progress:
-                    print(f"  running {workload} on {label}...", flush=True)
-                result = self.run(workload, config)
-                cells[key] = dataclasses.asdict(result.stats)
-                if path is not None:
-                    self._save_checkpoint(path, base_label, cells)
-
-    def _run_cells_parallel(
-        self,
-        workloads: Sequence[str],
-        configs: Mapping[str, SystemConfig],
-        base_label: str,
-        cells: Dict[str, dict],
-        path: Optional[Path],
-        jobs: int,
-        progress: bool,
-    ) -> None:
-        """Fill the missing *cells* with a process pool.
-
-        Traces are generated (and disk-cached) in the parent first, so
-        workers only ever *load* them — N workers never race to build
-        the same trace.  Each finished cell is checkpointed as it
-        arrives; a worker failure still persists every cell that
-        completed before it, so the rerun resumes rather than restarts.
-        """
-        import concurrent.futures
-
-        pending = [
-            (workload, label, config)
-            for workload in workloads
-            for label, config in configs.items()
-            if f"{workload}|{label}" not in cells
-        ]
-        if progress and len(pending) < len(workloads) * len(configs):
-            done = len(workloads) * len(configs) - len(pending)
-            print(f"  resuming: {done} cell(s) checkpointed", flush=True)
-        if not pending:
-            return
-        for workload in {w for w, _, _ in pending}:
-            self.trace(workload)
-        ctx_kwargs = {
-            "quick": self.quick,
-            "scales": self.scales,
-            "cache_dir": self.cache_dir,
-            "seed": self.seed,
-            "max_references": self.max_references,
-            "engine": self.engine,
-            "sanitize": self.sanitize,
-        }
-        workers = min(jobs, len(pending))
-        with concurrent.futures.ProcessPoolExecutor(workers) as pool:
-            futures = {
-                pool.submit(_run_cell_task, ctx_kwargs, workload, config):
-                    f"{workload}|{label}"
-                for workload, label, config in pending
-            }
-            if progress:
-                print(
-                    f"  running {len(pending)} cell(s) on "
-                    f"{workers} worker(s)...",
-                    flush=True,
-                )
-            for future in concurrent.futures.as_completed(futures):
-                key = futures[future]
-                cells[key] = future.result()
-                if progress:
-                    print(f"  finished {key}", flush=True)
-                if path is not None:
-                    self._save_checkpoint(path, base_label, cells)
 
     # ------------------------------------------------------------------ #
     # Checkpointing

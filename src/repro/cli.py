@@ -16,8 +16,15 @@ Usage::
 are used (several minutes for fig3).  ``--jobs N`` fans matrix cells
 out over N worker processes (default: all cores) and ``--engine
 {auto,scalar,vector}`` selects the trace-execution engine; both only
-change wall-clock time, never results.  ``fig3`` also appends its wall
-time to ``BENCH_perf.json``, the perf baseline.
+change wall-clock time, never results.  ``--store DIR`` attaches the
+content-addressed result store, so cells already simulated (under any
+engine or job count) are served from disk.  ``fig3`` also appends its
+wall time to ``BENCH_perf.json``, the perf baseline.
+
+Bad ``--jobs``/``--engine`` combinations are rejected up front — an
+``--engine vector`` request that the configuration cannot batch fails
+in the parser with the scalar-forcing explanation, not inside a worker
+process.
 
 Every invocation opens with a banner echoing the active seed, fault
 plan, and obs state.  ``fig3`` and ``fig4`` additionally write
@@ -72,6 +79,8 @@ from .obs import (
 )
 from .sim.config import (
     SystemConfig,
+    figure3_configs,
+    figure4_configs,
     paper_base,
     paper_mtlb,
     paper_no_mtlb,
@@ -158,6 +167,40 @@ def _write_perf_baseline(
     snapshot["meta"] = _context_meta(context)
     write_snapshot(snapshot, path)
     print(f"wrote {path} ({key}: {wall_seconds:.2f}s wall)")
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1 (got {value})")
+    return value
+
+
+def _validate_run_flags(parser, args) -> None:
+    """Reject bad flag combinations before any worker process spawns.
+
+    ``--engine vector`` is probed against every configuration the
+    figures run: a configuration the vector engine cannot batch (a
+    set-associative cache, an active fault plan) fails here with the
+    scalar-forcing explanation, instead of surfacing as a
+    ``SimulationError`` from inside a shard worker.
+    """
+    if args.jobs is not None and args.jobs < 1:
+        parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if getattr(args, "engine", None) == "vector":
+        from .sim.engine import vector_config_supported
+
+        probes = {"base": paper_base()}
+        probes.update(figure3_configs())
+        probes.update(figure4_configs())
+        for label, config in probes.items():
+            ok, why = vector_config_supported(config)
+            if not ok:
+                parser.error(
+                    f"--engine vector cannot batch configuration "
+                    f"{label!r}: {why}; use --engine auto (per-config "
+                    "fallback to the scalar engine) or --engine scalar"
+                )
 
 
 def _report(title: str, report: str, errors: List[str]) -> int:
@@ -322,12 +365,28 @@ def main(argv=None) -> int:
             "results stay bit-identical"
         ),
     )
+    parser.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=(
+            "content-addressed result store directory: cells already "
+            "simulated (under any engine/jobs setting) are served "
+            "from disk instead of re-run"
+        ),
+    )
     args = parser.parse_args(argv)
 
     if args.experiment == "list":
         for name in EXPERIMENTS:
             print(name)
         return 0
+
+    _validate_run_flags(parser, args)
+
+    store = None
+    if args.store:
+        from .serve.store import ResultStore
+
+        store = ResultStore(Path(args.store))
 
     # --quick forces quick scales; otherwise defer to REPRO_BENCH_QUICK.
     context = BenchContext(
@@ -337,6 +396,7 @@ def main(argv=None) -> int:
         jobs=args.jobs if args.jobs is not None else os.cpu_count(),
         engine=args.engine,
         sanitize=args.sanitize,
+        store=store,
     )
     # The benches run the presets unchanged, so the default SystemConfig
     # states the active fault plan and obs mode for this invocation.
@@ -470,6 +530,83 @@ def _check_diff(args) -> int:
             f"standalone repro: {script}"
         )
     return 1
+
+
+def _serve_specs(figure: str, seed: int, engine: str):
+    """The figure's scenario batch: ``(specs, snapshot_label)``."""
+    from .api import ScenarioSpec
+
+    if figure == "fig3":
+        configs = figure3_configs()
+        specs = [
+            ScenarioSpec(w, config, seed=seed, engine=engine)
+            for w in PAPER_SUITE
+            for config in configs.values()
+        ]
+        return specs, "figure3"
+    configs = figure4_configs()
+    specs = [
+        ScenarioSpec("em3d", config, seed=seed, engine=engine)
+        for config in configs.values()
+    ]
+    return specs, "figure4"
+
+
+def _serve_sweep(args) -> int:
+    """``repro serve sweep``: a figure through the scenario service.
+
+    Scenarios already in the content-addressed store are served from
+    disk; the rest are sharded over worker processes.  The output is
+    the same standardized metrics snapshot ``repro-bench`` writes, so
+    a cold and a warm sweep can be compared with ``repro metrics diff
+    --require-identical``.
+    """
+    from .errors import SpecValidationError
+    from .serve import SweepClient
+
+    client = SweepClient(
+        store=args.store,
+        jobs=args.jobs,
+        quick=True if args.quick else None,
+        seed=args.seed,
+        progress=True,
+    )
+    context = client.session.context
+    print_banner("repro", args.seed, paper_base(), context.quick)
+    print(f"result store: {client.store.root}")
+    specs, label = _serve_specs(args.figure, args.seed, args.engine)
+    try:
+        reports = client.sweep(specs)
+    except SpecValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    snapshot = results_snapshot(
+        (report.to_result() for report in reports),
+        label,
+        meta=_context_meta(context),
+    )
+    out = args.output or f"BENCH_{label}.json"
+    write_snapshot(snapshot, out)
+    hits = sum(1 for report in reports if report.cache_hit)
+    print(
+        f"\n{len(reports)} scenario(s): {hits} served from cache "
+        f"({client.cache_hit_rate:.0%} hit rate), "
+        f"{len(reports) - hits} simulated"
+    )
+    print(f"wrote {out} ({len(snapshot['runs'])} runs)")
+    return 0
+
+
+def _serve_status(args) -> int:
+    """``repro serve status``: result-store inventory."""
+    from .serve.store import ResultStore, default_store_root
+
+    root = Path(args.store) if args.store else default_store_root()
+    status = ResultStore(root).status()
+    width = max(len(key) for key in status)
+    for key, value in status.items():
+        print(f"{key:{width}s}  {value}")
+    return 0
 
 
 def _check_corpus(args) -> int:
@@ -618,6 +755,67 @@ def repro_main(argv=None) -> int:
     )
     ccorpus.add_argument("--seed", type=int, default=1998)
     ccorpus.set_defaults(func=_check_corpus)
+
+    serve = sub.add_parser(
+        "serve",
+        help=(
+            "scenario service: store-deduplicating scenario sweeps "
+            "and result-store inventory (DESIGN.md §12)"
+        ),
+    )
+    ssub = serve.add_subparsers(dest="serve_command", required=True)
+
+    sweep = ssub.add_parser(
+        "sweep",
+        help=(
+            "run a figure's scenario batch through the sharded "
+            "scheduler; scenarios already in the result store are "
+            "served from disk"
+        ),
+    )
+    sweep.add_argument(
+        "figure", choices=("fig3", "fig4"),
+        help="which figure's scenario batch to sweep",
+    )
+    sweep.add_argument(
+        "--quick", action="store_true", help="CI-sized input scales"
+    )
+    sweep.add_argument("--seed", type=int, default=1998)
+    sweep.add_argument(
+        "--jobs", type=_positive_int, default=None, metavar="N",
+        help="shard worker processes (default: serial in-process)",
+    )
+    sweep.add_argument(
+        "--engine", choices=("auto", "scalar", "vector"), default="auto",
+        help=(
+            "trace-execution engine; engine choice never changes "
+            "results, so store entries are engine-interchangeable"
+        ),
+    )
+    sweep.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=(
+            "result store directory (default: $REPRO_RESULT_STORE "
+            "or .result_store)"
+        ),
+    )
+    sweep.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="metrics snapshot path (default: BENCH_<figure>.json)",
+    )
+    sweep.set_defaults(func=_serve_sweep)
+
+    sstatus = ssub.add_parser(
+        "status", help="result-store inventory (entries, bytes, quarantine)"
+    )
+    sstatus.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=(
+            "result store directory (default: $REPRO_RESULT_STORE "
+            "or .result_store)"
+        ),
+    )
+    sstatus.set_defaults(func=_serve_status)
 
     args = parser.parse_args(argv)
     return args.func(args)

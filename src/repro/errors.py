@@ -187,3 +187,65 @@ class ReferenceBudgetExceeded(ReproError):
 
     def __reduce__(self):
         return (type(self), (self.references, self.budget))
+
+
+# ---------------------------------------------------------------------- #
+# Scenario-service errors (repro.api / repro.serve)
+# ---------------------------------------------------------------------- #
+
+
+class SpecValidationError(ReproError, ValueError):
+    """A :class:`~repro.api.ScenarioSpec` cannot be run as written.
+
+    Raised *before* any worker is spawned, so a bad ``--jobs``/
+    ``--engine`` combination (e.g. the vector engine requested together
+    with an active fault plan, which forces the scalar engine) fails
+    fast in the submitting process with an explanation instead of dying
+    inside a shard worker.
+    """
+
+
+class ResultStoreCorrupt(ReproError):
+    """A result-store entry failed its checksum or schema validation.
+
+    The store treats this as a miss: the entry is moved into the
+    store's ``quarantine/`` directory (never silently served), a
+    RuntimeWarning is emitted, and the scheduler regenerates the result.
+    """
+
+    def __init__(self, path, reason: str) -> None:
+        super().__init__(f"result-store entry {path} is corrupt: {reason}")
+        self.path = path
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.path, self.reason))
+
+
+class SnapshotSchemaError(ReproError, ValueError):
+    """A metrics snapshot was written under an incompatible schema
+    version.  ``repro metrics diff`` refuses the comparison with this
+    clear error instead of failing on a missing key deep inside the
+    diff."""
+
+
+class SweepError(ReproError):
+    """One or more scenarios of a sweep failed in their shard.
+
+    ``failures`` maps each failed spec's submission index to the
+    (picklable) exception its worker raised; every *other* scenario in
+    the batch still completed and was committed to the store.
+    """
+
+    def __init__(self, failures) -> None:
+        detail = "; ".join(
+            f"#{index}: {type(exc).__name__}: {exc}"
+            for index, exc in sorted(failures.items())
+        )
+        super().__init__(
+            f"{len(failures)} scenario(s) failed in the sweep ({detail})"
+        )
+        self.failures = dict(failures)
+
+    def __reduce__(self):
+        return (type(self), (self.failures,))

@@ -10,6 +10,8 @@ Schema (``repro-metrics/1``)::
 
     {
       "schema": "repro-metrics/1",
+      "schema_version": 1,
+      "repro_version": "1.1.0",
       "label": "figure3",
       "meta": {...free-form provenance: seed, quick, scales...},
       "runs": {
@@ -21,6 +23,13 @@ Schema (``repro-metrics/1``)::
 Metric values are flat name -> number; derived ratios (cpi, hit rates,
 TLB time fraction) are materialised at dump time so diffs compare what
 the paper's figures actually plot.
+
+Every snapshot is stamped with the schema version and the repro release
+that wrote it.  :func:`load_snapshot` refuses a snapshot written under a
+*different* schema version with a :class:`~repro.errors.
+SnapshotSchemaError` naming both versions — never a ``KeyError`` three
+stack frames into a diff.  (Snapshots predating the stamp are read as
+version 1, which is what they are.)
 """
 
 from __future__ import annotations
@@ -30,11 +39,32 @@ import json
 from pathlib import Path
 from typing import TYPE_CHECKING, Dict, Mapping, Optional, Union
 
+from .._version import __version__
+from ..errors import SnapshotSchemaError
+
 if TYPE_CHECKING:  # imported lazily to keep repro.obs sim-independent
     from ..sim.results import ResultMatrix, RunResult
     from ..sim.stats import RunStats
 
-SCHEMA = "repro-metrics/1"
+SCHEMA_PREFIX = "repro-metrics"
+SCHEMA_VERSION = 1
+SCHEMA = f"{SCHEMA_PREFIX}/{SCHEMA_VERSION}"
+
+
+def _envelope(
+    label: str,
+    meta: Optional[Mapping[str, object]],
+    runs: Dict[str, object],
+) -> Dict[str, object]:
+    """The stamped snapshot document every constructor shares."""
+    return {
+        "schema": SCHEMA,
+        "schema_version": SCHEMA_VERSION,
+        "repro_version": __version__,
+        "label": label,
+        "meta": dict(meta or {}),
+        "runs": runs,
+    }
 
 #: Derived RunStats properties included in every snapshot.
 DERIVED_METRICS = (
@@ -71,16 +101,15 @@ def run_snapshot(
     meta: Optional[Mapping[str, object]] = None,
 ) -> Dict[str, object]:
     """Snapshot one run."""
-    return {
-        "schema": SCHEMA,
-        "label": label,
-        "meta": dict(meta or {}),
-        "runs": {
+    return _envelope(
+        label,
+        meta,
+        {
             run_key(result.workload, result.config_label): {
                 "metrics": stats_metrics(result.stats)
             }
         },
-    }
+    )
 
 
 def results_snapshot(
@@ -95,12 +124,7 @@ def results_snapshot(
         runs[run_key(result.workload, result.config_label)] = {
             "metrics": stats_metrics(result.stats)
         }
-    return {
-        "schema": SCHEMA,
-        "label": label,
-        "meta": dict(meta or {}),
-        "runs": runs,
-    }
+    return _envelope(label, meta, runs)
 
 
 def matrix_snapshot(
@@ -119,12 +143,7 @@ def matrix_snapshot(
             runs[run_key(workload, config_label)] = {
                 "metrics": stats_metrics(result.stats)
             }
-    return {
-        "schema": SCHEMA,
-        "label": label,
-        "meta": dict(meta or {}),
-        "runs": runs,
-    }
+    return _envelope(label, meta, runs)
 
 
 def write_snapshot(
@@ -137,14 +156,39 @@ def write_snapshot(
 
 
 def load_snapshot(path: Union[str, Path]) -> Dict[str, object]:
-    """Load and schema-check a snapshot file."""
+    """Load and schema-check a snapshot file.
+
+    A snapshot written under a different ``repro-metrics`` schema
+    version (either the ``schema`` suffix or an explicit
+    ``schema_version`` stamp) raises :class:`~repro.errors.
+    SnapshotSchemaError` naming both versions, so ``repro metrics
+    diff`` across incompatible formats fails with an explanation
+    instead of a ``KeyError`` mid-comparison.
+    """
     payload = json.loads(Path(path).read_text())
-    if not isinstance(payload, dict) or payload.get("schema") != SCHEMA:
+    if not isinstance(payload, dict):
+        raise ValueError(f"{path}: not a metrics snapshot object")
+    schema = payload.get("schema")
+    if schema != SCHEMA:
+        if isinstance(schema, str) and schema.startswith(
+            SCHEMA_PREFIX + "/"
+        ):
+            raise SnapshotSchemaError(
+                f"{path}: snapshot was written with schema {schema!r}, "
+                f"but this repro build ({__version__}) reads "
+                f"{SCHEMA!r}; re-generate the snapshot with this build "
+                "or diff it with the repro version that wrote it"
+            )
         raise ValueError(
-            f"{path}: not a {SCHEMA} snapshot "
-            f"(schema={payload.get('schema')!r})"
-            if isinstance(payload, dict)
-            else f"{path}: not a metrics snapshot object"
+            f"{path}: not a {SCHEMA} snapshot (schema={schema!r})"
+        )
+    declared = payload.get("schema_version", SCHEMA_VERSION)
+    if declared != SCHEMA_VERSION:
+        raise SnapshotSchemaError(
+            f"{path}: snapshot declares schema_version {declared!r}, "
+            f"but this repro build ({__version__}) reads version "
+            f"{SCHEMA_VERSION}; re-generate the snapshot with this "
+            "build or diff it with the repro version that wrote it"
         )
     if not isinstance(payload.get("runs"), dict):
         raise ValueError(f"{path}: snapshot has no 'runs' mapping")

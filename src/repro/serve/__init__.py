@@ -1,0 +1,54 @@
+"""repro.serve — the scenario service (DESIGN.md §12).
+
+Three layers, bottom-up:
+
+* :mod:`~repro.serve.fingerprint` — canonical scenario fingerprints,
+  the content address of one simulation outcome;
+* :mod:`~repro.serve.store` — the content-addressed, CRC-checked
+  :class:`ResultStore` of completed runs (corrupt entries quarantined,
+  never served);
+* :mod:`~repro.serve.scheduler` / :mod:`~repro.serve.client` — the
+  sharded async :class:`SweepScheduler` (asyncio front,
+  ``ProcessPoolExecutor`` shards, per-scenario crash isolation,
+  obs-instrumented) and its :class:`SweepClient` front door.
+
+``repro serve sweep`` and ``repro serve status`` are the CLI over this
+package; :meth:`repro.bench.runner.BenchContext.run_matrix` is its
+oldest client.
+"""
+
+from .client import SweepClient
+from .fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_scenario,
+    scenario_fingerprint,
+)
+from .scheduler import (
+    SweepScheduler,
+    SweepTicket,
+    execute_spec,
+    spec_fingerprint,
+    spec_scale,
+)
+from .store import (
+    STORE_SCHEMA,
+    ResultStore,
+    StoreRecord,
+    default_store_root,
+)
+
+__all__ = [
+    "FINGERPRINT_VERSION",
+    "STORE_SCHEMA",
+    "ResultStore",
+    "StoreRecord",
+    "SweepClient",
+    "SweepScheduler",
+    "SweepTicket",
+    "canonical_scenario",
+    "default_store_root",
+    "execute_spec",
+    "scenario_fingerprint",
+    "spec_fingerprint",
+    "spec_scale",
+]

@@ -1,0 +1,133 @@
+"""SweepClient: the scenario service's programmatic front door.
+
+:class:`SweepClient` is what ``repro serve sweep`` is built on, and what
+a notebook or driver script should import: it owns a
+:class:`~repro.api.Session` (trace cache + result store), exposes the
+scheduler's async ``submit()``/``gather()`` pair for callers that want
+to overlap batches, and a synchronous ``sweep()`` for everyone else::
+
+    from repro import ScenarioSpec, SweepClient
+    from repro.sim.config import figure3_configs
+
+    client = SweepClient(store=".result_store", jobs=4)
+    reports = client.sweep(
+        [ScenarioSpec(w, cfg) for w in ("em3d", "gcc")
+         for cfg in figure3_configs().values()]
+    )
+    print(f"{client.cache_hit_rate:.0%} served from the store")
+
+Every sweep dedupes against the content-addressed store first, so a
+rerun of yesterday's matrix costs a directory scan, not a simulation.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..api import RunReport, ScenarioSpec, Session
+from ..obs import MetricsRegistry
+from .scheduler import SweepScheduler, SweepTicket
+from .store import ResultStore, default_store_root
+
+__all__ = ["SweepClient"]
+
+
+class SweepClient:
+    """Submit scenario batches to the sharded, store-backed scheduler."""
+
+    def __init__(
+        self,
+        session: Optional[Session] = None,
+        store: Union[None, str, Path, ResultStore] = None,
+        jobs: Optional[int] = None,
+        quick: Optional[bool] = None,
+        seed: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        progress: bool = False,
+    ) -> None:
+        if session is None:
+            kwargs: Dict[str, object] = {
+                "store": store if store is not None
+                else default_store_root(),
+                "jobs": jobs,
+            }
+            if quick is not None:
+                kwargs["quick"] = quick
+            if seed is not None:
+                kwargs["seed"] = seed
+            session = Session(**kwargs)
+        self.session = session
+        self.scheduler = SweepScheduler(
+            context=session.context,
+            store=session.store,
+            jobs=jobs if jobs is not None else session.jobs,
+            registry=registry,
+            progress_cb=(
+                (lambda msg: print(msg, flush=True)) if progress else None
+            ),
+        )
+
+    # -- async surface --------------------------------------------------- #
+
+    async def submit(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_result: Optional[Callable[[int, RunReport], None]] = None,
+    ) -> SweepTicket:
+        """Validate + launch a batch; completion events stream to
+        *on_result* as ``(submission_index, RunReport)`` pairs."""
+        return await self.scheduler.submit(specs, on_result=on_result)
+
+    async def gather(
+        self, ticket: SweepTicket, raise_errors: bool = True
+    ) -> List[RunReport]:
+        """Await a submitted batch; reports in submission order."""
+        return await self.scheduler.gather(
+            ticket, raise_errors=raise_errors
+        )
+
+    # -- sync surface ----------------------------------------------------- #
+
+    def sweep(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_result: Optional[Callable[[int, RunReport], None]] = None,
+        raise_errors: bool = True,
+    ) -> List[RunReport]:
+        """Submit + gather one batch synchronously."""
+        return self.scheduler.sweep(
+            specs, on_result=on_result, raise_errors=raise_errors
+        )
+
+    def run(self, spec: ScenarioSpec) -> RunReport:
+        """One scenario through the session (store-checked)."""
+        return self.session.run(spec)
+
+    # -- introspection ---------------------------------------------------- #
+
+    @property
+    def store(self) -> Optional[ResultStore]:
+        return self.session.store
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of submitted scenarios served without simulating."""
+        return self.scheduler.cache_hit_rate
+
+    @property
+    def registry(self) -> MetricsRegistry:
+        """The scheduler's obs registry (queue depth, hits, wall times)."""
+        return self.scheduler.registry
+
+    def status(self) -> Dict[str, object]:
+        """Store inventory plus this client's sweep counters."""
+        status = dict(self.session.status())
+        status.update(
+            submitted=self.scheduler.submitted.value,
+            store_hits=self.scheduler.store_hits.value,
+            deduped=self.scheduler.deduped.value,
+            simulated=self.scheduler.simulated.value,
+            failed=self.scheduler.failed.value,
+        )
+        return status

@@ -1,0 +1,99 @@
+"""Canonical scenario fingerprints: the result store's content address.
+
+A *fingerprint* names the simulation outcome of one scenario — one
+``(workload spec, trace generation params, SystemConfig)`` point — such
+that two scenarios share a fingerprint **iff** they are guaranteed to
+produce bit-identical :class:`~repro.sim.stats.RunStats`.  That is the
+whole contract of the content-addressed store: a hit may be served
+without simulating, so the fingerprint must include everything that can
+change a result and exclude everything that provably cannot.
+
+Canonicalization rules (DESIGN.md §12):
+
+* the :class:`~repro.sim.config.SystemConfig` tree is serialised with
+  ``dataclasses.asdict`` and dumped as sorted-key JSON, so field order,
+  nesting, and tuple-vs-list spelling never perturb the hash;
+* **result-irrelevant knobs are stripped**: ``engine`` (the scalar and
+  vector engines are bit-identical by construction, gated by the
+  equivalence suite), ``sanitize`` (read-only invariant audits), and
+  ``obs`` (event tracing keeps RunStats bit-identical).  A checkpoint
+  written by a vector run must be a cache hit for a scalar rerun;
+* trace generation is pinned by ``(workload name, input scale, seed)``
+  — exactly the trace cache's key — and multiprogrammed mixes
+  additionally pin their scheduling shape ``(quantum_refs,
+  switch_cost)``;
+* a ``fingerprint_version`` field salts the hash so any future change
+  to these rules invalidates every old address instead of aliasing it.
+
+Per-run *budgets* (``max_references``) are deliberately excluded: a
+budget can only abort a run, never change a completed result.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+from typing import Dict, Optional, Sequence, Tuple, Union
+
+from ..sim.config import SystemConfig
+
+#: Bump whenever canonicalization rules change; stale addresses must
+#: miss, never alias.
+FINGERPRINT_VERSION = 1
+
+#: Top-level SystemConfig fields that provably never change RunStats.
+RESULT_IRRELEVANT_FIELDS: Tuple[str, ...] = ("engine", "sanitize", "obs")
+
+
+def canonical_config(config: SystemConfig) -> Dict[str, object]:
+    """The config as a plain, result-relevant, JSON-ready tree."""
+    tree = dataclasses.asdict(config)
+    for name in RESULT_IRRELEVANT_FIELDS:
+        tree.pop(name, None)
+    return tree
+
+
+def canonical_scenario(
+    workload: Union[str, Sequence[str]],
+    config: SystemConfig,
+    scale: Union[float, Sequence[float]],
+    seed: int,
+    quantum_refs: Optional[int] = None,
+    switch_cost: Optional[int] = None,
+) -> Dict[str, object]:
+    """The full canonical document a fingerprint hashes.
+
+    *scale* is one float for a single workload, or one float per mix
+    member.  Kept public (and stored alongside each entry) so a human
+    can read *why* two scenarios did or did not collide.
+    """
+    is_mix = not isinstance(workload, str)
+    doc: Dict[str, object] = {
+        "fingerprint_version": FINGERPRINT_VERSION,
+        "workload": list(workload) if is_mix else workload,
+        "scale": list(scale) if is_mix else scale,
+        "seed": seed,
+        "config": canonical_config(config),
+    }
+    if is_mix:
+        doc["quantum_refs"] = quantum_refs
+        doc["switch_cost"] = switch_cost
+    return doc
+
+
+def scenario_fingerprint(
+    workload: Union[str, Sequence[str]],
+    config: SystemConfig,
+    scale: Union[float, Sequence[float]],
+    seed: int,
+    quantum_refs: Optional[int] = None,
+    switch_cost: Optional[int] = None,
+) -> str:
+    """SHA-256 hex address of one scenario's canonical document."""
+    doc = canonical_scenario(
+        workload, config, scale, seed,
+        quantum_refs=quantum_refs, switch_cost=switch_cost,
+    )
+    blob = json.dumps(doc, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()

@@ -1,0 +1,553 @@
+"""Sharded async sweep scheduler: batches of scenarios, deduped and cached.
+
+The scheduler is the scenario service's execution core (DESIGN.md §12).
+One sweep moves through four stages:
+
+1. **validate** — every spec is checked up front
+   (:func:`repro.api.validate_spec`), so a bad ``--jobs``/``--engine``
+   combination fails fast in the submitting process, never inside a
+   worker;
+2. **dedupe** — each spec is fingerprinted
+   (:mod:`repro.serve.fingerprint`); store hits are served immediately,
+   and duplicate fingerprints *within* the batch collapse onto one
+   pending execution (submitted twice, simulated once);
+3. **shard** — the remaining unique scenarios are round-robin sharded
+   across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each
+   shard runs its scenarios serially with **per-scenario crash
+   isolation**: a scenario that raises is reported as a picklable
+   exception record while the rest of the shard keeps going, so one
+   pathological cell never voids a shard's completed work;
+4. **commit** — completed scenarios are written to the content-addressed
+   store and streamed to the caller's ``on_result`` callback as they
+   arrive (partial-progress commits: a killed sweep resumes as store
+   cache hits).
+
+The front is ``asyncio`` (``await submit(...)`` / ``await gather(...)``)
+so a service embedding the scheduler can overlap sweeps; the synchronous
+:meth:`SweepScheduler.sweep` wrapper drives one batch to completion.
+With ``jobs <= 1`` scenarios run serially in-process, in submission
+order — the path ``BenchContext.run_matrix`` uses for checkpointed
+serial matrices.
+
+Everything the scheduler observes is exported through
+:class:`~repro.obs.MetricsRegistry` instruments: submitted / store-hit /
+deduped / simulated / failed counters, a live queue-depth gauge, and a
+shard wall-time histogram.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import dataclasses
+import pickle
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..api import RunReport, ScenarioSpec, validate_spec
+from ..bench.runner import BenchContext
+from ..obs import MetricsRegistry
+from ..sim.multiprog import run_job_mix
+from ..sim.results import RunResult
+from ..sim.stats import RunStats
+from .fingerprint import canonical_scenario, scenario_fingerprint
+from .store import ResultStore
+
+__all__ = [
+    "SweepScheduler",
+    "SweepTicket",
+    "execute_spec",
+    "spec_fingerprint",
+    "spec_scale",
+]
+
+#: Shard wall-time histogram edges, in seconds.
+SHARD_WALL_EDGES = (0.1, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0, 300.0)
+
+
+# ====================================================================== #
+# Spec execution (shared by the serial path, the workers, and Session)
+# ====================================================================== #
+
+
+def spec_scale(spec: ScenarioSpec, context: BenchContext):
+    """The spec's resolved input scale: one float, or one per mix
+    member (the shape :func:`~repro.serve.fingerprint.
+    canonical_scenario` expects)."""
+    if spec.is_mix:
+        return [
+            spec.scale if spec.scale is not None else context.scale_of(w)
+            for w in spec.workloads
+        ]
+    return (
+        spec.scale if spec.scale is not None
+        else context.scale_of(spec.workload)
+    )
+
+
+def spec_fingerprint(
+    spec: ScenarioSpec, context: BenchContext
+) -> Optional[str]:
+    """The spec's store address, or None when it must not be cached.
+
+    Observability runs carry artifacts (event logs, attribution) that
+    the store does not hold, and sanitize runs exist to *execute* the
+    invariant audits — serving either from the store would silently
+    skip what the user asked for, so both always simulate.
+    """
+    config = spec.config
+    if config.obs.enabled:
+        return None
+    if config.sanitize or context.sanitize:
+        return None
+    if spec.is_mix:
+        return scenario_fingerprint(
+            spec.workload, config, spec_scale(spec, context), spec.seed,
+            quantum_refs=spec.quantum_refs,
+            switch_cost=spec.switch_cost,
+        )
+    return scenario_fingerprint(
+        spec.workload, config, spec_scale(spec, context), spec.seed
+    )
+
+
+def _apply_scales(context: BenchContext, spec: ScenarioSpec) -> None:
+    """Pin the context's scales to the spec's explicit override.
+
+    The context's in-memory trace cache is keyed by workload name only,
+    so a changed scale must also drop the stale cached trace.
+    """
+    if spec.scale is None:
+        return
+    for name in spec.workloads:
+        if context.scales.get(name) != spec.scale:
+            context.scales[name] = spec.scale
+            context._traces.pop(name, None)
+
+
+def execute_spec(context: BenchContext, spec: ScenarioSpec) -> RunResult:
+    """Simulate one spec on *context*; the single execution funnel.
+
+    Single workloads go through :meth:`BenchContext.run` (which applies
+    the context's engine/sanitize overrides and the reference budget);
+    mixes build a :class:`~repro.sim.multiprog.MultiProgram` over the
+    context's cached traces with the same overrides applied.
+    """
+    _apply_scales(context, spec)
+    saved_budget = context.max_references
+    if spec.max_references is not None:
+        context.max_references = spec.max_references
+    try:
+        config = spec.resolved_config()
+        if not spec.is_mix:
+            return context.run(spec.workload, config)
+        if context.engine is not None and config.engine != context.engine:
+            config = dataclasses.replace(config, engine=context.engine)
+        if context.sanitize and not config.sanitize:
+            config = dataclasses.replace(config, sanitize=True)
+        traces = [context.trace(name) for name in spec.workloads]
+        multi = run_job_mix(
+            config,
+            traces,
+            quantum_refs=spec.quantum_refs,
+            switch_cost=spec.switch_cost,
+        )
+        return multi.result
+    finally:
+        context.max_references = saved_budget
+
+
+def _picklable(exc: BaseException) -> BaseException:
+    """The exception itself if it survives pickling, else a summary.
+
+    The repo's typed errors define ``__reduce__`` and round-trip; this
+    guards third-party/ad-hoc exceptions so a shard's *other* results
+    are never lost to one unpicklable failure object.
+    """
+    try:
+        pickle.loads(pickle.dumps(exc))
+        return exc
+    except Exception:  # noqa: BLE001 - any pickling failure
+        return RuntimeError(f"{type(exc).__name__}: {exc}")
+
+
+def _shard_task(ctx_kwargs: dict, payload: List[tuple]):
+    """Worker-process entry: run one shard's scenarios serially.
+
+    Module-level (picklable) for every multiprocessing start method.
+    *payload* is ``[(index, spec), ...]``; returns ``(outcomes,
+    wall_seconds)`` where each outcome is ``(index, stats_dict,
+    metrics, error)`` — per-scenario crash isolation means an error
+    outcome never aborts the shard's remaining scenarios.
+    """
+    start = time.perf_counter()
+    context = BenchContext(**ctx_kwargs)
+    outcomes = []
+    for index, spec in payload:
+        try:
+            result = execute_spec(context, spec)
+            outcomes.append(
+                (
+                    index,
+                    dataclasses.asdict(result.stats),
+                    result.metrics,
+                    None,
+                )
+            )
+        except Exception as exc:  # noqa: BLE001 - isolation boundary
+            outcomes.append((index, None, None, _picklable(exc)))
+    return outcomes, time.perf_counter() - start
+
+
+# ====================================================================== #
+# The scheduler
+# ====================================================================== #
+
+
+@dataclass
+class _Entry:
+    """One submitted spec's lifecycle inside a ticket."""
+
+    index: int
+    spec: ScenarioSpec
+    fingerprint: Optional[str]
+    report: Optional[RunReport] = None
+    error: Optional[BaseException] = None
+    #: The entry this one deduplicated onto (same fingerprint, earlier
+    #: in the batch); resolved at assembly time.
+    primary: Optional["_Entry"] = None
+
+
+@dataclass
+class SweepTicket:
+    """Handle for one submitted batch, consumed by ``gather``."""
+
+    entries: List[_Entry]
+    #: Entries that need simulation, in submission order.
+    to_run: List[_Entry] = field(default_factory=list)
+    #: Pool-mode shard tasks (awaitables) and their entry groups.
+    tasks: List[object] = field(default_factory=list)
+    shards: List[List[_Entry]] = field(default_factory=list)
+    executor: Optional[object] = None
+    on_result: Optional[Callable[[int, RunReport], None]] = None
+    gathered: bool = False
+
+
+class SweepScheduler:
+    """Sharded, store-deduplicating scenario scheduler (DESIGN.md §12)."""
+
+    def __init__(
+        self,
+        context: Optional[BenchContext] = None,
+        store: Optional[ResultStore] = None,
+        jobs: Optional[int] = None,
+        registry: Optional[MetricsRegistry] = None,
+        progress_cb: Optional[Callable[[str], None]] = None,
+    ) -> None:
+        self.context = context if context is not None else BenchContext()
+        self.store = store
+        self.jobs = jobs if jobs is not None else (self.context.jobs or 1)
+        self.registry = registry or MetricsRegistry()
+        self.progress_cb = progress_cb
+        reg = self.registry
+        self.submitted = reg.counter("serve.submitted")
+        self.store_hits = reg.counter("serve.store_hits")
+        self.deduped = reg.counter("serve.deduped")
+        self.simulated = reg.counter("serve.simulated")
+        self.failed = reg.counter("serve.failed")
+        self.queue_depth = reg.gauge("serve.queue_depth")
+        self.shard_wall = reg.histogram(
+            "serve.shard_wall_seconds", SHARD_WALL_EDGES
+        )
+
+    # -- helpers --------------------------------------------------------- #
+
+    def _log(self, message: str) -> None:
+        if self.progress_cb is not None:
+            self.progress_cb(message)
+
+    @property
+    def cache_hit_rate(self) -> float:
+        """Fraction of submitted scenarios served without simulating."""
+        total = self.submitted.value
+        if not total:
+            return 0.0
+        return (self.store_hits.value + self.deduped.value) / total
+
+    def _ctx_kwargs(self) -> dict:
+        ctx = self.context
+        return {
+            "quick": ctx.quick,
+            "scales": ctx.scales,
+            "cache_dir": ctx.cache_dir,
+            "seed": ctx.seed,
+            "max_references": ctx.max_references,
+            "engine": ctx.engine,
+            "sanitize": ctx.sanitize,
+        }
+
+    def _commit(self, entry: _Entry, ticket: SweepTicket) -> None:
+        """Persist + stream one completed entry."""
+        report = entry.report
+        if (
+            self.store is not None
+            and entry.fingerprint is not None
+            and report is not None
+            and report.stats is not None
+            and not report.cache_hit
+        ):
+            spec = entry.spec
+            scale = spec_scale(spec, self.context)
+            self.store.put(
+                entry.fingerprint,
+                workload="+".join(spec.workloads),
+                config_label=spec.config.label,
+                stats=report.stats,
+                metrics=report.metrics,
+                meta={
+                    "seed": spec.seed,
+                    "quick": self.context.quick,
+                    "scale": scale,
+                },
+                scenario=canonical_scenario(
+                    spec.workload,
+                    spec.config,
+                    scale,
+                    spec.seed,
+                    quantum_refs=(
+                        spec.quantum_refs if spec.is_mix else None
+                    ),
+                    switch_cost=(
+                        spec.switch_cost if spec.is_mix else None
+                    ),
+                ),
+            )
+        if ticket.on_result is not None and report is not None:
+            ticket.on_result(entry.index, report)
+
+    # -- async surface --------------------------------------------------- #
+
+    async def submit(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_result: Optional[Callable[[int, RunReport], None]] = None,
+    ) -> SweepTicket:
+        """Validate, dedupe, and launch a batch; returns its ticket.
+
+        Store hits are resolved (and streamed to *on_result*)
+        immediately; with ``jobs > 1`` shard workers start right away,
+        otherwise execution happens during ``gather``.
+        """
+        specs = list(specs)
+        for spec in specs:  # fail fast, before any work starts
+            validate_spec(spec)
+        entries: List[_Entry] = []
+        pending: Dict[str, _Entry] = {}
+        ticket = SweepTicket(entries=entries, on_result=on_result)
+        for index, spec in enumerate(specs):
+            self.submitted.inc()
+            fingerprint = spec_fingerprint(spec, self.context)
+            entry = _Entry(index, spec, fingerprint)
+            entries.append(entry)
+            if fingerprint is not None and self.store is not None:
+                record = self.store.get(fingerprint)
+                if record is not None:
+                    entry.report = RunReport(
+                        spec=spec,
+                        stats=record.run_stats(),
+                        fingerprint=fingerprint,
+                        cache_hit=True,
+                        metrics=record.metrics,
+                    )
+                    self.store_hits.inc()
+                    self._log(f"  store hit: {spec.label}")
+                    self._commit(entry, ticket)
+                    continue
+            if fingerprint is not None and fingerprint in pending:
+                entry.primary = pending[fingerprint]
+                self.deduped.inc()
+                continue
+            if fingerprint is not None:
+                pending[fingerprint] = entry
+            ticket.to_run.append(entry)
+        self.queue_depth.set(len(ticket.to_run))
+        if not ticket.to_run:
+            return ticket
+
+        jobs = max(1, self.jobs)
+        if jobs > 1 and len(ticket.to_run) > 1:
+            # Pre-warm the on-disk trace cache in the parent so N
+            # workers never race to generate the same trace.
+            for entry in ticket.to_run:
+                _apply_scales(self.context, entry.spec)
+            for name in dict.fromkeys(
+                name
+                for entry in ticket.to_run
+                for name in entry.spec.workloads
+            ):
+                self.context.trace(name)
+            import concurrent.futures
+
+            workers = min(jobs, len(ticket.to_run))
+            ticket.shards = [[] for _ in range(workers)]
+            for position, entry in enumerate(ticket.to_run):
+                ticket.shards[position % workers].append(entry)
+            ticket.executor = concurrent.futures.ProcessPoolExecutor(
+                workers
+            )
+            loop = asyncio.get_running_loop()
+            ctx_kwargs = self._ctx_kwargs()
+            self._log(
+                f"  running {len(ticket.to_run)} scenario(s) on "
+                f"{workers} shard(s)..."
+            )
+            for shard in ticket.shards:
+                payload = [(e.index, e.spec) for e in shard]
+                ticket.tasks.append(
+                    loop.run_in_executor(
+                        ticket.executor, _shard_task, ctx_kwargs, payload
+                    )
+                )
+        return ticket
+
+    async def gather(
+        self, ticket: SweepTicket, raise_errors: bool = True
+    ) -> List[RunReport]:
+        """Drive a ticket to completion; reports in submission order.
+
+        With *raise_errors* (the default) the first failed scenario's
+        original exception is re-raised — after every completed
+        scenario has been committed, so a rerun resumes from the store.
+        Otherwise failures surface as ``RunReport.error`` entries.
+        """
+        if ticket.gathered:
+            raise RuntimeError("ticket was already gathered")
+        ticket.gathered = True
+        if ticket.tasks:
+            await self._gather_pool(ticket, raise_errors)
+        else:
+            self._run_serial(ticket, raise_errors)
+        self.queue_depth.set(0)
+        # Resolve dedupe references and assemble in submission order.
+        reports: List[RunReport] = []
+        first_error: Optional[BaseException] = None
+        for entry in ticket.entries:
+            if entry.primary is not None:
+                primary = entry.primary
+                if primary.report is not None:
+                    entry.report = dataclasses.replace(
+                        primary.report, spec=entry.spec, cache_hit=True
+                    )
+                else:
+                    entry.error = primary.error
+                self._commit(entry, ticket)
+            if entry.report is None:
+                error = entry.error or RuntimeError(
+                    "scenario was never executed"
+                )
+                if first_error is None:
+                    first_error = error
+                entry.report = RunReport(
+                    spec=entry.spec,
+                    stats=None,
+                    fingerprint=entry.fingerprint,
+                    error=error,
+                )
+            reports.append(entry.report)
+        if raise_errors and first_error is not None:
+            raise first_error
+        return reports
+
+    def _run_serial(
+        self, ticket: SweepTicket, raise_errors: bool
+    ) -> None:
+        """In-process execution, submission order, commit-per-scenario."""
+        remaining = len(ticket.to_run)
+        for entry in ticket.to_run:
+            spec = entry.spec
+            self._log(f"  running {spec.label}...")
+            start = time.perf_counter()
+            try:
+                result = execute_spec(self.context, spec)
+            except Exception as exc:  # noqa: BLE001 - isolation boundary
+                self.failed.inc()
+                entry.error = exc
+                if raise_errors:
+                    self.queue_depth.set(0)
+                    raise
+                remaining -= 1
+                self.queue_depth.set(remaining)
+                continue
+            entry.report = RunReport(
+                spec=spec,
+                stats=result.stats,
+                fingerprint=entry.fingerprint,
+                cache_hit=False,
+                metrics=result.metrics,
+                wall_seconds=time.perf_counter() - start,
+            )
+            self.simulated.inc()
+            remaining -= 1
+            self.queue_depth.set(remaining)
+            self._commit(entry, ticket)
+
+    async def _gather_pool(
+        self, ticket: SweepTicket, raise_errors: bool
+    ) -> None:
+        """Await every shard; commit outcomes as shards complete."""
+        by_index = {e.index: e for e in ticket.to_run}
+        remaining = len(ticket.to_run)
+        pool_error: Optional[BaseException] = None
+        try:
+            for task in asyncio.as_completed(ticket.tasks):
+                try:
+                    outcomes, wall = await task
+                except Exception as exc:  # noqa: BLE001 - pool death
+                    # The pool itself broke (a worker was OOM-killed,
+                    # say); keep draining the remaining tasks so their
+                    # exceptions are retrieved, then fail what's left.
+                    pool_error = exc
+                    continue
+                self.shard_wall.observe(wall)
+                for index, stats, metrics, error in outcomes:
+                    entry = by_index[index]
+                    if error is not None:
+                        entry.error = error
+                        self.failed.inc()
+                    else:
+                        entry.report = RunReport(
+                            spec=entry.spec,
+                            stats=RunStats(**stats),
+                            fingerprint=entry.fingerprint,
+                            cache_hit=False,
+                            metrics=metrics,
+                        )
+                        self.simulated.inc()
+                        self._commit(entry, ticket)
+                        self._log(f"  finished {entry.spec.label}")
+                    remaining -= 1
+                    self.queue_depth.set(remaining)
+        finally:
+            if ticket.executor is not None:
+                ticket.executor.shutdown(wait=True)
+        if pool_error is not None:
+            for entry in ticket.to_run:
+                if entry.report is None and entry.error is None:
+                    entry.error = pool_error
+                    self.failed.inc()
+
+    # -- sync wrapper ----------------------------------------------------- #
+
+    def sweep(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_result: Optional[Callable[[int, RunReport], None]] = None,
+        raise_errors: bool = True,
+    ) -> List[RunReport]:
+        """Submit + gather one batch synchronously."""
+
+        async def _run() -> List[RunReport]:
+            ticket = await self.submit(specs, on_result=on_result)
+            return await self.gather(ticket, raise_errors=raise_errors)
+
+        return asyncio.run(_run())

@@ -1,0 +1,330 @@
+"""Content-addressed result store: completed scenarios, never resimulated.
+
+One *entry* per scenario fingerprint (:mod:`repro.serve.fingerprint`),
+stored as two files under ``<root>/<fp[:2]>/``:
+
+* ``<fp>.json`` — a schema-versioned record: the workload/config
+  identity, the scenario's canonical document (so a human can audit why
+  it hashed where it did), the full ``RunStats`` field mapping, and
+  provenance meta.  The record embeds a CRC32 ``checksum`` over its own
+  canonical JSON (the trace-cache pattern from :mod:`repro.trace.io`);
+* ``<fp>.npz`` — optional payload holding the run's full
+  metrics-registry mapping as numpy arrays, CRC-checked through the
+  record (``payload.crc``).
+
+Reads verify every checksum.  A corrupt entry is **quarantined** — both
+files are moved into ``<root>/quarantine/`` with a RuntimeWarning — and
+reported as a miss, so the scheduler regenerates the result; the store
+never serves bytes it cannot vouch for.  Writes are atomic
+(tmp + ``os.replace``), so a killed writer leaves either the old entry
+or none.
+
+The store is safe for concurrent readers plus one writer per entry:
+entries are immutable once written (content-addressed), and a racing
+double-write of the same fingerprint writes identical bytes.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import warnings
+import zlib
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterator, Mapping, Optional, Union
+
+import numpy as np
+
+from .._version import __version__
+from ..errors import ResultStoreCorrupt
+from ..sim.stats import RunStats
+
+#: The store's record schema; version-bumped on layout changes.
+STORE_SCHEMA = "repro-results/1"
+STORE_SCHEMA_VERSION = 1
+
+#: Default store root (overridable per store and via the CLI).
+DEFAULT_STORE_ENV = "REPRO_RESULT_STORE"
+DEFAULT_STORE_DIR = ".result_store"
+
+
+def default_store_root() -> Path:
+    """The store directory the CLI uses: env override or the default."""
+    env = os.environ.get(DEFAULT_STORE_ENV)
+    return Path(env) if env else Path(DEFAULT_STORE_DIR)
+
+
+@dataclass
+class StoreRecord:
+    """One verified store entry, ready to rebuild a result from."""
+
+    fingerprint: str
+    workload: str
+    config_label: str
+    stats: Dict[str, object]
+    metrics: Optional[Dict[str, float]] = None
+    meta: Dict[str, object] = field(default_factory=dict)
+
+    def run_stats(self) -> RunStats:
+        return RunStats(**self.stats)
+
+
+def _record_checksum(record: Mapping[str, object]) -> int:
+    """CRC32 over the record's canonical JSON, ``checksum`` excluded."""
+    body = {k: v for k, v in record.items() if k != "checksum"}
+    blob = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return zlib.crc32(blob.encode("utf-8")) & 0xFFFFFFFF
+
+
+def _metrics_checksum(names: bytes, values: np.ndarray) -> int:
+    crc = zlib.crc32(names)
+    crc = zlib.crc32(np.ascontiguousarray(values).tobytes(), crc)
+    return crc & 0xFFFFFFFF
+
+
+class ResultStore:
+    """Content-addressed, CRC-checked store of completed run results."""
+
+    def __init__(self, root: Union[str, Path]) -> None:
+        self.root = Path(root)
+
+    # ------------------------------------------------------------------ #
+    # Paths
+    # ------------------------------------------------------------------ #
+
+    def record_path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.json"
+
+    def payload_path(self, fingerprint: str) -> Path:
+        return self.root / fingerprint[:2] / f"{fingerprint}.npz"
+
+    @property
+    def quarantine_dir(self) -> Path:
+        return self.root / "quarantine"
+
+    # ------------------------------------------------------------------ #
+    # Writing
+    # ------------------------------------------------------------------ #
+
+    def put(
+        self,
+        fingerprint: str,
+        workload: str,
+        config_label: str,
+        stats: Union[RunStats, Mapping[str, object]],
+        metrics: Optional[Mapping[str, float]] = None,
+        meta: Optional[Mapping[str, object]] = None,
+        scenario: Optional[Mapping[str, object]] = None,
+    ) -> Path:
+        """Persist one completed scenario; returns the record path.
+
+        Atomic per file; the payload lands before the record, so a
+        record on disk always has its payload (a record killed between
+        the two is absent and the entry reads as a miss).
+        """
+        if isinstance(stats, RunStats):
+            stats = dataclasses.asdict(stats)
+        path = self.record_path(fingerprint)
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return path  # read-only filesystem: run uncached
+        payload: Dict[str, object] = {"metrics": False, "crc": None}
+        if metrics:
+            names = json.dumps(
+                sorted(metrics), separators=(",", ":")
+            ).encode("utf-8")
+            values = np.array(
+                [float(metrics[k]) for k in sorted(metrics)],
+                dtype=np.float64,
+            )
+            payload = {
+                "metrics": True,
+                "crc": _metrics_checksum(names, values),
+            }
+            ppath = self.payload_path(fingerprint)
+            ptmp = ppath.with_name(ppath.name + ".tmp")
+            try:
+                with open(ptmp, "wb") as fh:
+                    np.savez_compressed(
+                        fh,
+                        names=np.frombuffer(names, dtype=np.uint8),
+                        values=values,
+                    )
+                os.replace(ptmp, ppath)
+            except OSError:
+                payload = {"metrics": False, "crc": None}
+        record: Dict[str, object] = {
+            "schema": STORE_SCHEMA,
+            "schema_version": STORE_SCHEMA_VERSION,
+            "repro_version": __version__,
+            "fingerprint": fingerprint,
+            "workload": workload,
+            "config_label": config_label,
+            "stats": dict(stats),
+            "meta": dict(meta or {}),
+            "scenario": dict(scenario) if scenario is not None else None,
+            "payload": payload,
+        }
+        record["checksum"] = _record_checksum(record)
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            tmp.write_text(json.dumps(record, sort_keys=True))
+            os.replace(tmp, path)
+        except OSError:
+            pass  # read-only filesystem: run uncached
+        return path
+
+    # ------------------------------------------------------------------ #
+    # Reading
+    # ------------------------------------------------------------------ #
+
+    def get(self, fingerprint: str) -> Optional[StoreRecord]:
+        """Fetch and verify one entry; None on miss or quarantine."""
+        path = self.record_path(fingerprint)
+        if not path.exists():
+            return None
+        try:
+            record = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            self._quarantine(fingerprint, f"unreadable record ({exc})")
+            return None
+        if not isinstance(record, dict) or record.get("schema") != (
+            STORE_SCHEMA
+        ):
+            version = (
+                record.get("schema_version")
+                if isinstance(record, dict) else None
+            )
+            if isinstance(version, int) and (
+                version != STORE_SCHEMA_VERSION
+            ):
+                # A future/past format, not corruption: leave the file
+                # alone for the build that understands it.
+                warnings.warn(
+                    f"result-store entry {path} has schema version "
+                    f"{version}, this build reads "
+                    f"{STORE_SCHEMA_VERSION}; treating as a miss",
+                    RuntimeWarning,
+                )
+                return None
+            self._quarantine(fingerprint, "unrecognised record schema")
+            return None
+        if record.get("checksum") != _record_checksum(record):
+            self._quarantine(fingerprint, "record checksum mismatch")
+            return None
+        if record.get("fingerprint") != fingerprint:
+            self._quarantine(fingerprint, "fingerprint/path mismatch")
+            return None
+        stats = record.get("stats")
+        known = set(RunStats.__dataclass_fields__)
+        if not isinstance(stats, dict) or set(stats) - known:
+            self._quarantine(fingerprint, "unknown RunStats fields")
+            return None
+        metrics: Optional[Dict[str, float]] = None
+        payload = record.get("payload") or {}
+        if payload.get("metrics"):
+            metrics = self._read_payload(fingerprint, payload)
+            if metrics is None:
+                return None  # payload corrupt: whole entry quarantined
+        return StoreRecord(
+            fingerprint=fingerprint,
+            workload=record.get("workload", ""),
+            config_label=record.get("config_label", ""),
+            stats=stats,
+            metrics=metrics,
+            meta=record.get("meta") or {},
+        )
+
+    def _read_payload(
+        self, fingerprint: str, payload: Mapping[str, object]
+    ) -> Optional[Dict[str, float]]:
+        ppath = self.payload_path(fingerprint)
+        try:
+            with np.load(ppath) as data:
+                names_raw = bytes(data["names"].tobytes())
+                values = np.array(data["values"], dtype=np.float64)
+        except Exception as exc:  # noqa: BLE001 - any npz failure
+            self._quarantine(fingerprint, f"unreadable payload ({exc})")
+            return None
+        if _metrics_checksum(names_raw, values) != payload.get("crc"):
+            self._quarantine(fingerprint, "payload checksum mismatch")
+            return None
+        try:
+            names = json.loads(names_raw.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            self._quarantine(fingerprint, f"bad payload names ({exc})")
+            return None
+        if len(names) != len(values):
+            self._quarantine(fingerprint, "payload name/value mismatch")
+            return None
+        return {
+            name: value.item() for name, value in zip(names, values)
+        }
+
+    def _quarantine(self, fingerprint: str, reason: str) -> None:
+        """Move a bad entry aside (never serve, never silently delete)."""
+        warnings.warn(
+            str(ResultStoreCorrupt(self.record_path(fingerprint), reason))
+            + "; quarantining and regenerating",
+            RuntimeWarning,
+        )
+        try:
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+        except OSError:
+            return
+        for path in (
+            self.record_path(fingerprint), self.payload_path(fingerprint)
+        ):
+            if path.exists():
+                try:
+                    os.replace(path, self.quarantine_dir / path.name)
+                except OSError:
+                    pass
+
+    # ------------------------------------------------------------------ #
+    # Inventory
+    # ------------------------------------------------------------------ #
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return self.record_path(fingerprint).exists()
+
+    def keys(self) -> Iterator[str]:
+        """Every stored fingerprint (unverified; ``get`` verifies)."""
+        if not self.root.exists():
+            return
+        for shard in sorted(self.root.iterdir()):
+            if shard.name == "quarantine" or not shard.is_dir():
+                continue
+            for path in sorted(shard.glob("*.json")):
+                yield path.stem
+
+    def status(self) -> Dict[str, object]:
+        """Inventory summary for ``repro serve status``."""
+        entries = 0
+        total_bytes = 0
+        if self.root.exists():
+            for shard in self.root.iterdir():
+                if shard.name == "quarantine" or not shard.is_dir():
+                    continue
+                for path in shard.iterdir():
+                    if path.suffix == ".json":
+                        entries += 1
+                    try:
+                        total_bytes += path.stat().st_size
+                    except OSError:
+                        pass
+        quarantined = 0
+        if self.quarantine_dir.exists():
+            quarantined = sum(
+                1 for p in self.quarantine_dir.glob("*.json")
+            )
+        return {
+            "root": str(self.root),
+            "schema": STORE_SCHEMA,
+            "entries": entries,
+            "bytes": total_bytes,
+            "quarantined": quarantined,
+        }

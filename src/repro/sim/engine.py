@@ -92,6 +92,7 @@ __all__ = [
     "resolve_engine",
     "run_segment_scalar",
     "run_segment_vector",
+    "vector_config_supported",
     "vector_supported",
 ]
 
@@ -116,6 +117,27 @@ def vector_supported(system: "System") -> Tuple[bool, str]:
         return False, "cache is not direct-mapped"
     if system.fault_plan is not None:
         return False, "a fault plan is active"
+    return True, ""
+
+
+def vector_config_supported(config) -> Tuple[bool, str]:
+    """Config-level mirror of :func:`vector_supported`.
+
+    Lets the scenario scheduler (``repro.serve``) reject an
+    ``engine='vector'`` spec *before* any shard worker is spawned —
+    the same predicates :func:`vector_supported` applies to a built
+    machine, read off the :class:`~repro.sim.config.SystemConfig`
+    (``build_cache`` returns a set-associative model iff
+    ``associativity != 1``, and a fault plan exists iff
+    ``faults.enabled``).
+    """
+    if config.cache.associativity != 1:
+        return False, "cache is not direct-mapped"
+    if config.faults.enabled:
+        return False, (
+            "a fault plan is active (fault injection forces the "
+            "scalar engine)"
+        )
     return True, ""
 
 

@@ -17,6 +17,7 @@ kernel operation go through the ordinary component APIs either way.
 
 from __future__ import annotations
 
+import warnings
 from typing import Dict, List, Optional, Tuple
 
 from ..core.addrspace import BASE_PAGE_SHIFT, BASE_PAGE_SIZE, CACHE_LINE_SIZE
@@ -711,5 +712,19 @@ class System:
 
 
 def simulate(trace: Trace, config: SystemConfig) -> RunResult:
-    """Build a fresh machine for *config* and run *trace* on it."""
+    """Build a fresh machine for *config* and run *trace* on it.
+
+    .. deprecated:: 1.1
+        ``simulate`` predates the typed facade; new code should use
+        :func:`repro.api.run` with a :class:`repro.api.ScenarioSpec`
+        (same machine, same trace path, bit-identical results, plus
+        store-backed caching).  This shim stays for existing callers.
+    """
+    warnings.warn(
+        "repro.sim.system.simulate() is deprecated; use "
+        "repro.api.run(ScenarioSpec(...)) — results are bit-identical "
+        "and sweeps gain content-addressed caching",
+        DeprecationWarning,
+        stacklevel=2,
+    )
     return System(config).run(trace)

@@ -1,0 +1,212 @@
+"""Unit tests: scenario fingerprints and the content-addressed store.
+
+The store's contract: a hit may be served without simulating, so the
+fingerprint must separate everything result-relevant and collapse
+everything result-irrelevant — and a read must never return bytes it
+cannot vouch for (corrupt entries are quarantined and regenerated).
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.errors import SpecValidationError
+from repro.serve.fingerprint import (
+    FINGERPRINT_VERSION,
+    canonical_config,
+    canonical_scenario,
+    scenario_fingerprint,
+)
+from repro.serve.store import STORE_SCHEMA, ResultStore, StoreRecord
+from repro.sim.config import paper_base, paper_mtlb, paper_no_mtlb
+from repro.sim.stats import RunStats
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        a = scenario_fingerprint("em3d", paper_mtlb(96), 0.25, 1998)
+        b = scenario_fingerprint("em3d", paper_mtlb(96), 0.25, 1998)
+        assert a == b
+        assert len(a) == 64  # sha256 hex
+
+    def test_result_relevant_fields_separate(self):
+        base = scenario_fingerprint("em3d", paper_mtlb(96), 0.25, 1998)
+        assert base != scenario_fingerprint(
+            "gcc", paper_mtlb(96), 0.25, 1998
+        )
+        assert base != scenario_fingerprint(
+            "em3d", paper_no_mtlb(96), 0.25, 1998
+        )
+        assert base != scenario_fingerprint(
+            "em3d", paper_mtlb(96), 0.5, 1998
+        )
+        assert base != scenario_fingerprint(
+            "em3d", paper_mtlb(96), 0.25, 7
+        )
+
+    def test_engine_and_sanitize_are_irrelevant(self):
+        """Engines are bit-identical and sanitizers are read-only, so a
+        vector/sanitized run must be a cache hit for a scalar rerun."""
+        config = paper_mtlb(96)
+        base = scenario_fingerprint("em3d", config, 0.25, 1998)
+        for variant in (
+            dataclasses.replace(config, engine="vector"),
+            dataclasses.replace(config, engine="scalar"),
+            dataclasses.replace(config, sanitize=True),
+        ):
+            assert scenario_fingerprint(
+                "em3d", variant, 0.25, 1998
+            ) == base
+
+    def test_canonical_config_strips_irrelevant(self):
+        tree = canonical_config(paper_base())
+        assert "engine" not in tree
+        assert "sanitize" not in tree
+        assert "obs" not in tree
+        assert "tlb" in tree
+
+    def test_mix_includes_schedule_shape(self):
+        mix = ("em3d", "gcc")
+        a = scenario_fingerprint(
+            mix, paper_mtlb(96), [0.25, 1.0], 1998,
+            quantum_refs=100_000, switch_cost=3_000,
+        )
+        b = scenario_fingerprint(
+            mix, paper_mtlb(96), [0.25, 1.0], 1998,
+            quantum_refs=50_000, switch_cost=3_000,
+        )
+        assert a != b
+
+    def test_version_salts_the_hash(self):
+        doc = canonical_scenario("em3d", paper_mtlb(96), 0.25, 1998)
+        assert doc["fingerprint_version"] == FINGERPRINT_VERSION
+
+
+def _stats(cycles=1000):
+    return RunStats(total_cycles=cycles, references=10)
+
+
+class TestResultStore:
+    FP = "ab" + "0" * 62
+
+    def test_round_trip(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        stats = _stats()
+        store.put(
+            self.FP, workload="em3d", config_label="tlb96",
+            stats=stats, metrics={"total_cycles": 1000.0, "cpi": 1.5},
+            meta={"seed": 1998},
+        )
+        record = store.get(self.FP)
+        assert isinstance(record, StoreRecord)
+        assert record.workload == "em3d"
+        assert record.run_stats() == stats
+        assert record.metrics == {"total_cycles": 1000.0, "cpi": 1.5}
+        assert record.meta["seed"] == 1998
+        assert self.FP in store
+
+    def test_miss_on_absent(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.get("00" * 32) is None
+
+    def test_corrupt_record_quarantined_and_regenerable(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(self.FP, "em3d", "tlb96", _stats())
+        path = store.record_path(self.FP)
+        record = json.loads(path.read_text())
+        record["stats"]["total_cycles"] = 999999  # bit-rot
+        path.write_text(json.dumps(record))
+        with pytest.warns(RuntimeWarning, match="checksum"):
+            assert store.get(self.FP) is None  # miss, not bad data
+        assert not path.exists()  # moved aside
+        assert (store.quarantine_dir / path.name).exists()
+        # The scheduler would now regenerate: a fresh put must succeed
+        # and verify again.
+        store.put(self.FP, "em3d", "tlb96", _stats(2000))
+        assert store.get(self.FP).stats["total_cycles"] == 2000
+
+    def test_corrupt_payload_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(
+            self.FP, "em3d", "tlb96", _stats(),
+            metrics={"cpi": 1.5},
+        )
+        store.payload_path(self.FP).write_bytes(b"not an npz")
+        with pytest.warns(RuntimeWarning, match="quarantin"):
+            assert store.get(self.FP) is None
+
+    def test_truncated_record_quarantined(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(self.FP, "em3d", "tlb96", _stats())
+        path = store.record_path(self.FP)
+        blob = path.read_text()
+        path.write_text(blob[: len(blob) // 2])
+        with pytest.warns(RuntimeWarning):
+            assert store.get(self.FP) is None
+
+    def test_schema_version_mismatch_is_soft_miss(self, tmp_path):
+        """A future schema is not corruption: warn and miss, but leave
+        the entry for the build that understands it."""
+        store = ResultStore(tmp_path / "store")
+        store.put(self.FP, "em3d", "tlb96", _stats())
+        path = store.record_path(self.FP)
+        record = json.loads(path.read_text())
+        record["schema"] = "repro-results/99"
+        record["schema_version"] = 99
+        path.write_text(json.dumps(record))
+        with pytest.warns(RuntimeWarning, match="schema version"):
+            assert store.get(self.FP) is None
+        assert path.exists()  # not quarantined
+
+    def test_unknown_stats_fields_rejected(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(
+            self.FP, "em3d", "tlb96",
+            {"total_cycles": 1, "not_a_runstats_field": 2},
+        )
+        with pytest.warns(RuntimeWarning, match="RunStats"):
+            assert store.get(self.FP) is None
+
+    def test_status_inventory(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        assert store.status()["entries"] == 0
+        store.put(self.FP, "em3d", "tlb96", _stats())
+        status = store.status()
+        assert status["entries"] == 1
+        assert status["schema"] == STORE_SCHEMA
+        assert status["bytes"] > 0
+        assert list(store.keys()) == [self.FP]
+
+
+class TestSpecValidation:
+    def test_unknown_workload(self):
+        from repro.api import ScenarioSpec, validate_spec
+
+        with pytest.raises(SpecValidationError, match="unknown workload"):
+            validate_spec(ScenarioSpec("nonesuch"))
+
+    def test_bad_engine_rejected_at_construction(self):
+        from repro.api import ScenarioSpec
+
+        with pytest.raises(SpecValidationError, match="engine"):
+            ScenarioSpec("em3d", engine="warp")
+
+    def test_vector_with_fault_plan_fails_fast(self):
+        from repro.api import ScenarioSpec, validate_spec
+        from repro.faults import FaultConfig
+
+        config = dataclasses.replace(
+            paper_mtlb(96),
+            faults=FaultConfig(mtlb_parity_rate=0.01),
+        )
+        with pytest.raises(SpecValidationError, match="scalar"):
+            validate_spec(
+                ScenarioSpec("em3d", config, engine="vector")
+            )
+
+    def test_nonpositive_scale_rejected(self):
+        from repro.api import ScenarioSpec
+
+        with pytest.raises(SpecValidationError, match="scale"):
+            ScenarioSpec("em3d", scale=0.0)
