@@ -68,8 +68,12 @@ class ScenarioSpec:
     a multiprogrammed mix (time-sliced on one machine).  ``scale``
     defaults to the running session's per-workload scale;  ``engine``
     overrides ``config.engine`` for this scenario only.  Engine and
-    budget overrides never change results, so they are excluded from
-    the scenario's store fingerprint.
+    budget overrides — including the supervision knobs
+    ``deadline_seconds`` / ``max_attempts``, which bound how long and
+    how often a supervised worker may try this scenario — never change
+    results, so they are excluded from the scenario's store fingerprint
+    (the fingerprint hashes only the canonical scenario identity:
+    workload, config, scale, seed, and mix scheduling shape).
     """
 
     workload: Union[str, Tuple[str, ...]]
@@ -81,6 +85,10 @@ class ScenarioSpec:
     #: Mix-only scheduling shape (ignored for single-workload specs).
     quantum_refs: int = DEFAULT_QUANTUM_REFS
     switch_cost: int = DEFAULT_SWITCH_COST
+    #: Supervision budget overrides (None = the sweep policy's
+    #: defaults); result-irrelevant, so fingerprint-excluded.
+    deadline_seconds: Optional[float] = None
+    max_attempts: Optional[int] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.workload, (list, tuple)):
@@ -93,6 +101,15 @@ class ScenarioSpec:
         if self.scale is not None and self.scale <= 0:
             raise SpecValidationError(
                 f"scale must be positive, got {self.scale}"
+            )
+        if self.deadline_seconds is not None and self.deadline_seconds <= 0:
+            raise SpecValidationError(
+                f"deadline_seconds must be positive, got "
+                f"{self.deadline_seconds}"
+            )
+        if self.max_attempts is not None and self.max_attempts < 1:
+            raise SpecValidationError(
+                f"max_attempts must be at least 1, got {self.max_attempts}"
             )
 
     @property

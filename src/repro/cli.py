@@ -552,36 +552,83 @@ def _serve_specs(figure: str, seed: int, engine: str):
     return specs, "figure4"
 
 
+def _sweep_policy(args):
+    """The SupervisionPolicy the sweep flags ask for (None = defaults)."""
+    from .serve import SupervisionPolicy
+
+    overrides = {}
+    if getattr(args, "deadline", None) is not None:
+        overrides["deadline_seconds"] = args.deadline
+    if getattr(args, "retries", None) is not None:
+        overrides["max_attempts"] = args.retries
+    if not overrides:
+        return None
+    return SupervisionPolicy(**overrides)
+
+
 def _serve_sweep(args) -> int:
     """``repro serve sweep``: a figure through the scenario service.
 
     Scenarios already in the content-addressed store are served from
-    disk; the rest are sharded over worker processes.  The output is
-    the same standardized metrics snapshot ``repro-bench`` writes, so
-    a cold and a warm sweep can be compared with ``repro metrics diff
-    --require-identical``.
+    disk; the rest are sharded over supervised worker processes
+    (deadlines, retry-with-backoff, poison quarantine — DESIGN.md §13).
+    The output is the same standardized metrics snapshot
+    ``repro-bench`` writes, so a cold and a warm sweep can be compared
+    with ``repro metrics diff --require-identical``.
+
+    A first SIGINT/SIGTERM drains in-flight scenarios to the store,
+    writes an ``interrupted_sweep.json`` checkpoint, and exits with
+    status 75; a second hard-aborts with status 130.  ``--chaos``
+    arms deterministic service-layer failure injection (testing only:
+    results are still verified bit-identical on commit).
     """
     from .errors import SpecValidationError
-    from .serve import SweepClient
+    from .serve import (
+        EXIT_ABORTED,
+        EXIT_INTERRUPTED,
+        ShutdownGuard,
+        SweepClient,
+        default_chaos,
+    )
+    from .serve.supervise import write_interrupt_checkpoint
 
+    chaos = (
+        default_chaos(args.chaos) if args.chaos is not None else None
+    )
+    guard = ShutdownGuard()
     client = SweepClient(
         store=args.store,
         jobs=args.jobs,
         quick=True if args.quick else None,
         seed=args.seed,
         progress=True,
+        policy=_sweep_policy(args),
+        chaos=chaos,
+        shutdown=guard,
     )
     context = client.session.context
     print_banner("repro", args.seed, paper_base(), context.quick)
     print(f"result store: {client.store.root}")
+    if chaos is not None:
+        print(f"chaos: ARMED seed={chaos.seed} (deterministic injection)")
     specs, label = _serve_specs(args.figure, args.seed, args.engine)
     try:
-        reports = client.sweep(specs)
+        with guard:
+            reports = client.sweep(specs, raise_errors=False)
     except SpecValidationError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    except KeyboardInterrupt:
+        print("\nhard abort: in-flight work discarded "
+              "(committed results remain in the store)", file=sys.stderr)
+        return EXIT_ABORTED
+
+    supervision = client.last_supervision
+    if supervision is not None and not supervision.clean:
+        print(f"\n{supervision.render()}")
+    failed = [report for report in reports if not report.ok]
     snapshot = results_snapshot(
-        (report.to_result() for report in reports),
+        (report.to_result() for report in reports if report.ok),
         label,
         meta=_context_meta(context),
     )
@@ -591,10 +638,27 @@ def _serve_sweep(args) -> int:
     print(
         f"\n{len(reports)} scenario(s): {hits} served from cache "
         f"({client.cache_hit_rate:.0%} hit rate), "
-        f"{len(reports) - hits} simulated"
+        f"{len(reports) - hits - len(failed)} simulated, "
+        f"{len(failed)} failed"
     )
     print(f"wrote {out} ({len(snapshot['runs'])} runs)")
-    return 0
+    for report in failed:
+        print(
+            f"  FAILED {report.spec.label}: "
+            f"{type(report.error).__name__}: {report.error}",
+            file=sys.stderr,
+        )
+    if guard.drain_requested and supervision is not None:
+        checkpoint = write_interrupt_checkpoint(
+            client.store.root,
+            supervision,
+            [r.fingerprint for r in reports if r.ok and r.fingerprint],
+            [r.spec.label for r in failed],
+        )
+        if checkpoint is not None:
+            print(f"drained; checkpoint: {checkpoint}", file=sys.stderr)
+        return EXIT_ABORTED if guard.abort_requested else EXIT_INTERRUPTED
+    return 1 if failed else 0
 
 
 def _serve_status(args) -> int:
@@ -606,6 +670,76 @@ def _serve_status(args) -> int:
     width = max(len(key) for key in status)
     for key, value in status.items():
         print(f"{key:{width}s}  {value}")
+    return 0
+
+
+def _chaos_soak(args) -> int:
+    """``repro chaos soak``: sweeps under injected chaos must converge.
+
+    Runs one clean quick fig3 sweep, then the same sweep under each
+    chaos seed with the full fault mix armed (worker kills, stalls,
+    commit ENOSPC/EIO, record corruption, slow shards), and asserts the
+    final store contents are bit-identical to the clean run minus any
+    quarantined poison.  Writes ``BENCH_chaos.json`` with the per-seed
+    ``serve.*`` supervision counters so the self-diff gate can track
+    them.  Exit 0 only when every seed converges.
+    """
+    import tempfile
+
+    from .serve import run_soak
+
+    specs, _ = _serve_specs("fig3", args.seed, "auto")
+    seeds = list(range(1, args.seeds + 1))
+    quick = True if args.quick else None
+    print_banner("repro", args.seed, paper_base(), bool(args.quick))
+    print(
+        f"chaos soak: fig3 x {len(specs)} scenario(s), "
+        f"{len(seeds)} chaos seed(s), jobs={args.jobs}"
+    )
+
+    def _soak(root: Path):
+        return run_soak(
+            specs,
+            root,
+            seeds=seeds,
+            jobs=args.jobs,
+            quick=quick,
+            progress=lambda msg: print(msg, flush=True),
+        )
+
+    if args.store:
+        report = _soak(Path(args.store))
+    else:
+        with tempfile.TemporaryDirectory(prefix="repro-soak-") as tmp:
+            report = _soak(Path(tmp))
+
+    print(f"\n{report.render()}")
+    snapshot = {
+        "schema": SCHEMA,
+        "label": "chaos",
+        "runs": {
+            f"soak|seed={o.seed}": {
+                "metrics": {
+                    **{k: float(v) for k, v in sorted(o.counters.items())},
+                    "bit_identical": float(o.matched == o.entries),
+                    "poisoned": float(len(o.poisoned)),
+                    "max_kill_overshoot_seconds": round(
+                        o.max_kill_overshoot, 3
+                    ),
+                }
+            }
+            for o in report.outcomes
+        },
+        "meta": {"seed": args.seed, "quick": bool(args.quick),
+                 "version": __version__},
+    }
+    out = args.output or "BENCH_chaos.json"
+    path = write_snapshot(snapshot, out)
+    print(f"wrote {path} ({len(snapshot['runs'])} runs)")
+    if not report.ok:
+        print("chaos soak: FAILED (stores diverged)", file=sys.stderr)
+        return 1
+    print("chaos soak: all seeds converged bit-identically")
     return 0
 
 
@@ -803,6 +937,29 @@ def repro_main(argv=None) -> int:
         "-o", "--output", metavar="FILE", default=None,
         help="metrics snapshot path (default: BENCH_<figure>.json)",
     )
+    sweep.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help=(
+            "per-scenario wall-clock deadline; a hung worker is "
+            "hard-killed past deadline+grace and the scenario retried"
+        ),
+    )
+    sweep.add_argument(
+        "--retries", type=_positive_int, default=None, metavar="N",
+        help=(
+            "max attempts per scenario before it is quarantined as "
+            "poison (default: supervision policy default)"
+        ),
+    )
+    sweep.add_argument(
+        "--chaos", type=int, default=None, nargs="?", const=2024,
+        metavar="SEED",
+        help=(
+            "arm deterministic service-layer failure injection with "
+            "this seed (testing the supervision layer; commits are "
+            "still read-back verified)"
+        ),
+    )
     sweep.set_defaults(func=_serve_sweep)
 
     sstatus = ssub.add_parser(
@@ -816,6 +973,49 @@ def repro_main(argv=None) -> int:
         ),
     )
     sstatus.set_defaults(func=_serve_status)
+
+    chaos = sub.add_parser(
+        "chaos",
+        help=(
+            "service-layer fault injection: soak the supervised sweep "
+            "path under deterministic chaos (DESIGN.md §13)"
+        ),
+    )
+    chsub = chaos.add_subparsers(dest="chaos_command", required=True)
+
+    soak = chsub.add_parser(
+        "soak",
+        help=(
+            "run a fig3 sweep clean, then under N chaos seeds, and "
+            "assert the stores converge bit-identically (minus "
+            "quarantined poison)"
+        ),
+    )
+    soak.add_argument(
+        "--quick", action="store_true", help="CI-sized input scales"
+    )
+    soak.add_argument(
+        "--seeds", type=_positive_int, default=3, metavar="N",
+        help="number of chaos seeds to soak (seeds 1..N; default 3)",
+    )
+    soak.add_argument(
+        "--jobs", type=_positive_int, default=2, metavar="N",
+        help="shard worker processes per sweep (default 2)",
+    )
+    soak.add_argument("--seed", type=int, default=1998,
+                      help="workload RNG seed")
+    soak.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=(
+            "root for the soak's clean/chaos stores (default: a "
+            "temporary directory, removed afterwards)"
+        ),
+    )
+    soak.add_argument(
+        "-o", "--output", metavar="FILE", default=None,
+        help="counters snapshot path (default: BENCH_chaos.json)",
+    )
+    soak.set_defaults(func=_chaos_soak)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -229,6 +229,127 @@ class SnapshotSchemaError(ReproError, ValueError):
     diff."""
 
 
+class ScenarioDeadlineExceeded(ReproError):
+    """A scenario overran its wall-clock deadline and its worker was
+    hard-killed by the supervisor's watchdog.
+
+    A deadline kill is a *transient* failure: the scenario is retried
+    with backoff on a respawned worker (the hang may have been a stall,
+    contention, or injected chaos), and only repeated failures poison
+    it.
+    """
+
+    def __init__(self, label: str, deadline_seconds: float,
+                 elapsed_seconds: float) -> None:
+        super().__init__(
+            f"scenario {label} exceeded its {deadline_seconds:g}s "
+            f"deadline (killed after {elapsed_seconds:.2f}s)"
+        )
+        self.label = label
+        self.deadline_seconds = deadline_seconds
+        self.elapsed_seconds = elapsed_seconds
+
+    def __reduce__(self):
+        return (
+            type(self),
+            (self.label, self.deadline_seconds, self.elapsed_seconds),
+        )
+
+
+class WorkerCrashed(ReproError):
+    """A shard worker process died while running a scenario.
+
+    The supervisor respawns the worker and retries exactly the scenario
+    that was in flight — the rest of the sweep is untouched (the old
+    ``ProcessPoolExecutor`` path failed every queued scenario instead).
+    ``exitcode`` is the dead process's exit code (negative = signal).
+    """
+
+    def __init__(self, label: str, exitcode) -> None:
+        super().__init__(
+            f"worker died while running scenario {label} "
+            f"(exitcode={exitcode})"
+        )
+        self.label = label
+        self.exitcode = exitcode
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.exitcode))
+
+
+class PoisonedScenario(ReproError):
+    """A scenario failed deterministically past the poison threshold.
+
+    The supervisor quarantines it into a typed
+    :class:`~repro.serve.supervise.PoisonRecord` sidecar and completes
+    the sweep with a partial-result report instead of dying;
+    ``attempts`` is how many times it was tried and ``last_error`` is
+    the final failure.
+    """
+
+    def __init__(self, label: str, attempts: int, last_error: str) -> None:
+        super().__init__(
+            f"scenario {label} poisoned after {attempts} failed "
+            f"attempt(s): {last_error}"
+        )
+        self.label = label
+        self.attempts = attempts
+        self.last_error = last_error
+
+    def __reduce__(self):
+        return (type(self), (self.label, self.attempts, self.last_error))
+
+
+class CircuitBreakerOpen(ReproError):
+    """The sweep's failure rate crossed the circuit-breaker threshold.
+
+    The supervisor aborts the sweep early — killing the workers and
+    leaving the remaining scenarios unexecuted — instead of grinding
+    through a batch that is failing wholesale (a bad config push, a
+    full disk).  The message carries the diagnosis; completed
+    scenarios were already committed, so a rerun resumes from the
+    store.
+    """
+
+    def __init__(self, failures: int, completed: int,
+                 threshold: float) -> None:
+        total = failures + completed
+        rate = failures / total if total else 1.0
+        super().__init__(
+            f"circuit breaker open: {failures}/{total} terminal "
+            f"failure(s) ({rate:.0%}) crossed the {threshold:.0%} "
+            f"threshold; aborting the sweep early (completed scenarios "
+            "are committed — rerun resumes from the store)"
+        )
+        self.failures = failures
+        self.completed = completed
+        self.threshold = threshold
+
+    def __reduce__(self):
+        return (type(self), (self.failures, self.completed, self.threshold))
+
+
+class SweepInterrupted(ReproError):
+    """A sweep was stopped by SIGINT/SIGTERM and drained gracefully.
+
+    In-flight scenarios were committed to the store, the remaining
+    ``pending`` scenarios were never started, and the CLI exits with
+    :data:`~repro.serve.supervise.EXIT_INTERRUPTED` — a rerun resumes
+    from the store.
+    """
+
+    def __init__(self, completed: int, pending: int) -> None:
+        super().__init__(
+            f"sweep interrupted: {completed} scenario(s) committed, "
+            f"{pending} never started; rerun resumes from the store"
+        )
+        self.completed = completed
+        self.pending = pending
+
+    def __reduce__(self):
+        return (type(self), (self.completed, self.pending))
+
+
 class SweepError(ReproError):
     """One or more scenarios of a sweep failed in their shard.
 

@@ -1,7 +1,10 @@
 """Deterministic fault injection and recovery accounting.
 
-See :mod:`repro.faults.plan` for the model and DESIGN.md's "Fault model
-and recovery" section for the injection sites and recovery protocols.
+See :mod:`repro.faults.plan` for the hardware fault model and
+DESIGN.md's "Fault model and recovery" section for the injection sites
+and recovery protocols.  :mod:`repro.faults.schedule` holds the seeded
+per-site consultation machinery, shared with the service-layer chaos
+plan (:mod:`repro.serve.chaos`, DESIGN.md §13).
 """
 
 from .plan import (
@@ -14,6 +17,7 @@ from .plan import (
     FaultPlan,
     FaultStats,
 )
+from .schedule import SiteSchedule, validate_sites
 
 __all__ = [
     "DIRTY_DROP",
@@ -24,4 +28,6 @@ __all__ = [
     "FaultConfig",
     "FaultPlan",
     "FaultStats",
+    "SiteSchedule",
+    "validate_sites",
 ]

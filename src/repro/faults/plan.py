@@ -28,9 +28,10 @@ probabilistically (``rate``) or exactly at the site's N-th consultation
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
+
+from .schedule import SiteSchedule
 
 #: The named injection sites, in documentation order.
 MTLB_PARITY = "mtlb_parity"
@@ -133,17 +134,21 @@ class FaultPlan:
 
     def __init__(self, config: FaultConfig) -> None:
         self.config = config
-        self._rngs: Dict[str, random.Random] = {
-            site: random.Random(f"{config.seed}:{site}")
-            for site in FAULT_SITES
-        }
-        self._counts: Dict[str, int] = {site: 0 for site in FAULT_SITES}
-        self._triggers: Dict[str, set] = {site: set() for site in FAULT_SITES}
-        for site, count in config.triggers:
-            self._triggers[site].add(count)
+        #: The seeded consultation machinery, shared verbatim with the
+        #: service-layer chaos plan (:mod:`repro.faults.schedule`).
+        self._sched = SiteSchedule(
+            config.seed,
+            FAULT_SITES,
+            {site: config.rate_of(site) for site in FAULT_SITES},
+            config.triggers,
+        )
+        # Back-compat aliases: tests and debuggers reach for these.
+        self._rngs = self._sched.rngs
+        self._counts = self._sched.counts
+        self._triggers = self._sched.triggers
         self.stats = FaultStats()
         #: Every fired fault as (site, consultation_number), in order.
-        self.schedule: List[Tuple[str, int]] = []
+        self.schedule: List[Tuple[str, int]] = self._sched.schedule
 
     def fires(self, site: str) -> bool:
         """Consult the plan at *site*; True means inject a fault now.
@@ -152,20 +157,14 @@ class FaultPlan:
         site has a nonzero rate) its PRNG, so the decision sequence is a
         pure function of the config — independent of the other sites.
         """
-        count = self._counts[site] + 1
-        self._counts[site] = count
-        fired = count in self._triggers[site]
-        rate = self.config.rate_of(site)
-        if rate > 0.0 and self._rngs[site].random() < rate:
-            fired = True
+        fired = self._sched.fires(site)
         if fired:
             self.stats.injected[site] += 1
-            self.schedule.append((site, count))
         return fired
 
     def choose_bit(self, site: str, width: int = 28) -> int:
         """Pick which bit a fired corruption flips (deterministic)."""
-        return self._rngs[site].randrange(width)
+        return self._sched.rng(site).randrange(width)
 
     def record_recovery(self, site: str) -> None:
         """Count one successful recovery at *site*."""
@@ -173,4 +172,4 @@ class FaultPlan:
 
     def consultations(self, site: str) -> int:
         """How many times *site* has been consulted so far."""
-        return self._counts[site]
+        return self._sched.consultations(site)

@@ -1,0 +1,100 @@
+"""Seeded per-site consultation schedules, shared injection machinery.
+
+Both fault layers of the reproduction — the *hardware* fault plan
+(:mod:`repro.faults.plan`, PR 1) and the *service-layer* chaos plan
+(:mod:`repro.serve.chaos`) — need the same determinism contract: each
+named injection site owns a private PRNG seeded from ``(seed, site)``
+and a monotonically increasing consultation counter, so the same
+configuration produces the same injection schedule regardless of how
+sites interleave.  :class:`SiteSchedule` is that contract, factored out
+so the two plans cannot drift apart.
+
+Invariants (pinned by ``tests/unit/test_faults.py`` and
+``tests/unit/test_serve_chaos.py``):
+
+* a site's decision sequence is a pure function of ``(seed, site,
+  rate, triggers)`` — consulting *other* sites in between never
+  perturbs it;
+* a site with rate 0 never draws from its PRNG, so adding a quiet site
+  cannot shift a noisy one;
+* triggers fire exactly at their 1-based consultation counts,
+  independent of the probabilistic rates.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+__all__ = ["SiteSchedule", "validate_sites"]
+
+
+def validate_sites(
+    sites: Iterable[str],
+    rates: Mapping[str, float],
+    triggers: Iterable[Tuple[str, int]],
+) -> None:
+    """Reject out-of-range rates and unknown/zero-based triggers."""
+    known = tuple(sites)
+    for site in known:
+        rate = rates.get(site, 0.0)
+        if not 0.0 <= rate <= 1.0:
+            raise ValueError(f"{site}_rate must be in [0, 1], got {rate}")
+    for site, count in triggers:
+        if site not in known:
+            raise ValueError(f"unknown injection site {site!r}")
+        if count < 1:
+            raise ValueError(
+                f"trigger counts are 1-based, got {count} for {site}"
+            )
+
+
+class SiteSchedule:
+    """Deterministic per-site injection decisions for one run/sweep.
+
+    ``fires(site)`` advances the site's consultation counter and (only
+    when the site has a nonzero rate) its PRNG; the fired schedule is
+    kept as ``(site, consultation_number)`` pairs so tests can assert
+    determinism: same seed ⇒ same schedule.
+    """
+
+    def __init__(
+        self,
+        seed: object,
+        sites: Iterable[str],
+        rates: Mapping[str, float],
+        triggers: Iterable[Tuple[str, int]] = (),
+    ) -> None:
+        self.sites: Tuple[str, ...] = tuple(sites)
+        self.rates: Dict[str, float] = {
+            site: float(rates.get(site, 0.0)) for site in self.sites
+        }
+        self.rngs: Dict[str, random.Random] = {
+            site: random.Random(f"{seed}:{site}") for site in self.sites
+        }
+        self.counts: Dict[str, int] = {site: 0 for site in self.sites}
+        self.triggers: Dict[str, set] = {site: set() for site in self.sites}
+        for site, count in triggers:
+            self.triggers[site].add(count)
+        #: Every fired injection as (site, consultation_number), in order.
+        self.schedule: List[Tuple[str, int]] = []
+
+    def fires(self, site: str) -> bool:
+        """Consult the schedule at *site*; True means inject now."""
+        count = self.counts[site] + 1
+        self.counts[site] = count
+        fired = count in self.triggers[site]
+        rate = self.rates[site]
+        if rate > 0.0 and self.rngs[site].random() < rate:
+            fired = True
+        if fired:
+            self.schedule.append((site, count))
+        return fired
+
+    def consultations(self, site: str) -> int:
+        """How many times *site* has been consulted so far."""
+        return self.counts[site]
+
+    def rng(self, site: str) -> random.Random:
+        """The site's private PRNG (for deterministic fault shaping)."""
+        return self.rngs[site]

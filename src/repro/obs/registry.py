@@ -235,3 +235,14 @@ REMAP_LATENCY_EDGES = (
 SUPERPAGE_SIZE_EDGES = (
     16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
 )
+
+#: Supervised per-scenario wall time (one attempt), in seconds.
+SCENARIO_WALL_EDGES = (
+    0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1_800.0,
+)
+
+#: Fraction of a scenario's deadline consumed by a successful attempt
+#: (values past 1.0 mean the watchdog's grace window saved it).
+DEADLINE_FRACTION_EDGES = (
+    0.05, 0.1, 0.25, 0.5, 0.75, 0.9, 1.0, 1.5,
+)

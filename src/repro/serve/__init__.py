@@ -1,22 +1,37 @@
-"""repro.serve — the scenario service (DESIGN.md §12).
+"""repro.serve — the scenario service (DESIGN.md §12–13).
 
-Three layers, bottom-up:
+Five layers, bottom-up:
 
 * :mod:`~repro.serve.fingerprint` — canonical scenario fingerprints,
   the content address of one simulation outcome;
 * :mod:`~repro.serve.store` — the content-addressed, CRC-checked
   :class:`ResultStore` of completed runs (corrupt entries quarantined,
-  never served);
+  never served; writes fsync'd for crash durability);
+* :mod:`~repro.serve.supervise` — the supervised shard pool: deadlines
+  with a hard-kill watchdog, retry-with-backoff, poison quarantine,
+  circuit breaker, graceful SIGINT/SIGTERM draining;
+* :mod:`~repro.serve.chaos` — deterministic service-layer failure
+  injection (seeded like :mod:`repro.faults`) and the ``repro chaos
+  soak`` bit-identity harness;
 * :mod:`~repro.serve.scheduler` / :mod:`~repro.serve.client` — the
-  sharded async :class:`SweepScheduler` (asyncio front,
-  ``ProcessPoolExecutor`` shards, per-scenario crash isolation,
-  obs-instrumented) and its :class:`SweepClient` front door.
+  async :class:`SweepScheduler` (asyncio front, supervised workers,
+  verified commits, obs-instrumented) and its :class:`SweepClient`
+  front door.
 
-``repro serve sweep`` and ``repro serve status`` are the CLI over this
-package; :meth:`repro.bench.runner.BenchContext.run_matrix` is its
-oldest client.
+``repro serve sweep``, ``repro serve status``, and ``repro chaos
+soak`` are the CLI over this package;
+:meth:`repro.bench.runner.BenchContext.run_matrix` is its oldest
+client.
 """
 
+from .chaos import (
+    CHAOS_SITES,
+    ChaosConfig,
+    ChaosPlan,
+    SoakReport,
+    default_chaos,
+    run_soak,
+)
 from .client import SweepClient
 from .fingerprint import (
     FINGERPRINT_VERSION,
@@ -34,20 +49,46 @@ from .store import (
     STORE_SCHEMA,
     ResultStore,
     StoreRecord,
+    atomic_write_bytes,
     default_store_root,
+)
+from .supervise import (
+    EXIT_ABORTED,
+    EXIT_INTERRUPTED,
+    PoisonRecord,
+    ShardSupervisor,
+    ShutdownGuard,
+    SupervisionPolicy,
+    SupervisionReport,
+    load_poison_records,
 )
 
 __all__ = [
+    "CHAOS_SITES",
+    "ChaosConfig",
+    "ChaosPlan",
+    "EXIT_ABORTED",
+    "EXIT_INTERRUPTED",
     "FINGERPRINT_VERSION",
+    "PoisonRecord",
     "STORE_SCHEMA",
     "ResultStore",
+    "ShardSupervisor",
+    "ShutdownGuard",
+    "SoakReport",
     "StoreRecord",
+    "SupervisionPolicy",
+    "SupervisionReport",
     "SweepClient",
     "SweepScheduler",
     "SweepTicket",
+    "atomic_write_bytes",
     "canonical_scenario",
+    "default_chaos",
     "default_store_root",
     "execute_spec",
+    "load_poison_records",
+    "run_soak",
     "scenario_fingerprint",
     "spec_fingerprint",
     "spec_scale",

@@ -27,14 +27,28 @@ from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..api import RunReport, ScenarioSpec, Session
 from ..obs import MetricsRegistry
+from .chaos import ChaosConfig, ChaosPlan
 from .scheduler import SweepScheduler, SweepTicket
 from .store import ResultStore, default_store_root
+from .supervise import (
+    ShutdownGuard,
+    SupervisionPolicy,
+    SupervisionReport,
+)
 
 __all__ = ["SweepClient"]
 
 
 class SweepClient:
-    """Submit scenario batches to the sharded, store-backed scheduler."""
+    """Submit scenario batches to the sharded, store-backed scheduler.
+
+    *policy* tunes the pool's supervision (deadlines, retries, poison,
+    breaker — :class:`~repro.serve.supervise.SupervisionPolicy`);
+    *chaos* arms deterministic service-layer failure injection
+    (:class:`~repro.serve.chaos.ChaosConfig`); *shutdown* wires a
+    :class:`~repro.serve.supervise.ShutdownGuard` for graceful
+    SIGINT/SIGTERM draining.  All three default to off/neutral.
+    """
 
     def __init__(
         self,
@@ -45,6 +59,9 @@ class SweepClient:
         seed: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         progress: bool = False,
+        policy: Optional[SupervisionPolicy] = None,
+        chaos: Optional[Union[ChaosConfig, ChaosPlan]] = None,
+        shutdown: Optional[ShutdownGuard] = None,
     ) -> None:
         if session is None:
             kwargs: Dict[str, object] = {
@@ -66,6 +83,9 @@ class SweepClient:
             progress_cb=(
                 (lambda msg: print(msg, flush=True)) if progress else None
             ),
+            policy=policy,
+            chaos=chaos,
+            shutdown=shutdown,
         )
 
     # -- async surface --------------------------------------------------- #
@@ -119,6 +139,12 @@ class SweepClient:
     def registry(self) -> MetricsRegistry:
         """The scheduler's obs registry (queue depth, hits, wall times)."""
         return self.scheduler.registry
+
+    @property
+    def last_supervision(self) -> Optional[SupervisionReport]:
+        """The most recent pool sweep's supervision report (retries,
+        kills, poison, overshoots); None for serial sweeps."""
+        return self.scheduler.last_supervision
 
     def status(self) -> Dict[str, object]:
         """Store inventory plus this client's sweep counters."""

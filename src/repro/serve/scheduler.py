@@ -11,16 +11,20 @@ One sweep moves through four stages:
    (:mod:`repro.serve.fingerprint`); store hits are served immediately,
    and duplicate fingerprints *within* the batch collapse onto one
    pending execution (submitted twice, simulated once);
-3. **shard** — the remaining unique scenarios are round-robin sharded
-   across a :class:`~concurrent.futures.ProcessPoolExecutor`.  Each
-   shard runs its scenarios serially with **per-scenario crash
-   isolation**: a scenario that raises is reported as a picklable
-   exception record while the rest of the shard keeps going, so one
-   pathological cell never voids a shard's completed work;
+3. **supervise** — the remaining unique scenarios are dispatched one at
+   a time onto a pool of supervised worker processes
+   (:class:`~repro.serve.supervise.ShardSupervisor`, DESIGN.md §13):
+   per-scenario wall-clock deadlines with a hard-kill watchdog,
+   retry-with-backoff for transient failures, poison quarantine for
+   scenarios that keep failing, and a circuit breaker for sweeps
+   failing wholesale.  A dead worker costs exactly the scenario it was
+   running — the slot is respawned and that one scenario retried;
 4. **commit** — completed scenarios are written to the content-addressed
    store and streamed to the caller's ``on_result`` callback as they
    arrive (partial-progress commits: a killed sweep resumes as store
-   cache hits).
+   cache hits).  Each commit is *verified* by reading the record back
+   through the store's checksums and rewritten if corrupt; disk errors
+   (real or chaos-injected) are retried with backoff.
 
 The front is ``asyncio`` (``await submit(...)`` / ``await gather(...)``)
 so a service embedding the scheduler can overlap sweeps; the synchronous
@@ -41,17 +45,28 @@ import asyncio
 import dataclasses
 import pickle
 import time
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Callable, Dict, List, Optional, Sequence, Union
 
 from ..api import RunReport, ScenarioSpec, validate_spec
 from ..bench.runner import BenchContext
+from ..errors import SweepInterrupted
 from ..obs import MetricsRegistry
 from ..sim.multiprog import run_job_mix
 from ..sim.results import RunResult
 from ..sim.stats import RunStats
+from .chaos import ChaosConfig, ChaosPlan, corrupt_record_file
 from .fingerprint import canonical_scenario, scenario_fingerprint
 from .store import ResultStore
+from .supervise import (
+    ScenarioOutcome,
+    ScenarioTask,
+    ShardSupervisor,
+    ShutdownGuard,
+    SupervisionPolicy,
+    SupervisionReport,
+)
 
 __all__ = [
     "SweepScheduler",
@@ -63,6 +78,11 @@ __all__ = [
 
 #: Shard wall-time histogram edges, in seconds.
 SHARD_WALL_EDGES = (0.1, 0.5, 1.0, 2.0, 5.0, 15.0, 60.0, 300.0)
+
+#: Commit guard: attempts per store commit before the disk error is
+#: considered permanent, and the base backoff between attempts.
+MAX_COMMIT_ATTEMPTS = 6
+COMMIT_BACKOFF_SECONDS = 0.05
 
 
 # ====================================================================== #
@@ -171,34 +191,6 @@ def _picklable(exc: BaseException) -> BaseException:
         return RuntimeError(f"{type(exc).__name__}: {exc}")
 
 
-def _shard_task(ctx_kwargs: dict, payload: List[tuple]):
-    """Worker-process entry: run one shard's scenarios serially.
-
-    Module-level (picklable) for every multiprocessing start method.
-    *payload* is ``[(index, spec), ...]``; returns ``(outcomes,
-    wall_seconds)`` where each outcome is ``(index, stats_dict,
-    metrics, error)`` — per-scenario crash isolation means an error
-    outcome never aborts the shard's remaining scenarios.
-    """
-    start = time.perf_counter()
-    context = BenchContext(**ctx_kwargs)
-    outcomes = []
-    for index, spec in payload:
-        try:
-            result = execute_spec(context, spec)
-            outcomes.append(
-                (
-                    index,
-                    dataclasses.asdict(result.stats),
-                    result.metrics,
-                    None,
-                )
-            )
-        except Exception as exc:  # noqa: BLE001 - isolation boundary
-            outcomes.append((index, None, None, _picklable(exc)))
-    return outcomes, time.perf_counter() - start
-
-
 # ====================================================================== #
 # The scheduler
 # ====================================================================== #
@@ -225,10 +217,12 @@ class SweepTicket:
     entries: List[_Entry]
     #: Entries that need simulation, in submission order.
     to_run: List[_Entry] = field(default_factory=list)
-    #: Pool-mode shard tasks (awaitables) and their entry groups.
-    tasks: List[object] = field(default_factory=list)
-    shards: List[List[_Entry]] = field(default_factory=list)
-    executor: Optional[object] = None
+    #: Pool mode: the supervisor driving the batch and its awaitable
+    #: (the supervision loop running on a thread).
+    supervisor: Optional[ShardSupervisor] = None
+    task: Optional[object] = None
+    #: The supervisor's report, available once gathered.
+    supervision: Optional[SupervisionReport] = None
     on_result: Optional[Callable[[int, RunReport], None]] = None
     gathered: bool = False
 
@@ -243,18 +237,30 @@ class SweepScheduler:
         jobs: Optional[int] = None,
         registry: Optional[MetricsRegistry] = None,
         progress_cb: Optional[Callable[[str], None]] = None,
+        policy: Optional[SupervisionPolicy] = None,
+        chaos: Optional[Union[ChaosConfig, ChaosPlan]] = None,
+        shutdown: Optional[ShutdownGuard] = None,
     ) -> None:
         self.context = context if context is not None else BenchContext()
         self.store = store
         self.jobs = jobs if jobs is not None else (self.context.jobs or 1)
         self.registry = registry or MetricsRegistry()
         self.progress_cb = progress_cb
+        self.policy = policy
+        self.chaos_plan: Optional[ChaosPlan] = (
+            ChaosPlan(chaos) if isinstance(chaos, ChaosConfig) else chaos
+        )
+        self.shutdown = shutdown
+        #: The most recent pool sweep's supervision report (None for
+        #: serial sweeps and before the first pool sweep).
+        self.last_supervision: Optional[SupervisionReport] = None
         reg = self.registry
         self.submitted = reg.counter("serve.submitted")
         self.store_hits = reg.counter("serve.store_hits")
         self.deduped = reg.counter("serve.deduped")
         self.simulated = reg.counter("serve.simulated")
         self.failed = reg.counter("serve.failed")
+        self.commit_retries = reg.counter("serve.commit_retries")
         self.queue_depth = reg.gauge("serve.queue_depth")
         self.shard_wall = reg.histogram(
             "serve.shard_wall_seconds", SHARD_WALL_EDGES
@@ -296,34 +302,98 @@ class SweepScheduler:
             and report.stats is not None
             and not report.cache_hit
         ):
-            spec = entry.spec
-            scale = spec_scale(spec, self.context)
-            self.store.put(
-                entry.fingerprint,
-                workload="+".join(spec.workloads),
-                config_label=spec.config.label,
-                stats=report.stats,
-                metrics=report.metrics,
-                meta={
-                    "seed": spec.seed,
-                    "quick": self.context.quick,
-                    "scale": scale,
-                },
-                scenario=canonical_scenario(
-                    spec.workload,
-                    spec.config,
-                    scale,
-                    spec.seed,
-                    quantum_refs=(
-                        spec.quantum_refs if spec.is_mix else None
-                    ),
-                    switch_cost=(
-                        spec.switch_cost if spec.is_mix else None
-                    ),
-                ),
-            )
+            self._guarded_put(entry)
         if ticket.on_result is not None and report is not None:
             ticket.on_result(entry.index, report)
+
+    def _put_record(self, entry: _Entry) -> None:
+        spec = entry.spec
+        report = entry.report
+        scale = spec_scale(spec, self.context)
+        self.store.put(
+            entry.fingerprint,
+            workload="+".join(spec.workloads),
+            config_label=spec.config.label,
+            stats=report.stats,
+            metrics=report.metrics,
+            meta={
+                "seed": spec.seed,
+                "quick": self.context.quick,
+                "scale": scale,
+            },
+            scenario=canonical_scenario(
+                spec.workload,
+                spec.config,
+                scale,
+                spec.seed,
+                quantum_refs=(
+                    spec.quantum_refs if spec.is_mix else None
+                ),
+                switch_cost=(
+                    spec.switch_cost if spec.is_mix else None
+                ),
+            ),
+        )
+
+    def _guarded_put(self, entry: _Entry) -> None:
+        """Commit one entry with disk-fault retries and verification.
+
+        Chaos commit sites are consulted here (once per attempt):
+        ``store_enospc``/``store_eio`` surface as the OSError a real
+        full/failing disk would raise, and ``store_corrupt`` flips a
+        byte of the record *after* the write — which the verification
+        read-back (the store's own checksum machinery) must catch and
+        quarantine, triggering a rewrite.  A commit that keeps failing
+        past :data:`MAX_COMMIT_ATTEMPTS` raises the last disk error.
+        """
+        chaos = self.chaos_plan
+        last_error: Optional[OSError] = None
+        for attempt in range(1, MAX_COMMIT_ATTEMPTS + 1):
+            if attempt > 1:
+                self.commit_retries.inc()
+                time.sleep(
+                    min(1.0, COMMIT_BACKOFF_SECONDS * (2 ** (attempt - 2)))
+                )
+            fault = chaos.commit_fault() if chaos is not None else None
+            if fault is not None:
+                last_error = fault
+                self._log(
+                    f"  commit fault on {entry.spec.label} "
+                    f"(attempt {attempt}): {fault}"
+                )
+                continue
+            try:
+                self._put_record(entry)
+            except OSError as exc:
+                last_error = exc
+                self._log(
+                    f"  commit failed on {entry.spec.label} "
+                    f"(attempt {attempt}): {exc}"
+                )
+                continue
+            if not self.store.record_path(entry.fingerprint).exists():
+                # ResultStore.put tolerates a read-only filesystem by
+                # design (run uncached); nothing to verify or retry.
+                return
+            if chaos is not None and chaos.corrupts_commit():
+                corrupt_record_file(
+                    self.store.record_path(entry.fingerprint)
+                )
+            with warnings.catch_warnings():
+                # A corrupt read-back is quarantined (warning) and then
+                # rewritten here — expected under chaos, not news.
+                warnings.simplefilter("ignore", RuntimeWarning)
+                verified = self.store.get(entry.fingerprint) is not None
+            if verified:
+                return
+            last_error = OSError(
+                "commit verification failed (record quarantined)"
+            )
+            self._log(
+                f"  commit verification failed on {entry.spec.label} "
+                f"(attempt {attempt}); rewriting"
+            )
+        raise last_error or OSError("commit failed")
 
     # -- async surface --------------------------------------------------- #
 
@@ -386,28 +456,64 @@ class SweepScheduler:
                 for name in entry.spec.workloads
             ):
                 self.context.trace(name)
-            import concurrent.futures
-
             workers = min(jobs, len(ticket.to_run))
-            ticket.shards = [[] for _ in range(workers)]
-            for position, entry in enumerate(ticket.to_run):
-                ticket.shards[position % workers].append(entry)
-            ticket.executor = concurrent.futures.ProcessPoolExecutor(
-                workers
+            ticket.supervisor = ShardSupervisor(
+                self._ctx_kwargs(),
+                jobs=workers,
+                policy=self.policy,
+                chaos=self.chaos_plan,
+                registry=self.registry,
+                poison_dir=(
+                    self.store.poison_dir
+                    if self.store is not None else None
+                ),
+                shutdown=self.shutdown,
+                progress_cb=self.progress_cb,
             )
-            loop = asyncio.get_running_loop()
-            ctx_kwargs = self._ctx_kwargs()
             self._log(
                 f"  running {len(ticket.to_run)} scenario(s) on "
-                f"{workers} shard(s)..."
+                f"{workers} supervised worker(s)..."
             )
-            for shard in ticket.shards:
-                payload = [(e.index, e.spec) for e in shard]
-                ticket.tasks.append(
-                    loop.run_in_executor(
-                        ticket.executor, _shard_task, ctx_kwargs, payload
-                    )
+            sup_tasks = [
+                ScenarioTask(
+                    index=entry.index,
+                    spec=entry.spec,
+                    label=entry.spec.label,
+                    fingerprint=entry.fingerprint,
+                    workload="+".join(entry.spec.workloads),
+                    config_label=entry.spec.config.label,
                 )
+                for entry in ticket.to_run
+            ]
+            loop = asyncio.get_running_loop()
+            by_index = {e.index: e for e in ticket.to_run}
+            remaining = [len(ticket.to_run)]
+
+            def on_outcome(outcome: ScenarioOutcome) -> None:
+                # Runs on the supervisor's thread as each scenario
+                # reaches a terminal state (commit-as-you-go).
+                entry = by_index[outcome.task.index]
+                if outcome.error is not None:
+                    entry.error = outcome.error
+                    self.failed.inc()
+                else:
+                    entry.report = RunReport(
+                        spec=entry.spec,
+                        stats=RunStats(**outcome.stats),
+                        fingerprint=entry.fingerprint,
+                        cache_hit=False,
+                        metrics=outcome.metrics,
+                        wall_seconds=outcome.wall_seconds,
+                    )
+                    self.simulated.inc()
+                    self._commit(entry, ticket)
+                    self._log(f"  finished {entry.spec.label}")
+                remaining[0] -= 1
+                self.queue_depth.set(remaining[0])
+
+            ticket.task = loop.run_in_executor(
+                None, ticket.supervisor.run, sup_tasks, on_outcome
+            )
         return ticket
 
     async def gather(
@@ -423,8 +529,8 @@ class SweepScheduler:
         if ticket.gathered:
             raise RuntimeError("ticket was already gathered")
         ticket.gathered = True
-        if ticket.tasks:
-            await self._gather_pool(ticket, raise_errors)
+        if ticket.task is not None:
+            await self._gather_supervised(ticket, raise_errors)
         else:
             self._run_serial(ticket, raise_errors)
         self.queue_depth.set(0)
@@ -491,50 +597,50 @@ class SweepScheduler:
             self.queue_depth.set(remaining)
             self._commit(entry, ticket)
 
-    async def _gather_pool(
+    async def _gather_supervised(
         self, ticket: SweepTicket, raise_errors: bool
     ) -> None:
-        """Await every shard; commit outcomes as shards complete."""
-        by_index = {e.index: e for e in ticket.to_run}
-        remaining = len(ticket.to_run)
-        pool_error: Optional[BaseException] = None
+        """Await the supervision loop; outcomes were already committed
+        as they arrived (via the submit-time ``on_outcome`` callback).
+
+        A tripped circuit breaker re-raises when *raise_errors* is set;
+        otherwise it (like a graceful interrupt) surfaces as the error
+        on every scenario the supervisor never finished.
+        """
+        start = time.perf_counter()
+        breaker: Optional[BaseException] = None
         try:
-            for task in asyncio.as_completed(ticket.tasks):
-                try:
-                    outcomes, wall = await task
-                except Exception as exc:  # noqa: BLE001 - pool death
-                    # The pool itself broke (a worker was OOM-killed,
-                    # say); keep draining the remaining tasks so their
-                    # exceptions are retrieved, then fail what's left.
-                    pool_error = exc
-                    continue
-                self.shard_wall.observe(wall)
-                for index, stats, metrics, error in outcomes:
-                    entry = by_index[index]
-                    if error is not None:
-                        entry.error = error
-                        self.failed.inc()
-                    else:
-                        entry.report = RunReport(
-                            spec=entry.spec,
-                            stats=RunStats(**stats),
-                            fingerprint=entry.fingerprint,
-                            cache_hit=False,
-                            metrics=metrics,
-                        )
-                        self.simulated.inc()
-                        self._commit(entry, ticket)
-                        self._log(f"  finished {entry.spec.label}")
-                    remaining -= 1
-                    self.queue_depth.set(remaining)
+            ticket.supervision = await ticket.task
+        except Exception as exc:  # noqa: BLE001 - breaker/loop failure
+            breaker = exc
+            ticket.supervision = ticket.supervisor.report
         finally:
-            if ticket.executor is not None:
-                ticket.executor.shutdown(wait=True)
-        if pool_error is not None:
-            for entry in ticket.to_run:
-                if entry.report is None and entry.error is None:
-                    entry.error = pool_error
-                    self.failed.inc()
+            self.last_supervision = ticket.supervisor.report
+            self.shard_wall.observe(time.perf_counter() - start)
+        report = ticket.supervisor.report
+        if breaker is not None or report.interrupted:
+            # Scenarios the supervisor never finished carry the sweep-
+            # level cause; the assembly in gather() raises or reports
+            # it per the caller's raise_errors choice.
+            unfinished = [
+                e for e in ticket.to_run
+                if e.report is None and e.error is None
+            ]
+            finished = len(ticket.to_run) - len(unfinished)
+            for entry in unfinished:
+                entry.error = (
+                    breaker
+                    if breaker is not None
+                    else SweepInterrupted(finished, len(unfinished))
+                )
+                self.failed.inc()
+        if not report.clean:
+            self._log(report.render())
+        if breaker is not None and raise_errors:
+            # The breaker is the sweep-level diagnosis; raise it rather
+            # than whichever scenario happened to fail first.
+            self.queue_depth.set(0)
+            raise breaker
 
     # -- sync wrapper ----------------------------------------------------- #
 

@@ -15,9 +15,11 @@ stored as two files under ``<root>/<fp[:2]>/``:
 Reads verify every checksum.  A corrupt entry is **quarantined** — both
 files are moved into ``<root>/quarantine/`` with a RuntimeWarning — and
 reported as a miss, so the scheduler regenerates the result; the store
-never serves bytes it cannot vouch for.  Writes are atomic
-(tmp + ``os.replace``), so a killed writer leaves either the old entry
-or none.
+never serves bytes it cannot vouch for.  Writes are atomic *and
+durable*: tmp file, fsync the file, ``os.replace``, fsync the
+directory — so a killed or power-lost writer leaves either the old
+entry or none, never a truncated one (and a truncated record that does
+sneak in is caught by the checksum and quarantined, not served).
 
 The store is safe for concurrent readers plus one writer per entry:
 entries are immutable once written (content-addressed), and a racing
@@ -71,6 +73,45 @@ class StoreRecord:
         return RunStats(**self.stats)
 
 
+def _fsync_dir(directory: Path) -> None:
+    """fsync a directory so a rename into it survives power loss.
+
+    Some filesystems don't support opening directories (or fsync on
+    them); treat that as best-effort rather than a write failure.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Durably write *blob* to *path*: tmp file, fsync the file, rename
+    over, fsync the directory.
+
+    The fsync-before-rename ordering is what makes the atomicity claim
+    real on a crash: without it the rename can be on disk before the
+    data blocks, leaving a truncated/empty "committed" file after power
+    loss.  Raises OSError on failure (callers decide whether a
+    read-only store is fatal).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_name(path.name + ".tmp")
+    with open(tmp, "wb") as fh:
+        fh.write(blob)
+        fh.flush()
+        os.fsync(fh.fileno())
+    os.replace(tmp, path)
+    _fsync_dir(path.parent)
+
+
 def _record_checksum(record: Mapping[str, object]) -> int:
     """CRC32 over the record's canonical JSON, ``checksum`` excluded."""
     body = {k: v for k, v in record.items() if k != "checksum"}
@@ -103,6 +144,11 @@ class ResultStore:
     @property
     def quarantine_dir(self) -> Path:
         return self.root / "quarantine"
+
+    @property
+    def poison_dir(self) -> Path:
+        """Where the supervisor quarantines poison-scenario sidecars."""
+        return self.root / "poison"
 
     # ------------------------------------------------------------------ #
     # Writing
@@ -153,7 +199,10 @@ class ResultStore:
                         names=np.frombuffer(names, dtype=np.uint8),
                         values=values,
                     )
+                    fh.flush()
+                    os.fsync(fh.fileno())
                 os.replace(ptmp, ppath)
+                _fsync_dir(ppath.parent)
             except OSError:
                 payload = {"metrics": False, "crc": None}
         record: Dict[str, object] = {
@@ -169,10 +218,10 @@ class ResultStore:
             "payload": payload,
         }
         record["checksum"] = _record_checksum(record)
-        tmp = path.with_name(path.name + ".tmp")
         try:
-            tmp.write_text(json.dumps(record, sort_keys=True))
-            os.replace(tmp, path)
+            atomic_write_bytes(
+                path, json.dumps(record, sort_keys=True).encode("utf-8")
+            )
         except OSError:
             pass  # read-only filesystem: run uncached
         return path
@@ -296,7 +345,7 @@ class ResultStore:
         if not self.root.exists():
             return
         for shard in sorted(self.root.iterdir()):
-            if shard.name == "quarantine" or not shard.is_dir():
+            if shard.name in ("quarantine", "poison") or not shard.is_dir():
                 continue
             for path in sorted(shard.glob("*.json")):
                 yield path.stem
@@ -307,7 +356,9 @@ class ResultStore:
         total_bytes = 0
         if self.root.exists():
             for shard in self.root.iterdir():
-                if shard.name == "quarantine" or not shard.is_dir():
+                if shard.name in ("quarantine", "poison") or (
+                    not shard.is_dir()
+                ):
                     continue
                 for path in shard.iterdir():
                     if path.suffix == ".json":
@@ -321,10 +372,16 @@ class ResultStore:
             quarantined = sum(
                 1 for p in self.quarantine_dir.glob("*.json")
             )
+        poisoned = 0
+        if self.poison_dir.exists():
+            poisoned = sum(
+                1 for p in self.poison_dir.glob("*.poison.json")
+            )
         return {
             "root": str(self.root),
             "schema": STORE_SCHEMA,
             "entries": entries,
             "bytes": total_bytes,
             "quarantined": quarantined,
+            "poisoned": poisoned,
         }

@@ -1,0 +1,174 @@
+"""Unit tests: the deterministic service-layer chaos harness.
+
+The chaos plan's contract mirrors repro.faults: every injection is a
+pure function of (config, consultation order), so the same seed always
+produces the same failure schedule — the property the ``repro chaos
+soak`` bit-identity check rests on.
+"""
+
+import errno
+
+import pytest
+
+from repro.serve.chaos import (
+    CHAOS_SITES,
+    ChaosConfig,
+    ChaosDirective,
+    ChaosPlan,
+    corrupt_record_file,
+    default_chaos,
+)
+
+
+def _consume(plan: ChaosPlan, dispatches: int = 20, commits: int = 20):
+    """Consult every site the way the supervisor would."""
+    directives = [plan.dispatch_directive() for _ in range(dispatches)]
+    faults = [plan.commit_fault() for _ in range(commits)]
+    corrupt = [plan.corrupts_commit() for _ in range(commits)]
+    return directives, faults, corrupt
+
+
+class TestDeterminism:
+    def test_same_seed_same_schedule(self):
+        config = default_chaos(7)
+        a = ChaosPlan(config)
+        b = ChaosPlan(config)
+        _consume(a)
+        _consume(b)
+        assert a.schedule == b.schedule
+        assert a.injected == b.injected
+
+    def test_different_seed_different_schedule(self):
+        a = ChaosPlan(default_chaos(1))
+        b = ChaosPlan(default_chaos(2))
+        _consume(a, 50, 50)
+        _consume(b, 50, 50)
+        assert a.schedule != b.schedule
+
+    def test_schedule_records_site_and_consultation(self):
+        plan = ChaosPlan(ChaosConfig(triggers=(("worker_kill", 3),)))
+        for _ in range(5):
+            plan.dispatch_directive()
+        assert plan.schedule == [("worker_kill", 3)]
+
+    def test_zero_rate_plan_is_inert(self):
+        plan = ChaosPlan(ChaosConfig())
+        directives, faults, corrupt = _consume(plan)
+        assert not ChaosConfig().enabled
+        assert all(not d.active for d in directives)
+        assert all(f is None for f in faults)
+        assert not any(corrupt)
+        assert plan.total_injected == 0
+
+
+class TestTriggers:
+    """Each site must fire exactly at its configured consultation."""
+
+    def test_worker_kill(self):
+        plan = ChaosPlan(ChaosConfig(triggers=(("worker_kill", 2),)))
+        directives = [plan.dispatch_directive() for _ in range(4)]
+        assert [d.kill for d in directives] == [
+            False, True, False, False,
+        ]
+
+    def test_worker_stall_carries_duration(self):
+        plan = ChaosPlan(
+            ChaosConfig(
+                triggers=(("worker_stall", 1),), stall_seconds=123.0
+            )
+        )
+        first = plan.dispatch_directive()
+        second = plan.dispatch_directive()
+        assert first.stall_seconds == 123.0
+        assert second.stall_seconds is None
+
+    def test_slow_shard_carries_latency(self):
+        plan = ChaosPlan(
+            ChaosConfig(
+                triggers=(("slow_shard", 2),), slow_seconds=0.01
+            )
+        )
+        directives = [plan.dispatch_directive() for _ in range(3)]
+        assert [d.slow_seconds for d in directives] == [
+            None, 0.01, None,
+        ]
+
+    def test_store_enospc(self):
+        plan = ChaosPlan(ChaosConfig(triggers=(("store_enospc", 1),)))
+        fault = plan.commit_fault()
+        assert isinstance(fault, OSError)
+        assert fault.errno == errno.ENOSPC
+        assert plan.commit_fault() is None
+
+    def test_store_eio(self):
+        plan = ChaosPlan(ChaosConfig(triggers=(("store_eio", 1),)))
+        fault = plan.commit_fault()
+        assert isinstance(fault, OSError)
+        assert fault.errno == errno.EIO
+
+    def test_store_corrupt(self):
+        plan = ChaosPlan(ChaosConfig(triggers=(("store_corrupt", 2),)))
+        assert [plan.corrupts_commit() for _ in range(3)] == [
+            False, True, False,
+        ]
+
+    def test_injected_counts_per_site(self):
+        plan = ChaosPlan(
+            ChaosConfig(
+                triggers=(
+                    ("worker_kill", 1),
+                    ("worker_kill", 2),
+                    ("store_eio", 1),
+                )
+            )
+        )
+        _consume(plan, 3, 3)
+        assert plan.injected["worker_kill"] == 2
+        assert plan.injected["store_eio"] == 1
+        assert plan.total_injected == 3
+
+
+class TestConfigValidation:
+    def test_rate_out_of_range(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(worker_kill_rate=1.5)
+
+    def test_unknown_trigger_site(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(triggers=(("warp_core_breach", 1),))
+
+    def test_nonpositive_stall(self):
+        with pytest.raises(ValueError):
+            ChaosConfig(stall_seconds=0.0)
+
+    def test_default_chaos_exercises_every_site(self):
+        config = default_chaos(0)
+        assert config.enabled
+        for site in CHAOS_SITES:
+            assert config.rate_of(site) > 0.0, site
+
+    def test_directive_active_flag(self):
+        assert not ChaosDirective().active
+        assert ChaosDirective(kill=True).active
+        assert ChaosDirective(stall_seconds=1.0).active
+        assert ChaosDirective(slow_seconds=0.1).active
+
+
+class TestCorruptRecordFile:
+    def test_flips_one_byte_in_place(self, tmp_path):
+        path = tmp_path / "record.json"
+        original = b'{"stats": {"total_cycles": 12345}}'
+        path.write_bytes(original)
+        assert corrupt_record_file(path)
+        mutated = path.read_bytes()
+        assert mutated != original
+        assert len(mutated) == len(original)
+        assert sum(a != b for a, b in zip(mutated, original)) == 1
+
+    def test_missing_file_is_a_noop(self, tmp_path):
+        assert not corrupt_record_file(tmp_path / "absent.json")
+
+    def test_empty_file_is_a_noop(self, tmp_path):
+        path = tmp_path / "empty.json"
+        path.write_bytes(b"")
+        assert not corrupt_record_file(path)

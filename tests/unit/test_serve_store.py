@@ -179,6 +179,86 @@ class TestResultStore:
         assert list(store.keys()) == [self.FP]
 
 
+class TestDurability:
+    """Crash-simulation tests: a torn write must never produce a
+    silently-corrupt store entry — the worst case is a quarantined
+    record that the next sweep regenerates."""
+
+    FP = "cd" + "1" * 62
+
+    def test_atomic_write_bytes_round_trip(self, tmp_path):
+        from repro.serve.store import atomic_write_bytes
+
+        path = tmp_path / "deep" / "nested" / "blob.json"
+        atomic_write_bytes(path, b"first")
+        assert path.read_bytes() == b"first"
+        atomic_write_bytes(path, b"second")
+        assert path.read_bytes() == b"second"
+
+    def test_no_tmp_files_survive_a_put(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(
+            self.FP, "em3d", "tlb96", _stats(),
+            metrics={"cpi": 1.5},
+        )
+        leftovers = list((tmp_path / "store").rglob("*.tmp"))
+        assert leftovers == []
+
+    def test_crash_before_rename_leaves_store_clean(self, tmp_path):
+        """A crash between tmp-write and rename leaves only the tmp
+        file; the entry is a plain miss and the orphan is invisible to
+        keys()/status()."""
+        store = ResultStore(tmp_path / "store")
+        store.put(self.FP, "em3d", "tlb96", _stats())
+        path = store.record_path(self.FP)
+        # Simulate the torn rewrite: tmp written, rename never happened.
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text('{"half": "a record')
+        path.unlink()
+        assert store.get(self.FP) is None  # miss, no exception
+        assert list(store.keys()) == []
+        assert store.status()["entries"] == 0
+
+    def test_torn_record_write_quarantines_not_corrupts(self, tmp_path):
+        """The other crash window: rename happened but the record bytes
+        are truncated (e.g. power loss without the fsync).  The CRC
+        check must quarantine the entry — never serve partial JSON."""
+        store = ResultStore(tmp_path / "store")
+        store.put(self.FP, "em3d", "tlb96", _stats())
+        path = store.record_path(self.FP)
+        blob = path.read_bytes()
+        path.write_bytes(blob[: len(blob) - 7])
+        with pytest.warns(RuntimeWarning):
+            assert store.get(self.FP) is None
+        assert not path.exists()
+        assert (store.quarantine_dir / path.name).exists()
+        # Regeneration heals the entry completely.
+        store.put(self.FP, "em3d", "tlb96", _stats(4242))
+        assert store.get(self.FP).stats["total_cycles"] == 4242
+
+    def test_poison_dir_excluded_from_inventory(self, tmp_path):
+        from repro.serve.supervise import (
+            PoisonRecord,
+            write_poison_record,
+        )
+
+        store = ResultStore(tmp_path / "store")
+        store.put(self.FP, "em3d", "tlb96", _stats())
+        write_poison_record(
+            store.poison_dir,
+            PoisonRecord(
+                index=0, label="gcc|tlb64", fingerprint="ee" * 32,
+                workload="gcc", config_label="tlb64", attempts=4,
+                classification="deterministic",
+                errors=["SimulationError: boom"],
+            ),
+        )
+        status = store.status()
+        assert status["entries"] == 1
+        assert status["poisoned"] == 1
+        assert list(store.keys()) == [self.FP]
+
+
 class TestSpecValidation:
     def test_unknown_workload(self):
         from repro.api import ScenarioSpec, validate_spec
