@@ -53,7 +53,10 @@ __all__ = [
     "RunReport",
     "ScenarioSpec",
     "Session",
+    "config_from_tree",
     "run",
+    "spec_from_doc",
+    "spec_to_doc",
     "validate_spec",
 ]
 
@@ -164,6 +167,127 @@ def validate_spec(spec: ScenarioSpec) -> None:
         raise SpecValidationError("a mix needs at least one workload")
     if spec.is_mix and spec.quantum_refs <= 0:
         raise SpecValidationError("quantum_refs must be positive")
+
+
+# ---------------------------------------------------------------------- #
+# Wire codec (the daemon's JSON protocol, DESIGN.md §14)
+# ---------------------------------------------------------------------- #
+
+
+def _coerce(hint, value):
+    """Rebuild one JSON value against its declared dataclass field type.
+
+    JSON flattens tuples to lists and nested dataclasses to dicts; this
+    undoes exactly those two lossy steps so a round-tripped config tree
+    compares (and fingerprints) identical to the original.
+    """
+    import typing
+
+    if value is None:
+        return None
+    if dataclasses.is_dataclass(hint) and isinstance(value, dict):
+        return _dataclass_from_tree(hint, value)
+    origin = typing.get_origin(hint)
+    if origin is Union:
+        args = [a for a in typing.get_args(hint) if a is not type(None)]
+        return _coerce(args[0], value) if len(args) == 1 else value
+    if origin is tuple and isinstance(value, (list, tuple)):
+        args = typing.get_args(hint)
+        if len(args) == 2 and args[1] is Ellipsis:
+            return tuple(_coerce(args[0], v) for v in value)
+        if args and len(args) == len(value):
+            return tuple(_coerce(a, v) for a, v in zip(args, value))
+        return tuple(value)
+    return value
+
+
+def _dataclass_from_tree(cls, tree: Dict[str, object]):
+    """Instantiate *cls* from a JSON tree, recursing into nested
+    dataclass fields; unknown keys are a hard error (a client built
+    against a newer schema must fail loudly, not silently drop knobs)."""
+    import typing
+
+    names = {f.name for f in dataclasses.fields(cls)}
+    unknown = set(tree) - names
+    if unknown:
+        raise SpecValidationError(
+            f"unknown {cls.__name__} field(s): "
+            f"{', '.join(sorted(map(str, unknown)))}"
+        )
+    hints = typing.get_type_hints(cls)
+    kwargs = {
+        name: _coerce(hints.get(name), value)
+        for name, value in tree.items()
+    }
+    try:
+        return cls(**kwargs)
+    except (TypeError, ValueError) as exc:
+        raise SpecValidationError(
+            f"bad {cls.__name__} document: {exc}"
+        ) from exc
+
+
+def config_from_tree(tree: Dict[str, object]) -> SystemConfig:
+    """Rebuild a :class:`~repro.sim.config.SystemConfig` from its
+    ``dataclasses.asdict`` JSON tree.
+
+    The round trip is fingerprint-exact: ``config_from_tree(
+    json.loads(json.dumps(dataclasses.asdict(cfg))))`` produces a
+    config whose canonical scenario document hashes to the same store
+    address as ``cfg`` — which is what lets a daemon client submit full
+    config trees and still share the store with local batch sweeps.
+    """
+    if not isinstance(tree, dict):
+        raise SpecValidationError(
+            f"config must be an object, got {type(tree).__name__}"
+        )
+    return _dataclass_from_tree(SystemConfig, tree)
+
+
+def spec_to_doc(spec: ScenarioSpec) -> Dict[str, object]:
+    """One spec as a JSON-ready document (the daemon wire format)."""
+    doc = dataclasses.asdict(spec)
+    doc["workload"] = (
+        list(spec.workloads) if spec.is_mix else spec.workload
+    )
+    return doc
+
+
+def spec_from_doc(doc: Dict[str, object]) -> ScenarioSpec:
+    """Rebuild a :class:`ScenarioSpec` from :func:`spec_to_doc` output.
+
+    Raises :class:`~repro.errors.SpecValidationError` on any malformed
+    document — the daemon maps that to HTTP 400 before any queueing.
+    """
+    if not isinstance(doc, dict):
+        raise SpecValidationError(
+            f"spec must be an object, got {type(doc).__name__}"
+        )
+    data = dict(doc)
+    workload = data.pop("workload", None)
+    if workload is None:
+        raise SpecValidationError("spec document needs a 'workload'")
+    if isinstance(workload, list):
+        workload = tuple(workload)
+    tree = data.pop("config", None)
+    config = paper_base() if tree is None else config_from_tree(tree)
+    names = {
+        f.name for f in dataclasses.fields(ScenarioSpec)
+    } - {"workload", "config"}
+    unknown = set(data) - names
+    if unknown:
+        raise SpecValidationError(
+            f"unknown spec field(s): "
+            f"{', '.join(sorted(map(str, unknown)))}"
+        )
+    try:
+        return ScenarioSpec(workload=workload, config=config, **data)
+    except (TypeError, ValueError) as exc:
+        if isinstance(exc, SpecValidationError):
+            raise
+        raise SpecValidationError(
+            f"bad spec document: {exc}"
+        ) from exc
 
 
 @dataclass

@@ -443,9 +443,10 @@ def _metrics_dump(args) -> int:
         quick=True if args.quick else None, seed=args.seed
     )
     result = context.run(args.workload, config)
+    label = f"{args.workload}|{config.label}"
     snapshot = run_snapshot(
         result,
-        label=f"{args.workload}|{config.label}",
+        label=label,
         meta={
             "seed": args.seed,
             "quick": context.quick,
@@ -453,6 +454,24 @@ def _metrics_dump(args) -> int:
             "version": __version__,
         },
     )
+    if getattr(args, "format", "json") == "prom":
+        from .obs import render_prometheus_mapping
+
+        body = render_prometheus_mapping(
+            snapshot["runs"][label]["metrics"],
+            extra_labels={"run": label, "seed": str(args.seed)},
+        )
+        if args.output:
+            Path(args.output).write_text(body)
+            print(f"wrote {args.output}")
+        else:
+            print(body, end="")
+        if args.trace_out:
+            path = result.obs.write_chrome_trace(
+                args.trace_out, label=label
+            )
+            print(f"wrote {path} (load it at https://ui.perfetto.dev)")
+        return 0
     if args.output:
         path = write_snapshot(snapshot, args.output)
         print(f"wrote {path}")
@@ -581,8 +600,17 @@ def _serve_sweep(args) -> int:
     status 75; a second hard-aborts with status 130.  ``--chaos``
     arms deterministic service-layer failure injection (testing only:
     results are still verified bit-identical on commit).
+
+    With ``--daemon URL`` the batch is POSTed to a resident ``repro
+    serve daemon`` instead of running a local pool; results stream
+    back as they commit and land in the *daemon's* store, bit-identical
+    to a local sweep of the same specs.
     """
-    from .errors import SpecValidationError
+    from .errors import (
+        DaemonProtocolError,
+        DaemonUnavailable,
+        SpecValidationError,
+    )
     from .serve import (
         EXIT_ABORTED,
         EXIT_INTERRUPTED,
@@ -605,10 +633,15 @@ def _serve_sweep(args) -> int:
         policy=_sweep_policy(args),
         chaos=chaos,
         shutdown=guard,
+        daemon=getattr(args, "daemon", None),
+        tenant=getattr(args, "tenant", None),
     )
     context = client.session.context
     print_banner("repro", args.seed, paper_base(), context.quick)
-    print(f"result store: {client.store.root}")
+    if client.daemon is not None:
+        print(f"scenario daemon: {client.daemon} (tenant {client.tenant})")
+    else:
+        print(f"result store: {client.store.root}")
     if chaos is not None:
         print(f"chaos: ARMED seed={chaos.seed} (deterministic injection)")
     specs, label = _serve_specs(args.figure, args.seed, args.engine)
@@ -616,6 +649,9 @@ def _serve_sweep(args) -> int:
         with guard:
             reports = client.sweep(specs, raise_errors=False)
     except SpecValidationError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    except (DaemonUnavailable, DaemonProtocolError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
     except KeyboardInterrupt:
@@ -670,6 +706,73 @@ def _serve_status(args) -> int:
     width = max(len(key) for key in status)
     for key, value in status.items():
         print(f"{key:{width}s}  {value}")
+    return 0
+
+
+def _serve_daemon(args) -> int:
+    """``repro serve daemon``: the resident scenario service.
+
+    One long-lived supervised worker pool serves ScenarioSpec batches
+    POSTed by any number of concurrent clients (``repro serve sweep
+    --daemon URL``), multiplexed through a priority + weighted-fair
+    tenant queue, deduplicated against the store and against work
+    already in flight, and streamed back as NDJSON the moment each
+    scenario commits.  ``GET /metrics`` exposes Prometheus counters,
+    ``GET /healthz`` the liveness gate, ``GET /queue`` the fair-queue
+    state (DESIGN.md §14).
+
+    A first SIGTERM/SIGINT drains: in-flight scenarios finish and
+    commit, queued waiters get typed error events, the process exits
+    0.  A second signal hard-aborts.
+    """
+    from .serve import EXIT_ABORTED, ScenarioDaemon, ShutdownGuard
+    from .serve.daemon import daemon_policy
+
+    guard = ShutdownGuard(progress=lambda m: print(m, flush=True))
+    daemon = ScenarioDaemon(
+        store=args.store,
+        jobs=args.jobs,
+        quick=True if args.quick else None,
+        seed=args.seed,
+        policy=daemon_policy(_sweep_policy(args)),
+        shutdown=guard,
+        progress_cb=lambda message: print(message, flush=True),
+    )
+    print_banner(
+        "repro", args.seed, paper_base(), daemon.context.quick
+    )
+    with guard:
+        code = daemon.run(host=args.host, port=args.port)
+    if guard.abort_requested:
+        return EXIT_ABORTED
+    return code
+
+
+def _serve_gc(args) -> int:
+    """``repro serve gc``: prune the store's operational litter.
+
+    Removes orphaned ``*.tmp`` write stages, a stale
+    ``interrupted_sweep.json`` checkpoint once its sweep was resumed
+    (or it aged out), and poison sidecars older than ``--max-age``.
+    Committed records and quarantined entries are never touched.
+    """
+    from .serve.store import ResultStore, default_store_root
+
+    root = Path(args.store) if args.store else default_store_root()
+    summary = ResultStore(root).gc(
+        max_age_seconds=args.max_age * 86400.0,
+        tmp_grace_seconds=args.tmp_grace,
+        dry_run=args.dry_run,
+    )
+    verb = "would remove" if args.dry_run else "removed"
+    print(f"store: {summary['root']}")
+    print(f"{verb} {summary['tmp_removed']} tmp file(s)")
+    print(f"{verb} {summary['checkpoints_removed']} checkpoint(s)")
+    print(f"{verb} {summary['poison_removed']} poison sidecar(s)")
+    if args.verbose:
+        for bucket, paths in sorted(summary["removed"].items()):
+            for path in paths:
+                print(f"  {bucket}: {path}")
     return 0
 
 
@@ -802,6 +905,14 @@ def repro_main(argv=None) -> int:
     dump.add_argument(
         "-o", "--output", metavar="FILE",
         help="write the snapshot here instead of stdout",
+    )
+    dump.add_argument(
+        "--format", choices=("json", "prom"), default="json",
+        help=(
+            "output format: the standardized snapshot JSON (default) "
+            "or Prometheus text format 0.0.4 (gauges, one series per "
+            "metric) for scrape-side ingestion"
+        ),
     )
     dump.add_argument(
         "--trace-out", metavar="FILE",
@@ -960,7 +1071,106 @@ def repro_main(argv=None) -> int:
             "still read-back verified)"
         ),
     )
+    sweep.add_argument(
+        "--daemon", metavar="URL", default=None,
+        help=(
+            "submit the batch to a resident scenario daemon at this "
+            "base URL (e.g. http://127.0.0.1:8765) instead of running "
+            "a local pool; results land in the daemon's store"
+        ),
+    )
+    sweep.add_argument(
+        "--tenant", metavar="NAME", default=None,
+        help=(
+            "tenant identity for the daemon's weighted-fair queue "
+            "(default: client-<pid>)"
+        ),
+    )
     sweep.set_defaults(func=_serve_sweep)
+
+    daemon = ssub.add_parser(
+        "daemon",
+        help=(
+            "run the resident scenario service: many clients, one "
+            "warm supervised pool, fair-queued, store-deduplicated, "
+            "NDJSON-streamed, /metrics-instrumented (DESIGN.md §14)"
+        ),
+    )
+    daemon.add_argument(
+        "--host", default="127.0.0.1",
+        help="bind address (default 127.0.0.1)",
+    )
+    daemon.add_argument(
+        "--port", type=int, default=8765,
+        help="TCP port (default 8765; 0 picks an ephemeral port)",
+    )
+    daemon.add_argument(
+        "--jobs", type=_positive_int, default=2, metavar="N",
+        help="supervised worker processes in the pool (default 2)",
+    )
+    daemon.add_argument(
+        "--quick", action="store_true",
+        help=(
+            "CI-sized input scales; the daemon's context governs "
+            "scales and fingerprints for every client"
+        ),
+    )
+    daemon.add_argument("--seed", type=int, default=1998)
+    daemon.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=(
+            "result store directory (default: $REPRO_RESULT_STORE "
+            "or .result_store)"
+        ),
+    )
+    daemon.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="per-scenario wall-clock deadline (default: policy default)",
+    )
+    daemon.add_argument(
+        "--retries", type=_positive_int, default=None, metavar="N",
+        help="max attempts per scenario (default: policy default)",
+    )
+    daemon.set_defaults(func=_serve_daemon)
+
+    gc = ssub.add_parser(
+        "gc",
+        help=(
+            "prune store litter: orphaned *.tmp stages, a stale "
+            "interrupted-sweep checkpoint, old poison sidecars "
+            "(committed records are never touched)"
+        ),
+    )
+    gc.add_argument(
+        "--store", metavar="DIR", default=None,
+        help=(
+            "result store directory (default: $REPRO_RESULT_STORE "
+            "or .result_store)"
+        ),
+    )
+    gc.add_argument(
+        "--max-age", type=float, default=7.0, metavar="DAYS",
+        help=(
+            "age past which poison sidecars and an unresumed "
+            "interrupt checkpoint are pruned (default 7 days)"
+        ),
+    )
+    gc.add_argument(
+        "--tmp-grace", type=float, default=900.0, metavar="SECONDS",
+        help=(
+            "age past which a *.tmp write stage is considered "
+            "orphaned (default 900s; live stages exist for millis)"
+        ),
+    )
+    gc.add_argument(
+        "--dry-run", action="store_true",
+        help="report what would be removed without deleting",
+    )
+    gc.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="list each removed path",
+    )
+    gc.set_defaults(func=_serve_gc)
 
     sstatus = ssub.add_parser(
         "status", help="result-store inventory (entries, bytes, quarantine)"

@@ -370,3 +370,41 @@ class SweepError(ReproError):
 
     def __reduce__(self):
         return (type(self), (self.failures,))
+
+
+class DaemonUnavailable(ReproError):
+    """The scenario daemon could not be reached (or refused service).
+
+    Raised by the HTTP sweep transport when the daemon URL does not
+    connect, the connection drops before the terminal ``done`` event,
+    or the daemon answers 503 because it is draining.  The batch is
+    safe to resubmit: the daemon dedupes by fingerprint, so anything
+    already committed becomes a store hit.
+    """
+
+    def __init__(self, url: str, reason: str) -> None:
+        super().__init__(f"scenario daemon at {url} unavailable: {reason}")
+        self.url = url
+        self.reason = reason
+
+    def __reduce__(self):
+        return (type(self), (self.url, self.reason))
+
+
+class DaemonProtocolError(ReproError):
+    """The daemon sent something the client cannot interpret.
+
+    A version-skewed daemon, a non-daemon endpoint, or a truncated
+    NDJSON stream — the client stops immediately rather than guessing
+    at partial results.
+    """
+
+    def __init__(self, url: str, detail: str) -> None:
+        super().__init__(
+            f"unexpected response from scenario daemon at {url}: {detail}"
+        )
+        self.url = url
+        self.detail = detail
+
+    def __reduce__(self):
+        return (type(self), (self.url, self.detail))

@@ -30,6 +30,7 @@ from .diff import (
     metric_regressed,
     parse_threshold,
 )
+from .prom import render_prometheus, render_prometheus_mapping
 from .registry import Counter, Gauge, Histogram, MetricsRegistry
 from .snapshot import (
     SCHEMA,
@@ -76,6 +77,8 @@ __all__ = [
     "matrix_snapshot",
     "metric_regressed",
     "parse_threshold",
+    "render_prometheus",
+    "render_prometheus_mapping",
     "results_snapshot",
     "run_snapshot",
     "stats_metrics",

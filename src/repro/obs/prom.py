@@ -1,0 +1,139 @@
+"""Prometheus text-format encoder for the metrics registry.
+
+One encoder, two consumers: the scenario daemon's ``GET /metrics``
+endpoint (DESIGN.md §14) and ``repro metrics dump --format prom``.
+Output follows the Prometheus exposition format 0.0.4:
+
+* counters end in ``_total`` and carry ``# TYPE ... counter``;
+* gauges keep their name and carry ``# TYPE ... gauge``;
+* histograms expand to cumulative ``_bucket{le="..."}`` series plus
+  ``_sum`` and ``_count`` (the registry's fixed-edge buckets map onto
+  Prometheus's cumulative ``le`` convention exactly).
+
+Metric names are sanitised to the Prometheus grammar
+(``[a-zA-Z_:][a-zA-Z0-9_:]*``): dots and dashes become underscores, so
+``serve.daemon.store_hits`` exports as
+``serve_daemon_store_hits_total``.  Label values are escaped per the
+format spec.  The encoder never mutates the registry — rendering a
+scrape is side-effect free beyond ``collect()`` draining sources.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Mapping, Optional, Union
+
+from .registry import Histogram, MetricsRegistry
+
+__all__ = ["render_prometheus", "render_prometheus_mapping"]
+
+Number = Union[int, float]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+_LEADING_BAD = re.compile(r"^[^a-zA-Z_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitise one metric name to the Prometheus grammar."""
+    out = _NAME_OK.sub("_", name)
+    if _LEADING_BAD.match(out):
+        out = "_" + out
+    return out
+
+
+def _prom_value(value: Number) -> str:
+    """Format one sample value (Prometheus wants plain decimals)."""
+    if isinstance(value, bool):
+        return "1" if value else "0"
+    if isinstance(value, int):
+        return str(value)
+    if value != value:  # NaN
+        return "NaN"
+    if value in (float("inf"), float("-inf")):
+        return "+Inf" if value > 0 else "-Inf"
+    return repr(float(value))
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\")
+        .replace("\n", "\\n")
+        .replace('"', '\\"')
+    )
+
+
+def _render_histogram(
+    lines: list, name: str, hist: Histogram, labels: str
+) -> None:
+    lines.append(f"# TYPE {name} histogram")
+    cumulative = 0
+    for edge, count in zip(hist.edges, hist.counts):
+        cumulative += count
+        lines.append(
+            f'{name}_bucket{{{labels}le="{_prom_value(edge)}"}} '
+            f"{cumulative}"
+        )
+    lines.append(f'{name}_bucket{{{labels}le="+Inf"}} {hist.total}')
+    suffix = "{" + labels.rstrip(",") + "}" if labels else ""
+    lines.append(f"{name}_sum{suffix} {_prom_value(hist.sum)}")
+    lines.append(f"{name}_count{suffix} {hist.total}")
+
+
+def render_prometheus(
+    registry: MetricsRegistry,
+    extra_labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render one registry as a Prometheus text-format scrape body.
+
+    *extra_labels* (e.g. ``{"instance": "daemon-1"}``) are attached to
+    every exported series.
+    """
+    labels = ""
+    if extra_labels:
+        labels = ",".join(
+            f'{_prom_name(k)}="{_escape_label(str(v))}"'
+            for k, v in sorted(extra_labels.items())
+        ) + ","
+    lines: list = []
+    collected = registry.collect()
+    counters = registry.counters()
+    for name in sorted(collected):
+        value = collected[name]
+        prom = _prom_name(name)
+        if name in counters:
+            lines.append(f"# TYPE {prom}_total counter")
+            series = f"{prom}_total"
+        else:
+            lines.append(f"# TYPE {prom} gauge")
+            series = prom
+        if labels:
+            series += "{" + labels.rstrip(",") + "}"
+        lines.append(f"{series} {_prom_value(value)}")
+    for name, hist in sorted(registry.histograms().items()):
+        _render_histogram(lines, _prom_name(name), hist, labels)
+    return "\n".join(lines) + "\n"
+
+
+def render_prometheus_mapping(
+    metrics: Mapping[str, Number],
+    extra_labels: Optional[Mapping[str, str]] = None,
+) -> str:
+    """Render a flat ``name -> value`` mapping as Prometheus gauges.
+
+    The path ``repro metrics dump --format prom`` uses: a completed
+    run's metrics mapping has no instrument types attached anymore, so
+    everything exports as a gauge (scrape-side recording rules can
+    re-type what they care about).
+    """
+    labels = ""
+    if extra_labels:
+        labels = "{" + ",".join(
+            f'{_prom_name(k)}="{_escape_label(str(v))}"'
+            for k, v in sorted(extra_labels.items())
+        ) + "}"
+    lines: list = []
+    for name in sorted(metrics):
+        prom = _prom_name(name)
+        lines.append(f"# TYPE {prom} gauge")
+        lines.append(f"{prom}{labels} {_prom_value(metrics[name])}")
+    return "\n".join(lines) + "\n"

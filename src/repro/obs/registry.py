@@ -198,6 +198,16 @@ class MetricsRegistry:
             return self._gauges[name].value
         raise KeyError(name)
 
+    def counters(self) -> Dict[str, Counter]:
+        """The registered counters by name (collect() drains sources
+        into counters first, so call it before relying on this for
+        source-backed metrics)."""
+        return dict(self._counters)
+
+    def gauges(self) -> Dict[str, Gauge]:
+        """The registered gauges by name."""
+        return dict(self._gauges)
+
     def histograms(self) -> Dict[str, Histogram]:
         """The registered histograms by name."""
         return dict(self._histograms)

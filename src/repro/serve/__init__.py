@@ -1,27 +1,34 @@
-"""repro.serve — the scenario service (DESIGN.md §12–13).
+"""repro.serve — the scenario service (DESIGN.md §12–14).
 
-Five layers, bottom-up:
+Seven layers, bottom-up:
 
 * :mod:`~repro.serve.fingerprint` — canonical scenario fingerprints,
   the content address of one simulation outcome;
 * :mod:`~repro.serve.store` — the content-addressed, CRC-checked
   :class:`ResultStore` of completed runs (corrupt entries quarantined,
-  never served; writes fsync'd for crash durability);
+  never served; writes fsync'd for crash durability; ``gc()`` prunes
+  operational litter);
 * :mod:`~repro.serve.supervise` — the supervised shard pool: deadlines
   with a hard-kill watchdog, retry-with-backoff, poison quarantine,
-  circuit breaker, graceful SIGINT/SIGTERM draining;
+  circuit breaker, graceful SIGINT/SIGTERM draining — in batch mode
+  (:meth:`ShardSupervisor.run`) or resident mode
+  (:meth:`ShardSupervisor.serve`);
 * :mod:`~repro.serve.chaos` — deterministic service-layer failure
   injection (seeded like :mod:`repro.faults`) and the ``repro chaos
   soak`` bit-identity harness;
 * :mod:`~repro.serve.scheduler` / :mod:`~repro.serve.client` — the
   async :class:`SweepScheduler` (asyncio front, supervised workers,
   verified commits, obs-instrumented) and its :class:`SweepClient`
-  front door.
+  front door (local pool or ``daemon=`` HTTP transport);
+* :mod:`~repro.serve.queue` / :mod:`~repro.serve.http` /
+  :mod:`~repro.serve.daemon` — the resident scenario daemon: a
+  priority + weighted-fair tenant queue multiplexing many HTTP clients
+  onto one warm pool, streaming NDJSON results and Prometheus metrics.
 
-``repro serve sweep``, ``repro serve status``, and ``repro chaos
-soak`` are the CLI over this package;
-:meth:`repro.bench.runner.BenchContext.run_matrix` is its oldest
-client.
+``repro serve sweep``, ``repro serve daemon``, ``repro serve status``,
+``repro serve gc``, and ``repro chaos soak`` are the CLI over this
+package; :meth:`repro.bench.runner.BenchContext.run_matrix` is its
+oldest client.
 """
 
 from .chaos import (
@@ -33,15 +40,18 @@ from .chaos import (
     run_soak,
 )
 from .client import SweepClient
+from .daemon import ScenarioDaemon, daemon_policy
 from .fingerprint import (
     FINGERPRINT_VERSION,
     canonical_scenario,
     scenario_fingerprint,
 )
+from .queue import FairQueue, QueueClosed
 from .scheduler import (
     SweepScheduler,
     SweepTicket,
     execute_spec,
+    guarded_commit,
     spec_fingerprint,
     spec_scale,
 )
@@ -60,6 +70,7 @@ from .supervise import (
     ShutdownGuard,
     SupervisionPolicy,
     SupervisionReport,
+    TaskIntake,
     load_poison_records,
 )
 
@@ -70,9 +81,12 @@ __all__ = [
     "EXIT_ABORTED",
     "EXIT_INTERRUPTED",
     "FINGERPRINT_VERSION",
+    "FairQueue",
     "PoisonRecord",
+    "QueueClosed",
     "STORE_SCHEMA",
     "ResultStore",
+    "ScenarioDaemon",
     "ShardSupervisor",
     "ShutdownGuard",
     "SoakReport",
@@ -82,11 +96,14 @@ __all__ = [
     "SweepClient",
     "SweepScheduler",
     "SweepTicket",
+    "TaskIntake",
     "atomic_write_bytes",
     "canonical_scenario",
+    "daemon_policy",
     "default_chaos",
     "default_store_root",
     "execute_spec",
+    "guarded_commit",
     "load_poison_records",
     "run_soak",
     "scenario_fingerprint",

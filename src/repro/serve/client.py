@@ -22,11 +22,17 @@ rerun of yesterday's matrix costs a directory scan, not a simulation.
 
 from __future__ import annotations
 
+import http.client
+import json
+import os
+import urllib.parse
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
 
-from ..api import RunReport, ScenarioSpec, Session
+from ..api import RunReport, ScenarioSpec, Session, spec_to_doc, validate_spec
+from ..errors import DaemonProtocolError, DaemonUnavailable
 from ..obs import MetricsRegistry
+from ..sim.stats import RunStats
 from .chaos import ChaosConfig, ChaosPlan
 from .scheduler import SweepScheduler, SweepTicket
 from .store import ResultStore, default_store_root
@@ -37,6 +43,10 @@ from .supervise import (
 )
 
 __all__ = ["SweepClient"]
+
+#: Socket timeout for daemon requests: generous, because one read may
+#: legitimately block for a whole scenario's simulation.
+DAEMON_TIMEOUT_SECONDS = 3600.0
 
 
 class SweepClient:
@@ -62,7 +72,20 @@ class SweepClient:
         policy: Optional[SupervisionPolicy] = None,
         chaos: Optional[Union[ChaosConfig, ChaosPlan]] = None,
         shutdown: Optional[ShutdownGuard] = None,
+        daemon: Optional[str] = None,
+        tenant: Optional[str] = None,
+        priority: int = 0,
+        weight: Optional[float] = None,
     ) -> None:
+        #: Daemon transport: when set, ``sweep()`` POSTs the batch to a
+        #: resident ``repro serve daemon`` at this base URL instead of
+        #: running a local pool; results stream back over NDJSON and
+        #: are bit-identical to the local path (same execution funnel,
+        #: same commit discipline, the daemon's store).
+        self.daemon = daemon.rstrip("/") if daemon else None
+        self.tenant = tenant or f"client-{os.getpid()}"
+        self.priority = priority
+        self.weight = weight
         if session is None:
             kwargs: Dict[str, object] = {
                 "store": store if store is not None
@@ -115,10 +138,164 @@ class SweepClient:
         on_result: Optional[Callable[[int, RunReport], None]] = None,
         raise_errors: bool = True,
     ) -> List[RunReport]:
-        """Submit + gather one batch synchronously."""
+        """Submit + gather one batch synchronously.
+
+        With ``daemon=`` set the batch goes over HTTP to the resident
+        daemon; otherwise the local sharded scheduler runs it.  Either
+        way: reports in submission order, *on_result* streamed as
+        scenarios complete.
+        """
+        if self.daemon is not None:
+            return self._sweep_daemon(specs, on_result, raise_errors)
         return self.scheduler.sweep(
             specs, on_result=on_result, raise_errors=raise_errors
         )
+
+    def _sweep_daemon(
+        self,
+        specs: Sequence[ScenarioSpec],
+        on_result: Optional[Callable[[int, RunReport], None]],
+        raise_errors: bool,
+    ) -> List[RunReport]:
+        """One batch through ``POST /v1/sweep``, NDJSON streamed back."""
+        specs = list(specs)
+        for spec in specs:  # fail fast locally, like the batch path
+            validate_spec(spec)
+        url = self.daemon
+        payload = {
+            "tenant": self.tenant,
+            "priority": self.priority,
+            "specs": [spec_to_doc(spec) for spec in specs],
+        }
+        if self.weight is not None:
+            payload["weight"] = self.weight
+        body = json.dumps(payload).encode("utf-8")
+        split = urllib.parse.urlsplit(url)
+        if split.scheme not in ("http", ""):
+            raise DaemonUnavailable(url, f"unsupported scheme {split.scheme}")
+        host = split.hostname or "127.0.0.1"
+        port = split.port or 80
+        conn = http.client.HTTPConnection(
+            host, port, timeout=DAEMON_TIMEOUT_SECONDS
+        )
+        reports: List[Optional[RunReport]] = [None] * len(specs)
+        first_error: Optional[BaseException] = None
+        saw_done = False
+        try:
+            try:
+                conn.request(
+                    "POST", "/v1/sweep", body=body,
+                    headers={"Content-Type": "application/json"},
+                )
+                response = conn.getresponse()
+            except (ConnectionError, OSError) as exc:
+                raise DaemonUnavailable(url, str(exc)) from exc
+            if response.status != 200:
+                detail = response.read(4096).decode("utf-8", "replace")
+                if response.status == 503:
+                    raise DaemonUnavailable(
+                        url, f"HTTP 503: {detail.strip()}"
+                    )
+                raise DaemonProtocolError(
+                    url, f"HTTP {response.status}: {detail.strip()}"
+                )
+            while True:
+                try:
+                    line = response.readline()
+                except (ConnectionError, OSError) as exc:
+                    raise DaemonUnavailable(
+                        url, f"stream dropped: {exc}"
+                    ) from exc
+                if not line:
+                    break
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    event = json.loads(line)
+                except ValueError as exc:
+                    raise DaemonProtocolError(
+                        url, f"bad NDJSON line: {exc}"
+                    ) from None
+                kind = event.get("event")
+                if kind == "accepted":
+                    continue
+                if kind == "done":
+                    saw_done = True
+                    break
+                if kind not in ("result", "error"):
+                    raise DaemonProtocolError(
+                        url, f"unknown event {kind!r}"
+                    )
+                index = event.get("index")
+                if not isinstance(index, int) or not (
+                    0 <= index < len(specs)
+                ):
+                    raise DaemonProtocolError(
+                        url, f"event index {index!r} out of range"
+                    )
+                report = self._daemon_report(specs[index], event)
+                reports[index] = report
+                self._count_daemon_event(event)
+                if report.error is not None and first_error is None:
+                    first_error = report.error
+                if on_result is not None and report.error is None:
+                    on_result(index, report)
+        finally:
+            conn.close()
+        if not saw_done:
+            raise DaemonUnavailable(
+                url, "stream ended before the terminal done event"
+            )
+        for index, report in enumerate(reports):
+            if report is None:
+                raise DaemonProtocolError(
+                    url, f"no terminal event for scenario #{index}"
+                )
+        if raise_errors and first_error is not None:
+            raise first_error
+        return reports
+
+    def _daemon_report(
+        self, spec: ScenarioSpec, event: Dict[str, object]
+    ) -> RunReport:
+        if event.get("event") == "error":
+            error_type = event.get("error_type") or "RuntimeError"
+            message = event.get("error") or "scenario failed in the daemon"
+            return RunReport(
+                spec=spec,
+                stats=None,
+                fingerprint=event.get("fingerprint"),
+                error=RuntimeError(f"{error_type}: {message}"),
+            )
+        stats_doc = event.get("stats")
+        return RunReport(
+            spec=spec,
+            stats=(
+                RunStats(**stats_doc)
+                if isinstance(stats_doc, dict) else None
+            ),
+            fingerprint=event.get("fingerprint"),
+            cache_hit=event.get("source") != "executed",
+            metrics=event.get("metrics"),
+            wall_seconds=float(event.get("wall_seconds") or 0.0),
+        )
+
+    def _count_daemon_event(self, event: Dict[str, object]) -> None:
+        """Mirror the daemon's answer into this client's counters, so
+        ``cache_hit_rate`` / ``status()`` stay meaningful in daemon
+        mode."""
+        sched = self.scheduler
+        sched.submitted.inc()
+        source = event.get("source")
+        if event.get("event") == "error":
+            sched.failed.inc()
+        elif source == "store":
+            sched.store_hits.inc()
+        elif source == "coalesced":
+            sched.deduped.inc()
+        else:
+            sched.simulated.inc()
 
     def run(self, spec: ScenarioSpec) -> RunReport:
         """One scenario through the session (store-checked)."""

@@ -1,0 +1,219 @@
+"""Minimal asyncio HTTP/1.1 plumbing for the scenario daemon.
+
+Stdlib-only by design (the repo bakes in no web framework): enough of
+HTTP/1.1 for the daemon's four endpoints — request-line + header
+parsing, ``Content-Length`` bodies, full responses, and
+chunked-transfer NDJSON streaming.  Connections are one-request
+(``Connection: close``), which is exactly what the CLI client and a
+Prometheus scraper do anyway; correctness beats keep-alive here.
+
+This is transport only.  Routing, JSON schemas, and queueing semantics
+live in :mod:`repro.serve.daemon`.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+from urllib.parse import parse_qs, urlsplit
+
+__all__ = [
+    "HttpError",
+    "HttpRequest",
+    "NdjsonStream",
+    "json_response",
+    "read_request",
+    "render_response",
+]
+
+#: Largest request body the daemon will buffer (a 10k-scenario batch of
+#: full config trees is ~20 MB; this caps hostile/broken clients).
+MAX_BODY_BYTES = 64 << 20
+MAX_HEADER_BYTES = 64 << 10
+
+_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    503: "Service Unavailable",
+}
+
+
+class HttpError(Exception):
+    """A request the daemon refuses; rendered as a JSON error body."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(message)
+        self.status = status
+        self.message = message
+
+
+@dataclass
+class HttpRequest:
+    """One parsed request."""
+
+    method: str
+    path: str
+    query: Dict[str, str] = field(default_factory=dict)
+    headers: Dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    def json(self) -> object:
+        """The body as JSON; :class:`HttpError` 400 when malformed."""
+        if not self.body:
+            raise HttpError(400, "request body required")
+        try:
+            return json.loads(self.body.decode("utf-8"))
+        except (ValueError, UnicodeDecodeError) as exc:
+            raise HttpError(400, f"malformed JSON body: {exc}") from None
+
+
+async def _read_head(reader: asyncio.StreamReader) -> Optional[bytes]:
+    """Read up to the blank line ending the header block."""
+    try:
+        head = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None  # clean EOF: client closed without a request
+        raise HttpError(400, "truncated request head") from None
+    except asyncio.LimitOverrunError:
+        raise HttpError(413, "request head too large") from None
+    if len(head) > MAX_HEADER_BYTES:
+        raise HttpError(413, "request head too large")
+    return head
+
+
+async def read_request(
+    reader: asyncio.StreamReader,
+) -> Optional[HttpRequest]:
+    """Parse one request; None on clean EOF before a request line."""
+    head = await _read_head(reader)
+    if head is None:
+        return None
+    lines = head.decode("latin-1").split("\r\n")
+    parts = lines[0].split(" ")
+    if len(parts) != 3 or not parts[2].startswith("HTTP/1."):
+        raise HttpError(400, f"malformed request line: {lines[0]!r}")
+    method, target = parts[0].upper(), parts[1]
+    split = urlsplit(target)
+    query = {
+        key: values[-1]
+        for key, values in parse_qs(split.query).items()
+    }
+    headers: Dict[str, str] = {}
+    for line in lines[1:]:
+        if not line:
+            continue
+        name, sep, value = line.partition(":")
+        if not sep:
+            raise HttpError(400, f"malformed header line: {line!r}")
+        headers[name.strip().lower()] = value.strip()
+    body = b""
+    length = headers.get("content-length")
+    if length is not None:
+        try:
+            n = int(length)
+        except ValueError:
+            raise HttpError(400, "bad Content-Length") from None
+        if n < 0:
+            raise HttpError(400, "bad Content-Length")
+        if n > MAX_BODY_BYTES:
+            raise HttpError(413, f"body larger than {MAX_BODY_BYTES}")
+        try:
+            body = await reader.readexactly(n)
+        except asyncio.IncompleteReadError:
+            raise HttpError(400, "truncated request body") from None
+    elif headers.get("transfer-encoding", "").lower() == "chunked":
+        raise HttpError(400, "chunked request bodies not supported")
+    return HttpRequest(
+        method=method, path=split.path, query=query,
+        headers=headers, body=body,
+    )
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    content_type: str = "application/json",
+    extra_headers: Optional[Dict[str, str]] = None,
+) -> bytes:
+    """One complete HTTP/1.1 response, Connection: close."""
+    reason = _REASONS.get(status, "Unknown")
+    head = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        "Connection: close",
+    ]
+    for name, value in (extra_headers or {}).items():
+        head.append(f"{name}: {value}")
+    return ("\r\n".join(head) + "\r\n\r\n").encode("latin-1") + body
+
+
+def json_response(
+    status: int, doc: object, extra_headers: Optional[Dict[str, str]] = None
+) -> bytes:
+    """A JSON document as a complete response."""
+    body = (json.dumps(doc, sort_keys=True) + "\n").encode("utf-8")
+    return render_response(
+        status, body, extra_headers=extra_headers
+    )
+
+
+class NdjsonStream:
+    """Chunked newline-delimited-JSON response writer.
+
+    Headers go out on the first :meth:`write_line` (so a handler that
+    fails validating the request can still send a plain error
+    response), every line is one chunk flushed immediately — the whole
+    point is that the client sees each scenario the moment it commits —
+    and :meth:`finish` sends the zero-chunk terminator.
+
+    A client that disconnects mid-stream surfaces as
+    :class:`ConnectionError` from ``drain()``; the daemon treats that
+    as "stop streaming, keep simulating".
+    """
+
+    def __init__(self, writer: asyncio.StreamWriter) -> None:
+        self._writer = writer
+        self._headers_sent = False
+        self.lines_sent = 0
+
+    async def _send_headers(self) -> None:
+        head = (
+            "HTTP/1.1 200 OK\r\n"
+            "Content-Type: application/x-ndjson\r\n"
+            "Transfer-Encoding: chunked\r\n"
+            "Cache-Control: no-store\r\n"
+            "Connection: close\r\n\r\n"
+        )
+        self._writer.write(head.encode("latin-1"))
+        await self._writer.drain()
+        self._headers_sent = True
+
+    @property
+    def started(self) -> bool:
+        return self._headers_sent
+
+    async def write_line(self, doc: object) -> None:
+        """Send one JSON document as one chunk (immediately flushed)."""
+        if not self._headers_sent:
+            await self._send_headers()
+        payload = (
+            json.dumps(doc, sort_keys=True) + "\n"
+        ).encode("utf-8")
+        chunk = f"{len(payload):x}\r\n".encode("latin-1")
+        self._writer.write(chunk + payload + b"\r\n")
+        await self._writer.drain()
+        self.lines_sent += 1
+
+    async def finish(self) -> None:
+        if not self._headers_sent:
+            await self._send_headers()
+        self._writer.write(b"0\r\n\r\n")
+        await self._writer.drain()

@@ -1,0 +1,214 @@
+"""Priority + weighted-fair tenant queue for the scenario daemon.
+
+The daemon (DESIGN.md §14) multiplexes many clients onto one supervised
+worker pool, so the queue between them decides who gets simulated next.
+Two mechanisms compose:
+
+* **priority bands** — a higher ``priority`` integer always dispatches
+  before a lower one (operators draining an incident outrank batch
+  backfills).  Within a band priority says nothing about order;
+* **weighted fairness** — inside each band, tenants share capacity by
+  *start-time fair queuing*: every item carries a virtual start time,
+  and each pop takes the item whose tenant has the smallest virtual
+  clock, then advances that clock by ``1 / weight``.  A tenant that
+  enqueues 10 000 scenarios cannot starve one that enqueues 5 — the
+  small tenant's items interleave near the front regardless of arrival
+  order.  An idle tenant re-joining is clamped to the band's current
+  virtual time, so saved-up idleness is not a budget to burst with.
+
+The queue is thread-safe (the asyncio front pushes from the event loop
+thread while the supervisor's dispatch loop polls from its own thread)
+and deterministic: equal-priority, equal-virtual-time ties break by
+arrival order, never by wall clock or hash order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, Generic, List, Optional, Tuple, TypeVar
+
+__all__ = ["FairQueue", "QueueClosed"]
+
+T = TypeVar("T")
+
+
+class QueueClosed(RuntimeError):
+    """push() after close(): the daemon is draining, nothing new enters."""
+
+
+@dataclass
+class _Tenant:
+    """One tenant's fair-share state inside one priority band."""
+
+    weight: float
+    vtime: float = 0.0
+    queued: int = 0
+
+
+@dataclass
+class _Band:
+    """One priority band: tenants plus the band's virtual clock."""
+
+    tenants: Dict[str, _Tenant] = field(default_factory=dict)
+    #: (tenant_vtime_at_push, arrival_seq, tenant, item)
+    heap: List[Tuple[float, int, str, object]] = field(
+        default_factory=list
+    )
+    #: The largest virtual start time ever popped; re-joining tenants
+    #: are clamped here so idleness never accumulates into a burst.
+    vclock: float = 0.0
+
+
+class FairQueue(Generic[T]):
+    """Thread-safe priority + weighted-fair multi-tenant queue."""
+
+    def __init__(self, default_weight: float = 1.0) -> None:
+        if default_weight <= 0:
+            raise ValueError("default_weight must be positive")
+        self.default_weight = default_weight
+        self._lock = threading.Lock()
+        self._not_empty = threading.Condition(self._lock)
+        self._bands: Dict[int, _Band] = {}
+        self._seq = itertools.count()
+        self._closed = False
+        self._depth = 0
+
+    # ------------------------------------------------------------------ #
+    # Producer side (event-loop thread)
+    # ------------------------------------------------------------------ #
+
+    def push(
+        self,
+        tenant: str,
+        item: T,
+        priority: int = 0,
+        weight: Optional[float] = None,
+    ) -> None:
+        """Enqueue *item* for *tenant*; wakes one waiting consumer.
+
+        *weight* (re)pins the tenant's fair share inside its band; the
+        last pushed weight wins.  Raises :class:`QueueClosed` once the
+        queue is draining.
+        """
+        if weight is not None and weight <= 0:
+            raise ValueError("weight must be positive")
+        with self._not_empty:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            band = self._bands.setdefault(priority, _Band())
+            state = band.tenants.get(tenant)
+            if state is None:
+                state = _Tenant(weight=weight or self.default_weight)
+                band.tenants[tenant] = state
+            elif weight is not None:
+                state.weight = weight
+            if state.queued == 0:
+                # Re-joining after idleness: no banked virtual time.
+                state.vtime = max(state.vtime, band.vclock)
+            start = state.vtime
+            state.vtime += 1.0 / state.weight
+            state.queued += 1
+            heapq.heappush(
+                band.heap, (start, next(self._seq), tenant, item)
+            )
+            self._depth += 1
+            self._not_empty.notify()
+
+    def close(self) -> None:
+        """Refuse further pushes and wake every waiting consumer."""
+        with self._not_empty:
+            self._closed = True
+            self._not_empty.notify_all()
+
+    # ------------------------------------------------------------------ #
+    # Consumer side (supervisor thread)
+    # ------------------------------------------------------------------ #
+
+    def poll(self) -> Optional[T]:
+        """Pop the next item without blocking; None when empty."""
+        with self._lock:
+            return self._pop_locked()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[T]:
+        """Pop the next item, waiting up to *timeout* seconds.
+
+        Returns None on timeout or when the queue was closed and
+        drained dry.
+        """
+        with self._not_empty:
+            item = self._pop_locked()
+            if item is not None or self._closed:
+                return item
+            self._not_empty.wait(timeout)
+            return self._pop_locked()
+
+    def wait(self, timeout: Optional[float] = None) -> bool:
+        """Block until an item is queued (or close()); True when one is.
+
+        The supervisor's idle path: poll() came back empty, so sleep on
+        the condition instead of spinning at the watchdog tick.
+        """
+        with self._not_empty:
+            if self._depth or self._closed:
+                return self._depth > 0
+            self._not_empty.wait(timeout)
+            return self._depth > 0
+
+    def _pop_locked(self) -> Optional[T]:
+        for priority in sorted(self._bands, reverse=True):
+            band = self._bands[priority]
+            if not band.heap:
+                continue
+            start, _, tenant, item = heapq.heappop(band.heap)
+            band.vclock = max(band.vclock, start)
+            band.tenants[tenant].queued -= 1
+            self._depth -= 1
+            return item
+        return None
+
+    # ------------------------------------------------------------------ #
+    # Introspection (the /queue endpoint)
+    # ------------------------------------------------------------------ #
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def __len__(self) -> int:
+        return self._depth
+
+    def depths(self) -> Dict[str, int]:
+        """Queued items per tenant, summed across priority bands."""
+        with self._lock:
+            out: Dict[str, int] = {}
+            for band in self._bands.values():
+                for tenant, state in band.tenants.items():
+                    if state.queued:
+                        out[tenant] = out.get(tenant, 0) + state.queued
+            return out
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready queue state for ``GET /queue``."""
+        with self._lock:
+            bands = {}
+            for priority in sorted(self._bands, reverse=True):
+                band = self._bands[priority]
+                tenants = {
+                    tenant: {
+                        "queued": state.queued,
+                        "weight": state.weight,
+                        "vtime": round(state.vtime, 6),
+                    }
+                    for tenant, state in sorted(band.tenants.items())
+                    if state.queued
+                }
+                if tenants:
+                    bands[str(priority)] = tenants
+            return {
+                "depth": self._depth,
+                "closed": self._closed,
+                "bands": bands,
+            }

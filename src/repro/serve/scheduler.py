@@ -72,6 +72,7 @@ __all__ = [
     "SweepScheduler",
     "SweepTicket",
     "execute_spec",
+    "guarded_commit",
     "spec_fingerprint",
     "spec_scale",
 ]
@@ -175,6 +176,107 @@ def execute_spec(context: BenchContext, spec: ScenarioSpec) -> RunResult:
         return multi.result
     finally:
         context.max_references = saved_budget
+
+
+def _put_record(
+    store: ResultStore,
+    context: BenchContext,
+    spec: ScenarioSpec,
+    fingerprint: str,
+    report: RunReport,
+) -> None:
+    scale = spec_scale(spec, context)
+    store.put(
+        fingerprint,
+        workload="+".join(spec.workloads),
+        config_label=spec.config.label,
+        stats=report.stats,
+        metrics=report.metrics,
+        meta={
+            "seed": spec.seed,
+            "quick": context.quick,
+            "scale": scale,
+        },
+        scenario=canonical_scenario(
+            spec.workload,
+            spec.config,
+            scale,
+            spec.seed,
+            quantum_refs=(spec.quantum_refs if spec.is_mix else None),
+            switch_cost=(spec.switch_cost if spec.is_mix else None),
+        ),
+    )
+
+
+def guarded_commit(
+    store: ResultStore,
+    context: BenchContext,
+    spec: ScenarioSpec,
+    fingerprint: str,
+    report: RunReport,
+    chaos: Optional[ChaosPlan] = None,
+    log: Optional[Callable[[str], None]] = None,
+    on_retry: Optional[Callable[[], None]] = None,
+) -> None:
+    """Commit one report with disk-fault retries and verification.
+
+    The single store-commit discipline, shared by the batch scheduler
+    and the daemon: chaos commit sites are consulted once per attempt
+    (``store_enospc``/``store_eio`` surface as the OSError a real
+    full/failing disk would raise, and ``store_corrupt`` flips a byte
+    of the record *after* the write — which the verification read-back,
+    the store's own checksum machinery, must catch and quarantine,
+    triggering a rewrite).  A commit that keeps failing past
+    :data:`MAX_COMMIT_ATTEMPTS` raises the last disk error.  *on_retry*
+    fires once per retry attempt (the ``serve.commit_retries`` counter).
+    """
+    emit = log if log is not None else (lambda message: None)
+    last_error: Optional[OSError] = None
+    for attempt in range(1, MAX_COMMIT_ATTEMPTS + 1):
+        if attempt > 1:
+            if on_retry is not None:
+                on_retry()
+            time.sleep(
+                min(1.0, COMMIT_BACKOFF_SECONDS * (2 ** (attempt - 2)))
+            )
+        fault = chaos.commit_fault() if chaos is not None else None
+        if fault is not None:
+            last_error = fault
+            emit(
+                f"  commit fault on {spec.label} "
+                f"(attempt {attempt}): {fault}"
+            )
+            continue
+        try:
+            _put_record(store, context, spec, fingerprint, report)
+        except OSError as exc:
+            last_error = exc
+            emit(
+                f"  commit failed on {spec.label} "
+                f"(attempt {attempt}): {exc}"
+            )
+            continue
+        if not store.record_path(fingerprint).exists():
+            # ResultStore.put tolerates a read-only filesystem by
+            # design (run uncached); nothing to verify or retry.
+            return
+        if chaos is not None and chaos.corrupts_commit():
+            corrupt_record_file(store.record_path(fingerprint))
+        with warnings.catch_warnings():
+            # A corrupt read-back is quarantined (warning) and then
+            # rewritten here — expected under chaos, not news.
+            warnings.simplefilter("ignore", RuntimeWarning)
+            verified = store.get(fingerprint) is not None
+        if verified:
+            return
+        last_error = OSError(
+            "commit verification failed (record quarantined)"
+        )
+        emit(
+            f"  commit verification failed on {spec.label} "
+            f"(attempt {attempt}); rewriting"
+        )
+    raise last_error or OSError("commit failed")
 
 
 def _picklable(exc: BaseException) -> BaseException:
@@ -306,94 +408,18 @@ class SweepScheduler:
         if ticket.on_result is not None and report is not None:
             ticket.on_result(entry.index, report)
 
-    def _put_record(self, entry: _Entry) -> None:
-        spec = entry.spec
-        report = entry.report
-        scale = spec_scale(spec, self.context)
-        self.store.put(
-            entry.fingerprint,
-            workload="+".join(spec.workloads),
-            config_label=spec.config.label,
-            stats=report.stats,
-            metrics=report.metrics,
-            meta={
-                "seed": spec.seed,
-                "quick": self.context.quick,
-                "scale": scale,
-            },
-            scenario=canonical_scenario(
-                spec.workload,
-                spec.config,
-                scale,
-                spec.seed,
-                quantum_refs=(
-                    spec.quantum_refs if spec.is_mix else None
-                ),
-                switch_cost=(
-                    spec.switch_cost if spec.is_mix else None
-                ),
-            ),
-        )
-
     def _guarded_put(self, entry: _Entry) -> None:
-        """Commit one entry with disk-fault retries and verification.
-
-        Chaos commit sites are consulted here (once per attempt):
-        ``store_enospc``/``store_eio`` surface as the OSError a real
-        full/failing disk would raise, and ``store_corrupt`` flips a
-        byte of the record *after* the write — which the verification
-        read-back (the store's own checksum machinery) must catch and
-        quarantine, triggering a rewrite.  A commit that keeps failing
-        past :data:`MAX_COMMIT_ATTEMPTS` raises the last disk error.
-        """
-        chaos = self.chaos_plan
-        last_error: Optional[OSError] = None
-        for attempt in range(1, MAX_COMMIT_ATTEMPTS + 1):
-            if attempt > 1:
-                self.commit_retries.inc()
-                time.sleep(
-                    min(1.0, COMMIT_BACKOFF_SECONDS * (2 ** (attempt - 2)))
-                )
-            fault = chaos.commit_fault() if chaos is not None else None
-            if fault is not None:
-                last_error = fault
-                self._log(
-                    f"  commit fault on {entry.spec.label} "
-                    f"(attempt {attempt}): {fault}"
-                )
-                continue
-            try:
-                self._put_record(entry)
-            except OSError as exc:
-                last_error = exc
-                self._log(
-                    f"  commit failed on {entry.spec.label} "
-                    f"(attempt {attempt}): {exc}"
-                )
-                continue
-            if not self.store.record_path(entry.fingerprint).exists():
-                # ResultStore.put tolerates a read-only filesystem by
-                # design (run uncached); nothing to verify or retry.
-                return
-            if chaos is not None and chaos.corrupts_commit():
-                corrupt_record_file(
-                    self.store.record_path(entry.fingerprint)
-                )
-            with warnings.catch_warnings():
-                # A corrupt read-back is quarantined (warning) and then
-                # rewritten here — expected under chaos, not news.
-                warnings.simplefilter("ignore", RuntimeWarning)
-                verified = self.store.get(entry.fingerprint) is not None
-            if verified:
-                return
-            last_error = OSError(
-                "commit verification failed (record quarantined)"
-            )
-            self._log(
-                f"  commit verification failed on {entry.spec.label} "
-                f"(attempt {attempt}); rewriting"
-            )
-        raise last_error or OSError("commit failed")
+        """Commit one entry via the shared :func:`guarded_commit`."""
+        guarded_commit(
+            self.store,
+            self.context,
+            entry.spec,
+            entry.fingerprint,
+            entry.report,
+            chaos=self.chaos_plan,
+            log=self._log,
+            on_retry=self.commit_retries.inc,
+        )
 
     # -- async surface --------------------------------------------------- #
 

@@ -29,8 +29,10 @@ double-write of the same fingerprint writes identical bytes.
 from __future__ import annotations
 
 import dataclasses
+import itertools
 import json
 import os
+import time
 import warnings
 import zlib
 from dataclasses import dataclass, field
@@ -91,24 +93,54 @@ def _fsync_dir(directory: Path) -> None:
         os.close(fd)
 
 
+#: Per-process tmp-name disambiguator (see :func:`_tmp_path`).
+_TMP_SEQ = itertools.count()
+
+
+def _tmp_path(path: Path) -> Path:
+    """A tmp name unique to this writer, next to *path*.
+
+    A *fixed* tmp name (the original ``<name>.tmp``) is a write-write
+    hazard: two processes committing the same fingerprint — the daemon
+    plus a batch sweep, or two daemons on one store — would open the
+    same tmp file, and the second open truncates it mid-write, so the
+    first writer's ``os.replace`` can commit the second's partial
+    bytes.  Content-addressing makes the *committed* bytes identical
+    either way, but only if each writer stages in its own file; the
+    pid + sequence suffix guarantees that.
+    """
+    return path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+    )
+
+
 def atomic_write_bytes(path: Path, blob: bytes) -> None:
-    """Durably write *blob* to *path*: tmp file, fsync the file, rename
-    over, fsync the directory.
+    """Durably write *blob* to *path*: private tmp file, fsync the
+    file, rename over, fsync the directory.
 
     The fsync-before-rename ordering is what makes the atomicity claim
     real on a crash: without it the rename can be on disk before the
     data blocks, leaving a truncated/empty "committed" file after power
-    loss.  Raises OSError on failure (callers decide whether a
-    read-only store is fatal).
+    loss.  The tmp name is unique per writer (:func:`_tmp_path`), so
+    concurrent same-path writers never stage through each other's
+    files.  Raises OSError on failure (callers decide whether a
+    read-only store is fatal); the tmp file is removed on the way out.
     """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = path.with_name(path.name + ".tmp")
-    with open(tmp, "wb") as fh:
-        fh.write(blob)
-        fh.flush()
-        os.fsync(fh.fileno())
-    os.replace(tmp, path)
+    tmp = _tmp_path(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
     _fsync_dir(path.parent)
 
 
@@ -191,7 +223,7 @@ class ResultStore:
                 "crc": _metrics_checksum(names, values),
             }
             ppath = self.payload_path(fingerprint)
-            ptmp = ppath.with_name(ppath.name + ".tmp")
+            ptmp = _tmp_path(ppath)
             try:
                 with open(ptmp, "wb") as fh:
                     np.savez_compressed(
@@ -204,6 +236,10 @@ class ResultStore:
                 os.replace(ptmp, ppath)
                 _fsync_dir(ppath.parent)
             except OSError:
+                try:
+                    ptmp.unlink()
+                except OSError:
+                    pass
                 payload = {"metrics": False, "crc": None}
         record: Dict[str, object] = {
             "schema": STORE_SCHEMA,
@@ -332,6 +368,97 @@ class ResultStore:
                     os.replace(path, self.quarantine_dir / path.name)
                 except OSError:
                     pass
+
+    # ------------------------------------------------------------------ #
+    # Garbage collection (``repro serve gc``)
+    # ------------------------------------------------------------------ #
+
+    def gc(
+        self,
+        max_age_seconds: float = 7 * 86400.0,
+        tmp_grace_seconds: float = 900.0,
+        dry_run: bool = False,
+        now: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Prune the store's operational litter; never touches entries.
+
+        Three sources of debris accumulate on a long-lived store, and
+        each has its own staleness rule:
+
+        * **orphaned ``*.tmp`` stages** — a writer killed between open
+          and rename leaves its private tmp file behind.  Any tmp file
+          older than *tmp_grace_seconds* is dead (live stages exist for
+          milliseconds) and is removed;
+        * **``interrupted_sweep.json``** — the graceful-shutdown
+          checkpoint.  It is stale once the sweep was actually resumed
+          (evidence: any record committed *after* the checkpoint was
+          written) or once it is older than *max_age_seconds*;
+        * **poison sidecars** — quarantine records under ``poison/``
+          older than *max_age_seconds* (old enough that the flaky
+          scenario has either been fixed or re-poisoned since).
+
+        Committed records, payloads, and quarantined entries are never
+        deleted — quarantine is evidence, not garbage.  Returns a
+        summary dict; with *dry_run* nothing is unlinked and the
+        summary lists what would have been.
+        """
+        clock = time.time() if now is None else now
+        removed: Dict[str, list] = {
+            "tmp": [], "checkpoints": [], "poison": [],
+        }
+
+        def _prune(path: Path, bucket: str) -> None:
+            removed[bucket].append(str(path))
+            if not dry_run:
+                try:
+                    path.unlink()
+                except OSError:
+                    removed[bucket].pop()
+
+        if self.root.exists():
+            for path in sorted(self.root.rglob("*.tmp")):
+                try:
+                    age = clock - path.stat().st_mtime
+                except OSError:
+                    continue
+                if age >= tmp_grace_seconds:
+                    _prune(path, "tmp")
+            checkpoint = self.root / "interrupted_sweep.json"
+            if checkpoint.exists():
+                try:
+                    ckpt_mtime = checkpoint.stat().st_mtime
+                except OSError:
+                    ckpt_mtime = None
+                if ckpt_mtime is not None:
+                    resumed = any(
+                        self._mtime(self.record_path(fp), 0.0) > ckpt_mtime
+                        for fp in self.keys()
+                    )
+                    if resumed or clock - ckpt_mtime >= max_age_seconds:
+                        _prune(checkpoint, "checkpoints")
+            if self.poison_dir.exists():
+                for path in sorted(self.poison_dir.glob("*.poison.json")):
+                    try:
+                        age = clock - path.stat().st_mtime
+                    except OSError:
+                        continue
+                    if age >= max_age_seconds:
+                        _prune(path, "poison")
+        return {
+            "root": str(self.root),
+            "dry_run": dry_run,
+            "tmp_removed": len(removed["tmp"]),
+            "checkpoints_removed": len(removed["checkpoints"]),
+            "poison_removed": len(removed["poison"]),
+            "removed": removed,
+        }
+
+    @staticmethod
+    def _mtime(path: Path, default: float) -> float:
+        try:
+            return path.stat().st_mtime
+        except OSError:
+            return default
 
     # ------------------------------------------------------------------ #
     # Inventory

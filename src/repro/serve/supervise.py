@@ -81,10 +81,41 @@ __all__ = [
     "ShutdownGuard",
     "SupervisionPolicy",
     "SupervisionReport",
+    "TaskIntake",
     "is_transient",
     "load_poison_records",
     "write_interrupt_checkpoint",
 ]
+
+
+class TaskIntake:
+    """What :meth:`ShardSupervisor.serve` pulls tasks from.
+
+    Duck-typed contract (the daemon adapts its
+    :class:`~repro.serve.queue.FairQueue` to it); documented as a class
+    so the supervisor side is explicit:
+
+    * ``poll()`` — next :class:`ScenarioTask` without blocking, or
+      ``None`` when nothing is queued *right now*;
+    * ``wait(timeout)`` — block up to *timeout* seconds for an item or
+      close, so the idle supervisor sleeps on a condition instead of
+      spinning at the watchdog tick;
+    * ``closed`` — ``True`` once no further task will ever be
+      *accepted* (the producer side is shut).  The serve loop exits
+      when ``closed`` holds, ``poll()`` came back empty, and nothing
+      is in flight — so a closed-but-not-yet-drained intake still gets
+      its backlog executed.
+    """
+
+    def poll(self):  # pragma: no cover - interface documentation
+        raise NotImplementedError
+
+    def wait(self, timeout: Optional[float] = None):  # pragma: no cover
+        raise NotImplementedError
+
+    @property
+    def closed(self) -> bool:  # pragma: no cover
+        raise NotImplementedError
 
 #: Exit code for a sweep drained gracefully after SIGINT/SIGTERM
 #: (EX_TEMPFAIL: partial progress committed, rerun resumes from the
@@ -630,23 +661,51 @@ class ShardSupervisor:
         tasks: Sequence[ScenarioTask],
         on_outcome: Callable[[ScenarioOutcome], None],
     ) -> SupervisionReport:
+        """Drive one fixed batch to terminal states (the sweep path)."""
         ready = deque(_JobState(task) for task in tasks)
+        workers_n = min(self.jobs, max(1, len(ready)))
+        return self._supervise(ready, None, workers_n, on_outcome)
+
+    def serve(
+        self,
+        intake: "TaskIntake",
+        on_outcome: Callable[[ScenarioOutcome], None],
+    ) -> SupervisionReport:
+        """Long-lived mode: pull :class:`ScenarioTask`\\ s from *intake*
+        until it closes (the daemon path, DESIGN.md §14).
+
+        *intake* is polled only when a worker slot is free, so the
+        intake's own ordering policy (the daemon's priority +
+        weighted-fair tenant queue) decides what runs next — the
+        supervisor never buffers ahead.  The full pool is spawned up
+        front and stays warm between requests; retries, deadlines,
+        poison, and drain semantics are identical to :meth:`run`.
+        """
+        return self._supervise(deque(), intake, self.jobs, on_outcome)
+
+    def _supervise(
+        self,
+        ready: "deque[_JobState]",
+        intake: Optional["TaskIntake"],
+        workers_n: int,
+        on_outcome: Callable[[ScenarioOutcome], None],
+    ) -> SupervisionReport:
         self._delayed = []
         in_flight = 0
         workers = [
-            _Worker(self._mp, self.ctx_kwargs)
-            for _ in range(min(self.jobs, max(1, len(ready))))
+            _Worker(self._mp, self.ctx_kwargs) for _ in range(workers_n)
         ]
         tick = self.policy.watchdog_tick_seconds
         try:
-            while ready or self._delayed or in_flight:
+            while True:
                 now = time.monotonic()
                 while self._delayed and self._delayed[0][0] <= now:
                     ready.append(heapq.heappop(self._delayed)[2])
-                if (
+                draining = (
                     self.shutdown is not None
                     and self.shutdown.drain_requested
-                ):
+                )
+                if draining:
                     dropped = len(ready) + len(self._delayed)
                     if dropped:
                         self.report.pending += dropped
@@ -663,18 +722,34 @@ class ShardSupervisor:
                         break
                     if not in_flight:
                         break
-                for worker in workers:
-                    if worker.busy is None and ready:
+                else:
+                    for worker in workers:
+                        if worker.busy is not None:
+                            continue
+                        job: Optional[_JobState] = None
+                        if ready:
+                            job = ready.popleft()
+                        elif intake is not None:
+                            task = intake.poll()
+                            if task is not None:
+                                job = _JobState(task)
+                        if job is None:
+                            break
                         if self._dispatch(
-                            worker, ready.popleft(), workers, on_outcome
+                            worker, job, workers, on_outcome
                         ):
                             in_flight += 1
+                if not ready and not self._delayed and not in_flight:
+                    if intake is None or intake.closed:
+                        break
                 conns = [w.result_r for w in workers if w.busy is not None]
                 if not conns:
                     if self._delayed:
                         time.sleep(
                             min(tick, max(0.0, self._delayed[0][0] - now))
                         )
+                    elif intake is not None:
+                        intake.wait(tick)
                     continue
                 for conn in _conn_wait(conns, tick):
                     worker = next(
@@ -708,6 +783,7 @@ class ShardSupervisor:
                             worker.busy = None
                             worker.kill()
                     in_flight = 0
+                    break
         finally:
             for worker in workers:
                 if worker.busy is not None or not worker.alive:

@@ -1,0 +1,334 @@
+"""Integration tests: the resident scenario daemon over real HTTP.
+
+One module-scoped daemon (real asyncio server, real supervised worker
+pool, real sockets on an ephemeral loopback port) serves every test;
+the assertions are the service contract from DESIGN.md §14: results
+bit-identical to the batch path, one execution per unique fingerprint
+no matter how many clients ask, commits that survive a client
+disconnect, honest /healthz //queue //metrics, and a clean drain.
+"""
+
+import http.client
+import json
+import threading
+import time
+
+import pytest
+
+from repro.api import ScenarioSpec, Session
+from repro.errors import DaemonUnavailable
+from repro.serve import SweepClient
+from repro.serve.daemon import ScenarioDaemon, daemon_policy
+from repro.serve.scheduler import spec_fingerprint
+from repro.serve.supervise import SupervisionPolicy, load_poison_records
+from repro.sim.config import paper_mtlb, paper_no_mtlb
+
+TINY = {"em3d": 0.02, "radix": 0.02}
+
+FAST = SupervisionPolicy(
+    deadline_seconds=60.0,
+    grace_seconds=2.0,
+    backoff_base_seconds=0.05,
+    backoff_cap_seconds=0.2,
+)
+
+
+def _session(tmp, name):
+    return Session(
+        quick=True, scales=dict(TINY),
+        cache_dir=tmp / "cache", store=tmp / name, jobs=2,
+    )
+
+
+def _specs(seed=1998):
+    return [
+        ScenarioSpec(w, config, seed=seed)
+        for w in ("em3d", "radix")
+        for config in (paper_no_mtlb(96), paper_mtlb(96))
+    ]
+
+
+def _record_bytes(store):
+    return {
+        fp: store.record_path(fp).read_bytes() for fp in store.keys()
+    }
+
+
+def _get(port, path):
+    conn = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        conn.request("GET", path)
+        response = conn.getresponse()
+        return response.status, response.read()
+    finally:
+        conn.close()
+
+
+def _start(tmp):
+    daemon = ScenarioDaemon(
+        session=_session(tmp, "daemon_store"),
+        jobs=2, policy=daemon_policy(FAST),
+    )
+    thread = threading.Thread(
+        target=lambda: daemon.run(port=0), daemon=True
+    )
+    thread.start()
+    assert daemon.wait_ready(60.0)
+    assert daemon.port, "daemon failed to bind"
+    return daemon, thread
+
+
+@pytest.fixture(scope="module")
+def served(tmp_path_factory):
+    daemon, thread = _start(tmp_path_factory.mktemp("daemon"))
+    yield daemon, f"http://127.0.0.1:{daemon.port}"
+    daemon.guard.request_drain()
+    thread.join(60.0)
+    assert not thread.is_alive()
+
+
+def _client(tmp, name, url, tenant):
+    return SweepClient(
+        session=_session(tmp, name), daemon=url, tenant=tenant
+    )
+
+
+class TestBitIdentity:
+    def test_daemon_sweep_matches_batch_sweep(
+        self, served, tmp_path
+    ):
+        """The acceptance pillar: fig3-shaped specs through the daemon
+        commit records byte-for-byte identical to a local batch sweep
+        of the same specs into a fresh store."""
+        daemon, url = served
+        batch = SweepClient(
+            session=_session(tmp_path, "batch_store"),
+            jobs=2, policy=FAST,
+        )
+        specs = _specs(seed=1998)
+        batch_reports = batch.sweep(specs)
+        assert all(r.ok for r in batch_reports)
+
+        client = _client(tmp_path, "client_store", url, "identity")
+        daemon_reports = client.sweep(specs)
+        assert all(r.ok for r in daemon_reports)
+        for local, remote in zip(batch_reports, daemon_reports):
+            assert remote.stats == local.stats
+            assert remote.fingerprint == local.fingerprint
+
+        batch_records = _record_bytes(batch.store)
+        assert batch_records
+        for fp, payload in batch_records.items():
+            assert daemon.store.record_path(fp).read_bytes() == payload
+
+    def test_resweep_is_served_from_the_store(self, served, tmp_path):
+        daemon, url = served
+        client = _client(tmp_path, "client_store", url, "identity")
+        before = daemon.simulated.value
+        reports = client.sweep(_specs(seed=1998))
+        assert all(r.cache_hit for r in reports)
+        assert daemon.simulated.value == before
+
+
+class TestDedupe:
+    def test_concurrent_clients_one_execution_per_fingerprint(
+        self, served, tmp_path
+    ):
+        """Two clients, same batch, at the same time: the daemon runs
+        each unique fingerprint exactly once; every duplicate answer is
+        a coalesced waiter or (if one batch commits first) a store hit
+        — and /metrics says so."""
+        daemon, url = served
+        specs = _specs(seed=77)
+        unique = {
+            spec_fingerprint(spec, daemon.context) for spec in specs
+        }
+        assert len(unique) == len(specs)
+        executed0 = daemon.executed.value
+        simulated0 = daemon.simulated.value
+        answered0 = (
+            daemon.coalesced.value + daemon.store_hits.value
+        )
+
+        outcomes = {}
+
+        def sweep(tenant):
+            client = _client(tmp_path, f"{tenant}_store", url, tenant)
+            outcomes[tenant] = client.sweep(_specs(seed=77))
+
+        threads = [
+            threading.Thread(target=sweep, args=(t,))
+            for t in ("alice", "bob")
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(300.0)
+        assert set(outcomes) == {"alice", "bob"}
+        for reports in outcomes.values():
+            assert all(r.ok for r in reports)
+
+        assert daemon.executed.value - executed0 == len(unique)
+        assert daemon.simulated.value - simulated0 == len(unique)
+        dupes = 2 * len(specs) - len(unique)
+        answered = (
+            daemon.coalesced.value + daemon.store_hits.value - answered0
+        )
+        assert answered == dupes
+
+        status, body = _get(daemon.port, "/metrics")
+        assert status == 200
+        text = body.decode("utf-8")
+        assert (
+            f"serve_daemon_executed_total {daemon.executed.value}"
+            in text
+        )
+        assert "serve_daemon_coalesced_total" in text
+
+
+class TestDisconnect:
+    def test_midstream_disconnect_still_commits(self, served, tmp_path):
+        """A client that dies after the accepted line costs nothing but
+        its own answer: the scenario still runs to a committed store
+        record, the worker slot stays healthy, and the daemon counts
+        one disconnect."""
+        daemon, url = served
+        spec = ScenarioSpec("em3d", paper_mtlb(96), seed=4242)
+        fingerprint = spec_fingerprint(spec, daemon.context)
+        assert daemon.store.get(fingerprint) is None
+        disconnects0 = daemon.disconnects.value
+
+        from repro.api import spec_to_doc
+
+        body = json.dumps(
+            {"tenant": "flaky", "specs": [spec_to_doc(spec)]}
+        ).encode("utf-8")
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=60
+        )
+        conn.request(
+            "POST", "/v1/sweep", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = conn.getresponse()
+        assert response.status == 200
+        accepted = json.loads(response.readline())
+        assert accepted["event"] == "accepted"
+        # Walk away mid-stream.  The response holds its own dup of the
+        # socket fd, so it must be closed too or no FIN ever goes out.
+        response.close()
+        conn.close()
+
+        deadline = time.monotonic() + 120.0
+        while time.monotonic() < deadline:
+            if daemon.store.get(fingerprint) is not None:
+                break
+            time.sleep(0.2)
+        record = daemon.store.get(fingerprint)
+        assert record is not None, "abandoned scenario never committed"
+        assert not load_poison_records(daemon.store.poison_dir)
+
+        deadline = time.monotonic() + 30.0
+        while time.monotonic() < deadline:
+            if daemon.disconnects.value > disconnects0:
+                break
+            time.sleep(0.2)
+        assert daemon.disconnects.value > disconnects0
+
+        # The pool is still healthy: the same spec is now a store hit.
+        client = _client(tmp_path, "after_store", url, "after")
+        (report,) = client.sweep([spec])
+        assert report.ok and report.cache_hit
+
+
+class TestEndpoints:
+    def test_healthz_reports_ok(self, served):
+        daemon, _ = served
+        status, body = _get(daemon.port, "/healthz")
+        assert status == 200
+        doc = json.loads(body)
+        assert doc["status"] == "ok"
+        assert doc["jobs"] == 2
+
+    def test_queue_endpoint_shape(self, served):
+        daemon, _ = served
+        status, body = _get(daemon.port, "/queue")
+        assert status == 200
+        doc = json.loads(body)
+        assert "queue" in doc and "inflight" in doc
+        assert "depth" in doc["queue"]
+
+    def test_unknown_route_404_and_wrong_method_405(self, served):
+        daemon, _ = served
+        status, _ = _get(daemon.port, "/nope")
+        assert status == 404
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=30
+        )
+        try:
+            conn.request("POST", "/metrics")
+            assert conn.getresponse().status == 405
+        finally:
+            conn.close()
+
+    def test_malformed_sweep_is_400(self, served):
+        daemon, _ = served
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=30
+        )
+        try:
+            conn.request(
+                "POST", "/v1/sweep",
+                body=json.dumps({"specs": [{"workload": "nope"}]}),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            assert response.status == 400
+            assert b"unknown workload" in response.read()
+        finally:
+            conn.close()
+
+
+class TestDrain:
+    def test_drain_finishes_inflight_then_exits_clean(self, tmp_path):
+        """Its own daemon (the module one must stay up): submit work,
+        request a drain mid-flight, and require a 0 exit with every
+        admitted scenario committed."""
+        daemon, thread = _start(tmp_path)
+        url = f"http://127.0.0.1:{daemon.port}"
+        spec = ScenarioSpec("radix", paper_no_mtlb(96), seed=31)
+        fingerprint = spec_fingerprint(spec, daemon.context)
+        outcomes = []
+
+        def sweep():
+            client = SweepClient(
+                session=_session(tmp_path, "drain_client"),
+                daemon=url, tenant="drainer",
+            )
+            outcomes.append(client.sweep([spec]))
+
+        sweeper = threading.Thread(target=sweep)
+        sweeper.start()
+        # Drain only once the scenario is *dispatched* (flight open,
+        # queue drained): the drain contract finishes busy workers but
+        # drops still-queued work with a typed error.
+        deadline = time.monotonic() + 60.0
+        while time.monotonic() < deadline and not (
+            daemon._flights and not len(daemon.queue)
+        ):
+            time.sleep(0.05)
+        daemon.guard.request_drain()
+        sweeper.join(120.0)
+        thread.join(120.0)
+        assert not thread.is_alive()
+        assert daemon._stopped.is_set()
+        assert daemon._fatal is None
+        assert daemon.store.get(fingerprint) is not None
+        (reports,) = outcomes
+        assert reports[0].ok
+
+        with pytest.raises(DaemonUnavailable):
+            SweepClient(
+                session=_session(tmp_path, "late_client"),
+                daemon=url, tenant="late",
+            ).sweep([spec])

@@ -1,0 +1,123 @@
+"""Unit tests: the spec wire codec (daemon JSON protocol).
+
+The daemon admits work by fingerprint, so the codec's contract is not
+"equal-ish after a round trip" but *fingerprint-exact*: a spec
+serialised by a client, shipped as JSON, and rebuilt by the daemon must
+hash to the same store address as the original.  Anything less and the
+daemon would re-execute (or worse, mis-serve) scenarios the batch path
+already committed.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.api import (
+    ScenarioSpec,
+    config_from_tree,
+    spec_from_doc,
+    spec_to_doc,
+)
+from repro.errors import SpecValidationError
+from repro.faults.plan import FaultConfig
+from repro.serve.scheduler import spec_fingerprint
+from repro.sim.config import paper_base, paper_mtlb
+
+
+def wire_trip(spec):
+    """Client-side encode -> JSON bytes -> daemon-side decode."""
+    return spec_from_doc(json.loads(json.dumps(spec_to_doc(spec))))
+
+
+class _Ctx:
+    """Minimal stand-in for the scale context spec_fingerprint reads."""
+
+    quick = True
+    sanitize = False
+    scales = {"em3d": 0.02, "radix": 0.02}
+
+    def scale_of(self, workload):
+        return self.scales.get(workload, 0.02)
+
+
+def fp(spec):
+    return spec_fingerprint(spec, _Ctx())
+
+
+class TestRoundTrip:
+    def test_plain_spec_is_fingerprint_exact(self):
+        spec = ScenarioSpec("em3d", paper_mtlb(96), seed=7)
+        assert fp(wire_trip(spec)) == fp(spec)
+
+    def test_mix_spec_keeps_scheduling_shape(self):
+        spec = ScenarioSpec(
+            ("em3d", "radix"), paper_base(), seed=3,
+            quantum_refs=5000, switch_cost=200,
+        )
+        back = wire_trip(spec)
+        assert back.is_mix
+        assert back.workloads == ("em3d", "radix")
+        assert back.quantum_refs == 5000
+        assert back.switch_cost == 200
+        assert fp(back) == fp(spec)
+
+    def test_fault_triggers_survive_json_listification(self):
+        """JSON turns the ((site, n), ...) trigger tuples into nested
+        lists; the decoder must rebuild real tuples or FaultConfig
+        equality (and the fingerprint) breaks."""
+        config = dataclasses.replace(
+            paper_base(),
+            faults=FaultConfig(triggers=(("mtlb_parity", 3),)),
+        )
+        spec = ScenarioSpec("em3d", config)
+        back = wire_trip(spec)
+        assert back.config.faults.triggers == (("mtlb_parity", 3),)
+        assert fp(back) == fp(spec)
+
+    def test_overrides_round_trip_without_touching_fingerprint(self):
+        base = ScenarioSpec("em3d", paper_base())
+        spec = dataclasses.replace(
+            base, engine="scalar", scale=0.5,
+            deadline_seconds=30.0, max_attempts=2,
+        )
+        back = wire_trip(spec)
+        assert back.engine == "scalar"
+        assert back.deadline_seconds == 30.0
+        assert back.max_attempts == 2
+        # Budget overrides are result-irrelevant: fingerprint-excluded.
+        assert fp(back) == fp(dataclasses.replace(base, scale=0.5))
+
+    def test_missing_config_defaults_to_paper_base(self):
+        back = spec_from_doc({"workload": "em3d"})
+        assert back.config == paper_base()
+
+
+class TestRejection:
+    def test_unknown_spec_field_is_a_hard_error(self):
+        doc = spec_to_doc(ScenarioSpec("em3d"))
+        doc["frobnicate"] = 1
+        with pytest.raises(SpecValidationError, match="frobnicate"):
+            spec_from_doc(doc)
+
+    def test_unknown_config_field_is_a_hard_error(self):
+        doc = spec_to_doc(ScenarioSpec("em3d"))
+        doc["config"]["made_up_knob"] = True
+        with pytest.raises(SpecValidationError, match="made_up_knob"):
+            spec_from_doc(doc)
+
+    def test_missing_workload_rejected(self):
+        with pytest.raises(SpecValidationError, match="workload"):
+            spec_from_doc({"seed": 1})
+
+    def test_non_object_documents_rejected(self):
+        with pytest.raises(SpecValidationError):
+            spec_from_doc(["em3d"])
+        with pytest.raises(SpecValidationError):
+            config_from_tree("tlb96")
+
+    def test_invalid_field_values_surface_as_validation_errors(self):
+        with pytest.raises(SpecValidationError):
+            spec_from_doc({"workload": "em3d", "scale": -1.0})
+        with pytest.raises(SpecValidationError):
+            spec_from_doc({"workload": "em3d", "engine": "quantum"})

@@ -1,0 +1,89 @@
+"""Unit tests: the Prometheus text-format encoder.
+
+The encoder is consumed by a real scraper (the daemon's ``/metrics``),
+so the tests pin the exposition-format contract: counter ``_total``
+suffixing, TYPE lines, cumulative histogram buckets ending in ``+Inf``,
+name sanitisation, and label escaping.
+"""
+
+from repro.obs import (
+    MetricsRegistry,
+    render_prometheus,
+    render_prometheus_mapping,
+)
+
+
+def lines_of(text):
+    return [line for line in text.splitlines() if line]
+
+
+class TestRenderRegistry:
+    def test_counters_get_total_suffix_and_type(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.daemon.store_hits").inc(3)
+        out = render_prometheus(reg)
+        assert "# TYPE serve_daemon_store_hits_total counter" in out
+        assert "serve_daemon_store_hits_total 3" in out
+
+    def test_gauges_keep_their_name(self):
+        reg = MetricsRegistry()
+        reg.gauge("serve.queue_depth").set(7)
+        out = render_prometheus(reg)
+        assert "# TYPE serve_queue_depth gauge" in out
+        assert "serve_queue_depth 7" in out
+
+    def test_histogram_buckets_are_cumulative(self):
+        reg = MetricsRegistry()
+        hist = reg.histogram("wall.seconds", (1.0, 5.0))
+        for value in (0.5, 0.7, 3.0, 100.0):
+            hist.observe(value)
+        out = render_prometheus(reg)
+        assert '# TYPE wall_seconds histogram' in out
+        assert 'wall_seconds_bucket{le="1.0"} 2' in out
+        assert 'wall_seconds_bucket{le="5.0"} 3' in out
+        assert 'wall_seconds_bucket{le="+Inf"} 4' in out
+        assert "wall_seconds_count 4" in out
+        assert "wall_seconds_sum" in out
+
+    def test_extra_labels_attach_to_every_series(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.gauge("depth").set(1)
+        out = render_prometheus(reg, extra_labels={"instance": "d-1"})
+        assert 'hits_total{instance="d-1"} 1' in out
+        assert 'depth{instance="d-1"} 1' in out
+
+    def test_name_sanitisation(self):
+        reg = MetricsRegistry()
+        reg.counter("serve.daemon.store-hits").inc()
+        out = render_prometheus(reg)
+        assert "serve_daemon_store_hits_total" in out
+
+    def test_scrape_is_side_effect_free(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc(5)
+        first = render_prometheus(reg)
+        second = render_prometheus(reg)
+        assert first == second
+
+
+class TestRenderMapping:
+    def test_mapping_exports_as_gauges(self):
+        out = render_prometheus_mapping(
+            {"total_cycles": 123, "tlb.miss_rate": 0.5}
+        )
+        assert "# TYPE total_cycles gauge" in out
+        assert "total_cycles 123" in out
+        assert "tlb_miss_rate 0.5" in out
+
+    def test_mapping_labels_and_escaping(self):
+        out = render_prometheus_mapping(
+            {"x": 1}, extra_labels={"run": 'em3d|"quoted"'}
+        )
+        assert 'x{run="em3d|\\"quoted\\""} 1' in out
+
+    def test_sorted_and_newline_terminated(self):
+        out = render_prometheus_mapping({"b": 2, "a": 1})
+        assert out.endswith("\n")
+        body = lines_of(out)
+        assert body.index("a 1") < body.index("b 2")

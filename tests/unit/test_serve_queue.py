@@ -1,0 +1,179 @@
+"""Unit tests: the daemon's priority + weighted-fair tenant queue.
+
+The queue is the daemon's scheduling decision, so its contract is
+tested directly: priority bands strictly dominate, tenants inside a
+band interleave by virtual time regardless of arrival order, a greedy
+tenant cannot starve a small one, idleness never banks into a burst,
+and the close/wait lifecycle matches what the supervisor's serve loop
+expects.
+"""
+
+import threading
+
+import pytest
+
+from repro.serve.queue import FairQueue, QueueClosed
+
+
+def drain(queue):
+    out = []
+    while True:
+        item = queue.poll()
+        if item is None:
+            return out
+        out.append(item)
+
+
+class TestOrdering:
+    def test_fifo_single_tenant(self):
+        q = FairQueue()
+        for i in range(5):
+            q.push("a", i)
+        assert drain(q) == [0, 1, 2, 3, 4]
+
+    def test_priority_bands_dominate(self):
+        q = FairQueue()
+        q.push("a", "low", priority=0)
+        q.push("a", "high", priority=5)
+        q.push("a", "mid", priority=1)
+        assert drain(q) == ["high", "mid", "low"]
+
+    def test_equal_weight_tenants_interleave(self):
+        """Tenant b's 3 items must not wait behind all 6 of tenant a's,
+        despite arriving later."""
+        q = FairQueue()
+        for i in range(6):
+            q.push("a", f"a{i}")
+        for i in range(3):
+            q.push("b", f"b{i}")
+        order = drain(q)
+        # b's items interleave near the front: every b item pops before
+        # a's item of the same per-tenant rank + 1 (virtual times tie,
+        # arrival seq breaks the tie in a's favour only rank-for-rank).
+        assert order.index("b0") <= 2
+        assert order.index("b1") <= 4
+        assert order.index("b2") <= 6
+
+    def test_greedy_tenant_cannot_starve_small_one(self):
+        """The satellite's fairness bound: one tenant enqueues 100, the
+        other 5; the small tenant's median pop position stays in the
+        first ~tenth of the schedule instead of after all 100."""
+        q = FairQueue()
+        for i in range(100):
+            q.push("greedy", ("greedy", i))
+        for i in range(5):
+            q.push("small", ("small", i))
+        order = drain(q)
+        positions = [
+            index for index, (tenant, _) in enumerate(order)
+            if tenant == "small"
+        ]
+        assert len(positions) == 5
+        p50 = sorted(positions)[2]
+        # Perfect start-time fairness interleaves small's k-th item at
+        # position ~2k; allow slack but forbid anything like FIFO
+        # (where p50 would be 102).
+        assert p50 <= 10, f"small tenant starved: positions={positions}"
+        assert positions[-1] <= 12
+
+    def test_weights_shift_the_share(self):
+        q = FairQueue()
+        for i in range(8):
+            q.push("heavy", ("heavy", i), weight=4.0)
+            q.push("light", ("light", i), weight=1.0)
+        first_five = [tenant for tenant, _ in drain(q)[:5]]
+        assert first_five.count("heavy") >= 3
+
+    def test_idle_tenant_cannot_burst(self):
+        """A tenant that sat idle re-joins at the band's virtual clock:
+        its backlog interleaves with the active tenant's from *now*, it
+        does not pre-empt wholesale with banked virtual time."""
+        q = FairQueue()
+        for i in range(4):
+            q.push("active", ("active", i))
+        for _ in range(4):
+            q.poll()  # active advances the band clock to ~4
+        for i in range(4):
+            q.push("active", ("active", 4 + i))
+        for i in range(3):
+            q.push("latecomer", ("late", i))
+        order = [tenant for tenant, _ in drain(q)]
+        # Interleaved, not three lates first.
+        assert order[:3] != ["late", "late", "late"]
+        assert "late" in order[:2]
+
+    def test_deterministic_tie_break_by_arrival(self):
+        a = FairQueue()
+        b = FairQueue()
+        for q in (a, b):
+            for i in range(10):
+                q.push(f"t{i % 3}", i)
+        assert drain(a) == drain(b)
+
+
+class TestLifecycle:
+    def test_push_after_close_raises(self):
+        q = FairQueue()
+        q.push("a", 1)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.push("a", 2)
+        assert q.closed
+        # The backlog still drains after close.
+        assert drain(q) == [1]
+
+    def test_get_blocks_until_push(self):
+        q = FairQueue()
+        got = []
+
+        def consumer():
+            got.append(q.get(timeout=5.0))
+
+        thread = threading.Thread(target=consumer)
+        thread.start()
+        q.push("a", 42)
+        thread.join(5.0)
+        assert got == [42]
+
+    def test_wait_wakes_on_close(self):
+        q = FairQueue()
+        woke = []
+
+        def waiter():
+            woke.append(q.wait(timeout=5.0))
+
+        thread = threading.Thread(target=waiter)
+        thread.start()
+        q.close()
+        thread.join(5.0)
+        assert woke == [False]  # woke up, nothing queued
+
+    def test_invalid_weights_rejected(self):
+        q = FairQueue()
+        with pytest.raises(ValueError):
+            q.push("a", 1, weight=0.0)
+        with pytest.raises(ValueError):
+            FairQueue(default_weight=-1.0)
+
+
+class TestIntrospection:
+    def test_len_and_depths(self):
+        q = FairQueue()
+        assert len(q) == 0
+        q.push("a", 1)
+        q.push("a", 2)
+        q.push("b", 3, priority=2)
+        assert len(q) == 3
+        assert q.depths() == {"a": 2, "b": 1}
+        q.poll()
+        assert len(q) == 2
+
+    def test_snapshot_shape(self):
+        q = FairQueue()
+        q.push("a", 1)
+        q.push("b", 2, priority=3, weight=2.0)
+        snap = q.snapshot()
+        assert snap["depth"] == 2
+        assert not snap["closed"]
+        assert set(snap["bands"]) == {"0", "3"}
+        assert snap["bands"]["3"]["b"]["weight"] == 2.0

@@ -8,6 +8,7 @@ cannot vouch for (corrupt entries are quarantined and regenerated).
 
 import dataclasses
 import json
+import time
 
 import pytest
 
@@ -290,3 +291,174 @@ class TestSpecValidation:
 
         with pytest.raises(SpecValidationError, match="scale"):
             ScenarioSpec("em3d", scale=0.0)
+
+
+class TestConcurrentWriters:
+    """Satellite hardening: many processes committing one fingerprint."""
+
+    FP = "cd" + "1" * 62
+
+    def test_parallel_same_fingerprint_writers(self, tmp_path):
+        """N processes hammering the same entry must leave one valid,
+        servable record — no torn bytes, no quarantine, no .tmp litter.
+
+        Before the private-tmp-name fix, two writers staged through the
+        same ``<name>.tmp`` file: the second open truncated the first
+        writer's bytes mid-write, so a rename could commit a partial
+        file.
+        """
+        import multiprocessing
+
+        root = tmp_path / "store"
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(
+                target=_hammer_store, args=(str(root), self.FP, 25)
+            )
+            for _ in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(120)
+            assert proc.exitcode == 0
+        store = ResultStore(root)
+        record = store.get(self.FP)  # full checksum verification
+        assert record is not None
+        assert record.run_stats().total_cycles == 4242
+        assert record.metrics == {"total_cycles": 4242.0}
+        assert not store.quarantine_dir.exists()
+        assert list(root.rglob("*.tmp")) == []
+
+    def test_tmp_stage_names_are_private(self, tmp_path):
+        from repro.serve.store import _tmp_path
+
+        target = tmp_path / "x.json"
+        assert _tmp_path(target) != _tmp_path(target)
+
+    def test_failed_write_cleans_its_stage(self, tmp_path, monkeypatch):
+        import repro.serve.store as store_mod
+
+        def boom(src, dst):
+            raise OSError("disk says no")
+
+        monkeypatch.setattr(store_mod.os, "replace", boom)
+        with pytest.raises(OSError):
+            store_mod.atomic_write_bytes(tmp_path / "x.json", b"{}")
+        assert list(tmp_path.glob("*.tmp")) == []
+
+
+def _hammer_store(root, fingerprint, rounds):
+    """Worker for test_parallel_same_fingerprint_writers (spawn target
+    must be module-level picklable)."""
+    from repro.serve.store import ResultStore
+    from repro.sim.stats import RunStats
+
+    store = ResultStore(root)
+    for _ in range(rounds):
+        store.put(
+            fingerprint,
+            workload="em3d",
+            config_label="tlb96",
+            stats=RunStats(total_cycles=4242, references=10),
+            metrics={"total_cycles": 4242.0},
+            meta={"seed": 1998},
+        )
+
+
+class TestGc:
+    """``repro serve gc``: prune litter, never entries."""
+
+    FP = "ef" + "2" * 62
+
+    def _seeded(self, tmp_path):
+        store = ResultStore(tmp_path / "store")
+        store.put(
+            self.FP, workload="em3d", config_label="tlb96",
+            stats=_stats(), meta={},
+        )
+        return store
+
+    def test_old_tmp_files_pruned_fresh_kept(self, tmp_path):
+        import os
+
+        store = self._seeded(tmp_path)
+        shard = store.record_path(self.FP).parent
+        old = shard / "dead.json.12345.0.tmp"
+        old.write_bytes(b"partial")
+        ancient = time.time() - 3600
+        os.utime(old, (ancient, ancient))
+        fresh = shard / "live.json.12345.1.tmp"
+        fresh.write_bytes(b"in-flight")
+        summary = store.gc(tmp_grace_seconds=900.0)
+        assert summary["tmp_removed"] == 1
+        assert not old.exists()
+        assert fresh.exists()
+        assert store.get(self.FP) is not None  # entries untouched
+
+    def test_checkpoint_pruned_after_resume(self, tmp_path):
+        import os
+
+        store = self._seeded(tmp_path)
+        checkpoint = store.root / "interrupted_sweep.json"
+        checkpoint.write_text("{}")
+        # The record commit is *newer* than the checkpoint: the sweep
+        # was resumed, the checkpoint is stale.
+        past = time.time() - 500
+        os.utime(checkpoint, (past, past))
+        summary = store.gc(max_age_seconds=7 * 86400.0)
+        assert summary["checkpoints_removed"] == 1
+        assert not checkpoint.exists()
+
+    def test_unresumed_checkpoint_kept_until_max_age(self, tmp_path):
+        import os
+
+        store = self._seeded(tmp_path)
+        checkpoint = store.root / "interrupted_sweep.json"
+        checkpoint.write_text("{}")
+        # Checkpoint *newer* than every record: not resumed yet.
+        summary = store.gc(max_age_seconds=7 * 86400.0)
+        assert summary["checkpoints_removed"] == 0
+        assert checkpoint.exists()
+        ancient = time.time() - 8 * 86400
+        os.utime(checkpoint, (ancient, ancient))
+        summary = store.gc(max_age_seconds=7 * 86400.0)
+        assert summary["checkpoints_removed"] == 1
+
+    def test_old_poison_sidecars_pruned(self, tmp_path):
+        import os
+
+        store = self._seeded(tmp_path)
+        store.poison_dir.mkdir(parents=True)
+        old = store.poison_dir / "aa.poison.json"
+        old.write_text("{}")
+        ancient = time.time() - 8 * 86400
+        os.utime(old, (ancient, ancient))
+        fresh = store.poison_dir / "bb.poison.json"
+        fresh.write_text("{}")
+        summary = store.gc(max_age_seconds=7 * 86400.0)
+        assert summary["poison_removed"] == 1
+        assert not old.exists()
+        assert fresh.exists()
+
+    def test_dry_run_removes_nothing(self, tmp_path):
+        import os
+
+        store = self._seeded(tmp_path)
+        shard = store.record_path(self.FP).parent
+        old = shard / "dead.json.1.0.tmp"
+        old.write_bytes(b"partial")
+        ancient = time.time() - 3600
+        os.utime(old, (ancient, ancient))
+        summary = store.gc(dry_run=True)
+        assert summary["dry_run"] is True
+        assert summary["tmp_removed"] == 1
+        assert old.exists()
+
+    def test_quarantine_is_never_garbage(self, tmp_path):
+        store = self._seeded(tmp_path)
+        store.quarantine_dir.mkdir(parents=True)
+        evidence = store.quarantine_dir / "bad.json"
+        evidence.write_text("{}")
+        store.gc(max_age_seconds=0.0, tmp_grace_seconds=0.0)
+        assert evidence.exists()
