@@ -147,7 +147,18 @@ class BenchContext:
         cached = self._traces.get(workload)
         if cached is not None:
             return cached
-        scale = self.scale_of(workload)
+        trace = self.trace_at(workload, self.scale_of(workload))
+        self._traces[workload] = trace
+        return trace
+
+    def trace_at(self, workload: str, scale: float) -> Trace:
+        """Load or generate *workload*'s trace at an explicit *scale*.
+
+        Disk cache only: the in-memory cache is keyed by name with the
+        scale implied by ``scales``, so callers (the sweep prewarm
+        paths) can warm arbitrary (workload, scale) pairs without
+        disturbing this context's own resolution.
+        """
         path = self.cache_dir / (
             f"{workload}_s{scale:g}_seed{self.seed}.npz"
         )
@@ -173,7 +184,6 @@ class BenchContext:
                 save_trace(trace, path)
             except OSError:
                 pass  # read-only filesystem: run uncached
-        self._traces[workload] = trace
         return trace
 
     # ------------------------------------------------------------------ #

@@ -52,6 +52,7 @@ from .scheduler import (
     SweepTicket,
     execute_spec,
     guarded_commit,
+    resolve_scales,
     spec_fingerprint,
     spec_scale,
 )
@@ -105,6 +106,7 @@ __all__ = [
     "execute_spec",
     "guarded_commit",
     "load_poison_records",
+    "resolve_scales",
     "run_soak",
     "scenario_fingerprint",
     "spec_fingerprint",

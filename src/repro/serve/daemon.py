@@ -72,7 +72,7 @@ from .http import (
     read_request,
 )
 from .queue import FairQueue, QueueClosed
-from .scheduler import guarded_commit, spec_fingerprint, _apply_scales
+from .scheduler import guarded_commit, resolve_scales, spec_fingerprint
 from .store import ResultStore, default_store_root
 from .supervise import (
     ScenarioOutcome,
@@ -331,6 +331,9 @@ class ScenarioDaemon:
                         _committable(task.spec, outcome),
                         log=self._log,
                         on_retry=self.commit_retries.inc,
+                        scales=(
+                            dict(task.scales) if task.scales else None
+                        ),
                     )
             except OSError as exc:
                 # The result is real even if the disk refused it; the
@@ -500,12 +503,31 @@ class ScenarioDaemon:
         self.sweeps.inc()
         self.specs.inc(len(specs))
 
-        await self._prewarm(specs)
+        # Admit first, prewarm after: each spec's effective scales are
+        # resolved immutably against the session defaults (the shared
+        # context is never written to), store hits and coalesced
+        # flights are answered without touching the warm lock, and only
+        # the specs that will actually execute pay for trace warm-up.
         ready: List[tuple] = []  # (index, source, payload)
         waiting: List[tuple] = []  # (index, source, future)
+        launch: List[tuple] = []  # (index, spec, scales, fingerprint)
         for index, spec in enumerate(specs):
-            source, payload, future = await self._admit(
-                spec, tenant, priority, weight
+            scales = resolve_scales(spec, self.context)
+            fingerprint = spec_fingerprint(spec, self.context, scales)
+            source, payload, future = await self._lookup(fingerprint)
+            if payload is not None:
+                ready.append((index, source, payload))
+            elif future is not None:
+                waiting.append((index, source, future))
+            else:
+                launch.append((index, spec, scales, fingerprint))
+        if launch:
+            await self._prewarm(
+                [(spec, scales) for _, spec, scales, _ in launch]
+            )
+        for index, spec, scales, fingerprint in launch:
+            source, payload, future = self._launch(
+                spec, scales, fingerprint, tenant, priority, weight
             )
             if future is None:
                 ready.append((index, source, payload))
@@ -518,8 +540,9 @@ class ScenarioDaemon:
         # request reader means the client hung up.  Watching it is the
         # only reliable mid-stream disconnect signal: small chunked
         # writes land in the kernel buffer and "succeed" long after the
-        # peer reset the connection.
-        client_gone = asyncio.ensure_future(reader.read(1))
+        # peer reset the connection.  Only a true EOF counts — stray
+        # trailing bytes from a sloppy client are drained and ignored.
+        client_gone = asyncio.ensure_future(_watch_eof(reader))
         self._active_streams += 1
         results = errors = 0
         try:
@@ -562,37 +585,34 @@ class ScenarioDaemon:
             client_gone.cancel()
             self._active_streams -= 1
 
-    async def _prewarm(self, specs: List[ScenarioSpec]) -> None:
-        """Generate missing workload traces once, in the parent.
+    async def _prewarm(self, pairs: List[tuple]) -> None:
+        """Ensure the on-disk trace cache holds every (workload, scale)
+        these ``(spec, scales)`` pairs will run at.
 
         The batch scheduler does the same before dispatch: N workers
         must never race to generate one trace.  Serialized across
-        requests, off the event loop.
+        requests, off the event loop, against each request's own
+        resolved scales — the shared daemon context is never mutated.
         """
+        wanted = dict.fromkeys(
+            (name, scales[name])
+            for spec, scales in pairs
+            for name in spec.workloads
+        )
         async with self._warm_lock:
-            for spec in specs:
-                _apply_scales(self.context, spec)
-            names = dict.fromkeys(
-                name for spec in specs for name in spec.workloads
-            )
-            for name in names:
+            for name, scale in wanted:
                 await self._loop.run_in_executor(
-                    None, self.context.trace, name
+                    None, self.context.trace_at, name, scale
                 )
 
-    async def _admit(
-        self,
-        spec: ScenarioSpec,
-        tenant: str,
-        priority: int,
-        weight: Optional[float],
-    ):
-        """Dedupe one spec: store hit, coalesce, or enqueue.
+    async def _lookup(self, fingerprint: Optional[str]):
+        """Answer one spec from the store or an existing flight, without
+        committing to an execution.
 
-        Returns ``(source, payload, None)`` when answerable now, or
-        ``(source, None, future)`` when the answer is a flight.
+        Returns ``(source, payload, None)`` for a store hit,
+        ``("coalesced", None, future)`` for an in-flight fingerprint,
+        or ``(None, None, None)`` when the spec needs its own flight.
         """
-        fingerprint = spec_fingerprint(spec, self.context)
         if fingerprint is not None and self.store is not None:
             record = await self._loop.run_in_executor(
                 None, self.store.get, fingerprint
@@ -606,11 +626,38 @@ class ScenarioDaemon:
                     "metrics": record.metrics,
                     "wall_seconds": 0.0,
                 }, None
-        if fingerprint is not None and fingerprint in self._by_fp:
-            flight = self._by_fp[fingerprint]
-            future = self._loop.create_future()
-            flight.waiters.append(future)
-            self.coalesced.inc()
+        future = self._coalesce(fingerprint)
+        if future is not None:
+            return "coalesced", None, future
+        return None, None, None
+
+    def _coalesce(self, fingerprint: Optional[str]):
+        """Attach a waiter to an existing flight, or None."""
+        if fingerprint is None or fingerprint not in self._by_fp:
+            return None
+        flight = self._by_fp[fingerprint]
+        future = self._loop.create_future()
+        flight.waiters.append(future)
+        self.coalesced.inc()
+        return future
+
+    def _launch(
+        self,
+        spec: ScenarioSpec,
+        scales: Dict[str, float],
+        fingerprint: Optional[str],
+        tenant: str,
+        priority: int,
+        weight: Optional[float],
+    ):
+        """Open a flight for one spec and enqueue it (post-prewarm).
+
+        Another request may have opened the same fingerprint while our
+        prewarm awaited, so coalescing is re-checked here — no await
+        between the check and the flight registration.
+        """
+        future = self._coalesce(fingerprint)
+        if future is not None:
             return "coalesced", None, future
         task_id = next(self._task_ids)
         flight = _Flight(
@@ -628,6 +675,7 @@ class ScenarioDaemon:
             fingerprint=fingerprint,
             workload="+".join(spec.workloads),
             config_label=spec.config.label,
+            scales=tuple(sorted(scales.items())),
         )
         try:
             self.queue.push(
@@ -687,6 +735,21 @@ class ScenarioDaemon:
             "wall_seconds": payload.get("wall_seconds", 0.0),
         })
         return True
+
+
+async def _watch_eof(reader: asyncio.StreamReader) -> None:
+    """Resolve only when the client truly went away.
+
+    Data on the request reader after the body (a stray trailing byte, a
+    pipelined request the daemon will never serve) is drained and
+    ignored — a client that *sent* something is still connected.  Only
+    an empty read (EOF) or a reset ends the watch.
+    """
+    try:
+        while await reader.read(4096):
+            pass
+    except (ConnectionError, OSError):
+        pass
 
 
 def _error_payload(

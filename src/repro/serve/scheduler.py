@@ -73,6 +73,7 @@ __all__ = [
     "SweepTicket",
     "execute_spec",
     "guarded_commit",
+    "resolve_scales",
     "spec_fingerprint",
     "spec_scale",
 ]
@@ -91,23 +92,45 @@ COMMIT_BACKOFF_SECONDS = 0.05
 # ====================================================================== #
 
 
-def spec_scale(spec: ScenarioSpec, context: BenchContext):
+def resolve_scales(
+    spec: ScenarioSpec, context: BenchContext
+) -> Dict[str, float]:
+    """The spec's effective per-workload input scales, resolved
+    immutably: the explicit ``spec.scale`` override when set, else
+    *context*'s current default.  Nothing is written back to the
+    context, so many requests resolving against one shared long-lived
+    context (the daemon) can never contaminate each other — the scale a
+    spec is fingerprinted at is decided here, once, and carried with
+    the spec from then on."""
+    return {
+        name: (
+            spec.scale if spec.scale is not None
+            else context.scale_of(name)
+        )
+        for name in spec.workloads
+    }
+
+
+def spec_scale(
+    spec: ScenarioSpec,
+    context: BenchContext,
+    scales: Optional[Dict[str, float]] = None,
+):
     """The spec's resolved input scale: one float, or one per mix
     member (the shape :func:`~repro.serve.fingerprint.
-    canonical_scenario` expects)."""
+    canonical_scenario` expects).  *scales* is a pre-resolved map from
+    :func:`resolve_scales`; None resolves against *context* now."""
+    if scales is None:
+        scales = resolve_scales(spec, context)
     if spec.is_mix:
-        return [
-            spec.scale if spec.scale is not None else context.scale_of(w)
-            for w in spec.workloads
-        ]
-    return (
-        spec.scale if spec.scale is not None
-        else context.scale_of(spec.workload)
-    )
+        return [scales[w] for w in spec.workloads]
+    return scales[spec.workload]
 
 
 def spec_fingerprint(
-    spec: ScenarioSpec, context: BenchContext
+    spec: ScenarioSpec,
+    context: BenchContext,
+    scales: Optional[Dict[str, float]] = None,
 ) -> Optional[str]:
     """The spec's store address, or None when it must not be cached.
 
@@ -115,6 +138,11 @@ def spec_fingerprint(
     the store does not hold, and sanitize runs exist to *execute* the
     invariant audits — serving either from the store would silently
     skip what the user asked for, so both always simulate.
+
+    *scales* is a pre-resolved :func:`resolve_scales` map; callers that
+    go on to execute the spec should resolve once and pass the same map
+    here, to execution, and to the commit, so the address can never
+    drift from what actually ran.
     """
     config = spec.config
     if config.obs.enabled:
@@ -123,38 +151,70 @@ def spec_fingerprint(
         return None
     if spec.is_mix:
         return scenario_fingerprint(
-            spec.workload, config, spec_scale(spec, context), spec.seed,
+            spec.workload, config,
+            spec_scale(spec, context, scales), spec.seed,
             quantum_refs=spec.quantum_refs,
             switch_cost=spec.switch_cost,
         )
     return scenario_fingerprint(
-        spec.workload, config, spec_scale(spec, context), spec.seed
+        spec.workload, config, spec_scale(spec, context, scales),
+        spec.seed,
     )
 
 
-def _apply_scales(context: BenchContext, spec: ScenarioSpec) -> None:
-    """Pin the context's scales to the spec's explicit override.
+def _pin_scales(
+    context: BenchContext, scales: Dict[str, float]
+) -> None:
+    """Set the context's scale table to exactly *scales*.
 
     The context's in-memory trace cache is keyed by workload name only,
     so a changed scale must also drop the stale cached trace.
     """
-    if spec.scale is None:
-        return
-    for name in spec.workloads:
-        if context.scales.get(name) != spec.scale:
-            context.scales[name] = spec.scale
+    for name, scale in scales.items():
+        if context.scales.get(name) != scale:
+            context.scales[name] = scale
             context._traces.pop(name, None)
 
 
-def execute_spec(context: BenchContext, spec: ScenarioSpec) -> RunResult:
+def _restore_scales(
+    context: BenchContext, saved: Dict[str, Optional[float]]
+) -> None:
+    """Undo :func:`_pin_scales`: put back each saved scale (None =
+    the key was absent) and drop any trace cached at the pinned one."""
+    for name, scale in saved.items():
+        if context.scales.get(name) == scale:
+            continue
+        if scale is None:
+            context.scales.pop(name, None)
+        else:
+            context.scales[name] = scale
+        context._traces.pop(name, None)
+
+
+def execute_spec(
+    context: BenchContext,
+    spec: ScenarioSpec,
+    scales: Optional[Dict[str, float]] = None,
+) -> RunResult:
     """Simulate one spec on *context*; the single execution funnel.
 
     Single workloads go through :meth:`BenchContext.run` (which applies
     the context's engine/sanitize overrides and the reference budget);
     mixes build a :class:`~repro.sim.multiprog.MultiProgram` over the
     context's cached traces with the same overrides applied.
+
+    *scales* pins the exact per-workload input scales to run at — the
+    map the caller fingerprinted with; None resolves the spec against
+    the context's current defaults.  Either way the context's scale
+    table is restored afterwards, so one spec's explicit override never
+    leaks into a later spec's resolution on a shared context.
     """
-    _apply_scales(context, spec)
+    if scales is None:
+        scales = resolve_scales(spec, context)
+    saved_scales = {
+        name: context.scales.get(name) for name in scales
+    }
+    _pin_scales(context, scales)
     saved_budget = context.max_references
     if spec.max_references is not None:
         context.max_references = spec.max_references
@@ -176,6 +236,7 @@ def execute_spec(context: BenchContext, spec: ScenarioSpec) -> RunResult:
         return multi.result
     finally:
         context.max_references = saved_budget
+        _restore_scales(context, saved_scales)
 
 
 def _put_record(
@@ -184,8 +245,9 @@ def _put_record(
     spec: ScenarioSpec,
     fingerprint: str,
     report: RunReport,
+    scales: Optional[Dict[str, float]] = None,
 ) -> None:
-    scale = spec_scale(spec, context)
+    scale = spec_scale(spec, context, scales)
     store.put(
         fingerprint,
         workload="+".join(spec.workloads),
@@ -217,6 +279,7 @@ def guarded_commit(
     chaos: Optional[ChaosPlan] = None,
     log: Optional[Callable[[str], None]] = None,
     on_retry: Optional[Callable[[], None]] = None,
+    scales: Optional[Dict[str, float]] = None,
 ) -> None:
     """Commit one report with disk-fault retries and verification.
 
@@ -228,7 +291,10 @@ def guarded_commit(
     the store's own checksum machinery, must catch and quarantine,
     triggering a rewrite).  A commit that keeps failing past
     :data:`MAX_COMMIT_ATTEMPTS` raises the last disk error.  *on_retry*
-    fires once per retry attempt (the ``serve.commit_retries`` counter).
+    fires once per retry attempt (the ``serve.commit_retries``
+    counter).  *scales* is the resolved map the scenario was
+    fingerprinted and executed with, so the canonical record can never
+    claim a scale other than the one that actually ran.
     """
     emit = log if log is not None else (lambda message: None)
     last_error: Optional[OSError] = None
@@ -248,7 +314,9 @@ def guarded_commit(
             )
             continue
         try:
-            _put_record(store, context, spec, fingerprint, report)
+            _put_record(
+                store, context, spec, fingerprint, report, scales
+            )
         except OSError as exc:
             last_error = exc
             emit(
@@ -305,6 +373,9 @@ class _Entry:
     index: int
     spec: ScenarioSpec
     fingerprint: Optional[str]
+    #: The resolved per-workload scales this entry was fingerprinted
+    #: at; execution and commit pin exactly these.
+    scales: Optional[Dict[str, float]] = None
     report: Optional[RunReport] = None
     error: Optional[BaseException] = None
     #: The entry this one deduplicated onto (same fingerprint, earlier
@@ -419,6 +490,7 @@ class SweepScheduler:
             chaos=self.chaos_plan,
             log=self._log,
             on_retry=self.commit_retries.inc,
+            scales=entry.scales,
         )
 
     # -- async surface --------------------------------------------------- #
@@ -442,8 +514,9 @@ class SweepScheduler:
         ticket = SweepTicket(entries=entries, on_result=on_result)
         for index, spec in enumerate(specs):
             self.submitted.inc()
-            fingerprint = spec_fingerprint(spec, self.context)
-            entry = _Entry(index, spec, fingerprint)
+            scales = resolve_scales(spec, self.context)
+            fingerprint = spec_fingerprint(spec, self.context, scales)
+            entry = _Entry(index, spec, fingerprint, scales=scales)
             entries.append(entry)
             if fingerprint is not None and self.store is not None:
                 record = self.store.get(fingerprint)
@@ -473,15 +546,15 @@ class SweepScheduler:
         jobs = max(1, self.jobs)
         if jobs > 1 and len(ticket.to_run) > 1:
             # Pre-warm the on-disk trace cache in the parent so N
-            # workers never race to generate the same trace.
-            for entry in ticket.to_run:
-                _apply_scales(self.context, entry.spec)
-            for name in dict.fromkeys(
-                name
+            # workers never race to generate the same trace — at each
+            # entry's resolved scale, without mutating the shared
+            # context's own scale table.
+            for name, scale in dict.fromkeys(
+                (name, entry.scales[name])
                 for entry in ticket.to_run
                 for name in entry.spec.workloads
             ):
-                self.context.trace(name)
+                self.context.trace_at(name, scale)
             workers = min(jobs, len(ticket.to_run))
             ticket.supervisor = ShardSupervisor(
                 self._ctx_kwargs(),
@@ -508,6 +581,7 @@ class SweepScheduler:
                     fingerprint=entry.fingerprint,
                     workload="+".join(entry.spec.workloads),
                     config_label=entry.spec.config.label,
+                    scales=tuple(sorted(entry.scales.items())),
                 )
                 for entry in ticket.to_run
             ]
@@ -600,7 +674,7 @@ class SweepScheduler:
             self._log(f"  running {spec.label}...")
             start = time.perf_counter()
             try:
-                result = execute_spec(self.context, spec)
+                result = execute_spec(self.context, spec, entry.scales)
             except Exception as exc:  # noqa: BLE001 - isolation boundary
                 self.failed.inc()
                 entry.error = exc

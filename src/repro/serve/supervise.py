@@ -104,7 +104,10 @@ class TaskIntake:
       *accepted* (the producer side is shut).  The serve loop exits
       when ``closed`` holds, ``poll()`` came back empty, and nothing
       is in flight — so a closed-but-not-yet-drained intake still gets
-      its backlog executed.
+      its backlog executed;
+    * ``__len__`` (optional) — current backlog depth; a draining
+      supervisor adds it to ``report.pending`` once, so the drain
+      report accounts for intake work it will never poll.
     """
 
     def poll(self):  # pragma: no cover - interface documentation
@@ -211,6 +214,12 @@ class ScenarioTask:
     fingerprint: Optional[str] = None
     workload: str = ""
     config_label: str = ""
+    #: The exact per-workload input scales this scenario must run at,
+    #: as sorted (name, scale) pairs resolved when the fingerprint was
+    #: computed.  Shipped with every dispatch so the worker pins
+    #: precisely these, whatever its context ran before; None lets the
+    #: worker resolve against its own defaults.
+    scales: Optional[Tuple[Tuple[str, float], ...]] = None
 
 
 @dataclass
@@ -477,7 +486,7 @@ def _supervised_worker(ctx_kwargs: dict, task_conn, result_conn) -> None:
             return
         if task is None:
             return
-        token, spec, directive = task
+        token, spec, scales, directive = task
         if directive is not None and directive.active:
             if directive.kill:
                 os.kill(os.getpid(), signal.SIGKILL)
@@ -488,7 +497,9 @@ def _supervised_worker(ctx_kwargs: dict, task_conn, result_conn) -> None:
         if context is None:
             context = BenchContext(**ctx_kwargs)
         try:
-            result = execute_spec(context, spec)
+            result = execute_spec(
+                context, spec, dict(scales) if scales else None
+            )
             outcome = (
                 token,
                 dataclasses.asdict(result.stats),
@@ -706,6 +717,15 @@ class ShardSupervisor:
                     and self.shutdown.drain_requested
                 )
                 if draining:
+                    if not self.report.interrupted and intake is not None:
+                        # First drain tick: the intake's un-polled
+                        # backlog is dropped work too — count it once
+                        # so the report is honest (the daemon fails
+                        # those waiters itself).
+                        try:
+                            self.report.pending += len(intake)
+                        except TypeError:
+                            pass  # intake without __len__
                     dropped = len(ready) + len(self._delayed)
                     if dropped:
                         self.report.pending += dropped
@@ -817,7 +837,9 @@ class ShardSupervisor:
         deadline, _ = self._effective(job.task)
         started = time.monotonic()
         try:
-            worker.task_w.send((token, job.task.spec, directive))
+            worker.task_w.send(
+                (token, job.task.spec, job.task.scales, directive)
+            )
         except (BrokenPipeError, OSError):
             exitcode = worker.proc.exitcode
             worker.kill()

@@ -10,6 +10,7 @@ disconnect, honest /healthz //queue //metrics, and a clean drain.
 
 import http.client
 import json
+import socket
 import threading
 import time
 
@@ -239,6 +240,105 @@ class TestDisconnect:
         client = _client(tmp_path, "after_store", url, "after")
         (report,) = client.sweep([spec])
         assert report.ok and report.cache_hit
+
+    def test_stray_trailing_byte_is_not_a_disconnect(self, served):
+        """A client that sends junk after its body is still connected:
+        only a true EOF aborts the stream, so the sweep must run to a
+        "done" event on the same socket."""
+        daemon, _ = served
+        from repro.api import spec_to_doc
+
+        spec = ScenarioSpec("radix", paper_mtlb(96), seed=616)
+        body = json.dumps(
+            {"tenant": "stray", "specs": [spec_to_doc(spec)]}
+        ).encode("utf-8")
+        head = (
+            "POST /v1/sweep HTTP/1.1\r\n"
+            "Host: daemon\r\n"
+            "Content-Type: application/json\r\n"
+            f"Content-Length: {len(body)}\r\n\r\n"
+        ).encode("latin-1")
+        disconnects0 = daemon.disconnects.value
+        with socket.create_connection(
+            ("127.0.0.1", daemon.port), timeout=180
+        ) as sock:
+            sock.sendall(head + body + b"\n")  # stray byte after body
+            chunks = []
+            while True:
+                chunk = sock.recv(65536)
+                if not chunk:
+                    break
+                chunks.append(chunk)
+        text = b"".join(chunks).decode("utf-8")
+        assert '"event": "result"' in text
+        assert '"event": "done"' in text
+        assert daemon.disconnects.value == disconnects0
+
+
+class TestScaleIsolation:
+    def test_explicit_scale_never_contaminates_later_requests(
+        self, served, tmp_path
+    ):
+        """One tenant's explicit scale override must be pinned to that
+        request alone: a later default-scale request for the same
+        workload still fingerprints, simulates, and commits at the
+        session default, and the daemon's own scale table is untouched
+        (the high-severity contamination from the review)."""
+        daemon, url = served
+        baseline = dict(daemon.context.scales)
+        config = paper_mtlb(96)
+        override = ScenarioSpec("em3d", config, seed=808, scale=0.01)
+        default = ScenarioSpec("em3d", config, seed=909)
+        # Expected identity of the default spec, from a pristine
+        # context the daemon never saw.
+        pristine = _session(tmp_path, "pristine_store").context
+        expected = spec_fingerprint(default, pristine)
+
+        scaler = _client(tmp_path, "scaler_store", url, "scaler")
+        (first,) = scaler.sweep([override])
+        assert first.ok
+        assert daemon.store.get(first.fingerprint).meta["scale"] == 0.01
+
+        other = _client(tmp_path, "other_store", url, "other")
+        (second,) = other.sweep([default])
+        assert second.ok
+        assert second.fingerprint == expected
+        record = daemon.store.get(expected)
+        assert record.meta["scale"] == baseline["em3d"]
+        assert daemon.context.scales == baseline
+
+        # Full bit-identity with the batch path for the default spec.
+        batch = SweepClient(
+            session=_session(tmp_path, "scale_batch_store"),
+            jobs=2, policy=FAST,
+        )
+        (local,) = batch.sweep([default])
+        assert local.fingerprint == expected
+        assert (
+            daemon.store.record_path(expected).read_bytes()
+            == batch.store.record_path(expected).read_bytes()
+        )
+
+    def test_fully_cached_batch_skips_trace_warmup(
+        self, served, tmp_path, monkeypatch
+    ):
+        """A batch answerable entirely from the store is admitted
+        before any trace warm-up: it must never generate or load
+        traces under the global warm lock."""
+        daemon, url = served
+        spec = ScenarioSpec("radix", paper_no_mtlb(96), seed=515)
+        client = _client(tmp_path, "warm_store", url, "warm")
+        (first,) = client.sweep([spec])
+        assert first.ok
+
+        def boom(name, scale):
+            raise AssertionError(
+                f"cached batch warmed trace {name} at {scale}"
+            )
+
+        monkeypatch.setattr(daemon.context, "trace_at", boom)
+        (again,) = client.sweep([spec])
+        assert again.ok and again.cache_hit
 
 
 class TestEndpoints:

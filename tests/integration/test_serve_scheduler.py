@@ -153,6 +153,58 @@ class TestSchedulerDedupe:
         assert reports[0].stats is None
 
 
+class TestScaleHygiene:
+    def test_explicit_scale_never_leaks_into_later_specs(self, session):
+        """A spec's explicit scale override is pinned to that spec
+        alone: a default-scale spec in the same serial batch still
+        resolves, executes, and commits at the session default, and
+        the session's own scale table comes back untouched."""
+        from repro.serve import spec_fingerprint
+
+        baseline = dict(session.context.scales)
+        config = paper_mtlb(96)
+        override = ScenarioSpec("em3d", config, scale=0.01, seed=71)
+        default = ScenarioSpec("em3d", config, seed=72)
+        expected = spec_fingerprint(default, session.context)
+
+        reports = session.sweep([override, default])
+        assert all(r.ok for r in reports)
+        assert reports[1].fingerprint == expected
+        assert session.context.scales == baseline
+        assert session.store.get(
+            reports[0].fingerprint
+        ).meta["scale"] == 0.01
+        assert session.store.get(expected).meta["scale"] == (
+            baseline["em3d"]
+        )
+
+    def test_parallel_workers_pin_the_resolved_scales(self, session):
+        """The pool path ships each scenario's resolved scales to the
+        workers: mixed override/default batches over 2 workers commit
+        every record at exactly the scale its fingerprint claims."""
+        baseline = dict(session.context.scales)
+        config = paper_mtlb(96)
+        specs = [
+            ScenarioSpec("em3d", config, scale=0.01, seed=81),
+            ScenarioSpec("em3d", config, seed=82),
+            ScenarioSpec("radix", config, scale=0.01, seed=83),
+            ScenarioSpec("radix", config, seed=84),
+        ]
+        scheduler = SweepScheduler(
+            context=session.context, store=session.store, jobs=2
+        )
+        reports = scheduler.sweep(specs)
+        assert all(r.ok for r in reports)
+        assert session.context.scales == baseline
+        for spec, report in zip(specs, reports):
+            record = session.store.get(report.fingerprint)
+            want = (
+                spec.scale if spec.scale is not None
+                else baseline[spec.workload]
+            )
+            assert record.meta["scale"] == want, spec
+
+
 class TestResumeAsCacheHit:
     CONFIGS = staticmethod(
         lambda: {

@@ -246,6 +246,34 @@ class TestGracefulDrain:
         assert all(r.ok for r in reports)
         assert sum(r.cache_hit for r in reports) >= len(finished)
 
+    def test_serve_drain_counts_unpolled_intake(self, tmp_path):
+        """Serve-mode drain: tasks still sitting in the intake queue
+        are dropped work, and the report's ``pending`` says so instead
+        of silently undercounting."""
+        from repro.serve.queue import FairQueue
+        from repro.serve.supervise import ScenarioTask, ShardSupervisor
+
+        guard = ShutdownGuard()
+        guard.request_drain()
+        queue = FairQueue()
+        for index, spec in enumerate(_specs()[:3]):
+            queue.push(
+                "tenant",
+                ScenarioTask(index=index, spec=spec, label=spec.label),
+            )
+        supervisor = ShardSupervisor(
+            {
+                "quick": True, "scales": dict(TINY),
+                "cache_dir": tmp_path / "cache", "seed": 1998,
+                "max_references": None, "engine": None,
+                "sanitize": False,
+            },
+            jobs=1, policy=FAST, shutdown=guard,
+        )
+        report = supervisor.serve(queue, lambda outcome: None)
+        assert report.interrupted
+        assert report.pending == 3
+
 
 class TestSoakHarness:
     def test_small_soak_converges(self, tmp_path):
