@@ -141,11 +141,13 @@ def validate_spec(spec: ScenarioSpec) -> None:
     """Reject a spec that cannot run, *before* any worker is spawned.
 
     This is the fail-fast layer the CLI and the scheduler share: an
-    ``engine='vector'`` request on an unbatchable configuration (an
-    active fault plan, a set-associative cache) used to die inside a
-    shard worker with a bare :class:`~repro.errors.SimulationError`;
-    now it raises :class:`~repro.errors.SpecValidationError` in the
-    submitting process with the scalar-forcing explanation.
+    ``engine='vector'`` request on an unbatchable configuration used to
+    die inside a shard worker with a bare
+    :class:`~repro.errors.SimulationError`; now it raises
+    :class:`~repro.errors.SpecValidationError` in the submitting
+    process.  Since the PR-8 lift every expressible configuration
+    batches, so the probe passes today — it stays wired as the
+    pre-spawn gate for future unbatchable backends.
     """
     known = set(workload_names())
     for name in spec.workloads:
@@ -314,6 +316,23 @@ class RunReport:
         return self.error is None
 
     @property
+    def engine(self) -> str:
+        """Engine that produced the stats: ``"vector"``/``"scalar"``,
+        or ``""`` when unknown (a failed run, or a store record written
+        before the metric existed).  Derived from the
+        ``sim.engine_resolved`` registry metric so it survives every
+        serving path — fresh serial runs, shard workers, and
+        content-addressed store hits — and daemon tenants can see which
+        engine served their scenario.
+        """
+        if self.metrics is None:
+            return ""
+        flag = self.metrics.get("sim.engine_resolved")
+        if flag is None:
+            return ""
+        return "vector" if flag else "scalar"
+
+    @property
     def total_cycles(self) -> int:
         if self.stats is None:
             raise ValueError(f"scenario failed: {self.error}")
@@ -328,6 +347,7 @@ class RunReport:
             config_label=self.spec.config.label,
             stats=self.stats,
             metrics=self.metrics,
+            engine=self.engine,
         )
 
     def stats_dict(self) -> Dict[str, object]:

@@ -11,7 +11,9 @@ tooling works:
   component;
 * every ``kind="diff"`` bug corrupts only the *vector* engine's run, so
   the lockstep harness must report its first divergence at the planted
-  boundary in the planted component;
+  boundary in the planted component (the PR-8 bugs pin their own
+  machine — set-associative / fault-armed — to reach the lifted vector
+  paths);
 * every bug's failure must survive :func:`~repro.check.shrink.shrink_trace`
   down to a ≤1000-reference standalone repro.
 
@@ -28,7 +30,7 @@ from typing import Callable, Dict, List, Optional
 import numpy as np
 
 from ..errors import InvariantViolation
-from ..sim.config import SystemConfig, paper_mtlb
+from ..sim.config import CacheConfig, SystemConfig, paper_mtlb
 from ..trace.events import MapRegion, Remap
 from ..trace.trace import Trace, make_segment
 from .lockstep import run_lockstep
@@ -60,10 +62,21 @@ class PlantedBug:
     boundary: int = WARM_BOUNDARY
     #: Engine whose run is corrupted; None = every run (sanitizer bugs).
     engine: Optional[str] = None
+    #: Machine this bug needs; None = the shared :func:`corpus_config`.
+    #: The PR-8 bugs target vector paths only reachable on
+    #: set-associative / fault-armed machines.
+    config_factory: Optional[Callable[[], SystemConfig]] = field(
+        default=None, repr=False
+    )
 
     def applies_to(self, engine: str) -> bool:
         """True if this bug corrupts runs of *engine*."""
         return self.engine is None or self.engine == engine
+
+    def make_config(self) -> SystemConfig:
+        """The machine configuration this bug must be planted on."""
+        factory = self.config_factory or corpus_config
+        return factory()
 
     def on_boundary(self, system, boundary: int) -> None:
         """Fire the corruption when its boundary is reached."""
@@ -79,6 +92,33 @@ class PlantedBug:
 def corpus_config() -> SystemConfig:
     """The machine the corpus runs on: the paper's 96-entry-TLB MTLB box."""
     return paper_mtlb(96)
+
+
+def assoc_corpus_config() -> SystemConfig:
+    """The way-skew bug's machine: the corpus box with a 2 MB 2-way L1.
+
+    Sized so the 1 MB corpus region fits without evictions: the bug
+    corrupts only the vector engine's residency mirror, and evicting a
+    mirror-corrupted line would trip the mirror-update bookkeeping
+    instead of producing the clean stats divergence the differ must
+    localise.
+    """
+    return dataclasses.replace(
+        corpus_config(),
+        cache=CacheConfig(size_bytes=2 << 20, associativity=2),
+    )
+
+
+def fault_corpus_config() -> SystemConfig:
+    """The clamp-skew bug's machine: the corpus box with one scheduled
+    mtlb-parity trigger the run reaches mid-way (the warm boundary sits
+    near 1.8k consultations, end of run near 8.7k)."""
+    from ..faults import FaultConfig
+
+    return dataclasses.replace(
+        corpus_config(),
+        faults=FaultConfig(triggers=(("mtlb_parity", 4000),)),
+    )
 
 
 def corpus_trace(seed: int = 1998) -> Trace:
@@ -195,6 +235,37 @@ def _corrupt_vector_tlb_nru(system) -> None:
     entry.nru_referenced = not entry.nru_referenced
 
 
+def _corrupt_assoc_way_skew(system) -> None:
+    from ..mem.cache import _INVALID
+
+    cache = system.cache
+    if not hasattr(cache, "ensure_mirror"):
+        raise RuntimeError(
+            "assoc-way-skew needs a set-associative cache "
+            "(plant it on assoc_corpus_config())"
+        )
+    plane = cache.ensure_mirror()
+    resident = plane != _INVALID
+    if not resident.any():
+        raise RuntimeError("corpus machine has no resident cache lines")
+    # Bogus-but-unused tag value: every resident line now predicts as a
+    # miss (the safe corruption direction — a non-resident line
+    # predicting as a hit would break retirement instead of diverging).
+    plane[resident] = -9
+
+
+def _corrupt_trigger_clamp_skew(system) -> None:
+    plan = system.fault_plan
+    if plan is None:
+        raise RuntimeError(
+            "trigger-clamp-skew needs an armed fault plan "
+            "(plant it on fault_corpus_config())"
+        )
+    sched = plan._sched
+    for site in sched.counts:
+        sched.counts[site] += 10_000
+
+
 CORPUS: List[PlantedBug] = [
     PlantedBug(
         name="shadow-ref-leak",
@@ -279,6 +350,30 @@ CORPUS: List[PlantedBug] = [
         corrupt=_corrupt_vector_tlb_nru,
         engine="vector",
     ),
+    PlantedBug(
+        name="assoc-way-skew",
+        kind="diff",
+        component="stats",
+        description="set-assoc residency mirror desyncs from the "
+        "per-set dicts: resident lines predict as misses, so the "
+        "vector engine charges memory stalls the scalar engine never "
+        "pays (PR-8 way-match path)",
+        corrupt=_corrupt_assoc_way_skew,
+        engine="vector",
+        config_factory=assoc_corpus_config,
+    ),
+    PlantedBug(
+        name="trigger-clamp-skew",
+        kind="diff",
+        component="stats",
+        description="window-clamp consultation mutates the fault "
+        "schedule instead of being a pure read: the scheduled "
+        "mtlb-parity trigger is skipped, so the vector run never "
+        "injects the fault the scalar run does (PR-8 clamp path)",
+        corrupt=_corrupt_trigger_clamp_skew,
+        engine="vector",
+        config_factory=fault_corpus_config,
+    ),
 ]
 
 _BY_NAME: Dict[str, PlantedBug] = {bug.name: bug for bug in CORPUS}
@@ -348,8 +443,13 @@ def validate_bug(
 
 
 def validate_corpus(seed: int = 1998) -> List[BugOutcome]:
-    """Validate every corpus bug against a fresh seeded workload."""
+    """Validate every corpus bug against a fresh seeded workload.
+
+    Each bug runs on the machine it needs (:meth:`PlantedBug.make_config`)
+    — the shared corpus box unless the bug pins its own, like the PR-8
+    set-assoc and fault-armed vector bugs.
+    """
     return [
-        validate_bug(bug, corpus_trace(seed), corpus_config())
+        validate_bug(bug, corpus_trace(seed), bug.make_config())
         for bug in CORPUS
     ]

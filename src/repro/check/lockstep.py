@@ -113,8 +113,9 @@ def run_lockstep(
     object) is armed inside the check hook before each boundary's
     digest, so a planted divergence is caught at exactly the boundary it
     targets.  The configuration's own ``engine`` setting is ignored —
-    one run is forced scalar, the other vector (the config must be
-    vector-batchable, which every paper configuration is).
+    one run is forced scalar, the other vector (every expressible
+    configuration batches since the PR-8 restriction lift, so set-assoc
+    and fault-armed configs lockstep too).
     """
     name = workload if workload is not None else trace.name
     scalar_b, _, scalar_stats = _run_engine(

@@ -18,10 +18,13 @@ The invariants:
   side-effect-free probe returns the *most specific* covering entry —
   overlapping entries of different sizes must never shadow a smaller
   one (the paper's variable-page-size lookup rule).
-* **cache** — (direct-mapped) the mutation stamp never rewinds; no line
-  is dirty-but-invalid; every valid tag names a line inside installed
-  DRAM or the shadow window.  (set-associative) no set exceeds its
-  associativity.
+* **cache** — the mutation stamp never rewinds (both models); plus
+  (direct-mapped) no line is dirty-but-invalid and every valid tag
+  names a line inside installed DRAM or the shadow window;
+  (set-associative) no set exceeds its associativity, and the vector
+  engine's residency mirror — when built — holds exactly the tags the
+  authoritative per-set dicts hold (membership only; way order is
+  arbitrary by contract, DESIGN.md §10).
 * **shadow_table** — referenced/dirty bits are only ever set on valid
   (mapped) entries (Section 2.5's per-base-page accounting depends on
   it); no two valid entries name the same real frame; and the kernel's
@@ -48,7 +51,7 @@ import numpy as np
 from ..core.addrspace import BASE_PAGE_SHIFT, CACHE_LINE_SHIFT
 from ..core.shadow_table import DIRTY_BIT, PFN_MASK, REF_BIT, VALID_BIT
 from ..errors import InvariantViolation
-from ..mem.cache import DirectMappedCache, SetAssociativeCache
+from ..mem.cache import _INVALID, DirectMappedCache, SetAssociativeCache
 
 
 class SanitizerSuite:
@@ -187,11 +190,33 @@ class SanitizerSuite:
                         "both installed DRAM and the shadow window"
                     )
         elif isinstance(cache, SetAssociativeCache):
+            if cache.mutation_stamp < self._last_cache_stamp:
+                fail(
+                    f"mutation stamp rewound from "
+                    f"{self._last_cache_stamp} to {cache.mutation_stamp}"
+                )
+            self._last_cache_stamp = cache.mutation_stamp
+            plane = cache._mirror
             for idx, line_set in enumerate(cache._sets):
                 if len(line_set) > cache.associativity:
                     fail(
                         f"set {idx:#x} holds {len(line_set)} lines, "
                         f"associativity is {cache.associativity}"
+                    )
+                if plane is None:
+                    continue
+                # The vector engine's residency mirror must agree with
+                # the authoritative per-set dict — membership only, way
+                # order is arbitrary by contract (DESIGN.md §10).
+                mirrored = sorted(
+                    int(t) for t in plane[idx] if t != _INVALID
+                )
+                if mirrored != sorted(line_set):
+                    fail(
+                        f"set {idx:#x} residency mirror holds tags "
+                        f"{mirrored} but the set holds "
+                        f"{sorted(line_set)} (desynced mirror; vector "
+                        "windows would mispredict hits)"
                     )
 
     # ------------------------------------------------------------------ #

@@ -9,6 +9,7 @@ Usage::
     repro-bench init-costs [--quick] # Section 3.3 cost table
     repro-bench reach [--quick]      # 64+MTLB vs 128 equivalence
     repro-bench ablations [--quick]  # A1-A10
+    repro-bench multiprog [--quick]  # timed two-process mix (A8)
     repro-bench sensitivity [--quick]# S1/S2
     repro-bench all [--quick]        # everything, in order
 
@@ -16,18 +17,23 @@ Usage::
 are used (several minutes for fig3).  ``--jobs N`` fans matrix cells
 out over N worker processes (default: all cores) and ``--engine
 {auto,scalar,vector}`` selects the trace-execution engine; both only
-change wall-clock time, never results.  ``--store DIR`` attaches the
-content-addressed result store, so cells already simulated (under any
-engine or job count) are served from disk.  ``fig3`` also appends its
-wall time to ``BENCH_perf.json``, the perf baseline.
+change wall-clock time, never results.  ``--engine both`` (``fig4``
+and ``multiprog`` only) times a scalar pass and a vector pass back to
+back, writing one perf-baseline key per engine.  ``--store DIR``
+attaches the content-addressed result store, so cells already
+simulated (under any engine or job count) are served from disk.
+``fig3``, ``fig4``, and ``multiprog`` append their wall times to
+``BENCH_perf.json``, the perf baseline.
 
 Bad ``--jobs``/``--engine`` combinations are rejected up front — an
-``--engine vector`` request that the configuration cannot batch fails
-in the parser with the scalar-forcing explanation, not inside a worker
-process.
+``--engine vector`` request is probed against every figure
+configuration in the parser, not inside a worker process (since the
+PR-8 restriction lift every paper configuration batches, so the probe
+guards future cache backends).
 
 Every invocation opens with a banner echoing the active seed, fault
-plan, and obs state.  ``fig3`` and ``fig4`` additionally write
+plan, obs state, and the engine the run resolves to (with the
+auto-policy reason).  ``fig3`` and ``fig4`` additionally write
 standardized ``BENCH_<name>.json`` metrics snapshots into the current
 directory — compare two of them with ``repro metrics diff`` (the
 ``repro`` command also does single-run dumps; DESIGN.md §9).
@@ -41,7 +47,7 @@ import os
 import sys
 import time
 from pathlib import Path
-from typing import List
+from typing import List, Optional
 
 from . import __version__
 from .bench import (
@@ -86,12 +92,17 @@ from .sim.config import (
     paper_no_mtlb,
     paper_promotion,
 )
+from .sim.system import System
 from .workloads import PAPER_SUITE
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig4", "init-costs", "reach", "ablations",
-    "sensitivity",
+    "multiprog", "sensitivity",
 )
+
+#: Experiments that write perf-baseline keys and therefore accept the
+#: timed scalar-vs-vector comparison mode ``--engine both``.
+TIMED_EXPERIMENTS = ("fig4", "multiprog")
 
 
 def describe_faults(faults: FaultConfig) -> str:
@@ -109,13 +120,34 @@ def describe_faults(faults: FaultConfig) -> str:
 
 
 def print_banner(
-    prog: str, seed: int, config: SystemConfig, quick: bool
+    prog: str,
+    seed: int,
+    config: SystemConfig,
+    quick: bool,
+    engine: Optional[str] = None,
 ) -> None:
-    """Echo the active seed, fault plan, and obs state before a run."""
+    """Echo the seed, fault plan, obs state, and resolved engine.
+
+    The engine line reports what the run will actually use — the
+    decision ``System.__init__`` makes through
+    :func:`~repro.sim.engine.resolve_engine_decision` — together with
+    the policy reason, so an ``auto`` fallback is never silent.
+    *engine* overrides the config's own field (the ``--engine`` flag);
+    ``"both"`` is the timed comparison mode, which runs one pass per
+    engine rather than resolving to one.
+    """
     obs_state = "enabled" if config.obs.enabled else "disabled"
+    if engine == "both":
+        engine_note = "both (scalar and vector, timed back to back)"
+    else:
+        if engine is not None and engine != config.engine:
+            config = dataclasses.replace(config, engine=engine)
+        probe = System(config)
+        engine_note = f"{probe.engine} ({probe.engine_reason})"
     print(
         f"{prog} {__version__} | seed={seed} quick={quick} | "
-        f"faults: {describe_faults(config.faults)} | obs: {obs_state}"
+        f"faults: {describe_faults(config.faults)} | obs: {obs_state} | "
+        f"engine: {engine_note}"
     )
 
 
@@ -180,13 +212,25 @@ def _validate_run_flags(parser, args) -> None:
     """Reject bad flag combinations before any worker process spawns.
 
     ``--engine vector`` is probed against every configuration the
-    figures run: a configuration the vector engine cannot batch (a
-    set-associative cache, an active fault plan) fails here with the
-    scalar-forcing explanation, instead of surfacing as a
-    ``SimulationError`` from inside a shard worker.
+    figures run.  Since the PR-8 restriction lift every paper
+    configuration batches (set-associative caches, fault plans, and
+    sanitizers included), so the probe is a forward guard for future
+    cache backends rather than a live refusal path — a backend the
+    engine has no residency mirror for still fails here, not inside a
+    shard worker.  ``--engine both`` is the timed scalar-vs-vector
+    comparison and only applies to the experiments that write
+    perf-baseline keys.
     """
     if args.jobs is not None and args.jobs < 1:
         parser.error(f"--jobs must be >= 1 (got {args.jobs})")
+    if (
+        getattr(args, "engine", None) == "both"
+        and args.experiment not in TIMED_EXPERIMENTS
+    ):
+        parser.error(
+            "--engine both times a scalar and a vector pass back to "
+            f"back and only applies to {', '.join(TIMED_EXPERIMENTS)}"
+        )
     if getattr(args, "engine", None) == "vector":
         from .sim.engine import vector_config_supported
 
@@ -201,6 +245,14 @@ def _validate_run_flags(parser, args) -> None:
                     f"{label!r}: {why}; use --engine auto (per-config "
                     "fallback to the scalar engine) or --engine scalar"
                 )
+
+
+def _engine_passes(context: BenchContext):
+    """Engine passes for a timed experiment: ``--engine both`` yields
+    one scalar and one vector pass, anything else a single pass."""
+    if context.engine == "both":
+        return ("scalar", "vector")
+    return (context.engine,)
 
 
 def _report(title: str, report: str, errors: List[str]) -> int:
@@ -239,7 +291,22 @@ def _run(name: str, context: BenchContext) -> int:
         _write_perf_baseline("fig3", wall, context)
         return status
     if name == "fig4":
-        result = run_figure4(context, progress=True)
+        both = context.engine == "both"
+        saved_engine, saved_store = context.engine, context.store
+        if both:
+            # Time simulation, not trace synthesis or store reads: the
+            # two passes must measure the engines, nothing else.
+            context.trace("em3d")
+            context.store = None
+        try:
+            for engine in _engine_passes(context):
+                context.engine = engine
+                t0 = time.perf_counter()
+                result = run_figure4(context, progress=True)
+                wall = time.perf_counter() - t0
+                _write_perf_baseline("fig4", wall, context)
+        finally:
+            context.engine, context.store = saved_engine, saved_store
         status = _report(
             "E3+E4 / Figure 4",
             result.report_a + "\n\n" + result.report_b,
@@ -253,6 +320,22 @@ def _run(name: str, context: BenchContext) -> int:
             ),
         )
         return status
+    if name == "multiprog":
+        saved_engine = context.engine
+        try:
+            for engine in _engine_passes(context):
+                context.engine = engine
+                result = run_multiprog_ablation(context)
+                _write_perf_baseline(
+                    "multiprog", result.wall_seconds, context
+                )
+        finally:
+            context.engine = saved_engine
+        return _report(
+            "E7 / multiprogrammed mix (A8)",
+            result.report,
+            result.shape_errors,
+        )
     if name == "init-costs":
         result = measure_em3d_remap(context)
         return _report("E5 / Section 3.3", result.report,
@@ -351,10 +434,14 @@ def main(argv=None) -> int:
         ),
     )
     parser.add_argument(
-        "--engine", choices=("auto", "scalar", "vector"), default="auto",
+        "--engine",
+        choices=("auto", "scalar", "vector", "both"),
+        default="auto",
         help=(
             "trace-execution engine for every run (DESIGN.md §10); "
-            "engines are bit-identical, vector is the fast one"
+            "engines are bit-identical, vector is the fast one; "
+            "'both' (fig4/multiprog) times a scalar and a vector pass "
+            "back to back and writes one perf-baseline key per engine"
         ),
     )
     parser.add_argument(
@@ -400,7 +487,10 @@ def main(argv=None) -> int:
     )
     # The benches run the presets unchanged, so the default SystemConfig
     # states the active fault plan and obs mode for this invocation.
-    print_banner("repro-bench", context.seed, paper_base(), context.quick)
+    print_banner(
+        "repro-bench", context.seed, paper_base(), context.quick,
+        engine=args.engine,
+    )
     todo = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     status = 0
     for name in todo:
@@ -518,12 +608,20 @@ def _check_diff(args) -> int:
     from .check.shrink import emit_repro, shrink_trace
 
     config = DUMP_CONFIGS[args.config](args.tlb)
+    plant = get_bug(args.plant) if args.plant else None
+    if plant is not None and plant.config_factory is not None:
+        # A bug that targets a lifted vector path (set-assoc cache,
+        # armed fault plan) only exists on its own machine.
+        config = plant.make_config()
+        print(
+            f"note: bug {plant.name!r} pins its own machine config "
+            f"({config.label})"
+        )
     print_banner("repro", args.seed, config, args.quick)
     context = BenchContext(
         quick=True if args.quick else None, seed=args.seed
     )
     trace = context.trace(args.workload)
-    plant = get_bug(args.plant) if args.plant else None
     report = run_lockstep(
         trace, config, plant=plant, workload=args.workload
     )

@@ -173,3 +173,13 @@ class FaultPlan:
     def consultations(self, site: str) -> int:
         """How many times *site* has been consulted so far."""
         return self._sched.consultations(site)
+
+    def next_trigger_distance(self) -> "int | None":
+        """Consultations until the nearest pending exact trigger.
+
+        Passthrough to :meth:`SiteSchedule.next_trigger_distance`; the
+        vector engine clamps its fast-forward window with this so a
+        scheduled fault lands inside a scalar-stepped stretch, never
+        mid-bulk-retire (DESIGN.md §10).
+        """
+        return self._sched.next_trigger_distance()

@@ -95,6 +95,26 @@ class SiteSchedule:
         """How many times *site* has been consulted so far."""
         return self.counts[site]
 
+    def next_trigger_distance(self) -> "int | None":
+        """Consultations until the nearest still-pending exact trigger.
+
+        Returns the minimum over all sites of ``trigger_count -
+        consultations(site)`` for triggers not yet reached, or ``None``
+        when no exact trigger is pending.  Pure read: no counter moves,
+        no PRNG draws (rate-based decisions are not predictable and are
+        deliberately ignored — this exists so the vector engine can
+        clamp its fast-forward window to the next *scheduled* fire
+        point; probabilistic sites disqualify vector batching long
+        before this is consulted).
+        """
+        best = None
+        for site, pending in self.triggers.items():
+            done = self.counts[site]
+            for count in pending:
+                if count > done and (best is None or count - done < best):
+                    best = count - done
+        return best
+
     def rng(self, site: str) -> random.Random:
         """The site's private PRNG (for deterministic fault shaping)."""
         return self.rngs[site]

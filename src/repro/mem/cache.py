@@ -245,8 +245,15 @@ class DirectMappedCache:
 class SetAssociativeCache:
     """Generic N-way set-associative VIPT writeback cache with LRU.
 
-    Used for sensitivity studies; shares the :class:`DirectMappedCache`
-    interface.  Each set is a dict ordered by recency (oldest first).
+    Shares the :class:`DirectMappedCache` interface.  Each set is a dict
+    ordered by recency (oldest first) — that dict is the ground truth.
+    For the vector engine a lazy ``(num_sets, associativity)`` int64
+    *residency mirror* of the tags is kept (:meth:`ensure_mirror`): way
+    order within a mirror row is arbitrary, only membership matters,
+    which is exactly the predicate a pure-hit run needs (LRU reordering
+    on hits never changes residency).  The mirror is patched in place on
+    every residency change, and :attr:`mutation_stamp` moves with it so
+    the engine can detect pollution by other agents mid-window.
     """
 
     def __init__(
@@ -270,7 +277,34 @@ class SetAssociativeCache:
         # Each set maps physical line tag -> dirty flag; dict order is LRU
         # (first key is least recently used).
         self._sets: List[Dict[int, bool]] = [dict() for _ in range(num_sets)]
+        #: Bumped on every *residency* change (miss fill, flush of a
+        #: present line, invalidation) — hits only reorder LRU state and
+        #: do not move the stamp.  Same contract as the direct-mapped
+        #: cache's stamp: the vector engine snapshots it per window.
+        self.mutation_stamp = 0
+        # Lazy (num_sets, associativity) tag plane; None until the
+        # vector engine first asks for it via ensure_mirror().
+        self._mirror: Optional[np.ndarray] = None
         self.stats = CacheStats()
+
+    def ensure_mirror(self) -> np.ndarray:
+        """Build (once) and return the residency mirror.
+
+        Row *s* holds the physical line tags resident in set *s* in
+        arbitrary way order, padded with ``_INVALID``.  After the first
+        call the mirror is maintained incrementally and in place (the
+        vector engine holds a live view across miss handling, mirroring
+        the direct-mapped cache's never-reallocate rule).
+        """
+        if self._mirror is None:
+            self._mirror = np.full(
+                (self.num_sets, self.associativity), _INVALID,
+                dtype=np.int64,
+            )
+            for idx, line_set in enumerate(self._sets):
+                for way, tag in enumerate(line_set):
+                    self._mirror[idx, way] = tag
+        return self._mirror
 
     def metrics_snapshot(self) -> Dict[str, int]:
         """Counters this cache registers into the metrics registry."""
@@ -290,7 +324,9 @@ class SetAssociativeCache:
             line_set[tag] = dirty
             return AccessResult(hit=True)
         stats.misses += 1
+        self.mutation_stamp += 1
         writeback = None
+        victim_tag = None
         if len(line_set) >= self.associativity:
             victim_tag = next(iter(line_set))
             victim_dirty = line_set.pop(victim_tag)
@@ -298,6 +334,10 @@ class SetAssociativeCache:
                 writeback = victim_tag << CACHE_LINE_SHIFT
                 stats.writebacks += 1
         line_set[tag] = is_write
+        if self._mirror is not None:
+            row = self._mirror[idx]
+            old = _INVALID if victim_tag is None else victim_tag
+            row[np.flatnonzero(row == old)[0]] = tag
         return AccessResult(hit=False, writeback_paddr=writeback)
 
     def probe(self, vaddr: int, paddr: int) -> bool:
@@ -316,9 +356,13 @@ class SetAssociativeCache:
         if tag not in line_set:
             return False, False
         self.stats.flush_lines_present += 1
+        self.mutation_stamp += 1
         dirty = line_set.pop(tag)
         if dirty:
             self.stats.flush_writebacks += 1
+        if self._mirror is not None:
+            row = self._mirror[idx]
+            row[row == tag] = _INVALID
         return True, dirty
 
     def flush_range(
@@ -342,7 +386,10 @@ class SetAssociativeCache:
 
     def invalidate_all(self) -> None:
         """Drop every line without writing anything back (tests only)."""
+        self.mutation_stamp += 1
         self._sets = [dict() for _ in range(self.num_sets)]
+        if self._mirror is not None:
+            self._mirror.fill(_INVALID)
 
     @property
     def occupancy(self) -> int:

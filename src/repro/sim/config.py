@@ -138,9 +138,13 @@ class SystemConfig:
     #: retires whole TLB-hit + cache-hit runs with numpy and is
     #: bit-identical to scalar in every RunStats/metrics value.
     #: ``"auto"`` (default) picks vector whenever the configuration is
-    #: batchable (direct-mapped cache, no fault injection) and falls
-    #: back to scalar otherwise; ``"vector"`` on an unbatchable
-    #: configuration raises at machine-build time.
+    #: batchable — since the PR-8 restriction lift that is every
+    #: expressible configuration (set-associative caches batch via a
+    #: residency plane, armed fault plans via window clamping at
+    #: scheduled triggers, multiprogrammed mixes via per-process
+    #: predictor state); only a foreign cache model the engine has no
+    #: mirror for still forces scalar.  ``"vector"`` on such a machine
+    #: raises at machine-build time.
     engine: str = "auto"
     #: Invariant sanitizers (DESIGN.md §11).  When True, an architectural
     #: invariant suite (``repro.check.sanitizers``) audits the TLB,

@@ -55,14 +55,40 @@ feed the hit predicate), and miss fills change tags exactly as the
 schedule says.  Hit runs never stamp ``tracer.clock`` in either engine,
 which is what keeps observability event timestamps identical.
 
-Configurations the vector engine cannot batch — a set-associative cache
-(stateful LRU on every hit) or an active fault plan — fall back to
-scalar under ``engine="auto"`` and raise under ``engine="vector"``.
+Every configuration the simulator can express today batches (the PR-8
+lift; DESIGN.md §10 "lifted restrictions"):
+
+* **Set-associative caches** ride a residency-mirror variant of the
+  same window pipeline (:func:`_run_segment_vector_setassoc`): a pure
+  LRU *hit* never changes which lines are resident, so a lazily built
+  ``(sets, ways)`` tag plane (:meth:`SetAssociativeCache.ensure_mirror`)
+  makes "whole run hits" one vectorized membership test, and the hit
+  run's LRU reordering + dirty accumulation replays into the real set
+  dicts per *unique line* instead of per reference.
+* **Active fault plans** no longer refuse: every ``FaultPlan.fires``
+  consultation lives on a miss path, and the engines execute every miss
+  through the real machine in program order, so the consultation
+  sequence — and therefore the injection schedule — is identical by
+  construction.  The window predictor additionally clamps each window
+  to the distance of the next *scheduled* trigger
+  (:meth:`~repro.faults.plan.FaultPlan.next_trigger_distance`), so a
+  directed fault lands in a small window and its kernel-entry pollution
+  restart stays cheap.
+* **Multiprogramming** keeps one :class:`EngineState` (adaptive window
+  + dense counter) per process, swapped at context switches, so each
+  scheduler quantum resumes the fast-forward geometry it learned.
+
+The only remaining refusal is a cache model the engine has no residency
+mirror for; ``engine="auto"`` then falls back to scalar and
+``engine="vector"`` raises.  Sanitizer hooks (``System.check_hook``)
+run at segment/event boundaries in both engines, and every segment
+boundary is a window-retirement point, so sanitized runs batch too.
 """
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Callable, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, List, Optional, Tuple
 
 import numpy as np
 
@@ -80,7 +106,7 @@ from ..core.shadow_table import (
     VALID_BIT,
 )
 from ..errors import ReferenceBudgetExceeded, SimulationError
-from ..mem.cache import DirectMappedCache
+from ..mem.cache import DirectMappedCache, SetAssociativeCache
 from ..mem.mmc import BadPhysicalAddress
 
 if TYPE_CHECKING:
@@ -89,7 +115,9 @@ if TYPE_CHECKING:
     from .system import System
 
 __all__ = [
+    "EngineState",
     "resolve_engine",
+    "resolve_engine_decision",
     "run_segment_scalar",
     "run_segment_vector",
     "vector_config_supported",
@@ -112,11 +140,20 @@ SCALAR_SPAN = 1 << 12
 
 
 def vector_supported(system: "System") -> Tuple[bool, str]:
-    """Can the vector engine batch this machine?  ``(ok, reason)``."""
-    if not isinstance(system.cache, DirectMappedCache):
-        return False, "cache is not direct-mapped"
-    if system.fault_plan is not None:
-        return False, "a fault plan is active"
+    """Can the vector engine batch this machine?  ``(ok, reason)``.
+
+    Since the PR-8 lift this accepts set-associative caches and active
+    fault plans (see the module docstring for why both are exact); the
+    only refusal left is a cache model the engine has no residency
+    mirror for.
+    """
+    if not isinstance(
+        system.cache, (DirectMappedCache, SetAssociativeCache)
+    ):
+        return False, (
+            f"cache model {type(system.cache).__name__} has no "
+            "residency mirror"
+        )
     return True, ""
 
 
@@ -124,36 +161,60 @@ def vector_config_supported(config) -> Tuple[bool, str]:
     """Config-level mirror of :func:`vector_supported`.
 
     Lets the scenario scheduler (``repro.serve``) reject an
-    ``engine='vector'`` spec *before* any shard worker is spawned —
-    the same predicates :func:`vector_supported` applies to a built
-    machine, read off the :class:`~repro.sim.config.SystemConfig`
-    (``build_cache`` returns a set-associative model iff
-    ``associativity != 1``, and a fault plan exists iff
-    ``faults.enabled``).
+    ``engine='vector'`` spec *before* any shard worker is spawned.
+    Every configuration a :class:`~repro.sim.config.SystemConfig` can
+    express today batches (``build_cache`` only ever returns the two
+    mirrored cache models), so this always succeeds; it is kept as the
+    pre-spawn probe point for future translation backends that may not
+    vectorize at first.
     """
-    if config.cache.associativity != 1:
-        return False, "cache is not direct-mapped"
-    if config.faults.enabled:
-        return False, (
-            "a fault plan is active (fault injection forces the "
-            "scalar engine)"
-        )
+    del config  # every expressible configuration batches
     return True, ""
 
 
-def resolve_engine(system: "System") -> str:
-    """Pick the engine for *system* per its ``config.engine`` policy."""
+def resolve_engine_decision(system: "System") -> Tuple[str, str]:
+    """Pick the engine for *system* and say why: ``(engine, reason)``.
+
+    The reason string is what the run banner and
+    ``RunReport``/``sim.engine_resolved`` surfacing show, so an
+    ``auto`` fallback is never silent.
+    """
     requested = system.config.engine
     if requested == "scalar":
-        return "scalar"
+        return "scalar", "requested by config"
     ok, why = vector_supported(system)
     if requested == "vector":
         if not ok:
             raise SimulationError(
                 f"engine='vector' cannot batch this configuration: {why}"
             )
-        return "vector"
-    return "vector" if ok else "scalar"
+        return "vector", "requested by config"
+    if ok:
+        return "vector", "auto: configuration batches"
+    return "scalar", f"auto fallback: {why}"
+
+
+def resolve_engine(system: "System") -> str:
+    """Pick the engine for *system* per its ``config.engine`` policy."""
+    return resolve_engine_decision(system)[0]
+
+
+@dataclass
+class EngineState:
+    """Adaptive-predictor state the vector engine carries across
+    segments.
+
+    Window geometry never changes results (pinned by the hypothesis
+    geometry tests), only how much prediction is wasted — so this is
+    pure perf state.  :class:`~repro.sim.system.System` owns one;
+    :class:`~repro.sim.multiprog.MultiProgram` keeps one *per process*
+    and swaps it in at context switches, so each scheduler quantum
+    resumes the fast-forward geometry its own access pattern taught the
+    predictor instead of inheriting another process's.
+    """
+
+    window: int = INITIAL_WINDOW
+    dense: int = 0
 
 
 def _check_budget(system: "System", n: int) -> None:
@@ -859,6 +920,8 @@ def run_segment_vector(
     system: "System", seg: "Segment", process: "Process"
 ) -> None:
     """Execute one segment, fast-forwarding over hit runs."""
+    if not isinstance(system.cache, DirectMappedCache):
+        return _run_segment_vector_setassoc(system, seg, process)
     n = seg.refs
     _check_budget(system, n)
 
@@ -904,11 +967,25 @@ def run_segment_vector(
         + stats.kernel_cycles
     )
 
+    fault_plan = system.fault_plan
+    state = system.engine_state
     cur = 0
-    window = INITIAL_WINDOW
-    dense = 0
+    window = state.window
+    dense = state.dense
     while cur < n:
-        end = min(cur + window, n)
+        w = window
+        if fault_plan is not None:
+            dist = fault_plan.next_trigger_distance()
+            if dist is not None and dist < w:
+                # A directed fault is scheduled soon: shrink the window
+                # so the trigger lands early in its prediction and the
+                # kernel-entry pollution restart throws little away.
+                # Trigger distance is in site consultations (a lower
+                # bound on references, since consultations only happen
+                # on miss paths) — a heuristic clamp only, geometry
+                # never affects results.
+                w = max(MIN_WINDOW, dist)
+        end = min(cur + w, n)
         m = end - cur
         v = vaddrs[cur:end]
 
@@ -1061,7 +1138,7 @@ def run_segment_vector(
 
         if t == m:
             cur = end
-            if m == window:
+            if m == w:
                 window = min(window * 2, MAX_WINDOW)
             continue
 
@@ -1133,6 +1210,8 @@ def run_segment_vector(
         elif t < window // 2:
             window = max(window // 2, MIN_WINDOW)
 
+    state.window = window
+    state.dense = dense
     if drain is not None:
         drain()
     _fold_segment(
@@ -1142,6 +1221,311 @@ def run_segment_vector(
         tlb_misses,
         cache_misses,
         True,
+        inst_cycles,
+        tlb_miss_cycles,
+        mem_stall,
+    )
+
+
+# ====================================================================== #
+# Set-associative vector path (the PR-8 lift)
+# ====================================================================== #
+
+
+def _retire_assoc_hits(
+    sets_list: List[dict],
+    line_idx: np.ndarray,
+    tag: np.ndarray,
+    store_mask: np.ndarray,
+    index_bits: int,
+) -> None:
+    """Replay a pure-hit run into the LRU set dicts, per unique line.
+
+    Within one set, the dict order after a run of hits is the order of
+    each touched line's *last* touch (untouched lines keep their place
+    at the LRU-old end, exactly as if never popped), and a line's dirty
+    bit ends as its old bit OR any store to it in the run.  So the run
+    collapses to one pop/re-insert per unique (set, line) — grouped
+    with one stable argsort on the combined ``(tag << index_bits) |
+    set`` key (VIPT synonyms land in distinct sets, hence the combined
+    key) — replayed in ascending last-touch order so the final
+    recency order matches the per-reference replay.
+    """
+    t = len(line_idx)
+    if t == 1:
+        line_set = sets_list[int(line_idx[0])]
+        tg = int(tag[0])
+        line_set[tg] = line_set.pop(tg) or bool(store_mask[0])
+        return
+    key = (tag << index_bits) | line_idx
+    perm = np.argsort(key, kind="stable")
+    key_s = key[perm]
+    first = np.empty(t, dtype=bool)
+    first[0] = True
+    np.not_equal(key_s[1:], key_s[:-1], out=first[1:])
+    starts = np.flatnonzero(first)
+    ends = np.append(starts[1:], t) - 1
+    last_pos = perm[ends]  # program position of each line's last touch
+    stores = np.cumsum(store_mask[perm], dtype=np.int64)
+    any_store = (
+        stores[ends] - np.where(starts > 0, stores[starts - 1], 0)
+    ) > 0
+    rep = perm[starts]
+    order = np.argsort(last_pos)
+    for s, tgv, d in zip(
+        line_idx[rep][order].tolist(),
+        tag[rep][order].tolist(),
+        any_store[order].tolist(),
+    ):
+        line_set = sets_list[s]
+        line_set[tgv] = line_set.pop(tgv) or d
+
+
+def _run_segment_vector_setassoc(
+    system: "System", seg: "Segment", process: "Process"
+) -> None:
+    """Vector fast-forward against a set-associative cache.
+
+    The same window pipeline as :func:`run_segment_vector`, with the
+    cache-hit predicate answered by the residency mirror
+    (:meth:`~repro.mem.cache.SetAssociativeCache.ensure_mirror`): an
+    LRU *hit* never changes which lines are resident, so within a
+    pure-hit run the frozen ``(sets, ways)`` tag plane is exact, and
+    the whole run retires with one vectorized membership test plus one
+    LRU replay per unique line (:func:`_retire_assoc_hits`).
+
+    Unlike the direct-mapped self-consistent schedule, a predicted
+    cache miss *ends* the prefix here — which line the fill evicts
+    depends on live LRU recency state, so the miss executes through the
+    real ``cache.access`` (which also patches the mirror in place) and
+    prediction restarts after it.  The adaptive window plus the
+    dense-phase scalar escape bound that re-prediction cost exactly as
+    they do for TLB-miss-dense phases.
+    """
+    n = seg.refs
+    _check_budget(system, n)
+
+    tlb = system.tlb
+    cache = system.cache
+    plane = cache.ensure_mirror()  # live (num_sets, ways) tag plane
+    imask = cache._index_mask
+    index_bits = imask.bit_length()
+    phys_indexed = cache.physically_indexed
+
+    vaddrs = seg.vaddrs
+    ops = seg.ops
+    gaps = seg.gaps
+    gap_cum = np.cumsum(gaps, dtype=np.int64)
+
+    inst_cycles = 0
+    tlb_miss_cycles = 0
+    mem_stall = 0
+    tlb_misses = 0
+    cache_misses = 0
+
+    refill = system._refill_tlb
+    tracer = system._tracer
+    bus = system.bus
+    mmc = system.mmc
+    fused = _fused_paths(system)
+    if fused is not None:
+        miss_path, wb_path, drain = fused
+    else:
+        miss_path = system._fill_stall
+        drain = None
+
+        def wb_path(paddr: int) -> None:
+            bus.writeback_cycles()
+            mmc.writeback(paddr)
+
+    cache_stats = cache.stats
+    stats = system.stats
+    seg_base = (
+        stats.instruction_cycles
+        + stats.memory_stall_cycles
+        + stats.tlb_miss_cycles
+        + stats.kernel_cycles
+    )
+
+    fault_plan = system.fault_plan
+    state = system.engine_state
+    cur = 0
+    window = state.window
+    dense = state.dense
+    while cur < n:
+        w = window
+        if fault_plan is not None:
+            dist = fault_plan.next_trigger_distance()
+            if dist is not None and dist < w:
+                w = max(MIN_WINDOW, dist)
+        end = min(cur + w, n)
+        m = end - cur
+        v = vaddrs[cur:end]
+
+        # TLB coverage, identical to the direct-mapped path.
+        covered = np.zeros(m, dtype=bool)
+        delta = np.zeros(m, dtype=np.int64)
+        touches = []
+        for size, bases, deltas in tlb.coverage_arrays():
+            masked = v & (-size)
+            pos = np.searchsorted(bases, masked)
+            np.minimum(pos, len(bases) - 1, out=pos)
+            won = (bases[pos] == masked) & ~covered
+            if won.any():
+                delta[won] = deltas[pos[won]]
+                covered |= won
+                touches.append((size, masked, won))
+        uncov = np.flatnonzero(~covered)
+        t_tlb = int(uncov[0]) if uncov.size else m
+
+        paddr = v + delta
+        line_idx = (
+            (paddr if phys_indexed else v) >> CACHE_LINE_SHIFT
+        ) & imask
+        tag = paddr >> CACHE_LINE_SHIFT
+
+        # The prefix ends at the first TLB miss *or* the first
+        # predicted cache miss, whichever is earlier.
+        if t_tlb:
+            hit = (
+                plane[line_idx[:t_tlb]] == tag[:t_tlb, None]
+            ).any(axis=1)
+            miss_rel = np.flatnonzero(~hit)
+            t = int(miss_rel[0]) if miss_rel.size else t_tlb
+        else:
+            t = 0
+        base_gap = int(gap_cum[cur - 1]) if cur else 0
+
+        if t:
+            # [0, t) is a pure-hit run: bulk-retire the LRU/dirty
+            # effects and count the hits by hand (the real access path
+            # never ran).
+            _retire_assoc_hits(
+                cache._sets,
+                line_idx[:t],
+                tag[:t],
+                ops[cur:cur + t] != 0,
+                index_bits,
+            )
+            cache_stats.accesses += t
+            cache_stats.hits += t
+
+        # Was the prefix ended by a predicted cache miss (covered
+        # reference) rather than a TLB miss / window end?
+        ends_in_cache_miss = t < m and bool(covered[t])
+
+        # NRU referenced bits for every executed covered reference,
+        # applied before the next refill's eviction scan can read them
+        # (the prefix-ending cache-miss reference is itself covered, so
+        # its touch belongs in this batch too).
+        limit = t + 1 if ends_in_cache_miss else t
+        for size, masked, won in touches:
+            in_run = won[:limit]
+            if in_run.any():
+                tlb.touch_pages(
+                    size, np.unique(masked[:limit][in_run]).tolist()
+                )
+
+        if t == m:
+            inst_cycles += t + int(gap_cum[cur + t - 1]) - base_gap
+            cur = end
+            if m == w:
+                window = min(window * 2, MAX_WINDOW)
+            continue
+
+        i = cur + t
+        if ends_in_cache_miss:
+            # The predicted miss: the scalar generic cache branch with
+            # the TLB probe elided (the reference is covered).  Which
+            # victim it evicts reads live LRU state, so this runs the
+            # real access; the cache patches the mirror in place.
+            inst_cycles += (t + 1) + int(gap_cum[i]) - base_gap
+            op = int(ops[i])
+            paddr_i = int(paddr[t])
+            result = cache.access(int(v[t]), paddr_i, op == 1)
+            cache_misses += 1
+            if result.writeback_paddr is not None:
+                wb_path(result.writeback_paddr)
+            if tracer is not None:
+                tracer.clock = (
+                    seg_base + inst_cycles + tlb_miss_cycles + mem_stall
+                )
+            mem_stall += miss_path(paddr_i, op)
+        else:
+            # The TLB-missing reference: the scalar loop body, verbatim
+            # (generic cache branch).
+            if t:
+                inst_cycles += t + int(gap_cum[cur + t - 1]) - base_gap
+            vaddr_i = int(vaddrs[i])
+            op = int(ops[i])
+            inst_cycles += int(gaps[i]) + 1
+            tlb_misses += 1
+            if tracer is not None:
+                tracer.clock = (
+                    seg_base + inst_cycles + tlb_miss_cycles + mem_stall
+                )
+            entry, cost = refill(vaddr_i)
+            tlb_miss_cycles += cost
+            tlb._mru_size = entry.size
+            ref_paddr = entry.pbase + vaddr_i - entry.vbase
+            result = cache.access(vaddr_i, ref_paddr, op == 1)
+            if not result.hit:
+                cache_misses += 1
+                if result.writeback_paddr is not None:
+                    wb_path(result.writeback_paddr)
+                if tracer is not None:
+                    tracer.clock = (
+                        seg_base
+                        + inst_cycles
+                        + tlb_miss_cycles
+                        + mem_stall
+                    )
+                mem_stall += miss_path(ref_paddr, op)
+
+        cur = i + 1
+        # Short prefixes — whether TLB-miss- or conflict-miss-dense —
+        # shrink the window; two degenerate ones in a row hand the next
+        # stretch to the scalar loop outright.
+        dense = dense + 1 if t < DENSE_RUN else 0
+        if dense >= 2 and cur < n:
+            span_end = min(cur + SCALAR_SPAN, n)
+            (
+                inst_cycles,
+                tlb_miss_cycles,
+                mem_stall,
+                tlb_misses,
+                cache_misses,
+            ) = _scalar_span(
+                system,
+                seg,
+                cur,
+                span_end,
+                seg_base,
+                inst_cycles,
+                tlb_miss_cycles,
+                mem_stall,
+                tlb_misses,
+                cache_misses,
+                fill_path=miss_path,
+                wb_path=wb_path,
+            )
+            cur = span_end
+            dense = 0
+            window = INITIAL_WINDOW
+        elif t < window // 2:
+            window = max(window // 2, MIN_WINDOW)
+
+    state.window = window
+    state.dense = dense
+    if drain is not None:
+        drain()
+    _fold_segment(
+        system,
+        seg,
+        n,
+        tlb_misses,
+        cache_misses,
+        False,
         inst_cycles,
         tlb_miss_cycles,
         mem_stall,

@@ -26,6 +26,7 @@ from typing import Dict, List
 from ..core.addrspace import BASE_PAGE_SHIFT
 from ..trace.trace import Segment, Trace
 from .config import SystemConfig
+from .engine import EngineState
 from .results import RunResult
 from .system import System
 
@@ -74,8 +75,9 @@ class MultiRunResult:
     per_process_cycles: Dict[str, int]
     shared_cycles: int = 0
     #: Engine the run resolved to ("scalar"/"vector"), re-resolved
-    #: through System.begin_run() so fault plans and unbatchable caches
-    #: force the scalar engine for job mixes too.
+    #: through System.begin_run() so job mixes follow the same policy
+    #: as single-program runs (vector for every expressible config
+    #: since the PR-8 lift, with per-process predictor state).
     engine: str = ""
 
     @property
@@ -144,6 +146,12 @@ class MultiProgram:
         current = -1
         cursors = [0] * len(queues)
         live = set(range(len(queues)))
+        # Per-process vector-engine predictor state: each quantum
+        # resumes the fast-forward window geometry its own access
+        # pattern taught the engine, instead of inheriting whatever the
+        # previously scheduled process left behind.  Pure perf state —
+        # window geometry never changes results.
+        engine_states = [EngineState() for _ in queues]
 
         while live:
             progressed = False
@@ -157,6 +165,7 @@ class MultiProgram:
                     continue
                 if current != i:
                     self._switch(system, processes[i], current >= 0)
+                    system.engine_state = engine_states[i]
                     if current >= 0:
                         switches += 1
                         stats.kernel_cycles += self.switch_cost
@@ -190,6 +199,8 @@ class MultiProgram:
             workload="+".join(t.name for t in self.traces),
             config_label=label,
             stats=stats,
+            metrics=system.metrics.collect(),
+            engine=system.engine,
         )
         return MultiRunResult(
             result=result,

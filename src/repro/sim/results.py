@@ -27,6 +27,10 @@ class RunResult:
     #: The run's :class:`~repro.obs.ObsCollector` when observability was
     #: enabled (event log + phase attribution + exporters); else None.
     obs: Optional[object] = field(default=None, repr=False)
+    #: Trace-execution engine that produced the run ("scalar" |
+    #: "vector"); "" for results rebuilt from checkpoints, where the
+    #: engine is unknown (and irrelevant — engines are bit-identical).
+    engine: str = ""
 
     @property
     def total_cycles(self) -> int:

@@ -53,7 +53,12 @@ from ..trace.events import (
 )
 from ..trace.trace import Segment, Trace
 from .config import SystemConfig
-from .engine import resolve_engine, run_segment_scalar, run_segment_vector
+from .engine import (
+    EngineState,
+    resolve_engine_decision,
+    run_segment_scalar,
+    run_segment_vector,
+)
 from .results import RunResult
 from .stats import RunStats
 
@@ -195,8 +200,14 @@ class System:
 
         #: Trace-execution engine for this run ("scalar" or "vector"),
         #: resolved from ``config.engine`` against what this machine can
-        #: batch (DESIGN.md §10).
-        self.engine = resolve_engine(self)
+        #: batch (DESIGN.md §10), and the human-readable reason for the
+        #: decision (surfaced via the ``sim.engine_resolved`` metric,
+        #: the run banner, and ``RunReport.engine``).
+        self.engine, self.engine_reason = resolve_engine_decision(self)
+        #: The vector engine's adaptive-predictor state (window
+        #: geometry; pure perf, never results).  ``MultiProgram`` swaps
+        #: a per-process instance in at context switches.
+        self.engine_state = EngineState()
 
     # ================================================================== #
     # Machine port used by the OS (costed primitives)
@@ -317,7 +328,7 @@ class System:
                 "a System instance simulates exactly one run"
             )
         self._ran = True
-        self.engine = resolve_engine(self)
+        self.engine, self.engine_reason = resolve_engine_decision(self)
 
     def run(self, trace: Trace) -> RunResult:
         """Simulate *trace* from boot through exit; returns the result."""
@@ -372,6 +383,7 @@ class System:
             stats=stats,
             metrics=self.metrics.collect(),
             obs=self.obs,
+            engine=self.engine,
         )
 
     def _register_metric_sources(self) -> None:
@@ -382,6 +394,16 @@ class System:
         # construction (tests do this to the cache) is still the one
         # snapshotted at collect time.
         reg = self.metrics
+        # Engine-resolution surfacing (registry-only, deliberately NOT
+        # a RunStats/extra field: stats must stay bit-identical across
+        # engines, while registry metrics ride RunResult.metrics and
+        # store records for RunReport/daemon tenants to read).
+        reg.add_source(
+            "sim",
+            lambda: {
+                "engine_resolved": 1.0 if self.engine == "vector" else 0.0
+            },
+        )
         reg.add_source("tlb", lambda: self.tlb.metrics_snapshot())
         reg.add_source("cache", lambda: self.cache.metrics_snapshot())
         reg.add_source("mmc", lambda: self.mmc.metrics_snapshot())

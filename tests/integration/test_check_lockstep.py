@@ -66,7 +66,38 @@ class TestCorpus:
         assert not escaped, "\n".join(
             f"{o.bug.name}: {o.detail}" for o in escaped
         )
-        assert len(outcomes) == len(CORPUS) == 10
+        assert len(outcomes) == len(CORPUS) == 12
+
+    def test_pr8_bugs_pin_their_own_machines(self):
+        """The lifted-path bugs only exist on set-assoc / fault-armed
+        machines, so they carry their own config factories; the rest
+        keep the shared corpus box."""
+        assoc = get_bug("assoc-way-skew")
+        clamp = get_bug("trigger-clamp-skew")
+        assert assoc.make_config().cache.associativity == 2
+        assert clamp.make_config().faults.triggers
+        assert get_bug("vector-stat-skew").make_config() == corpus_config()
+
+    def test_assoc_way_skew_diverges_in_stats(self):
+        """The mirror-desync plant must be localised by the differ on
+        the set-assoc machine it pins (the PR-8 way-match path)."""
+        bug = get_bug("assoc-way-skew")
+        report = run_lockstep(
+            corpus_trace(), bug.make_config(), plant=bug
+        )
+        assert not report.identical
+        assert "stats" in report.divergence.components
+
+    def test_trigger_clamp_skew_suppresses_the_fault(self):
+        """The schedule-mutation plant makes the vector run skip the
+        scheduled mtlb-parity trigger entirely (exact-count semantics),
+        so the runs diverge where the scalar run injects it."""
+        bug = get_bug("trigger-clamp-skew")
+        report = run_lockstep(
+            corpus_trace(), bug.make_config(), plant=bug
+        )
+        assert not report.identical
+        assert "stats" in report.divergence.components
 
     def test_sanitize_bug_names_component(self, trace, config):
         bug = get_bug("shadow-ref-leak")

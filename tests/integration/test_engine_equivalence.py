@@ -117,30 +117,49 @@ class TestSampledGeometries:
 
 
 class TestEnginePolicy:
-    def test_vector_refused_on_set_associative_cache(self):
+    def test_vector_accepted_on_set_associative_cache(self):
+        """PR-8 lift: set-assoc caches batch via the residency mirror."""
         config = SystemConfig(
             cache=CacheConfig(associativity=2), engine="vector"
         )
         ok, why = vector_supported(System(dataclasses.replace(
             config, engine="auto"
         )))
-        assert not ok and "direct-mapped" in why
-        with pytest.raises(SimulationError, match="direct-mapped"):
-            System(config)
+        assert ok and why == ""
+        assert System(config).engine == "vector"
 
-    def test_vector_refused_under_fault_injection(self):
+    def test_vector_accepted_under_fault_injection(self):
+        """PR-8 lift: fault consultations all live on miss paths the
+        vector engine executes in program order, so plans batch."""
         config = SystemConfig(
             faults=FaultConfig(mtlb_parity_rate=0.5), engine="vector"
         )
-        with pytest.raises(SimulationError, match="fault"):
-            System(config)
+        assert System(config).engine == "vector"
 
-    def test_auto_falls_back_to_scalar(self):
-        assoc = System(SystemConfig(cache=CacheConfig(associativity=2)))
-        assert assoc.engine == "scalar"
-        plain = System(SystemConfig())
-        assert plain.engine == "vector"
-        assert resolve_engine(plain) == "vector"
+    def test_vector_refused_on_unknown_cache_model(self):
+        """The one refusal left: a cache the engine has no mirror for."""
+
+        class AlienCache:
+            pass
+
+        system = System(SystemConfig(engine="auto"))
+        system.cache = AlienCache()
+        ok, why = vector_supported(system)
+        assert not ok and "AlienCache" in why
+        system.config = dataclasses.replace(system.config, engine="vector")
+        with pytest.raises(SimulationError, match="AlienCache"):
+            resolve_engine(system)
+
+    def test_auto_resolves_vector_everywhere(self):
+        for config in (
+            SystemConfig(),
+            SystemConfig(cache=CacheConfig(associativity=2)),
+            SystemConfig(faults=FaultConfig(mtlb_parity_rate=0.5)),
+        ):
+            system = System(config)
+            assert system.engine == "vector"
+            assert resolve_engine(system) == "vector"
+            assert system.engine_reason == "auto: configuration batches"
 
     def test_invalid_engine_string_rejected(self):
         with pytest.raises(ValueError, match="engine"):

@@ -146,23 +146,23 @@ class TestEngineResolution:
         )
         assert result.engine == "vector"
 
-    def test_fault_plan_mix_falls_back_to_scalar(self):
-        """Regression: an active fault plan must force the scalar engine
-        for job mixes too, not just for System.run()."""
+    def test_fault_plan_mix_batches_with_vector_engine(self):
+        """PR-8 lift: an active fault plan no longer forces scalar — job
+        mixes resolve through the same lifted policy as System.run()."""
         config = dataclasses.replace(
             paper_mtlb(96),
             faults=FaultConfig(mtlb_parity_rate=1e-7),
         )
         result = run_job_mix(config, self._traces(), quantum_refs=10_000)
-        assert result.engine == "scalar"
+        assert result.engine == "vector"
         result.result.stats.check_consistency()
 
-    def test_set_assoc_cache_mix_falls_back_to_scalar(self):
+    def test_set_assoc_cache_mix_batches_with_vector_engine(self):
         config = dataclasses.replace(
             paper_no_mtlb(96), cache=CacheConfig(associativity=2)
         )
         result = run_job_mix(config, self._traces(), quantum_refs=10_000)
-        assert result.engine == "scalar"
+        assert result.engine == "vector"
 
     def test_fault_plan_results_match_engine_choice(self):
         """The fallback must yield the same numbers an explicit scalar

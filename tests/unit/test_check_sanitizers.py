@@ -125,6 +125,46 @@ class TestCacheSanitizer:
         assert exc.value.component == "cache"
 
 
+class TestSetAssocCacheSanitizer:
+    """PR-8 checks: stamp monotonicity and residency-mirror coherence
+    on the set-associative model the vector engine now batches."""
+
+    @pytest.fixture
+    def assoc_warm(self, trace):
+        config = dataclasses.replace(
+            paper_no_mtlb(96),
+            cache=CacheConfig(associativity=2),
+            engine="vector",
+        )
+        system = warm_system(trace, config=config)
+        return system, system.sanitizers
+
+    def test_vector_run_with_live_mirror_passes(self, assoc_warm):
+        system, suite = assoc_warm
+        # The vector engine built the mirror, and every boundary's
+        # coherence audit passed against it.
+        assert system.cache._mirror is not None
+        assert suite.boundaries_checked == 8
+
+    def test_mirror_desync_caught(self, assoc_warm):
+        system, suite = assoc_warm
+        plane = system.cache.ensure_mirror()
+        rows, ways = np.nonzero(plane != -1)
+        plane[int(rows[0]), int(ways[0])] = -9
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "cache"
+        assert "mirror" in exc.value.detail
+
+    def test_stamp_rewind_caught(self, assoc_warm):
+        system, suite = assoc_warm
+        system.cache.mutation_stamp = 0
+        with pytest.raises(InvariantViolation) as exc:
+            suite.run("test")
+        assert exc.value.component == "cache"
+        assert "rewound" in exc.value.detail
+
+
 class TestShadowTableSanitizer:
     def test_ref_bit_on_unmapped_entry_caught(self, warm):
         system, suite = warm

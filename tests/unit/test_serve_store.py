@@ -273,7 +273,9 @@ class TestSpecValidation:
         with pytest.raises(SpecValidationError, match="engine"):
             ScenarioSpec("em3d", engine="warp")
 
-    def test_vector_with_fault_plan_fails_fast(self):
+    def test_vector_with_fault_plan_validates(self):
+        """PR-8 lift: fault plans batch, so a vector spec carrying one
+        passes the pre-spawn probe instead of failing fast."""
         from repro.api import ScenarioSpec, validate_spec
         from repro.faults import FaultConfig
 
@@ -281,10 +283,7 @@ class TestSpecValidation:
             paper_mtlb(96),
             faults=FaultConfig(mtlb_parity_rate=0.01),
         )
-        with pytest.raises(SpecValidationError, match="scalar"):
-            validate_spec(
-                ScenarioSpec("em3d", config, engine="vector")
-            )
+        validate_spec(ScenarioSpec("em3d", config, engine="vector"))
 
     def test_nonpositive_scale_rejected(self):
         from repro.api import ScenarioSpec
