@@ -32,11 +32,22 @@ is a thin client of the sharded scheduler in
 checkpoint/resume into a content-addressed cache hit that survives
 checkpoint deletion.
 
+Since PR 9 the disk layer defaults to the content-addressed columnar
+trace store (:mod:`repro.trace.store`): entries are keyed by the exact
+scale bits (``float.hex()``), populated once across processes under a
+single-flight lock, and loaded as memory-mapped column views that
+parallel sweep shards share through the page cache.  The legacy
+one-``.npz``-per-trace layout remains available for comparison and
+migration (``trace_store=False`` / ``REPRO_TRACE_STORE=0``); legacy
+files found at the old path are migrated into the store on first use
+when their scale survives the old ``%g`` keying round-trip.
+
 Environment knobs:
 
 * ``REPRO_BENCH_QUICK=1`` — use the quick (CI) scales everywhere;
 * ``REPRO_TRACE_CACHE=<dir>`` — trace cache directory (default
-  ``.trace_cache/`` under the repository root / current directory).
+  ``.trace_cache/`` under the repository root / current directory);
+* ``REPRO_TRACE_STORE=0`` — fall back to the legacy per-file cache.
 """
 
 from __future__ import annotations
@@ -46,7 +57,7 @@ import json
 import os
 import warnings
 from pathlib import Path
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Dict, Mapping, Optional, Sequence, Union
 
 from ..errors import TraceCacheCorrupt
 from ..sim.config import SystemConfig
@@ -54,8 +65,9 @@ from ..sim.results import ResultMatrix, RunResult
 from ..sim.stats import RunStats
 from ..sim.system import System
 from ..trace.io import load_trace, save_trace
+from ..trace.store import StreamedTrace, TraceStore
 from ..trace.trace import Trace
-from ..workloads import build_workload
+from ..workloads import build_workload, stream_workload
 
 #: Input scales used for reported (non-quick) benchmark numbers.  Chosen
 #: so each run finishes in seconds while keeping every workload's paper
@@ -85,6 +97,11 @@ def quick_mode_requested() -> bool:
     return os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
 
 
+def trace_store_requested() -> bool:
+    """True unless the environment opts back into the legacy cache."""
+    return os.environ.get("REPRO_TRACE_STORE", "1") not in ("", "0")
+
+
 class BenchContext:
     """Shared state for one benchmark session."""
 
@@ -99,6 +116,8 @@ class BenchContext:
         engine: Optional[str] = None,
         sanitize: bool = False,
         store: Optional[object] = None,
+        trace_store: Optional[bool] = None,
+        stream_cold: bool = False,
     ) -> None:
         if quick is None:
             quick = quick_mode_requested()
@@ -132,6 +151,20 @@ class BenchContext:
         #: :meth:`run_matrix` before simulating a cell.  Off by default:
         #: a plain context always simulates what it is asked to.
         self.store = store
+        #: Disk-cache backend selector.  True (the default) routes
+        #: :meth:`trace_at` through the content-addressed columnar
+        #: store under ``cache_dir/store``; False keeps the legacy
+        #: one-``.npz``-per-trace layout.  ``REPRO_TRACE_STORE=0``
+        #: flips the default.
+        if trace_store is None:
+            trace_store = trace_store_requested()
+        self.trace_store = bool(trace_store)
+        #: With ``stream_cold``, :meth:`run` simulates a cold-cache
+        #: trace *while* it is being generated (streamed through a
+        #: :class:`~repro.trace.store.TraceWriter`) instead of waiting
+        #: for generation to finish.  Store mode only.
+        self.stream_cold = stream_cold
+        self._trace_store_backend: Optional[TraceStore] = None
         self._traces: Dict[str, Trace] = {}
 
     # ------------------------------------------------------------------ #
@@ -151,6 +184,28 @@ class BenchContext:
         self._traces[workload] = trace
         return trace
 
+    def trace_store_backend(self) -> TraceStore:
+        """The context's columnar trace store (``cache_dir/store``)."""
+        if self._trace_store_backend is None:
+            self._trace_store_backend = TraceStore(
+                self.cache_dir / "store"
+            )
+        return self._trace_store_backend
+
+    def _legacy_trace_path(self, workload: str, scale: float) -> Path:
+        return self.cache_dir / (
+            f"{workload}_s{scale:g}_seed{self.seed}.npz"
+        )
+
+    @staticmethod
+    def _warn_corrupt(exc: TraceCacheCorrupt) -> None:
+        # Corrupt cache: warn, quarantine/delete, regenerate (never
+        # simulate a silently wrong reference stream).  The warning is
+        # advisory; pool workers also surface it through the
+        # ``trace.cache_corrupt`` counter, which *is* visible from the
+        # parent (RuntimeWarnings in worker processes are not).
+        warnings.warn(f"{exc}; regenerating", RuntimeWarning)
+
     def trace_at(self, workload: str, scale: float) -> Trace:
         """Load or generate *workload*'s trace at an explicit *scale*.
 
@@ -158,20 +213,75 @@ class BenchContext:
         scale implied by ``scales``, so callers (the sweep prewarm
         paths) can warm arbitrary (workload, scale) pairs without
         disturbing this context's own resolution.
+
+        In store mode (the default) this is single-flight across
+        processes — one cold worker generates, the rest block and then
+        load shared memory-mapped columns.  A legacy ``.npz`` at the
+        old path is migrated into the store instead of regenerated
+        when its ``%g``-keyed scale round-trips exactly.
         """
-        path = self.cache_dir / (
-            f"{workload}_s{scale:g}_seed{self.seed}.npz"
-        )
+        if not self.trace_store:
+            return self._trace_at_legacy(workload, scale)
+        store = self.trace_store_backend()
+
+        def produce(writer) -> None:
+            shell, items = stream_workload(
+                workload, scale=scale, seed=self.seed
+            )
+            writer.begin(shell.name, shell.text_base, shell.text_size)
+            for _ in writer.tee(items):
+                pass
+
+        try:
+            return store.get_or_create(
+                workload,
+                scale,
+                self.seed,
+                produce,
+                legacy_path=self._legacy_trace_path(workload, scale),
+                on_corrupt=self._warn_corrupt,
+            )
+        except OSError:
+            # Read-only filesystem: run uncached, like the legacy path.
+            return build_workload(workload, scale=scale, seed=self.seed)
+
+    def stream_trace(
+        self, workload: str, scale: Optional[float] = None
+    ) -> Union[Trace, StreamedTrace]:
+        """A trace ready to simulate that may still be generating.
+
+        A warm store entry returns an ordinary :class:`Trace`.  A cold
+        one returns a single-use :class:`StreamedTrace` whose consumer
+        drives generation, with every item teed into the store — the
+        simulator starts on the first segment while later segments are
+        still being built.  Legacy mode degrades to :meth:`trace_at`.
+        """
+        if scale is None:
+            scale = self.scale_of(workload)
+        if not self.trace_store:
+            return self.trace_at(workload, scale)
+        store = self.trace_store_backend()
+        try:
+            return store.stream_or_load(
+                workload,
+                scale,
+                self.seed,
+                lambda: stream_workload(
+                    workload, scale=scale, seed=self.seed
+                ),
+                on_corrupt=self._warn_corrupt,
+            )
+        except OSError:
+            return build_workload(workload, scale=scale, seed=self.seed)
+
+    def _trace_at_legacy(self, workload: str, scale: float) -> Trace:
+        path = self._legacy_trace_path(workload, scale)
         trace: Optional[Trace] = None
         if path.exists():
             try:
                 trace = load_trace(path)
             except TraceCacheCorrupt as exc:
-                # Corrupt cache: warn, delete, regenerate (never
-                # simulate a silently wrong reference stream).
-                warnings.warn(
-                    f"{exc}; deleting and regenerating", RuntimeWarning
-                )
+                self._warn_corrupt(exc)
                 try:
                     path.unlink()
                 except OSError:
@@ -198,6 +308,15 @@ class BenchContext:
             config = dataclasses.replace(config, sanitize=True)
         system = System(config)
         system.reference_budget = self.max_references
+        if self.stream_cold and self.trace_store:
+            cached = self._traces.get(workload)
+            if cached is not None:
+                return system.run(cached)
+            trace = self.stream_trace(workload)
+            if isinstance(trace, Trace):
+                # Warm store entry: memoise like the eager path.
+                self._traces[workload] = trace
+            return system.run(trace)
         return system.run(self.trace(workload))
 
     def run_matrix(

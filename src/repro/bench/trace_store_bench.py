@@ -1,0 +1,216 @@
+"""Trace-store bench: cold-sweep cost of the disk cache backends.
+
+Runs the same cold quick/paper-scale five-workload sweep once per
+backend mode, each in a **fresh subprocess with a fresh cache
+directory**, and measures what the columnar store is supposed to move:
+
+* ``time_to_first_cell_seconds`` — submit-to-first-result latency.  The
+  legacy path serially pre-warms every trace in the parent before any
+  worker starts; the store path lets workers single-flight their own
+  traces, so the first cell waits only on its own trace's generation;
+* ``peak_rss_kb`` — the larger of the coordinator's and the biggest
+  worker's ``ru_maxrss``.  Legacy workers hold private decompressed
+  trace copies; store workers share memory-mapped columns through the
+  page cache;
+* ``wall_seconds`` — end-to-end sweep wall clock.
+
+Modes: ``legacy`` (per-file ``.npz``), ``store`` (columnar store),
+``stream`` (store + simulate-while-generating).  Every mode must
+produce **bit-identical** per-cell ``RunStats`` — the bench hashes the
+sorted cell dicts and fails loudly on any divergence, which is the
+acceptance gate CI's ``trace-store-smoke`` job runs.
+
+Subprocesses (not in-process passes) keep the comparison honest: each
+mode pays its own generation cost from a truly cold cache and its own
+peak RSS, uncontaminated by the previous mode's allocator high-water
+mark.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .runner import BenchContext
+
+#: Backend modes, in reporting order.
+MODES = ("legacy", "store", "stream")
+
+# One cold sweep, run inside a fresh interpreter.  Reads a JSON config
+# from argv[1], prints a JSON result on the last stdout line.
+_CHILD_SRC = r"""
+import json, sys, time, resource
+cfg = json.loads(sys.argv[1])
+sys.path[:0] = cfg["pythonpath"]
+from pathlib import Path
+from repro.api import ScenarioSpec
+from repro.bench.runner import BenchContext
+from repro.serve.scheduler import SweepScheduler
+from repro.sim.config import paper_base
+
+context = BenchContext(
+    quick=cfg["quick"],
+    cache_dir=Path(cfg["cache_dir"]),
+    seed=cfg["seed"],
+    jobs=cfg["jobs"],
+    trace_store=cfg["trace_store"],
+    stream_cold=cfg["stream_cold"],
+)
+specs = [
+    ScenarioSpec(workload=name, config=paper_base(), seed=cfg["seed"])
+    for name in cfg["workloads"]
+]
+cells = {}
+first_cell = [None]
+start = time.perf_counter()
+
+def on_result(index, report):
+    if first_cell[0] is None:
+        first_cell[0] = time.perf_counter() - start
+    cells[cfg["workloads"][index]] = report.stats_dict()
+
+scheduler = SweepScheduler(context=context, jobs=cfg["jobs"])
+scheduler.sweep(specs, on_result=on_result)
+wall = time.perf_counter() - start
+rss_self = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+rss_children = resource.getrusage(resource.RUSAGE_CHILDREN).ru_maxrss
+print(json.dumps({
+    "wall": wall,
+    "first_cell": first_cell[0],
+    "rss_self_kb": rss_self,
+    "rss_children_kb": rss_children,
+    "cells": cells,
+}))
+"""
+
+
+@dataclass
+class TraceStoreBenchResult:
+    """Per-mode measurements plus the cross-mode identity verdict."""
+
+    measurements: Dict[str, dict]
+    digests: Dict[str, str]
+    report: str
+    shape_errors: List[str] = field(default_factory=list)
+
+
+def _digest(cells: dict) -> str:
+    blob = json.dumps(cells, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode("utf-8")).hexdigest()[:16]
+
+
+def _mode_flags(mode: str) -> dict:
+    return {
+        "trace_store": mode != "legacy",
+        "stream_cold": mode == "stream",
+    }
+
+
+def run_trace_store_bench(
+    context: BenchContext,
+    modes=MODES,
+    jobs: Optional[int] = None,
+    progress: bool = False,
+) -> TraceStoreBenchResult:
+    """Run the cold-sweep comparison across *modes*.
+
+    Uses the context's scales/seed/workload suite; *jobs* defaults to
+    the context's (capped at the suite size — more shards than cells
+    only adds spawn noise to the timings).
+    """
+    from ..workloads import PAPER_SUITE
+
+    workloads = [w for w in PAPER_SUITE if w in context.scales]
+    jobs = min(
+        jobs if jobs is not None else (context.jobs or 2),
+        len(workloads),
+    )
+    jobs = max(2, jobs)  # the prewarm-vs-single-flight contrast needs a pool
+    measurements: Dict[str, dict] = {}
+    digests: Dict[str, str] = {}
+    errors: List[str] = []
+    for mode in modes:
+        with tempfile.TemporaryDirectory(
+            prefix=f"trace_store_bench_{mode}_"
+        ) as cache_dir:
+            cfg = {
+                "pythonpath": sys.path,
+                "quick": context.quick,
+                "cache_dir": cache_dir,
+                "seed": context.seed,
+                "jobs": jobs,
+                "workloads": workloads,
+                **_mode_flags(mode),
+            }
+            if progress:
+                print(f"  [{mode}] cold sweep x{len(workloads)} "
+                      f"(jobs={jobs})...", flush=True)
+            proc = subprocess.run(
+                [sys.executable, "-c", _CHILD_SRC, json.dumps(cfg)],
+                capture_output=True,
+                text=True,
+                env={**os.environ, "REPRO_TRACE_CACHE": cache_dir},
+            )
+            if proc.returncode != 0:
+                errors.append(
+                    f"{mode}: child exited {proc.returncode}: "
+                    f"{proc.stderr.strip()[-400:]}"
+                )
+                continue
+            try:
+                payload = json.loads(proc.stdout.strip().splitlines()[-1])
+            except (ValueError, IndexError):
+                errors.append(
+                    f"{mode}: unparsable child output: "
+                    f"{proc.stdout[-200:]!r}"
+                )
+                continue
+            cells = payload.pop("cells")
+            payload["peak_rss_kb"] = max(
+                payload["rss_self_kb"], payload["rss_children_kb"]
+            )
+            measurements[mode] = payload
+            digests[mode] = _digest(cells)
+    if len(digests) > 1 and len(set(digests.values())) != 1:
+        errors.append(
+            "cell stats diverge across backends: "
+            + ", ".join(f"{m}={d}" for m, d in sorted(digests.items()))
+        )
+    lines = [
+        f"cold {len(workloads)}-workload sweep, jobs={jobs}, "
+        f"quick={context.quick}, seed={context.seed}",
+        "",
+        f"{'mode':8s} {'wall(s)':>9s} {'first-cell(s)':>14s} "
+        f"{'peak-RSS(MB)':>13s}  cells-digest",
+    ]
+    for mode in modes:
+        m = measurements.get(mode)
+        if m is None:
+            lines.append(f"{mode:8s} {'-':>9s} {'-':>14s} {'-':>13s}  failed")
+            continue
+        lines.append(
+            f"{mode:8s} {m['wall']:>9.2f} {m['first_cell']:>14.2f} "
+            f"{m['peak_rss_kb'] / 1024:>13.1f}  {digests[mode]}"
+        )
+    if "legacy" in measurements and "store" in measurements:
+        legacy, store = measurements["legacy"], measurements["store"]
+        lines.append("")
+        lines.append(
+            "store vs legacy: first-cell "
+            f"{legacy['first_cell']:.2f}s -> {store['first_cell']:.2f}s, "
+            f"peak RSS {legacy['peak_rss_kb'] / 1024:.1f}MB -> "
+            f"{store['peak_rss_kb'] / 1024:.1f}MB"
+        )
+    return TraceStoreBenchResult(
+        measurements=measurements,
+        digests=digests,
+        report="\n".join(lines),
+        shape_errors=errors,
+    )

@@ -219,6 +219,7 @@ def emit_repro(
     name: str,
     mode: str = "diff",
     plant_name: Optional[str] = None,
+    store=None,
 ) -> Path:
     """Write ``<name>.npz`` + ``<name>.config.pkl`` + ``<name>.py``.
 
@@ -226,6 +227,15 @@ def emit_repro(
     ``"sanitize"`` (replay one sanitized run); *plant_name* names a
     corpus bug to re-arm, for failures that only exist under a planted
     corruption.  Returns the path of the runner script.
+
+    The ``.npz`` stays the portable hand-off format (one
+    self-contained file; written atomically since PR 9).  With *store*
+    (a :class:`~repro.trace.store.TraceStore`) the shrunk trace is
+    *also* registered under the synthetic identity
+    ``shrink/<name>`` — content-addressed, so re-shrinking the same
+    failure dedupes instead of piling up copies, and ``repro trace
+    ls`` inventories repro artifacts alongside cached workloads.  The
+    address is recorded in ``<name>.address``.
     """
     if mode not in ("diff", "sanitize"):
         raise ValueError(f"mode must be 'diff' or 'sanitize', not {mode!r}")
@@ -236,6 +246,9 @@ def emit_repro(
     trace_file = f"{name}.npz"
     config_file = f"{name}.config.pkl"
     save_trace(trace, out / trace_file)
+    if store is not None:
+        address = store.put(trace, f"shrink/{name}", 1.0, 0)
+        (out / f"{name}.address").write_text(address + "\n")
     (out / config_file).write_bytes(pickle.dumps(config))
     script = out / f"{name}.py"
     script.write_text(

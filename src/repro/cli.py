@@ -97,7 +97,7 @@ from .workloads import PAPER_SUITE
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig4", "init-costs", "reach", "ablations",
-    "multiprog", "sensitivity",
+    "multiprog", "sensitivity", "trace-store",
 )
 
 #: Experiments that write perf-baseline keys and therefore accept the
@@ -168,15 +168,21 @@ def _context_meta(context: BenchContext) -> dict:
 
 
 def _write_perf_baseline(
-    name: str, wall_seconds: float, context: BenchContext
+    name: str,
+    wall_seconds: float,
+    context: BenchContext,
+    extra: Optional[dict] = None,
+    key: Optional[str] = None,
 ) -> None:
     """Merge one wall-clock measurement into ``BENCH_perf.json``.
 
-    Runs are keyed ``<name>|engine=<engine>,jobs=<jobs>`` so scalar and
-    vector timings of the same figure coexist in one file and can be
-    compared with ``repro metrics diff`` (``wall_seconds`` is
-    lower-is-better).  Unlike the per-figure metric snapshots this file
-    is merged, not overwritten: it accumulates the perf baseline.
+    Runs are keyed ``<name>|engine=<engine>,jobs=<jobs>`` (or the
+    explicit *key*) so scalar and vector timings of the same figure
+    coexist in one file and can be compared with ``repro metrics
+    diff`` (``wall_seconds`` is lower-is-better).  *extra* adds further
+    metrics (the trace-store bench records peak RSS and
+    time-to-first-cell).  Unlike the per-figure metric snapshots this
+    file is merged, not overwritten: it accumulates the perf baseline.
     """
     path = Path("BENCH_perf.json")
     snapshot = None
@@ -187,15 +193,17 @@ def _write_perf_baseline(
             snapshot = None  # unreadable baseline: start a fresh one
     if snapshot is None:
         snapshot = {"schema": SCHEMA, "label": "perf", "runs": {}}
-    key = (
-        f"{name}|engine={context.engine or 'auto'},"
-        f"jobs={context.jobs or 1}"
-    )
-    if context.sanitize:
-        key += ",sanitize=1"
-    snapshot["runs"][key] = {
-        "metrics": {"wall_seconds": round(wall_seconds, 3)}
-    }
+    if key is None:
+        key = (
+            f"{name}|engine={context.engine or 'auto'},"
+            f"jobs={context.jobs or 1}"
+        )
+        if context.sanitize:
+            key += ",sanitize=1"
+    metrics = {"wall_seconds": round(wall_seconds, 3)}
+    if extra:
+        metrics.update(extra)
+    snapshot["runs"][key] = {"metrics": metrics}
     snapshot["meta"] = _context_meta(context)
     write_snapshot(snapshot, path)
     print(f"wrote {path} ({key}: {wall_seconds:.2f}s wall)")
@@ -386,6 +394,28 @@ def _run(name: str, context: BenchContext) -> int:
         status |= _report("S2 / miss-handler cost", handler.report,
                           handler.shape_errors)
         return status
+    if name == "trace-store":
+        from .bench.trace_store_bench import run_trace_store_bench
+
+        result = run_trace_store_bench(context, progress=True)
+        for mode, m in result.measurements.items():
+            _write_perf_baseline(
+                "trace_store",
+                m["wall"],
+                context,
+                extra={
+                    "time_to_first_cell_seconds": round(
+                        m["first_cell"], 3
+                    ),
+                    "peak_rss_kb": m["peak_rss_kb"],
+                },
+                key=f"trace_store|mode={mode}",
+            )
+        return _report(
+            "E8 / trace-store cold-sweep comparison",
+            result.report,
+            result.shape_errors,
+        )
     raise ValueError(f"unknown experiment {name!r}")
 
 
@@ -574,7 +604,31 @@ def _metrics_dump(args) -> int:
             args.trace_out, label=f"{args.workload}|{config.label}"
         )
         print(f"wrote {path} (load it at https://ui.perfetto.dev)")
+    _print_trace_ops()
     return 0
+
+
+def _print_trace_ops() -> None:
+    """Echo trace-store operational counters on stderr.
+
+    Deliberately *outside* the snapshot JSON: the snapshot's run
+    metrics are gated bit-for-bit across engines and cold/warm caches,
+    while these counters (hits/misses/cache_corrupt/...) describe this
+    invocation's cache traffic.  stderr keeps stdout pipeable.
+    """
+    from .trace.store import store_registry
+
+    ops = {
+        name: value
+        for name, value in store_registry().collect().items()
+        if value
+    }
+    if ops:
+        print(
+            "trace store: "
+            + " ".join(f"{k}={v:g}" for k, v in sorted(ops.items())),
+            file=sys.stderr,
+        )
 
 
 def _metrics_diff(args) -> int:
@@ -942,6 +996,69 @@ def _chaos_soak(args) -> int:
         return 1
     print("chaos soak: all seeds converged bit-identically")
     return 0
+
+
+def _trace_store_for(args):
+    from .trace.store import TraceStore
+
+    env = os.environ.get("REPRO_TRACE_CACHE")
+    cache_dir = Path(args.cache_dir or env or ".trace_cache")
+    return cache_dir, TraceStore(cache_dir / "store")
+
+
+def _trace_ls(args) -> int:
+    cache_dir, store = _trace_store_for(args)
+    rows = store.ls()
+    if not rows:
+        print(f"trace store {store.root} is empty")
+        return 0
+    print(f"{'address':40s} {'workload':12s} {'scale':>8s} "
+          f"{'seed':>6s} {'refs':>12s} {'chunks':>7s} {'MB':>8s} raw")
+    total_bytes = 0
+    for row in rows:
+        if "error" in row:
+            print(f"{row['address']:40s} CORRUPT: {row['error']}")
+            continue
+        total_bytes += row["raw_bytes"]
+        print(
+            f"{row['address']:40s} {row['workload']:12s} "
+            f"{row['scale']:>8g} {row['seed']:>6d} {row['refs']:>12,d} "
+            f"{row['chunks']:>7d} {row['raw_bytes'] / 1e6:>8.1f} "
+            f"{'yes' if row['raw_cached'] else 'no'}"
+        )
+    print(f"\n{len(rows)} entr{'y' if len(rows) == 1 else 'ies'}, "
+          f"{total_bytes / 1e6:.1f} MB raw")
+    return 0
+
+
+def _trace_gc(args) -> int:
+    _, store = _trace_store_for(args)
+    summary = store.gc(drop_raw=args.drop_raw)
+    print(
+        f"removed {summary['tmp_dirs']} staging dir(s), "
+        f"{summary['stale_locks']} stale lock(s), "
+        f"{summary['raw_dropped']} raw materialisation(s); "
+        f"{summary['quarantined']} quarantined entr(y/ies) on disk"
+    )
+    return 0
+
+
+def _trace_migrate(args) -> int:
+    cache_dir, store = _trace_store_for(args)
+    report = store.migrate_legacy_dir(cache_dir, remove=args.remove)
+    for name in report["migrated"]:
+        print(f"migrated  {name}")
+    for name in report["corrupt"]:
+        print(f"corrupt   {name} (skipped)")
+    if args.verbose:
+        for name in report["skipped"]:
+            print(f"skipped   {name}")
+    print(
+        f"\n{len(report['migrated'])} migrated, "
+        f"{len(report['skipped'])} skipped, "
+        f"{len(report['corrupt'])} corrupt"
+    )
+    return 1 if report["corrupt"] else 0
 
 
 def _check_corpus(args) -> int:
@@ -1324,6 +1441,66 @@ def repro_main(argv=None) -> int:
         help="counters snapshot path (default: BENCH_chaos.json)",
     )
     soak.set_defaults(func=_chaos_soak)
+
+    trace = sub.add_parser(
+        "trace",
+        help=(
+            "trace-store maintenance: inventory, garbage collection, "
+            "and legacy .npz migration (DESIGN.md §15)"
+        ),
+    )
+    tsub = trace.add_subparsers(dest="trace_command", required=True)
+
+    def _trace_cache_arg(p):
+        p.add_argument(
+            "--cache-dir", metavar="DIR", default=None,
+            help=(
+                "trace cache directory (default: $REPRO_TRACE_CACHE "
+                "or .trace_cache); the store lives in its store/ "
+                "subdirectory"
+            ),
+        )
+
+    tls = tsub.add_parser(
+        "ls", help="list store entries (identity, refs, chunks, bytes)"
+    )
+    _trace_cache_arg(tls)
+    tls.set_defaults(func=_trace_ls)
+
+    tgc = tsub.add_parser(
+        "gc",
+        help=(
+            "prune orphaned staging dirs and stale single-flight "
+            "locks; optionally drop regenerable raw materialisations"
+        ),
+    )
+    _trace_cache_arg(tgc)
+    tgc.add_argument(
+        "--drop-raw", action="store_true",
+        help=(
+            "also delete decompressed cols.raw files (rebuilt on "
+            "next load; compressed chunks are never touched)"
+        ),
+    )
+    tgc.set_defaults(func=_trace_gc)
+
+    tmig = tsub.add_parser(
+        "migrate",
+        help=(
+            "import legacy per-file .npz traces into the store "
+            "(skips %%g-rounded scale keys that cannot round-trip)"
+        ),
+    )
+    _trace_cache_arg(tmig)
+    tmig.add_argument(
+        "--remove", action="store_true",
+        help="delete each legacy file after successful import",
+    )
+    tmig.add_argument(
+        "-v", "--verbose", action="store_true",
+        help="also list skipped (already-imported) files",
+    )
+    tmig.set_defaults(func=_trace_migrate)
 
     args = parser.parse_args(argv)
     return args.func(args)

@@ -171,6 +171,35 @@ class TraceCacheCorrupt(ReproError):
         return (type(self), (self.path, self.reason))
 
 
+class TraceStoreCorrupt(TraceCacheCorrupt):
+    """A trace-store entry failed a chunk CRC / manifest checksum.
+
+    Subclasses :class:`TraceCacheCorrupt` so every handler that already
+    treats a corrupt trace cache as a miss (warn, quarantine,
+    regenerate) handles the chunked store the same way.
+    """
+
+
+class TraceStoreTimeout(ReproError):
+    """A single-flight waiter gave up waiting for the generating peer.
+
+    Raised when a trace-store entry stays locked past the waiter's
+    timeout with no manifest appearing — the generating process is
+    stuck or the lock is stale beyond the steal horizon.
+    """
+
+    def __init__(self, address: str, waited_seconds: float) -> None:
+        super().__init__(
+            f"trace store entry {address} still generating after "
+            f"{waited_seconds:.1f}s"
+        )
+        self.address = address
+        self.waited_seconds = waited_seconds
+
+    def __reduce__(self):
+        return (type(self), (self.address, self.waited_seconds))
+
+
 class ReferenceBudgetExceeded(ReproError):
     """A run would exceed the harness's per-run reference budget.
 

@@ -1,0 +1,83 @@
+"""Durable filesystem primitives shared by the artifact stores.
+
+The result store (:mod:`repro.serve.store`) and the trace store
+(:mod:`repro.trace.store`) both need the same write discipline: stage
+into a tmp file that is private to this writer, fsync the data, rename
+over the final name, fsync the directory.  That ordering is what makes
+the atomicity claim real across a crash or power loss — without the
+fsync-before-rename, the rename can reach disk before the data blocks,
+leaving a truncated "committed" file.
+
+These helpers started life inside ``repro.serve.store`` (PR 7); they
+live here so ``repro.trace`` can reuse them without importing the serve
+layer.
+"""
+
+from __future__ import annotations
+
+import itertools
+import os
+from pathlib import Path
+
+__all__ = ["atomic_write_bytes", "fsync_dir", "unique_tmp_path"]
+
+
+def fsync_dir(directory: Path) -> None:
+    """fsync a directory so a rename into it survives power loss.
+
+    Some filesystems don't support opening directories (or fsync on
+    them); treat that as best-effort rather than a write failure.
+    """
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+#: Per-process tmp-name disambiguator (see :func:`unique_tmp_path`).
+_TMP_SEQ = itertools.count()
+
+
+def unique_tmp_path(path: Path) -> Path:
+    """A tmp name unique to this writer, next to *path*.
+
+    A *fixed* tmp name is a write-write hazard: two processes
+    committing the same path would open the same tmp file, and the
+    second open truncates it mid-write, so the first writer's
+    ``os.replace`` can commit the second's partial bytes.  The pid +
+    sequence suffix guarantees each writer stages in its own file.
+    """
+    return path.with_name(
+        f"{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
+    )
+
+
+def atomic_write_bytes(path: Path, blob: bytes) -> None:
+    """Durably write *blob* to *path*: private tmp file, fsync the
+    file, rename over, fsync the directory.
+
+    Raises OSError on failure (callers decide whether a read-only
+    filesystem is fatal); the tmp file is removed on the way out.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = unique_tmp_path(path)
+    try:
+        with open(tmp, "wb") as fh:
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp, path)
+    except OSError:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    fsync_dir(path.parent)

@@ -246,6 +246,12 @@ SUPERPAGE_SIZE_EDGES = (
     16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20, 16 << 20, 64 << 20,
 )
 
+#: Chunks materialised per trace-store load (the chunk-hit histogram:
+#: how much of the columnar store one scenario actually pulls).
+TRACE_CHUNKS_PER_LOAD_EDGES = (
+    1, 2, 4, 8, 16, 32, 64, 128, 256, 1_024,
+)
+
 #: Supervised per-scenario wall time (one attempt), in seconds.
 SCENARIO_WALL_EDGES = (
     0.1, 0.5, 1.0, 5.0, 15.0, 60.0, 300.0, 1_800.0,

@@ -64,6 +64,7 @@ from ..api import (
 from ..bench.runner import BenchContext
 from ..errors import SpecValidationError, SweepInterrupted
 from ..obs import MetricsRegistry, render_prometheus
+from ..trace.store import trace_metrics_source
 from .http import (
     HttpError,
     HttpRequest,
@@ -181,6 +182,9 @@ class ScenarioDaemon:
         self.disconnects = reg.counter("serve.daemon.disconnects")
         self.queue_depth = reg.gauge("serve.daemon.queue_depth")
         self.inflight_gauge = reg.gauge("serve.daemon.inflight")
+        # Surface trace-store traffic (and worker-reported cache
+        # corruption) on /metrics without touching run metrics.
+        reg.add_source("trace", trace_metrics_source)
 
         self.queue: FairQueue = FairQueue(default_weight=default_weight)
         self._task_ids = itertools.count()
@@ -593,7 +597,15 @@ class ScenarioDaemon:
         must never race to generate one trace.  Serialized across
         requests, off the event loop, against each request's own
         resolved scales — the shared daemon context is never mutated.
+
+        Store-backed contexts skip this: the trace store's
+        single-flight lock already guarantees one generator per trace,
+        and letting the shard workers populate it themselves means the
+        first flight starts as soon as its own trace exists instead of
+        queueing behind the whole batch's warm-up.
         """
+        if self.context.trace_store:
+            return
         wanted = dict.fromkeys(
             (name, scales[name])
             for spec, scales in pairs

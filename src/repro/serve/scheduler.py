@@ -56,6 +56,7 @@ from ..obs import MetricsRegistry
 from ..sim.multiprog import run_job_mix
 from ..sim.results import RunResult
 from ..sim.stats import RunStats
+from ..trace.store import trace_metrics_source
 from .chaos import ChaosConfig, ChaosPlan, corrupt_record_file
 from .fingerprint import canonical_scenario, scenario_fingerprint
 from .store import ResultStore
@@ -438,6 +439,10 @@ class SweepScheduler:
         self.shard_wall = reg.histogram(
             "serve.shard_wall_seconds", SHARD_WALL_EDGES
         )
+        # Trace-store traffic (hits/misses/generated/...) rides the
+        # operational registry, never RunResult.metrics — run metrics
+        # are compared bit-for-bit across cold/warm caches by CI.
+        reg.add_source("trace", trace_metrics_source)
 
     # -- helpers --------------------------------------------------------- #
 
@@ -463,6 +468,7 @@ class SweepScheduler:
             "max_references": ctx.max_references,
             "engine": ctx.engine,
             "sanitize": ctx.sanitize,
+            "trace_store": ctx.trace_store,
         }
 
     def _commit(self, entry: _Entry, ticket: SweepTicket) -> None:
@@ -545,16 +551,21 @@ class SweepScheduler:
 
         jobs = max(1, self.jobs)
         if jobs > 1 and len(ticket.to_run) > 1:
-            # Pre-warm the on-disk trace cache in the parent so N
-            # workers never race to generate the same trace — at each
+            # Legacy trace cache only: pre-warm on disk in the parent so
+            # N workers never race to generate the same trace — at each
             # entry's resolved scale, without mutating the shared
-            # context's own scale table.
-            for name, scale in dict.fromkeys(
-                (name, entry.scales[name])
-                for entry in ticket.to_run
-                for name in entry.spec.workloads
-            ):
-                self.context.trace_at(name, scale)
+            # context's own scale table.  In store mode the workers
+            # coordinate themselves through the store's single-flight
+            # lock, so the first cell starts as soon as *its own* trace
+            # exists instead of waiting for the whole warm-up loop —
+            # this is where time-to-first-result drops on a cold sweep.
+            if not self.context.trace_store:
+                for name, scale in dict.fromkeys(
+                    (name, entry.scales[name])
+                    for entry in ticket.to_run
+                    for name in entry.spec.workloads
+                ):
+                    self.context.trace_at(name, scale)
             workers = min(jobs, len(ticket.to_run))
             ticket.supervisor = ShardSupervisor(
                 self._ctx_kwargs(),

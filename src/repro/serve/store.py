@@ -29,7 +29,6 @@ double-write of the same fingerprint writes identical bytes.
 from __future__ import annotations
 
 import dataclasses
-import itertools
 import json
 import os
 import time
@@ -43,6 +42,7 @@ import numpy as np
 
 from .._version import __version__
 from ..errors import ResultStoreCorrupt
+from ..ioutil import atomic_write_bytes, fsync_dir, unique_tmp_path
 from ..sim.stats import RunStats
 
 #: The store's record schema; version-bumped on layout changes.
@@ -75,73 +75,11 @@ class StoreRecord:
         return RunStats(**self.stats)
 
 
-def _fsync_dir(directory: Path) -> None:
-    """fsync a directory so a rename into it survives power loss.
-
-    Some filesystems don't support opening directories (or fsync on
-    them); treat that as best-effort rather than a write failure.
-    """
-    try:
-        fd = os.open(directory, os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
-
-
-#: Per-process tmp-name disambiguator (see :func:`_tmp_path`).
-_TMP_SEQ = itertools.count()
-
-
-def _tmp_path(path: Path) -> Path:
-    """A tmp name unique to this writer, next to *path*.
-
-    A *fixed* tmp name (the original ``<name>.tmp``) is a write-write
-    hazard: two processes committing the same fingerprint — the daemon
-    plus a batch sweep, or two daemons on one store — would open the
-    same tmp file, and the second open truncates it mid-write, so the
-    first writer's ``os.replace`` can commit the second's partial
-    bytes.  Content-addressing makes the *committed* bytes identical
-    either way, but only if each writer stages in its own file; the
-    pid + sequence suffix guarantees that.
-    """
-    return path.with_name(
-        f"{path.name}.{os.getpid()}.{next(_TMP_SEQ)}.tmp"
-    )
-
-
-def atomic_write_bytes(path: Path, blob: bytes) -> None:
-    """Durably write *blob* to *path*: private tmp file, fsync the
-    file, rename over, fsync the directory.
-
-    The fsync-before-rename ordering is what makes the atomicity claim
-    real on a crash: without it the rename can be on disk before the
-    data blocks, leaving a truncated/empty "committed" file after power
-    loss.  The tmp name is unique per writer (:func:`_tmp_path`), so
-    concurrent same-path writers never stage through each other's
-    files.  Raises OSError on failure (callers decide whether a
-    read-only store is fatal); the tmp file is removed on the way out.
-    """
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    tmp = _tmp_path(path)
-    try:
-        with open(tmp, "wb") as fh:
-            fh.write(blob)
-            fh.flush()
-            os.fsync(fh.fileno())
-        os.replace(tmp, path)
-    except OSError:
-        try:
-            tmp.unlink()
-        except OSError:
-            pass
-        raise
-    _fsync_dir(path.parent)
+# Durable-write primitives, shared with the trace store since PR 9.
+# ``atomic_write_bytes`` keeps its historical home here as a re-export;
+# the private aliases keep this module's call sites unchanged.
+_fsync_dir = fsync_dir
+_tmp_path = unique_tmp_path
 
 
 def _record_checksum(record: Mapping[str, object]) -> int:

@@ -476,6 +476,7 @@ def _supervised_worker(ctx_kwargs: dict, task_conn, result_conn) -> None:
     result behind.
     """
     from ..bench.runner import BenchContext
+    from ..trace.store import store_registry
     from .scheduler import _picklable, execute_spec
 
     context = None
@@ -496,6 +497,12 @@ def _supervised_worker(ctx_kwargs: dict, task_conn, result_conn) -> None:
                 time.sleep(directive.slow_seconds)
         if context is None:
             context = BenchContext(**ctx_kwargs)
+        # Trace-cache activity in this process (store hits/misses, the
+        # cache_corrupt counter) is invisible to the parent — a
+        # RuntimeWarning emitted here dies with the pipe.  Ship the
+        # counter *delta* alongside the result so the supervisor can
+        # fold it into the parent's operational registry.
+        ops_before = store_registry().collect()
         try:
             result = execute_spec(
                 context, spec, dict(scales) if scales else None
@@ -504,14 +511,30 @@ def _supervised_worker(ctx_kwargs: dict, task_conn, result_conn) -> None:
                 token,
                 dataclasses.asdict(result.stats),
                 result.metrics,
+                _ops_delta(ops_before, store_registry().collect()),
                 None,
             )
         except Exception as exc:  # noqa: BLE001 - isolation boundary
-            outcome = (token, None, None, _picklable(exc))
+            outcome = (
+                token,
+                None,
+                None,
+                _ops_delta(ops_before, store_registry().collect()),
+                _picklable(exc),
+            )
         try:
             result_conn.send(outcome)
         except (BrokenPipeError, OSError):
             return
+
+
+def _ops_delta(before: dict, after: dict) -> dict:
+    """Positive counter movement between two registry snapshots."""
+    return {
+        name: after[name] - before.get(name, 0)
+        for name in after
+        if after[name] - before.get(name, 0) > 0
+    }
 
 
 @dataclass
@@ -890,7 +913,18 @@ class ShardSupervisor:
                 job, WorkerCrashed(job.task.label, exitcode), on_outcome
             )
             return 1
-        token, stats, metrics, error = message
+        token, stats, metrics, ops, error = message
+        if ops:
+            # Fold the worker's trace-store counter movement into this
+            # process's operational registry, making cache corruption
+            # (and store traffic) from pool workers visible in
+            # ``repro metrics dump`` / the daemon's /metrics.  Done
+            # before the staleness check: a superseded dispatch still
+            # did real cache work.
+            from ..trace.store import store_registry
+
+            for name, delta in ops.items():
+                store_registry().counter(name).inc(delta)
         if token != dispatch.token:
             return 0  # stale message from a superseded dispatch
         worker.busy = None

@@ -8,10 +8,24 @@ from .events import (
     Phase,
     Remap,
 )
+from .store import (
+    SparseChunkIndex,
+    StreamedTrace,
+    TraceChunkIndex,
+    TraceStore,
+    TraceWriter,
+    trace_address,
+)
 from .trace import OP_LOAD, OP_STORE, Segment, Trace, make_segment
 from .validate import ValidationReport, validate_trace
 
 __all__ = [
+    "SparseChunkIndex",
+    "StreamedTrace",
+    "TraceChunkIndex",
+    "TraceStore",
+    "TraceWriter",
+    "trace_address",
     "HeapGrow",
     "KernelEvent",
     "MapConventional",

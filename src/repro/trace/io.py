@@ -16,6 +16,7 @@ silently wrong reference stream.
 
 from __future__ import annotations
 
+import io
 import json
 import zipfile
 import zlib
@@ -25,6 +26,7 @@ from typing import Dict, Union
 import numpy as np
 
 from ..errors import TraceCacheCorrupt
+from ..ioutil import atomic_write_bytes
 from .events import HeapGrow, MapConventional, MapRegion, Phase, Remap
 from .trace import Segment, Trace
 
@@ -41,6 +43,24 @@ _EVENT_TYPES = {
 }
 
 
+def event_record(item) -> dict:
+    """Serialise one kernel event to a JSON-ready record."""
+    record = {"kind": type(item).__name__}
+    record.update(vars(item))
+    return record
+
+
+def record_event(record: dict):
+    """Rebuild a kernel event from :func:`event_record` output.
+
+    Raises KeyError on an unknown event kind (callers treat that as
+    corruption / format skew).  *record* is consumed: the ``kind`` key
+    is popped.
+    """
+    kind = record.pop("kind")
+    return _EVENT_TYPES[kind](**record)
+
+
 def _content_checksum(meta: dict, arrays: Dict[str, np.ndarray]) -> int:
     """CRC32 over the canonical JSON metadata and every array's bytes.
 
@@ -55,7 +75,15 @@ def _content_checksum(meta: dict, arrays: Dict[str, np.ndarray]) -> int:
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> None:
-    """Write *trace* to *path* (an ``.npz`` file)."""
+    """Write *trace* to *path* (an ``.npz`` file), atomically.
+
+    The bytes are staged through a writer-private tmp file and renamed
+    into place (:func:`repro.ioutil.atomic_write_bytes`): a killed
+    writer leaves the previous file (or nothing) at the live name, and
+    two concurrent writers of the same path never interleave — the
+    direct-to-final-path write this replaced could leave a torn file
+    that every later reader paid a checksum failure for.
+    """
     path = Path(path)
     items = []
     arrays: Dict[str, np.ndarray] = {}
@@ -75,9 +103,7 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
             arrays[f"seg{seg_index}_gaps"] = item.gaps
             seg_index += 1
         else:
-            record = {"kind": type(item).__name__}
-            record.update(vars(item))
-            items.append(record)
+            items.append(event_record(item))
     meta = {
         "version": FORMAT_VERSION,
         "name": trace.name,
@@ -89,9 +115,9 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> None:
     arrays["meta"] = np.frombuffer(
         json.dumps(meta).encode("utf-8"), dtype=np.uint8
     )
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "wb") as fh:
-        np.savez_compressed(fh, **arrays)
+    buffer = io.BytesIO()
+    np.savez_compressed(buffer, **arrays)
+    atomic_write_bytes(path, buffer.getvalue())
 
 
 def load_trace(path: Union[str, Path]) -> Trace:
@@ -105,7 +131,9 @@ def load_trace(path: Union[str, Path]) -> Trace:
     """
     path = Path(path)
     try:
-        data = np.load(path)
+        # Trace files are pure arrays + JSON metadata; refusing pickles
+        # keeps a tampered cache file from executing code on load.
+        data = np.load(path, allow_pickle=False)
     except (OSError, ValueError, EOFError, zipfile.BadZipFile) as exc:
         raise TraceCacheCorrupt(path, f"unreadable npz ({exc})") from exc
     try:
@@ -155,5 +183,6 @@ def load_trace(path: Union[str, Path]) -> Trace:
                 )
             )
         else:
-            trace.add(_EVENT_TYPES[kind](**record))
+            record["kind"] = kind
+            trace.add(record_event(record))
     return trace

@@ -1,0 +1,1095 @@
+"""Content-addressed, chunk-compressed columnar trace store.
+
+The legacy cache (:mod:`repro.trace.io`) keeps one monolithic ``.npz``
+per (workload, scale, seed): every reader decompresses a private heap
+copy, the filename keys scale through ``%g`` (collision-prone), and a
+cold sweep has every worker generate the same trace at once.  This
+module replaces that with a small content-addressed store:
+
+``<root>/<aa>/<address>/``
+    One committed entry per trace, where ``address`` is a SHA-256 over
+    the canonical identity ``{schema, workload, scale_hex, seed}`` —
+    scale keyed by ``float.hex()``, so 0.3 and the float one ulp above
+    it are distinct entries instead of silently sharing a file.
+
+``manifest.json``
+    The entry's metadata: item list (kernel events inline, segments by
+    index), per-segment raw-column extents, the chunk table, and a CRC32
+    self-checksum.
+
+``chunks.bin``
+    The durable payload: each segment's columns split into fixed
+    *reference*-count chunks, each chunk zlib-compressed and carrying a
+    CRC32 of its raw bytes.  Append-only while streaming, so a chunk is
+    either fully present or past the committed high-water mark — never
+    torn.
+
+``cols.raw``
+    A regenerable decompressed materialisation: segment-major,
+    column-major, 16-byte aligned, so readers map it with
+    ``np.memmap(mode="r")`` and slice zero-copy column views.  Parallel
+    sweep shards and daemon workers loading the same trace then share
+    one set of page-cache pages instead of N private decompressed
+    copies.  If it is missing or the wrong size it is rebuilt from
+    ``chunks.bin`` (verifying every chunk CRC on the way).
+
+Chunk lookup goes through :class:`SparseChunkIndex`, a two-level sparse
+radix over global reference index — the same L1/L2 split (and cached
+last lookup) the paper's ShadowMemory uses for shadow page entries, so
+a sparse or partially-streamed chunk table costs memory proportional to
+what exists, not to the address range.
+
+Cold-population is **single-flight**: a generator takes an ``O_EXCL``
+lockfile keyed by the address, peers block until the manifest appears
+(stealing locks whose holder died), and exactly one process pays the
+generation cost — the thundering herd where every cold worker generated
+the same workload is a regression test now.
+
+Operational counters (hits/misses/generated/...) live in a
+module-global registry (:func:`store_registry`), deliberately *outside*
+``RunResult.metrics``: run metrics are compared bit-for-bit across
+engines and cold/warm caches by CI, and store traffic must never show
+up there.  The serve layer re-exports them via ``add_source("trace",
+trace_metrics_source)``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import re
+import shutil
+import time
+import zlib
+from pathlib import Path
+from typing import Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from ..errors import TraceCacheCorrupt, TraceStoreCorrupt, TraceStoreTimeout
+from ..ioutil import atomic_write_bytes, fsync_dir, unique_tmp_path
+from ..obs.registry import TRACE_CHUNKS_PER_LOAD_EDGES, MetricsRegistry
+from .io import event_record, load_trace, record_event
+from .trace import Segment, Trace
+
+#: Bump on any change to the on-disk layout; participates in the
+#: content address, so a schema bump cold-misses rather than misreads.
+STORE_SCHEMA = "repro-trace-store/1"
+
+#: References per chunk.  64 Ki refs keeps the largest column chunk
+#: (int64 vaddrs) at 512 KB raw — big enough to compress well, small
+#: enough that truncation/bit-rot localises to one CRC.
+DEFAULT_CHUNK_REFS = 1 << 16
+
+#: Raw column blocks are aligned so int64 views off the byte memmap are
+#: aligned views, not copies.
+_ALIGN = 16
+
+#: The columnar layout: (attribute, dtype, itemsize).
+COLUMNS: Tuple[Tuple[str, type, int], ...] = (
+    ("ops", np.uint8, 1),
+    ("vaddrs", np.int64, 8),
+    ("gaps", np.int32, 4),
+)
+
+#: Legacy cache filename, as written by the pre-store harness.
+LEGACY_NAME_RE = re.compile(
+    r"^(?P<workload>.+)_s(?P<scale>[0-9.eE+-]+)_seed(?P<seed>\d+)\.npz$"
+)
+
+
+def _canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True, separators=(",", ":"))
+
+
+def trace_address(workload: str, scale: float, seed: int) -> str:
+    """Content address for one (workload, scale, seed) identity.
+
+    Scale enters as ``float.hex()`` — the exact bit pattern — fixing the
+    legacy cache's ``%g`` keying, under which 0.3 and
+    0.30000000000000004 printed identically and shared (clobbered) one
+    file while ``resolve_scales`` fingerprinted them as distinct runs.
+    """
+    key = {
+        "schema": STORE_SCHEMA,
+        "workload": workload,
+        "scale_hex": float(scale).hex(),
+        "seed": int(seed),
+    }
+    digest = hashlib.sha256(_canonical(key).encode("utf-8")).hexdigest()
+    return digest[:40]
+
+
+# ---------------------------------------------------------------------- #
+# Operational metrics (kept out of RunResult.metrics — see module doc)
+# ---------------------------------------------------------------------- #
+
+_REGISTRY = MetricsRegistry()
+
+
+def store_registry() -> MetricsRegistry:
+    """The process-wide trace-store metrics registry."""
+    return _REGISTRY
+
+
+def trace_metrics_source() -> Dict[str, float]:
+    """Snapshot for ``MetricsRegistry.add_source("trace", ...)``.
+
+    Strips the ``trace.`` prefix so the consuming registry's prefix
+    restores it instead of doubling it.
+    """
+    out: Dict[str, float] = {}
+    for name, value in _REGISTRY.collect().items():
+        key = name[len("trace."):] if name.startswith("trace.") else name
+        out[key] = value
+    return out
+
+
+def _count(name: str, amount: float = 1) -> None:
+    _REGISTRY.counter(name).inc(amount)
+
+
+def _chunk_histogram():
+    return _REGISTRY.histogram(
+        "trace.store.chunks_per_load", TRACE_CHUNKS_PER_LOAD_EDGES
+    )
+
+
+# ---------------------------------------------------------------------- #
+# Two-level sparse chunk index (the ShadowMemory L1/L2 idiom)
+# ---------------------------------------------------------------------- #
+
+
+class SparseChunkIndex:
+    """Map a global reference index to its chunk id, sparsely.
+
+    Chunk slot ``ref // chunk_refs`` is split into an L1 directory of
+    lazily-allocated L2 pages of ``2**l2_bits`` slots — the same shape
+    as the paper's two-level shadow page table, including the cached
+    last (page, entries) pair that makes sequential lookups O(1)
+    without touching the directory.
+    """
+
+    def __init__(self, chunk_refs: int, l2_bits: int = 6) -> None:
+        if chunk_refs <= 0:
+            raise ValueError("chunk_refs must be positive")
+        self.chunk_refs = chunk_refs
+        self.l2_bits = l2_bits
+        self._l2_size = 1 << l2_bits
+        self._l1: List[Optional[List[Optional[int]]]] = []
+        self._cached_page = -1
+        self._cached_entries: Optional[List[Optional[int]]] = None
+
+    def _entries_for(self, page: int, create: bool) -> Optional[list]:
+        if page == self._cached_page:
+            return self._cached_entries
+        l1_slot = page >> self.l2_bits
+        if l1_slot >= len(self._l1):
+            if not create:
+                return None
+            self._l1.extend([None] * (l1_slot + 1 - len(self._l1)))
+        entries = self._l1[l1_slot]
+        if entries is None:
+            if not create:
+                return None
+            entries = [None] * self._l2_size
+            self._l1[l1_slot] = entries
+        self._cached_page = page
+        self._cached_entries = entries
+        return entries
+
+    def insert(self, chunk_id: int, first_ref: int) -> None:
+        """Record that *chunk_id* starts at global reference *first_ref*."""
+        if first_ref % self.chunk_refs:
+            raise ValueError(
+                f"chunk start {first_ref} is not a multiple of "
+                f"chunk_refs={self.chunk_refs}"
+            )
+        page = first_ref // self.chunk_refs
+        entries = self._entries_for(page, create=True)
+        entries[page & (self._l2_size - 1)] = chunk_id
+
+    def lookup(self, ref: int) -> Optional[int]:
+        """Chunk id covering global reference *ref*, or None."""
+        if ref < 0:
+            return None
+        page = ref // self.chunk_refs
+        entries = self._entries_for(page, create=False)
+        if entries is None:
+            return None
+        return entries[page & (self._l2_size - 1)]
+
+    def window(self, start_ref: int, stop_ref: int) -> List[int]:
+        """Chunk ids overlapping ``[start_ref, stop_ref)``, in order."""
+        out: List[int] = []
+        if stop_ref <= start_ref:
+            return out
+        first = start_ref // self.chunk_refs
+        last = (stop_ref - 1) // self.chunk_refs
+        for page in range(first, last + 1):
+            entries = self._entries_for(page, create=False)
+            if entries is None:
+                continue
+            chunk = entries[page & (self._l2_size - 1)]
+            if chunk is not None:
+                out.append(chunk)
+        return out
+
+    @property
+    def l2_pages_allocated(self) -> int:
+        return sum(1 for entries in self._l1 if entries is not None)
+
+
+class TraceChunkIndex:
+    """Per-segment chunk lookup for one trace.
+
+    Chunk boundaries are aligned *within* each segment (a new segment
+    always opens a new chunk), so each segment gets its own
+    :class:`SparseChunkIndex` keyed by in-segment reference offset and
+    this wrapper routes ``(segment, ref)`` queries to it.
+    """
+
+    def __init__(self, chunk_refs: int) -> None:
+        self.chunk_refs = chunk_refs
+        self._per_segment: Dict[int, SparseChunkIndex] = {}
+
+    def insert(self, chunk_id: int, seg: int, start: int) -> None:
+        index = self._per_segment.get(seg)
+        if index is None:
+            index = self._per_segment[seg] = SparseChunkIndex(
+                self.chunk_refs
+            )
+        index.insert(chunk_id, start)
+
+    def lookup(self, seg: int, ref: int) -> Optional[int]:
+        index = self._per_segment.get(seg)
+        return None if index is None else index.lookup(ref)
+
+    def window(self, seg: int, start: int, stop: int) -> List[int]:
+        index = self._per_segment.get(seg)
+        return [] if index is None else index.window(start, stop)
+
+    @property
+    def l2_pages_allocated(self) -> int:
+        return sum(
+            index.l2_pages_allocated
+            for index in self._per_segment.values()
+        )
+
+
+# ---------------------------------------------------------------------- #
+# Streaming writer
+# ---------------------------------------------------------------------- #
+
+
+class TraceWriter:
+    """Stream one trace into a staging directory, then commit by rename.
+
+    Protocol: ``begin(name, text_base, text_size)`` once, then ``add``
+    items (or wrap an item iterator in :meth:`tee` to persist while a
+    simulator consumes), then :meth:`close` to commit or :meth:`abort`
+    to discard.  Chunks are flushed append-only as segments arrive, so
+    :meth:`read_committed` can serve any already-written chunk —
+    CRC-verified — while later chunks are still being generated.
+    """
+
+    def __init__(
+        self,
+        store: "TraceStore",
+        address: str,
+        identity: Dict[str, object],
+        chunk_refs: int,
+    ) -> None:
+        self._store = store
+        self.address = address
+        self._identity = dict(identity)
+        self.chunk_refs = chunk_refs
+        self._staging = unique_tmp_path(store.root / "tmp" / address)
+        self._staging.mkdir(parents=True, exist_ok=False)
+        self._chunks_fh = open(self._staging / "chunks.bin", "wb")
+        self._raw_fh = open(self._staging / "cols.raw", "wb")
+        self._items: List[dict] = []
+        self._segments: List[dict] = []
+        self._chunks: List[dict] = []
+        self.index = TraceChunkIndex(chunk_refs)
+        self._chunk_pos = 0
+        self._raw_pos = 0
+        self._raw_crc = 0
+        self._total_refs = 0
+        self._header: Optional[dict] = None
+        self._done = False
+
+    # -- item ingestion ------------------------------------------------ #
+
+    def begin(self, name: str, text_base: int, text_size: int) -> None:
+        if self._header is not None:
+            raise RuntimeError("TraceWriter.begin() called twice")
+        self._header = {
+            "name": name,
+            "text_base": int(text_base),
+            "text_size": int(text_size),
+        }
+
+    def add(self, item) -> None:
+        if self._header is None:
+            raise RuntimeError("TraceWriter.add() before begin()")
+        if self._done:
+            raise RuntimeError("TraceWriter already closed")
+        if isinstance(item, Segment):
+            self._add_segment(item)
+        else:
+            self._items.append(event_record(item))
+
+    def tee(self, items: Iterable) -> Iterator:
+        """Yield *items* unchanged while persisting each one."""
+        for item in items:
+            self.add(item)
+            yield item
+
+    def _write_raw(self, data: bytes) -> int:
+        pad = (-self._raw_pos) % _ALIGN
+        if pad:
+            zeros = b"\0" * pad
+            self._raw_fh.write(zeros)
+            self._raw_crc = zlib.crc32(zeros, self._raw_crc)
+            self._raw_pos += pad
+        offset = self._raw_pos
+        self._raw_fh.write(data)
+        self._raw_crc = zlib.crc32(data, self._raw_crc)
+        self._raw_pos += len(data)
+        return offset
+
+    def _add_segment(self, seg: Segment) -> None:
+        seg_id = len(self._segments)
+        columns = {
+            name: np.ascontiguousarray(getattr(seg, name), dtype=dtype)
+            for name, dtype, _ in COLUMNS
+        }
+        raw_extents = {}
+        for name, _, _ in COLUMNS:
+            data = columns[name].tobytes()
+            raw_extents[name] = [self._write_raw(data), len(data)]
+        self._segments.append(
+            {
+                "label": seg.label,
+                "text_pages": seg.text_pages,
+                "refs": seg.refs,
+                "first_ref": self._total_refs,
+                "raw": raw_extents,
+            }
+        )
+        self._items.append({"kind": "segment", "index": seg_id})
+        refs = seg.refs
+        start = 0
+        while start < refs:
+            n = min(self.chunk_refs, refs - start)
+            cols = {}
+            for name, _, _ in COLUMNS:
+                raw = columns[name][start:start + n].tobytes()
+                comp = zlib.compress(raw, 6)
+                cols[name] = [
+                    self._chunk_pos,
+                    len(comp),
+                    len(raw),
+                    zlib.crc32(raw) & 0xFFFFFFFF,
+                ]
+                self._chunks_fh.write(comp)
+                self._chunk_pos += len(comp)
+            record = {
+                "seg": seg_id,
+                "start": start,
+                "refs": n,
+                "first_ref": self._total_refs + start,
+                "cols": cols,
+            }
+            self.index.insert(len(self._chunks), seg_id, start)
+            self._chunks.append(record)
+            _count("trace.store.chunks_written")
+            start += n
+        # Flush so the committed prefix is readable (coherence: a chunk
+        # is either fully on disk or beyond the high-water mark).
+        self._chunks_fh.flush()
+        self._total_refs += refs
+
+    # -- progressive read-back ----------------------------------------- #
+
+    @property
+    def chunks_committed(self) -> int:
+        return len(self._chunks)
+
+    def read_committed(self, chunk_id: int) -> Dict[str, np.ndarray]:
+        """Decompress and CRC-verify one already-flushed chunk."""
+        record = self._chunks[chunk_id]
+        out: Dict[str, np.ndarray] = {}
+        with open(self._staging / "chunks.bin", "rb") as fh:
+            for name, dtype, _ in COLUMNS:
+                offset, clen, rlen, crc = record["cols"][name]
+                fh.seek(offset)
+                comp = fh.read(clen)
+                raw = zlib.decompress(comp)
+                if len(raw) != rlen or zlib.crc32(raw) & 0xFFFFFFFF != crc:
+                    raise TraceStoreCorrupt(
+                        self._staging, f"streamed chunk {chunk_id} CRC mismatch"
+                    )
+                out[name] = np.frombuffer(raw, dtype=dtype)
+        return out
+
+    # -- commit / discard ---------------------------------------------- #
+
+    def close(self) -> Path:
+        """Seal the entry: fsync payloads, write the manifest, rename
+        the staging directory into its committed location."""
+        if self._done:
+            raise RuntimeError("TraceWriter already closed")
+        if self._header is None:
+            raise RuntimeError("TraceWriter.close() before begin()")
+        self._done = True
+        for fh in (self._chunks_fh, self._raw_fh):
+            fh.flush()
+            os.fsync(fh.fileno())
+            fh.close()
+        manifest = dict(self._identity)
+        manifest.update(self._header)
+        manifest.update(
+            {
+                "schema": STORE_SCHEMA,
+                "address": self.address,
+                "chunk_refs": self.chunk_refs,
+                "total_refs": self._total_refs,
+                "items": self._items,
+                "segments": self._segments,
+                "chunks": self._chunks,
+                "raw_bytes": self._raw_pos,
+                "raw_crc": self._raw_crc & 0xFFFFFFFF,
+            }
+        )
+        manifest["checksum"] = (
+            zlib.crc32(_canonical(manifest).encode("utf-8")) & 0xFFFFFFFF
+        )
+        atomic_write_bytes(
+            self._staging / "manifest.json",
+            (json.dumps(manifest, indent=1) + "\n").encode("utf-8"),
+        )
+        final = self._store.entry_dir(self.address)
+        final.parent.mkdir(parents=True, exist_ok=True)
+        try:
+            os.rename(self._staging, final)
+        except OSError:
+            if (final / "manifest.json").exists():
+                # Lost a commit race (possible on migrate paths that
+                # steal a stale lock); the committed entry has the same
+                # content address, so ours is redundant.
+                shutil.rmtree(self._staging, ignore_errors=True)
+            else:
+                raise
+        fsync_dir(final.parent)
+        return final
+
+    def abort(self) -> None:
+        """Discard the staging directory; safe to call twice."""
+        if self._done:
+            return
+        self._done = True
+        for fh in (self._chunks_fh, self._raw_fh):
+            try:
+                fh.close()
+            except OSError:
+                pass
+        shutil.rmtree(self._staging, ignore_errors=True)
+
+
+class StreamedTrace:
+    """A trace whose items arrive lazily from a generator.
+
+    Duck-types the four attributes ``System.run`` reads (``name``,
+    ``text_base``, ``text_size``, ``items``) so a scenario can start
+    simulating the first segment while later ones are still being
+    generated (and teed into the store).  Single-use: ``items`` is a
+    generator.
+    """
+
+    def __init__(
+        self, name: str, text_base: int, text_size: int, items: Iterator
+    ) -> None:
+        self.name = name
+        self.text_base = text_base
+        self.text_size = text_size
+        self.items = items
+
+
+# ---------------------------------------------------------------------- #
+# The store
+# ---------------------------------------------------------------------- #
+
+
+class TraceStore:
+    """Content-addressed columnar trace store rooted at one directory."""
+
+    def __init__(
+        self,
+        root,
+        chunk_refs: int = DEFAULT_CHUNK_REFS,
+        wait_timeout: float = 600.0,
+        stale_after: float = 600.0,
+        poll_interval: float = 0.02,
+    ) -> None:
+        self.root = Path(root)
+        self.chunk_refs = int(chunk_refs)
+        self.wait_timeout = wait_timeout
+        self.stale_after = stale_after
+        self.poll_interval = poll_interval
+
+    # -- layout --------------------------------------------------------- #
+
+    def entry_dir(self, address: str) -> Path:
+        return self.root / address[:2] / address
+
+    def _lock_path(self, address: str) -> Path:
+        return self.root / "locks" / f"{address}.lock"
+
+    def has(self, address: str) -> bool:
+        return (self.entry_dir(address) / "manifest.json").exists()
+
+    # -- single-flight lock --------------------------------------------- #
+
+    def _acquire_or_wait(self, address: str) -> bool:
+        """Take the generation lock for *address*, or wait it out.
+
+        Returns True when this process holds the lock (it must
+        generate, then :meth:`_release`).  Returns False when a peer
+        committed the entry while we waited (just load it).  Raises
+        :class:`TraceStoreTimeout` if the lock neither clears nor
+        commits within ``wait_timeout``.
+        """
+        lock = self._lock_path(address)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        waited = 0.0
+        waiting_counted = False
+        while True:
+            try:
+                fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+            except FileExistsError:
+                pass
+            else:
+                try:
+                    os.write(fd, f"{os.getpid()}\n".encode("ascii"))
+                finally:
+                    os.close(fd)
+                return True
+            if not waiting_counted:
+                _count("trace.store.single_flight_waits")
+                waiting_counted = True
+            if self.has(address):
+                return False
+            try:
+                age = time.time() - os.stat(lock).st_mtime
+            except OSError:
+                continue  # holder released between open and stat
+            if age > self.stale_after:
+                try:
+                    os.unlink(lock)
+                    _count("trace.store.stale_locks")
+                except OSError:
+                    pass
+                continue
+            if waited >= self.wait_timeout:
+                raise TraceStoreTimeout(address, waited)
+            time.sleep(self.poll_interval)
+            waited += self.poll_interval
+
+    def _release(self, address: str) -> None:
+        try:
+            os.unlink(self._lock_path(address))
+        except OSError:
+            pass
+
+    # -- reading -------------------------------------------------------- #
+
+    def _read_manifest(self, entry: Path) -> dict:
+        path = entry / "manifest.json"
+        try:
+            manifest = json.loads(path.read_text("utf-8"))
+        except (OSError, ValueError, UnicodeDecodeError) as exc:
+            raise TraceStoreCorrupt(entry, f"unreadable manifest ({exc})")
+        if not isinstance(manifest, dict):
+            raise TraceStoreCorrupt(entry, "manifest is not an object")
+        if manifest.get("schema") != STORE_SCHEMA:
+            raise TraceStoreCorrupt(
+                entry, f"schema {manifest.get('schema')!r} != {STORE_SCHEMA!r}"
+            )
+        stored = manifest.pop("checksum", None)
+        actual = zlib.crc32(_canonical(manifest).encode("utf-8")) & 0xFFFFFFFF
+        if stored != actual:
+            raise TraceStoreCorrupt(entry, "manifest checksum mismatch")
+        return manifest
+
+    def _materialize(self, entry: Path, manifest: dict) -> None:
+        """Rebuild ``cols.raw`` from the CRC-verified chunks."""
+        buf = bytearray(manifest["raw_bytes"])
+        segments = manifest["segments"]
+        try:
+            with open(entry / "chunks.bin", "rb") as fh:
+                for chunk_id, record in enumerate(manifest["chunks"]):
+                    seg = segments[record["seg"]]
+                    for name, _, itemsize in COLUMNS:
+                        offset, clen, rlen, crc = record["cols"][name]
+                        fh.seek(offset)
+                        comp = fh.read(clen)
+                        if len(comp) != clen:
+                            raise TraceStoreCorrupt(
+                                entry,
+                                f"chunk {chunk_id} column {name} truncated",
+                            )
+                        try:
+                            raw = zlib.decompress(comp)
+                        except zlib.error as exc:
+                            raise TraceStoreCorrupt(
+                                entry,
+                                f"chunk {chunk_id} column {name} "
+                                f"undecompressable ({exc})",
+                            )
+                        if (
+                            len(raw) != rlen
+                            or zlib.crc32(raw) & 0xFFFFFFFF != crc
+                        ):
+                            raise TraceStoreCorrupt(
+                                entry,
+                                f"chunk {chunk_id} column {name} CRC mismatch",
+                            )
+                        dest = (
+                            seg["raw"][name][0]
+                            + record["start"] * itemsize
+                        )
+                        buf[dest:dest + len(raw)] = raw
+                    _count("trace.store.chunks_read")
+        except OSError as exc:
+            raise TraceStoreCorrupt(entry, f"unreadable chunks.bin ({exc})")
+        if zlib.crc32(bytes(buf)) & 0xFFFFFFFF != manifest["raw_crc"]:
+            raise TraceStoreCorrupt(entry, "materialised raw CRC mismatch")
+        atomic_write_bytes(entry / "cols.raw", bytes(buf))
+
+    def _raw_view(
+        self, entry: Path, manifest: dict, verify: bool
+    ) -> np.ndarray:
+        expected = manifest["raw_bytes"]
+        path = entry / "cols.raw"
+        try:
+            size = path.stat().st_size
+        except OSError:
+            size = -1
+        if size != expected:
+            self._materialize(entry, manifest)
+        if expected == 0:
+            return np.zeros(0, dtype=np.uint8)
+        raw = np.memmap(path, dtype=np.uint8, mode="r")
+        if len(raw) != expected:
+            raise TraceStoreCorrupt(entry, "cols.raw resized underfoot")
+        if verify:
+            if zlib.crc32(raw.tobytes()) & 0xFFFFFFFF != manifest["raw_crc"]:
+                raise TraceStoreCorrupt(entry, "cols.raw CRC mismatch")
+        return raw
+
+    def load(self, address: str, verify: bool = False) -> Trace:
+        """Load a committed entry as a Trace of zero-copy memmap views.
+
+        On corruption the entry is quarantined (moved under
+        ``<root>/quarantine/``), counters are bumped, and
+        :class:`TraceStoreCorrupt` propagates — callers treat it as a
+        miss and regenerate, exactly like the legacy cache's checksum
+        path.
+        """
+        entry = self.entry_dir(address)
+        try:
+            manifest = self._read_manifest(entry)
+            raw = self._raw_view(entry, manifest, verify=verify)
+        except TraceStoreCorrupt:
+            _count("trace.cache_corrupt")
+            _count("trace.store.quarantined")
+            self._quarantine(entry)
+            raise
+        trace = Trace(
+            manifest["name"],
+            text_base=manifest["text_base"],
+            text_size=manifest["text_size"],
+        )
+        segments = manifest["segments"]
+        for item in manifest["items"]:
+            if item.get("kind") == "segment":
+                seg = segments[item["index"]]
+                views = {}
+                for name, dtype, _ in COLUMNS:
+                    offset, nbytes = seg["raw"][name]
+                    views[name] = raw[offset:offset + nbytes].view(dtype)
+                trace.add(
+                    Segment.trusted(
+                        seg["label"],
+                        views["ops"],
+                        views["vaddrs"],
+                        views["gaps"],
+                        text_pages=seg["text_pages"],
+                    )
+                )
+            else:
+                trace.add(record_event(dict(item)))
+        _chunk_histogram().observe(len(manifest["chunks"]))
+        return trace
+
+    def chunk_index(self, address: str) -> TraceChunkIndex:
+        """Rebuild the two-level chunk index for a committed entry."""
+        manifest = self._read_manifest(self.entry_dir(address))
+        index = TraceChunkIndex(manifest["chunk_refs"])
+        for chunk_id, record in enumerate(manifest["chunks"]):
+            index.insert(chunk_id, record["seg"], record["start"])
+        return index
+
+    def _quarantine(self, entry: Path) -> None:
+        if not entry.exists():
+            return
+        dest_dir = self.root / "quarantine"
+        dest_dir.mkdir(parents=True, exist_ok=True)
+        dest = unique_tmp_path(dest_dir / entry.name)
+        try:
+            os.rename(entry, dest)
+        except OSError:
+            shutil.rmtree(entry, ignore_errors=True)
+
+    # -- writing -------------------------------------------------------- #
+
+    def writer(
+        self, workload: str, scale: float, seed: int
+    ) -> TraceWriter:
+        address = trace_address(workload, scale, seed)
+        identity = {
+            "workload": workload,
+            "scale": float(scale),
+            "scale_hex": float(scale).hex(),
+            "seed": int(seed),
+        }
+        return TraceWriter(self, address, identity, self.chunk_refs)
+
+    def put(
+        self, trace: Trace, workload: str, scale: float, seed: int
+    ) -> str:
+        """Import a fully-built trace; no-op if already committed."""
+        address = trace_address(workload, scale, seed)
+        if self.has(address):
+            return address
+        if not self._acquire_or_wait(address):
+            return address
+        try:
+            if self.has(address):
+                return address
+            writer = self.writer(workload, scale, seed)
+            try:
+                writer.begin(trace.name, trace.text_base, trace.text_size)
+                for item in trace.items:
+                    writer.add(item)
+                writer.close()
+            except BaseException:
+                writer.abort()
+                raise
+        finally:
+            self._release(address)
+        return address
+
+    # -- cache protocol ------------------------------------------------- #
+
+    def get_or_create(
+        self,
+        workload: str,
+        scale: float,
+        seed: int,
+        produce: Callable[[TraceWriter], None],
+        legacy_path: Optional[Path] = None,
+        on_corrupt: Optional[Callable[[TraceCacheCorrupt], None]] = None,
+    ) -> Trace:
+        """Load the trace, generating it exactly once across processes.
+
+        *produce* receives an opened :class:`TraceWriter` (it must call
+        ``begin`` and ``add``/``tee``; the store commits).  When
+        *legacy_path* names an existing legacy ``.npz`` **and** the
+        scale survives the legacy ``%g`` round-trip exactly, the file
+        is migrated instead of regenerated — the round-trip guard keeps
+        a collision victim (a scale that *prints* like another) from
+        inheriting the other scale's trace.
+        """
+        address = trace_address(workload, scale, seed)
+        produced = False
+        for _ in range(8):
+            if self.has(address):
+                try:
+                    trace = self.load(address)
+                except TraceStoreCorrupt as exc:
+                    if on_corrupt is not None:
+                        on_corrupt(exc)
+                    continue  # quarantined; regenerate below
+                if not produced:
+                    _count("trace.store.hits")
+                return trace
+            if not self._acquire_or_wait(address):
+                continue  # a peer committed while we waited
+            try:
+                if self.has(address):
+                    continue
+                _count("trace.store.misses")
+                if legacy_path is not None and self._migrate_one(
+                    address, workload, scale, seed, legacy_path, on_corrupt
+                ):
+                    produced = True
+                    continue
+                writer = self.writer(workload, scale, seed)
+                try:
+                    produce(writer)
+                    writer.close()
+                except BaseException:
+                    writer.abort()
+                    raise
+                _count("trace.store.generated")
+                produced = True
+                continue
+            finally:
+                self._release(address)
+        raise TraceStoreCorrupt(
+            self.entry_dir(address),
+            "entry kept failing verification across regeneration attempts",
+        )
+
+    def stream_or_load(
+        self,
+        workload: str,
+        scale: float,
+        seed: int,
+        open_stream: Callable[[], Tuple[Trace, Iterable]],
+        on_corrupt: Optional[Callable[[TraceCacheCorrupt], None]] = None,
+    ):
+        """Like :meth:`get_or_create`, but a cold miss returns a
+        :class:`StreamedTrace` that simulates while it persists.
+
+        *open_stream* returns ``(shell, items)``; the shell carries
+        name/text_base/text_size, the iterable yields trace items.  The
+        consumer drives generation: each consumed item is teed into the
+        writer, and exhausting the iterator commits the entry (and
+        releases the single-flight lock).  An abandoned iterator aborts
+        the staging entry on finalisation.
+        """
+        address = trace_address(workload, scale, seed)
+        if self.has(address):
+            try:
+                trace = self.load(address)
+                _count("trace.store.hits")
+                return trace
+            except TraceStoreCorrupt as exc:
+                if on_corrupt is not None:
+                    on_corrupt(exc)
+        if not self._acquire_or_wait(address):
+            _count("trace.store.hits")
+            return self.load(address)
+        if self.has(address):  # committed between check and lock
+            self._release(address)
+            _count("trace.store.hits")
+            return self.load(address)
+        _count("trace.store.misses")
+        try:
+            shell, items = open_stream()
+            writer = self.writer(workload, scale, seed)
+            writer.begin(shell.name, shell.text_base, shell.text_size)
+        except BaseException:
+            self._release(address)
+            raise
+
+        def run() -> Iterator:
+            committed = False
+            try:
+                for item in writer.tee(items):
+                    yield item
+                writer.close()
+                committed = True
+                _count("trace.store.generated")
+            finally:
+                if not committed:
+                    writer.abort()
+                self._release(address)
+
+        return StreamedTrace(
+            shell.name, shell.text_base, shell.text_size, run()
+        )
+
+    # -- legacy migration ----------------------------------------------- #
+
+    def _migrate_one(
+        self,
+        address: str,
+        workload: str,
+        scale: float,
+        seed: int,
+        legacy_path: Path,
+        on_corrupt: Optional[Callable[[TraceCacheCorrupt], None]],
+    ) -> bool:
+        """Import one legacy ``.npz`` under the caller-held lock.
+
+        Returns True when the entry was committed from the legacy file.
+        Only migrates when the scale survives the ``%g`` round-trip
+        exactly — a scale that merely *prints* like the filename's may
+        be a collision victim and must regenerate instead.
+        """
+        legacy_path = Path(legacy_path)
+        if not legacy_path.exists():
+            return False
+        if float(f"{scale:g}") != float(scale):
+            return False
+        try:
+            trace = load_trace(legacy_path)
+        except TraceCacheCorrupt as exc:
+            _count("trace.cache_corrupt")
+            if on_corrupt is not None:
+                on_corrupt(exc)
+            try:
+                legacy_path.unlink()
+            except OSError:
+                pass
+            return False
+        writer = self.writer(workload, scale, seed)
+        try:
+            writer.begin(trace.name, trace.text_base, trace.text_size)
+            for item in trace.items:
+                writer.add(item)
+            writer.close()
+        except BaseException:
+            writer.abort()
+            raise
+        _count("trace.store.migrated")
+        return True
+
+    def migrate_legacy_dir(
+        self, cache_dir, remove: bool = False
+    ) -> Dict[str, List[str]]:
+        """One-shot migration of a legacy cache directory.
+
+        Parses ``<workload>_s<scale>_seed<seed>.npz`` names, keys each
+        entry by the filename's own float (the only identity the legacy
+        scheme preserved), and imports it.  Returns name lists under
+        ``migrated`` / ``skipped`` / ``corrupt``.
+        """
+        cache_dir = Path(cache_dir)
+        report: Dict[str, List[str]] = {
+            "migrated": [], "skipped": [], "corrupt": []
+        }
+        for path in sorted(cache_dir.glob("*.npz")):
+            match = LEGACY_NAME_RE.match(path.name)
+            if not match:
+                report["skipped"].append(path.name)
+                continue
+            workload = match["workload"]
+            try:
+                scale = float(match["scale"])
+            except ValueError:
+                report["skipped"].append(path.name)
+                continue
+            seed = int(match["seed"])
+            address = trace_address(workload, scale, seed)
+            if self.has(address):
+                report["skipped"].append(path.name)
+            else:
+                try:
+                    trace = load_trace(path)
+                except TraceCacheCorrupt:
+                    _count("trace.cache_corrupt")
+                    report["corrupt"].append(path.name)
+                    continue
+                self.put(trace, workload, scale, seed)
+                _count("trace.store.migrated")
+                report["migrated"].append(path.name)
+            if remove:
+                try:
+                    path.unlink()
+                except OSError:
+                    pass
+        return report
+
+    # -- maintenance ---------------------------------------------------- #
+
+    def ls(self) -> List[dict]:
+        """Inventory of committed entries (tolerant of corrupt ones)."""
+        rows: List[dict] = []
+        if not self.root.exists():
+            return rows
+        for shard in sorted(self.root.iterdir()):
+            if not (shard.is_dir() and re.fullmatch(r"[0-9a-f]{2}", shard.name)):
+                continue
+            for entry in sorted(shard.iterdir()):
+                if not entry.is_dir():
+                    continue
+                try:
+                    manifest = self._read_manifest(entry)
+                except TraceStoreCorrupt as exc:
+                    rows.append(
+                        {"address": entry.name, "error": exc.reason}
+                    )
+                    continue
+                rows.append(
+                    {
+                        "address": entry.name,
+                        "workload": manifest.get("workload"),
+                        "scale": manifest.get("scale"),
+                        "seed": manifest.get("seed"),
+                        "refs": manifest.get("total_refs"),
+                        "chunks": len(manifest.get("chunks", [])),
+                        "raw_bytes": manifest.get("raw_bytes"),
+                        "raw_cached": (entry / "cols.raw").exists(),
+                    }
+                )
+        return rows
+
+    def gc(
+        self,
+        drop_raw: bool = False,
+        tmp_grace_seconds: float = 3600.0,
+    ) -> Dict[str, int]:
+        """Collect abandoned staging dirs, stale locks, and quarantine.
+
+        With ``drop_raw`` the regenerable ``cols.raw`` materialisations
+        are deleted too (entries stay loadable; the next reader rebuilds
+        from the chunk payload).
+        """
+        summary = {
+            "tmp_dirs": 0, "stale_locks": 0,
+            "raw_dropped": 0, "quarantined": 0,
+        }
+        now = time.time()
+        tmp_root = self.root / "tmp"
+        if tmp_root.exists():
+            for staged in tmp_root.iterdir():
+                try:
+                    age = now - staged.stat().st_mtime
+                except OSError:
+                    continue
+                if age > tmp_grace_seconds:
+                    shutil.rmtree(staged, ignore_errors=True)
+                    summary["tmp_dirs"] += 1
+        lock_root = self.root / "locks"
+        if lock_root.exists():
+            for lock in lock_root.glob("*.lock"):
+                try:
+                    age = now - lock.stat().st_mtime
+                except OSError:
+                    continue
+                if age > self.stale_after:
+                    try:
+                        lock.unlink()
+                        summary["stale_locks"] += 1
+                    except OSError:
+                        pass
+        quarantine = self.root / "quarantine"
+        if quarantine.exists():
+            summary["quarantined"] = sum(1 for _ in quarantine.iterdir())
+        if drop_raw:
+            for row in self.ls():
+                if row.get("raw_cached"):
+                    raw = self.entry_dir(row["address"]) / "cols.raw"
+                    try:
+                        raw.unlink()
+                        summary["raw_dropped"] += 1
+                    except OSError:
+                        pass
+        return summary

@@ -57,6 +57,32 @@ class Segment:
         #: micro-ITLB / instruction-translation model).
         self.text_pages = max(1, text_pages)
 
+    @classmethod
+    def trusted(
+        cls,
+        label: str,
+        ops: np.ndarray,
+        vaddrs: np.ndarray,
+        gaps: np.ndarray,
+        text_pages: int = 1,
+    ) -> "Segment":
+        """Wrap already-validated arrays without copying or scanning.
+
+        The chunked trace store hands out memory-mapped column views
+        whose contents were range-checked and CRC-verified at write
+        time; re-running ``__init__``'s ``min()`` scans here would fault
+        in every page of the mapping up front, defeating the lazy
+        sharing the store exists for.  Callers must pass contiguous
+        arrays of the canonical dtypes and equal length.
+        """
+        seg = cls.__new__(cls)
+        seg.label = label
+        seg.ops = ops
+        seg.vaddrs = vaddrs
+        seg.gaps = gaps
+        seg.text_pages = max(1, text_pages)
+        return seg
+
     @property
     def refs(self) -> int:
         """Number of memory references."""

@@ -12,7 +12,14 @@ Each module implements one program's address-space layout, kernel events
 Use :func:`build_workload` to construct a trace by name.
 """
 
-from .base import HeapBuilder, Workload, build_workload, register, workload_names
+from .base import (
+    HeapBuilder,
+    Workload,
+    build_workload,
+    register,
+    stream_workload,
+    workload_names,
+)
 from .compress95 import Compress95
 from .em3d import Em3d
 from .gcc import Gcc
@@ -31,6 +38,7 @@ __all__ = [
     "Workload",
     "build_workload",
     "register",
+    "stream_workload",
     "workload_names",
     "Compress95",
     "Em3d",

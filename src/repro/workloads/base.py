@@ -20,7 +20,7 @@ simulation time (a property the test suite checks).
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Type
+from typing import Dict, Iterator, List, Tuple, Type
 
 import numpy as np
 
@@ -113,6 +113,31 @@ class Workload(abc.ABC):
     def build(self, scale: float = 1.0, seed: int = 1998) -> Trace:
         """Generate the trace for one run at the given input scale."""
 
+    def stream(
+        self, scale: float = 1.0, seed: int = 1998
+    ) -> Tuple[Trace, Iterator]:
+        """Generate incrementally: an empty shell plus an item iterator.
+
+        The shell carries the trace header (name, text segment); the
+        iterator yields the kernel events and reference segments in
+        order.  The trace store tees the iterator to disk while a
+        simulator consumes it, so simulation of early segments overlaps
+        generation of later ones.
+
+        The default adapter builds eagerly and then iterates — models
+        with phase structure override this to yield each phase as it is
+        generated (see the synthetic family).  Overrides must produce
+        **bit-identical** items to :meth:`build`; the cache treats the
+        two as interchangeable producers of the same content address.
+        """
+        trace = self.build(scale=scale, seed=seed)
+        shell = Trace(
+            trace.name,
+            text_base=trace.text_base,
+            text_size=trace.text_size,
+        )
+        return shell, iter(trace.items)
+
     @staticmethod
     def _scaled(value: int, scale: float, minimum: int = 1) -> int:
         """Scale an input-size parameter, keeping it sane."""
@@ -147,12 +172,22 @@ def workload_names() -> List[str]:
     return list(_REGISTRY)
 
 
-def build_workload(name: str, scale: float = 1.0, seed: int = 1998) -> Trace:
-    """Build the named workload's trace at the given scale."""
+def _workload_class(name: str) -> Type[Workload]:
     try:
-        cls = _REGISTRY[name]
+        return _REGISTRY[name]
     except KeyError:
         raise KeyError(
             f"unknown workload {name!r}; available: {', '.join(_REGISTRY)}"
         ) from None
-    return cls().build(scale=scale, seed=seed)
+
+
+def build_workload(name: str, scale: float = 1.0, seed: int = 1998) -> Trace:
+    """Build the named workload's trace at the given scale."""
+    return _workload_class(name)().build(scale=scale, seed=seed)
+
+
+def stream_workload(
+    name: str, scale: float = 1.0, seed: int = 1998
+) -> Tuple[Trace, Iterator]:
+    """Stream the named workload: (header shell, item iterator)."""
+    return _workload_class(name)().stream(scale=scale, seed=seed)

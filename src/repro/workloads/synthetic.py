@@ -49,6 +49,28 @@ class _SyntheticBase(Workload):
         )
         return trace
 
+    def stream(self, scale: float = 1.0, seed: int = 1998):
+        """True streaming: the map/remap events are yielded before the
+        reference arrays are computed, so a consumer (and the trace
+        store's tee) sees the first items immediately.  The rng call
+        order matches :meth:`build` exactly, keeping the streamed items
+        bit-identical to the eager ones.
+        """
+        rng = self._rng(seed)
+        refs = self._scaled(REFS, scale, minimum=1024)
+        shell = Trace(self.name, text_size=32 << 10)
+
+        def items():
+            yield MapRegion(REGION_BASE, self.region_bytes)
+            yield Remap(REGION_BASE, self.region_bytes)
+            vaddrs = self._addresses(rng, refs)
+            writes = rng.random(refs) < 0.25
+            yield make_segment(
+                "body", vaddrs, write_mask=writes, gap=GAP, text_pages=2
+            )
+
+        return shell, items()
+
     def _addresses(self, rng, refs: int) -> np.ndarray:
         raise NotImplementedError
 

@@ -35,10 +35,29 @@ def tiny_ctx(tmp_path):
 class TestBenchContext:
     def test_trace_caching_on_disk(self, tiny_ctx, tmp_path):
         first = tiny_ctx.trace("em3d")
-        assert list(tmp_path.glob("em3d_*.npz"))
-        # A fresh context reads the cached file and gets the same stream.
+        # The columnar store (default since PR 9) replaces per-file
+        # .npz caching: entries live under store/<aa>/<address>/.
+        from repro.trace.store import TraceStore
+
+        rows = TraceStore(tmp_path / "store").ls()
+        assert [r["workload"] for r in rows] == ["em3d"]
+        assert not list(tmp_path.glob("em3d_*.npz"))
+        # A fresh context reads the cached entry and gets the same stream.
         again = BenchContext(
             quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+        ).trace("em3d")
+        assert first.total_refs == again.total_refs
+
+    def test_legacy_trace_caching_on_disk(self, tmp_path):
+        ctx = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            trace_store=False,
+        )
+        first = ctx.trace("em3d")
+        assert list(tmp_path.glob("em3d_*.npz"))
+        again = BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            trace_store=False,
         ).trace("em3d")
         assert first.total_refs == again.total_refs
 
@@ -62,17 +81,27 @@ class TestBenchContext:
 
 
 class TestTraceCacheIntegrity:
+    """Legacy .npz path corruption handling (trace_store=False)."""
+
+    @pytest.fixture
+    def legacy_ctx(self, tmp_path):
+        return BenchContext(
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            trace_store=False,
+        )
+
     def test_corrupt_cache_detected_and_regenerated(
-        self, tiny_ctx, tmp_path
+        self, legacy_ctx, tmp_path
     ):
-        reference = tiny_ctx.trace("em3d")
+        reference = legacy_ctx.trace("em3d")
         (path,) = tmp_path.glob("em3d_*.npz")
         path.write_bytes(b"this is not an npz file at all")
         with pytest.raises(TraceCacheCorrupt):
             load_trace(path)
         # The harness treats it as a miss: warn, delete, regenerate.
         fresh_ctx = BenchContext(
-            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path
+            quick=True, scales={"em3d": 0.02}, cache_dir=tmp_path,
+            trace_store=False,
         )
         with pytest.warns(RuntimeWarning, match="corrupt"):
             again = fresh_ctx.trace("em3d")
@@ -81,8 +110,8 @@ class TestTraceCacheIntegrity:
         (path,) = tmp_path.glob("em3d_*.npz")
         assert load_trace(path).total_refs == reference.total_refs
 
-    def test_truncated_cache_detected(self, tiny_ctx, tmp_path):
-        tiny_ctx.trace("em3d")
+    def test_truncated_cache_detected(self, legacy_ctx, tmp_path):
+        legacy_ctx.trace("em3d")
         (path,) = tmp_path.glob("em3d_*.npz")
         blob = path.read_bytes()
         path.write_bytes(blob[: len(blob) // 2])
@@ -264,7 +293,12 @@ class TestParallelMatrix:
             ctx.run_matrix(
                 ["em3d"], self.CONFIGS(), "tlb96", checkpoint="p2"
             )
-        assert list(tmp_path.glob("em3d_*.npz"))
+        from repro.trace.store import TraceStore
+
+        assert any(
+            row.get("workload") == "em3d"
+            for row in TraceStore(tmp_path / "store").ls()
+        )
 
 
 class TestReferenceBudget:

@@ -1,0 +1,254 @@
+"""System-level tests for the columnar trace store (DESIGN.md §15).
+
+The store is a cache: its entire contract is that results through it
+are **bit-identical** to results without it, while the operational
+wins (shared mmap pages, single-flight generation, streaming starts)
+happen underneath.  These tests pin:
+
+* cold-sweep equivalence — store-backed and legacy-backed runs
+  produce identical ``RunStats``;
+* the thundering-herd fix — N processes racing one cold identity
+  generate it exactly once;
+* streaming — a :class:`StreamedTrace` simulates identically to the
+  built trace and commits the entry as a side effect;
+* worker counter surfacing — trace-store traffic from pool workers is
+  merged into the parent's operational registry (the bug where
+  corruption warnings died inside workers, invisible to operators).
+"""
+
+import dataclasses
+import json
+import multiprocessing
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.api import ScenarioSpec
+from repro.bench.runner import BenchContext
+from repro.serve.scheduler import SweepScheduler
+from repro.sim.config import paper_mtlb
+from repro.sim.system import System
+from repro.trace.store import TraceStore, store_registry, trace_address
+from repro.workloads import build_workload, stream_workload
+
+SCALES = {"em3d": 0.02, "radix": 0.02}
+
+
+def ctx_for(tmp_path, trace_store, **kw):
+    return BenchContext(
+        quick=True, scales=dict(SCALES), cache_dir=tmp_path,
+        trace_store=trace_store, **kw,
+    )
+
+
+class TestColdSweepEquivalence:
+    def test_store_vs_legacy_bit_identical(self, tmp_path):
+        config = paper_mtlb(96)
+        for workload in SCALES:
+            legacy = ctx_for(tmp_path / "legacy", False).run(
+                workload, config
+            )
+            store = ctx_for(tmp_path / "store", True).run(
+                workload, config
+            )
+            assert dataclasses.asdict(store.stats) == (
+                dataclasses.asdict(legacy.stats)
+            ), workload
+
+    def test_warm_reload_bit_identical(self, tmp_path):
+        config = paper_mtlb(96)
+        cold = ctx_for(tmp_path, True).run("em3d", config)
+        warm = ctx_for(tmp_path, True).run("em3d", config)
+        assert dataclasses.asdict(warm.stats) == (
+            dataclasses.asdict(cold.stats)
+        )
+
+    def test_streamed_cold_run_bit_identical(self, tmp_path):
+        config = paper_mtlb(96)
+        eager = ctx_for(tmp_path / "eager", True).run("em3d", config)
+        streamed = ctx_for(
+            tmp_path / "streamed", True, stream_cold=True
+        ).run("em3d", config)
+        assert dataclasses.asdict(streamed.stats) == (
+            dataclasses.asdict(eager.stats)
+        )
+
+
+class TestStreamedSimulation:
+    def test_streamed_trace_equals_built_and_commits(self, tmp_path):
+        store = TraceStore(tmp_path / "store")
+        workload, scale, seed = "em3d", 0.02, 1998
+        streamed = store.stream_or_load(
+            workload, scale, seed,
+            lambda: stream_workload(workload, scale=scale, seed=seed),
+        )
+        result = System(paper_mtlb(96)).run(streamed)
+        built = build_workload(workload, scale=scale, seed=seed)
+        reference = System(paper_mtlb(96)).run(built)
+        assert dataclasses.asdict(result.stats) == (
+            dataclasses.asdict(reference.stats)
+        )
+        # Consuming the stream committed the entry as a side effect.
+        addr = trace_address(workload, scale, seed)
+        assert store.has(addr)
+        committed = store.load(addr)
+        assert committed.total_refs == built.total_refs
+
+
+def _herd_worker(root, log_path, barrier):
+    """One stampeding process: get_or_create a shared cold identity."""
+    import numpy as np
+
+    from repro.trace.store import TraceStore
+    from repro.trace.trace import Trace, make_segment
+
+    store = TraceStore(Path(root))
+
+    def produce(writer):
+        with open(log_path, "a") as fh:
+            fh.write("generated\n")
+        vaddrs = 0x1000 + np.arange(5000, dtype=np.int64) * 64
+        writer.begin("herd", 0x100_0000, 64 << 10)
+        writer.add(make_segment("body", vaddrs, gap=2))
+
+    barrier.wait()
+    trace = store.get_or_create("herd", 1.0, 0, produce)
+    assert trace.total_refs == 5000
+
+
+class TestSingleFlightHerd:
+    def test_cold_herd_generates_exactly_once(self, tmp_path):
+        """Regression for the thundering herd: before PR 9 every
+        worker regenerated a cold trace; now one generates and the
+        rest wait on the single-flight lock and load the commit."""
+        log_path = tmp_path / "generations.log"
+        log_path.touch()
+        mp = multiprocessing.get_context("spawn")
+        barrier = mp.Barrier(4)
+        procs = [
+            mp.Process(
+                target=_herd_worker,
+                args=(str(tmp_path / "store"), str(log_path), barrier),
+            )
+            for _ in range(4)
+        ]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0
+        generations = log_path.read_text().count("generated")
+        assert generations == 1
+
+
+class TestWorkerCounterSurfacing:
+    def test_pool_workers_merge_trace_ops_into_parent(self, tmp_path):
+        """Trace-store traffic happens inside pool workers; the
+        supervised reaper folds each worker's counter delta into the
+        parent's operational registry so `repro metrics dump` (and the
+        scheduler registry's `trace.*` source) can see it."""
+        before = store_registry().collect()
+        context = ctx_for(tmp_path, True, jobs=2)
+        specs = [
+            ScenarioSpec(workload=w, config=paper_mtlb(96), seed=1998)
+            for w in SCALES
+        ]
+        scheduler = SweepScheduler(context=context, jobs=2)
+        reports = scheduler.sweep(specs)
+        assert len(reports) == len(SCALES)
+        after = store_registry().collect()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        # Cold sweep: every workload was generated in some worker.
+        assert delta("trace.store.generated") >= len(SCALES)
+        assert delta("trace.store.misses") >= len(SCALES)
+        # The scheduler registry exposes the same traffic as a source.
+        sched_counters = scheduler.registry.collect()
+        assert sched_counters.get("trace.store.generated", 0) >= len(
+            SCALES
+        )
+
+    def test_prewarm_skipped_in_store_mode(self, tmp_path):
+        """The parent must not serially pre-generate traces when the
+        store is on — workers single-flight their own.  Observable as:
+        after a pool sweep the parent process itself never built a
+        trace (its own `generated` counter stays zero in a fresh
+        interpreter)."""
+        script = r"""
+import json, sys
+from pathlib import Path
+from repro.api import ScenarioSpec
+from repro.bench.runner import BenchContext
+from repro.serve.scheduler import SweepScheduler
+from repro.sim.config import paper_mtlb
+from repro.trace.store import store_registry
+
+cache = Path(sys.argv[1])
+context = BenchContext(
+    quick=True, scales={"em3d": 0.02}, cache_dir=cache,
+    trace_store=True, jobs=2,
+)
+scheduler = SweepScheduler(context=context, jobs=2)
+scheduler.sweep(
+    [ScenarioSpec(workload="em3d", config=paper_mtlb(96), seed=1998)]
+)
+print(json.dumps(store_registry().collect()))
+"""
+        proc = subprocess.run(
+            [sys.executable, "-c", script, str(tmp_path)],
+            capture_output=True, text=True,
+            env={"PYTHONPATH": str(
+                Path(__file__).resolve().parents[2] / "src"
+            )},
+        )
+        assert proc.returncode == 0, proc.stderr[-800:]
+        counters = json.loads(proc.stdout.strip().splitlines()[-1])
+        # All generation happened in workers; the merged-in deltas are
+        # the only source of these counts, proving the parent skipped
+        # its serial prewarm loop (which would also have counted).
+        assert counters.get("trace.store.generated", 0) == 1
+        # Exactly one generation total: no herd between the 2 workers.
+        assert counters.get("trace.store.misses", 0) == 1
+
+
+class TestWorkerCorruptionVisibility:
+    def test_corrupt_store_entry_surfaces_in_parent_registry(
+        self, tmp_path
+    ):
+        """Satellite (d): a worker that trips on a corrupt cache entry
+        must leave an operator-visible trail.  Corrupt one entry, run
+        a pool sweep over it, and expect quarantine + regeneration
+        counts merged into the parent registry — not a warning
+        swallowed by a child process."""
+        context = ctx_for(tmp_path, True, jobs=2)
+        # Warm the entry, then rot its chunk payload.
+        context.trace_at("em3d", 0.02)
+        store = TraceStore(tmp_path / "store")
+        addr = trace_address("em3d", 0.02, context.seed)
+        entry = store.entry_dir(addr)
+        (entry / "cols.raw").unlink()
+        blob = bytearray((entry / "chunks.bin").read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        (entry / "chunks.bin").write_bytes(bytes(blob))
+
+        before = store_registry().collect()
+        scheduler = SweepScheduler(context=context, jobs=2)
+        reports = scheduler.sweep(
+            [ScenarioSpec(workload="em3d", config=paper_mtlb(96),
+                          seed=context.seed)]
+        )
+        assert len(reports) == 1
+        after = store_registry().collect()
+
+        def delta(name):
+            return after.get(name, 0) - before.get(name, 0)
+
+        assert delta("trace.cache_corrupt") >= 1
+        assert delta("trace.store.quarantined") >= 1
+        assert delta("trace.store.generated") >= 1
+        # The sweep still succeeded: regeneration was transparent.
+        assert reports[0].stats.references > 0

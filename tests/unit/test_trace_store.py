@@ -1,0 +1,577 @@
+"""Unit tests for the columnar chunked trace store (DESIGN.md §15).
+
+Covers the PR 9 tentpole and its satellite bugfixes:
+
+* round-trip bit-identity through chunk compression and the
+  memory-mapped raw materialisation;
+* per-chunk CRC detection of bit-rot and truncation, with quarantine
+  and registry counters instead of worker-swallowed warnings;
+* the ``float.hex()`` keying fix — scales that *print* alike under
+  ``%g`` no longer collide;
+* the single-flight lock protocol (stale-lock stealing included);
+* legacy ``.npz`` migration with the round-trip guard;
+* the two-level sparse chunk index;
+* streaming generation (tee/commit/abort, progressive read-back);
+* hypothesis-sampled chunk geometry.
+"""
+
+import os
+import zlib
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import TraceStoreCorrupt
+from repro.trace.events import MapRegion, Remap
+from repro.trace.io import save_trace
+from repro.trace.store import (
+    SparseChunkIndex,
+    TraceChunkIndex,
+    TraceStore,
+    store_registry,
+    trace_address,
+    trace_metrics_source,
+)
+from repro.trace.trace import Segment, Trace, make_segment
+
+
+def tiny_trace(name="t", refs=1000, seed=3, base=0x4000_0000):
+    rng = np.random.default_rng(seed)
+    vaddrs = base + rng.integers(0, 1 << 20, refs, dtype=np.int64)
+    writes = rng.random(refs) < 0.25
+    return Trace(
+        name=name,
+        items=[
+            MapRegion(base, 1 << 21, label="heap"),
+            make_segment("warm", vaddrs[: refs // 2], gap=2),
+            Remap(base, 1 << 21, label="heap"),
+            make_segment(
+                "body", vaddrs[refs // 2 :],
+                write_mask=writes[refs // 2 :], gap=3, text_pages=2,
+            ),
+        ],
+    )
+
+
+def assert_traces_identical(a, b):
+    assert a.name == b.name
+    assert a.text_base == b.text_base
+    assert a.text_size == b.text_size
+    assert len(a.items) == len(b.items)
+    for x, y in zip(a.items, b.items):
+        assert isinstance(x, Segment) == isinstance(y, Segment)
+        if isinstance(x, Segment):
+            assert x.label == y.label
+            assert x.text_pages == y.text_pages
+            np.testing.assert_array_equal(x.ops, np.asarray(y.ops))
+            np.testing.assert_array_equal(x.vaddrs, np.asarray(y.vaddrs))
+            np.testing.assert_array_equal(x.gaps, np.asarray(y.gaps))
+        else:
+            assert x == y
+
+
+@pytest.fixture
+def store(tmp_path):
+    # Small chunks so even tiny traces span several.
+    return TraceStore(tmp_path / "store", chunk_refs=256)
+
+
+def _hammer_save_trace(path, rounds, seed):
+    import numpy as np
+
+    from repro.trace.io import save_trace
+    from repro.trace.trace import Trace, make_segment
+
+    vaddrs = 0x1000 + np.arange(2000, dtype=np.int64) * 64
+    trace = Trace(
+        name="hammer", items=[make_segment("body", vaddrs, gap=2)]
+    )
+    for _ in range(rounds):
+        save_trace(trace, path)
+
+
+class TestAtomicSaveTrace:
+    """Satellite (a): ``save_trace`` stages privately and renames.
+
+    Before PR 9 it wrote ``np.savez_compressed`` straight to the live
+    path: a crash mid-write, or two workers writing the same identity,
+    left a torn file at the name every later reader trusts.
+    """
+
+    def test_parallel_same_path_writers_never_tear(self, tmp_path):
+        import multiprocessing
+
+        from repro.trace.io import load_trace
+
+        path = tmp_path / "hammer_s1_seed0.npz"
+        ctx = multiprocessing.get_context("spawn")
+        procs = [
+            ctx.Process(
+                target=_hammer_save_trace, args=(str(path), 20, i)
+            )
+            for i in range(4)
+        ]
+        for proc in procs:
+            proc.start()
+        for proc in procs:
+            proc.join(120)
+            assert proc.exitcode == 0
+        # The live name holds one complete, loadable trace and no
+        # staging litter survives.
+        assert load_trace(path).total_refs == 2000
+        assert list(tmp_path.glob("*.tmp")) == []
+
+    def test_stage_names_are_private(self, tmp_path):
+        from repro.ioutil import unique_tmp_path
+
+        target = tmp_path / "x.npz"
+        assert unique_tmp_path(target) != unique_tmp_path(target)
+
+    def test_interrupted_write_leaves_no_live_file(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.ioutil as ioutil_mod
+
+        def boom(src, dst):
+            raise OSError("disk says no")
+
+        monkeypatch.setattr(ioutil_mod.os, "replace", boom)
+        path = tmp_path / "t.npz"
+        with pytest.raises(OSError):
+            save_trace(tiny_trace(), path)
+        assert not path.exists()
+
+
+class TestAddressing:
+    def test_scale_hex_keying_distinguishes_g_collisions(self):
+        # Satellite (b): "%g" prints both of these as 0.3.
+        a, b = 0.3, 0.30000000000000004
+        assert f"{a:g}" == f"{b:g}"
+        assert trace_address("em3d", a, 1) != trace_address("em3d", b, 1)
+
+    def test_address_is_stable_and_sharded(self, store):
+        addr = trace_address("em3d", 0.3, 1998)
+        assert addr == trace_address("em3d", 0.3, 1998)
+        assert store.entry_dir(addr).parent.name == addr[:2]
+
+    def test_collision_pair_round_trips_independently(self, store):
+        a, b = 0.3, 0.30000000000000004
+        ta = tiny_trace("a", seed=1)
+        tb = tiny_trace("b", seed=2)
+        store.put(ta, "w", a, 0)
+        store.put(tb, "w", b, 0)
+        assert_traces_identical(store.load(trace_address("w", a, 0)), ta)
+        assert_traces_identical(store.load(trace_address("w", b, 0)), tb)
+
+
+class TestRoundTrip:
+    def test_put_load_bit_identical(self, store):
+        trace = tiny_trace()
+        addr = store.put(trace, "w", 1.0, 7)
+        assert_traces_identical(store.load(addr), trace)
+
+    def test_load_verify_checks_crcs(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        assert_traces_identical(
+            store.load(addr, verify=True), store.load(addr)
+        )
+
+    def test_loaded_columns_are_memory_mapped(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        seg = next(store.load(addr).segments())
+        base = seg.vaddrs
+        while base is not None and not isinstance(base, np.memmap):
+            base = getattr(base, "base", None)
+        assert isinstance(base, np.memmap)
+
+    def test_put_is_idempotent(self, store):
+        trace = tiny_trace()
+        assert store.put(trace, "w", 1.0, 7) == store.put(trace, "w", 1.0, 7)
+
+    def test_raw_materialisation_is_regenerable(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        raw = store.entry_dir(addr) / "cols.raw"
+        assert raw.exists()
+        raw.unlink()
+        assert_traces_identical(
+            store.load(addr), store.load(addr)
+        )
+        assert raw.exists()  # rebuilt from chunks
+
+
+class TestCorruption:
+    def corrupt_counters(self):
+        c = store_registry().collect()
+        return (
+            c.get("trace.cache_corrupt", 0),
+            c.get("trace.store.quarantined", 0),
+        )
+
+    def test_chunk_bit_rot_detected_and_quarantined(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        entry = store.entry_dir(addr)
+        (entry / "cols.raw").unlink()  # force a rebuild from chunks
+        blob = bytearray((entry / "chunks.bin").read_bytes())
+        blob[len(blob) // 2] ^= 0xFF
+        (entry / "chunks.bin").write_bytes(bytes(blob))
+        before = self.corrupt_counters()
+        with pytest.raises(TraceStoreCorrupt):
+            store.load(addr)
+        after = self.corrupt_counters()
+        assert after[0] == before[0] + 1
+        assert after[1] == before[1] + 1
+        assert not entry.exists()  # moved aside, not deleted
+        assert list((store.root / "quarantine").iterdir())
+
+    def test_chunk_truncation_detected(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        entry = store.entry_dir(addr)
+        (entry / "cols.raw").unlink()
+        blob = (entry / "chunks.bin").read_bytes()
+        (entry / "chunks.bin").write_bytes(blob[: len(blob) // 2])
+        with pytest.raises(TraceStoreCorrupt):
+            store.load(addr)
+
+    def test_raw_bit_rot_detected_under_verify(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        raw_path = store.entry_dir(addr) / "cols.raw"
+        blob = bytearray(raw_path.read_bytes())
+        blob[len(blob) // 3] ^= 0x01
+        raw_path.write_bytes(bytes(blob))
+        with pytest.raises(TraceStoreCorrupt):
+            store.load(addr, verify=True)
+
+    def test_manifest_tamper_detected(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        manifest = store.entry_dir(addr) / "manifest.json"
+        manifest.write_text(manifest.read_text().replace("w", "x", 1))
+        with pytest.raises(TraceStoreCorrupt):
+            store.load(addr)
+
+    def test_get_or_create_regenerates_after_corruption(self, store):
+        trace = tiny_trace()
+        addr = store.put(trace, "w", 1.0, 7)
+        entry = store.entry_dir(addr)
+        (entry / "cols.raw").unlink()
+        (entry / "chunks.bin").write_bytes(b"garbage")
+        seen = []
+
+        def produce(writer):
+            writer.begin(trace.name, trace.text_base, trace.text_size)
+            for item in trace.items:
+                writer.add(item)
+
+        fresh = store.get_or_create(
+            "w", 1.0, 7, produce, on_corrupt=seen.append
+        )
+        assert_traces_identical(fresh, trace)
+        assert len(seen) == 1
+
+
+class TestSingleFlight:
+    def test_lock_released_after_generate(self, store):
+        trace = tiny_trace()
+
+        def produce(writer):
+            writer.begin(trace.name, trace.text_base, trace.text_size)
+            for item in trace.items:
+                writer.add(item)
+
+        store.get_or_create("w", 1.0, 7, produce)
+        assert not list((store.root / "locks").glob("*.lock"))
+
+    def test_stale_lock_stolen(self, tmp_path):
+        store = TraceStore(
+            tmp_path / "store", chunk_refs=256, stale_after=0.0
+        )
+        trace = tiny_trace()
+        addr = trace_address("w", 1.0, 7)
+        lock = store.root / "locks" / f"{addr}.lock"
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        lock.write_text("999999999\n")  # holder long dead
+        counters_before = store_registry().collect().get(
+            "trace.store.stale_locks", 0
+        )
+
+        def produce(writer):
+            writer.begin(trace.name, trace.text_base, trace.text_size)
+            for item in trace.items:
+                writer.add(item)
+
+        got = store.get_or_create("w", 1.0, 7, produce)
+        assert_traces_identical(got, trace)
+        assert store_registry().collect().get(
+            "trace.store.stale_locks", 0
+        ) == counters_before + 1
+
+    def test_second_get_is_a_hit(self, store):
+        trace = tiny_trace()
+        calls = []
+
+        def produce(writer):
+            calls.append(1)
+            writer.begin(trace.name, trace.text_base, trace.text_size)
+            for item in trace.items:
+                writer.add(item)
+
+        store.get_or_create("w", 1.0, 7, produce)
+        hits_before = store_registry().collect().get(
+            "trace.store.hits", 0
+        )
+        store.get_or_create("w", 1.0, 7, produce)
+        assert calls == [1]
+        assert store_registry().collect().get(
+            "trace.store.hits", 0
+        ) == hits_before + 1
+
+
+class TestStreaming:
+    def test_stream_commits_on_exhaustion(self, store):
+        trace = tiny_trace()
+
+        def open_stream():
+            shell = Trace(
+                name=trace.name, items=[],
+                text_base=trace.text_base, text_size=trace.text_size,
+            )
+            return shell, iter(trace.items)
+
+        streamed = store.stream_or_load("w", 1.0, 7, open_stream)
+        consumed = list(streamed.items)
+        assert len(consumed) == len(trace.items)
+        addr = trace_address("w", 1.0, 7)
+        assert store.has(addr)
+        assert not list((store.root / "locks").glob("*.lock"))
+        assert_traces_identical(store.load(addr), trace)
+
+    def test_abandoned_stream_aborts_and_unlocks(self, store):
+        trace = tiny_trace()
+
+        def open_stream():
+            shell = Trace(
+                name=trace.name, items=[],
+                text_base=trace.text_base, text_size=trace.text_size,
+            )
+            return shell, iter(trace.items)
+
+        streamed = store.stream_or_load("w", 1.0, 7, open_stream)
+        next(streamed.items)  # consume one item, then walk away
+        streamed.items.close()
+        assert not store.has(trace_address("w", 1.0, 7))
+        assert not list((store.root / "locks").glob("*.lock"))
+        # The identity is generatable again afterwards.
+        again = store.stream_or_load("w", 1.0, 7, open_stream)
+        list(again.items)
+        assert store.has(trace_address("w", 1.0, 7))
+
+    def test_read_committed_serves_chunks_mid_write(self, store):
+        refs = 700  # 2+ chunks at chunk_refs=256
+        rng = np.random.default_rng(0)
+        vaddrs = 0x1000 + rng.integers(0, 1 << 16, refs, dtype=np.int64)
+        seg = make_segment("body", vaddrs, gap=2)
+        writer = store.writer("w", 1.0, 7)
+        try:
+            writer.begin("t", 0x100_0000, 64 << 10)
+            writer.add(seg)
+            assert writer.chunks_committed >= 2
+            first = writer.read_committed(0)
+            np.testing.assert_array_equal(
+                first["vaddrs"], vaddrs[:256]
+            )
+            np.testing.assert_array_equal(
+                writer.read_committed(1)["vaddrs"], vaddrs[256:512]
+            )
+        finally:
+            writer.abort()
+
+
+class TestMigration:
+    def test_legacy_round_trip(self, store, tmp_path):
+        trace = tiny_trace("em3d")
+        legacy = tmp_path / "em3d_s0.25_seed7.npz"
+        save_trace(trace, legacy)
+        report = store.migrate_legacy_dir(tmp_path)
+        assert report["migrated"] == [legacy.name]
+        assert_traces_identical(
+            store.load(trace_address("em3d", 0.25, 7)), trace
+        )
+
+    def test_migrate_remove_deletes_source(self, store, tmp_path):
+        legacy = tmp_path / "em3d_s0.25_seed7.npz"
+        save_trace(tiny_trace("em3d"), legacy)
+        store.migrate_legacy_dir(tmp_path, remove=True)
+        assert not legacy.exists()
+
+    def test_corrupt_legacy_counted_and_skipped(self, store, tmp_path):
+        bogus = tmp_path / "em3d_s0.25_seed7.npz"
+        bogus.write_bytes(b"not an npz")
+        report = store.migrate_legacy_dir(tmp_path)
+        assert report["migrated"] == []
+        assert report["corrupt"] == [bogus.name]
+
+    def test_get_or_create_migrates_instead_of_regenerating(
+        self, store, tmp_path
+    ):
+        trace = tiny_trace("em3d")
+        legacy = tmp_path / "em3d_s0.25_seed7.npz"
+        save_trace(trace, legacy)
+        calls = []
+
+        def produce(writer):  # pragma: no cover - must not run
+            calls.append(1)
+            raise AssertionError("migration should have won")
+
+        got = store.get_or_create(
+            "em3d", 0.25, 7, produce, legacy_path=legacy
+        )
+        assert calls == []
+        assert_traces_identical(got, trace)
+
+    def test_round_trip_guard_refuses_unprintable_scale(
+        self, store, tmp_path
+    ):
+        # 0.30000000000000004 prints as 0.3 under %g: a legacy file
+        # named _s0.3_ may belong to the OTHER scale, so the guard
+        # forces regeneration rather than migrating a lookalike.
+        victim = 0.30000000000000004
+        trace = tiny_trace("em3d")
+        legacy = tmp_path / f"em3d_s{victim:g}_seed7.npz"
+        save_trace(tiny_trace("imposter", seed=99), legacy)
+        produced = []
+
+        def produce(writer):
+            produced.append(1)
+            writer.begin(trace.name, trace.text_base, trace.text_size)
+            for item in trace.items:
+                writer.add(item)
+
+        got = store.get_or_create(
+            "em3d", victim, 7, produce, legacy_path=legacy
+        )
+        assert produced == [1]
+        assert_traces_identical(got, trace)
+
+
+class TestSparseChunkIndex:
+    def test_lookup_and_lazy_pages(self):
+        idx = SparseChunkIndex(chunk_refs=256, l2_bits=2)  # 4 slots/page
+        idx.insert(0, 0)
+        idx.insert(1, 256)
+        assert idx.l2_pages_allocated == 1
+        # A far-away chunk allocates its own L2 page, nothing between.
+        idx.insert(9, 9 * 256)
+        assert idx.l2_pages_allocated == 2
+        assert idx.lookup(0) == 0
+        assert idx.lookup(255) == 0
+        assert idx.lookup(256) == 1
+        assert idx.lookup(9 * 256 + 7) == 9
+        assert idx.lookup(5 * 256) is None  # unpopulated hole
+
+    def test_unaligned_insert_rejected(self):
+        idx = SparseChunkIndex(chunk_refs=256)
+        with pytest.raises(ValueError):
+            idx.insert(0, 100)
+
+    def test_window(self):
+        idx = SparseChunkIndex(chunk_refs=100)
+        for i in range(5):
+            idx.insert(i, i * 100)
+        assert idx.window(150, 360) == [1, 2, 3]
+        assert idx.window(0, 1000) == [0, 1, 2, 3, 4]
+        assert idx.window(410, 420) == [4]
+
+    def test_per_segment_offsets(self):
+        idx = TraceChunkIndex(chunk_refs=100)
+        # Segment 0 has 150 refs (chunks 0,1); segment 1 restarts at 0.
+        idx.insert(0, 0, 0)
+        idx.insert(1, 0, 100)
+        idx.insert(2, 1, 0)
+        assert idx.lookup(0, 99) == 0
+        assert idx.lookup(0, 100) == 1
+        assert idx.lookup(1, 0) == 2
+        assert idx.window(0, 0, 150) == [0, 1]
+        assert idx.window(1, 0, 50) == [2]
+
+
+class TestInventory:
+    def test_ls_reports_identity_and_shape(self, store):
+        store.put(tiny_trace(refs=600), "em3d", 0.25, 7)
+        (row,) = store.ls()
+        assert row["workload"] == "em3d"
+        assert row["scale"] == 0.25
+        assert row["seed"] == 7
+        assert row["refs"] == 600
+        assert row["chunks"] >= 2
+        assert row["raw_cached"]
+
+    def test_gc_drops_raw_and_stale_locks(self, store):
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        stale = store.root / "locks" / "deadbeef.lock"
+        stale.parent.mkdir(parents=True, exist_ok=True)
+        stale.write_text("999999999\n")
+        os.utime(stale, (0, 0))  # held far past stale_after
+        tmp_dir = store.root / "tmp" / "abandoned.1.2.tmp"
+        tmp_dir.mkdir(parents=True)
+        os.utime(tmp_dir, (0, 0))  # ancient
+        summary = store.gc(drop_raw=True)
+        assert summary["raw_dropped"] == 1
+        assert summary["stale_locks"] == 1
+        assert summary["tmp_dirs"] == 1
+        assert not (store.entry_dir(addr) / "cols.raw").exists()
+        # Entries survive gc and remain loadable.
+        assert store.load(addr).total_refs == 1000
+
+
+class TestMetricsSurface:
+    def test_source_strips_prefix(self, store):
+        store.put(tiny_trace(), "w", 1.0, 7)
+        store.load(trace_address("w", 1.0, 7))
+        source = trace_metrics_source()
+        assert all(not k.startswith("trace.") for k in source)
+        assert source.get("store.chunks_read", 0) >= 1
+
+    def test_chunk_histogram_observed_on_load(self, store):
+        hist_before = (
+            store_registry().as_dict()["histograms"]
+            .get("trace.store.chunks_per_load", {})
+            .get("total", 0)
+        )
+        addr = store.put(tiny_trace(), "w", 1.0, 7)
+        store.load(addr)
+        hist = store_registry().as_dict()["histograms"][
+            "trace.store.chunks_per_load"
+        ]
+        assert hist["total"] == hist_before + 1
+        assert hist["min"] >= 1
+
+
+class TestChunkGeometry:
+    @settings(max_examples=15, deadline=None)
+    @given(
+        refs=st.lists(
+            st.integers(min_value=1, max_value=700),
+            min_size=1, max_size=4,
+        ),
+        chunk_refs=st.sampled_from([64, 128, 256, 512]),
+    )
+    def test_any_geometry_round_trips(self, tmp_path_factory, refs,
+                                      chunk_refs):
+        root = tmp_path_factory.mktemp("geom")
+        store = TraceStore(root / "store", chunk_refs=chunk_refs)
+        rng = np.random.default_rng(sum(refs))
+        items = []
+        for i, n in enumerate(refs):
+            vaddrs = 0x1000 + rng.integers(
+                0, 1 << 16, n, dtype=np.int64
+            )
+            items.append(make_segment(f"s{i}", vaddrs, gap=2))
+        trace = Trace(name="geom", items=items)
+        addr = store.put(trace, "geom", 1.0, sum(refs))
+        assert_traces_identical(store.load(addr, verify=True), trace)
+        index = store.chunk_index(addr)
+        expected_chunks = sum(-(-n // chunk_refs) for n in refs)
+        assert sum(
+            len(index.window(i, 0, n)) for i, n in enumerate(refs)
+        ) == expected_chunks
