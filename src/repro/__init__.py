@@ -54,7 +54,11 @@ from .core import (
     ShadowPageTable,
     ShadowRegion,
     ShadowSpaceExhausted,
+    TranslationBackend,
+    get_backend,
+    list_backends,
     plan_superpages,
+    register_backend,
 )
 from .obs import (
     EventTracer,
@@ -89,6 +93,11 @@ __all__ = [
     "Session",
     "run",
     "validate_spec",
+    # Translation backends (DESIGN.md §16)
+    "TranslationBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
     # Scenario service
     "ResultStore",
     "SweepClient",

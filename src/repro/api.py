@@ -37,6 +37,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from .bench.runner import DEFAULT_SEED, BenchContext
+from .core.backends import get_backend, list_backends
 from .errors import SpecValidationError
 from .sim.config import SystemConfig, paper_base
 from .sim.engine import vector_config_supported
@@ -54,11 +55,42 @@ __all__ = [
     "ScenarioSpec",
     "Session",
     "config_from_tree",
+    "get_backend",
+    "list_backends",
     "run",
     "spec_from_doc",
     "spec_to_doc",
     "validate_spec",
 ]
+
+#: Former re-exports of backend internals, now served lazily through
+#: ``__getattr__`` with a DeprecationWarning: the facade's stable
+#: surface is the registry (``list_backends``/``get_backend``), not the
+#: mtlb backend's implementation classes.
+_DEPRECATED_REEXPORTS = {
+    "Mtlb": "repro.core.mtlb",
+    "ShadowPageTable": "repro.core.shadow_table",
+}
+
+
+def __getattr__(name: str):
+    module = _DEPRECATED_REEXPORTS.get(name)
+    if module is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+    import warnings
+
+    warnings.warn(
+        f"importing {name} from repro.api is deprecated; the stable "
+        "surface is the backend registry (repro.api.list_backends / "
+        f"get_backend) — import {name} from {module} if you need the "
+        "implementation class",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return getattr(importlib.import_module(module), name)
 
 _ENGINES = (None, "auto", "scalar", "vector")
 
@@ -92,10 +124,31 @@ class ScenarioSpec:
     #: defaults); result-irrelevant, so fingerprint-excluded.
     deadline_seconds: Optional[float] = None
     max_attempts: Optional[int] = None
+    #: Translation backend override (``repro.core.backends`` registry
+    #: name).  Folded into ``config.backend`` at construction — unlike
+    #: the engine override it *is* result-relevant, so it reaches the
+    #: store fingerprint through the config tree.  ``None`` keeps
+    #: whatever the config says (default ``"mtlb"``).
+    backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if isinstance(self.workload, (list, tuple)):
             object.__setattr__(self, "workload", tuple(self.workload))
+        if self.backend is not None:
+            get_backend(self.backend)  # typed UnknownBackend fail-fast
+            if self.backend != self.config.backend:
+                try:
+                    object.__setattr__(
+                        self,
+                        "config",
+                        dataclasses.replace(
+                            self.config, backend=self.backend
+                        ),
+                    )
+                except SpecValidationError:
+                    raise
+                except ValueError as exc:
+                    raise SpecValidationError(str(exc)) from exc
         if self.engine not in _ENGINES:
             raise SpecValidationError(
                 f"engine must be one of {_ENGINES[1:]}, "

@@ -5,6 +5,7 @@ under ``benchmarks/`` call into this package; everything here is also
 usable directly (e.g. from the ``repro-bench`` CLI).
 """
 
+from .backends_bench import run_backends_bench
 from .ablations import (
     run_allocator_ablation,
     run_bit_writeback_ablation,
@@ -37,6 +38,7 @@ from .runner import (
 )
 
 __all__ = [
+    "run_backends_bench",
     "run_allocator_ablation",
     "run_bit_writeback_ablation",
     "run_check_penalty_ablation",

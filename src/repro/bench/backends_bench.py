@@ -1,0 +1,151 @@
+"""B1 — cross-backend comparison (``repro-bench backends``).
+
+One harness, three translation architectures (DESIGN.md §16): the
+paper's MTLB/shadow-superpage design, the range-coalescing TLB
+(arXiv:1908.08774), and Victima's cache-resident entry pool
+(arXiv:2310.04158), each run over the five paper workloads on the same
+traces.  Rows per workload:
+
+* ``mtlb`` — the conventional baseline (96-entry TLB, MTLB disabled);
+* ``mtlb96`` — the paper's design point (shadow superpages + MTLB);
+* ``coalesced`` — range coalescing on the default *shuffled* free list
+  (real contiguity is scarce, so this shows the backend's dependence on
+  OS allocation order);
+* ``coalesced+contig`` — the same backend with ``fragmentation="none"``
+  (sequential frames), its best case;
+* ``victima`` — the entry pool on the shuffled free list.
+
+Each cell reports runtime, TLB miss rate, and end-of-run translation
+reach (:meth:`TranslationBackend.reach_bytes`), and the snapshot rows
+land in ``BENCH_backends.json`` with reach/wall stashed under
+``extra.*`` metrics.
+
+Shape checks encode the model's designed invariants rather than
+paper-calibrated numbers: Victima never changes the CPU TLB's miss
+count (pool hits only cheapen refills), coalescing never increases it,
+and contiguous frames never coalesce worse than shuffled ones.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, replace
+from typing import Dict, List, Tuple
+
+from ..sim.config import SystemConfig, paper_base, paper_mtlb
+from ..sim.results import RunResult, render_table
+from ..sim.system import System
+from ..workloads import PAPER_SUITE
+from .runner import BenchContext
+
+
+def backend_rows() -> List[Tuple[str, SystemConfig]]:
+    """The (row label, config) matrix, one machine per backend variant."""
+    return [
+        ("mtlb", paper_base()),
+        ("mtlb96", paper_mtlb(96)),
+        ("coalesced", replace(paper_base(), backend="coalesced")),
+        (
+            "coalesced+contig",
+            replace(
+                paper_base(), backend="coalesced", fragmentation="none"
+            ),
+        ),
+        ("victima", replace(paper_base(), backend="victima")),
+    ]
+
+
+@dataclass
+class BackendsResult:
+    """Outcome of B1: per (workload, row) results + snapshot rows."""
+
+    runs: Dict[Tuple[str, str], RunResult]
+    report: str
+    shape_errors: List[str]
+
+
+def run_backends_bench(
+    context: BenchContext, progress: bool = False
+) -> BackendsResult:
+    """Run the cross-backend matrix over the five paper workloads."""
+    runs: Dict[Tuple[str, str], RunResult] = {}
+    reach: Dict[Tuple[str, str], int] = {}
+    rows = backend_rows()
+    for workload in PAPER_SUITE:
+        trace = context.trace(workload)
+        for label, config in rows:
+            if progress:
+                print(f"  {workload} / {label} ...", flush=True)
+            if context.engine is not None:
+                config = replace(config, engine=context.engine)
+            if context.sanitize:
+                config = replace(config, sanitize=True)
+            system = System(config)
+            system.reference_budget = context.max_references
+            start = time.perf_counter()
+            result = system.run(trace)
+            wall = time.perf_counter() - start
+            cell_reach = system.backend.reach_bytes(system)
+            # Snapshot plumbing: RunStats.extra rides into snapshot
+            # metrics as ``extra.*`` keys, which is how reach and wall
+            # reach BENCH_backends.json without new schema.
+            result.stats.extra["backend_reach_bytes"] = cell_reach
+            result.stats.extra["bench_wall_seconds"] = round(wall, 3)
+            # Row labels (not config.label) key the snapshot: the two
+            # coalesced variants share a config label and must not
+            # collide in BENCH_backends.json.
+            runs[(workload, label)] = replace(result, config_label=label)
+            reach[(workload, label)] = cell_reach
+
+    table_rows = []
+    for workload in PAPER_SUITE:
+        for label, _ in rows:
+            result = runs[(workload, label)]
+            stats = result.stats
+            table_rows.append([
+                workload,
+                label,
+                f"{stats.total_cycles:,}",
+                f"{stats.tlb_miss_rate * 100:.3f}%",
+                f"{reach[(workload, label)] / 1024:.0f} KB",
+                result.engine,
+            ])
+    report = render_table(
+        ["workload", "backend", "cycles", "miss rate", "reach", "engine"],
+        table_rows,
+        title="B1: translation backends under one harness",
+    )
+
+    errors: List[str] = []
+    for workload in PAPER_SUITE:
+        base = runs[(workload, "mtlb")].stats
+        vict = runs[(workload, "victima")].stats
+        coal = runs[(workload, "coalesced")].stats
+        contig = runs[(workload, "coalesced+contig")].stats
+        if vict.tlb_misses != base.tlb_misses:
+            errors.append(
+                f"{workload}: victima changed the CPU TLB miss count "
+                f"({vict.tlb_misses} vs {base.tlb_misses}); the pool "
+                "must only cheapen refills"
+            )
+        if vict.total_cycles > base.total_cycles:
+            errors.append(
+                f"{workload}: victima ran slower than the conventional "
+                f"baseline ({vict.total_cycles:,} vs "
+                f"{base.total_cycles:,})"
+            )
+        if coal.tlb_misses > base.tlb_misses:
+            errors.append(
+                f"{workload}: coalescing increased TLB misses "
+                f"({coal.tlb_misses} vs {base.tlb_misses})"
+            )
+        if contig.tlb_misses > coal.tlb_misses:
+            errors.append(
+                f"{workload}: contiguous frames coalesced worse than "
+                f"shuffled ones ({contig.tlb_misses} vs "
+                f"{coal.tlb_misses} misses)"
+            )
+        for label, _ in rows:
+            if runs[(workload, label)].stats.total_cycles <= 0:
+                errors.append(f"{workload}/{label}: no cycles simulated")
+    return BackendsResult(runs=runs, report=report, shape_errors=errors)

@@ -71,6 +71,11 @@ class SanitizerSuite:
         self.check_shadow_table(where)
         self.check_mtlb(where)
         self.check_frames(where)
+        # Backend-owned invariants (DESIGN.md §16): each translation
+        # backend audits its own structures (coalesced entry freshness,
+        # Victima pool/directory lockstep); the mtlb backend's are the
+        # shadow-table/MTLB checks above, so its hook is a no-op.
+        self.system.backend.sanitize(self.system, where)
         self.boundaries_checked += 1
 
     # ------------------------------------------------------------------ #

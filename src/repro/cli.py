@@ -97,7 +97,7 @@ from .workloads import PAPER_SUITE
 
 EXPERIMENTS = (
     "fig2", "fig3", "fig4", "init-costs", "reach", "ablations",
-    "multiprog", "sensitivity", "trace-store",
+    "multiprog", "sensitivity", "trace-store", "backends",
 )
 
 #: Experiments that write perf-baseline keys and therefore accept the
@@ -394,6 +394,21 @@ def _run(name: str, context: BenchContext) -> int:
         status |= _report("S2 / miss-handler cost", handler.report,
                           handler.shape_errors)
         return status
+    if name == "backends":
+        from .bench.backends_bench import run_backends_bench
+
+        result = run_backends_bench(context, progress=True)
+        _write_bench_snapshot(
+            "backends",
+            results_snapshot(
+                result.runs.values(), "backends",
+                meta=_context_meta(context),
+            ),
+        )
+        return _report(
+            "B1 / translation backends", result.report,
+            result.shape_errors,
+        )
     if name == "trace-store":
         from .bench.trace_store_bench import run_trace_store_bench
 
@@ -631,6 +646,33 @@ def _print_trace_ops() -> None:
         )
 
 
+def _strip_backend_suffix(snapshot):
+    """Rewrite ``workload|label@backend`` run keys to ``workload|label``.
+
+    Only the config-label half is touched (the ``@backend`` suffix is
+    appended by ``SystemConfig.label`` for non-default backends).  Two
+    rows collapsing onto one key is an error: a silent overwrite would
+    make the diff compare against whichever row sorted last.
+    """
+    runs = snapshot.get("runs")
+    if not isinstance(runs, dict):
+        return snapshot
+    stripped = {}
+    for key, row in runs.items():
+        workload, sep, label = key.partition("|")
+        if sep and "@" in label:
+            key = f"{workload}|{label.split('@', 1)[0]}"
+        if key in stripped:
+            raise ValueError(
+                f"--ignore-backend collapses two runs onto {key!r}; "
+                "diff the snapshots without it"
+            )
+        stripped[key] = row
+    out = dict(snapshot)
+    out["runs"] = stripped
+    return out
+
+
 def _metrics_diff(args) -> int:
     try:
         threshold = parse_threshold(args.threshold)
@@ -640,6 +682,9 @@ def _metrics_diff(args) -> int:
     try:
         baseline = load_snapshot(args.baseline)
         candidate = load_snapshot(args.candidate)
+        if getattr(args, "ignore_backend", False):
+            baseline = _strip_backend_suffix(baseline)
+            candidate = _strip_backend_suffix(candidate)
     except (OSError, ValueError) as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -703,24 +748,47 @@ def _check_diff(args) -> int:
     return 1
 
 
-def _serve_specs(figure: str, seed: int, engine: str):
-    """The figure's scenario batch: ``(specs, snapshot_label)``."""
+def _serve_specs(figure: str, seed: int, engine: str, backend: str = "mtlb"):
+    """The figure's scenario batch: ``(specs, snapshot_label)``.
+
+    A non-default *backend* reinterprets the figure as that backend's
+    TLB-size sweep: the MTLB rows make no sense there (a backend owns
+    the whole translation path, DESIGN.md §16), so only the
+    conventional columns are swept, with ``ScenarioSpec(backend=...)``
+    folding the backend into each config.  The snapshot label gains an
+    ``@backend`` suffix so cross-backend snapshots can sit side by side
+    in one store and still be compared via
+    ``repro metrics diff --ignore-backend``.
+    """
     from .api import ScenarioSpec
 
+    fold = None if backend == "mtlb" else backend
     if figure == "fig3":
-        configs = figure3_configs()
+        if fold is None:
+            configs = list(figure3_configs().values())
+        else:
+            configs = [paper_no_mtlb(e) for e in (64, 96, 128)]
         specs = [
-            ScenarioSpec(w, config, seed=seed, engine=engine)
+            ScenarioSpec(w, config, seed=seed, engine=engine, backend=fold)
             for w in PAPER_SUITE
-            for config in configs.values()
+            for config in configs
         ]
-        return specs, "figure3"
-    configs = figure4_configs()
-    specs = [
-        ScenarioSpec("em3d", config, seed=seed, engine=engine)
-        for config in configs.values()
-    ]
-    return specs, "figure4"
+        label = "figure3"
+    else:
+        if fold is None:
+            configs = list(figure4_configs().values())
+        else:
+            configs = [paper_no_mtlb(128)]
+        specs = [
+            ScenarioSpec(
+                "em3d", config, seed=seed, engine=engine, backend=fold
+            )
+            for config in configs
+        ]
+        label = "figure4"
+    if fold is not None:
+        label = f"{label}@{fold}"
+    return specs, label
 
 
 def _sweep_policy(args):
@@ -796,8 +864,11 @@ def _serve_sweep(args) -> int:
         print(f"result store: {client.store.root}")
     if chaos is not None:
         print(f"chaos: ARMED seed={chaos.seed} (deterministic injection)")
-    specs, label = _serve_specs(args.figure, args.seed, args.engine)
     try:
+        specs, label = _serve_specs(
+            args.figure, args.seed, args.engine,
+            backend=getattr(args, "backend", "mtlb"),
+        )
         with guard:
             reports = client.sweep(specs, raise_errors=False)
     except SpecValidationError as exc:
@@ -1159,6 +1230,14 @@ def repro_main(argv=None) -> int:
             "not just threshold regressions (engine-equivalence gate)"
         ),
     )
+    diff.add_argument(
+        "--ignore-backend", action="store_true",
+        help=(
+            "strip @backend suffixes from run labels before comparing, "
+            "so e.g. a coalesced sweep lines up against the "
+            "conventional baseline rows it shares configs with"
+        ),
+    )
     diff.set_defaults(func=_metrics_diff)
 
     check = sub.add_parser(
@@ -1250,6 +1329,16 @@ def repro_main(argv=None) -> int:
         help=(
             "trace-execution engine; engine choice never changes "
             "results, so store entries are engine-interchangeable"
+        ),
+    )
+    sweep.add_argument(
+        "--backend", metavar="NAME", default="mtlb",
+        help=(
+            "translation backend to sweep (repro.core.backends "
+            "registry; default mtlb).  Non-default backends sweep the "
+            "figure's conventional TLB sizes only and suffix the "
+            "snapshot label with @NAME; an unregistered name fails "
+            "fast with the registered list"
         ),
     )
     sweep.add_argument(

@@ -10,8 +10,18 @@ This subpackage is the paper's primary contribution in library form:
   mapping table with per-base-page valid/fault/referenced/dirty bits;
 * :mod:`repro.core.mtlb` — the set-associative, NRU memory-controller TLB
   with hardware fills and precise-fault signalling;
-* :mod:`repro.core.remap` — maximal-superpage tiling of virtual regions.
+* :mod:`repro.core.remap` — maximal-superpage tiling of virtual regions;
+* :mod:`repro.core.backends` — the pluggable translation-backend
+  registry (DESIGN.md §16): the paper's MTLB design plus the coalesced
+  and Victima comparison backends behind one protocol.
 """
+
+from .backends import (
+    TranslationBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
 
 from .addrspace import (
     BASE_PAGE_SHIFT,
@@ -56,4 +66,8 @@ __all__ = [
     "ShadowSpaceExhausted",
     "ShadowEntry",
     "ShadowPageTable",
+    "TranslationBackend",
+    "get_backend",
+    "list_backends",
+    "register_backend",
 ]

@@ -1,0 +1,92 @@
+"""Translation-backend registry (DESIGN.md §16).
+
+Backends are looked up by the name carried in
+:attr:`~repro.sim.config.SystemConfig.backend`; the three built-ins are
+registered at import time:
+
+``mtlb``
+    The paper's design — MTLB + shadow table + promotion — extracted
+    bit-identical from the pre-refactor translation path.  The default
+    for every config ever written.
+``coalesced``
+    Range-coalesced TLB entries detected from mapping contiguity on
+    the software miss path (arXiv:1908.08774).
+``victima``
+    Cache-resident victim TLB entries with a set-pressure model
+    (arXiv:2310.04158).
+
+Third-party backends register with :func:`register_backend`; unknown
+names raise the typed :class:`~repro.errors.UnknownBackend` at config
+time, never mid-run.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Type
+
+from .base import BackendParts, TranslationBackend, require_conventional
+from .coalesced import CoalescedBackend, CoalescedConfig
+from .mtlb import MtlbBackend
+from .victima import VictimaBackend, VictimaConfig
+from ...errors import UnknownBackend
+
+#: The backend every config that predates the registry resolves to.
+DEFAULT_BACKEND = "mtlb"
+
+_REGISTRY: Dict[str, Type[TranslationBackend]] = {}
+
+
+def register_backend(
+    cls: Type[TranslationBackend],
+) -> Type[TranslationBackend]:
+    """Register *cls* under ``cls.name``; returns *cls* so it works as
+    a decorator.  Re-registering the same class is a no-op; stealing a
+    taken name is an error."""
+    if not cls.name:
+        raise ValueError("backend class must set a non-empty .name")
+    taken = _REGISTRY.get(cls.name)
+    if taken is not None and taken is not cls:
+        raise ValueError(
+            f"backend name {cls.name!r} is already registered to "
+            f"{taken.__qualname__}"
+        )
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def get_backend(name: str) -> Type[TranslationBackend]:
+    """Resolve a backend class by registry name.
+
+    Raises :class:`~repro.errors.UnknownBackend` (a
+    ``SpecValidationError``, so the daemon maps it to HTTP 400) for
+    names nobody registered.
+    """
+    try:
+        return _REGISTRY[name]
+    except (KeyError, TypeError):
+        raise UnknownBackend(name, known=_REGISTRY) from None
+
+
+def list_backends() -> List[str]:
+    """Sorted names of every registered backend."""
+    return sorted(_REGISTRY)
+
+
+for _cls in (MtlbBackend, CoalescedBackend, VictimaBackend):
+    register_backend(_cls)
+del _cls
+
+__all__ = [
+    "BackendParts",
+    "CoalescedBackend",
+    "CoalescedConfig",
+    "DEFAULT_BACKEND",
+    "MtlbBackend",
+    "TranslationBackend",
+    "VictimaBackend",
+    "VictimaConfig",
+    "get_backend",
+    "list_backends",
+    "register_backend",
+    "require_conventional",
+]

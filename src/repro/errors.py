@@ -234,6 +234,29 @@ class SpecValidationError(ReproError, ValueError):
     """
 
 
+class UnknownBackend(SpecValidationError):
+    """A config or spec named a translation backend that is not registered.
+
+    Raised at *config time* — :class:`~repro.sim.config.SystemConfig`
+    construction, :class:`~repro.api.ScenarioSpec` construction, and the
+    daemon's ``POST /v1/sweep`` codec all hit it before any simulation
+    starts — so an unknown backend name is an immediate, typed failure
+    (HTTP 400 over the wire) instead of an ``AttributeError`` mid-run.
+    """
+
+    def __init__(self, name: object, known=()) -> None:
+        registered = ", ".join(sorted(map(str, known)))
+        super().__init__(
+            f"unknown translation backend {name!r}"
+            + (f"; registered backends: {registered}" if registered else "")
+        )
+        self.name = name
+        self.known = tuple(known)
+
+    def __reduce__(self):
+        return (UnknownBackend, (self.name, self.known))
+
+
 class ResultStoreCorrupt(ReproError):
     """A result-store entry failed its checksum or schema validation.
 

@@ -346,6 +346,24 @@ class SetAssociativeCache:
         idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
         return (paddr >> CACHE_LINE_SHIFT) in self._sets[idx]
 
+    def peek_lru(self, vaddr: int, paddr: int) -> Optional[int]:
+        """Tag that filling *vaddr*/*paddr* would evict, or ``None``.
+
+        Side-effect free: ``None`` when the set still has a free way or
+        when the line is already present (a hit evicts nothing).  Agents
+        that keep a per-tag directory alongside the cache (the Victima
+        backend's entry pool) call this before :meth:`access` to learn
+        which directory entry dies with the fill.
+        """
+        idx_addr = paddr if self.physically_indexed else vaddr
+        idx = (idx_addr >> CACHE_LINE_SHIFT) & self._index_mask
+        line_set = self._sets[idx]
+        if (paddr >> CACHE_LINE_SHIFT) in line_set:
+            return None
+        if len(line_set) < self.associativity:
+            return None
+        return next(iter(line_set))
+
     def flush_line(self, vaddr: int, paddr: int) -> Tuple[bool, bool]:
         """Flush one line by virtual address; see DirectMappedCache."""
         idx_addr = paddr if self.physically_indexed else vaddr

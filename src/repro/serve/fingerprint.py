@@ -18,6 +18,13 @@ Canonicalization rules (DESIGN.md §12):
   equivalence suite), ``sanitize`` (read-only invariant audits), and
   ``obs`` (event tracing keeps RunStats bit-identical).  A checkpoint
   written by a vector run must be a cache hit for a scalar rerun;
+* **backend canonicalization keeps old addresses stable**: the default
+  ``backend="mtlb"`` is stripped from the tree (every pre-registry
+  config was implicitly an mtlb config, and those scenarios must keep
+  their historical addresses without a ``fingerprint_version`` bump),
+  and each backend's knob subtree (``coalesced``, ``victima``) is
+  included only when that backend is selected — inert knobs provably
+  cannot change a result;
 * trace generation is pinned by ``(workload name, input scale, seed)``
   — exactly the trace cache's key — and multiprogrammed mixes
   additionally pin their scheduling shape ``(quantum_refs,
@@ -51,6 +58,16 @@ def canonical_config(config: SystemConfig) -> Dict[str, object]:
     tree = dataclasses.asdict(config)
     for name in RESULT_IRRELEVANT_FIELDS:
         tree.pop(name, None)
+    # Backend stability rule: default-backend trees canonicalize
+    # byte-identically to their pre-registry form, and only the selected
+    # backend's knob subtree is hashed (the others are inert).
+    backend = tree.get("backend", "mtlb")
+    if backend == "mtlb":
+        tree.pop("backend", None)
+    if backend != "coalesced":
+        tree.pop("coalesced", None)
+    if backend != "victima":
+        tree.pop("victima", None)
     return tree
 
 

@@ -21,6 +21,9 @@ from dataclasses import dataclass, replace
 from typing import Dict
 
 from ..core.addrspace import PhysicalMemoryMap
+from ..core.backends import DEFAULT_BACKEND, get_backend
+from ..core.backends.coalesced import CoalescedConfig
+from ..core.backends.victima import VictimaConfig
 from ..cpu.miss_handler import MissHandlerCosts
 from ..faults import FaultConfig
 from ..mem.bus import BusTiming
@@ -146,6 +149,20 @@ class SystemConfig:
     #: mirror for still forces scalar.  ``"vector"`` on such a machine
     #: raises at machine-build time.
     engine: str = "auto"
+    #: Translation backend (DESIGN.md §16): which machine owns the path
+    #: between a CPU TLB miss and the installed entry.  ``"mtlb"`` is
+    #: the paper's design (and covers the conventional baseline when
+    #: ``mtlb.enabled`` is False); ``"coalesced"`` and ``"victima"``
+    #: are the comparison architectures.  Resolved against the registry
+    #: in :mod:`repro.core.backends`; unknown names raise
+    #: :class:`~repro.errors.UnknownBackend` here, at config time.
+    backend: str = DEFAULT_BACKEND
+    #: Knobs of the range-coalescing backend; inert (and excluded from
+    #: result fingerprints) unless ``backend="coalesced"``.
+    coalesced: CoalescedConfig = CoalescedConfig()
+    #: Knobs of the cache-resident entry pool; inert (and excluded from
+    #: result fingerprints) unless ``backend="victima"``.
+    victima: VictimaConfig = VictimaConfig()
     #: Invariant sanitizers (DESIGN.md §11).  When True, an architectural
     #: invariant suite (``repro.check.sanitizers``) audits the TLB,
     #: cache, shadow page table, MTLB, and frame allocator after every
@@ -162,21 +179,11 @@ class SystemConfig:
                 "engine must be 'auto', 'scalar' or 'vector', "
                 f"got {self.engine!r}"
             )
-        if self.use_superpages and not self.mtlb.enabled:
-            raise ValueError(
-                "use_superpages requires an enabled MTLB "
-                "(conventional superpages go through "
-                "VmSubsystem.map_region_conventional_superpages)"
-            )
-        if self.promotion.enabled and not self.mtlb.enabled:
-            raise ValueError("online promotion requires an enabled MTLB")
-        if self.all_shadow and not self.mtlb.enabled:
-            raise ValueError("all-shadow mode requires an enabled MTLB")
-        if self.all_shadow and self.use_superpages:
-            raise ValueError(
-                "all-shadow base mappings cannot be promoted in place; "
-                "run all-shadow with use_superpages=False"
-            )
+        # Backend resolution is part of construction: unknown names die
+        # here (UnknownBackend) and each backend vetoes knob
+        # combinations it cannot run (the mtlb backend owns the four
+        # historical shadow-machine checks).
+        get_backend(self.backend).validate(self)
         if self.check_translations < 0:
             raise ValueError("check_translations must be >= 0")
         if self.degradation_policy not in ("demote", "abort"):
@@ -187,17 +194,26 @@ class SystemConfig:
 
     @property
     def label(self) -> str:
-        """Short human-readable configuration tag for report rows."""
+        """Short human-readable configuration tag for report rows.
+
+        Non-default backends get an ``@backend`` suffix so cross-backend
+        sweeps produce distinct run keys; ``mtlb`` configs keep their
+        historical labels.
+        """
         if self.mtlb.enabled:
             assoc = (
                 "full"
                 if self.mtlb.associativity in (0, self.mtlb.entries)
                 else f"{self.mtlb.associativity}w"
             )
-            return (
+            label = (
                 f"tlb{self.tlb.entries}+mtlb{self.mtlb.entries}{assoc}"
             )
-        return f"tlb{self.tlb.entries}"
+        else:
+            label = f"tlb{self.tlb.entries}"
+        if self.backend != DEFAULT_BACKEND:
+            label += f"@{self.backend}"
+        return label
 
 
 # ---------------------------------------------------------------------- #

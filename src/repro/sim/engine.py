@@ -154,6 +154,9 @@ def vector_supported(system: "System") -> Tuple[bool, str]:
             f"cache model {type(system.cache).__name__} has no "
             "residency mirror"
         )
+    ok, why = system.backend.vector_config_supported(system.config)
+    if not ok:
+        return False, why
     return True, ""
 
 
@@ -162,14 +165,17 @@ def vector_config_supported(config) -> Tuple[bool, str]:
 
     Lets the scenario scheduler (``repro.serve``) reject an
     ``engine='vector'`` spec *before* any shard worker is spawned.
-    Every configuration a :class:`~repro.sim.config.SystemConfig` can
-    express today batches (``build_cache`` only ever returns the two
-    mirrored cache models), so this always succeeds; it is kept as the
-    pre-spawn probe point for future translation backends that may not
-    vectorize at first.
+    Every *cache* a :class:`~repro.sim.config.SystemConfig` can express
+    batches (``build_cache`` only ever returns the two mirrored
+    models); what can refuse is the translation backend — the vector
+    engine's coverage mirror only models the mtlb family's miss path,
+    so backends without one (coalesced, victima) force the scalar
+    engine in v1 and an explicit ``engine='vector'`` request is
+    rejected here with the backend's reason.
     """
-    del config  # every expressible configuration batches
-    return True, ""
+    from ..core.backends import get_backend
+
+    return get_backend(config.backend).vector_config_supported(config)
 
 
 def resolve_engine_decision(system: "System") -> Tuple[str, str]:

@@ -26,7 +26,7 @@ from ..core.shadow_space import BucketShadowAllocator
 from ..core.shadow_table import ShadowPageTable
 from ..cpu.block_tlb import BlockTlb
 from ..cpu.micro_itlb import MicroItlb
-from ..cpu.miss_handler import PageFault, SoftwareMissHandler
+from ..cpu.miss_handler import SoftwareMissHandler
 from ..cpu.tlb import Tlb
 from ..errors import (
     MtlbParityFault,
@@ -41,7 +41,6 @@ from ..mem.dram import Dram
 from ..mem.mmc import MemoryController
 from ..mem.stream_buffers import StreamBufferUnit
 from ..obs import MetricsRegistry, ObsCollector
-from ..obs.tracer import TLB_MISS
 from ..os_model.kernel import MiniKernel
 from ..os_model.process import Process
 from ..trace.events import (
@@ -52,6 +51,7 @@ from ..trace.events import (
     Remap,
 )
 from ..trace.trace import Segment, Trace
+from ..core.backends import get_backend
 from .config import SystemConfig
 from .engine import (
     EngineState,
@@ -82,18 +82,17 @@ class System:
             FaultPlan(config.faults) if config.faults.enabled else None
         )
 
-        self.shadow_table: Optional[ShadowPageTable] = None
-        self.mtlb: Optional[Mtlb] = None
-        shadow_allocator: Optional[BucketShadowAllocator] = None
-        if config.mtlb.enabled:
-            self.shadow_table = ShadowPageTable(mm, table_base=0)
-            self.mtlb = Mtlb(
-                self.shadow_table,
-                entries=config.mtlb.entries,
-                associativity=config.mtlb.associativity,
-                fault_plan=self.fault_plan,
-            )
-            shadow_allocator = BucketShadowAllocator(mm)
+        #: The translation backend (DESIGN.md §16): owns the structures
+        #: between a CPU TLB miss and the installed entry, the refill
+        #: path, and its own metrics/sanitizer hooks.  System speaks
+        #: only the protocol from here on.
+        self.backend = get_backend(config.backend)(config)
+        parts = self.backend.build_parts(self)
+        self.shadow_table: Optional[ShadowPageTable] = parts.shadow_table
+        self.mtlb: Optional[Mtlb] = parts.mtlb
+        shadow_allocator: Optional[BucketShadowAllocator] = (
+            parts.shadow_allocator
+        )
 
         stream_unit = None
         if config.stream_buffers.enabled:
@@ -135,6 +134,7 @@ class System:
         self.miss_handler = SoftwareMissHandler(
             self.kernel.hpt, config.handler
         )
+        self.backend.attach(self)
 
         self.stats = RunStats()
 
@@ -252,6 +252,7 @@ class System:
         """Purge CPU TLB entries for a virtual range (and the micro-ITLB)."""
         removed = self.tlb.shootdown_range(vstart, length)
         self.micro_itlb.invalidate()
+        self.backend.on_shootdown(self, vstart, length)
         return removed
 
     def uncached_mmc_write(self) -> int:
@@ -414,8 +415,10 @@ class System:
             "promotion",
             lambda: self.kernel.promotion.stats.metrics_snapshot(),
         )
-        if self.mtlb is not None:
-            reg.add_source("mtlb", lambda: self.mtlb.metrics_snapshot())
+        # Backend-owned sources: the mtlb backend registers the "mtlb"
+        # source (when an MTLB exists) exactly as the inline code used
+        # to; other backends bring their own counters.
+        self.backend.register_metrics(self)
         reg.add_source(
             "vm",
             lambda: {"degraded_remaps": self.kernel.vm.degraded_remap_events},
@@ -539,34 +542,10 @@ class System:
     def _refill_tlb(self, vaddr: int):
         """Software TLB refill; returns (entry, handler cycles).
 
-        With online promotion enabled, a miss on a base-page mapping may
-        trigger the kernel to remap the whole region onto a shadow
-        superpage inside the trap; the refill is then retried against
-        the new mapping (both passes are charged).
+        Delegates to the translation backend's miss path (DESIGN.md
+        §16); both engines call this for every CPU TLB miss.
         """
-        try:
-            result = self.miss_handler.handle(vaddr, self._kernel_access)
-        except PageFault as exc:
-            raise SimulationError(
-                f"unexpected page fault at {exc.vaddr:#010x}: workload "
-                "traces must map every region they touch"
-            ) from exc
-        cycles = result.cycles
-        if (
-            self.config.promotion.enabled
-            and result.entry.size == BASE_PAGE_SIZE
-        ):
-            promoted = self.kernel.promotion.note_miss(vaddr)
-            if promoted:
-                self.stats.kernel_cycles += promoted
-                result = self.miss_handler.handle(
-                    vaddr, self._kernel_access
-                )
-                cycles += result.cycles
-        self.tlb.insert(result.entry)
-        if self._tracer is not None:
-            self._tracer.emit(TLB_MISS, vaddr, cycles)
-        return result.entry, cycles
+        return self.backend.refill_tlb(self, vaddr)
 
     #: Bound on consecutive parity-fault recoveries for one fill; a
     #: correctly scrubbing kernel converges in one pass, so hitting the

@@ -388,6 +388,32 @@ class TestEndpoints:
         finally:
             conn.close()
 
+    def test_unknown_backend_is_400_echoing_the_name(self, served):
+        """A spec naming an unregistered translation backend must be
+        rejected at admission (typed UnknownBackend -> HTTP 400), not
+        die inside a worker."""
+        daemon, _ = served
+        conn = http.client.HTTPConnection(
+            "127.0.0.1", daemon.port, timeout=30
+        )
+        try:
+            conn.request(
+                "POST", "/v1/sweep",
+                body=json.dumps({
+                    "specs": [
+                        {"workload": "em3d", "backend": "nonesuch"}
+                    ]
+                }),
+                headers={"Content-Type": "application/json"},
+            )
+            response = conn.getresponse()
+            body = response.read()
+            assert response.status == 400
+            assert b"nonesuch" in body
+            assert b"registered backends" in body
+        finally:
+            conn.close()
+
 
 class TestDrain:
     def test_drain_finishes_inflight_then_exits_clean(self, tmp_path):

@@ -1,0 +1,360 @@
+"""Unit tests for the TranslationBackend protocol (DESIGN.md §16).
+
+Covers the registry, config-time validation, fingerprint stability of
+the new ``backend``/``coalesced``/``victima`` fields, the wire codec's
+``backend`` handling, the ``repro.api`` deprecation shim, and the
+``peek_lru`` cache primitive the victima pool relies on.
+"""
+
+import dataclasses
+import json
+import warnings
+from pathlib import Path
+
+import pytest
+
+from repro.api import ScenarioSpec, spec_from_doc, spec_to_doc
+from repro.core.backends import (
+    DEFAULT_BACKEND,
+    TranslationBackend,
+    get_backend,
+    list_backends,
+    register_backend,
+)
+from repro.core.backends.coalesced import CoalescedBackend
+from repro.core.backends.mtlb import MtlbBackend
+from repro.core.backends.victima import VictimaBackend
+from repro.errors import SpecValidationError, UnknownBackend
+from repro.mem.cache import SetAssociativeCache
+from repro.serve.fingerprint import (
+    canonical_config,
+    scenario_fingerprint,
+)
+from repro.sim.config import (
+    MtlbConfig,
+    SystemConfig,
+    paper_base,
+    paper_mtlb,
+    paper_no_mtlb,
+    paper_promotion,
+)
+
+BASELINE = Path(__file__).parent.parent / "data" / "backend_baseline.json"
+
+
+# ---------------------------------------------------------------------- #
+# Registry
+# ---------------------------------------------------------------------- #
+
+
+class TestRegistry:
+    def test_builtins_registered(self):
+        assert list_backends() == ["coalesced", "mtlb", "victima"]
+
+    def test_get_backend_returns_classes(self):
+        assert get_backend("mtlb") is MtlbBackend
+        assert get_backend("coalesced") is CoalescedBackend
+        assert get_backend("victima") is VictimaBackend
+
+    def test_default_backend_is_mtlb(self):
+        assert DEFAULT_BACKEND == "mtlb"
+        assert SystemConfig().backend == "mtlb"
+
+    def test_unknown_backend_typed_error_lists_registry(self):
+        with pytest.raises(UnknownBackend) as exc_info:
+            get_backend("nonesuch")
+        message = str(exc_info.value)
+        assert "nonesuch" in message
+        assert "coalesced, mtlb, victima" in message
+        # UnknownBackend is a SpecValidationError so the daemon's
+        # existing 400 mapping catches it with no extra wiring.
+        assert isinstance(exc_info.value, SpecValidationError)
+
+    def test_unhashable_name_is_unknown_not_typeerror(self):
+        with pytest.raises(UnknownBackend):
+            get_backend(["mtlb"])
+
+    def test_reregister_same_class_is_noop(self):
+        assert register_backend(MtlbBackend) is MtlbBackend
+        assert list_backends() == ["coalesced", "mtlb", "victima"]
+
+    def test_name_theft_rejected(self):
+        class Impostor(TranslationBackend):
+            name = "mtlb"
+
+        with pytest.raises(ValueError, match="already registered"):
+            register_backend(Impostor)
+
+    def test_unnamed_backend_rejected(self):
+        class Nameless(TranslationBackend):
+            pass
+
+        with pytest.raises(ValueError):
+            register_backend(Nameless)
+
+
+# ---------------------------------------------------------------------- #
+# Config-time validation
+# ---------------------------------------------------------------------- #
+
+
+class TestConfigValidation:
+    def test_unknown_backend_rejected_at_config_time(self):
+        with pytest.raises(UnknownBackend):
+            SystemConfig(backend="nonesuch")
+
+    def test_backend_label_suffix(self):
+        base = paper_base()
+        assert "@" not in base.label
+        coal = dataclasses.replace(base, backend="coalesced")
+        assert coal.label == base.label + "@coalesced"
+        vict = dataclasses.replace(base, backend="victima")
+        assert vict.label == base.label + "@victima"
+
+    @pytest.mark.parametrize("backend", ["coalesced", "victima"])
+    def test_backend_vetoes_mtlb_machinery(self, backend):
+        with pytest.raises(ValueError, match="owns the translation path"):
+            dataclasses.replace(paper_mtlb(96), backend=backend)
+
+    def test_backend_vetoes_promotion(self):
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                paper_promotion(), backend="coalesced"
+            )
+
+    def test_coalesced_span_must_be_page_size(self):
+        from repro.core.backends.coalesced import CoalescedConfig
+
+        with pytest.raises(ValueError, match="max_span_bytes"):
+            dataclasses.replace(
+                paper_base(),
+                backend="coalesced",
+                coalesced=CoalescedConfig(max_span_bytes=48 << 10),
+            )
+
+    def test_victima_geometry_checked(self):
+        from repro.core.backends.victima import VictimaConfig
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                paper_base(),
+                backend="victima",
+                victima=VictimaConfig(size_bytes=3000),
+            )
+
+    def test_mtlb_validation_unchanged(self):
+        # The historical mtlb checks moved into MtlbBackend.validate
+        # but still fire through SystemConfig.__post_init__.
+        with pytest.raises(ValueError, match="requires an enabled MTLB"):
+            SystemConfig(
+                mtlb=MtlbConfig(enabled=False),
+                use_superpages=True,
+            )
+
+
+# ---------------------------------------------------------------------- #
+# Fingerprint stability
+# ---------------------------------------------------------------------- #
+
+
+class TestFingerprints:
+    def test_default_backend_fields_stripped(self):
+        tree = canonical_config(paper_base())
+        assert "backend" not in tree
+        assert "coalesced" not in tree
+        assert "victima" not in tree
+
+    def test_active_backend_fields_kept(self):
+        coal = canonical_config(
+            dataclasses.replace(paper_base(), backend="coalesced")
+        )
+        assert coal["backend"] == "coalesced"
+        assert "coalesced" in coal
+        assert "victima" not in coal
+        vict = canonical_config(
+            dataclasses.replace(paper_base(), backend="victima")
+        )
+        assert vict["backend"] == "victima"
+        assert "victima" in vict
+        assert "coalesced" not in vict
+
+    def test_pinned_fingerprints_regression(self):
+        """Every pre-refactor store address must still resolve: adding
+        the backend fields must not move any existing fingerprint."""
+        baseline = json.loads(BASELINE.read_text())
+        factories = {
+            "paper_base": paper_base,
+            "paper_mtlb96": lambda: paper_mtlb(96),
+            "paper_no_mtlb128": lambda: paper_no_mtlb(128),
+            "paper_promotion": paper_promotion,
+        }
+        scales, seed = baseline["scales"], baseline["seed"]
+        for key, want in baseline["fingerprints"].items():
+            workload, label = key.split("|")
+            got = scenario_fingerprint(
+                workload, factories[label](), scales[workload], seed
+            )
+            assert got == want, f"fingerprint moved for {key}"
+
+    def test_backend_is_result_relevant(self):
+        base = scenario_fingerprint("em3d", paper_base(), 0.08, 1998)
+        coal = scenario_fingerprint(
+            "em3d",
+            dataclasses.replace(paper_base(), backend="coalesced"),
+            0.08,
+            1998,
+        )
+        assert base != coal
+
+
+# ---------------------------------------------------------------------- #
+# Wire codec
+# ---------------------------------------------------------------------- #
+
+
+class TestWireCodec:
+    def test_round_trip_preserves_backend(self):
+        spec = ScenarioSpec(
+            "em3d", paper_no_mtlb(96), backend="victima", seed=7
+        )
+        doc = json.loads(json.dumps(spec_to_doc(spec)))
+        back = spec_from_doc(doc)
+        assert back.config.backend == "victima"
+        assert back.config == spec.config
+        assert scenario_fingerprint(
+            "em3d", back.config, 0.08, 7
+        ) == scenario_fingerprint("em3d", spec.config, 0.08, 7)
+
+    def test_omitted_backend_defaults_to_mtlb(self):
+        """A pre-refactor client document (no backend keys anywhere)
+        must still build the default machine at the old address."""
+        spec = ScenarioSpec("em3d", paper_base(), seed=1998)
+        doc = json.loads(json.dumps(spec_to_doc(spec)))
+        del doc["backend"]
+        for key in ("backend", "coalesced", "victima"):
+            doc["config"].pop(key, None)
+        back = spec_from_doc(doc)
+        assert back.config.backend == "mtlb"
+        baseline = json.loads(BASELINE.read_text())
+        assert (
+            scenario_fingerprint("em3d", back.config, 0.08, 1998)
+            == baseline["fingerprints"]["em3d|paper_base"]
+        )
+
+    def test_bad_backend_in_doc_is_spec_validation_error(self):
+        spec = ScenarioSpec("em3d", paper_base())
+        doc = spec_to_doc(spec)
+        doc["backend"] = "nonesuch"
+        with pytest.raises(SpecValidationError):
+            spec_from_doc(doc)
+
+
+# ---------------------------------------------------------------------- #
+# ScenarioSpec backend fold
+# ---------------------------------------------------------------------- #
+
+
+class TestSpecFold:
+    def test_backend_folds_into_config(self):
+        spec = ScenarioSpec("em3d", paper_base(), backend="coalesced")
+        assert spec.config.backend == "coalesced"
+        assert spec.label.endswith("@coalesced")
+
+    def test_none_keeps_config_backend(self):
+        spec = ScenarioSpec("em3d", paper_base())
+        assert spec.config.backend == "mtlb"
+
+    def test_unknown_backend_fails_fast(self):
+        with pytest.raises(UnknownBackend):
+            ScenarioSpec("em3d", paper_base(), backend="nonesuch")
+
+    def test_incompatible_config_is_spec_validation_error(self):
+        with pytest.raises(SpecValidationError):
+            ScenarioSpec("em3d", paper_mtlb(96), backend="victima")
+
+
+# ---------------------------------------------------------------------- #
+# repro.api deprecation shim
+# ---------------------------------------------------------------------- #
+
+
+class TestDeprecationShim:
+    @pytest.mark.parametrize(
+        "name,target_module",
+        [
+            ("Mtlb", "repro.core.mtlb"),
+            ("ShadowPageTable", "repro.core.shadow_table"),
+        ],
+    )
+    def test_deprecated_reexports_warn(self, name, target_module):
+        import importlib
+
+        import repro.api as api
+
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            obj = getattr(api, name)
+        assert obj is getattr(
+            importlib.import_module(target_module), name
+        )
+        assert any(
+            issubclass(w.category, DeprecationWarning) for w in caught
+        )
+
+    def test_unknown_attribute_still_raises(self):
+        import repro.api as api
+
+        with pytest.raises(AttributeError):
+            api.NoSuchThing
+
+    def test_registry_exports_clean(self):
+        import repro.api as api
+
+        assert "get_backend" in api.__all__
+        assert "list_backends" in api.__all__
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")  # no warning for the new way
+            assert api.list_backends() == ["coalesced", "mtlb", "victima"]
+
+
+# ---------------------------------------------------------------------- #
+# peek_lru (the victima pool's eviction preview)
+# ---------------------------------------------------------------------- #
+
+
+class TestPeekLru:
+    def test_peek_on_unfull_set_is_none(self):
+        cache = SetAssociativeCache(
+            size_bytes=1024, associativity=2, physically_indexed=False
+        )
+        assert cache.peek_lru(0, 0) is None
+        cache.access(0, 0, is_write=False)
+        assert cache.peek_lru(0, 0) is None  # line already present
+
+    def test_peek_names_lru_victim_without_evicting(self):
+        cache = SetAssociativeCache(
+            size_bytes=1024, associativity=2, physically_indexed=False
+        )
+        line = 64 * cache.num_sets  # all addresses map to set 0
+
+        cache.access(0, 0, is_write=False)
+        cache.access(line, line, is_write=False)
+        victim = cache.peek_lru(2 * line, 2 * line)
+        assert victim == 0  # LRU = the first-inserted tag
+        before = cache.occupancy
+        assert cache.peek_lru(2 * line, 2 * line) == victim  # idempotent
+        assert cache.occupancy == before  # no side effects
+        # The preview agrees with what access() actually evicts.
+        cache.access(2 * line, 2 * line, is_write=False)
+        assert not cache.probe(0, 0)
+        assert cache.probe(line, line)
+
+    def test_peek_matches_access_eviction(self):
+        cache = SetAssociativeCache(
+            size_bytes=512, associativity=1, physically_indexed=False
+        )
+        cache.access(0, 0, is_write=False)
+        victim = cache.peek_lru(64 * cache.num_sets, 64 * cache.num_sets)
+        assert victim is not None
+        cache.access(64 * cache.num_sets, 64 * cache.num_sets, False)
+        assert not cache.probe(0, 0)
